@@ -1,0 +1,75 @@
+// Command lufbench regenerates the paper's tables and figures:
+//
+//	lufbench -exp table1    Table 1 (solver variants on the synthetic corpus)
+//	lufbench -exp sec72     Section 7.2 analyzer statistics (depth 1000)
+//	lufbench -exp sec72d2   Section 7.2 with propagation depth 2
+//	lufbench -exp scaling   closure-cost comparison motivating LUF (§2)
+//	lufbench -exp inter     Appendix A persistent-join complexity
+//	lufbench -exp all       everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"luf/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table1, sec72, sec72d2, scaling, inter, all")
+	programs := flag.Int("programs", 584, "number of analyzer corpus programs (sec72)")
+	quick := flag.Bool("quick", false, "smaller corpora for a fast smoke run")
+	flag.Parse()
+
+	run := func(name string) bool { return *exp == name || *exp == "all" }
+	any := false
+
+	if run("table1") {
+		any = true
+		cfg := bench.DefaultTable1()
+		if *quick {
+			cfg.Corpus.Linear, cfg.Corpus.Offsets, cfg.Corpus.FTerm = 80, 15, 10
+			cfg.Corpus.SlowConv, cfg.Corpus.MulFree = 20, 20
+		}
+		fmt.Println(bench.RunTable1(cfg).Format())
+	}
+	if run("sec72") {
+		any = true
+		cfg := bench.Sec72Config{NumPrograms: *programs, Depth: 1000}
+		if *quick {
+			cfg.NumPrograms = 60
+		}
+		fmt.Println(bench.RunSec72(cfg).Format())
+	}
+	if run("sec72d2") {
+		any = true
+		cfg := bench.Sec72Config{NumPrograms: *programs, Depth: 2}
+		if *quick {
+			cfg.NumPrograms = 60
+		}
+		fmt.Println(bench.RunSec72(cfg).Format())
+	}
+	if run("scaling") {
+		any = true
+		sizes := []int{16, 32, 64, 128, 256, 512}
+		if *quick {
+			sizes = []int{16, 64, 128}
+		}
+		fmt.Println(bench.FormatScaling(bench.RunScaling(sizes, 1000)))
+	}
+	if run("inter") {
+		any = true
+		sizes := []int{256, 1024, 4096}
+		deltas := []int{1, 8, 64}
+		if *quick {
+			sizes = []int{256}
+		}
+		fmt.Println(bench.FormatInter(bench.RunInter(sizes, deltas, 5)))
+	}
+	if !any {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

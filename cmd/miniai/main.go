@@ -1,0 +1,77 @@
+// Command miniai analyzes a mini-C program with the Section 7.2 abstract
+// interpreter, with and without the labeled union-find TVPE domain, and
+// reports per-variable values and assertion verdicts.
+//
+//	miniai [-depth n] [-dump-ssa] file.c
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"luf/internal/analyzer"
+	"luf/internal/cfg"
+	"luf/internal/lang"
+)
+
+func main() {
+	depth := flag.Int("depth", 1000, "constraint propagation depth limit")
+	dumpSSA := flag.Bool("dump-ssa", false, "print the SSA control-flow graph")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: miniai [-depth n] [-dump-ssa] file.c")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	prog, err := lang.Parse(string(data))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, useLUF := range []bool{false, true} {
+		g := cfg.Build(prog)
+		dom := cfg.ToSSA(g)
+		if err := cfg.Validate(g, dom); err != nil {
+			fmt.Fprintln(os.Stderr, "internal error:", err)
+			os.Exit(1)
+		}
+		if *dumpSSA && !useLUF {
+			fmt.Println(g)
+		}
+		conf := analyzer.Config{UseLUF: useLUF, PropagationDepth: *depth}
+		res := analyzer.Analyze(g, dom, conf)
+		mode := "baseline"
+		if useLUF {
+			mode = "with labeled union-find"
+		}
+		fmt.Printf("=== %s (depth %d) ===\n", mode, *depth)
+		for v := 1; v < g.NumVars; v++ {
+			fmt.Printf("  v%-3d %-10s %s\n", v, g.VarName[v], res.Values[v])
+		}
+		proved := 0
+		for id, a := range res.Asserts {
+			verdict := "ALARM"
+			switch a {
+			case analyzer.AssertProved:
+				verdict = "proved"
+				proved++
+			case analyzer.AssertUnreachable:
+				verdict = "unreachable"
+			}
+			fmt.Printf("  assert #%d: %s\n", id, verdict)
+		}
+		fmt.Printf("  %d/%d assertions proved", proved, len(res.Asserts))
+		if useLUF {
+			fmt.Printf("; %d relations, %d unions, largest class %d, %d values improved",
+				res.Stats.AddRelationCalls, res.Stats.Unions, res.Stats.MaxClassSize,
+				res.Stats.ImprovedValues)
+		}
+		fmt.Println()
+		fmt.Println()
+	}
+}

@@ -1,0 +1,248 @@
+// Command minisolve runs the propagation-based constraint solver on a
+// problem file, comparing the BASE, LABELED-UF and GROUP-ACTION variants
+// of Section 7.1 of the paper.
+//
+// Problem format (one constraint per line, '#' comments):
+//
+//	var x int            declare an integer variable
+//	var y rat            declare a rational variable
+//	eq  2*x + 3*y - 1*z + 5 = 0
+//	le  1*x - 10 <= 0
+//	mul z = x * y
+//
+// With -demo figure7 or -demo example71 the built-in paper examples run
+// instead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"luf/internal/rational"
+	"luf/internal/shostak"
+	"luf/internal/solver"
+)
+
+func main() {
+	demo := flag.String("demo", "", "run a built-in demo: figure7 or example71")
+	steps := flag.Int("steps", 200000, "step budget")
+	flag.Parse()
+
+	var p *solver.Problem
+	switch {
+	case *demo == "figure7":
+		p = figure7()
+	case *demo == "example71":
+		p = example71()
+	case flag.NArg() == 1:
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		var perr error
+		p, perr = ParseProblem(flag.Arg(0), string(data))
+		if perr != nil {
+			fmt.Fprintln(os.Stderr, perr)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: minisolve [-demo figure7|example71] [file]")
+		os.Exit(2)
+	}
+
+	if err := p.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("problem %s: %d variables, %d constraints\n\n", p.Name, p.NumVars, len(p.Cons))
+	for _, v := range []solver.Variant{solver.Base, solver.LabeledUF, solver.GroupAction} {
+		r := solver.Solve(p, v, solver.Options{MaxSteps: *steps})
+		fmt.Printf("  %-13s verdict=%-8s steps=%-7d relations=%d\n", v, r.Verdict, r.Steps, r.NumRelations)
+	}
+}
+
+// ParseProblem parses the minisolve problem format.
+func ParseProblem(name, src string) (*solver.Problem, error) {
+	p := solver.NewProblem(name, 0)
+	vars := map[string]int{}
+	lookup := func(tok string) (int, error) {
+		v, ok := vars[tok]
+		if !ok {
+			return 0, fmt.Errorf("undeclared variable %q", tok)
+		}
+		return v, nil
+	}
+	for ln, line := range strings.Split(src, "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("%s:%d: %s", name, ln+1, fmt.Sprintf(format, args...))
+		}
+		switch fields[0] {
+		case "var":
+			if len(fields) != 3 || (fields[2] != "int" && fields[2] != "rat") {
+				return nil, fail("expected 'var <name> int|rat'")
+			}
+			if _, dup := vars[fields[1]]; dup {
+				return nil, fail("duplicate variable %q", fields[1])
+			}
+			vars[fields[1]] = p.AddVar(fields[2] == "int")
+		case "eq", "le":
+			rest := strings.Join(fields[1:], " ")
+			var lhs, rhs string
+			var op string
+			switch {
+			case strings.Contains(rest, "<="):
+				op = "<="
+				parts := strings.SplitN(rest, "<=", 2)
+				lhs, rhs = parts[0], parts[1]
+			case strings.Contains(rest, "="):
+				op = "="
+				parts := strings.SplitN(rest, "=", 2)
+				lhs, rhs = parts[0], parts[1]
+			default:
+				return nil, fail("expected '=' or '<='")
+			}
+			if (fields[0] == "eq") != (op == "=") {
+				return nil, fail("constraint kind %q does not match operator %q", fields[0], op)
+			}
+			el, err := parseLin(lhs, lookup)
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			er, err := parseLin(rhs, lookup)
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			e := el.Sub(er)
+			if fields[0] == "eq" {
+				p.Add(solver.Eq(e))
+			} else {
+				p.Add(solver.Le(e))
+			}
+		case "mul":
+			// mul z = x * y
+			if len(fields) != 6 || fields[2] != "=" || fields[4] != "*" {
+				return nil, fail("expected 'mul z = x * y'")
+			}
+			z, err := lookup(fields[1])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			x, err := lookup(fields[3])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			y, err := lookup(fields[5])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			p.Add(solver.MulCon(z, x, y))
+		default:
+			return nil, fail("unknown directive %q", fields[0])
+		}
+	}
+	return p, nil
+}
+
+// parseLin parses "2*x + -3/2*y - 4" into a linear expression.
+func parseLin(s string, lookup func(string) (int, error)) (shostak.LinExp, error) {
+	e := shostak.NewLinExp(rational.Zero)
+	s = strings.ReplaceAll(s, " ", "")
+	s = strings.ReplaceAll(s, "-", "+-")
+	for _, term := range strings.Split(s, "+") {
+		if term == "" {
+			continue
+		}
+		if i := strings.IndexByte(term, '*'); i >= 0 {
+			coefStr := strings.TrimSpace(term[:i])
+			varStr := strings.TrimSpace(term[i+1:])
+			if coefStr == "" || coefStr == "-" {
+				coefStr += "1"
+			}
+			c, err := rational.Parse(coefStr)
+			if err != nil {
+				return e, err
+			}
+			v, err := lookup(varStr)
+			if err != nil {
+				return e, err
+			}
+			e = e.Add(shostak.Monomial(c, v))
+			continue
+		}
+		if v, err := lookup(term); err == nil {
+			e = e.Add(shostak.Monomial(rational.One, v))
+			continue
+		}
+		if bare, neg := strings.CutPrefix(term, "-"); neg {
+			if v, err := lookup(bare); err == nil {
+				e = e.Add(shostak.Monomial(rational.MinusOne, v))
+				continue
+			}
+		}
+		c, err := rational.Parse(term)
+		if err != nil {
+			return e, fmt.Errorf("cannot parse term %q", term)
+		}
+		e = e.AddConst(c)
+	}
+	return e, nil
+}
+
+func figure7() *solver.Problem {
+	p := solver.NewProblem("figure7", 0)
+	i := p.AddVar(true)
+	j := p.AddVar(true)
+	t1 := p.AddVar(true)
+	t2 := p.AddVar(true)
+	lin := func(c int64, pairs ...[2]int) shostak.LinExp {
+		e := shostak.NewLinExp(rational.Int(c))
+		for _, pr := range pairs {
+			e = e.Add(shostak.Monomial(rational.Int(int64(pr[0])), pr[1]))
+		}
+		return e
+	}
+	p.Add(
+		solver.Eq(lin(0, [2]int{10, i}, [2]int{1, j}, [2]int{-1, t1})),
+		solver.Eq(lin(1, [2]int{10, i}, [2]int{1, j}, [2]int{-1, t2})),
+		solver.Le(lin(-89, [2]int{1, t1})),
+		solver.Le(lin(0, [2]int{-1, t1})),
+		solver.Le(lin(100, [2]int{-1, t2})), // t2 >= 100: contradicts t2 = t1+1 <= 90
+	)
+	p.Truth = solver.StatusUnsat
+	return p
+}
+
+func example71() *solver.Problem {
+	p := solver.NewProblem("example7.1", 0)
+	a := p.AddVar(false)
+	b := p.AddVar(false)
+	f4 := p.AddVar(false)
+	f9 := p.AddVar(false)
+	sq := p.AddVar(false)
+	lin := func(c int64, pairs ...[2]int) shostak.LinExp {
+		e := shostak.NewLinExp(rational.Int(c))
+		for _, pr := range pairs {
+			e = e.Add(shostak.Monomial(rational.Int(int64(pr[0])), pr[1]))
+		}
+		return e
+	}
+	p.Add(
+		solver.Eq(lin(4, [2]int{2, a}, [2]int{3, b}, [2]int{-1, f4})),
+		solver.Eq(lin(9, [2]int{2, a}, [2]int{3, b}, [2]int{-1, f9})),
+		solver.Le(lin(0, [2]int{-1, f4}).AddConst(rational.New(101, 10))),
+		solver.MulCon(sq, f9, f9),
+		solver.Le(lin(-225, [2]int{1, sq})),
+	)
+	p.Truth = solver.StatusUnsat
+	return p
+}

@@ -1,0 +1,63 @@
+// Bit-level relations: the xor-rotate group with the known-bits domain,
+// and the persistent union-find's abstract join.
+//
+// Example 4.7 of the paper: labels (s, c) encode y = (x xor c) rot s over
+// w-bit vectors — bitwise negation, xors with constants and rotations all
+// compose into a single group. The tristate known-bits domain is the
+// matching value abstraction (xor and rotation on it are exact), so the
+// group action transports known bits across relational classes without
+// loss (Section 5.2).
+//
+// Run with: go run ./examples/bitrelations
+package main
+
+import (
+	"fmt"
+
+	"luf"
+	"luf/internal/bits"
+	"luf/internal/core"
+	"luf/internal/domain"
+	"luf/internal/group"
+)
+
+func main() {
+	const w = 8
+	g := luf.NewXorRot(w)
+
+	// A mutable labeled union-find with per-class known-bits information.
+	uf := core.New[string, group.XRLabel](g)
+	info := core.NewInfo[string, group.XRLabel, bits.TS](uf, domain.XorRotAction{G: g})
+
+	fmt.Println("Relations between 8-bit variables:")
+	fmt.Println("  b = ~a            (xor with 0xff)")
+	info.AddRelation("a", "b", g.NewLabel(0, 0xff))
+	fmt.Println("  c = b rot 3")
+	info.AddRelation("b", "c", g.NewLabel(3, 0))
+
+	rel, _ := uf.GetRelation("a", "c")
+	fmt.Printf("\nComposed: c = %s applied to a\n", g.Format(rel))
+
+	// Known bits propagate through the class: learning bits of c reveals
+	// bits of a and b.
+	fmt.Println("\nLearning c = 0b10?1?010 ...")
+	info.AddInfo("c", bits.MustParse("10?1?010"))
+	for _, v := range []string{"a", "b", "c"} {
+		fmt.Printf("  %s = %s\n", v, info.GetInfo(v))
+	}
+
+	// Persistent variant: two speculative branches, then the abstract
+	// join — only facts common to both survive (Appendix A).
+	fmt.Println("\nPersistent branches and abstract join:")
+	base := luf.NewPersistent[group.XRLabel](g)
+	base, _ = base.AddRelation(0, 1, g.NewLabel(0, 0xff), nil) // r1 = ~r0
+	then, _ := base.AddRelation(1, 2, g.NewLabel(1, 0), nil)   // r2 = r1 rot 1
+	els, _ := base.AddRelation(1, 2, g.NewLabel(2, 0), nil)    // r2 = r1 rot 2
+	joined := luf.Inter(then, els)
+	if _, ok := joined.GetRelation(1, 2); !ok {
+		fmt.Println("  r1–r2 relation differs between branches: dropped by the join")
+	}
+	if l, ok := joined.GetRelation(0, 1); ok {
+		fmt.Printf("  r1 = %s applied to r0: survives the join\n", g.Format(l))
+	}
+}

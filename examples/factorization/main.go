@@ -1,0 +1,70 @@
+// Factorization: the Figure 3 construction of the paper.
+//
+// Five variables fall into two relational classes connected by constant
+// differences. Instead of a weakly-relational graph over all five
+// variables (O(n²) constraints) plus a non-relational value per variable,
+// the factorized representation stores:
+//
+//   - the constant-difference labeled union-find (one edge per variable);
+//   - interval-difference constraints only BETWEEN class representatives;
+//   - one interval per class, at the representative.
+//
+// Queries about any pair of variables are recovered by composing
+// union-find labels with the representative-level information — same
+// concretization, a fraction of the storage.
+//
+// Run with: go run ./examples/factorization
+package main
+
+import (
+	"fmt"
+
+	"luf"
+	"luf/internal/core"
+	"luf/internal/domain"
+	"luf/internal/factor"
+	"luf/internal/group"
+	"luf/internal/interval"
+	"luf/internal/wrel"
+)
+
+func main() {
+	// Variables (Figure 3): z=0, u=1, y=2, x=3, v=4.
+	names := []string{"z", "u", "y", "x", "v"}
+	uf := core.New[int, group.DeltaLabel](group.Delta{})
+	fmt.Println("Relational classes (constant differences):")
+	fmt.Println("  u = z - 1          -> class {z, u}")
+	uf.AddRelation(0, 1, -1)
+	fmt.Println("  x = y + 2, v = y + 5 -> class {y, x, v}")
+	uf.AddRelation(2, 3, 2)
+	uf.AddRelation(2, 4, 5)
+
+	// Weakly-relational constraints between variables of different
+	// classes; the quotient rebases them onto the representatives.
+	constraints := []factor.DiffConstraint{
+		{X: 0, Y: 2, Rel: wrel.Diff(2, 5)},  // y - z ∈ [2;5]
+		{X: 1, Y: 3, Rel: wrel.Diff(0, 10)}, // x - u ∈ [0;10]
+	}
+	q, idx := factor.Quotient(uf, len(names), constraints)
+	q.Saturate()
+	fmt.Printf("\nQuotient graph: %d nodes (was %d variables), %d constraints\n",
+		q.N(), len(names), q.NumEdges())
+
+	fmt.Println("\nPairwise queries through the factorized representation:")
+	for _, pair := range [][2]int{{0, 3}, {3, 4}, {1, 4}, {0, 1}} {
+		r, ok := factor.QuotientQuery(uf, q, idx, pair[0], pair[1])
+		fmt.Printf("  %s - %s ∈ %s (ok=%v)\n", names[pair[1]], names[pair[0]], r, ok)
+	}
+
+	// Map factorization (Section 5.2): one interval × congruence value per
+	// class, stored at the representative and transported by the TVPE
+	// action. Refining any member refines the whole class.
+	fmt.Println("\nMap factorization over TVPE relations:")
+	m := factor.NewTVPEMap[string]()
+	m.Relate("i", "j", luf.AffineInt(3, 4)) // j = 3i + 4
+	m.Refine("i", domain.Integers())
+	m.Refine("j", domain.FromInterval(interval.RangeInt(7, 19)).MeetInt())
+	fmt.Printf("  after i ∈ ℤ, j ∈ [7;19] and j = 3i + 4:\n")
+	fmt.Printf("  i = %s   (transported through the class)\n", m.Value("i"))
+	fmt.Printf("  j = %s   (tightened by i's integrality)\n", m.Value("j"))
+}

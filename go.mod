@@ -1,0 +1,3 @@
+module luf
+
+go 1.24

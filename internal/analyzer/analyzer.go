@@ -1,0 +1,651 @@
+package analyzer
+
+import (
+	"math/big"
+
+	"luf/internal/cfg"
+	"luf/internal/domain"
+	"luf/internal/factor"
+	"luf/internal/group"
+	"luf/internal/rational"
+)
+
+// Config selects the analyzer variant, mirroring the Section 7.2
+// experiment axes.
+type Config struct {
+	// UseLUF enables the TVPE labeled union-find domain with map
+	// factorization (the paper's extension); false is the plain
+	// non-relational baseline.
+	UseLUF bool
+	// PropagationDepth bounds the up/down constraint propagation
+	// (default 1000; the paper's second experiment uses 2).
+	PropagationDepth int
+	// WidenDelay is the number of joins at a loop head before widening.
+	WidenDelay int
+	// MaxRestarts bounds relation-retraction restarts.
+	MaxRestarts int
+}
+
+// DefaultConfig mirrors the paper's main configuration.
+func DefaultConfig(useLUF bool) Config {
+	return Config{UseLUF: useLUF, PropagationDepth: 1000, WidenDelay: 2, MaxRestarts: 8}
+}
+
+// AssertOutcome is the analyzer's judgement on one assertion.
+type AssertOutcome int
+
+// Assertion outcomes.
+const (
+	AssertUnknown AssertOutcome = iota // alarm: could not prove
+	AssertProved
+	AssertUnreachable
+)
+
+// Stats mirrors the Section 7.2 measurements.
+type Stats struct {
+	SSAValues        int
+	AddRelationCalls int
+	Unions           int
+	MaxClassSize     int
+	ValuesInUnions   int // SSA values that are in a non-singleton class
+	Restarts         int
+	ImprovedValues   int // values tightened by the final factorized reduction
+}
+
+// Result is the analysis outcome.
+type Result struct {
+	Asserts []AssertOutcome
+	// Values holds the final flow-insensitive value of each SSA value
+	// (the value at its definition point), after the factorized reduction
+	// when LUF is enabled.
+	Values []domain.IC
+	Stats  Stats
+}
+
+// analysis is the per-run state.
+type analysis struct {
+	g       *cfg.Graph
+	dom     *cfg.DomInfo
+	cfgConf Config
+	luf     *factor.TVPEMap[int]
+	defs    map[int]cfg.Expr // SSA value -> defining expression (IDefs only)
+	users   map[int][]int    // SSA value -> values whose def uses it
+	defBlk  []int            // SSA value -> block of its definition (-1: none)
+	// inferred φ relations: pair -> relation; banned: pairs proven wrong.
+	inferred map[[2]int]group.Affine
+	banned   map[[2]int]bool
+	needBan  bool
+	stats    Stats
+}
+
+// Analyze runs the abstract interpreter on an SSA graph.
+func Analyze(g *cfg.Graph, dom *cfg.DomInfo, conf Config) *Result {
+	if !g.InSSA {
+		panic("analyzer: graph must be in SSA form")
+	}
+	if conf.PropagationDepth == 0 {
+		conf.PropagationDepth = 1000
+	}
+	if conf.WidenDelay == 0 {
+		conf.WidenDelay = 2
+	}
+	if conf.MaxRestarts == 0 {
+		conf.MaxRestarts = 8
+	}
+	a := &analysis{g: g, dom: dom, cfgConf: conf, banned: map[[2]int]bool{}}
+	a.indexDefs()
+	var res *Result
+	for restart := 0; ; restart++ {
+		a.stats = Stats{SSAValues: g.NumVars - 1, Restarts: restart}
+		a.luf = nil
+		a.inferred = map[[2]int]group.Affine{}
+		a.needBan = false
+		if conf.UseLUF {
+			a.luf = factor.NewTVPEMap[int]()
+		}
+		res = a.run()
+		if !a.needBan || restart >= conf.MaxRestarts {
+			break
+		}
+	}
+	return res
+}
+
+// indexDefs builds def and use maps for the up/down propagation, and the
+// definition block of every SSA value. Relations and def equations are
+// only *applied* between values defined in the same block: such values
+// share execution instances, so transporting a refinement between their
+// state cells is sound, whereas e.g. a loop-body value is one iteration
+// behind the loop-head φ it is defined from at the loop exit.
+func (a *analysis) indexDefs() {
+	a.defs = map[int]cfg.Expr{}
+	a.users = map[int][]int{}
+	a.defBlk = make([]int, a.g.NumVars)
+	for i := range a.defBlk {
+		a.defBlk[i] = -1
+	}
+	var uses func(e cfg.Expr, by int)
+	uses = func(e cfg.Expr, by int) {
+		switch e := e.(type) {
+		case cfg.EVar:
+			a.users[e.ID] = append(a.users[e.ID], by)
+		case cfg.EBin:
+			uses(e.L, by)
+			uses(e.R, by)
+		case cfg.EUn:
+			uses(e.E, by)
+		}
+	}
+	for _, b := range a.g.Blocks {
+		for _, in := range b.Instrs {
+			switch in := in.(type) {
+			case cfg.IDef:
+				a.defs[in.Var] = in.E
+				uses(in.E, in.Var)
+				a.defBlk[in.Var] = b.ID
+			case cfg.IPhi:
+				a.defBlk[in.Var] = b.ID
+			}
+		}
+	}
+}
+
+// aligned reports whether two SSA values share execution instances (same
+// definition block), making relation application between their state
+// cells sound.
+func (a *analysis) aligned(u, w int) bool {
+	return a.defBlk[u] != -1 && a.defBlk[u] == a.defBlk[w]
+}
+
+// run performs one complete fixpoint (ascending with widening, then a
+// descending narrowing pass) and the final reductions.
+func (a *analysis) run() *Result {
+	g := a.g
+	n := len(g.Blocks)
+	out := make([]state, n)
+	reachable := make([]bool, n)
+	joins := make([]int, n) // join count per block (for widening delay)
+	inState := make([]state, n)
+
+	// Loop heads: blocks with a predecessor that appears later in RPO.
+	rpoPos := map[int]int{}
+	for i, b := range a.dom.RPO {
+		rpoPos[b] = i
+	}
+	isLoopHead := make([]bool, n)
+	for _, b := range a.dom.RPO {
+		for _, p := range g.Blocks[b].Preds {
+			if pos, ok := rpoPos[p]; ok && pos >= rpoPos[b] {
+				isLoopHead[b] = true
+			}
+		}
+	}
+
+	reachable[0] = true
+	inState[0] = state{}
+
+	// Ascending iterations; widening kicks in at loop-head φs after
+	// WidenDelay joins. diverged is a sound fallback: if the cap is ever
+	// reached (it should not be, widening guarantees termination), all
+	// results degrade to ⊤.
+	diverged := true
+	for iter := 0; iter < 50*n+200; iter++ {
+		changed := false
+		for _, b := range a.dom.RPO {
+			if !reachable[b] {
+				continue
+			}
+			// Entry state: join of reachable predecessors (φs handled
+			// inside processBlock using pred out-states directly).
+			var in state
+			if b == 0 {
+				in = state{}
+			} else {
+				for _, p := range g.Blocks[b].Preds {
+					if !reachable[p] || out[p] == nil {
+						continue
+					}
+					if in == nil {
+						in = out[p].clone()
+					} else {
+						in = join(in, out[p])
+					}
+				}
+				if in == nil {
+					continue
+				}
+			}
+			widen := false
+			if isLoopHead[b] {
+				joins[b]++
+				widen = joins[b] > a.cfgConf.WidenDelay
+			}
+			inState[b] = in
+			newOut, feasible := a.processBlock(b, in.clone(), out, reachable, widen)
+			if !feasible {
+				if out[b] != nil {
+					changed = true
+				}
+				out[b] = nil
+				continue
+			}
+			if out[b] == nil || !statesEq(out[b], newOut) {
+				out[b] = newOut
+				changed = true
+			}
+			// Mark successors reachable if the branch is feasible.
+			for _, s := range a.feasibleSuccs(b, newOut) {
+				if !reachable[s] {
+					reachable[s] = true
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			diverged = false
+			break
+		}
+	}
+	if diverged {
+		// Sound degradation: unknown everything.
+		res := &Result{
+			Asserts: make([]AssertOutcome, g.NumAsserts),
+			Values:  make([]domain.IC, g.NumVars),
+		}
+		for i := range res.Values {
+			res.Values[i] = domain.Integers()
+		}
+		res.Stats = a.stats
+		return res
+	}
+
+	// Narrowing: two descending passes without widening.
+	for pass := 0; pass < 2; pass++ {
+		for _, b := range a.dom.RPO {
+			if !reachable[b] {
+				continue
+			}
+			var in state
+			if b == 0 {
+				in = state{}
+			} else {
+				for _, p := range g.Blocks[b].Preds {
+					if !reachable[p] || out[p] == nil {
+						continue
+					}
+					if in == nil {
+						in = out[p].clone()
+					} else {
+						in = join(in, out[p])
+					}
+				}
+				if in == nil {
+					continue
+				}
+			}
+			inState[b] = in
+			newOut, feasible := a.processBlock(b, in.clone(), out, reachable, false)
+			if feasible {
+				out[b] = newOut
+			}
+		}
+	}
+
+	// Final pass: evaluate assertions with the stabilized states; also
+	// collect per-value final values (at their definition points).
+	res := &Result{
+		Asserts: make([]AssertOutcome, g.NumAsserts),
+		Values:  make([]domain.IC, g.NumVars),
+	}
+	for i := range res.Asserts {
+		res.Asserts[i] = AssertUnreachable
+	}
+	for i := range res.Values {
+		res.Values[i] = domain.Bottom() // unreachable definitions stay ⊥
+	}
+	for _, b := range a.dom.RPO {
+		if !reachable[b] || inState[b] == nil {
+			continue
+		}
+		a.finalPass(b, inState[b].clone(), out, reachable, res)
+	}
+
+	// Factorized reduction (Section 5.2): push the flow-insensitive
+	// values into the TVPE map and read back the class-refined values.
+	if a.cfgConf.UseLUF && a.luf != nil && !a.luf.IsBottom() {
+		// Reduce each value by its aligned class members: meet of the
+		// relation-transported values of same-block members (instance-
+		// aligned factorized reduction; Section 5.2 restricted to sound
+		// pairs).
+		reduced := make([]domain.IC, g.NumVars)
+		for v := 1; v < g.NumVars; v++ {
+			reduced[v] = res.Values[v]
+			if res.Values[v].IsBottom() {
+				continue
+			}
+			for _, w := range a.luf.Info.Class(v) {
+				if w == v || !a.aligned(v, w) || res.Values[w].IsBottom() {
+					continue
+				}
+				if rel, ok := a.luf.Relation(w, v); ok {
+					reduced[v] = reduced[v].Meet(res.Values[w].ApplyAffine(rel))
+				}
+			}
+		}
+		for v := 1; v < g.NumVars; v++ {
+			if !res.Values[v].IsBottom() && !reduced[v].Eq(res.Values[v]) && reduced[v].Leq(res.Values[v]) {
+				res.Values[v] = reduced[v]
+				a.stats.ImprovedValues++
+			}
+		}
+		ufStats := a.luf.Info.Stats()
+		a.stats.AddRelationCalls = ufStats.AddCalls
+		a.stats.Unions = ufStats.Unions
+		a.stats.MaxClassSize = a.luf.Info.MaxClassSize()
+		for v := 1; v < g.NumVars; v++ {
+			if a.luf.Info.ClassSize(v) > 1 {
+				a.stats.ValuesInUnions++
+			}
+		}
+	}
+	res.Stats = a.stats
+	return res
+}
+
+// feasibleSuccs returns the successors whose branch condition is not
+// definitely false under the block's out state.
+func (a *analysis) feasibleSuccs(b int, s state) []int {
+	blk := a.g.Blocks[b]
+	switch blk.Term.Kind {
+	case cfg.TermJump:
+		return []int{blk.Term.To}
+	case cfg.TermBranch:
+		switch a.evalCond(s, blk.Term.Cond) {
+		case kTrue:
+			return []int{blk.Term.To}
+		case kFalse:
+			return []int{blk.Term.Else}
+		default:
+			return []int{blk.Term.To, blk.Term.Else}
+		}
+	}
+	return nil
+}
+
+// processBlock interprets a block's instructions over s, reading φ inputs
+// from predecessor out-states. φ destinations are the only values that
+// recur through cycles in SSA, so widening applies exactly there (against
+// the block's previous out-state) when widen is set. It reports
+// infeasibility (⊥ reached).
+func (a *analysis) processBlock(b int, s state, out []state, reachable []bool, widen bool) (state, bool) {
+	blk := a.g.Blocks[b]
+	// φs first: join incoming values edge-wise; then relation inference.
+	var phis []cfg.IPhi
+	for _, in := range blk.Instrs {
+		phi, ok := in.(cfg.IPhi)
+		if !ok {
+			break
+		}
+		phis = append(phis, phi)
+		v := domain.Bottom()
+		for _, arg := range phi.Args {
+			if !reachable[arg.Pred] || out[arg.Pred] == nil {
+				continue
+			}
+			if arg.Var == 0 {
+				// Undef path (dead φ of a scoped-out variable): any value.
+				v = v.Join(domain.Integers())
+				continue
+			}
+			v = v.Join(out[arg.Pred].get(arg.Var))
+		}
+		if widen && out[b] != nil {
+			if old, ok := out[b][phi.Var]; ok {
+				v = old.Widen(v)
+			}
+		}
+		s[phi.Var] = v
+	}
+	if a.cfgConf.UseLUF && len(phis) >= 1 {
+		a.phiRelations(b, phis, out, reachable)
+	}
+	for _, in := range blk.Instrs {
+		switch in := in.(type) {
+		case cfg.IPhi:
+			// done above
+		case cfg.IDef:
+			val := a.evalExpr(s, in.E)
+			s[in.Var] = val
+			if a.cfgConf.UseLUF {
+				a.defRelation(in)
+				// Class propagation through the new def's relation.
+				if !a.refineValue(s, in.Var, val, a.cfgConf.PropagationDepth) {
+					return s, false
+				}
+			}
+		case cfg.IAssume:
+			if !a.refineCond(s, in.E) {
+				return s, false
+			}
+		case cfg.IAssert:
+			// Assertions do not constrain executions in the analysis
+			// (verdicts are computed in the final pass).
+		}
+	}
+	return s, true
+}
+
+// finalPass re-walks a block with stabilized inputs to judge assertions
+// and record per-value results. A value's recorded result is its abstract
+// value at the END of its defining block (after the block's assumes),
+// which is the invariant every complete execution's instances satisfy —
+// and the granularity at which same-block relation application is exact.
+func (a *analysis) finalPass(b int, s state, out []state, reachable []bool, res *Result) {
+	blk := a.g.Blocks[b]
+	var defined []int
+	for _, in := range blk.Instrs {
+		phi, ok := in.(cfg.IPhi)
+		if !ok {
+			break
+		}
+		v := domain.Bottom()
+		for _, arg := range phi.Args {
+			if !reachable[arg.Pred] || out[arg.Pred] == nil {
+				continue
+			}
+			if arg.Var == 0 {
+				v = v.Join(domain.Integers())
+				continue
+			}
+			v = v.Join(out[arg.Pred].get(arg.Var))
+		}
+		s[phi.Var] = v
+		res.Values[phi.Var] = v
+		defined = append(defined, phi.Var)
+	}
+	feasible := true
+	for _, in := range blk.Instrs {
+		switch in := in.(type) {
+		case cfg.IPhi:
+		case cfg.IDef:
+			val := a.evalExpr(s, in.E)
+			s[in.Var] = val
+			res.Values[in.Var] = val
+			defined = append(defined, in.Var)
+			if a.cfgConf.UseLUF {
+				if !a.refineValue(s, in.Var, val, a.cfgConf.PropagationDepth) {
+					feasible = false
+				}
+				res.Values[in.Var] = s.get(in.Var)
+			}
+		case cfg.IAssume:
+			if !a.refineCond(s, in.E) {
+				feasible = false
+			}
+		case cfg.IAssert:
+			if !feasible {
+				continue
+			}
+			verdict := a.evalCond(s, in.E)
+			switch res.Asserts[in.ID] {
+			case AssertUnreachable:
+				if verdict == kTrue {
+					res.Asserts[in.ID] = AssertProved
+				} else {
+					res.Asserts[in.ID] = AssertUnknown
+				}
+			case AssertProved:
+				if verdict != kTrue {
+					res.Asserts[in.ID] = AssertUnknown
+				}
+			}
+		}
+		if !feasible {
+			break
+		}
+	}
+	if feasible {
+		// Block-end values: the invariant holding for every instance that
+		// flows into a complete execution.
+		for _, v := range defined {
+			res.Values[v] = s.get(v)
+		}
+	}
+}
+
+// defRelation adds the TVPE relation implied by a definition v := a·w + b
+// (the "variable definitions" rule of Section 7.2).
+func (a *analysis) defRelation(def cfg.IDef) {
+	w, coef, off, ok := affineOf(def.E)
+	if !ok || w < 0 || coef.Sign() == 0 {
+		return
+	}
+	// σ(def.Var) = coef·σ(w) + off: edge w --(coef,off)--> def.Var.
+	a.luf.Relate(w, def.Var, group.NewAffine(coef, off))
+}
+
+// phiRelations applies the φ rules of Section 7.2 to every pair of φs in
+// a block: relate destinations when every reachable predecessor justifies
+// the same affine relation between the corresponding arguments — via an
+// existing labeled-union-find relation or constant argument pairs
+// ("joining related variables" and "joining constants").
+func (a *analysis) phiRelations(b int, phis []cfg.IPhi, out []state, reachable []bool) {
+	type fact struct {
+		rel  group.Affine
+		hasR bool
+		c1   *big.Rat // constant of arg p (nil if unknown)
+		c2   *big.Rat // constant of arg q
+	}
+	g := group.TVPE{}
+	for i := 0; i < len(phis); i++ {
+		for j := 0; j < len(phis); j++ {
+			if i == j {
+				continue
+			}
+			p, q := phis[i], phis[j]
+			key := [2]int{p.Var, q.Var}
+			// Collect per-predecessor facts.
+			var facts []fact
+			ok := true
+			for k := range p.Args {
+				pr := p.Args[k].Pred
+				if !reachable[pr] || out[pr] == nil {
+					continue
+				}
+				av, bv := p.Args[k].Var, argFor(q, pr)
+				if av == 0 || bv == 0 {
+					ok = false
+					break
+				}
+				f := fact{}
+				if rel, has := a.luf.Relation(av, bv); has {
+					f.rel, f.hasR = rel, true
+				}
+				if c, isC := out[pr].get(av).IsConst(); isC {
+					f.c1 = c
+				}
+				if c, isC := out[pr].get(bv).IsConst(); isC {
+					f.c2 = c
+				}
+				if !f.hasR && (f.c1 == nil || f.c2 == nil) {
+					ok = false
+					break
+				}
+				facts = append(facts, f)
+			}
+			if !ok || len(facts) == 0 {
+				a.checkInferred(key)
+				continue
+			}
+			// Candidate relation: an existing relation, or a line through
+			// two distinct constant pairs.
+			var cand group.Affine
+			found := false
+			for _, f := range facts {
+				if f.hasR {
+					cand, found = f.rel, true
+					break
+				}
+			}
+			if !found {
+				for x := 0; x < len(facts) && !found; x++ {
+					for y := x + 1; y < len(facts) && !found; y++ {
+						f1, f2 := facts[x], facts[y]
+						if l, okL := group.ThroughPoints(f1.c1, f1.c2, f2.c1, f2.c2); okL {
+							cand, found = l, true
+						}
+					}
+				}
+			}
+			if !found {
+				a.checkInferred(key)
+				continue
+			}
+			// Verify the candidate against every predecessor.
+			valid := true
+			for _, f := range facts {
+				switch {
+				case f.hasR:
+					if !g.Equal(f.rel, cand) {
+						valid = false
+					}
+				case f.c1 != nil && f.c2 != nil:
+					if !rational.Eq(f.c2, cand.Apply(f.c1)) {
+						valid = false
+					}
+				default:
+					valid = false
+				}
+			}
+			if !valid {
+				a.checkInferred(key)
+				continue
+			}
+			if a.banned[key] {
+				continue
+			}
+			// Relate dst_p --cand--> dst_q.
+			a.luf.Relate(p.Var, q.Var, cand)
+			a.inferred[key] = cand
+		}
+	}
+}
+
+// checkInferred bans a previously inferred φ relation whose justification
+// no longer holds, forcing a restart (mutable union-find cannot retract).
+func (a *analysis) checkInferred(key [2]int) {
+	if _, was := a.inferred[key]; was && !a.banned[key] {
+		a.banned[key] = true
+		a.needBan = true
+	}
+}
+
+// argFor returns the argument of φ q for predecessor pr (0 if missing).
+func argFor(q cfg.IPhi, pr int) int {
+	for _, arg := range q.Args {
+		if arg.Pred == pr {
+			return arg.Var
+		}
+	}
+	return 0
+}

@@ -1,0 +1,94 @@
+package corpus
+
+import (
+	"math/rand"
+	"testing"
+
+	"luf/internal/lang"
+)
+
+func TestHandcraftedParse(t *testing.T) {
+	for _, cp := range Handcrafted() {
+		prog, err := lang.Parse(cp.Src)
+		if err != nil {
+			t.Errorf("%s: %v", cp.Name, err)
+			continue
+		}
+		if prog.NumAsserts != len(cp.WantHold) {
+			t.Errorf("%s: %d asserts but %d ground-truth entries", cp.Name, prog.NumAsserts, len(cp.WantHold))
+		}
+	}
+}
+
+func TestScaledSizeAndDeterminism(t *testing.T) {
+	a := Scaled(200)
+	b := Scaled(200)
+	if len(a) != 200 || len(b) != 200 {
+		t.Fatalf("Scaled size: %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || a[i].Src != b[i].Src {
+			t.Fatalf("Scaled not deterministic at %d", i)
+		}
+	}
+	// Family mix: handcrafted + lateassume (~15%) + plain majority.
+	var late, plain int
+	for _, p := range a {
+		switch {
+		case len(p.Name) >= 10 && p.Name[:10] == "lateassume":
+			late++
+		case len(p.Name) >= 5 && p.Name[:5] == "plain":
+			plain++
+		}
+	}
+	if late < 20 || late > 40 {
+		t.Errorf("lateassume count = %d, want ~30", late)
+	}
+	if plain < 100 {
+		t.Errorf("plain count = %d, want majority", plain)
+	}
+}
+
+// TestGeneratedGroundTruth samples concrete runs on the generated families
+// and checks their WantHold claims (the handcrafted ones are validated in
+// the cfg package tests).
+func TestGeneratedGroundTruth(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	gens := []Program{}
+	for i := 0; i < 10; i++ {
+		gens = append(gens, Plain(rng, i), LateAssume(rng, i))
+	}
+	for _, cp := range gens {
+		prog, err := lang.Parse(cp.Src)
+		if err != nil {
+			t.Fatalf("%s: %v\n%s", cp.Name, err, cp.Src)
+		}
+		if prog.NumAsserts != len(cp.WantHold) {
+			t.Fatalf("%s: assert count mismatch", cp.Name)
+		}
+		for run := 0; run < 100; run++ {
+			inputs := make([]int64, 8)
+			for i := range inputs {
+				inputs[i] = int64(rng.Intn(101) - 40)
+			}
+			res := lang.Run(prog, inputs, 100000)
+			if res.OutOfFuel {
+				t.Fatalf("%s: out of fuel", cp.Name)
+			}
+			if res.FailedAssert >= 0 && cp.WantHold[res.FailedAssert] {
+				t.Fatalf("%s: assertion %d claimed true but failed on %v\n%s",
+					cp.Name, res.FailedAssert, inputs, cp.Src)
+			}
+		}
+	}
+}
+
+func TestRandomParses(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		src := Random(rng)
+		if _, err := lang.Parse(src); err != nil {
+			t.Fatalf("generated program does not parse: %v\n%s", err, src)
+		}
+	}
+}

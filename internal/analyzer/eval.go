@@ -1,0 +1,616 @@
+// Package analyzer implements the Section 7.2 abstract interpreter: a
+// flow-sensitive interval × congruence analysis over SSA form, with
+// up/down constraint propagation bounded by a configurable depth, and an
+// optional labeled union-find TVPE domain with map factorization that
+// mirrors the CODEX extension evaluated in the paper.
+package analyzer
+
+import (
+	"math/big"
+
+	"luf/internal/cfg"
+	"luf/internal/domain"
+	"luf/internal/interval"
+	"luf/internal/lang"
+	"luf/internal/rational"
+)
+
+// state is a flow-sensitive abstract environment: SSA value id → value.
+// Missing entries mean "not defined here". states are copied on write by
+// the driver; helpers mutate in place.
+type state map[int]domain.IC
+
+func (s state) clone() state {
+	out := make(state, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// get returns the value of an SSA value in this state (⊤ integers for
+// ids never constrained — uses are dominated by defs, so this only
+// happens for undef placeholders).
+func (s state) get(v int) domain.IC {
+	if val, ok := s[v]; ok {
+		return val
+	}
+	return domain.Integers()
+}
+
+// join merges two states value-wise; ids absent from one side keep the
+// other's binding (they are defined on one path only and dead beyond it,
+// but keeping them is sound because any use is dominated by a def).
+func join(a, b state) state {
+	out := make(state, len(a))
+	for k, va := range a {
+		if vb, ok := b[k]; ok {
+			out[k] = va.Join(vb)
+		} else {
+			out[k] = va
+		}
+	}
+	for k, vb := range b {
+		if _, ok := a[k]; !ok {
+			out[k] = vb
+		}
+	}
+	return out
+}
+
+// widenState applies widening per binding (a ∇ b).
+func widenState(a, b state) state {
+	out := make(state, len(b))
+	for k, vb := range b {
+		if va, ok := a[k]; ok {
+			out[k] = va.Widen(vb)
+		} else {
+			out[k] = vb
+		}
+	}
+	return out
+}
+
+func statesEq(a, b state) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, va := range a {
+		vb, ok := b[k]
+		if !ok || !va.Eq(vb) {
+			return false
+		}
+	}
+	return true
+}
+
+// evalExpr evaluates an SSA expression to an abstract value.
+func (a *analysis) evalExpr(s state, e cfg.Expr) domain.IC {
+	switch e := e.(type) {
+	case cfg.EConst:
+		return domain.ConstInt(e.V)
+	case cfg.EVar:
+		return s.get(e.ID)
+	case cfg.ENondet:
+		return domain.Integers()
+	case cfg.EUndef:
+		return domain.Integers()
+	case cfg.EUn:
+		v := a.evalExpr(s, e.E)
+		if e.Op == lang.OpNeg {
+			return v.Neg()
+		}
+		// Logical not: {0, 1}.
+		return boolRange()
+	case cfg.EBin:
+		if e.Op.IsComparison() || e.Op == lang.OpAnd || e.Op == lang.OpOr {
+			return boolRange()
+		}
+		l := a.evalExpr(s, e.L)
+		r := a.evalExpr(s, e.R)
+		switch e.Op {
+		case lang.OpAdd:
+			return l.Add(r)
+		case lang.OpSub:
+			return l.Sub(r)
+		case lang.OpMul:
+			return l.Mul(r)
+		case lang.OpDiv:
+			return evalDiv(l, r)
+		case lang.OpMod:
+			return evalMod(l, r)
+		}
+	}
+	return domain.Integers()
+}
+
+func boolRange() domain.IC {
+	return domain.FromInterval(interval.RangeInt(0, 1)).MeetInt()
+}
+
+// evalDiv over-approximates C-style truncated division.
+func evalDiv(l, r domain.IC) domain.IC {
+	if l.IsBottom() || r.IsBottom() {
+		return domain.Bottom()
+	}
+	if c, ok := r.IsConst(); ok && c.Sign() != 0 {
+		// Truncated division by a constant is monotone (for the sign of c).
+		lo, hi := truncDivBound(l.I, c)
+		if lo == nil {
+			return domain.Integers()
+		}
+		return domain.FromInterval(interval.Range(lo, hi)).MeetInt()
+	}
+	q, ok := l.I.Div(r.I)
+	if !ok {
+		return domain.Integers() // divisor may be 0; that path blocks anyway
+	}
+	// Rational quotient, then truncation moves at most 1 toward zero.
+	q = q.AddConst(rational.MinusOne)
+	q = interval.Itv.Join(q, q.AddConst(rational.Two))
+	return domain.FromInterval(q).MeetInt()
+}
+
+func truncDivBound(l interval.Itv, c *big.Rat) (lo, hi *big.Rat) {
+	if l.IsBottom() || l.LoInf || l.HiInf {
+		return nil, nil
+	}
+	a := truncQ(rational.Div(l.Lo, c))
+	b := truncQ(rational.Div(l.Hi, c))
+	if a.Cmp(b) > 0 {
+		a, b = b, a
+	}
+	return a, b
+}
+
+// truncQ truncates a rational toward zero.
+func truncQ(r *big.Rat) *big.Rat {
+	if r.Sign() >= 0 {
+		return rational.Floor(r)
+	}
+	return rational.Ceil(r)
+}
+
+// evalMod over-approximates C-style remainder (sign of the dividend).
+func evalMod(l, r domain.IC) domain.IC {
+	if l.IsBottom() || r.IsBottom() {
+		return domain.Bottom()
+	}
+	c, ok := r.IsConst()
+	if !ok || c.Sign() == 0 {
+		return domain.Integers()
+	}
+	m := new(big.Rat).Abs(c)
+	bound := rational.Sub(m, rational.One)
+	lo, hi := rational.Neg(bound), bound
+	if !l.I.IsBottom() && !l.I.LoInf && l.I.Lo.Sign() >= 0 {
+		lo = rational.Zero
+	}
+	if !l.I.IsBottom() && !l.I.HiInf && l.I.Hi.Sign() <= 0 {
+		hi = rational.Zero
+	}
+	return domain.FromInterval(interval.Range(lo, hi)).MeetInt()
+}
+
+// affineOf decomposes e as a·v + b over a single SSA value; ok is false
+// when e is not of that shape (or is constant: a = 0 is reported with
+// v = -1).
+func affineOf(e cfg.Expr) (v int, aa, bb *big.Rat, ok bool) {
+	switch e := e.(type) {
+	case cfg.EConst:
+		return -1, rational.Zero, rational.Int(e.V), true
+	case cfg.EVar:
+		return e.ID, rational.One, rational.Zero, true
+	case cfg.EUn:
+		if e.Op != lang.OpNeg {
+			return 0, nil, nil, false
+		}
+		v, a1, b1, ok := affineOf(e.E)
+		if !ok {
+			return 0, nil, nil, false
+		}
+		return v, rational.Neg(a1), rational.Neg(b1), true
+	case cfg.EBin:
+		switch e.Op {
+		case lang.OpAdd, lang.OpSub:
+			v1, a1, b1, ok1 := affineOf(e.L)
+			v2, a2, b2, ok2 := affineOf(e.R)
+			if !ok1 || !ok2 {
+				return 0, nil, nil, false
+			}
+			if e.Op == lang.OpSub {
+				a2, b2 = rational.Neg(a2), rational.Neg(b2)
+			}
+			switch {
+			case v1 == -1:
+				return v2, a2, rational.Add(b1, b2), true
+			case v2 == -1:
+				return v1, a1, rational.Add(b1, b2), true
+			case v1 == v2:
+				return v1, rational.Add(a1, a2), rational.Add(b1, b2), true
+			}
+			return 0, nil, nil, false
+		case lang.OpMul:
+			v1, a1, b1, ok1 := affineOf(e.L)
+			v2, a2, b2, ok2 := affineOf(e.R)
+			if !ok1 || !ok2 {
+				return 0, nil, nil, false
+			}
+			if v1 == -1 { // const * affine
+				return v2, rational.Mul(b1, a2), rational.Mul(b1, b2), true
+			}
+			if v2 == -1 { // affine * const
+				return v1, rational.Mul(a1, b2), rational.Mul(b1, b2), true
+			}
+			return 0, nil, nil, false
+		}
+	}
+	return 0, nil, nil, false
+}
+
+// diffValue computes an abstract value of lhs - rhs, using the labeled
+// union-find relation between the underlying values when both sides are
+// affine over related variables (the relational precision source).
+func (a *analysis) diffValue(s state, lhs, rhs cfg.Expr) domain.IC {
+	if a.cfgConf.UseLUF && a.luf != nil {
+		v1, a1, b1, ok1 := affineOf(lhs)
+		v2, a2, b2, ok2 := affineOf(rhs)
+		if ok1 && ok2 && v1 >= 0 && v2 >= 0 && a.aligned(v1, v2) {
+			if rel, ok := a.luf.Relation(v1, v2); ok {
+				// σ(v2) = rel.A·σ(v1) + rel.B:
+				// lhs - rhs = (a1 - a2·rel.A)·σ(v1) + b1 - a2·rel.B - b2.
+				coef := rational.Sub(a1, rational.Mul(a2, rel.A))
+				off := rational.Sub(rational.Sub(b1, rational.Mul(a2, rel.B)), b2)
+				base := s.get(v1)
+				if coef.Sign() == 0 {
+					return domain.Const(off)
+				}
+				return base.MulConst(coef).AddConst(off)
+			}
+		}
+	}
+	l := a.evalExpr(s, lhs)
+	r := a.evalExpr(s, rhs)
+	return l.Sub(r)
+}
+
+// kleene is a three-valued truth.
+type kleene int
+
+// Three-valued logic constants.
+const (
+	kUnknown kleene = iota
+	kTrue
+	kFalse
+)
+
+// evalCond evaluates a boolean expression three-valuedly.
+func (a *analysis) evalCond(s state, e cfg.Expr) kleene {
+	switch e := e.(type) {
+	case cfg.EConst:
+		if e.V != 0 {
+			return kTrue
+		}
+		return kFalse
+	case cfg.EUn:
+		if e.Op == lang.OpNot {
+			switch a.evalCond(s, e.E) {
+			case kTrue:
+				return kFalse
+			case kFalse:
+				return kTrue
+			}
+			return kUnknown
+		}
+	case cfg.EBin:
+		switch e.Op {
+		case lang.OpAnd:
+			l, r := a.evalCond(s, e.L), a.evalCond(s, e.R)
+			if l == kFalse || r == kFalse {
+				return kFalse
+			}
+			if l == kTrue && r == kTrue {
+				return kTrue
+			}
+			return kUnknown
+		case lang.OpOr:
+			l, r := a.evalCond(s, e.L), a.evalCond(s, e.R)
+			if l == kTrue || r == kTrue {
+				return kTrue
+			}
+			if l == kFalse && r == kFalse {
+				return kFalse
+			}
+			return kUnknown
+		case lang.OpEq, lang.OpNeq, lang.OpLt, lang.OpLe, lang.OpGt, lang.OpGe:
+			d := a.diffValue(s, e.L, e.R)
+			return cmpKleene(e.Op, d)
+		}
+	}
+	// Any other integer expression as a condition: nonzero test.
+	v := a.evalExpr(s, e)
+	if v.IsBottom() {
+		return kUnknown
+	}
+	if c, ok := v.IsConst(); ok {
+		if c.Sign() != 0 {
+			return kTrue
+		}
+		return kFalse
+	}
+	if !v.Contains(rational.Zero) {
+		return kTrue
+	}
+	return kUnknown
+}
+
+// cmpKleene decides op from the abstract value of lhs - rhs.
+func cmpKleene(op lang.Op, d domain.IC) kleene {
+	if d.IsBottom() {
+		return kUnknown // unreachable state; caller handles
+	}
+	itv := d.I
+	sureNeg := !itv.HiInf && itv.Hi.Sign() < 0
+	sureNonPos := !itv.HiInf && itv.Hi.Sign() <= 0
+	surePos := !itv.LoInf && itv.Lo.Sign() > 0
+	sureNonNeg := !itv.LoInf && itv.Lo.Sign() >= 0
+	isZero := false
+	if c, ok := d.IsConst(); ok && c.Sign() == 0 {
+		isZero = true
+	}
+	noZero := !d.Contains(rational.Zero)
+	switch op {
+	case lang.OpEq:
+		if isZero {
+			return kTrue
+		}
+		if noZero {
+			return kFalse
+		}
+	case lang.OpNeq:
+		if noZero {
+			return kTrue
+		}
+		if isZero {
+			return kFalse
+		}
+	case lang.OpLt:
+		if sureNeg {
+			return kTrue
+		}
+		if sureNonNeg {
+			return kFalse
+		}
+	case lang.OpLe:
+		if sureNonPos {
+			return kTrue
+		}
+		if surePos {
+			return kFalse
+		}
+	case lang.OpGt:
+		if surePos {
+			return kTrue
+		}
+		if sureNonPos {
+			return kFalse
+		}
+	case lang.OpGe:
+		if sureNonNeg {
+			return kTrue
+		}
+		if sureNeg {
+			return kFalse
+		}
+	}
+	return kUnknown
+}
+
+// refineCond refines s assuming e holds; it reports false when the
+// assumption is infeasible (state becomes ⊥). Depth-limited up/down
+// propagation runs on every refined value.
+func (a *analysis) refineCond(s state, e cfg.Expr) bool {
+	switch e := e.(type) {
+	case cfg.EUn:
+		if e.Op == lang.OpNot {
+			return a.refineNotCond(s, e.E)
+		}
+	case cfg.EBin:
+		switch e.Op {
+		case lang.OpAnd:
+			return a.refineCond(s, e.L) && a.refineCond(s, e.R)
+		case lang.OpOr:
+			// Refine only when one side is definitely false.
+			if a.evalCond(s, e.L) == kFalse {
+				return a.refineCond(s, e.R)
+			}
+			if a.evalCond(s, e.R) == kFalse {
+				return a.refineCond(s, e.L)
+			}
+			return a.evalCond(s, e) != kFalse
+		case lang.OpEq, lang.OpNeq, lang.OpLt, lang.OpLe, lang.OpGt, lang.OpGe:
+			return a.refineCmp(s, e.Op, e.L, e.R)
+		}
+	}
+	// Generic truthiness: e != 0.
+	return a.refineCmp(s, lang.OpNeq, e, cfg.EConst{V: 0})
+}
+
+// refineNotCond refines s assuming e is false.
+func (a *analysis) refineNotCond(s state, e cfg.Expr) bool {
+	switch e := e.(type) {
+	case cfg.EUn:
+		if e.Op == lang.OpNot {
+			return a.refineCond(s, e.E)
+		}
+	case cfg.EBin:
+		switch e.Op {
+		case lang.OpAnd: // ¬(a ∧ b): refine only when one side surely true
+			if a.evalCond(s, e.L) == kTrue {
+				return a.refineNotCond(s, e.R)
+			}
+			if a.evalCond(s, e.R) == kTrue {
+				return a.refineNotCond(s, e.L)
+			}
+			return a.evalCond(s, e) != kTrue
+		case lang.OpOr: // ¬(a ∨ b) = ¬a ∧ ¬b
+			return a.refineNotCond(s, e.L) && a.refineNotCond(s, e.R)
+		case lang.OpEq:
+			return a.refineCmp(s, lang.OpNeq, e.L, e.R)
+		case lang.OpNeq:
+			return a.refineCmp(s, lang.OpEq, e.L, e.R)
+		case lang.OpLt:
+			return a.refineCmp(s, lang.OpGe, e.L, e.R)
+		case lang.OpLe:
+			return a.refineCmp(s, lang.OpGt, e.L, e.R)
+		case lang.OpGt:
+			return a.refineCmp(s, lang.OpLe, e.L, e.R)
+		case lang.OpGe:
+			return a.refineCmp(s, lang.OpLt, e.L, e.R)
+		}
+	}
+	return a.refineCmp(s, lang.OpEq, e, cfg.EConst{V: 0})
+}
+
+// refineCmp refines s with the comparison lhs op rhs. Both sides are
+// refined when they are affine in a single value.
+func (a *analysis) refineCmp(s state, op lang.Op, lhs, rhs cfg.Expr) bool {
+	if a.evalCond(s, cfg.EBin{Op: op, L: lhs, R: rhs}) == kFalse {
+		return false
+	}
+	l := a.evalExpr(s, lhs)
+	r := a.evalExpr(s, rhs)
+	// Target intervals for each side given the other.
+	lTarget, rTarget := cmpTargets(op, l, r)
+	okL := a.refineAffineSide(s, lhs, lTarget)
+	okR := a.refineAffineSide(s, rhs, rTarget)
+	return okL && okR
+}
+
+// cmpTargets returns the constraint each side must satisfy given the
+// current value of the other side (integer semantics: strict bounds shift
+// by one).
+func cmpTargets(op lang.Op, l, r domain.IC) (domain.IC, domain.IC) {
+	top := domain.Integers()
+	switch op {
+	case lang.OpEq:
+		return r, l
+	case lang.OpNeq:
+		// Refine only against singleton endpoints.
+		return trimNeq(l, r), trimNeq(r, l)
+	case lang.OpLt:
+		return atMostIC(r, -1), atLeastIC(l, 1)
+	case lang.OpLe:
+		return atMostIC(r, 0), atLeastIC(l, 0)
+	case lang.OpGt:
+		return atLeastIC(r, 1), atMostIC(l, -1)
+	case lang.OpGe:
+		return atLeastIC(r, 0), atMostIC(l, 0)
+	}
+	return top, top
+}
+
+// atMostIC returns (-∞, hi(v) + off] as a constraint.
+func atMostIC(v domain.IC, off int64) domain.IC {
+	if v.IsBottom() || v.I.IsBottom() || v.I.HiInf {
+		return domain.Integers()
+	}
+	return domain.FromInterval(interval.AtMost(rational.Add(v.I.Hi, rational.Int(off))))
+}
+
+// atLeastIC returns [lo(v) + off, +∞) as a constraint.
+func atLeastIC(v domain.IC, off int64) domain.IC {
+	if v.IsBottom() || v.I.IsBottom() || v.I.LoInf {
+		return domain.Integers()
+	}
+	return domain.FromInterval(interval.AtLeast(rational.Add(v.I.Lo, rational.Int(off))))
+}
+
+// trimNeq trims an endpoint of cur equal to the other side's constant.
+func trimNeq(cur, other domain.IC) domain.IC {
+	c, ok := other.IsConst()
+	if !ok || cur.IsBottom() || cur.I.IsBottom() {
+		return domain.Integers()
+	}
+	itv := cur.I
+	if !itv.LoInf && rational.Eq(itv.Lo, c) {
+		if itv.HiInf {
+			return domain.FromInterval(interval.AtLeast(rational.Add(c, rational.One))).MeetInt()
+		}
+		return domain.FromInterval(interval.Range(rational.Add(c, rational.One), itv.Hi)).MeetInt()
+	}
+	if !itv.HiInf && rational.Eq(itv.Hi, c) {
+		if itv.LoInf {
+			return domain.FromInterval(interval.AtMost(rational.Sub(c, rational.One))).MeetInt()
+		}
+		return domain.FromInterval(interval.Range(itv.Lo, rational.Sub(c, rational.One))).MeetInt()
+	}
+	return domain.Integers()
+}
+
+// refineAffineSide refines the single value underlying an affine
+// expression so that the expression lies in target.
+func (a *analysis) refineAffineSide(s state, e cfg.Expr, target domain.IC) bool {
+	v, coef, off, ok := affineOf(e)
+	if !ok || v < 0 || coef.Sign() == 0 {
+		return true // nothing refinable
+	}
+	// coef·v + off ∈ target  ⟹  v ∈ (target - off) / coef.
+	want := target.AddConst(rational.Neg(off)).MulConst(rational.Inv(coef)).MeetInt()
+	return a.refineValue(s, v, want, a.cfgConf.PropagationDepth)
+}
+
+// refineValue meets value v with want and, on change, runs depth-limited
+// up/down propagation (the CODEX propagation of Section 7.2) and
+// relational-class propagation when the LUF domain is enabled.
+func (a *analysis) refineValue(s state, v int, want domain.IC, depth int) bool {
+	old := s.get(v)
+	nv := old.Meet(want)
+	if nv.Eq(old) {
+		return !nv.IsBottom()
+	}
+	s[v] = nv
+	if nv.IsBottom() {
+		return false
+	}
+	if depth <= 0 {
+		return true
+	}
+	ok := true
+	// Relational-class propagation: transport the refinement to every
+	// member of v's class (Section 5.2 applied flow-sensitively; the
+	// relation is universally valid, so refining within a state is sound).
+	if a.cfgConf.UseLUF && a.luf != nil {
+		for _, m := range a.luf.Info.Class(v) {
+			if m == v || !a.aligned(v, m) {
+				continue
+			}
+			if rel, has := a.luf.Relation(v, m); has {
+				if !a.refineValue(s, m, s.get(v).ApplyAffine(rel), depth-1) {
+					ok = false
+				}
+			}
+		}
+	}
+	// Upwards: v := f(operands) — refine operands so f stays in nv.
+	if def, has := a.defs[v]; has {
+		if w, coef, off, okA := affineOf(def); okA && w >= 0 && coef.Sign() != 0 && a.aligned(v, w) {
+			wantW := s.get(v).AddConst(rational.Neg(off)).MulConst(rational.Inv(coef)).MeetInt()
+			if !a.refineValue(s, w, wantW, depth-1) {
+				ok = false
+			}
+		}
+	}
+	// Downwards: users of v recompute their defining expression.
+	for _, u := range a.users[v] {
+		if !a.aligned(v, u) {
+			continue
+		}
+		if def, has := a.defs[u]; has {
+			if !a.refineValue(s, u, a.evalExpr(s, def), depth-1) {
+				ok = false
+			}
+		}
+	}
+	return ok
+}

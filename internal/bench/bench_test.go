@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"luf/internal/solver"
+	"luf/internal/solver/corpus"
+)
+
+func quickTable1() Table1Config {
+	cfg := DefaultTable1()
+	cfg.Corpus = corpus.Config{Seed: 3, Linear: 60, Offsets: 12, FTerm: 10, SlowConv: 16, MulFree: 12}
+	return cfg
+}
+
+// TestTable1Shape asserts the qualitative shape of the paper's Table 1:
+// both labeled variants net-improve over BASE, regressions exist ("the
+// price of success"), LABELED-UF is not behind GROUP-ACTION, and no
+// verdict ever contradicts ground truth.
+func TestTable1Shape(t *testing.T) {
+	res := RunTable1(quickTable1())
+	if len(res.Unsound) > 0 {
+		t.Fatalf("unsound verdicts: %v", res.Unsound)
+	}
+	pLUF, mLUF := res.Improvement(solver.LabeledUF, solver.Base)
+	pGA, mGA := res.Improvement(solver.GroupAction, solver.Base)
+	if pLUF-mLUF <= 0 {
+		t.Errorf("LABELED-UF should net-improve over BASE: +%d -%d", pLUF, mLUF)
+	}
+	if pGA-mGA <= 0 {
+		t.Errorf("GROUP-ACTION should net-improve over BASE: +%d -%d", pGA, mGA)
+	}
+	if mLUF == 0 && mGA == 0 {
+		t.Error("expected some regressions (slow-convergence price)")
+	}
+	if pLUF-mLUF < pGA-mGA {
+		t.Errorf("LABELED-UF (%+d) should not be behind GROUP-ACTION (%+d)", pLUF-mLUF, pGA-mGA)
+	}
+	out := res.Format()
+	for _, want := range []string{"Table 1", "LABELED-UF", "GROUP-ACTION", "vs BASE"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format missing %q", want)
+		}
+	}
+}
+
+// TestSec72Shape asserts the Section 7.2 shapes: no precision losses,
+// some improvements, more improvements at depth 2 than at depth 1000.
+func TestSec72Shape(t *testing.T) {
+	deep := RunSec72(Sec72Config{NumPrograms: 120, Depth: 1000})
+	if deep.PrecisionLosses != 0 {
+		t.Errorf("precision losses at depth 1000: %d", deep.PrecisionLosses)
+	}
+	if deep.NewProofPrograms == 0 {
+		t.Error("expected some new proofs from the LUF domain")
+	}
+	if deep.AlarmsLUF > deep.AlarmsBase {
+		t.Errorf("LUF alarms %d exceed base alarms %d", deep.AlarmsLUF, deep.AlarmsBase)
+	}
+	if deep.CalledAddRelation == 0 || deep.AvgMaxClass < 1 {
+		t.Errorf("stats empty: %+v", deep)
+	}
+	shallow := RunSec72(Sec72Config{NumPrograms: 120, Depth: 2})
+	if shallow.PrecisionLosses != 0 {
+		t.Errorf("precision losses at depth 2: %d", shallow.PrecisionLosses)
+	}
+	if shallow.ImprovedPrograms <= deep.ImprovedPrograms {
+		t.Errorf("depth 2 improvements (%d) should exceed depth 1000 (%d) — the paper's 122 vs 23",
+			shallow.ImprovedPrograms, deep.ImprovedPrograms)
+	}
+	out := deep.Format()
+	if !strings.Contains(out, "Section 7.2") || !strings.Contains(out, "add_relation") {
+		t.Errorf("Format output incomplete:\n%s", out)
+	}
+}
+
+// TestScalingShape asserts the §2 motivation: the LUF maintains the
+// closure asymptotically faster than the O(n³) baselines.
+func TestScalingShape(t *testing.T) {
+	rows := RunScaling([]int{32, 128, 256}, 200)
+	if len(rows) != 3 {
+		t.Fatal("rows")
+	}
+	last := rows[len(rows)-1]
+	if last.LUF >= last.DBM {
+		t.Errorf("at n=%d LUF (%v) should beat DBM closure (%v)", last.N, last.LUF, last.DBM)
+	}
+	if last.LUF >= last.Saturate {
+		t.Errorf("at n=%d LUF (%v) should beat saturation (%v)", last.N, last.LUF, last.Saturate)
+	}
+	// DBM cost must grow much faster than LUF cost.
+	lufGrowth := float64(rows[2].LUF) / float64(rows[0].LUF+1)
+	dbmGrowth := float64(rows[2].DBM) / float64(rows[0].DBM+1)
+	if dbmGrowth < 2*lufGrowth {
+		t.Errorf("DBM growth (%.1fx) should dwarf LUF growth (%.1fx)", dbmGrowth, lufGrowth)
+	}
+	if !strings.Contains(FormatScaling(rows), "labeled-UF") {
+		t.Error("FormatScaling output")
+	}
+}
+
+// TestInterShape asserts the Δ-dependence of the persistent join: for a
+// fixed n, larger Δ costs more; for fixed Δ, the n-dependence is mild
+// (logarithmic factors only).
+func TestInterShape(t *testing.T) {
+	rows := RunInter([]int{512, 4096}, []int{1, 64}, 3)
+	byKey := map[[2]int]int64{}
+	for _, r := range rows {
+		byKey[[2]int{r.N, r.Delta}] = int64(r.Inter)
+	}
+	if byKey[[2]int{4096, 64}] < byKey[[2]int{4096, 1}] {
+		t.Error("larger Δ should not be cheaper at fixed n")
+	}
+	// Sub-linear in n at fixed Δ: an 8x n increase must not cost 8x.
+	if byKey[[2]int{4096, 1}] > 8*byKey[[2]int{512, 1}]+int64(500000) {
+		t.Errorf("inter at Δ=1 looks linear in n: %v vs %v",
+			byKey[[2]int{512, 1}], byKey[[2]int{4096, 1}])
+	}
+	if !strings.Contains(FormatInter(rows), "Theorem A.1") {
+		t.Error("FormatInter output")
+	}
+}

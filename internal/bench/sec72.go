@@ -1,0 +1,153 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"luf/internal/analyzer"
+	acorpus "luf/internal/analyzer/corpus"
+	"luf/internal/cfg"
+	"luf/internal/lang"
+)
+
+// Sec72Config parameterizes the Section 7.2 reproduction: NumPrograms
+// scales the corpus (the paper uses 584 SV-Comp functions), Depth is the
+// constraint-propagation depth limit (1000 for the main experiment, 2 for
+// the "simpler analyzer" rerun).
+type Sec72Config struct {
+	NumPrograms int
+	Depth       int
+}
+
+// DefaultSec72 mirrors the paper's setup.
+func DefaultSec72() Sec72Config { return Sec72Config{NumPrograms: 584, Depth: 1000} }
+
+// Sec72Result aggregates the paper's measurements.
+type Sec72Result struct {
+	Config            Sec72Config
+	Programs          int
+	CalledAddRelation int     // programs with at least one add_relation call
+	AvgAddRelation    float64 // average calls per program that called it
+	AvgMaxClass       float64 // average size of the largest relational class
+	MaxClass          int
+	PctValuesInUnions float64 // average % of SSA values in non-singleton classes
+	BaseTime, LUFTime time.Duration
+	// Precision: programs where the LUF run tightened at least one value,
+	// and programs where it proved at least one extra assertion.
+	ImprovedPrograms int
+	NewProofPrograms int
+	AlarmsBase       int
+	AlarmsLUF        int
+	PrecisionLosses  int // must be 0
+}
+
+// RunSec72 analyzes the corpus with and without the LUF domain.
+func RunSec72(cfg Sec72Config) *Sec72Result {
+	programs := acorpus.Scaled(cfg.NumPrograms)
+	res := &Sec72Result{Config: cfg, Programs: len(programs)}
+	var totalAdd, addPrograms int
+	var sumMaxClass float64
+	var sumPct float64
+	for _, cp := range programs {
+		prog, err := lang.Parse(cp.Src)
+		if err != nil {
+			panic(fmt.Sprintf("corpus program %s: %v", cp.Name, err))
+		}
+		gB := cfg2ssa(prog)
+		t0 := time.Now()
+		base := analyzer.Analyze(gB.g, gB.dom, analyzer.Config{UseLUF: false, PropagationDepth: cfg.Depth})
+		res.BaseTime += time.Since(t0)
+
+		gL := cfg2ssa(prog)
+		t1 := time.Now()
+		withLUF := analyzer.Analyze(gL.g, gL.dom, analyzer.Config{UseLUF: true, PropagationDepth: cfg.Depth})
+		res.LUFTime += time.Since(t1)
+
+		st := withLUF.Stats
+		if st.AddRelationCalls > 0 {
+			addPrograms++
+			totalAdd += st.AddRelationCalls
+		}
+		if st.MaxClassSize > res.MaxClass {
+			res.MaxClass = st.MaxClassSize
+		}
+		sumMaxClass += float64(st.MaxClassSize)
+		if st.SSAValues > 0 {
+			sumPct += 100 * float64(st.ValuesInUnions) / float64(st.SSAValues)
+		}
+		// Precision comparison.
+		improved := false
+		for v := range base.Values {
+			if withLUF.Values[v].Leq(base.Values[v]) && !withLUF.Values[v].Eq(base.Values[v]) {
+				improved = true
+			}
+		}
+		if improved {
+			res.ImprovedPrograms++
+		}
+		newProof := false
+		for id := range base.Asserts {
+			bOK := base.Asserts[id] == analyzer.AssertProved
+			lOK := withLUF.Asserts[id] == analyzer.AssertProved
+			if !bOK {
+				res.AlarmsBase++
+			}
+			if !lOK {
+				res.AlarmsLUF++
+			}
+			if lOK && !bOK {
+				newProof = true
+			}
+			if bOK && !lOK {
+				res.PrecisionLosses++
+			}
+		}
+		if newProof {
+			res.NewProofPrograms++
+		}
+	}
+	if addPrograms > 0 {
+		res.AvgAddRelation = float64(totalAdd) / float64(addPrograms)
+	}
+	res.CalledAddRelation = addPrograms
+	res.AvgMaxClass = sumMaxClass / float64(len(programs))
+	res.PctValuesInUnions = sumPct / float64(len(programs))
+	return res
+}
+
+type built struct {
+	g   *cfg.Graph
+	dom *cfg.DomInfo
+}
+
+func cfg2ssa(prog *lang.Program) built {
+	g := cfg.Build(prog)
+	dom := cfg.ToSSA(g)
+	return built{g, dom}
+}
+
+// Format renders the Section 7.2 statistics next to the paper's numbers.
+func (r *Sec72Result) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Section 7.2 reproduction: %d programs, propagation depth %d\n",
+		r.Programs, r.Config.Depth)
+	fmt.Fprintf(&sb, "programs calling add_relation: %d/%d (paper: 451/584)\n",
+		r.CalledAddRelation, r.Programs)
+	fmt.Fprintf(&sb, "avg add_relation calls:        %.1f (paper: 40)\n", r.AvgAddRelation)
+	fmt.Fprintf(&sb, "avg largest class size:        %.1f (paper: 2.4), max %d (paper: 12)\n",
+		r.AvgMaxClass, r.MaxClass)
+	fmt.Fprintf(&sb, "avg %% values in unions:        %.1f%% (paper: 12%%, max 43%%)\n", r.PctValuesInUnions)
+	overhead := 0.0
+	if r.BaseTime > 0 {
+		overhead = 100 * (float64(r.LUFTime)/float64(r.BaseTime) - 1)
+	}
+	fmt.Fprintf(&sb, "runtime: base %v, with LUF %v (overhead %+.0f%%; paper: +10%%)\n",
+		r.BaseTime.Round(time.Millisecond), r.LUFTime.Round(time.Millisecond), overhead)
+	fmt.Fprintf(&sb, "precision improvements:        %d/%d programs (paper: 23/584 at depth 1000, 122/584 at depth 2)\n",
+		r.ImprovedPrograms, r.Programs)
+	fmt.Fprintf(&sb, "programs with new proofs:      %d (paper: 11 at depth 1000, 22 at depth 2)\n", r.NewProofPrograms)
+	fmt.Fprintf(&sb, "alarms: base %d, with LUF %d; precision losses: %d (paper: none)\n",
+		r.AlarmsBase, r.AlarmsLUF, r.PrecisionLosses)
+	return sb.String()
+}

@@ -1,0 +1,143 @@
+// Package bench implements the experiment harness that regenerates the
+// paper's quantitative results: Table 1 (solver-variant comparison), the
+// Section 7.2 analyzer statistics, the scaling comparison motivating
+// labeled union-find over O(n³) saturation, and the Appendix A `inter`
+// complexity measurement.
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"luf/internal/solver"
+	"luf/internal/solver/corpus"
+)
+
+// Table1Config parameterizes the Table 1 reproduction. Budget is the
+// step-budget timeout (the 60 s limit of the paper) and Cutoff the
+// improvement threshold (the 55 s cutoff): a variant improves on another
+// when it solves within Cutoff a problem the other cannot solve within
+// Budget.
+type Table1Config struct {
+	Corpus corpus.Config
+	Budget int
+	Cutoff int
+	Opts   solver.Options
+}
+
+// DefaultTable1 returns the configuration used by the reproduction.
+func DefaultTable1() Table1Config {
+	return Table1Config{
+		Corpus: corpus.Default(),
+		Budget: 4000,
+		Cutoff: 3300,
+		Opts:   solver.Options{MaxVarUpdates: 150, MaxBoundWords: 20},
+	}
+}
+
+// Table1Result holds per-variant outcomes.
+type Table1Result struct {
+	Config   Table1Config
+	Problems int
+	// StepsOf[v][i] is the step count of variant v on problem i, and
+	// SolvedOf[v][i] whether a verdict was reached within those steps.
+	Steps  map[solver.Variant][]int
+	Solved map[solver.Variant][]bool
+	// Unsound lists ground-truth contradictions (must be empty).
+	Unsound []string
+	// SolvedCount within Budget per variant.
+	SolvedCount map[solver.Variant]int
+	// WallTime is the total wall-clock time per variant — the metric on
+	// which the paper's GROUP-ACTION lags LABELED-UF (per-access group
+	// action transports), which the deterministic step count underweights.
+	WallTime map[solver.Variant]time.Duration
+}
+
+// Variants in display order.
+var Variants = []solver.Variant{solver.Base, solver.LabeledUF, solver.GroupAction}
+
+// RunTable1 executes the three solver variants over the corpus.
+func RunTable1(cfg Table1Config) *Table1Result {
+	problems := corpus.Generate(cfg.Corpus)
+	res := &Table1Result{
+		Config:      cfg,
+		Problems:    len(problems),
+		Steps:       map[solver.Variant][]int{},
+		Solved:      map[solver.Variant][]bool{},
+		SolvedCount: map[solver.Variant]int{},
+		WallTime:    map[solver.Variant]time.Duration{},
+	}
+	opts := cfg.Opts
+	opts.MaxSteps = cfg.Budget
+	for _, v := range Variants {
+		res.Steps[v] = make([]int, len(problems))
+		res.Solved[v] = make([]bool, len(problems))
+	}
+	for i, p := range problems {
+		for _, v := range Variants {
+			t0 := time.Now()
+			r := solver.Solve(p, v, opts)
+			res.WallTime[v] += time.Since(t0)
+			res.Steps[v][i] = r.Steps
+			res.Solved[v][i] = r.Verdict != solver.VerdictUnknown
+			if res.Solved[v][i] {
+				res.SolvedCount[v]++
+			}
+			if p.Truth == solver.StatusSat && r.Verdict == solver.VerdictUnsat ||
+				p.Truth == solver.StatusUnsat && r.Verdict == solver.VerdictSat {
+				res.Unsound = append(res.Unsound,
+					fmt.Sprintf("%s on %s: %s (truth %s)", v, p.Name, r.Verdict, p.Truth))
+			}
+		}
+	}
+	return res
+}
+
+// Improvement counts how often `row` solves within the cutoff a problem
+// `col` cannot solve within the budget, and vice versa.
+func (r *Table1Result) Improvement(row, col solver.Variant) (plus, minus int) {
+	cut := r.Config.Cutoff
+	for i := 0; i < r.Problems; i++ {
+		rowFast := r.Solved[row][i] && r.Steps[row][i] <= cut
+		colFast := r.Solved[col][i] && r.Steps[col][i] <= cut
+		if rowFast && !r.Solved[col][i] {
+			plus++
+		}
+		if colFast && !r.Solved[row][i] {
+			minus++
+		}
+	}
+	return plus, minus
+}
+
+// Format renders the Table 1 analogue.
+func (r *Table1Result) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Table 1 reproduction: %d problems, budget %d steps, cutoff %d steps\n",
+		r.Problems, r.Config.Budget, r.Config.Cutoff)
+	fmt.Fprintf(&sb, "solved within budget: BASE %d, LABELED-UF %d, GROUP-ACTION %d\n",
+		r.SolvedCount[solver.Base], r.SolvedCount[solver.LabeledUF], r.SolvedCount[solver.GroupAction])
+	fmt.Fprintf(&sb, "wall time:            BASE %v, LABELED-UF %v, GROUP-ACTION %v\n\n",
+		r.WallTime[solver.Base].Round(time.Millisecond),
+		r.WallTime[solver.LabeledUF].Round(time.Millisecond),
+		r.WallTime[solver.GroupAction].Round(time.Millisecond))
+	sb.WriteString("                     vs BASE          vs LABELED-UF\n")
+	for _, row := range []solver.Variant{solver.LabeledUF, solver.GroupAction} {
+		fmt.Fprintf(&sb, "%-14s", row.String())
+		p, m := r.Improvement(row, solver.Base)
+		fmt.Fprintf(&sb, "  -%d +%d (%+d)", m, p, p-m)
+		if row == solver.GroupAction {
+			p2, m2 := r.Improvement(row, solver.LabeledUF)
+			fmt.Fprintf(&sb, "     -%d +%d (%+d)", m2, p2, p2-m2)
+		}
+		sb.WriteString("\n")
+	}
+	if len(r.Unsound) > 0 {
+		sb.WriteString("\nUNSOUND VERDICTS (bug!):\n")
+		for _, u := range r.Unsound {
+			sb.WriteString("  " + u + "\n")
+		}
+	}
+	return sb.String()
+}

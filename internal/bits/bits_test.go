@@ -1,0 +1,202 @@
+package bits
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestConstructorsAndPredicates(t *testing.T) {
+	if !Top(8).IsTop() || Top(8).IsBottom() {
+		t.Error("Top wrong")
+	}
+	if !Bottom(8).IsBottom() {
+		t.Error("Bottom wrong")
+	}
+	if v, ok := Const(8, 0xab).IsConst(); !ok || v != 0xab {
+		t.Error("Const/IsConst")
+	}
+	if _, ok := Top(8).IsConst(); ok {
+		t.Error("IsConst on top")
+	}
+	a := Make(8, 0x0f, 0xfa)
+	if a.Mask != 0x0f || a.Val != 0xf0 {
+		t.Errorf("Make must clear unknown value bits: %+v", a)
+	}
+	if !a.Contains(0xf5) || !a.Contains(0xf0) || a.Contains(0x05) {
+		t.Error("Contains")
+	}
+}
+
+func TestParseString(t *testing.T) {
+	a := MustParse("0b10?1")
+	if a.W != 4 || a.Mask != 0b0010 || a.Val != 0b1001 {
+		t.Errorf("Parse = %+v", a)
+	}
+	if a.String() != "0b10?1" {
+		t.Errorf("String = %q", a.String())
+	}
+	if Bottom(4).String() != "⊥" {
+		t.Error("bottom String")
+	}
+	if _, err := Parse("10x1"); err == nil {
+		t.Error("bad char must fail")
+	}
+	if _, err := Parse(""); err == nil {
+		t.Error("empty must fail")
+	}
+}
+
+func TestMeetJoin(t *testing.T) {
+	a := MustParse("1??0")
+	b := MustParse("1?1?")
+	m := a.Meet(b)
+	if m.String() != "0b1?10" {
+		t.Errorf("Meet = %s", m)
+	}
+	j := a.Join(b)
+	if j.String() != "0b1???" {
+		t.Errorf("Join = %s", j)
+	}
+	// Conflicting known bits.
+	if !MustParse("10").Meet(MustParse("11")).IsBottom() {
+		t.Error("conflicting meet must be bottom")
+	}
+	if got := Bottom(4).Join(a); !got.Eq(a) {
+		t.Error("bottom join")
+	}
+}
+
+func TestLeq(t *testing.T) {
+	if !MustParse("101").Leq(MustParse("1?1")) {
+		t.Error("101 ⊑ 1?1")
+	}
+	if MustParse("1?1").Leq(MustParse("101")) {
+		t.Error("1?1 ⋢ 101")
+	}
+	if !Bottom(3).Leq(MustParse("101")) || !MustParse("101").Leq(Top(3)) {
+		t.Error("extremes")
+	}
+	if MustParse("111").Leq(MustParse("1?0")) {
+		t.Error("disagreeing known bit")
+	}
+}
+
+func TestXorRotExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 300; i++ {
+		w := uint(rng.Intn(64) + 1)
+		a := Make(w, rng.Uint64(), rng.Uint64())
+		c := rng.Uint64() & widthMask(w)
+		s := uint(rng.Intn(int(w)))
+		// Sample concrete members and check exactness of xor/rot.
+		for j := 0; j < 8; j++ {
+			v := (a.Val | (rng.Uint64() & a.Mask)) & widthMask(w)
+			if !a.Contains(v) {
+				t.Fatal("sampling broken")
+			}
+			x := (v ^ c) & widthMask(w)
+			if !a.Xor(c).Contains(x) {
+				t.Fatalf("Xor misses member")
+			}
+			rot := ((x << s) | (x >> (w - s))) & widthMask(w)
+			if s == 0 {
+				rot = x
+			}
+			if !a.Xor(c).RotL(s).Contains(rot) {
+				t.Fatalf("RotL misses member")
+			}
+		}
+		// RotR inverts RotL.
+		if got := a.RotL(s).RotR(s); !got.Eq(a) {
+			t.Fatalf("RotR(RotL) != id: %s vs %s", got, a)
+		}
+	}
+}
+
+func TestBitwiseOpsSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 500; i++ {
+		w := uint(8)
+		a := Make(w, rng.Uint64(), rng.Uint64())
+		b := Make(w, rng.Uint64(), rng.Uint64())
+		va := (a.Val | (rng.Uint64() & a.Mask)) & widthMask(w)
+		vb := (b.Val | (rng.Uint64() & b.Mask)) & widthMask(w)
+		if !a.And(b).Contains(va & vb) {
+			t.Fatalf("And unsound: %s & %s misses %x&%x", a, b, va, vb)
+		}
+		if !a.Or(b).Contains(va | vb) {
+			t.Fatalf("Or unsound")
+		}
+		if !a.XorTS(b).Contains(va ^ vb) {
+			t.Fatalf("XorTS unsound")
+		}
+		if !a.Add(b).Contains((va + vb) & widthMask(w)) {
+			t.Fatalf("Add unsound: %s + %s = %s misses %x+%x", a, b, a.Add(b), va, vb)
+		}
+		if !a.Not().Contains(^va & widthMask(w)) {
+			t.Fatalf("Not unsound")
+		}
+	}
+}
+
+func TestAddNonExactExample51(t *testing.T) {
+	// Example 5.1 of the paper: x1 = x2 = 0b00?0; the most precise refine
+	// for x1 + x2 = 4 gives x1 = 2, but computing "4 - x2" with tristate
+	// arithmetic yields 0b0??0 — adding then subtracting loses precision.
+	x := MustParse("00?0")
+	four := Const(4, 4)
+	// diff = 4 - x2 computed as 4 + (-x) = 4 + (^x + 1).
+	negX := x.Not().Add(Const(4, 1))
+	diff := four.Add(negX)
+	// The sound result must contain 2 but cannot be exactly {2}.
+	if !diff.Contains(2) {
+		t.Fatal("unsound subtraction")
+	}
+	if _, ok := diff.IsConst(); ok {
+		t.Fatal("tristate add should NOT be exact here (Example 5.1)")
+	}
+	// Intersecting with the original abstraction recovers only 0b00?0.
+	got := diff.Meet(x)
+	if got.Eq(Const(4, 2)) {
+		t.Fatal("expected precision loss, got exact result")
+	}
+}
+
+func TestJoinMeetProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	gen := func() TS {
+		switch rng.Intn(5) {
+		case 0:
+			return Bottom(6)
+		case 1:
+			return Top(6)
+		default:
+			return Make(6, rng.Uint64(), rng.Uint64())
+		}
+	}
+	for i := 0; i < 500; i++ {
+		a, b := gen(), gen()
+		if !a.Meet(b).Leq(a) || !a.Meet(b).Leq(b) {
+			t.Fatalf("meet not lower bound: %s %s", a, b)
+		}
+		if !a.Leq(a.Join(b)) || !b.Leq(a.Join(b)) {
+			t.Fatalf("join not upper bound: %s %s", a, b)
+		}
+		if !a.Meet(b).Eq(b.Meet(a)) || !a.Join(b).Eq(b.Join(a)) {
+			t.Fatalf("commutativity")
+		}
+	}
+}
+
+func TestWidthValidation(t *testing.T) {
+	for _, w := range []uint{0, 65} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("width %d must panic", w)
+				}
+			}()
+			Top(w)
+		}()
+	}
+}

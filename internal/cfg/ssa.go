@@ -1,0 +1,173 @@
+package cfg
+
+// SSA construction: minimal φ placement via iterated dominance frontiers,
+// then renaming along the dominator tree (Cytron et al.).
+
+// ToSSA converts g (in place) to SSA form and returns the dominator info
+// used. After conversion, EVar ids refer to SSA values, each defined
+// exactly once; value 0 is reserved for "undef".
+func ToSSA(g *Graph) *DomInfo {
+	if g.InSSA {
+		panic("cfg: already in SSA form")
+	}
+	dom := Dominators(g)
+	insertPhis(g, dom)
+	rename(g, dom)
+	g.InSSA = true
+	return dom
+}
+
+// insertPhis places empty φs (minimal SSA: iterated dominance frontier of
+// each variable's definition sites). φ args are filled during renaming.
+func insertPhis(g *Graph, dom *DomInfo) {
+	// Definition sites per source variable.
+	defSites := make([][]int, g.NumVars)
+	for _, b := range g.Blocks {
+		if !dom.Reachable(b.ID) {
+			continue
+		}
+		seen := map[int]bool{}
+		for _, in := range b.Instrs {
+			if def, ok := in.(IDef); ok && !seen[def.Var] {
+				seen[def.Var] = true
+				defSites[def.Var] = append(defSites[def.Var], b.ID)
+			}
+		}
+	}
+	for v := 0; v < g.NumVars; v++ {
+		hasPhi := map[int]bool{}
+		work := append([]int(nil), defSites[v]...)
+		for len(work) > 0 {
+			b := work[len(work)-1]
+			work = work[:len(work)-1]
+			for _, f := range dom.Frontier[b] {
+				if hasPhi[f] {
+					continue
+				}
+				hasPhi[f] = true
+				blk := g.Blocks[f]
+				// Prepend the φ (φs come first in a block).
+				blk.Instrs = append([]Instr{IPhi{Var: v}}, blk.Instrs...)
+				work = append(work, f)
+			}
+		}
+	}
+}
+
+// renamer carries the state of the dominator-tree renaming walk.
+type renamer struct {
+	g        *Graph
+	dom      *DomInfo
+	stacks   [][]int
+	phiSrc   map[phiKey]int
+	oldNames []string
+}
+
+type phiKey struct{ block, idx int }
+
+// rename walks the dominator tree renaming variables to fresh SSA values.
+func rename(g *Graph, dom *DomInfo) {
+	r := &renamer{
+		g:        g,
+		dom:      dom,
+		stacks:   make([][]int, g.NumVars),
+		phiSrc:   map[phiKey]int{},
+		oldNames: g.VarName,
+	}
+	// SSA value table; value 0 is undef.
+	g.NumVars = 1
+	g.VarName = []string{"undef"}
+	r.walk(0)
+	// Drop unreachable blocks' instructions to keep invariants simple.
+	for _, blk := range g.Blocks {
+		if !dom.Reachable(blk.ID) {
+			blk.Instrs = nil
+			blk.Term = Term{Kind: TermHalt}
+		}
+	}
+}
+
+func (r *renamer) newVal(src int) int {
+	id := r.g.NumVars
+	r.g.NumVars++
+	r.g.VarName = append(r.g.VarName, r.oldNames[src])
+	return id
+}
+
+func (r *renamer) top(v int) int {
+	s := r.stacks[v]
+	if len(s) == 0 {
+		return 0 // undef
+	}
+	return s[len(s)-1]
+}
+
+func (r *renamer) rewrite(e Expr) Expr {
+	switch e := e.(type) {
+	case EVar:
+		t := r.top(e.ID)
+		if t == 0 {
+			return EUndef{}
+		}
+		return EVar{ID: t}
+	case EBin:
+		return EBin{Op: e.Op, L: r.rewrite(e.L), R: r.rewrite(e.R)}
+	case EUn:
+		return EUn{Op: e.Op, E: r.rewrite(e.E)}
+	default:
+		return e
+	}
+}
+
+func (r *renamer) walk(b int) {
+	blk := r.g.Blocks[b]
+	pushed := map[int]int{} // source var -> push count in this block
+	for i, in := range blk.Instrs {
+		switch in := in.(type) {
+		case IPhi:
+			nv := r.newVal(in.Var)
+			r.stacks[in.Var] = append(r.stacks[in.Var], nv)
+			pushed[in.Var]++
+			r.phiSrc[phiKey{b, i}] = in.Var
+			blk.Instrs[i] = IPhi{Var: nv, Args: in.Args} // keep args filled by already-walked preds
+		case IDef:
+			ne := r.rewrite(in.E)
+			nv := r.newVal(in.Var)
+			r.stacks[in.Var] = append(r.stacks[in.Var], nv)
+			pushed[in.Var]++
+			blk.Instrs[i] = IDef{Var: nv, E: ne, FromSource: in.FromSource}
+		case IAssume:
+			blk.Instrs[i] = IAssume{E: r.rewrite(in.E), FromBranch: in.FromBranch}
+		case IAssert:
+			blk.Instrs[i] = IAssert{E: r.rewrite(in.E), ID: in.ID, Pos: in.Pos}
+		}
+	}
+	if blk.Term.Kind == TermBranch {
+		blk.Term.Cond = r.rewrite(blk.Term.Cond)
+	}
+	// Fill φ args in successors: the incoming value on the edge b → s is
+	// whatever is on top of the source variable's stack at the end of b.
+	for _, s := range blk.Succs() {
+		sb := r.g.Blocks[s]
+		for i, in := range sb.Instrs {
+			phi, ok := in.(IPhi)
+			if !ok {
+				break // φs come first
+			}
+			src, renamed := r.phiSrc[phiKey{s, i}]
+			if !renamed {
+				// Successor not walked yet: the φ still carries its
+				// source variable id.
+				src = phi.Var
+			}
+			phi.Args = append(phi.Args, PhiArg{Pred: b, Var: r.top(src)})
+			sb.Instrs[i] = phi
+		}
+	}
+	for _, c := range r.dom.Children[b] {
+		r.walk(c)
+	}
+	for v, n := range pushed {
+		r.stacks[v] = r.stacks[v][:len(r.stacks[v])-n]
+	}
+}

@@ -1,0 +1,328 @@
+// Package congruence implements Granger's arithmetical congruence domain
+// over the rationals (Granger 1989, 1997), the non-relational domain that
+// Section 7.1 of the paper uses to replace COLIBRI2's "is integer" flag:
+// unlike that flag, congruences are a group action for constant-difference
+// and TVPE relations (adding or multiplying by a rational constant is exact).
+//
+// An element is ⊥, ⊤ (all of ℚ), or the set r + m·ℤ = {r + k·m | k ∈ ℤ}
+// with m ≥ 0 rational; m = 0 denotes the singleton {r}. Elements are kept
+// canonical: when m > 0, the representative r is normalized into [0, m).
+package congruence
+
+import (
+	"math/big"
+
+	"luf/internal/rational"
+)
+
+// Cong is a rational congruence. The zero value is ⊥. Treat values as
+// immutable.
+type Cong struct {
+	kind kind
+	m, r *big.Rat // valid when kind == elem; m >= 0; 0 <= r < m when m > 0
+}
+
+type kind uint8
+
+const (
+	bottom kind = iota
+	elem
+	top
+)
+
+// Bottom returns ⊥.
+func Bottom() Cong { return Cong{} }
+
+// Top returns ⊤ (all rationals).
+func Top() Cong { return Cong{kind: top} }
+
+// Const returns the singleton {r}.
+func Const(r *big.Rat) Cong { return Cong{kind: elem, m: rational.Zero, r: r} }
+
+// ConstInt returns the singleton {n}.
+func ConstInt(n int64) Cong { return Const(rational.Int(n)) }
+
+// Modulo returns r + m·ℤ (canonicalized). m may be negative (its absolute
+// value is used); m = 0 gives the singleton {r}.
+func Modulo(m, r *big.Rat) Cong {
+	am := m
+	if m.Sign() < 0 {
+		am = rational.Neg(m)
+	}
+	return Cong{kind: elem, m: am, r: normalize(r, am)}
+}
+
+// Integers returns 0 + 1·ℤ, the set of integers — the congruence-domain
+// replacement for an "is integer" flag.
+func Integers() Cong { return Modulo(rational.One, rational.Zero) }
+
+// normalize reduces r into [0, m) when m > 0.
+func normalize(r, m *big.Rat) *big.Rat {
+	if m.Sign() == 0 {
+		return r
+	}
+	q := rational.Floor(rational.Div(r, m))
+	return rational.Sub(r, rational.Mul(q, m))
+}
+
+// IsBottom reports whether the element is ⊥.
+func (a Cong) IsBottom() bool { return a.kind == bottom }
+
+// IsTop reports whether the element is ⊤.
+func (a Cong) IsTop() bool { return a.kind == top }
+
+// IsConst reports whether the element is a singleton, returning its value.
+func (a Cong) IsConst() (*big.Rat, bool) {
+	if a.kind == elem && a.m.Sign() == 0 {
+		return a.r, true
+	}
+	return nil, false
+}
+
+// Mod returns (m, r) for an elem; ok is false for ⊥/⊤.
+func (a Cong) Mod() (m, r *big.Rat, ok bool) {
+	if a.kind != elem {
+		return nil, nil, false
+	}
+	return a.m, a.r, true
+}
+
+// Contains reports whether v ∈ γ(a).
+func (a Cong) Contains(v *big.Rat) bool {
+	switch a.kind {
+	case bottom:
+		return false
+	case top:
+		return true
+	}
+	if a.m.Sign() == 0 {
+		return rational.Eq(v, a.r)
+	}
+	return rational.Div(rational.Sub(v, a.r), a.m).IsInt()
+}
+
+// IsIntOnly reports whether every element of γ(a) is an integer.
+func (a Cong) IsIntOnly() bool {
+	if a.kind != elem {
+		return false
+	}
+	return a.m.IsInt() && a.r.IsInt()
+}
+
+// Eq reports equality of canonical forms.
+func (a Cong) Eq(b Cong) bool {
+	if a.kind != b.kind {
+		return false
+	}
+	if a.kind != elem {
+		return true
+	}
+	return rational.Eq(a.m, b.m) && rational.Eq(a.r, b.r)
+}
+
+// Leq reports γ(a) ⊆ γ(b).
+func (a Cong) Leq(b Cong) bool {
+	if a.kind == bottom || b.kind == top {
+		return true
+	}
+	if b.kind == bottom || a.kind == top {
+		return false
+	}
+	// r_a + m_a ℤ ⊆ r_b + m_b ℤ iff m_b | m_a and r_a ≡ r_b (mod m_b).
+	if b.m.Sign() == 0 {
+		return a.m.Sign() == 0 && rational.Eq(a.r, b.r)
+	}
+	if !rational.Div(a.m, b.m).IsInt() && a.m.Sign() != 0 {
+		return false
+	}
+	return rational.Div(rational.Sub(a.r, b.r), b.m).IsInt()
+}
+
+// gcdQ returns the rational gcd: the largest g with a/g, b/g ∈ ℤ
+// (gcd(0, x) = x).
+func gcdQ(a, b *big.Rat) *big.Rat {
+	if a.Sign() == 0 {
+		return b
+	}
+	if b.Sign() == 0 {
+		return a
+	}
+	// gcd(p1/q1, p2/q2) = gcd(p1·q2, p2·q1) / (q1·q2).
+	n1 := new(big.Int).Mul(a.Num(), b.Denom())
+	n2 := new(big.Int).Mul(b.Num(), a.Denom())
+	g := new(big.Int).GCD(nil, nil, new(big.Int).Abs(n1), new(big.Int).Abs(n2))
+	return new(big.Rat).SetFrac(g, new(big.Int).Mul(a.Denom(), b.Denom()))
+}
+
+// lcmQ returns the rational lcm (a, b > 0): a·b / gcd(a,b).
+func lcmQ(a, b *big.Rat) *big.Rat {
+	return rational.Div(rational.Mul(a, b), gcdQ(a, b))
+}
+
+// Join returns the smallest congruence containing both arguments:
+// (m1,r1) ⊔ (m2,r2) = (gcd(m1, m2, |r1 - r2|), r1).
+func (a Cong) Join(b Cong) Cong {
+	if a.kind == bottom {
+		return b
+	}
+	if b.kind == bottom {
+		return a
+	}
+	if a.kind == top || b.kind == top {
+		return Top()
+	}
+	d := rational.Sub(a.r, b.r)
+	if d.Sign() < 0 {
+		d = rational.Neg(d)
+	}
+	m := gcdQ(gcdQ(a.m, b.m), d)
+	return Modulo(m, a.r)
+}
+
+// Meet returns the intersection, via the rational Chinese remainder
+// theorem.
+func (a Cong) Meet(b Cong) Cong {
+	if a.kind == bottom || b.kind == bottom {
+		return Bottom()
+	}
+	if a.kind == top {
+		return b
+	}
+	if b.kind == top {
+		return a
+	}
+	// Singleton cases.
+	if a.m.Sign() == 0 {
+		if b.Contains(a.r) {
+			return a
+		}
+		return Bottom()
+	}
+	if b.m.Sign() == 0 {
+		if a.Contains(b.r) {
+			return b
+		}
+		return Bottom()
+	}
+	// Clear denominators: scale by D so everything is an integer.
+	D := new(big.Int).Mul(a.m.Denom(), a.r.Denom())
+	D.Mul(D, b.m.Denom())
+	D.Mul(D, b.r.Denom())
+	scale := new(big.Rat).SetInt(D)
+	m1 := rational.Mul(a.m, scale).Num()
+	r1 := rational.Mul(a.r, scale).Num()
+	m2 := rational.Mul(b.m, scale).Num()
+	r2 := rational.Mul(b.r, scale).Num()
+	// Solve x ≡ r1 (mod m1), x ≡ r2 (mod m2) over ℤ.
+	g := new(big.Int)
+	s := new(big.Int)
+	g.GCD(s, nil, m1, m2)
+	diff := new(big.Int).Sub(r2, r1)
+	if new(big.Int).Mod(diff, g).Sign() != 0 {
+		return Bottom()
+	}
+	// x = r1 + m1 · t where t ≡ (diff/g)·s (mod m2/g), s from Bézout
+	// s·m1 + _·m2 = g.
+	m2g := new(big.Int).Quo(m2, g)
+	t := new(big.Int).Quo(diff, g)
+	t.Mul(t, s)
+	t.Mod(t, m2g)
+	x := new(big.Int).Mul(m1, t)
+	x.Add(x, r1)
+	l := new(big.Int).Quo(new(big.Int).Mul(m1, m2), g) // lcm
+	// Scale back down.
+	outM := new(big.Rat).SetFrac(l, D)
+	outR := new(big.Rat).SetFrac(x, D)
+	return Modulo(outM, outR)
+}
+
+// Widen returns a widening of a by b: the join, jumping to ⊤ when the
+// modulus chain could fail to stabilize (non-integer moduli keep shrinking
+// by rational gcds). For integer moduli, divisibility chains are finite, so
+// the join itself terminates.
+func (a Cong) Widen(b Cong) Cong {
+	j := a.Join(b)
+	if j.Eq(a) {
+		return a
+	}
+	if j.kind == elem && !j.m.IsInt() && j.m.Sign() != 0 {
+		return Top()
+	}
+	return j
+}
+
+// AddConst returns {v + c | v ∈ γ(a)}; exact.
+func (a Cong) AddConst(c *big.Rat) Cong {
+	if a.kind != elem {
+		return a
+	}
+	return Modulo(a.m, rational.Add(a.r, c))
+}
+
+// MulConst returns {v · c | v ∈ γ(a)}; exact.
+func (a Cong) MulConst(c *big.Rat) Cong {
+	if a.kind != elem {
+		if a.kind == top && c.Sign() == 0 {
+			return Const(rational.Zero)
+		}
+		return a
+	}
+	if c.Sign() == 0 {
+		return Const(rational.Zero)
+	}
+	return Modulo(rational.Mul(a.m, c), rational.Mul(a.r, c))
+}
+
+// Neg returns {-v | v ∈ γ(a)}; exact.
+func (a Cong) Neg() Cong { return a.MulConst(rational.MinusOne) }
+
+// Add returns a sound over-approximation of {v + w}:
+// (gcd(m1, m2), r1 + r2).
+func (a Cong) Add(b Cong) Cong {
+	if a.kind == bottom || b.kind == bottom {
+		return Bottom()
+	}
+	if a.kind == top || b.kind == top {
+		return Top()
+	}
+	return Modulo(gcdQ(a.m, b.m), rational.Add(a.r, b.r))
+}
+
+// Sub returns a sound over-approximation of {v - w}.
+func (a Cong) Sub(b Cong) Cong { return a.Add(b.Neg()) }
+
+// Mul returns a sound over-approximation of {v · w}:
+// r1·r2 + gcd(r1·m2, r2·m1, m1·m2)·ℤ.
+func (a Cong) Mul(b Cong) Cong {
+	if a.kind == bottom || b.kind == bottom {
+		return Bottom()
+	}
+	if c, ok := a.IsConst(); ok {
+		return b.MulConst(c)
+	}
+	if c, ok := b.IsConst(); ok {
+		return a.MulConst(c)
+	}
+	if a.kind == top || b.kind == top {
+		return Top()
+	}
+	m := gcdQ(gcdQ(rational.Mul(a.r, b.m), rational.Mul(b.r, a.m)), rational.Mul(a.m, b.m))
+	return Modulo(m, rational.Mul(a.r, b.r))
+}
+
+// DivConst returns {v / c | v ∈ γ(a)} for c ≠ 0; exact.
+func (a Cong) DivConst(c *big.Rat) Cong { return a.MulConst(rational.Inv(c)) }
+
+// String renders the congruence.
+func (a Cong) String() string {
+	switch a.kind {
+	case bottom:
+		return "⊥"
+	case top:
+		return "⊤"
+	}
+	if a.m.Sign() == 0 {
+		return "{" + rational.Format(a.r) + "}"
+	}
+	return rational.Format(a.r) + " mod " + rational.Format(a.m)
+}

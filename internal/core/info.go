@@ -1,0 +1,104 @@
+package core
+
+// This file implements the information extension of Section 3.3 (Figure 5):
+// a labeled union-find that stores, at each representative, information
+// about the whole relational class, transported along edges by a group
+// action.
+
+// Action is a group action of labels L on information I
+// (HActionCompose/HActionIdentity), together with the meet-semilattice
+// structure on I that Figure 5 requires.
+//
+// Apply(ℓ, i) transports information across an edge: if n --ℓ--> m and i
+// describes m, Apply(ℓ, i) describes n. In abstract-interpretation terms it
+// over-approximates the γ(ℓ)-preimage {v1 | ∃ v2 ∈ γ(i), (v1,v2) ∈ γ(ℓ)}
+// (HActionSound); Theorem 3.2 requires Apply to distribute over Meet, which
+// by Lemma 5.4 holds exactly when Apply is exact.
+type Action[L, I any] interface {
+	// Apply transports information backwards across an edge.
+	Apply(l L, i I) I
+	// Meet combines information from several sources (⊓_I).
+	Meet(a, b I) I
+	// Top is the absence of information (⊤_I).
+	Top() I
+}
+
+// InfoUF is the U-I structure of Figure 5: a labeled union-find plus a map
+// from representatives to class information.
+type InfoUF[N comparable, L, I any] struct {
+	*UF[N, L]
+	act  Action[L, I]
+	info map[N]I // keyed by representatives only; absent = Top
+}
+
+// NewInfo returns an empty InfoUF over the union-find u and action act.
+// The union-find must be fresh (no relations yet) or info already attached
+// to it is considered Top.
+func NewInfo[N comparable, L, I any](u *UF[N, L], act Action[L, I]) *InfoUF[N, L, I] {
+	return &InfoUF[N, L, I]{UF: u, act: act, info: make(map[N]I)}
+}
+
+// GetInfo returns the information attached to n: the class information at
+// n's representative, transported to n along the find path (Figure 5's
+// get_info).
+func (u *InfoUF[N, L, I]) GetInfo(n N) I {
+	r, l := u.Find(n)
+	i, ok := u.info[r]
+	if !ok {
+		return u.act.Top()
+	}
+	return u.act.Apply(l, i)
+}
+
+// AddInfo records that i holds for n, storing it at the representative
+// after transporting it across the find edge (Figure 5's add_info).
+func (u *InfoUF[N, L, I]) AddInfo(n N, i I) {
+	r, l := u.Find(n)
+	shifted := u.act.Apply(u.g.Inverse(l), i)
+	if old, ok := u.info[r]; ok {
+		u.info[r] = u.act.Meet(old, shifted)
+	} else {
+		u.info[r] = shifted
+	}
+}
+
+// AddRelation adds n --ℓ--> m as in UF.AddRelation and, when a union is
+// performed, merges the class information of the two representatives
+// (Figure 5's add_relation_I). It reports false on conflict.
+func (u *InfoUF[N, L, I]) AddRelation(n, m N, l L) bool {
+	merged, conflicted, oldRoot, newRoot := u.addRelation(n, m, l)
+	if merged {
+		if iOld, ok := u.info[oldRoot]; ok {
+			// oldRoot --link--> newRoot was added; transport oldRoot's
+			// info to newRoot: info(newRoot) ⊓= Apply(inv(link), iOld).
+			link, _ := u.GetRelation(oldRoot, newRoot)
+			shifted := u.act.Apply(u.g.Inverse(link), iOld)
+			if iNew, ok := u.info[newRoot]; ok {
+				u.info[newRoot] = u.act.Meet(iNew, shifted)
+			} else {
+				u.info[newRoot] = shifted
+			}
+			delete(u.info, oldRoot)
+		}
+	}
+	return !conflicted
+}
+
+// SetRoot overwrites the class information stored at n's representative.
+// It is a low-level hook for reductions that recompute class info wholesale
+// (e.g. narrowing); most callers want AddInfo.
+func (u *InfoUF[N, L, I]) SetRoot(n N, i I) {
+	r, _ := u.Find(n)
+	u.info[r] = i
+}
+
+// RootInfo returns the information stored at n's representative without
+// transporting it, plus the representative itself.
+func (u *InfoUF[N, L, I]) RootInfo(n N) (N, I) {
+	r, _ := u.Find(n)
+	i, ok := u.info[r]
+	if !ok {
+		return r, u.act.Top()
+	}
+	return r, i
+}

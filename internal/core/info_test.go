@@ -1,0 +1,191 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"luf/internal/group"
+)
+
+// setAction is an exact test action: information is a finite set of
+// possible int64 values (nil = ⊤, all values); Delta labels act by
+// shifting. Apply(k, S) = {v - k | v ∈ S} is the γ(k)-preimage since an
+// edge n --k--> m means σ(m) = σ(n) + k. It is exact, hence a group action
+// distributing over Meet (Lemma 5.4).
+type setAction struct{}
+
+type valSet []int64 // sorted; nil = top
+
+func (setAction) Top() valSet { return nil }
+
+func (setAction) Apply(k group.DeltaLabel, s valSet) valSet {
+	if s == nil {
+		return nil
+	}
+	out := make(valSet, len(s))
+	for i, v := range s {
+		out[i] = v - k
+	}
+	return out
+}
+
+func (setAction) Meet(a, b valSet) valSet {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	var out valSet = valSet{}
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+func mkSet(vs ...int64) valSet {
+	out := append(valSet{}, vs...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func setsEqual(a, b valSet) bool {
+	if (a == nil) != (b == nil) || len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestInfoBasic(t *testing.T) {
+	u := NewInfo[string, group.DeltaLabel, valSet](
+		New[string, group.DeltaLabel](group.Delta{}), setAction{})
+	if got := u.GetInfo("x"); got != nil {
+		t.Errorf("fresh info must be top, got %v", got)
+	}
+	// y = x + 2; x ∈ {1, 5}.
+	u.AddRelation("x", "y", 2)
+	u.AddInfo("x", mkSet(1, 5))
+	if got := u.GetInfo("x"); !setsEqual(got, mkSet(1, 5)) {
+		t.Errorf("GetInfo(x) = %v", got)
+	}
+	if got := u.GetInfo("y"); !setsEqual(got, mkSet(3, 7)) {
+		t.Errorf("GetInfo(y) = %v, want {3,7}", got)
+	}
+	// Refine y ∈ {3, 100}: then x ∈ {1}.
+	u.AddInfo("y", mkSet(3, 100))
+	if got := u.GetInfo("x"); !setsEqual(got, mkSet(1)) {
+		t.Errorf("GetInfo(x) after meet = %v, want {1}", got)
+	}
+}
+
+func TestInfoMergedOnUnion(t *testing.T) {
+	u := NewInfo[string, group.DeltaLabel, valSet](
+		New[string, group.DeltaLabel](group.Delta{}), setAction{})
+	u.AddInfo("a", mkSet(0, 1, 2))
+	u.AddInfo("b", mkSet(10, 11, 27))
+	// b = a + 10: combining infos leaves a ∈ {0,1} (2 has no partner 12).
+	u.AddRelation("a", "b", 10)
+	if got := u.GetInfo("a"); !setsEqual(got, mkSet(0, 1)) {
+		t.Errorf("GetInfo(a) = %v, want {0,1}", got)
+	}
+	if got := u.GetInfo("b"); !setsEqual(got, mkSet(10, 11)) {
+		t.Errorf("GetInfo(b) = %v, want {10,11}", got)
+	}
+}
+
+// TestTheorem32 checks the closed form of Theorem 3.2: get_info(n) equals
+// the meet over all add_info calls (m_p, i_p) in n's class of
+// Apply(get_relation(n, m_p), i_p).
+func TestTheorem32(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 40; trial++ {
+		base := New[int, group.DeltaLabel](group.Delta{}, WithSeed[int, group.DeltaLabel](int64(trial)))
+		u := NewInfo[int, group.DeltaLabel, valSet](base, setAction{})
+		type infoCall struct {
+			node int
+			info valSet
+		}
+		var calls []infoCall
+		const nodes = 10
+		for step := 0; step < 30; step++ {
+			switch rng.Intn(3) {
+			case 0, 1:
+				u.AddRelation(rng.Intn(nodes), rng.Intn(nodes), int64(rng.Intn(7)-3))
+			case 2:
+				n := rng.Intn(nodes)
+				s := mkSet()
+				for v := int64(-20); v <= 20; v++ {
+					if rng.Intn(3) == 0 {
+						s = append(s, v)
+					}
+				}
+				calls = append(calls, infoCall{n, s})
+				u.AddInfo(n, s)
+			}
+		}
+		act := setAction{}
+		for n := 0; n < nodes; n++ {
+			want := act.Top()
+			for _, c := range calls {
+				if rel, ok := u.GetRelation(n, c.node); ok {
+					want = act.Meet(want, act.Apply(rel, c.info))
+				}
+			}
+			if got := u.GetInfo(n); !setsEqual(got, want) {
+				t.Fatalf("trial %d node %d: got %v want %v", trial, n, got, want)
+			}
+		}
+	}
+}
+
+func TestRootInfoAndSetRoot(t *testing.T) {
+	u := NewInfo[string, group.DeltaLabel, valSet](
+		New[string, group.DeltaLabel](group.Delta{}), setAction{})
+	u.AddRelation("p", "q", 5)
+	u.AddInfo("p", mkSet(1))
+	r, i := u.RootInfo("q")
+	if rp, _ := u.Find("p"); rp != r {
+		t.Error("RootInfo returned wrong representative")
+	}
+	if i == nil {
+		t.Error("RootInfo lost info")
+	}
+	u.SetRoot("q", mkSet(42))
+	r2, i2 := u.RootInfo("p")
+	if r2 != r || !setsEqual(i2, mkSet(42)) {
+		t.Error("SetRoot did not overwrite")
+	}
+	_, top := u.RootInfo("unknown")
+	if top != nil {
+		t.Error("RootInfo of unknown node must be top")
+	}
+}
+
+func TestInfoConflictKeepsInfo(t *testing.T) {
+	u := NewInfo[string, group.DeltaLabel, valSet](
+		New[string, group.DeltaLabel](group.Delta{}), setAction{})
+	u.AddRelation("a", "b", 1)
+	u.AddInfo("a", mkSet(7))
+	if u.AddRelation("a", "b", 2) {
+		t.Error("conflict expected")
+	}
+	if got := u.GetInfo("a"); !setsEqual(got, mkSet(7)) {
+		t.Errorf("info lost on conflict: %v", got)
+	}
+}

@@ -1,0 +1,254 @@
+// Package core implements the labeled union-find data structure of the
+// paper (Section 3, Figure 4): a union-find whose parent edges carry labels
+// from a group, so that the relation between any two connected nodes can be
+// recovered by composing labels along paths.
+//
+// Three variants are provided:
+//
+//   - UF: the mutable structure of Figure 4, with path compression and
+//     randomized linking. It is the flow-insensitive workhorse.
+//   - InfoUF: UF extended with per-class information stored at
+//     representatives and transported by a group action (Section 3.3,
+//     Figure 5).
+//   - PUF: the confluently persistent variant of Appendix A, with eager
+//     path compression (collapsing union-find) and the `Inter` abstract
+//     join of Figure 9.
+//
+// Orientation: an edge n --ℓ--> m states (σ(n), σ(m)) ∈ γ(ℓ); see package
+// group for the composition convention.
+package core
+
+import (
+	"math/rand"
+
+	"luf/internal/group"
+)
+
+// Edge is a parent link: the owning node n points to Parent with
+// n --Label--> Parent.
+type Edge[N comparable, L any] struct {
+	Parent N
+	Label  L
+}
+
+// Conflict describes an add-relation call on two already-related nodes
+// whose existing relation disagrees with the new one (Section 3.2,
+// "Managing Conflicts"). N and M are the nodes passed to AddRelation;
+// New is the label being added (N --New--> M) and Old the label already
+// implied by the structure (N --Old--> M).
+type Conflict[N comparable, L any] struct {
+	N, M N
+	New  L
+	Old  L
+}
+
+// ConflictFunc is invoked on conflicting add-relation calls. It must not
+// modify the union-find (Theorem 3.1's hypothesis); typically it records
+// the learned fact (e.g. an intersection point, or unsatisfiability) in
+// another domain.
+type ConflictFunc[N comparable, L any] func(Conflict[N, L])
+
+// Stats counts the operations performed on a union-find; the Section 7.2
+// evaluation reports these.
+type Stats struct {
+	Finds     int // calls to Find (including internal ones)
+	AddCalls  int // calls to AddRelation
+	Unions    int // AddRelation calls that merged two classes
+	Redundant int // AddRelation calls that were already implied (no conflict)
+	Conflicts int // AddRelation calls that conflicted
+}
+
+// UF is the mutable labeled union-find of Figure 4. The zero value is not
+// usable; create instances with New.
+type UF[N comparable, L any] struct {
+	g          group.Group[L]
+	parent     map[N]Edge[N, L] // absent nodes are their own representative
+	members    map[N][]N        // root -> class members other than the root
+	onConflict ConflictFunc[N, L]
+	rng        *rand.Rand
+	compress   bool
+	stats      Stats
+}
+
+// Option configures a UF.
+type Option[N comparable, L any] func(*UF[N, L])
+
+// WithConflictHandler installs f as the conflict callback. Without a
+// handler, conflicts are silently counted in Stats.
+func WithConflictHandler[N comparable, L any](f ConflictFunc[N, L]) Option[N, L] {
+	return func(u *UF[N, L]) { u.onConflict = f }
+}
+
+// WithSeed seeds the randomized-linking PRNG (default seed 1), for
+// reproducible tree shapes.
+func WithSeed[N comparable, L any](seed int64) Option[N, L] {
+	return func(u *UF[N, L]) { u.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// WithoutPathCompression disables path compression; used by the ablation
+// benchmarks.
+func WithoutPathCompression[N comparable, L any]() Option[N, L] {
+	return func(u *UF[N, L]) { u.compress = false }
+}
+
+// New returns an empty labeled union-find over the label group g.
+func New[N comparable, L any](g group.Group[L], opts ...Option[N, L]) *UF[N, L] {
+	u := &UF[N, L]{
+		g:        g,
+		parent:   make(map[N]Edge[N, L]),
+		members:  make(map[N][]N),
+		rng:      rand.New(rand.NewSource(1)),
+		compress: true,
+	}
+	for _, o := range opts {
+		o(u)
+	}
+	return u
+}
+
+// Group returns the label group of the union-find.
+func (u *UF[N, L]) Group() group.Group[L] { return u.g }
+
+// Stats returns operation counters.
+func (u *UF[N, L]) Stats() Stats { return u.stats }
+
+// Find returns the representative r of n's relational class and the label
+// ℓ with n --ℓ--> r. Unknown nodes are their own representative with the
+// identity label. Find performs path compression (composing labels along
+// the compressed path) unless disabled.
+func (u *UF[N, L]) Find(n N) (N, L) {
+	u.stats.Finds++
+	return u.find(n)
+}
+
+func (u *UF[N, L]) find(n N) (N, L) {
+	e, ok := u.parent[n]
+	if !ok {
+		return n, u.g.Identity()
+	}
+	r, lr := u.find(e.Parent)
+	l := u.g.Compose(e.Label, lr)
+	if u.compress && r != e.Parent {
+		u.parent[n] = Edge[N, L]{Parent: r, Label: l}
+	}
+	return r, l
+}
+
+// Related reports whether n and m are in the same relational class.
+func (u *UF[N, L]) Related(n, m N) bool {
+	rn, _ := u.Find(n)
+	rm, _ := u.Find(m)
+	return rn == rm
+}
+
+// GetRelation returns the label ℓ with n --ℓ--> m if the nodes are
+// related; ok is false otherwise (the ⊤ result of Figure 4).
+func (u *UF[N, L]) GetRelation(n, m N) (L, bool) {
+	rn, ln := u.Find(n)
+	rm, lm := u.Find(m)
+	if rn != rm {
+		var zero L
+		return zero, false
+	}
+	return u.g.Compose(ln, u.g.Inverse(lm)), true
+}
+
+// AddRelation adds the constraint n --ℓ--> m. If the nodes were already
+// related, the existing relation is checked against ℓ: when they disagree
+// the conflict handler runs and AddRelation reports false. Otherwise it
+// reports true.
+func (u *UF[N, L]) AddRelation(n, m N, l L) bool {
+	_, conflicted, _, _ := u.addRelation(n, m, l)
+	return !conflicted
+}
+
+// addRelation implements Figure 4's add_relation and additionally reports
+// what happened, for the InfoUF layer: whether a union was performed, and
+// if so which root was re-pointed under which one (oldRoot --link--> newRoot
+// became an edge of the structure).
+func (u *UF[N, L]) addRelation(n, m N, l L) (merged, conflicted bool, oldRoot, newRoot N) {
+	u.stats.AddCalls++
+	rn, ln := u.Find(n)
+	rm, lm := u.Find(m)
+	if rn == rm {
+		existing := u.g.Compose(ln, u.g.Inverse(lm))
+		if !u.g.Equal(l, existing) {
+			u.stats.Conflicts++
+			if u.onConflict != nil {
+				u.onConflict(Conflict[N, L]{N: n, M: m, New: l, Old: existing})
+			}
+			return false, true, rn, rn
+		}
+		u.stats.Redundant++
+		return false, false, rn, rn
+	}
+	u.stats.Unions++
+	// Randomized linking (Goel et al.): flip a coin for the new root.
+	if u.rng.Intn(2) == 0 {
+		// rn --inv(ln);l;lm--> rm
+		u.link(rn, rm, group.ComposeAll[L](u.g, u.g.Inverse(ln), l, lm))
+		return true, false, rn, rm
+	}
+	// rm --inv(lm);inv(l);ln--> rn
+	u.link(rm, rn, group.ComposeAll[L](u.g, u.g.Inverse(lm), u.g.Inverse(l), ln))
+	return true, false, rm, rn
+}
+
+// link points root a at root b with a --l--> b and merges member lists.
+func (u *UF[N, L]) link(a, b N, l L) {
+	u.parent[a] = Edge[N, L]{Parent: b, Label: l}
+	mb := u.members[b]
+	mb = append(mb, a)
+	mb = append(mb, u.members[a]...)
+	u.members[b] = mb
+	delete(u.members, a)
+}
+
+// Class returns all members of n's relational class, including n. The
+// result is freshly allocated; order is unspecified beyond the
+// representative coming first.
+func (u *UF[N, L]) Class(n N) []N {
+	r, _ := u.Find(n)
+	mem := u.members[r]
+	out := make([]N, 0, len(mem)+1)
+	out = append(out, r)
+	out = append(out, mem...)
+	return out
+}
+
+// ClassSize returns the size of n's relational class (1 for unknown nodes).
+func (u *UF[N, L]) ClassSize(n N) int {
+	r, _ := u.Find(n)
+	return len(u.members[r]) + 1
+}
+
+// MaxClassSize returns the size of the largest relational class (1 if no
+// unions were performed).
+func (u *UF[N, L]) MaxClassSize() int {
+	max := 1
+	for _, mem := range u.members {
+		if len(mem)+1 > max {
+			max = len(mem) + 1
+		}
+	}
+	return max
+}
+
+// NumNodes returns the number of nodes that appear in some non-singleton
+// class or have a parent edge.
+func (u *UF[N, L]) NumNodes() int {
+	n := len(u.parent)
+	for range u.members {
+		n++ // each root with members
+	}
+	return n
+}
+
+// Roots returns the representatives of all non-singleton classes.
+func (u *UF[N, L]) Roots() []N {
+	out := make([]N, 0, len(u.members))
+	for r := range u.members {
+		out = append(out, r)
+	}
+	return out
+}

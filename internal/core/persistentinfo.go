@@ -1,0 +1,112 @@
+package core
+
+// This file implements the extension suggested at the end of Appendix A:
+// the persistent intersection "could easily be extended to support also
+// having a factorized map of values as in Section 5.2". PInfo pairs a
+// persistent labeled union-find with a persistent map of per-class values
+// stored at representatives; Join intersects the relational parts and
+// joins the class values (transported through the group action), which is
+// exactly the abstract join of the factorized product.
+
+import "luf/internal/pmap"
+
+// JoinAction extends Action with the join needed by the abstract join of
+// values (⊔ on the information lattice).
+type JoinAction[L, I any] interface {
+	Action[L, I]
+	// Join over-approximates the union of information.
+	Join(a, b I) I
+	// Eq reports information equality (used to detect stability).
+	Eq(a, b I) bool
+}
+
+// PInfo is a persistent labeled union-find with factorized per-class
+// values. The zero value is not usable; use NewPersistentInfo. PInfo
+// values are immutable.
+type PInfo[L, I any] struct {
+	U    PUF[L]
+	info pmap.Map[I] // representative -> class value; absent = Top
+	act  JoinAction[L, I]
+}
+
+// NewPersistentInfo returns an empty persistent factorized map.
+func NewPersistentInfo[L, I any](u PUF[L], act JoinAction[L, I]) PInfo[L, I] {
+	return PInfo[L, I]{U: u, act: act}
+}
+
+// GetInfo returns the value of node n, transported from its
+// representative.
+func (p PInfo[L, I]) GetInfo(n int) I {
+	r, l := p.U.Find(n)
+	i, ok := p.info.Get(r)
+	if !ok {
+		return p.act.Top()
+	}
+	return p.act.Apply(l, i)
+}
+
+// AddInfo returns the structure with n's class value met with i.
+func (p PInfo[L, I]) AddInfo(n int, i I) PInfo[L, I] {
+	r, l := p.U.Find(n)
+	shifted := p.act.Apply(p.U.g.Inverse(l), i)
+	if old, ok := p.info.Get(r); ok {
+		shifted = p.act.Meet(old, shifted)
+	}
+	out := p
+	out.info = p.info.Set(r, shifted)
+	return out
+}
+
+// AddRelation returns the structure with n --ℓ--> m added, merging class
+// values when classes merge. onConflict may be nil.
+func (p PInfo[L, I]) AddRelation(n, m int, l L, onConflict ConflictFunc[int, L]) (PInfo[L, I], bool) {
+	rn, _ := p.U.Find(n)
+	rm, _ := p.U.Find(m)
+	u2, ok := p.U.AddRelation(n, m, l, onConflict)
+	out := PInfo[L, I]{U: u2, info: p.info, act: p.act}
+	if !ok || rn == rm {
+		out.U = u2
+		return out, ok
+	}
+	// Classes merged: fold the old roots' values into the new root.
+	newRoot, _ := u2.Find(n)
+	for _, oldRoot := range []int{rn, rm} {
+		if oldRoot == newRoot {
+			continue
+		}
+		if i, has := p.info.Get(oldRoot); has {
+			// oldRoot --x--> newRoot in the new structure.
+			x, _ := u2.GetRelation(oldRoot, newRoot)
+			shifted := p.act.Apply(u2.g.Inverse(x), i)
+			if cur, has2 := out.info.Get(newRoot); has2 {
+				shifted = p.act.Meet(cur, shifted)
+			}
+			out.info = out.info.Remove(oldRoot).Set(newRoot, shifted)
+		}
+	}
+	return out, true
+}
+
+// Join computes the abstract join of two persistent factorized maps that
+// derive from a common ancestor: the relational parts are intersected
+// (Figure 9) and, for every class of the result, the value is the join of
+// the two sides' views of that class, transported through the group
+// action — the Appendix A extension.
+func Join[L, I any](a, b PInfo[L, I]) PInfo[L, I] {
+	u := Inter(a.U, b.U)
+	act := a.act
+	var info pmap.Map[I]
+	u.classes.ForEach(func(r int, _ pmap.Set) bool {
+		// The value of the joined class at representative r is
+		// join(view_a(r), view_b(r)): any concrete state of either branch
+		// must be covered.
+		ia := a.GetInfo(r)
+		ib := b.GetInfo(r)
+		j := act.Join(ia, ib)
+		if !act.Eq(j, act.Top()) {
+			info = info.Set(r, j)
+		}
+		return true
+	})
+	return PInfo[L, I]{U: u, info: info, act: act}
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"luf/internal/group"
+)
+
+// joinSetAction extends the test setAction with join (union) and equality.
+type joinSetAction struct{ setAction }
+
+func (joinSetAction) Join(a, b valSet) valSet {
+	if a == nil || b == nil {
+		return nil // top
+	}
+	m := map[int64]bool{}
+	for _, v := range a {
+		m[v] = true
+	}
+	for _, v := range b {
+		m[v] = true
+	}
+	out := make(valSet, 0, len(m))
+	for v := range m {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (joinSetAction) Eq(a, b valSet) bool { return setsEqual(a, b) }
+
+func TestPInfoBasic(t *testing.T) {
+	u := NewPersistent[group.DeltaLabel](group.Delta{})
+	p := NewPersistentInfo[group.DeltaLabel, valSet](u, joinSetAction{})
+	p, ok := p.AddRelation(0, 1, 2, nil) // σ(1) = σ(0) + 2
+	if !ok {
+		t.Fatal("add failed")
+	}
+	p = p.AddInfo(0, mkSet(1, 5))
+	if got := p.GetInfo(1); !setsEqual(got, mkSet(3, 7)) {
+		t.Errorf("GetInfo(1) = %v, want {3,7}", got)
+	}
+	// Persistence: refining a copy leaves the original untouched.
+	p2 := p.AddInfo(1, mkSet(3))
+	if got := p.GetInfo(0); !setsEqual(got, mkSet(1, 5)) {
+		t.Errorf("original changed: %v", got)
+	}
+	if got := p2.GetInfo(0); !setsEqual(got, mkSet(1)) {
+		t.Errorf("refined = %v, want {1}", got)
+	}
+}
+
+func TestPInfoMergeClasses(t *testing.T) {
+	u := NewPersistent[group.DeltaLabel](group.Delta{})
+	p := NewPersistentInfo[group.DeltaLabel, valSet](u, joinSetAction{})
+	p = p.AddInfo(0, mkSet(0, 1, 2))
+	p = p.AddInfo(1, mkSet(10, 11, 27))
+	p, _ = p.AddRelation(0, 1, 10, nil) // σ(1) = σ(0) + 10
+	if got := p.GetInfo(0); !setsEqual(got, mkSet(0, 1)) {
+		t.Errorf("GetInfo(0) = %v, want {0,1}", got)
+	}
+	if got := p.GetInfo(1); !setsEqual(got, mkSet(10, 11)) {
+		t.Errorf("GetInfo(1) = %v, want {10,11}", got)
+	}
+}
+
+// TestPInfoJoin checks the Appendix A extension: the abstract join of two
+// factorized maps keeps only common relations, and joins values.
+func TestPInfoJoin(t *testing.T) {
+	u := NewPersistent[group.DeltaLabel](group.Delta{})
+	base := NewPersistentInfo[group.DeltaLabel, valSet](u, joinSetAction{})
+	base, _ = base.AddRelation(0, 1, 2, nil)
+
+	thenB := base.AddInfo(0, mkSet(1, 2))
+	thenB, _ = thenB.AddRelation(1, 2, 1, nil) // extra relation in then
+
+	elseB := base.AddInfo(0, mkSet(4))
+
+	j := Join(thenB, elseB)
+	// Common relation survives.
+	if l, ok := j.U.GetRelation(0, 1); !ok || l != 2 {
+		t.Errorf("0→1 = %d,%v", l, ok)
+	}
+	// Branch-only relation dropped.
+	if _, ok := j.U.GetRelation(1, 2); ok {
+		t.Error("1→2 must be dropped")
+	}
+	// Values joined: {1,2} ⊔ {4} = {1,2,4}, transported to node 1 as +2.
+	if got := j.GetInfo(0); !setsEqual(got, mkSet(1, 2, 4)) {
+		t.Errorf("join value at 0 = %v", got)
+	}
+	if got := j.GetInfo(1); !setsEqual(got, mkSet(3, 4, 6)) {
+		t.Errorf("join value at 1 = %v", got)
+	}
+}
+
+// TestPInfoJoinSound fuzzes soundness: any concrete valuation compatible
+// with either branch must be compatible with the join.
+func TestPInfoJoinSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 30; trial++ {
+		const nodes = 8
+		u := NewPersistent[group.DeltaLabel](group.Delta{})
+		base := NewPersistentInfo[group.DeltaLabel, valSet](u, joinSetAction{})
+		mutate := func(p PInfo[group.DeltaLabel, valSet], steps int) PInfo[group.DeltaLabel, valSet] {
+			for s := 0; s < steps; s++ {
+				switch rng.Intn(2) {
+				case 0:
+					p, _ = p.AddRelation(rng.Intn(nodes), rng.Intn(nodes), int64(rng.Intn(5)-2), nil)
+				case 1:
+					set := mkSet()
+					for v := int64(-12); v <= 12; v++ {
+						if rng.Intn(2) == 0 {
+							set = append(set, v)
+						}
+					}
+					p = p.AddInfo(rng.Intn(nodes), set)
+				}
+			}
+			return p
+		}
+		base = mutate(base, rng.Intn(6))
+		a := mutate(base, rng.Intn(6))
+		b := mutate(base, rng.Intn(6))
+		j := Join(a, b)
+		// Every value allowed by branch a must be allowed by the join.
+		for _, branch := range []PInfo[group.DeltaLabel, valSet]{a, b} {
+			for n := 0; n < nodes; n++ {
+				bi := branch.GetInfo(n)
+				ji := j.GetInfo(n)
+				if ji == nil {
+					continue // top covers everything
+				}
+				if bi == nil {
+					t.Fatalf("trial %d node %d: branch top but join %v", trial, n, ji)
+				}
+				for _, v := range bi {
+					if !containsVal(ji, v) {
+						t.Fatalf("trial %d node %d: join %v misses branch value %d", trial, n, ji, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+func containsVal(s valSet, v int64) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,120 @@
+package factor
+
+import (
+	"luf/internal/core"
+	"luf/internal/group"
+)
+
+// EqDetect implements the equality-detection product of Section 6.1
+// (Figure 6): a labeled union-find whose per-class information is a trie
+// mapping each label ℓ (keyed canonically) to one variable x with
+// find(x) = (root, ℓ). When classes merge, colliding keys are variables
+// related by id# — the structure "pushes" each such discovery exactly once
+// through the NewIdRel callback.
+//
+// The invariants maintained (Section 6.1):
+//
+//	find(U, x) = (r, ℓ)  ⟹  I[r][ℓ] --id#--> x
+//	(ℓ ↦ x) ∈ I[r]       ⟹  find(U, x) = (r, ℓ)
+type EqDetect[N comparable, L any] struct {
+	uf       *core.UF[N, L]
+	g        group.Group[L]
+	info     map[N]map[string]eqEntry[N, L] // root -> Key(ℓ) -> entry
+	known    map[N]bool
+	NewIdRel func(a, b N) // called on each discovered id# pair
+}
+
+type eqEntry[N comparable, L any] struct {
+	x N
+	l L // find(x) = (root, l); kept to re-key after merges
+}
+
+// NewEqDetect returns an empty equality-detecting union-find over g.
+// onNewIdRel may be nil (discoveries are then dropped).
+func NewEqDetect[N comparable, L any](g group.Group[L], onNewIdRel func(a, b N), opts ...core.Option[N, L]) *EqDetect[N, L] {
+	e := &EqDetect[N, L]{
+		g:        g,
+		info:     make(map[N]map[string]eqEntry[N, L]),
+		known:    make(map[N]bool),
+		NewIdRel: onNewIdRel,
+	}
+	e.uf = core.New[N, L](g, opts...)
+	return e
+}
+
+// UF exposes the underlying union-find (read-only use).
+func (e *EqDetect[N, L]) UF() *core.UF[N, L] { return e.uf }
+
+// register initializes a fresh node's trie to [id# ↦ n] (the init_I of
+// Section 6.1).
+func (e *EqDetect[N, L]) register(n N) {
+	if e.known[n] {
+		return
+	}
+	e.known[n] = true
+	e.info[n] = map[string]eqEntry[N, L]{
+		e.g.Key(e.g.Identity()): {x: n, l: e.g.Identity()},
+	}
+}
+
+// AddRelation adds n --ℓ--> m, merging the tries and reporting discovered
+// id# pairs through NewIdRel. It reports false on conflict.
+func (e *EqDetect[N, L]) AddRelation(n, m N, l L) bool {
+	e.register(n)
+	e.register(m)
+	rn, _ := e.uf.Find(n)
+	rm, _ := e.uf.Find(m)
+	if rn == rm {
+		return e.uf.AddRelation(n, m, l)
+	}
+	ok := e.uf.AddRelation(n, m, l)
+	if !ok {
+		return false
+	}
+	// A union happened: find which old root was re-pointed.
+	newRoot, _ := e.uf.Find(n)
+	oldRoot := rn
+	if newRoot == rn {
+		oldRoot = rm
+	}
+	// Shift the old root's trie onto the new root: an entry (ℓx ↦ x) under
+	// oldRoot has find(x) = (oldRoot, ℓx); now find(x) = (newRoot, ℓx ; X)
+	// where oldRoot --X--> newRoot.
+	x, _ := e.uf.GetRelation(oldRoot, newRoot)
+	dst := e.info[newRoot]
+	for _, ent := range e.info[oldRoot] {
+		nl := e.g.Compose(ent.l, x)
+		key := e.g.Key(nl)
+		if prev, exists := dst[key]; exists {
+			// Same label to the root ⟹ id# between the two variables
+			// (Figure 6b): push the discovery, keep the existing entry.
+			if e.NewIdRel != nil {
+				e.NewIdRel(prev.x, ent.x)
+			}
+		} else {
+			dst[key] = eqEntry[N, L]{x: ent.x, l: nl}
+		}
+	}
+	delete(e.info, oldRoot)
+	return true
+}
+
+// GetRelation returns the label between two nodes, if related.
+func (e *EqDetect[N, L]) GetRelation(n, m N) (L, bool) { return e.uf.GetRelation(n, m) }
+
+// Witness returns, for a node n, the canonical witness variable of its
+// id#-equivalence subclass (the trie entry for n's find label), and
+// whether n is known.
+func (e *EqDetect[N, L]) Witness(n N) (N, bool) {
+	if !e.known[n] {
+		var zero N
+		return zero, false
+	}
+	r, l := e.uf.Find(n)
+	ent, ok := e.info[r][e.g.Key(l)]
+	if !ok {
+		var zero N
+		return zero, false
+	}
+	return ent.x, true
+}

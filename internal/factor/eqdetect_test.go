@@ -1,0 +1,115 @@
+package factor
+
+import (
+	"math/rand"
+	"testing"
+
+	"luf/internal/group"
+)
+
+func TestEqDetectSection61Example(t *testing.T) {
+	// Section 6.1: y = x + 2 and z = x + 2 must push y = z exactly once.
+	var found [][2]string
+	e := NewEqDetect[string, group.DeltaLabel](group.Delta{}, func(a, b string) {
+		found = append(found, [2]string{a, b})
+	})
+	e.AddRelation("x", "y", 2)
+	e.AddRelation("x", "z", 2)
+	if len(found) != 1 {
+		t.Fatalf("found = %v, want exactly one discovery", found)
+	}
+	p := found[0]
+	if !(p[0] == "y" && p[1] == "z" || p[0] == "z" && p[1] == "y") {
+		t.Errorf("discovered %v, want {y,z}", p)
+	}
+	// No redundant re-discovery.
+	e.AddRelation("y", "z", 0)
+	if len(found) != 1 {
+		t.Errorf("redundant discovery: %v", found)
+	}
+}
+
+func TestEqDetectChained(t *testing.T) {
+	// Merging two chains that align several pairs at once.
+	var found [][2]string
+	e := NewEqDetect[string, group.DeltaLabel](group.Delta{}, func(a, b string) {
+		found = append(found, [2]string{a, b})
+	})
+	// Chain 1: a0 --+1--> a1 --+1--> a2.
+	e.AddRelation("a0", "a1", 1)
+	e.AddRelation("a1", "a2", 1)
+	// Chain 2: b0 --+1--> b1 --+1--> b2.
+	e.AddRelation("b0", "b1", 1)
+	e.AddRelation("b1", "b2", 1)
+	if len(found) != 0 {
+		t.Fatalf("no equalities yet, got %v", found)
+	}
+	// Align the chains: b0 = a0. Then b1 = a1 and b2 = a2.
+	e.AddRelation("a0", "b0", 0)
+	if len(found) != 3 {
+		t.Fatalf("found = %v, want 3 discoveries", found)
+	}
+}
+
+func TestEqDetectWitness(t *testing.T) {
+	e := NewEqDetect[string, group.DeltaLabel](group.Delta{}, nil)
+	e.AddRelation("x", "y", 2)
+	e.AddRelation("x", "z", 2)
+	wy, ok1 := e.Witness("y")
+	wz, ok2 := e.Witness("z")
+	if !ok1 || !ok2 || wy != wz {
+		t.Errorf("witnesses %q/%q must coincide for equal vars", wy, wz)
+	}
+	wx, _ := e.Witness("x")
+	if wx == wy {
+		t.Error("x is not equal to y")
+	}
+	if _, ok := e.Witness("unknown"); ok {
+		t.Error("unknown node must have no witness")
+	}
+}
+
+// TestEqDetectComplete fuzzes: the transitive closure of pushed equalities
+// must be exactly the set of pairs related by the identity label.
+func TestEqDetectComplete(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 40; trial++ {
+		const n = 12
+		// Plain union-find over discovered equalities.
+		parent := make([]int, n)
+		for i := range parent {
+			parent[i] = i
+		}
+		var findEq func(int) int
+		findEq = func(x int) int {
+			if parent[x] != x {
+				parent[x] = findEq(parent[x])
+			}
+			return parent[x]
+		}
+		e := NewEqDetect[int, group.DeltaLabel](group.Delta{}, func(a, b int) {
+			parent[findEq(a)] = findEq(b)
+		})
+		for step := 0; step < 30; step++ {
+			e.AddRelation(rng.Intn(n), rng.Intn(n), int64(rng.Intn(5)-2))
+		}
+		for x := 0; x < n; x++ {
+			for y := x + 1; y < n; y++ {
+				rel, ok := e.GetRelation(x, y)
+				isId := ok && rel == 0
+				inClosure := findEq(x) == findEq(y)
+				if isId != inClosure {
+					t.Fatalf("trial %d (%d,%d): id-related=%v closure=%v", trial, x, y, isId, inClosure)
+				}
+			}
+		}
+	}
+}
+
+func TestEqDetectConflictReturnsFalse(t *testing.T) {
+	e := NewEqDetect[string, group.DeltaLabel](group.Delta{}, nil)
+	e.AddRelation("x", "y", 2)
+	if e.AddRelation("x", "y", 3) {
+		t.Error("conflict must report false")
+	}
+}

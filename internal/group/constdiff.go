@@ -1,0 +1,73 @@
+package group
+
+import (
+	"math/big"
+	"strconv"
+
+	"luf/internal/rational"
+)
+
+// Delta is the constant-difference group over int64 (Example 2.1 of the
+// paper): the label k on an edge n --k--> m states σ(m) = σ(n) + k.
+// γ(k) = {(x, y) | y - x = k}, composition is addition, inverse is negation.
+// This group is exact (Theorem 4.5), so its lattice of relations is flat.
+//
+// Delta is the fast-path instance used by the analyzer and the scaling
+// benchmarks; QDiff is the arbitrary-precision rational variant used by the
+// solver.
+type Delta struct{}
+
+// DeltaLabel is an int64 offset.
+type DeltaLabel = int64
+
+// Identity returns 0.
+func (Delta) Identity() DeltaLabel { return 0 }
+
+// Compose returns a + b.
+func (Delta) Compose(a, b DeltaLabel) DeltaLabel { return a + b }
+
+// Inverse returns -a.
+func (Delta) Inverse(a DeltaLabel) DeltaLabel { return -a }
+
+// Equal reports a == b.
+func (Delta) Equal(a, b DeltaLabel) bool { return a == b }
+
+// Key returns the decimal rendering of a.
+func (Delta) Key(a DeltaLabel) string { return strconv.FormatInt(a, 10) }
+
+// Format renders the label as "+k".
+func (Delta) Format(a DeltaLabel) string {
+	if a >= 0 {
+		return "+" + strconv.FormatInt(a, 10)
+	}
+	return strconv.FormatInt(a, 10)
+}
+
+// QDiff is the constant-difference group over rationals: the label k on an
+// edge n --k--> m states σ(m) = σ(n) + k with k ∈ ℚ. It is the label group
+// used by the Shostak product of Section 6.2 and the solver of Section 7.1.
+// Labels are *big.Rat values treated as immutable.
+type QDiff struct{}
+
+// Identity returns 0.
+func (QDiff) Identity() *big.Rat { return rational.Zero }
+
+// Compose returns a + b.
+func (QDiff) Compose(a, b *big.Rat) *big.Rat { return rational.Add(a, b) }
+
+// Inverse returns -a.
+func (QDiff) Inverse(a *big.Rat) *big.Rat { return rational.Neg(a) }
+
+// Equal reports a == b as rationals.
+func (QDiff) Equal(a, b *big.Rat) bool { return rational.Eq(a, b) }
+
+// Key returns the canonical fraction string.
+func (QDiff) Key(a *big.Rat) string { return rational.Key(a) }
+
+// Format renders the label as "+k".
+func (QDiff) Format(a *big.Rat) string {
+	if a.Sign() >= 0 {
+		return "+" + rational.Format(a)
+	}
+	return rational.Format(a)
+}

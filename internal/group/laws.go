@@ -1,0 +1,64 @@
+package group
+
+import "fmt"
+
+// CheckLaws verifies the group axioms of g on the given sample labels,
+// exhaustively over all triples. It returns the first violation found, or
+// nil. It is exported so that users defining their own label groups can
+// property-test them the same way this library tests its instances.
+func CheckLaws[L any](g Group[L], samples []L) error {
+	id := g.Identity()
+	if !g.Equal(g.Inverse(id), id) {
+		return fmt.Errorf("inverse of identity is not identity: %s", g.Format(g.Inverse(id)))
+	}
+	for _, a := range samples {
+		if !g.Equal(g.Compose(id, a), a) {
+			return fmt.Errorf("id;%s != %s", g.Format(a), g.Format(a))
+		}
+		if !g.Equal(g.Compose(a, id), a) {
+			return fmt.Errorf("%s;id != %s", g.Format(a), g.Format(a))
+		}
+		if !g.Equal(g.Compose(a, g.Inverse(a)), id) {
+			return fmt.Errorf("%s;inv(%s) != id (got %s)", g.Format(a), g.Format(a),
+				g.Format(g.Compose(a, g.Inverse(a))))
+		}
+		if !g.Equal(g.Compose(g.Inverse(a), a), id) {
+			return fmt.Errorf("inv(%s);%s != id", g.Format(a), g.Format(a))
+		}
+		if !g.Equal(g.Inverse(g.Inverse(a)), a) {
+			return fmt.Errorf("inv(inv(%s)) != %s", g.Format(a), g.Format(a))
+		}
+		// Key/Equal consistency.
+		if g.Key(a) != g.Key(a) {
+			return fmt.Errorf("Key not deterministic for %s", g.Format(a))
+		}
+	}
+	for _, a := range samples {
+		for _, b := range samples {
+			if g.Equal(a, b) != (g.Key(a) == g.Key(b)) {
+				return fmt.Errorf("Equal(%s,%s)=%v but keys %q vs %q",
+					g.Format(a), g.Format(b), g.Equal(a, b), g.Key(a), g.Key(b))
+			}
+			for _, c := range samples {
+				l := g.Compose(g.Compose(a, b), c)
+				r := g.Compose(a, g.Compose(b, c))
+				if !g.Equal(l, r) {
+					return fmt.Errorf("associativity fails on (%s,%s,%s): %s vs %s",
+						g.Format(a), g.Format(b), g.Format(c), g.Format(l), g.Format(r))
+				}
+			}
+		}
+	}
+	// Anti-homomorphism-or-homomorphism check of Inverse:
+	// inv(a;b) = inv(b);inv(a).
+	for _, a := range samples {
+		for _, b := range samples {
+			l := g.Inverse(g.Compose(a, b))
+			r := g.Compose(g.Inverse(b), g.Inverse(a))
+			if !g.Equal(l, r) {
+				return fmt.Errorf("inv(a;b) != inv(b);inv(a) on (%s,%s)", g.Format(a), g.Format(b))
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,263 @@
+package group
+
+import (
+	"math/big"
+	"strings"
+
+	"luf/internal/rational"
+)
+
+// MatAffine is an invertible affine map label over ℚⁿ (Example 4.9 of the
+// paper): the pair (A, b) with A an invertible n×n rational matrix
+// concretizes to γ(A,b) = {(x, y) ∈ (ℚⁿ)² | y = A·x + b}.
+type MatAffine struct {
+	A [][]*big.Rat // row-major n×n, invertible
+	B []*big.Rat   // length n
+}
+
+// MatGroup is the group of invertible affine maps on ℚⁿ.
+type MatGroup struct {
+	N int
+}
+
+// NewMatGroup returns the descriptor for dimension n >= 1.
+func NewMatGroup(n int) MatGroup {
+	if n < 1 {
+		panic("group: MatGroup needs n >= 1")
+	}
+	return MatGroup{N: n}
+}
+
+// NewLabel validates invertibility and returns the label y = A·x + b.
+// It panics if dimensions are wrong or A is singular.
+func (g MatGroup) NewLabel(a [][]*big.Rat, b []*big.Rat) MatAffine {
+	if len(a) != g.N || len(b) != g.N {
+		panic("group: matrix label has wrong dimension")
+	}
+	for _, row := range a {
+		if len(row) != g.N {
+			panic("group: matrix label has wrong dimension")
+		}
+	}
+	if _, ok := matInverse(a); !ok {
+		panic("group: matrix label is singular")
+	}
+	return MatAffine{A: matClone(a), B: vecClone(b)}
+}
+
+// Apply returns A·x + b.
+func (g MatGroup) Apply(l MatAffine, x []*big.Rat) []*big.Rat {
+	out := make([]*big.Rat, g.N)
+	for i := 0; i < g.N; i++ {
+		acc := rational.Clone(l.B[i])
+		for j := 0; j < g.N; j++ {
+			acc.Add(acc, rational.Mul(l.A[i][j], x[j]))
+		}
+		out[i] = acc
+	}
+	return out
+}
+
+// Identity returns y = I·x + 0.
+func (g MatGroup) Identity() MatAffine {
+	a := make([][]*big.Rat, g.N)
+	b := make([]*big.Rat, g.N)
+	for i := range a {
+		a[i] = make([]*big.Rat, g.N)
+		for j := range a[i] {
+			if i == j {
+				a[i][j] = rational.One
+			} else {
+				a[i][j] = rational.Zero
+			}
+		}
+		b[i] = rational.Zero
+	}
+	return MatAffine{A: a, B: b}
+}
+
+// Compose returns the label of n --l1--> p --l2--> m:
+// m = A2·(A1·x + b1) + b2 = (A2·A1)·x + (A2·b1 + b2).
+func (g MatGroup) Compose(l1, l2 MatAffine) MatAffine {
+	return MatAffine{
+		A: matMul(l2.A, l1.A),
+		B: vecAdd(matVec(l2.A, l1.B), l2.B),
+	}
+}
+
+// Inverse returns x = A⁻¹·y - A⁻¹·b.
+func (g MatGroup) Inverse(l MatAffine) MatAffine {
+	inv, ok := matInverse(l.A)
+	if !ok {
+		panic("group: singular matrix in Inverse (labels must be validated)")
+	}
+	nb := matVec(inv, l.B)
+	for i := range nb {
+		nb[i] = rational.Neg(nb[i])
+	}
+	return MatAffine{A: inv, B: nb}
+}
+
+// Equal reports component-wise rational equality.
+func (g MatGroup) Equal(l1, l2 MatAffine) bool {
+	for i := 0; i < g.N; i++ {
+		for j := 0; j < g.N; j++ {
+			if !rational.Eq(l1.A[i][j], l2.A[i][j]) {
+				return false
+			}
+		}
+		if !rational.Eq(l1.B[i], l2.B[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a canonical rendering of all entries.
+func (g MatGroup) Key(l MatAffine) string {
+	var sb strings.Builder
+	for i := 0; i < g.N; i++ {
+		for j := 0; j < g.N; j++ {
+			sb.WriteString(rational.Key(l.A[i][j]))
+			sb.WriteByte(',')
+		}
+		sb.WriteString(rational.Key(l.B[i]))
+		sb.WriteByte(';')
+	}
+	return sb.String()
+}
+
+// Format renders the label as "[A]x + b".
+func (g MatGroup) Format(l MatAffine) string {
+	var sb strings.Builder
+	sb.WriteByte('[')
+	for i := 0; i < g.N; i++ {
+		if i > 0 {
+			sb.WriteString("; ")
+		}
+		for j := 0; j < g.N; j++ {
+			if j > 0 {
+				sb.WriteByte(' ')
+			}
+			sb.WriteString(rational.Format(l.A[i][j]))
+		}
+	}
+	sb.WriteString("]x + (")
+	for i := 0; i < g.N; i++ {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(rational.Format(l.B[i]))
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+func matClone(a [][]*big.Rat) [][]*big.Rat {
+	out := make([][]*big.Rat, len(a))
+	for i, row := range a {
+		out[i] = make([]*big.Rat, len(row))
+		for j, v := range row {
+			out[i][j] = rational.Clone(v)
+		}
+	}
+	return out
+}
+
+func vecClone(v []*big.Rat) []*big.Rat {
+	out := make([]*big.Rat, len(v))
+	for i, x := range v {
+		out[i] = rational.Clone(x)
+	}
+	return out
+}
+
+func matMul(a, b [][]*big.Rat) [][]*big.Rat {
+	n := len(a)
+	out := make([][]*big.Rat, n)
+	for i := 0; i < n; i++ {
+		out[i] = make([]*big.Rat, n)
+		for j := 0; j < n; j++ {
+			acc := new(big.Rat)
+			for k := 0; k < n; k++ {
+				acc.Add(acc, rational.Mul(a[i][k], b[k][j]))
+			}
+			out[i][j] = acc
+		}
+	}
+	return out
+}
+
+func matVec(a [][]*big.Rat, v []*big.Rat) []*big.Rat {
+	n := len(a)
+	out := make([]*big.Rat, n)
+	for i := 0; i < n; i++ {
+		acc := new(big.Rat)
+		for k := 0; k < n; k++ {
+			acc.Add(acc, rational.Mul(a[i][k], v[k]))
+		}
+		out[i] = acc
+	}
+	return out
+}
+
+func vecAdd(a, b []*big.Rat) []*big.Rat {
+	out := make([]*big.Rat, len(a))
+	for i := range a {
+		out[i] = rational.Add(a[i], b[i])
+	}
+	return out
+}
+
+// matInverse returns A⁻¹ by Gauss–Jordan elimination with exact rational
+// arithmetic, or ok=false if A is singular.
+func matInverse(a [][]*big.Rat) ([][]*big.Rat, bool) {
+	n := len(a)
+	// Augmented matrix [A | I].
+	m := make([][]*big.Rat, n)
+	for i := 0; i < n; i++ {
+		m[i] = make([]*big.Rat, 2*n)
+		for j := 0; j < n; j++ {
+			m[i][j] = rational.Clone(a[i][j])
+			if i == j {
+				m[i][n+j] = rational.Clone(rational.One)
+			} else {
+				m[i][n+j] = new(big.Rat)
+			}
+		}
+	}
+	for col := 0; col < n; col++ {
+		// Find pivot.
+		piv := -1
+		for r := col; r < n; r++ {
+			if m[r][col].Sign() != 0 {
+				piv = r
+				break
+			}
+		}
+		if piv == -1 {
+			return nil, false
+		}
+		m[col], m[piv] = m[piv], m[col]
+		// Normalize pivot row.
+		p := rational.Clone(m[col][col])
+		for j := 0; j < 2*n; j++ {
+			m[col][j] = rational.Div(m[col][j], p)
+		}
+		// Eliminate other rows.
+		for r := 0; r < n; r++ {
+			if r == col || m[r][col].Sign() == 0 {
+				continue
+			}
+			f := rational.Clone(m[r][col])
+			for j := 0; j < 2*n; j++ {
+				m[r][j] = rational.Sub(m[r][j], rational.Mul(f, m[col][j]))
+			}
+		}
+	}
+	out := make([][]*big.Rat, n)
+	for i := 0; i < n; i++ {
+		out[i] = m[i][n:]
+	}
+	return out, true
+}

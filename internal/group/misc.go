@@ -1,0 +1,278 @@
+package group
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parity is the parity-comparison group (Example 4.4 of the paper): the two
+// labels are SameParity (the identity) and DifferentParity. Its γ(id#) is
+// "same parity", an equivalence relation strictly coarser than equality —
+// the canonical example where labels relate equivalence classes rather than
+// values (Theorem 4.3).
+type Parity struct{}
+
+// ParityLabel is true when the related values have different parity.
+type ParityLabel bool
+
+// Parity labels.
+const (
+	SameParity      ParityLabel = false
+	DifferentParity ParityLabel = true
+)
+
+// Identity returns SameParity.
+func (Parity) Identity() ParityLabel { return SameParity }
+
+// Compose returns the xor of the labels (ℤ/2ℤ).
+func (Parity) Compose(a, b ParityLabel) ParityLabel { return a != b }
+
+// Inverse returns a (every element is its own inverse).
+func (Parity) Inverse(a ParityLabel) ParityLabel { return a }
+
+// Equal reports a == b.
+func (Parity) Equal(a, b ParityLabel) bool { return a == b }
+
+// Key returns "same" or "diff".
+func (Parity) Key(a ParityLabel) string {
+	if a {
+		return "diff"
+	}
+	return "same"
+}
+
+// Format renders the label.
+func (Parity) Format(a ParityLabel) string {
+	if a {
+		return "different parity"
+	}
+	return "same parity"
+}
+
+// Reloc is the sequence-relocation group (Ait-El-Hara et al., cited in the
+// paper's introduction and Section 8): the label d on an edge s1 --d--> s2
+// states s1 =reloc(d) s2, i.e. the sequences have the same content with
+// indices shifted by d: s2[i + d] = s1[i]. Shifts compose by addition.
+type Reloc struct{}
+
+// RelocLabel is an index shift.
+type RelocLabel = int64
+
+// Identity returns shift 0.
+func (Reloc) Identity() RelocLabel { return 0 }
+
+// Compose returns a + b.
+func (Reloc) Compose(a, b RelocLabel) RelocLabel { return a + b }
+
+// Inverse returns -a.
+func (Reloc) Inverse(a RelocLabel) RelocLabel { return -a }
+
+// Equal reports a == b.
+func (Reloc) Equal(a, b RelocLabel) bool { return a == b }
+
+// Key returns the decimal rendering.
+func (Reloc) Key(a RelocLabel) string { return strconv.FormatInt(a, 10) }
+
+// Format renders the label as "reloc(d)".
+func (Reloc) Format(a RelocLabel) string { return fmt.Sprintf("reloc(%d)", a) }
+
+// Perm is the symmetric group on {0, …, N-1}: labels are permutations
+// applied pointwise to values ("any invertible function … e.g. … any
+// permutation", Section 2.2/4.2 of the paper). Labels must have length N.
+type Perm struct {
+	N int
+}
+
+// PermLabel maps each point i to PermLabel[i].
+type PermLabel []int
+
+// NewPerm returns the descriptor of the symmetric group S_n.
+func NewPerm(n int) Perm {
+	if n < 1 {
+		panic("group: Perm needs n >= 1")
+	}
+	return Perm{N: n}
+}
+
+// NewLabel validates and returns a permutation label.
+func (g Perm) NewLabel(p []int) PermLabel {
+	if len(p) != g.N {
+		panic("group: permutation has wrong length")
+	}
+	seen := make([]bool, g.N)
+	for _, v := range p {
+		if v < 0 || v >= g.N || seen[v] {
+			panic("group: not a permutation")
+		}
+		seen[v] = true
+	}
+	out := make(PermLabel, g.N)
+	copy(out, p)
+	return out
+}
+
+// Identity returns the identity permutation.
+func (g Perm) Identity() PermLabel {
+	p := make(PermLabel, g.N)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+// Compose returns b ∘ a: first apply a (the first edge), then b.
+func (g Perm) Compose(a, b PermLabel) PermLabel {
+	p := make(PermLabel, g.N)
+	for i := range p {
+		p[i] = b[a[i]]
+	}
+	return p
+}
+
+// Inverse returns the inverse permutation.
+func (g Perm) Inverse(a PermLabel) PermLabel {
+	p := make(PermLabel, g.N)
+	for i, v := range a {
+		p[v] = i
+	}
+	return p
+}
+
+// Equal reports pointwise equality.
+func (g Perm) Equal(a, b PermLabel) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a comma-separated rendering.
+func (g Perm) Key(a PermLabel) string {
+	var sb strings.Builder
+	for i, v := range a {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.Itoa(v))
+	}
+	return sb.String()
+}
+
+// Format renders the permutation in one-line notation.
+func (g Perm) Format(a PermLabel) string { return "(" + g.Key(a) + ")" }
+
+// Free is the free group over integer generators, used to produce proofs:
+// labeling each union with a fresh generator and reading the label between
+// two nodes yields the set of unions explaining their connection
+// (Nieuwenhuis–Oliveras, discussed in Section 8 of the paper).
+type Free struct{}
+
+// FreeLabel is a reduced word: a sequence of non-zero generator ids, where
+// -g denotes the inverse of generator g. Words are kept reduced (no g, -g
+// adjacent pairs).
+type FreeLabel []int
+
+// Gen returns the one-letter word for generator g (g > 0).
+func (Free) Gen(g int) FreeLabel {
+	if g <= 0 {
+		panic("group: free generators are positive ints")
+	}
+	return FreeLabel{g}
+}
+
+// Identity returns the empty word.
+func (Free) Identity() FreeLabel { return nil }
+
+// Compose concatenates and reduces.
+func (Free) Compose(a, b FreeLabel) FreeLabel {
+	out := make(FreeLabel, len(a), len(a)+len(b))
+	copy(out, a)
+	for _, x := range b {
+		if n := len(out); n > 0 && out[n-1] == -x {
+			out = out[:n-1]
+		} else {
+			out = append(out, x)
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// Inverse reverses the word and negates each letter.
+func (Free) Inverse(a FreeLabel) FreeLabel {
+	if len(a) == 0 {
+		return nil
+	}
+	out := make(FreeLabel, len(a))
+	for i, x := range a {
+		out[len(a)-1-i] = -x
+	}
+	return out
+}
+
+// Equal reports word equality (words are always reduced).
+func (Free) Equal(a, b FreeLabel) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a dot-separated rendering of the word.
+func (Free) Key(a FreeLabel) string {
+	var sb strings.Builder
+	for i, x := range a {
+		if i > 0 {
+			sb.WriteByte('.')
+		}
+		sb.WriteString(strconv.Itoa(x))
+	}
+	return sb.String()
+}
+
+// Format renders the word with explicit inverses.
+func (Free) Format(a FreeLabel) string {
+	if len(a) == 0 {
+		return "ε"
+	}
+	var sb strings.Builder
+	for i, x := range a {
+		if i > 0 {
+			sb.WriteString("·")
+		}
+		if x < 0 {
+			fmt.Fprintf(&sb, "g%d⁻¹", -x)
+		} else {
+			fmt.Fprintf(&sb, "g%d", x)
+		}
+	}
+	return sb.String()
+}
+
+// Generators returns the distinct generator ids used by the word a,
+// ignoring inversion — for proof production this is the set of union
+// operations connecting two nodes.
+func Generators(a FreeLabel) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, x := range a {
+		if x < 0 {
+			x = -x
+		}
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,211 @@
+package group
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// ModAffine is a modular TVPE label (Example 4.8 of the paper): over
+// w-bit bitvectors (ℤ/2ʷℤ), the label (a, b) with a odd concretizes to
+// γ(a,b) = {(x, y) | y ≡ a·x + b (mod 2ʷ)}. Multiplication by an odd
+// constant is invertible modulo a power of two, so these labels form a
+// group. It also covers Example 4.10's unsigned/signed reinterpretation
+// (the identity modulo 2ʷ) and addition with constants on machine integers.
+type ModAffine struct {
+	A uint64 // odd multiplier
+	B uint64 // offset
+}
+
+// ModTVPE is the group of ModAffine labels over ℤ/2ʷℤ, 1 <= Width <= 64.
+type ModTVPE struct {
+	Width uint // bit width w
+}
+
+// NewModTVPE returns the group descriptor for width w. It panics unless
+// 1 <= w <= 64.
+func NewModTVPE(w uint) ModTVPE {
+	if w < 1 || w > 64 {
+		panic("group: ModTVPE width must be in [1,64]")
+	}
+	return ModTVPE{Width: w}
+}
+
+func (g ModTVPE) mask() uint64 {
+	if g.Width == 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << g.Width) - 1
+}
+
+// NewLabel returns the label y = a·x + b mod 2ʷ. It panics if a is even
+// (even multipliers are not invertible; encode them as xor-rotate when the
+// erased bits are known, per Example 4.8).
+func (g ModTVPE) NewLabel(a, b uint64) ModAffine {
+	if a&1 == 0 {
+		panic("group: ModTVPE multiplier must be odd")
+	}
+	return ModAffine{A: a & g.mask(), B: b & g.mask()}
+}
+
+// Apply returns a·x + b mod 2ʷ.
+func (g ModTVPE) Apply(l ModAffine, x uint64) uint64 {
+	return (l.A*x + l.B) & g.mask()
+}
+
+// Identity returns y = 1·x + 0.
+func (g ModTVPE) Identity() ModAffine { return ModAffine{A: 1, B: 0} }
+
+// Compose returns (a1·a2, a2·b1 + b2) mod 2ʷ, the label of the two-edge
+// path (see TVPE.Compose).
+func (g ModTVPE) Compose(l1, l2 ModAffine) ModAffine {
+	m := g.mask()
+	return ModAffine{A: (l1.A * l2.A) & m, B: (l2.A*l1.B + l2.B) & m}
+}
+
+// Inverse returns (a⁻¹, -a⁻¹·b) mod 2ʷ, using the Newton iteration for the
+// inverse of an odd number modulo a power of two.
+func (g ModTVPE) Inverse(l ModAffine) ModAffine {
+	inv := oddInverse(l.A)
+	m := g.mask()
+	return ModAffine{A: inv & m, B: (-(inv * l.B)) & m}
+}
+
+// oddInverse returns the multiplicative inverse of odd a modulo 2^64
+// (truncating to narrower widths preserves the inverse property).
+func oddInverse(a uint64) uint64 {
+	// Newton–Raphson: x_{k+1} = x_k(2 - a·x_k) doubles correct low bits.
+	x := a // correct to 3 bits (a odd implies a·a ≡ 1 mod 8... start with a)
+	for i := 0; i < 6; i++ {
+		x *= 2 - a*x
+	}
+	return x
+}
+
+// Equal reports component-wise equality.
+func (g ModTVPE) Equal(l1, l2 ModAffine) bool { return l1 == l2 }
+
+// Key returns "a|b" in hex.
+func (g ModTVPE) Key(l ModAffine) string { return fmt.Sprintf("%x|%x", l.A, l.B) }
+
+// Format renders the label as "*a+b (mod 2^w)".
+func (g ModTVPE) Format(l ModAffine) string {
+	return fmt.Sprintf("*%d+%d (mod 2^%d)", l.A, l.B, g.Width)
+}
+
+// XorRot is the xor-rotate group (Example 4.7): over w-bit bitvectors the
+// label (s, c) concretizes to γ(s,c) = {(x, y) | y = (x xor c) rot s}.
+// Shifting a bitvector whose erased bits are known can be encoded this way,
+// which covers many shifts and bitwise negation (c = all ones, s = 0).
+type XorRot struct {
+	Width uint
+}
+
+// XRLabel is the xor-rotate label: first xor with C, then rotate left by S.
+type XRLabel struct {
+	S uint   // left-rotation amount, 0 <= S < Width
+	C uint64 // xor mask (applied before rotation)
+}
+
+// NewXorRot returns the group descriptor for width w, 1 <= w <= 64.
+func NewXorRot(w uint) XorRot {
+	if w < 1 || w > 64 {
+		panic("group: XorRot width must be in [1,64]")
+	}
+	return XorRot{Width: w}
+}
+
+func (g XorRot) mask() uint64 {
+	if g.Width == 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << g.Width) - 1
+}
+
+// rotl rotates x left by s within width w.
+func (g XorRot) rotl(x uint64, s uint) uint64 {
+	s %= g.Width
+	if g.Width == 64 {
+		return bits.RotateLeft64(x, int(s))
+	}
+	m := g.mask()
+	x &= m
+	return ((x << s) | (x >> (g.Width - s))) & m
+}
+
+// NewLabel returns the label y = (x xor c) rot s.
+func (g XorRot) NewLabel(s uint, c uint64) XRLabel {
+	return XRLabel{S: s % g.Width, C: c & g.mask()}
+}
+
+// Apply returns (x xor c) rot s.
+func (g XorRot) Apply(l XRLabel, x uint64) uint64 { return g.rotl(x^l.C, l.S) }
+
+// Identity returns (0, 0).
+func (g XorRot) Identity() XRLabel { return XRLabel{} }
+
+// Compose returns the label of n --l1--> p --l2--> m:
+// m = ((x xor c1) rot s1 xor c2) rot s2 = (x xor c1 xor (c2 ror s1)) rot (s1+s2).
+func (g XorRot) Compose(l1, l2 XRLabel) XRLabel {
+	return XRLabel{
+		S: (l1.S + l2.S) % g.Width,
+		C: (l1.C ^ g.rotl(l2.C, g.Width-l1.S%g.Width)) & g.mask(), // c1 xor (c2 ror s1)
+	}
+}
+
+// Inverse returns the reversed edge: x = (y ror s) xor c = (y xor (c rot s)) ror s.
+func (g XorRot) Inverse(l XRLabel) XRLabel {
+	return XRLabel{S: (g.Width - l.S) % g.Width, C: g.rotl(l.C, l.S)}
+}
+
+// Equal reports component-wise equality.
+func (g XorRot) Equal(l1, l2 XRLabel) bool { return l1 == l2 }
+
+// Key returns "s|c" in decimal/hex.
+func (g XorRot) Key(l XRLabel) string { return fmt.Sprintf("%d|%x", l.S, l.C) }
+
+// Format renders the label as "(x xor c) rot s".
+func (g XorRot) Format(l XRLabel) string {
+	return fmt.Sprintf("(x xor %#x) rot %d", l.C, l.S)
+}
+
+// XorConst is the constant bitvector comparison group (the constant subset
+// of Example 2.3): labels are xor masks, γ(c) = {(x, y) | y = x xor c}.
+// It is XorRot with rotation fixed to zero, provided separately because it
+// composes with plain xor and pairs exactly with the known-bits domain
+// (Section 5.2's compatibility discussion).
+type XorConst struct {
+	Width uint
+}
+
+// NewXorConst returns the descriptor for width w, 1 <= w <= 64.
+func NewXorConst(w uint) XorConst {
+	if w < 1 || w > 64 {
+		panic("group: XorConst width must be in [1,64]")
+	}
+	return XorConst{Width: w}
+}
+
+func (g XorConst) mask() uint64 {
+	if g.Width == 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << g.Width) - 1
+}
+
+// Identity returns 0.
+func (g XorConst) Identity() uint64 { return 0 }
+
+// Compose returns a xor b.
+func (g XorConst) Compose(a, b uint64) uint64 { return (a ^ b) & g.mask() }
+
+// Inverse returns a (xor is an involution).
+func (g XorConst) Inverse(a uint64) uint64 { return a & g.mask() }
+
+// Equal reports a == b.
+func (g XorConst) Equal(a, b uint64) bool { return a == b }
+
+// Key returns the hex rendering.
+func (g XorConst) Key(a uint64) string { return fmt.Sprintf("%x", a) }
+
+// Format renders the label as "xor c".
+func (g XorConst) Format(a uint64) string { return fmt.Sprintf("xor %#x", a) }

@@ -1,0 +1,120 @@
+package group
+
+import (
+	"math/big"
+
+	"luf/internal/rational"
+)
+
+// Affine is a TVPE label (Example 4.6 of the paper): the pair (a, b) with
+// a ≠ 0 concretizes to γ(a,b) = {(x, y) | y = a·x + b}. An edge
+// n --(a,b)--> m therefore reads σ(m) = a·σ(n) + b.
+//
+// Over ℚ this group is exact; over ℤ composition is sound but not exact
+// (the paper's z = 2y ∧ y = x/2 example: the abstract composition forgets
+// that x and z are even — that residual information belongs in a
+// non-relational domain, see Section 5).
+type Affine struct {
+	A *big.Rat // slope, non-zero
+	B *big.Rat // offset
+}
+
+// NewAffine returns the label y = a·x + b. It panics if a is zero, since
+// a constant map is not injective and cannot be a group element
+// (Theorem 4.3).
+func NewAffine(a, b *big.Rat) Affine {
+	if a.Sign() == 0 {
+		panic("group: TVPE slope must be non-zero")
+	}
+	return Affine{A: a, B: b}
+}
+
+// AffineInt is a convenience constructor for integer coefficients.
+func AffineInt(a, b int64) Affine {
+	return NewAffine(rational.Int(a), rational.Int(b))
+}
+
+// Apply returns a·x + b.
+func (l Affine) Apply(x *big.Rat) *big.Rat {
+	return rational.Add(rational.Mul(l.A, x), l.B)
+}
+
+// ApplyInv returns (y - b) / a, the unique x with y = a·x + b.
+func (l Affine) ApplyInv(y *big.Rat) *big.Rat {
+	return rational.Div(rational.Sub(y, l.B), l.A)
+}
+
+// TVPE is the group descriptor for Affine labels over ℚ
+// ("two-values per equality", by analogy with the TVPI domain).
+type TVPE struct{}
+
+// Identity returns y = 1·x + 0.
+func (TVPE) Identity() Affine { return Affine{A: rational.One, B: rational.Zero} }
+
+// Compose returns the label of n --l1--> p --l2--> m:
+// m = a2·(a1·n + b1) + b2 = (a1·a2)·n + (a2·b1 + b2).
+func (TVPE) Compose(l1, l2 Affine) Affine {
+	return Affine{
+		A: rational.Mul(l1.A, l2.A),
+		B: rational.Add(rational.Mul(l2.A, l1.B), l2.B),
+	}
+}
+
+// Inverse returns the label of the reversed edge: x = (1/a)·y + (-b/a).
+func (TVPE) Inverse(l Affine) Affine {
+	invA := rational.Inv(l.A)
+	return Affine{A: invA, B: rational.Neg(rational.Mul(invA, l.B))}
+}
+
+// Equal reports component-wise rational equality.
+func (TVPE) Equal(l1, l2 Affine) bool {
+	return rational.Eq(l1.A, l2.A) && rational.Eq(l1.B, l2.B)
+}
+
+// Key returns "a|b" with canonical fraction strings.
+func (TVPE) Key(l Affine) string { return rational.Key(l.A) + "|" + rational.Key(l.B) }
+
+// Format renders the label as "*a+b".
+func (TVPE) Format(l Affine) string {
+	s := "*" + rational.Format(l.A)
+	if l.B.Sign() > 0 {
+		s += "+" + rational.Format(l.B)
+	} else if l.B.Sign() < 0 {
+		s += rational.Format(l.B)
+	}
+	return s
+}
+
+// Intersect computes the meeting point of two distinct affine relations
+// assumed to constrain the same edge: if y = a1·x + b1 and y = a2·x + b2
+// with (a1,b1) ≠ (a2,b2), either the lines are parallel (no solution, the
+// state is unsatisfiable) or they intersect in the single point (x, y).
+// This is the conflict resolution of Section 3.2 ("Managing Conflicts"):
+// the intersection point should be propagated to a non-relational domain.
+func Intersect(l1, l2 Affine) (x, y *big.Rat, sat bool) {
+	da := rational.Sub(l1.A, l2.A)
+	if da.Sign() == 0 {
+		return nil, nil, false // parallel: bottom
+	}
+	// a1·x + b1 = a2·x + b2  =>  x = (b2 - b1) / (a1 - a2)
+	x = rational.Div(rational.Sub(l2.B, l1.B), da)
+	y = l1.Apply(x)
+	return x, y, true
+}
+
+// ThroughPoints returns the unique affine label mapping x1 to y1 and x2 to
+// y2, when it exists (x1 ≠ x2 and y1 ≠ y2; equal y's would need slope zero).
+// This is the "joining constants" rule of Section 7.2: relating two φ-terms
+// with constant arguments amounts to finding a line through two points.
+func ThroughPoints(x1, y1, x2, y2 *big.Rat) (Affine, bool) {
+	dx := rational.Sub(x2, x1)
+	if dx.Sign() == 0 {
+		return Affine{}, false
+	}
+	a := rational.Div(rational.Sub(y2, y1), dx)
+	if a.Sign() == 0 {
+		return Affine{}, false // not injective
+	}
+	b := rational.Sub(y1, rational.Mul(a, x1))
+	return Affine{A: a, B: b}, true
+}

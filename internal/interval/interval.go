@@ -1,0 +1,541 @@
+// Package interval implements intervals over the rationals with infinite
+// bounds — the classic non-relational box abstraction (Cousot & Cousot
+// 1977) used throughout Section 5 of the paper as the value domain paired
+// with labeled union-find.
+//
+// An interval is either empty (⊥) or the set {v ∈ ℚ | lo ≤ v ≤ hi} where
+// lo may be -∞ and hi may be +∞. Integer-typed variables use the same
+// representation plus Tighten, which rounds finite bounds to integers.
+package interval
+
+import (
+	"math/big"
+
+	"luf/internal/rational"
+)
+
+// Itv is a rational interval. The zero value is ⊥ (empty). Construct
+// non-empty intervals with the constructors below; fields are exported for
+// read access but callers must treat Itv values as immutable.
+type Itv struct {
+	// nonEmpty is set for every interval except ⊥, so the zero value is ⊥.
+	nonEmpty bool
+	// LoInf/HiInf mark infinite bounds; when set, Lo/Hi are nil.
+	LoInf, HiInf bool
+	Lo, Hi       *big.Rat
+}
+
+// Bottom returns the empty interval ⊥.
+func Bottom() Itv { return Itv{} }
+
+// Top returns (-∞, +∞).
+func Top() Itv { return Itv{nonEmpty: true, LoInf: true, HiInf: true} }
+
+// Const returns the singleton [v, v].
+func Const(v *big.Rat) Itv { return Itv{nonEmpty: true, Lo: v, Hi: v} }
+
+// ConstInt returns the singleton [n, n].
+func ConstInt(n int64) Itv { return Const(rational.Int(n)) }
+
+// Range returns [lo, hi]; it returns ⊥ if lo > hi.
+func Range(lo, hi *big.Rat) Itv {
+	if lo.Cmp(hi) > 0 {
+		return Bottom()
+	}
+	return Itv{nonEmpty: true, Lo: lo, Hi: hi}
+}
+
+// RangeInt returns [lo, hi] over int64 endpoints.
+func RangeInt(lo, hi int64) Itv { return Range(rational.Int(lo), rational.Int(hi)) }
+
+// AtLeast returns [lo, +∞).
+func AtLeast(lo *big.Rat) Itv { return Itv{nonEmpty: true, Lo: lo, HiInf: true} }
+
+// AtMost returns (-∞, hi].
+func AtMost(hi *big.Rat) Itv { return Itv{nonEmpty: true, LoInf: true, Hi: hi} }
+
+// IsBottom reports whether the interval is empty.
+func (a Itv) IsBottom() bool { return !a.nonEmpty }
+
+// IsTop reports whether the interval is (-∞, +∞).
+func (a Itv) IsTop() bool { return a.nonEmpty && a.LoInf && a.HiInf }
+
+// IsConst reports whether the interval is a singleton, returning its value.
+func (a Itv) IsConst() (*big.Rat, bool) {
+	if a.nonEmpty && !a.LoInf && !a.HiInf && rational.Eq(a.Lo, a.Hi) {
+		return a.Lo, true
+	}
+	return nil, false
+}
+
+// Contains reports whether v is in the interval.
+func (a Itv) Contains(v *big.Rat) bool {
+	if !a.nonEmpty {
+		return false
+	}
+	if !a.LoInf && v.Cmp(a.Lo) < 0 {
+		return false
+	}
+	if !a.HiInf && v.Cmp(a.Hi) > 0 {
+		return false
+	}
+	return true
+}
+
+// Eq reports interval equality.
+func (a Itv) Eq(b Itv) bool {
+	if a.nonEmpty != b.nonEmpty {
+		return false
+	}
+	if !a.nonEmpty {
+		return true
+	}
+	if a.LoInf != b.LoInf || a.HiInf != b.HiInf {
+		return false
+	}
+	if !a.LoInf && !rational.Eq(a.Lo, b.Lo) {
+		return false
+	}
+	if !a.HiInf && !rational.Eq(a.Hi, b.Hi) {
+		return false
+	}
+	return true
+}
+
+// Leq reports a ⊑ b (a ⊆ b as sets).
+func (a Itv) Leq(b Itv) bool {
+	if !a.nonEmpty {
+		return true
+	}
+	if !b.nonEmpty {
+		return false
+	}
+	if !b.LoInf && (a.LoInf || a.Lo.Cmp(b.Lo) < 0) {
+		return false
+	}
+	if !b.HiInf && (a.HiInf || a.Hi.Cmp(b.Hi) > 0) {
+		return false
+	}
+	return true
+}
+
+// Meet returns the intersection.
+func (a Itv) Meet(b Itv) Itv {
+	if !a.nonEmpty || !b.nonEmpty {
+		return Bottom()
+	}
+	out := Itv{nonEmpty: true, LoInf: a.LoInf && b.LoInf, HiInf: a.HiInf && b.HiInf}
+	switch {
+	case a.LoInf:
+		out.Lo = b.Lo
+	case b.LoInf:
+		out.Lo = a.Lo
+	default:
+		out.Lo = rational.Max(a.Lo, b.Lo)
+	}
+	switch {
+	case a.HiInf:
+		out.Hi = b.Hi
+	case b.HiInf:
+		out.Hi = a.Hi
+	default:
+		out.Hi = rational.Min(a.Hi, b.Hi)
+	}
+	if !out.LoInf && !out.HiInf && out.Lo.Cmp(out.Hi) > 0 {
+		return Bottom()
+	}
+	return out
+}
+
+// Join returns the convex hull of the union.
+func (a Itv) Join(b Itv) Itv {
+	if !a.nonEmpty {
+		return b
+	}
+	if !b.nonEmpty {
+		return a
+	}
+	out := Itv{nonEmpty: true, LoInf: a.LoInf || b.LoInf, HiInf: a.HiInf || b.HiInf}
+	if !out.LoInf {
+		out.Lo = rational.Min(a.Lo, b.Lo)
+	}
+	if !out.HiInf {
+		out.Hi = rational.Max(a.Hi, b.Hi)
+	}
+	return out
+}
+
+// Widen returns the standard interval widening of a by b: bounds of b that
+// escape a's bounds jump to infinity.
+func (a Itv) Widen(b Itv) Itv {
+	if !a.nonEmpty {
+		return b
+	}
+	if !b.nonEmpty {
+		return a
+	}
+	out := Itv{nonEmpty: true}
+	if !a.LoInf && !b.LoInf && b.Lo.Cmp(a.Lo) >= 0 {
+		out.Lo = a.Lo // stable lower bound
+	} else {
+		out.LoInf = true
+	}
+	if !a.HiInf && !b.HiInf && b.Hi.Cmp(a.Hi) <= 0 {
+		out.Hi = a.Hi // stable upper bound
+	} else {
+		out.HiInf = true
+	}
+	return out
+}
+
+// Neg returns {-v | v ∈ a}.
+func (a Itv) Neg() Itv {
+	if !a.nonEmpty {
+		return a
+	}
+	out := Itv{nonEmpty: true, LoInf: a.HiInf, HiInf: a.LoInf}
+	if !out.LoInf {
+		out.Lo = rational.Neg(a.Hi)
+	}
+	if !out.HiInf {
+		out.Hi = rational.Neg(a.Lo)
+	}
+	return out
+}
+
+// AddConst returns {v + c | v ∈ a}; exact.
+func (a Itv) AddConst(c *big.Rat) Itv {
+	if !a.nonEmpty {
+		return a
+	}
+	out := a
+	if !a.LoInf {
+		out.Lo = rational.Add(a.Lo, c)
+	}
+	if !a.HiInf {
+		out.Hi = rational.Add(a.Hi, c)
+	}
+	return out
+}
+
+// MulConst returns {v · c | v ∈ a}; exact. Multiplication by zero collapses
+// to the singleton [0, 0].
+func (a Itv) MulConst(c *big.Rat) Itv {
+	if !a.nonEmpty {
+		return a
+	}
+	if c.Sign() == 0 {
+		return Const(rational.Zero)
+	}
+	var out Itv
+	if c.Sign() > 0 {
+		out = Itv{nonEmpty: true, LoInf: a.LoInf, HiInf: a.HiInf}
+		if !a.LoInf {
+			out.Lo = rational.Mul(a.Lo, c)
+		}
+		if !a.HiInf {
+			out.Hi = rational.Mul(a.Hi, c)
+		}
+	} else {
+		out = Itv{nonEmpty: true, LoInf: a.HiInf, HiInf: a.LoInf}
+		if !a.HiInf {
+			out.Lo = rational.Mul(a.Hi, c)
+		}
+		if !a.LoInf {
+			out.Hi = rational.Mul(a.Lo, c)
+		}
+	}
+	return out
+}
+
+// Add returns {v + w | v ∈ a, w ∈ b}; exact.
+func (a Itv) Add(b Itv) Itv {
+	if !a.nonEmpty || !b.nonEmpty {
+		return Bottom()
+	}
+	out := Itv{nonEmpty: true, LoInf: a.LoInf || b.LoInf, HiInf: a.HiInf || b.HiInf}
+	if !out.LoInf {
+		out.Lo = rational.Add(a.Lo, b.Lo)
+	}
+	if !out.HiInf {
+		out.Hi = rational.Add(a.Hi, b.Hi)
+	}
+	return out
+}
+
+// Sub returns {v - w | v ∈ a, w ∈ b}; exact.
+func (a Itv) Sub(b Itv) Itv { return a.Add(b.Neg()) }
+
+// bound is an extended rational for the product computation.
+type bound struct {
+	inf int // -1: -∞, +1: +∞, 0: finite
+	v   *big.Rat
+}
+
+func (a Itv) lo() bound {
+	if a.LoInf {
+		return bound{inf: -1}
+	}
+	return bound{v: a.Lo}
+}
+
+func (a Itv) hi() bound {
+	if a.HiInf {
+		return bound{inf: +1}
+	}
+	return bound{v: a.Hi}
+}
+
+// mulBound multiplies two extended rationals; 0 · ±∞ is 0 (sound here
+// because a zero bound comes from a finite endpoint).
+func mulBound(x, y bound) bound {
+	if x.inf == 0 && y.inf == 0 {
+		return bound{v: rational.Mul(x.v, y.v)}
+	}
+	sign := func(b bound) int {
+		if b.inf != 0 {
+			return b.inf
+		}
+		return b.v.Sign()
+	}
+	sx, sy := sign(x), sign(y)
+	if (x.inf != 0 && sy == 0) || (y.inf != 0 && sx == 0) {
+		return bound{v: rational.Zero}
+	}
+	return bound{inf: sx * sy}
+}
+
+func lessBound(x, y bound) bool {
+	if x.inf != y.inf {
+		return x.inf < y.inf
+	}
+	if x.inf != 0 {
+		return false
+	}
+	return x.v.Cmp(y.v) < 0
+}
+
+// Mul returns a sound over-approximation of {v · w | v ∈ a, w ∈ b}
+// (exact for interval endpoints: min/max over the four corner products).
+func (a Itv) Mul(b Itv) Itv {
+	if !a.nonEmpty || !b.nonEmpty {
+		return Bottom()
+	}
+	corners := []bound{
+		mulBound(a.lo(), b.lo()),
+		mulBound(a.lo(), b.hi()),
+		mulBound(a.hi(), b.lo()),
+		mulBound(a.hi(), b.hi()),
+	}
+	lo, hi := corners[0], corners[0]
+	for _, c := range corners[1:] {
+		if lessBound(c, lo) {
+			lo = c
+		}
+		if lessBound(hi, c) {
+			hi = c
+		}
+	}
+	out := Itv{nonEmpty: true}
+	if lo.inf < 0 {
+		out.LoInf = true
+	} else {
+		out.Lo = lo.v
+	}
+	if hi.inf > 0 {
+		out.HiInf = true
+	} else {
+		out.Hi = hi.v
+	}
+	return out
+}
+
+// Square returns a sound over-approximation of {v² | v ∈ a}; tighter than
+// Mul(a, a) because it knows both factors are equal (result is >= 0, and
+// the lower bound uses the distance to zero).
+func (a Itv) Square() Itv {
+	if !a.nonEmpty {
+		return a
+	}
+	if a.Contains(rational.Zero) {
+		out := Itv{nonEmpty: true, Lo: rational.Zero, HiInf: a.LoInf || a.HiInf}
+		if !out.HiInf {
+			out.Hi = rational.Max(rational.Mul(a.Lo, a.Lo), rational.Mul(a.Hi, a.Hi))
+		}
+		return out
+	}
+	// Entirely positive or entirely negative.
+	m := a.Mul(a)
+	if !m.LoInf && m.Lo.Sign() < 0 {
+		m.Lo = rational.Zero
+	}
+	return m
+}
+
+// SqrtRange returns an over-approximation of {v | v² ∈ a}: the preimage of
+// a under squaring, i.e. [-√hi, √hi] when hi ≥ 0 (⊥ if hi < 0). Bounds are
+// rounded outwards to integers when not perfect squares (sound, and keeps
+// denominators small). Used by the solver's backward propagation for x².
+func (a Itv) SqrtRange() Itv {
+	if !a.nonEmpty {
+		return a
+	}
+	if a.HiInf {
+		return Top()
+	}
+	if a.Hi.Sign() < 0 {
+		return Bottom()
+	}
+	r := sqrtUpper(a.Hi)
+	return Range(rational.Neg(r), r)
+}
+
+// sqrtUpper returns a rational u ≥ √v (tight to within 1/2^20).
+func sqrtUpper(v *big.Rat) *big.Rat {
+	if v.Sign() == 0 {
+		return rational.Zero
+	}
+	f, _ := v.Float64()
+	if f > 0 && !bigOverflows(f) {
+		u := new(big.Rat).SetFloat64(sqrtFloatUpper(f))
+		if u != nil && rational.Mul(u, u).Cmp(v) >= 0 {
+			return u
+		}
+	}
+	// Fallback: binary search on integers above.
+	lo, hi := new(big.Int).SetInt64(0), new(big.Int).SetInt64(1)
+	for new(big.Rat).SetInt(hi).Cmp(v) < 0 {
+		hi.Lsh(hi, 1)
+	}
+	// hi >= v >= sqrt(v) for v >= 1; for v < 1, 1 is an upper bound.
+	for i := 0; i < 80; i++ {
+		mid := new(big.Int).Add(lo, hi)
+		mid.Rsh(mid, 1)
+		if mid.Cmp(lo) == 0 {
+			break
+		}
+		m2 := new(big.Rat).SetInt(new(big.Int).Mul(mid, mid))
+		if m2.Cmp(v) >= 0 {
+			hi.Set(mid)
+		} else {
+			lo.Set(mid)
+		}
+	}
+	return new(big.Rat).SetInt(hi)
+}
+
+func bigOverflows(f float64) bool { return f > 1e300 || f < -1e300 }
+
+func sqrtFloatUpper(f float64) float64 {
+	s := sqrtNewton(f)
+	return s * (1 + 1e-9)
+}
+
+func sqrtNewton(f float64) float64 {
+	x := f
+	if x < 1 {
+		x = 1
+	}
+	for i := 0; i < 64; i++ {
+		x = (x + f/x) / 2
+	}
+	return x
+}
+
+// Tighten rounds finite bounds inwards to integers: for integer-typed
+// variables, [1/2, 7/3] becomes [1, 2]. It returns ⊥ when no integer fits.
+func (a Itv) Tighten() Itv {
+	if !a.nonEmpty {
+		return a
+	}
+	out := a
+	if !a.LoInf {
+		out.Lo = rational.Ceil(a.Lo)
+	}
+	if !a.HiInf {
+		out.Hi = rational.Floor(a.Hi)
+	}
+	if !out.LoInf && !out.HiInf && out.Lo.Cmp(out.Hi) > 0 {
+		return Bottom()
+	}
+	return out
+}
+
+// LimitWords relaxes bounds whose storage exceeds maxWords machine words,
+// rounding the lower bound down and the upper bound up (the paper's
+// slow-convergence guard, Section 7.1). The result always contains a.
+func (a Itv) LimitWords(maxWords int) Itv {
+	if !a.nonEmpty {
+		return a
+	}
+	out := a
+	if !a.LoInf {
+		out.Lo = rational.RoundDown(a.Lo, maxWords)
+	}
+	if !a.HiInf {
+		out.Hi = rational.RoundUp(a.Hi, maxWords)
+	}
+	return out
+}
+
+// Words returns the storage footprint of the bounds in machine words.
+func (a Itv) Words() int {
+	if !a.nonEmpty {
+		return 0
+	}
+	w := 0
+	if !a.LoInf {
+		w += rational.Words(a.Lo)
+	}
+	if !a.HiInf {
+		w += rational.Words(a.Hi)
+	}
+	return w
+}
+
+// String renders the interval.
+func (a Itv) String() string {
+	if !a.nonEmpty {
+		return "⊥"
+	}
+	lo, hi := "-inf", "+inf"
+	if !a.LoInf {
+		lo = rational.Format(a.Lo)
+	}
+	if !a.HiInf {
+		hi = rational.Format(a.Hi)
+	}
+	return "[" + lo + "; " + hi + "]"
+}
+
+// Recip returns an over-approximation of {1/v | v ∈ a} when 0 ∉ a;
+// ok=false when a contains zero (or is empty).
+func (a Itv) Recip() (Itv, bool) {
+	if !a.nonEmpty || a.Contains(rational.Zero) {
+		return Bottom(), false
+	}
+	// a is entirely positive or entirely negative; 1/x is monotone
+	// decreasing on each side. 1/±inf tends to 0 (closed 0 is sound).
+	var lo, hi *big.Rat
+	if a.HiInf {
+		lo = rational.Zero
+	} else {
+		lo = rational.Inv(a.Hi)
+	}
+	if a.LoInf {
+		hi = rational.Zero
+	} else {
+		hi = rational.Inv(a.Lo)
+	}
+	return Range(lo, hi), true
+}
+
+// Div returns an over-approximation of {v / w | v ∈ a, w ∈ b} when
+// 0 ∉ b; ok=false when b may be zero.
+func (a Itv) Div(b Itv) (Itv, bool) {
+	r, ok := b.Recip()
+	if !ok {
+		return Bottom(), false
+	}
+	return a.Mul(r), true
+}

@@ -1,0 +1,73 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks that the front end never panics and that accepted
+// programs survive a pretty-print round trip. Run with
+// `go test -fuzz=FuzzParse ./internal/lang` for continuous fuzzing; under
+// plain `go test` the seed corpus runs as regression tests.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"int x = 1;",
+		"int x = nondet(); while (x > 0) { x = x - 1; }",
+		"int a = 1; if (a == 1 && !(a < 0)) { a = 2; } else { a = 3; }",
+		"assert(1);",
+		"int x = 1; assume(x != 2); assert(x % 2 == 1);",
+		"int x = ((1));",
+		"int x = 1; // comment\nx = 2; /* block */",
+		"while (1) {",
+		"int int = 3;",
+		"int x = 9999999999999999999999;",
+		"}{)(",
+		"int x = 1; int y = x / 0;",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return // rejected input: fine, as long as no panic
+		}
+		// Accepted programs must round-trip through the pretty printer.
+		again, err := Parse(prog.String())
+		if err != nil {
+			t.Fatalf("pretty-printed program does not re-parse: %v\n%s", err, prog)
+		}
+		if again.String() != prog.String() {
+			t.Fatalf("pretty print not stable:\n%s\nvs\n%s", prog, again)
+		}
+		// And interpret without panicking (bounded fuel).
+		res := Run(prog, []int64{3, -7, 0, 42}, 5000)
+		res2 := Run(prog, []int64{3, -7, 0, 42}, 5000)
+		// Determinism.
+		if res.Blocked != res2.Blocked || res.FailedAssert != res2.FailedAssert ||
+			res.OutOfFuel != res2.OutOfFuel || len(res.Trace) != len(res2.Trace) {
+			t.Fatal("interpreter not deterministic")
+		}
+	})
+}
+
+// FuzzLex checks the lexer in isolation: it must terminate and either
+// error or produce a token stream ending in EOF.
+func FuzzLex(f *testing.F) {
+	for _, s := range []string{"", "a", "&&", "&", "1<=2", "/*", "//x\n", "<<=>>="} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if strings.Count(src, "") > 1<<16 {
+			return
+		}
+		toks, err := Lex(src)
+		if err != nil {
+			return
+		}
+		if len(toks) == 0 || toks[len(toks)-1].Kind != EOF {
+			t.Fatal("token stream must end in EOF")
+		}
+	})
+}

@@ -1,0 +1,236 @@
+// Package lang implements the mini-C front end used by the Section 7.2
+// reproduction: a lexer, a recursive-descent parser, an AST, and a
+// reference concrete interpreter. The language covers the constructs the
+// SV-Comp-style numeric benchmarks need: integer variables, arithmetic,
+// comparisons, boolean operators, if/else, while, assert, and a nondet()
+// input intrinsic.
+package lang
+
+import "fmt"
+
+// Kind is a token kind.
+type Kind int
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	Ident
+	Number
+	KwInt
+	KwIf
+	KwElse
+	KwWhile
+	KwAssert
+	KwAssume
+	KwNondet
+	LParen
+	RParen
+	LBrace
+	RBrace
+	Semi
+	Assign // =
+	Plus
+	Minus
+	Star
+	Slash
+	Percent
+	Eq  // ==
+	Neq // !=
+	Lt
+	Le
+	Gt
+	Ge
+	AndAnd
+	OrOr
+	Not
+)
+
+var kindNames = map[Kind]string{
+	EOF: "eof", Ident: "identifier", Number: "number", KwInt: "'int'",
+	KwIf: "'if'", KwElse: "'else'", KwWhile: "'while'", KwAssert: "'assert'",
+	KwAssume: "'assume'", KwNondet: "'nondet'",
+	LParen: "'('", RParen: "')'", LBrace: "'{'", RBrace: "'}'", Semi: "';'",
+	Assign: "'='", Plus: "'+'", Minus: "'-'", Star: "'*'", Slash: "'/'",
+	Percent: "'%'", Eq: "'=='", Neq: "'!='", Lt: "'<'", Le: "'<='",
+	Gt: "'>'", Ge: "'>='", AndAnd: "'&&'", OrOr: "'||'", Not: "'!'",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Pos is a source position (1-based line and column).
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is a lexed token.
+type Token struct {
+	Kind Kind
+	Text string
+	Pos  Pos
+}
+
+// Lexer turns source text into tokens.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer { return &Lexer{src: src, line: 1, col: 1} }
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isAlpha(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+var keywords = map[string]Kind{
+	"int": KwInt, "if": KwIf, "else": KwElse, "while": KwWhile,
+	"assert": KwAssert, "assume": KwAssume, "nondet": KwNondet,
+}
+
+// Next returns the next token. Lexical errors surface as an error.
+func (l *Lexer) Next() (Token, error) {
+	// Skip whitespace and comments.
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.advance()
+		case c == '/' && l.off+1 < len(l.src) && l.src[l.off+1] == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.off+1 < len(l.src) && l.src[l.off+1] == '*':
+			l.advance()
+			l.advance()
+			for l.off+1 < len(l.src) && !(l.peek() == '*' && l.src[l.off+1] == '/') {
+				l.advance()
+			}
+			if l.off+1 >= len(l.src) {
+				return Token{}, fmt.Errorf("%d:%d: unterminated block comment", l.line, l.col)
+			}
+			l.advance()
+			l.advance()
+		default:
+			goto lexed
+		}
+	}
+lexed:
+	pos := Pos{l.line, l.col}
+	if l.off >= len(l.src) {
+		return Token{Kind: EOF, Pos: pos}, nil
+	}
+	c := l.advance()
+	two := func(next byte, yes, no Kind) Token {
+		if l.peek() == next {
+			l.advance()
+			return Token{Kind: yes, Pos: pos}
+		}
+		return Token{Kind: no, Pos: pos}
+	}
+	switch {
+	case isDigit(c):
+		start := l.off - 1
+		for l.off < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+		return Token{Kind: Number, Text: l.src[start:l.off], Pos: pos}, nil
+	case isAlpha(c):
+		start := l.off - 1
+		for l.off < len(l.src) && (isAlpha(l.peek()) || isDigit(l.peek())) {
+			l.advance()
+		}
+		word := l.src[start:l.off]
+		if k, ok := keywords[word]; ok {
+			return Token{Kind: k, Text: word, Pos: pos}, nil
+		}
+		return Token{Kind: Ident, Text: word, Pos: pos}, nil
+	}
+	switch c {
+	case '(':
+		return Token{Kind: LParen, Pos: pos}, nil
+	case ')':
+		return Token{Kind: RParen, Pos: pos}, nil
+	case '{':
+		return Token{Kind: LBrace, Pos: pos}, nil
+	case '}':
+		return Token{Kind: RBrace, Pos: pos}, nil
+	case ';':
+		return Token{Kind: Semi, Pos: pos}, nil
+	case '+':
+		return Token{Kind: Plus, Pos: pos}, nil
+	case '-':
+		return Token{Kind: Minus, Pos: pos}, nil
+	case '*':
+		return Token{Kind: Star, Pos: pos}, nil
+	case '/':
+		return Token{Kind: Slash, Pos: pos}, nil
+	case '%':
+		return Token{Kind: Percent, Pos: pos}, nil
+	case '=':
+		return two('=', Eq, Assign), nil
+	case '!':
+		return two('=', Neq, Not), nil
+	case '<':
+		return two('=', Le, Lt), nil
+	case '>':
+		return two('=', Ge, Gt), nil
+	case '&':
+		if l.peek() == '&' {
+			l.advance()
+			return Token{Kind: AndAnd, Pos: pos}, nil
+		}
+		return Token{}, fmt.Errorf("%s: unexpected '&'", pos)
+	case '|':
+		if l.peek() == '|' {
+			l.advance()
+			return Token{Kind: OrOr, Pos: pos}, nil
+		}
+		return Token{}, fmt.Errorf("%s: unexpected '|'", pos)
+	}
+	return Token{}, fmt.Errorf("%s: unexpected character %q", pos, c)
+}
+
+// Lex tokenizes the whole input.
+func Lex(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var out []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == EOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,345 @@
+package pmap
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyMap(t *testing.T) {
+	var m Map[string]
+	if m.Len() != 0 || !m.IsEmpty() {
+		t.Error("zero map should be empty")
+	}
+	if _, ok := m.Get(3); ok {
+		t.Error("Get on empty map")
+	}
+	if m.Contains(0) {
+		t.Error("Contains on empty map")
+	}
+	if _, _, ok := m.Min(); ok {
+		t.Error("Min on empty map")
+	}
+}
+
+func TestSetGetRemove(t *testing.T) {
+	var m Map[int]
+	m = m.Set(5, 50).Set(1, 10).Set(9, 90).Set(5, 55)
+	if m.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", m.Len())
+	}
+	if v, ok := m.Get(5); !ok || v != 55 {
+		t.Errorf("Get(5) = %d,%v", v, ok)
+	}
+	if v, ok := m.Get(1); !ok || v != 10 {
+		t.Errorf("Get(1) = %d,%v", v, ok)
+	}
+	m2 := m.Remove(1)
+	if m2.Contains(1) || !m.Contains(1) {
+		t.Error("Remove must be persistent")
+	}
+	if m2.Remove(777).Len() != 2 {
+		t.Error("Remove of absent key must be a no-op")
+	}
+}
+
+func TestNegativeKeyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic on negative key")
+		}
+	}()
+	var m Map[int]
+	m.Set(-1, 0)
+}
+
+func TestAscendingIteration(t *testing.T) {
+	var m Map[int]
+	keys := []int{77, 3, 0, 1024, 15, 8, 4096, 2}
+	for _, k := range keys {
+		m = m.Set(k, k*10)
+	}
+	got := m.Keys()
+	want := append([]int(nil), keys...)
+	sort.Ints(want)
+	if len(got) != len(want) {
+		t.Fatalf("Keys len = %d", len(got))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("Keys[%d] = %d, want %d (ascending order)", i, got[i], want[i])
+		}
+	}
+	k, v, ok := m.Min()
+	if !ok || k != 0 || v != 0 {
+		t.Errorf("Min = %d,%d,%v", k, v, ok)
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	var m Map[int]
+	for i := 0; i < 10; i++ {
+		m = m.Set(i, i)
+	}
+	n := 0
+	done := m.ForEach(func(k, v int) bool { n++; return n < 3 })
+	if done || n != 3 {
+		t.Errorf("early stop: done=%v n=%d", done, n)
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	var m Map[int]
+	m = m.Update(4, func(old int, ok bool) (int, bool) {
+		if ok {
+			t.Error("should not exist yet")
+		}
+		return 7, true
+	})
+	if v, _ := m.Get(4); v != 7 {
+		t.Error("Update insert failed")
+	}
+	m = m.Update(4, func(old int, ok bool) (int, bool) { return old + 1, true })
+	if v, _ := m.Get(4); v != 8 {
+		t.Error("Update modify failed")
+	}
+	m = m.Update(4, func(int, bool) (int, bool) { return 0, false })
+	if m.Contains(4) {
+		t.Error("Update delete failed")
+	}
+	m2 := m.Update(99, func(int, bool) (int, bool) { return 0, false })
+	if m2.Len() != m.Len() {
+		t.Error("Update delete of absent key must be no-op")
+	}
+}
+
+func TestAgainstReferenceMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var m Map[int]
+	ref := map[int]int{}
+	for i := 0; i < 5000; i++ {
+		k := rng.Intn(800)
+		switch rng.Intn(3) {
+		case 0, 1:
+			v := rng.Int()
+			m = m.Set(k, v)
+			ref[k] = v
+		case 2:
+			m = m.Remove(k)
+			delete(ref, k)
+		}
+	}
+	if m.Len() != len(ref) {
+		t.Fatalf("Len = %d, want %d", m.Len(), len(ref))
+	}
+	for k, v := range ref {
+		if got, ok := m.Get(k); !ok || got != v {
+			t.Fatalf("Get(%d) = %d,%v want %d", k, got, ok, v)
+		}
+	}
+}
+
+func TestIntersectWithBasic(t *testing.T) {
+	var a, b Map[int]
+	for i := 0; i < 10; i++ {
+		a = a.Set(i, i)
+	}
+	for i := 5; i < 15; i++ {
+		b = b.Set(i, i*100)
+	}
+	eq := func(x, y int) bool { return x == y }
+	got := IntersectWith(a, b, eq, func(k, va, vb int) (int, bool) {
+		return va + vb, k%2 == 0 // drop odd keys
+	})
+	// common keys 5..9; all have different values; odd dropped.
+	wantKeys := []int{6, 8}
+	if len(got.Keys()) != 2 {
+		t.Fatalf("keys = %v", got.Keys())
+	}
+	for i, k := range got.Keys() {
+		if k != wantKeys[i] {
+			t.Fatalf("keys = %v", got.Keys())
+		}
+		if v, _ := got.Get(k); v != k+k*100 {
+			t.Fatalf("value at %d = %d", k, v)
+		}
+	}
+}
+
+func TestIntersectSharingAndOrder(t *testing.T) {
+	var base Map[int]
+	for i := 0; i < 1000; i++ {
+		base = base.Set(i, i)
+	}
+	a := base.Set(3, -3).Set(500, -500)
+	b := base.Set(600, -600)
+	var combined []int
+	eq := func(x, y int) bool { return x == y }
+	got := IntersectWith(a, b, eq, func(k, va, vb int) (int, bool) {
+		combined = append(combined, k)
+		return va, true
+	})
+	// combine must only be called on genuinely differing bindings,
+	// in ascending order.
+	want := []int{3, 500, 600}
+	if len(combined) != 3 || combined[0] != 3 || combined[1] != 500 || combined[2] != 600 {
+		t.Fatalf("combine called on %v, want %v", combined, want)
+	}
+	if got.Len() != 1000 {
+		t.Fatalf("Len = %d", got.Len())
+	}
+}
+
+func TestIntersectPhysicalShortCircuit(t *testing.T) {
+	var base Map[int]
+	for i := 0; i < 1<<12; i++ {
+		base = base.Set(i, i)
+	}
+	calls := 0
+	got := IntersectWith(base, base, func(x, y int) bool { calls++; return x == y },
+		func(k, va, vb int) (int, bool) { t.Fatal("combine must not be called"); return 0, false })
+	if calls != 0 {
+		t.Errorf("eq called %d times on identical maps; want full short-circuit", calls)
+	}
+	if got.Len() != base.Len() {
+		t.Error("identity intersection lost bindings")
+	}
+}
+
+func TestIntersectWithReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		var a, b Map[int]
+		refA, refB := map[int]int{}, map[int]int{}
+		for i := 0; i < 200; i++ {
+			k, v := rng.Intn(100), rng.Intn(5)
+			if rng.Intn(2) == 0 {
+				a = a.Set(k, v)
+				refA[k] = v
+			} else {
+				b = b.Set(k, v)
+				refB[k] = v
+			}
+		}
+		eq := func(x, y int) bool { return x == y }
+		got := IntersectWith(a, b, eq, func(k, va, vb int) (int, bool) { return va * 10, true })
+		want := map[int]int{}
+		for k, va := range refA {
+			if vb, ok := refB[k]; ok {
+				if va == vb {
+					want[k] = va
+				} else {
+					want[k] = va * 10
+				}
+			}
+		}
+		if got.Len() != len(want) {
+			t.Fatalf("trial %d: Len = %d, want %d", trial, got.Len(), len(want))
+		}
+		for k, v := range want {
+			if gv, ok := got.Get(k); !ok || gv != v {
+				t.Fatalf("trial %d: Get(%d) = %d,%v want %d", trial, k, gv, ok, v)
+			}
+		}
+	}
+}
+
+func TestUnionWithReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		var a, b Map[int]
+		refA, refB := map[int]int{}, map[int]int{}
+		for i := 0; i < 150; i++ {
+			k, v := rng.Intn(80), rng.Intn(1000)
+			if rng.Intn(2) == 0 {
+				a = a.Set(k, v)
+				refA[k] = v
+			} else {
+				b = b.Set(k, v)
+				refB[k] = v
+			}
+		}
+		got := UnionWith(a, b, func(k, va, vb int) int { return va - vb })
+		want := map[int]int{}
+		for k, v := range refB {
+			want[k] = v
+		}
+		for k, va := range refA {
+			if vb, ok := refB[k]; ok {
+				want[k] = va - vb
+			} else {
+				want[k] = va
+			}
+		}
+		if got.Len() != len(want) {
+			t.Fatalf("trial %d: Len = %d, want %d", trial, got.Len(), len(want))
+		}
+		for k, v := range want {
+			if gv, ok := got.Get(k); !ok || gv != v {
+				t.Fatalf("trial %d: Get(%d) = %d,%v want %d", trial, k, gv, ok, v)
+			}
+		}
+	}
+}
+
+func TestPersistenceQuick(t *testing.T) {
+	// Inserting into a map never changes observations of the original.
+	f := func(keys []uint8, extra uint8) bool {
+		var m Map[int]
+		for _, k := range keys {
+			m = m.Set(int(k), int(k))
+		}
+		before := m.Len()
+		_ = m.Set(int(extra), 999)
+		_ = m.Remove(int(extra))
+		return m.Len() == before
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetOps(t *testing.T) {
+	s := NewSet(3, 1, 4, 1, 5)
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if !s.Contains(4) || s.Contains(2) {
+		t.Error("Contains wrong")
+	}
+	if got := s.Elems(); got[0] != 1 || got[3] != 5 {
+		t.Errorf("Elems = %v", got)
+	}
+	if k, ok := s.Min(); !ok || k != 1 {
+		t.Errorf("Min = %d,%v", k, ok)
+	}
+	t2 := NewSet(4, 5, 6)
+	inter := s.Intersect(t2)
+	if inter.Len() != 2 || !inter.Contains(4) || !inter.Contains(5) {
+		t.Errorf("Intersect = %v", inter.Elems())
+	}
+	un := s.Union(t2)
+	if un.Len() != 5 {
+		t.Errorf("Union = %v", un.Elems())
+	}
+	if s.Remove(3).Contains(3) {
+		t.Error("Remove failed")
+	}
+	var empty Set
+	if !empty.IsEmpty() || empty.Intersect(s).Len() != 0 || empty.Union(s).Len() != s.Len() {
+		t.Error("empty set ops wrong")
+	}
+}
+
+func TestSetForEachOrder(t *testing.T) {
+	s := NewSet(9, 2, 7, 0)
+	var got []int
+	s.ForEach(func(k int) bool { got = append(got, k); return true })
+	want := []int{0, 2, 7, 9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v", got)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package pmap
+
+// Set is a persistent set of non-negative ints built on Map. The zero value
+// is an empty set; sets are values and copying is O(1).
+type Set struct {
+	m Map[struct{}]
+}
+
+// NewSet returns a set containing the given elements.
+func NewSet(elems ...int) Set {
+	var s Set
+	for _, e := range elems {
+		s = s.Add(e)
+	}
+	return s
+}
+
+// Len returns the number of elements.
+func (s Set) Len() int { return s.m.Len() }
+
+// IsEmpty reports whether the set is empty.
+func (s Set) IsEmpty() bool { return s.m.IsEmpty() }
+
+// Contains reports membership of k.
+func (s Set) Contains(k int) bool { return s.m.Contains(k) }
+
+// Add returns the set with k inserted.
+func (s Set) Add(k int) Set { return Set{m: s.m.Set(k, struct{}{})} }
+
+// Remove returns the set with k removed.
+func (s Set) Remove(k int) Set { return Set{m: s.m.Remove(k)} }
+
+// ForEach calls f on each element in ascending order until f returns false.
+func (s Set) ForEach(f func(k int) bool) bool {
+	return s.m.ForEach(func(k int, _ struct{}) bool { return f(k) })
+}
+
+// Elems returns the elements in ascending order.
+func (s Set) Elems() []int { return s.m.Keys() }
+
+// Min returns the smallest element, or ok=false on an empty set.
+func (s Set) Min() (int, bool) {
+	k, _, ok := s.m.Min()
+	return k, ok
+}
+
+// Intersect returns the set intersection, sharing subtrees where possible.
+func (s Set) Intersect(t Set) Set {
+	return Set{m: IntersectWith(s.m, t.m,
+		func(_, _ struct{}) bool { return true },
+		func(int, struct{}, struct{}) (struct{}, bool) { return struct{}{}, true })}
+}
+
+// Union returns the set union, sharing subtrees where possible.
+func (s Set) Union(t Set) Set {
+	return Set{m: UnionWith(s.m, t.m, func(int, struct{}, struct{}) struct{} { return struct{}{} })}
+}

@@ -1,0 +1,219 @@
+// Package shostak implements a Shostak theory (Shostak 1984; Barrett et
+// al. 2002) for linear rational arithmetic, extended with the canon_rel
+// factoring of Section 6.2 of the paper: canonized right-hand sides are
+// split into a term part and a constant-difference label, so that terms
+// differing by a constant share a single stored definition and their
+// relation lives in a labeled union-find. This is the machinery behind the
+// LABELED-UF solver variant of Section 7.1.
+package shostak
+
+import (
+	"math/big"
+	"sort"
+	"strconv"
+	"strings"
+
+	"luf/internal/rational"
+)
+
+// Var is a variable identifier.
+type Var = int
+
+// LinExp is a linear expression Σ coeff_i · x_i + Const over the
+// rationals, in canonical form: no zero coefficients. LinExps are
+// immutable; all operations return fresh values.
+type LinExp struct {
+	coeffs map[Var]*big.Rat
+	Const  *big.Rat
+}
+
+// NewLinExp returns the constant expression c.
+func NewLinExp(c *big.Rat) LinExp {
+	return LinExp{coeffs: map[Var]*big.Rat{}, Const: c}
+}
+
+// VarExp returns the expression 1·v.
+func VarExp(v Var) LinExp {
+	return LinExp{coeffs: map[Var]*big.Rat{v: rational.One}, Const: rational.Zero}
+}
+
+// Monomial returns the expression c·v.
+func Monomial(c *big.Rat, v Var) LinExp {
+	if c.Sign() == 0 {
+		return NewLinExp(rational.Zero)
+	}
+	return LinExp{coeffs: map[Var]*big.Rat{v: c}, Const: rational.Zero}
+}
+
+// Coeff returns the coefficient of v (zero if absent).
+func (e LinExp) Coeff(v Var) *big.Rat {
+	if c, ok := e.coeffs[v]; ok {
+		return c
+	}
+	return rational.Zero
+}
+
+// Vars returns the variables with non-zero coefficients, ascending.
+func (e LinExp) Vars() []Var {
+	out := make([]Var, 0, len(e.coeffs))
+	for v := range e.coeffs {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// IsConst reports whether the expression has no variables.
+func (e LinExp) IsConst() bool { return len(e.coeffs) == 0 }
+
+// clone returns a deep copy of the coefficient map.
+func (e LinExp) clone() LinExp {
+	m := make(map[Var]*big.Rat, len(e.coeffs))
+	for v, c := range e.coeffs {
+		m[v] = c
+	}
+	return LinExp{coeffs: m, Const: e.Const}
+}
+
+// Add returns e + f.
+func (e LinExp) Add(f LinExp) LinExp {
+	out := e.clone()
+	for v, c := range f.coeffs {
+		nc := rational.Add(out.Coeff(v), c)
+		if nc.Sign() == 0 {
+			delete(out.coeffs, v)
+		} else {
+			out.coeffs[v] = nc
+		}
+	}
+	out.Const = rational.Add(out.Const, f.Const)
+	return out
+}
+
+// Scale returns k · e.
+func (e LinExp) Scale(k *big.Rat) LinExp {
+	if k.Sign() == 0 {
+		return NewLinExp(rational.Zero)
+	}
+	out := LinExp{coeffs: make(map[Var]*big.Rat, len(e.coeffs)), Const: rational.Mul(e.Const, k)}
+	for v, c := range e.coeffs {
+		out.coeffs[v] = rational.Mul(c, k)
+	}
+	return out
+}
+
+// Sub returns e - f.
+func (e LinExp) Sub(f LinExp) LinExp { return e.Add(f.Scale(rational.MinusOne)) }
+
+// AddConst returns e + c.
+func (e LinExp) AddConst(c *big.Rat) LinExp {
+	out := e.clone()
+	out.Const = rational.Add(out.Const, c)
+	return out
+}
+
+// Subst returns e with v replaced by def.
+func (e LinExp) Subst(v Var, def LinExp) LinExp {
+	c, ok := e.coeffs[v]
+	if !ok {
+		return e
+	}
+	out := e.clone()
+	delete(out.coeffs, v)
+	return LinExp{coeffs: out.coeffs, Const: out.Const}.Add(def.Scale(c))
+}
+
+// Eq reports structural equality of canonical forms.
+func (e LinExp) Eq(f LinExp) bool {
+	if len(e.coeffs) != len(f.coeffs) || !rational.Eq(e.Const, f.Const) {
+		return false
+	}
+	for v, c := range e.coeffs {
+		fc, ok := f.coeffs[v]
+		if !ok || !rational.Eq(c, fc) {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a canonical string for the whole expression.
+func (e LinExp) Key() string {
+	var sb strings.Builder
+	for _, v := range e.Vars() {
+		sb.WriteString(strconv.Itoa(v))
+		sb.WriteByte('*')
+		sb.WriteString(rational.Key(e.coeffs[v]))
+		sb.WriteByte('+')
+	}
+	sb.WriteString(rational.Key(e.Const))
+	return sb.String()
+}
+
+// TermKey returns the canonical string of the non-constant part only —
+// the canon_rel projection of Section 6.2: two expressions share a TermKey
+// exactly when they differ by a constant.
+func (e LinExp) TermKey() string {
+	var sb strings.Builder
+	for _, v := range e.Vars() {
+		sb.WriteString(strconv.Itoa(v))
+		sb.WriteByte('*')
+		sb.WriteString(rational.Key(e.coeffs[v]))
+		sb.WriteByte('+')
+	}
+	return sb.String()
+}
+
+// Eval evaluates the expression under a valuation.
+func (e LinExp) Eval(sigma map[Var]*big.Rat) *big.Rat {
+	acc := rational.Clone(e.Const)
+	for v, c := range e.coeffs {
+		acc.Add(acc, rational.Mul(c, sigma[v]))
+	}
+	return acc
+}
+
+// String renders the expression with variables as x<i>.
+func (e LinExp) String() string {
+	var sb strings.Builder
+	first := true
+	for _, v := range e.Vars() {
+		c := e.coeffs[v]
+		if first {
+			if rational.IsOne(c) {
+				sb.WriteString("x" + strconv.Itoa(v))
+			} else if rational.Eq(c, rational.MinusOne) {
+				sb.WriteString("-x" + strconv.Itoa(v))
+			} else {
+				sb.WriteString(rational.Format(c) + "*x" + strconv.Itoa(v))
+			}
+			first = false
+			continue
+		}
+		if c.Sign() > 0 {
+			sb.WriteString(" + ")
+			if rational.IsOne(c) {
+				sb.WriteString("x" + strconv.Itoa(v))
+			} else {
+				sb.WriteString(rational.Format(c) + "*x" + strconv.Itoa(v))
+			}
+		} else {
+			sb.WriteString(" - ")
+			nc := rational.Neg(c)
+			if rational.IsOne(nc) {
+				sb.WriteString("x" + strconv.Itoa(v))
+			} else {
+				sb.WriteString(rational.Format(nc) + "*x" + strconv.Itoa(v))
+			}
+		}
+	}
+	if first {
+		return rational.Format(e.Const)
+	}
+	if e.Const.Sign() > 0 {
+		sb.WriteString(" + " + rational.Format(e.Const))
+	} else if e.Const.Sign() < 0 {
+		sb.WriteString(" - " + rational.Format(rational.Neg(e.Const)))
+	}
+	return sb.String()
+}

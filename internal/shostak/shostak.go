@@ -1,0 +1,196 @@
+package shostak
+
+import (
+	"math/big"
+
+	"luf/internal/core"
+	"luf/internal/group"
+	"luf/internal/rational"
+)
+
+// Theory is the incremental Shostak solver state for linear rational
+// arithmetic (Example 6.1): a substitution S mapping solved variables to
+// definitions over unsolved ones, plus the canon_rel extension of
+// Section 6.2 — a reverse map M from the *term part* of canonized
+// definitions to a representative variable, and a labeled union-find Δ
+// over constant-difference labels relating variables whose canonized
+// definitions differ by a constant.
+//
+// Callbacks:
+//   - OnNewRelation fires whenever two variables are discovered to satisfy
+//     σ(b) = σ(a) + k (including k = 0: plain equality). The solver of
+//     Section 7.1 listens to this to propagate value domains across the
+//     relational class.
+//   - Unsat fires when an equation is contradictory (e.g. 0 = 1).
+type Theory struct {
+	s             map[Var]LinExp // solved forms; lhs vars never appear in any rhs
+	reverse       map[string]Var // TermKey of canonized definition -> representative var
+	Delta         *core.UF[Var, *big.Rat]
+	OnNewRelation func(a, b Var, k *big.Rat)
+	unsat         bool
+	// UseCanonRel selects between the canon_rel factoring (LABELED-UF) and
+	// the plain full-key reverse map that only detects exact equalities
+	// (the BASE behaviour).
+	UseCanonRel bool
+}
+
+// New returns an empty theory. useCanonRel selects the Section 6.2
+// extension; with it disabled only exact syntactic equalities of canonized
+// right-hand sides are detected (still through Delta, with label 0).
+func New(useCanonRel bool) *Theory {
+	t := &Theory{
+		s:           make(map[Var]LinExp),
+		reverse:     make(map[string]Var),
+		UseCanonRel: useCanonRel,
+	}
+	t.Delta = core.New[Var, *big.Rat](group.QDiff{})
+	return t
+}
+
+// IsUnsat reports whether a contradictory equation was asserted.
+func (t *Theory) IsUnsat() bool { return t.unsat }
+
+// Canon returns the canonical form of e under the current substitution.
+func (t *Theory) Canon(e LinExp) LinExp {
+	for _, v := range e.Vars() {
+		if def, ok := t.s[v]; ok {
+			e = e.Subst(v, def)
+		}
+	}
+	return e
+}
+
+// CanonRel returns canon_rel(e): the canonized term part and the constant
+// label, with canon(e) = term + label (Section 6.2).
+func (t *Theory) CanonRel(e LinExp) (LinExp, *big.Rat) {
+	c := t.Canon(e)
+	k := c.Const
+	return c.AddConst(rational.Neg(k)), k
+}
+
+// Entails reports whether the asserted equations imply e1 = e2.
+func (t *Theory) Entails(e1, e2 LinExp) bool {
+	if t.unsat {
+		return true
+	}
+	return t.Canon(e1).Eq(t.Canon(e2))
+}
+
+// Diff returns k such that the asserted equations imply e2 = e1 + k.
+func (t *Theory) Diff(e1, e2 LinExp) (*big.Rat, bool) {
+	d := t.Canon(e2).Sub(t.Canon(e1))
+	if !d.IsConst() {
+		return nil, false
+	}
+	return d.Const, true
+}
+
+// AssertEq asserts e1 = e2. It returns false when the theory becomes
+// unsatisfiable.
+func (t *Theory) AssertEq(e1, e2 LinExp) bool {
+	if t.unsat {
+		return false
+	}
+	// σ_i = solve(S_{i-1}(e_i)).
+	e := t.Canon(e1.Sub(e2))
+	if e.IsConst() {
+		if e.Const.Sign() != 0 {
+			t.unsat = true
+			return false
+		}
+		return true // redundant
+	}
+	// solve: isolate the largest variable: c·v + rest = 0 ⟹ v = -rest/c.
+	vars := e.Vars()
+	v := vars[len(vars)-1]
+	c := e.Coeff(v)
+	def := e.Subst(v, NewLinExp(rational.Zero)).Scale(rational.Neg(rational.Inv(c)))
+	// S_i = σ_i(S_{i-1}) ∪ σ_i: substitute v in all existing definitions.
+	for w, d := range t.s {
+		if _, uses := d.coeffs[v]; uses {
+			t.s[w] = d.Subst(v, def)
+		}
+	}
+	t.s[v] = def
+	// Rebuild the reverse map and push newly entailed relations: any two
+	// solved variables whose canonized definitions now share a term part
+	// are at constant difference (Section 6.2 / Example 6.2). With
+	// UseCanonRel off, only full-key matches (exact equality) are related.
+	t.reverse = make(map[string]Var)
+	for w, d := range t.s {
+		t.index(w, d)
+	}
+	return true
+}
+
+// index registers w's definition in the reverse map, emitting relations on
+// collisions.
+func (t *Theory) index(w Var, d LinExp) {
+	var key string
+	var k *big.Rat
+	if t.UseCanonRel {
+		key = d.TermKey()
+		k = d.Const
+	} else {
+		key = d.Key()
+		k = rational.Zero
+	}
+	// A definition that collapses to a plain variable (x = y + k) relates
+	// w to that variable directly as well.
+	rep, seen := t.reverse[key]
+	if !seen {
+		t.reverse[key] = w
+		// Special case: definition is exactly "var + const" — relate to
+		// that variable too (it may not be solved itself). Without
+		// canon_rel only plain equalities (const = 0) are detected.
+		if vs := d.Vars(); len(vs) == 1 && rational.IsOne(d.Coeff(vs[0])) {
+			if t.UseCanonRel || d.Const.Sign() == 0 {
+				t.relate(vs[0], w, d.Const)
+			}
+		}
+		return
+	}
+	// rep and w differ by a constant: σ(w) = σ(rep) + (k_w - k_rep).
+	repDef := t.s[rep]
+	var repK *big.Rat
+	if t.UseCanonRel {
+		repK = repDef.Const
+	} else {
+		repK = rational.Zero
+	}
+	t.relate(rep, w, rational.Sub(k, repK))
+	if vs := d.Vars(); len(vs) == 1 && rational.IsOne(d.Coeff(vs[0])) {
+		if t.UseCanonRel || d.Const.Sign() == 0 {
+			t.relate(vs[0], w, d.Const)
+		}
+	}
+}
+
+// relate records σ(b) = σ(a) + k in Δ and fires the callback on new
+// information.
+func (t *Theory) relate(a, b Var, k *big.Rat) {
+	if a == b {
+		return
+	}
+	if existing, ok := t.Delta.GetRelation(a, b); ok {
+		if !rational.Eq(existing, k) {
+			// Two different constant differences between the same pair:
+			// contradiction.
+			t.unsat = true
+		}
+		return
+	}
+	t.Delta.AddRelation(a, b, k)
+	if t.OnNewRelation != nil {
+		t.OnNewRelation(a, b, k)
+	}
+}
+
+// Solved returns the current definition of v, if solved.
+func (t *Theory) Solved(v Var) (LinExp, bool) {
+	d, ok := t.s[v]
+	return d, ok
+}
+
+// NumSolved returns the number of solved variables.
+func (t *Theory) NumSolved() int { return len(t.s) }

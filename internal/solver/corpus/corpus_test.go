@@ -1,0 +1,111 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+
+	"luf/internal/solver"
+)
+
+func smallConfig() Config {
+	return Config{Seed: 7, Linear: 40, Offsets: 15, FTerm: 15, SlowConv: 10, MulFree: 10}
+}
+
+func TestCorpusValidates(t *testing.T) {
+	for _, p := range Generate(smallConfig()) {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%v", err)
+		}
+		if p.Truth == solver.StatusSat && p.Witness == nil && !strings.HasPrefix(p.Name, "slowconv") {
+			t.Errorf("%s: sat problem without witness", p.Name)
+		}
+	}
+}
+
+func TestCorpusDeterministic(t *testing.T) {
+	a := Generate(smallConfig())
+	b := Generate(smallConfig())
+	if len(a) != len(b) {
+		t.Fatal("length mismatch")
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || len(a[i].Cons) != len(b[i].Cons) || a[i].NumVars != b[i].NumVars {
+			t.Fatalf("problem %d differs between runs", i)
+		}
+	}
+}
+
+// TestSolverSoundOnCorpus is the big soundness net: no variant may ever
+// contradict the ground truth of any generated problem.
+func TestSolverSoundOnCorpus(t *testing.T) {
+	problems := Generate(smallConfig())
+	opts := solver.Options{MaxSteps: 20000, MaxVarUpdates: 200}
+	for _, p := range problems {
+		for _, v := range []solver.Variant{solver.Base, solver.LabeledUF, solver.GroupAction} {
+			r := solver.Solve(p, v, opts)
+			if p.Truth == solver.StatusUnsat && r.Verdict == solver.VerdictSat {
+				t.Errorf("%s on %s: false SAT", v, p.Name)
+			}
+			if p.Truth == solver.StatusSat && r.Verdict == solver.VerdictUnsat {
+				t.Errorf("%s on %s: false UNSAT", v, p.Name)
+			}
+		}
+	}
+}
+
+// TestFamilyBehaviours checks the qualitative shape each family is
+// designed to produce.
+func TestFamilyBehaviours(t *testing.T) {
+	problems := Generate(smallConfig())
+	opts := solver.Options{MaxSteps: 20000, MaxVarUpdates: 200}
+	counts := map[string]map[solver.Variant]int{}
+	steps := map[string]map[solver.Variant]int{}
+	total := map[string]int{}
+	for _, p := range problems {
+		fam := strings.SplitN(p.Name, "-", 2)[0]
+		total[fam]++
+		for _, v := range []solver.Variant{solver.Base, solver.LabeledUF, solver.GroupAction} {
+			r := solver.Solve(p, v, opts)
+			if counts[fam] == nil {
+				counts[fam] = map[solver.Variant]int{}
+				steps[fam] = map[solver.Variant]int{}
+			}
+			if r.Verdict != solver.VerdictUnknown {
+				counts[fam][v]++
+			}
+			steps[fam][v] += r.Steps
+		}
+	}
+	// linear: everyone solves everything.
+	for _, v := range []solver.Variant{solver.Base, solver.LabeledUF, solver.GroupAction} {
+		if counts["linear"][v] != total["linear"] {
+			t.Errorf("%s solved %d/%d linear", v, counts["linear"][v], total["linear"])
+		}
+	}
+	// offsets and fterm: LUF variants solve all, BASE solves none.
+	for _, fam := range []string{"offsets", "fterm"} {
+		if counts[fam][solver.Base] != 0 {
+			t.Errorf("BASE solved %d/%d %s; expected 0", counts[fam][solver.Base], total[fam], fam)
+		}
+		for _, v := range []solver.Variant{solver.LabeledUF, solver.GroupAction} {
+			if counts[fam][v] != total[fam] {
+				t.Errorf("%s solved %d/%d %s; expected all", v, counts[fam][v], total[fam], fam)
+			}
+		}
+	}
+	// slowconv: all converge given a generous budget, but the labeled
+	// variants burn noticeably more steps.
+	if counts["slowconv"][solver.Base] != total["slowconv"] {
+		t.Errorf("BASE solved %d/%d slowconv", counts["slowconv"][solver.Base], total["slowconv"])
+	}
+	if steps["slowconv"][solver.LabeledUF] <= steps["slowconv"][solver.Base] {
+		t.Errorf("LABELED-UF steps %d not above BASE %d on slowconv",
+			steps["slowconv"][solver.LabeledUF], steps["slowconv"][solver.Base])
+	}
+	// mulfree: nobody solves these.
+	for _, v := range []solver.Variant{solver.Base, solver.LabeledUF, solver.GroupAction} {
+		if counts["mulfree"][v] != 0 {
+			t.Errorf("%s solved %d mulfree; expected 0", v, counts["mulfree"][v])
+		}
+	}
+}

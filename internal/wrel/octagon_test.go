@@ -1,0 +1,107 @@
+package wrel
+
+import (
+	"math/rand"
+	"testing"
+
+	"luf/internal/interval"
+)
+
+func TestOctagonBasics(t *testing.T) {
+	g := NewGraph[Oct](OctRel{}, 3)
+	// y - x ∈ [1;2] and y + x ∈ [10;12].
+	r, _ := (OctRel{}).Meet(OctDiff(1, 2), OctSum(10, 12))
+	g.Add(0, 1, r)
+	// z - y ∈ [0;1].
+	g.Add(1, 2, OctDiff(0, 1))
+	if !g.Saturate() {
+		t.Fatal("bottom")
+	}
+	// z - x ∈ [1;3]; z + x ∈ (z-y) + (y+x) = [10;13].
+	got, ok := g.Get(0, 2)
+	if !ok {
+		t.Fatal("no derived constraint")
+	}
+	if !got.D.Eq(interval.RangeInt(1, 3)) {
+		t.Errorf("z-x = %s", got.D)
+	}
+	if !got.S.Eq(interval.RangeInt(10, 13)) {
+		t.Errorf("z+x = %s", got.S)
+	}
+}
+
+func TestOctagonBottom(t *testing.T) {
+	g := NewGraph[Oct](OctRel{}, 2)
+	g.Add(0, 1, OctDiff(5, 5))
+	if g.Add(0, 1, OctDiff(7, 7)) {
+		t.Error("contradictory differences")
+	}
+	g2 := NewGraph[Oct](OctRel{}, 3)
+	g2.Add(0, 1, OctDiff(1, 1))
+	g2.Add(1, 2, OctDiff(1, 1))
+	g2.Add(0, 2, OctDiff(5, 5))
+	if g2.Saturate() {
+		t.Error("cycle contradiction not detected")
+	}
+}
+
+// TestOctagonSaturationSound fuzzes: a witness valuation must survive
+// saturation, and saturation must tighten edge-wise.
+func TestOctagonSaturationSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	oct := OctRel{}
+	for trial := 0; trial < 40; trial++ {
+		const n = 6
+		sigma := make([]int64, n)
+		for i := range sigma {
+			sigma[i] = int64(rng.Intn(31) - 15)
+		}
+		g := NewGraph[Oct](oct, n)
+		for e := 0; e < 10; e++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			if i == j {
+				continue
+			}
+			d := sigma[j] - sigma[i]
+			s := sigma[j] + sigma[i]
+			r := Oct{
+				D: interval.RangeInt(d-int64(rng.Intn(3)), d+int64(rng.Intn(3))),
+				S: interval.RangeInt(s-int64(rng.Intn(4)), s+int64(rng.Intn(4))),
+			}
+			g.Add(i, j, r)
+		}
+		before := g.Clone()
+		if !g.Saturate() {
+			t.Fatalf("trial %d: satisfiable octagon closed to bottom", trial)
+		}
+		if !SatOct(g, sigma) {
+			t.Fatalf("trial %d: witness dropped", trial)
+		}
+		before.Edges(func(i, j int, r Oct) {
+			s, ok := g.Get(i, j)
+			if !ok || !oct.Leq(s, r) {
+				t.Fatalf("trial %d: saturation weaker at (%d,%d)", trial, i, j)
+			}
+		})
+	}
+}
+
+// TestOctagonTighterThanItvDiff: the sum component catches contradictions
+// plain difference constraints cannot.
+func TestOctagonTighterThanItvDiff(t *testing.T) {
+	oct := OctRel{}
+	g := NewGraph[Oct](oct, 2)
+	// y - x = 0 and y + x ∈ [1;1]: fine (x = y = 1/2 over ℚ).
+	r, ok := oct.Meet(OctDiff(0, 0), OctSum(1, 1))
+	if !ok {
+		t.Fatal("meet")
+	}
+	g.Add(0, 1, r)
+	if !g.Saturate() {
+		t.Fatal("satisfiable")
+	}
+	// Adding y + x ∈ [5;5] contradicts the sum, not the difference.
+	if g.Add(0, 1, OctSum(5, 5)) {
+		t.Error("sum contradiction must be caught")
+	}
+}

@@ -1,0 +1,174 @@
+// Package luf is the public facade of the labeled union-find library, a Go
+// implementation of "Relational Abstractions Based on Labeled Union-Find"
+// (Lesbre, Lemerre, Ait-El-Hara, Bobot; PLDI 2025).
+//
+// The core data structure is a union-find whose parent edges carry labels
+// from a group ⟨L, Compose, Inverse, Identity⟩; composing labels along find
+// paths yields the relation between any two connected nodes, turning the
+// transitive closure of injective relations (equalities, constant offsets,
+// affine maps y = a·x + b, xor-rotations, permutations, …) into near-
+// constant-time queries:
+//
+//	uf := luf.New[string](luf.TVPE{})
+//	uf.AddRelation("x", "y", luf.AffineInt(3, 4)) // y = 3x + 4
+//	uf.AddRelation("y", "z", luf.AffineInt(1, 2)) // z = y + 2
+//	rel, ok := uf.GetRelation("x", "z")           // z = 3x + 6
+//
+// Sub-packages accessible through this facade:
+//
+//   - groups (Delta, QDiff, TVPE, ModTVPE, XorRot, Parity, MatGroup, Perm,
+//     Free, Reloc) — the label groups of Section 4.2 of the paper;
+//   - InfoUF — per-class information transported by a group action
+//     (Section 3.3);
+//   - PUF / Inter — the confluently persistent variant with the
+//     abstract-join intersection (Appendix A);
+//   - value domains (intervals, congruences, known bits and their reduced
+//     products) with refine operators and exact group actions (Section 5);
+//   - factorized maps and equality detection (Sections 5.2 and 6.1);
+//   - a Shostak linear-arithmetic theory with canon_rel (Section 6.2);
+//   - the evaluation substrates: a propagation-based constraint solver
+//     (Section 7.1) and a mini-C abstract interpreter (Section 7.2).
+package luf
+
+import (
+	"luf/internal/core"
+	"luf/internal/group"
+)
+
+// Group is the label-group descriptor interface (Assumption 2 of the
+// paper); see package group for the laws implementations must satisfy.
+type Group[L any] = group.Group[L]
+
+// UF is the mutable labeled union-find (Figure 4 of the paper).
+type UF[N comparable, L any] = core.UF[N, L]
+
+// InfoUF extends UF with per-class information at representatives,
+// transported by a group action (Figure 5).
+type InfoUF[N comparable, L, I any] = core.InfoUF[N, L, I]
+
+// Action is the group action interface used by InfoUF (Section 3.3).
+type Action[L, I any] = core.Action[L, I]
+
+// PUF is the confluently persistent labeled union-find (Appendix A).
+type PUF[L any] = core.PUF[L]
+
+// Conflict describes an inconsistent AddRelation call (Section 3.2).
+type Conflict[N comparable, L any] = core.Conflict[N, L]
+
+// ConflictFunc handles conflicts.
+type ConflictFunc[N comparable, L any] = core.ConflictFunc[N, L]
+
+// Option configures a UF.
+type Option[N comparable, L any] = core.Option[N, L]
+
+// New returns an empty labeled union-find over nodes N with label group g.
+func New[N comparable, L any](g Group[L], opts ...Option[N, L]) *UF[N, L] {
+	return core.New[N, L](g, opts...)
+}
+
+// NewInfo attaches per-class information to a union-find via the action.
+func NewInfo[N comparable, L, I any](u *UF[N, L], act Action[L, I]) *InfoUF[N, L, I] {
+	return core.NewInfo[N, L, I](u, act)
+}
+
+// NewPersistent returns an empty persistent labeled union-find (nodes are
+// non-negative ints).
+func NewPersistent[L any](g Group[L]) PUF[L] { return core.NewPersistent[L](g) }
+
+// Inter intersects two persistent union-finds: the most precise structure
+// relating exactly the pairs both inputs relate with equal labels — the
+// abstract join (Theorem A.1).
+func Inter[L any](a, b PUF[L]) PUF[L] { return core.Inter[L](a, b) }
+
+// PInfo is a persistent labeled union-find with a factorized per-class
+// value map (the extension suggested at the end of Appendix A).
+type PInfo[L, I any] = core.PInfo[L, I]
+
+// JoinAction is the action interface PInfo's Join needs (Apply/Meet/Top
+// plus Join/Eq on the information lattice).
+type JoinAction[L, I any] = core.JoinAction[L, I]
+
+// NewPersistentInfo pairs a persistent union-find with a factorized value
+// map transported by the action.
+func NewPersistentInfo[L, I any](u PUF[L], act JoinAction[L, I]) PInfo[L, I] {
+	return core.NewPersistentInfo[L, I](u, act)
+}
+
+// Join computes the abstract join of two persistent factorized maps:
+// relations are intersected and class values joined through the action.
+func Join[L, I any](a, b PInfo[L, I]) PInfo[L, I] { return core.Join[L, I](a, b) }
+
+// WithConflictHandler installs a conflict callback.
+func WithConflictHandler[N comparable, L any](f ConflictFunc[N, L]) Option[N, L] {
+	return core.WithConflictHandler[N, L](f)
+}
+
+// WithSeed seeds the randomized linking for reproducible tree shapes.
+func WithSeed[N comparable, L any](seed int64) Option[N, L] {
+	return core.WithSeed[N, L](seed)
+}
+
+// CheckGroupLaws verifies the group axioms on sample labels; use it to
+// validate user-defined label groups.
+func CheckGroupLaws[L any](g Group[L], samples []L) error {
+	return group.CheckLaws[L](g, samples)
+}
+
+// Label groups of Section 4.2 (see package group for documentation).
+type (
+	// Delta is the constant-difference group over int64 (Example 2.1).
+	Delta = group.Delta
+	// QDiff is the constant-difference group over rationals.
+	QDiff = group.QDiff
+	// TVPE is the two-values-per-equality group y = a·x + b over ℚ
+	// (Example 4.6).
+	TVPE = group.TVPE
+	// Affine is a TVPE label.
+	Affine = group.Affine
+	// ModTVPE is modular TVPE over ℤ/2ʷℤ with odd slopes (Example 4.8).
+	ModTVPE = group.ModTVPE
+	// XorRot is the xor-rotate bitvector group (Example 4.7).
+	XorRot = group.XorRot
+	// XorConst is the constant bitvector comparison group (Example 2.3).
+	XorConst = group.XorConst
+	// Parity is the parity-comparison group (Example 4.4).
+	Parity = group.Parity
+	// MatGroup is the invertible affine matrix group over ℚⁿ
+	// (Example 4.9).
+	MatGroup = group.MatGroup
+	// Perm is the symmetric group on {0..n-1}.
+	Perm = group.Perm
+	// Free is the free group over integer generators (proof production).
+	Free = group.Free
+	// Reloc is the sequence-relocation group.
+	Reloc = group.Reloc
+)
+
+// NewAffine returns the TVPE label y = a·x + b (a ≠ 0).
+var NewAffine = group.NewAffine
+
+// AffineInt returns the TVPE label with integer coefficients.
+var AffineInt = group.AffineInt
+
+// NewModTVPE returns the modular TVPE group of width w.
+var NewModTVPE = group.NewModTVPE
+
+// NewXorRot returns the xor-rotate group of width w.
+var NewXorRot = group.NewXorRot
+
+// NewXorConst returns the constant-xor group of width w.
+var NewXorConst = group.NewXorConst
+
+// NewMatGroup returns the invertible affine map group on ℚⁿ.
+var NewMatGroup = group.NewMatGroup
+
+// NewPerm returns the symmetric group S_n.
+var NewPerm = group.NewPerm
+
+// ThroughPoints returns the affine label through two points (the
+// "joining constants" rule of Section 7.2).
+var ThroughPoints = group.ThroughPoints
+
+// Intersect solves two conflicting affine relations to a point
+// (Section 3.2's conflict handling).
+var Intersect = group.Intersect

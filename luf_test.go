@@ -1,0 +1,41 @@
+package luf_test
+
+import (
+	"testing"
+
+	"luf"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	uf := luf.New[string](luf.TVPE{})
+	uf.AddRelation("x", "y", luf.AffineInt(3, 4))
+	uf.AddRelation("y", "z", luf.AffineInt(1, 2))
+	rel, ok := uf.GetRelation("x", "z")
+	if !ok {
+		t.Fatal("x and z should be related")
+	}
+	want := luf.AffineInt(3, 6)
+	if !(luf.TVPE{}).Equal(rel, want) {
+		t.Errorf("x->z = %s, want %s", (luf.TVPE{}).Format(rel), (luf.TVPE{}).Format(want))
+	}
+}
+
+func TestFacadePersistent(t *testing.T) {
+	p := luf.NewPersistent[int64](luf.Delta{})
+	a, _ := p.AddRelation(0, 1, 5, nil)
+	b, _ := p.AddRelation(0, 1, 5, nil)
+	b, _ = b.AddRelation(1, 2, 1, nil)
+	i := luf.Inter(a, b)
+	if l, ok := i.GetRelation(0, 1); !ok || l != 5 {
+		t.Errorf("0->1 = %d, %v", l, ok)
+	}
+	if _, ok := i.GetRelation(1, 2); ok {
+		t.Error("1->2 only in one branch")
+	}
+}
+
+func TestFacadeCheckGroupLaws(t *testing.T) {
+	if err := luf.CheckGroupLaws[int64](luf.Delta{}, []int64{0, 1, -5}); err != nil {
+		t.Error(err)
+	}
+}
