@@ -20,6 +20,8 @@ func main() {
 	exp := flag.String("exp", "all", "experiment: table1, sec72, sec72d2, scaling, inter, all")
 	programs := flag.Int("programs", 584, "number of analyzer corpus programs (sec72)")
 	quick := flag.Bool("quick", false, "smaller corpora for a fast smoke run")
+	budget := flag.Int("budget", 0, "per-run analyzer step budget for sec72 (0 = unlimited)")
+	check := flag.Bool("check", false, "audit union-find invariants after every run")
 	flag.Parse()
 
 	run := func(name string) bool { return *exp == name || *exp == "all" }
@@ -32,11 +34,12 @@ func main() {
 			cfg.Corpus.Linear, cfg.Corpus.Offsets, cfg.Corpus.FTerm = 80, 15, 10
 			cfg.Corpus.SlowConv, cfg.Corpus.MulFree = 20, 20
 		}
+		cfg.Opts.CheckInvariants = *check
 		fmt.Println(bench.RunTable1(cfg).Format())
 	}
 	if run("sec72") {
 		any = true
-		cfg := bench.Sec72Config{NumPrograms: *programs, Depth: 1000}
+		cfg := bench.Sec72Config{NumPrograms: *programs, Depth: 1000, Budget: *budget, Check: *check}
 		if *quick {
 			cfg.NumPrograms = 60
 		}
@@ -44,7 +47,7 @@ func main() {
 	}
 	if run("sec72d2") {
 		any = true
-		cfg := bench.Sec72Config{NumPrograms: *programs, Depth: 2}
+		cfg := bench.Sec72Config{NumPrograms: *programs, Depth: 2, Budget: *budget, Check: *check}
 		if *quick {
 			cfg.NumPrograms = 60
 		}

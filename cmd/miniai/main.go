@@ -2,7 +2,7 @@
 // interpreter, with and without the labeled union-find TVPE domain, and
 // reports per-variable values and assertion verdicts.
 //
-//	miniai [-depth n] [-dump-ssa] file.c
+//	miniai [-depth n] [-steps n] [-deadline d] [-check] [-dump-ssa] file.c
 package main
 
 import (
@@ -12,15 +12,19 @@ import (
 
 	"luf/internal/analyzer"
 	"luf/internal/cfg"
+	"luf/internal/fault"
 	"luf/internal/lang"
 )
 
 func main() {
 	depth := flag.Int("depth", 1000, "constraint propagation depth limit")
+	steps := flag.Int("steps", 0, "analysis step budget (0 = unlimited)")
+	deadline := flag.Duration("deadline", 0, "wall-clock limit per analysis (0 = none)")
+	check := flag.Bool("check", false, "audit union-find invariants after analysis")
 	dumpSSA := flag.Bool("dump-ssa", false, "print the SSA control-flow graph")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: miniai [-depth n] [-dump-ssa] file.c")
+		fmt.Fprintln(os.Stderr, "usage: miniai [-depth n] [-steps n] [-deadline d] [-check] [-dump-ssa] file.c")
 		os.Exit(2)
 	}
 	data, err := os.ReadFile(flag.Arg(0))
@@ -43,13 +47,18 @@ func main() {
 		if *dumpSSA && !useLUF {
 			fmt.Println(g)
 		}
-		conf := analyzer.Config{UseLUF: useLUF, PropagationDepth: *depth}
+		conf := analyzer.Config{UseLUF: useLUF, PropagationDepth: *depth,
+			MaxSteps: *steps, Deadline: *deadline, CheckInvariants: *check}
 		res := analyzer.Analyze(g, dom, conf)
 		mode := "baseline"
 		if useLUF {
 			mode = "with labeled union-find"
 		}
 		fmt.Printf("=== %s (depth %d) ===\n", mode, *depth)
+		if res.Stop != nil {
+			fmt.Printf("  stopped early (%s): results degraded to a sound over-approximation\n",
+				fault.StopLabel(res.Stop))
+		}
 		for v := 1; v < g.NumVars; v++ {
 			fmt.Printf("  v%-3d %-10s %s\n", v, g.VarName[v], res.Values[v])
 		}

@@ -20,6 +20,7 @@ import (
 	"os"
 	"strings"
 
+	"luf/internal/fault"
 	"luf/internal/rational"
 	"luf/internal/shostak"
 	"luf/internal/solver"
@@ -28,6 +29,8 @@ import (
 func main() {
 	demo := flag.String("demo", "", "run a built-in demo: figure7 or example71")
 	steps := flag.Int("steps", 200000, "step budget")
+	deadline := flag.Duration("deadline", 0, "wall-clock limit per variant (0 = none)")
+	check := flag.Bool("check", false, "audit union-find invariants after solving")
 	flag.Parse()
 
 	var p *solver.Problem
@@ -59,8 +62,17 @@ func main() {
 	}
 	fmt.Printf("problem %s: %d variables, %d constraints\n\n", p.Name, p.NumVars, len(p.Cons))
 	for _, v := range []solver.Variant{solver.Base, solver.LabeledUF, solver.GroupAction} {
-		r := solver.Solve(p, v, solver.Options{MaxSteps: *steps})
-		fmt.Printf("  %-13s verdict=%-8s steps=%-7d relations=%d\n", v, r.Verdict, r.Steps, r.NumRelations)
+		opts := solver.Options{MaxSteps: *steps, Deadline: *deadline, CheckInvariants: *check}
+		r := solver.Solve(p, v, opts)
+		fmt.Printf("  %-13s verdict=%-8s steps=%-7d relations=%d", v, r.Verdict, r.Steps, r.NumRelations)
+		if r.Stop != nil {
+			fmt.Printf(" stop=%s", fault.StopLabel(r.Stop))
+			if pt := r.Partial; pt != nil {
+				fmt.Printf(" (partial: %d determined, %d bounded, %d pending)",
+					pt.Determined, pt.Bounded, pt.Pending)
+			}
+		}
+		fmt.Println()
 	}
 }
 

@@ -23,7 +23,7 @@ import (
 
 func main() {
 	const w = 8
-	g := luf.NewXorRot(w)
+	g := luf.MustXorRot(w)
 
 	// A mutable labeled union-find with per-class known-bits information.
 	uf := core.New[string, group.XRLabel](g)

@@ -34,7 +34,7 @@ func main() {
 	fmt.Println("  celsius    = 1·kelvin - 273   (temperature conversion)")
 	uf.AddRelation("kelvin", "celsius", luf.AffineInt(1, -273))
 	fmt.Println("  fahrenheit = 9/5·celsius + 32")
-	uf.AddRelation("celsius", "fahrenheit", luf.NewAffine(ratio(9, 5), ratio(32, 1)))
+	uf.AddRelation("celsius", "fahrenheit", luf.MustAffine(ratio(9, 5), ratio(32, 1)))
 
 	// The transitive relation is recovered by composing labels.
 	rel, ok := uf.GetRelation("kelvin", "fahrenheit")

@@ -19,13 +19,13 @@ import (
 )
 
 func main() {
-	g := luf.NewPerm(8)
+	g := luf.MustPerm(8)
 	uf := luf.New[string](g)
 
 	// Moves of our toy puzzle, as permutations of 8 positions.
-	swapHalves := g.NewLabel([]int{4, 5, 6, 7, 0, 1, 2, 3})
-	rotate := g.NewLabel([]int{1, 2, 3, 4, 5, 6, 7, 0})
-	mirror := g.NewLabel([]int{7, 6, 5, 4, 3, 2, 1, 0})
+	swapHalves := g.MustLabel([]int{4, 5, 6, 7, 0, 1, 2, 3})
+	rotate := g.MustLabel([]int{1, 2, 3, 4, 5, 6, 7, 0})
+	mirror := g.MustLabel([]int{7, 6, 5, 4, 3, 2, 1, 0})
 
 	// Exploration derives named states from one another.
 	fmt.Println("Deriving states:")

@@ -1,12 +1,17 @@
 package analyzer
 
 import (
+	"context"
 	"math/big"
+	"time"
 
 	"luf/internal/cfg"
+	"luf/internal/core"
 	"luf/internal/domain"
 	"luf/internal/factor"
+	"luf/internal/fault"
 	"luf/internal/group"
+	"luf/internal/invariant"
 	"luf/internal/rational"
 )
 
@@ -24,6 +29,23 @@ type Config struct {
 	WidenDelay int
 	// MaxRestarts bounds relation-retraction restarts.
 	MaxRestarts int
+	// MaxSteps bounds the total analysis work (block interpretations
+	// plus propagation refinements) across all restarts; 0 = unlimited.
+	// Exhaustion degrades the result soundly to ⊤ with a classified
+	// Stop, never a wrong verdict.
+	MaxSteps int
+	// Deadline, when non-zero, bounds wall-clock time (checked on a
+	// stride, like the solver).
+	Deadline time.Duration
+	// Ctx, when non-nil, allows external cancellation.
+	Ctx context.Context
+	// Inject, when non-nil, deterministically injects faults for
+	// robustness testing; see internal/fault.
+	Inject *fault.Injector
+	// CheckInvariants audits the TVPE union-find after the run
+	// (package invariant), including brute-force recomposition of every
+	// accepted relation. A violation degrades the result to ⊤.
+	CheckInvariants bool
 }
 
 // DefaultConfig mirrors the paper's main configuration.
@@ -60,6 +82,12 @@ type Result struct {
 	// when LUF is enabled.
 	Values []domain.IC
 	Stats  Stats
+	// Stop is nil when the analysis ran to completion; otherwise it
+	// classifies why it stopped early (fault.ErrBudgetExhausted,
+	// fault.ErrDeadlineExceeded, fault.ErrCanceled, an injected fault,
+	// or an invariant violation). A non-nil Stop means the results were
+	// degraded to the sound ⊤ fallback.
+	Stop error
 }
 
 // analysis is the per-run state.
@@ -76,6 +104,7 @@ type analysis struct {
 	banned   map[[2]int]bool
 	needBan  bool
 	stats    Stats
+	guard    *fault.Guard
 }
 
 // Analyze runs the abstract interpreter on an SSA graph.
@@ -93,6 +122,13 @@ func Analyze(g *cfg.Graph, dom *cfg.DomInfo, conf Config) *Result {
 		conf.MaxRestarts = 8
 	}
 	a := &analysis{g: g, dom: dom, cfgConf: conf, banned: map[[2]int]bool{}}
+	// One guard for the whole analysis: the budget covers all restarts.
+	a.guard = fault.NewGuard(fault.Limits{
+		MaxSteps: conf.MaxSteps,
+		Deadline: conf.Deadline,
+		Ctx:      conf.Ctx,
+		Inject:   conf.Inject,
+	})
 	a.indexDefs()
 	var res *Result
 	for restart := 0; ; restart++ {
@@ -101,13 +137,39 @@ func Analyze(g *cfg.Graph, dom *cfg.DomInfo, conf Config) *Result {
 		a.inferred = map[[2]int]group.Affine{}
 		a.needBan = false
 		if conf.UseLUF {
-			a.luf = factor.NewTVPEMap[int]()
+			var opts []core.Option[int, group.Affine]
+			if conf.CheckInvariants {
+				opts = append(opts, core.WithAudit[int, group.Affine]())
+			}
+			a.luf = factor.NewTVPEMap[int](opts...)
 		}
 		res = a.run()
-		if !a.needBan || restart >= conf.MaxRestarts {
+		if a.guard.Err() != nil || !a.needBan || restart >= conf.MaxRestarts {
 			break
 		}
 	}
+	if conf.CheckInvariants && a.luf != nil && res.Stop == nil {
+		if err := invariant.CheckInfoUF(a.luf.Info); err != nil {
+			// A corrupted structure makes the results untrustworthy:
+			// degrade them soundly and report the violation.
+			res = a.degraded(err)
+		}
+	}
+	return res
+}
+
+// degraded is the sound ⊤ fallback of an early stop or detected
+// corruption: every assertion is an alarm, every value is unknown.
+func (a *analysis) degraded(stop error) *Result {
+	res := &Result{
+		Asserts: make([]AssertOutcome, a.g.NumAsserts),
+		Values:  make([]domain.IC, a.g.NumVars),
+		Stop:    stop,
+	}
+	for i := range res.Values {
+		res.Values[i] = domain.Integers()
+	}
+	res.Stats = a.stats
 	return res
 }
 
@@ -192,6 +254,11 @@ func (a *analysis) run() *Result {
 	for iter := 0; iter < 50*n+200; iter++ {
 		changed := false
 		for _, b := range a.dom.RPO {
+			if a.guard.Step(1) != nil {
+				// Budget, deadline, cancellation or injected fault:
+				// degrade soundly through the diverged path below.
+				return a.degraded(a.guard.Err())
+			}
 			if !reachable[b] {
 				continue
 			}
@@ -248,20 +315,15 @@ func (a *analysis) run() *Result {
 	}
 	if diverged {
 		// Sound degradation: unknown everything.
-		res := &Result{
-			Asserts: make([]AssertOutcome, g.NumAsserts),
-			Values:  make([]domain.IC, g.NumVars),
-		}
-		for i := range res.Values {
-			res.Values[i] = domain.Integers()
-		}
-		res.Stats = a.stats
-		return res
+		return a.degraded(nil)
 	}
 
 	// Narrowing: two descending passes without widening.
 	for pass := 0; pass < 2; pass++ {
 		for _, b := range a.dom.RPO {
+			if a.guard.Step(1) != nil {
+				return a.degraded(a.guard.Err())
+			}
 			if !reachable[b] {
 				continue
 			}
@@ -304,6 +366,9 @@ func (a *analysis) run() *Result {
 		res.Values[i] = domain.Bottom() // unreachable definitions stay ⊥
 	}
 	for _, b := range a.dom.RPO {
+		if a.guard.Step(1) != nil {
+			return a.degraded(a.guard.Err())
+		}
 		if !reachable[b] || inState[b] == nil {
 			continue
 		}
@@ -513,6 +578,17 @@ func (a *analysis) finalPass(b int, s state, out []state, reachable []bool, res 
 	}
 }
 
+// relate pushes a TVPE relation into the union-find, honouring label
+// injection: an injected rejection stops the analysis (through the
+// guard's sticky error) instead of silently dropping the relation.
+func (a *analysis) relate(n, m int, l group.Affine) {
+	if err := a.cfgConf.Inject.ObserveLabel(); err != nil {
+		a.guard.Stop(err)
+		return
+	}
+	a.luf.Relate(n, m, l)
+}
+
 // defRelation adds the TVPE relation implied by a definition v := a·w + b
 // (the "variable definitions" rule of Section 7.2).
 func (a *analysis) defRelation(def cfg.IDef) {
@@ -521,7 +597,7 @@ func (a *analysis) defRelation(def cfg.IDef) {
 		return
 	}
 	// σ(def.Var) = coef·σ(w) + off: edge w --(coef,off)--> def.Var.
-	a.luf.Relate(w, def.Var, group.NewAffine(coef, off))
+	a.relate(w, def.Var, group.MustAffine(coef, off))
 }
 
 // phiRelations applies the φ rules of Section 7.2 to every pair of φs in
@@ -625,7 +701,7 @@ func (a *analysis) phiRelations(b int, phis []cfg.IPhi, out []state, reachable [
 				continue
 			}
 			// Relate dst_p --cand--> dst_q.
-			a.luf.Relate(p.Var, q.Var, cand)
+			a.relate(p.Var, q.Var, cand)
 			a.inferred[key] = cand
 		}
 	}

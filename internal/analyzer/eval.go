@@ -564,6 +564,12 @@ func (a *analysis) refineAffineSide(s state, e cfg.Expr, target domain.IC) bool 
 // up/down propagation (the CODEX propagation of Section 7.2) and
 // relational-class propagation when the LUF domain is enabled.
 func (a *analysis) refineValue(s state, v int, want domain.IC, depth int) bool {
+	if a.guard.Step(1) != nil {
+		// Budget exhausted mid-propagation: stop refining. This is
+		// sound (refinements only tighten); run() degrades to ⊤ at the
+		// next loop-level check.
+		return true
+	}
 	old := s.get(v)
 	nv := old.Meet(want)
 	if nv.Eq(old) {

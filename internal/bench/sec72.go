@@ -8,6 +8,7 @@ import (
 	"luf/internal/analyzer"
 	acorpus "luf/internal/analyzer/corpus"
 	"luf/internal/cfg"
+	"luf/internal/fault"
 	"luf/internal/lang"
 )
 
@@ -18,6 +19,13 @@ import (
 type Sec72Config struct {
 	NumPrograms int
 	Depth       int
+	// Budget bounds analysis steps per program (0 = unlimited).
+	// Budget-exhausted runs degrade soundly to ⊤ and are counted in
+	// Sec72Result.Degraded rather than aborting the experiment.
+	Budget int
+	// Check audits the labeled union-find invariants after every
+	// analysis run (see internal/invariant).
+	Check bool
 }
 
 // DefaultSec72 mirrors the paper's setup.
@@ -40,29 +48,44 @@ type Sec72Result struct {
 	AlarmsBase       int
 	AlarmsLUF        int
 	PrecisionLosses  int // must be 0
+	// Degraded counts analyzer runs that stopped early (budget or
+	// deadline) and fell back to ⊤, by stop reason.
+	Degraded map[string]int
 }
 
 // RunSec72 analyzes the corpus with and without the LUF domain.
 func RunSec72(cfg Sec72Config) *Sec72Result {
 	programs := acorpus.Scaled(cfg.NumPrograms)
-	res := &Sec72Result{Config: cfg, Programs: len(programs)}
+	res := &Sec72Result{Config: cfg, Programs: len(programs), Degraded: map[string]int{}}
 	var totalAdd, addPrograms int
 	var sumMaxClass float64
 	var sumPct float64
 	for _, cp := range programs {
 		prog, err := lang.Parse(cp.Src)
 		if err != nil {
-			panic(fmt.Sprintf("corpus program %s: %v", cp.Name, err))
+			// Corpus programs are generated internally; one failing to
+			// parse is a bug in the harness, classified as such.
+			panic(fault.Invariantf("corpus program %s: %v", cp.Name, err))
 		}
 		gB := cfg2ssa(prog)
 		t0 := time.Now()
-		base := analyzer.Analyze(gB.g, gB.dom, analyzer.Config{UseLUF: false, PropagationDepth: cfg.Depth})
+		base := analyzer.Analyze(gB.g, gB.dom, analyzer.Config{
+			UseLUF: false, PropagationDepth: cfg.Depth, MaxSteps: cfg.Budget,
+			CheckInvariants: cfg.Check})
 		res.BaseTime += time.Since(t0)
 
 		gL := cfg2ssa(prog)
 		t1 := time.Now()
-		withLUF := analyzer.Analyze(gL.g, gL.dom, analyzer.Config{UseLUF: true, PropagationDepth: cfg.Depth})
+		withLUF := analyzer.Analyze(gL.g, gL.dom, analyzer.Config{
+			UseLUF: true, PropagationDepth: cfg.Depth, MaxSteps: cfg.Budget,
+			CheckInvariants: cfg.Check})
 		res.LUFTime += time.Since(t1)
+		if base.Stop != nil {
+			res.Degraded[fault.StopLabel(base.Stop)]++
+		}
+		if withLUF.Stop != nil {
+			res.Degraded[fault.StopLabel(withLUF.Stop)]++
+		}
 
 		st := withLUF.Stats
 		if st.AddRelationCalls > 0 {
@@ -149,5 +172,8 @@ func (r *Sec72Result) Format() string {
 	fmt.Fprintf(&sb, "programs with new proofs:      %d (paper: 11 at depth 1000, 22 at depth 2)\n", r.NewProofPrograms)
 	fmt.Fprintf(&sb, "alarms: base %d, with LUF %d; precision losses: %d (paper: none)\n",
 		r.AlarmsBase, r.AlarmsLUF, r.PrecisionLosses)
+	if len(r.Degraded) > 0 {
+		fmt.Fprintf(&sb, "degraded runs (sound ⊤ fallback): %v\n", r.Degraded)
+	}
 	return sb.String()
 }

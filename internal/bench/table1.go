@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"luf/internal/fault"
 	"luf/internal/solver"
 	"luf/internal/solver/corpus"
 )
@@ -52,6 +53,9 @@ type Table1Result struct {
 	// which the paper's GROUP-ACTION lags LABELED-UF (per-access group
 	// action transports), which the deterministic step count underweights.
 	WallTime map[solver.Variant]time.Duration
+	// Stops counts early-stopped runs per variant by classified reason
+	// (fault.StopLabel): budget, deadline, canceled, ...
+	Stops map[solver.Variant]map[string]int
 }
 
 // Variants in display order.
@@ -67,12 +71,14 @@ func RunTable1(cfg Table1Config) *Table1Result {
 		Solved:      map[solver.Variant][]bool{},
 		SolvedCount: map[solver.Variant]int{},
 		WallTime:    map[solver.Variant]time.Duration{},
+		Stops:       map[solver.Variant]map[string]int{},
 	}
 	opts := cfg.Opts
 	opts.MaxSteps = cfg.Budget
 	for _, v := range Variants {
 		res.Steps[v] = make([]int, len(problems))
 		res.Solved[v] = make([]bool, len(problems))
+		res.Stops[v] = map[string]int{}
 	}
 	for i, p := range problems {
 		for _, v := range Variants {
@@ -83,6 +89,9 @@ func RunTable1(cfg Table1Config) *Table1Result {
 			res.Solved[v][i] = r.Verdict != solver.VerdictUnknown
 			if res.Solved[v][i] {
 				res.SolvedCount[v]++
+			}
+			if r.Stop != nil {
+				res.Stops[v][fault.StopLabel(r.Stop)]++
 			}
 			if p.Truth == solver.StatusSat && r.Verdict == solver.VerdictUnsat ||
 				p.Truth == solver.StatusUnsat && r.Verdict == solver.VerdictSat {
@@ -132,6 +141,20 @@ func (r *Table1Result) Format() string {
 			fmt.Fprintf(&sb, "     -%d +%d (%+d)", m2, p2, p2-m2)
 		}
 		sb.WriteString("\n")
+	}
+	stops := false
+	for _, v := range Variants {
+		if len(r.Stops[v]) > 0 {
+			stops = true
+		}
+	}
+	if stops {
+		sb.WriteString("\nearly stops (graceful degradation):\n")
+		for _, v := range Variants {
+			if len(r.Stops[v]) > 0 {
+				fmt.Fprintf(&sb, "  %-14s %v\n", v.String(), r.Stops[v])
+			}
+		}
 	}
 	if len(r.Unsound) > 0 {
 		sb.WriteString("\nUNSOUND VERDICTS (bug!):\n")

@@ -8,6 +8,8 @@ package bits
 import (
 	"fmt"
 	"strings"
+
+	"luf/internal/fault"
 )
 
 // TS is a tristate bitvector: bit i is unknown when Mask bit i is 1,
@@ -27,10 +29,31 @@ func widthMask(w uint) uint64 {
 	return (uint64(1) << w) - 1
 }
 
-func checkWidth(w uint) {
+// CheckWidth validates a tristate width, reporting
+// fault.ErrInvalidLabel outside [1,64]. The panicking constructors
+// below (Top, Bottom, Const, Make) stay panic-based for ergonomic
+// literals, but panic with this classified error so the facade's
+// recover layer can map it back to the taxonomy; callers handling
+// untrusted widths should call CheckWidth (or NewMake) first.
+func CheckWidth(w uint) error {
 	if w < 1 || w > 64 {
-		panic("bits: width must be in [1,64]")
+		return fault.Invalidf("bits width %d must be in [1,64]", w)
 	}
+	return nil
+}
+
+func checkWidth(w uint) {
+	if err := CheckWidth(w); err != nil {
+		panic(err)
+	}
+}
+
+// NewMake is the error-returning variant of Make for untrusted widths.
+func NewMake(w uint, mask, val uint64) (TS, error) {
+	if err := CheckWidth(w); err != nil {
+		return TS{}, err
+	}
+	return Make(w, mask, val), nil
 }
 
 // Top returns the all-unknown tristate of width w.
@@ -249,11 +272,11 @@ func Parse(s string) (TS, error) {
 	return Make(uint(len(s)), mask, val), nil
 }
 
-// MustParse is Parse that panics on error.
+// MustParse is Parse that panics with a classified error.
 func MustParse(s string) TS {
 	ts, err := Parse(s)
 	if err != nil {
-		panic(err)
+		panic(fault.Invalidf("bits.MustParse: %v", err))
 	}
 	return ts
 }

@@ -92,6 +92,15 @@ func (u *InfoUF[N, L, I]) SetRoot(n N, i I) {
 	u.info[r] = i
 }
 
+// ForEachInfo calls f on every stored (representative, information)
+// pair without transporting or mutating anything; for the runtime
+// invariant checker.
+func (u *InfoUF[N, L, I]) ForEachInfo(f func(n N, i I)) {
+	for n, i := range u.info {
+		f(n, i)
+	}
+}
+
 // RootInfo returns the information stored at n's representative without
 // transporting it, plus the representative itself.
 func (u *InfoUF[N, L, I]) RootInfo(n N) (N, I) {

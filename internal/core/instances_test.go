@@ -88,9 +88,9 @@ func TestRelocSequences(t *testing.T) {
 // (Example 4.9) and checks the composed transform against a concrete
 // vector.
 func TestMatrixClasses(t *testing.T) {
-	g := group.NewMatGroup(2)
+	g := group.MustMatGroup(2)
 	r := func(n int64) *ratAlias { return ratInt(n) }
-	rot90 := g.NewLabel([][]*ratAlias{{r(0), r(-1)}, {r(1), r(0)}}, []*ratAlias{r(0), r(0)})
+	rot90 := g.MustLabel([][]*ratAlias{{r(0), r(-1)}, {r(1), r(0)}}, []*ratAlias{r(0), r(0)})
 	shift := g.Identity()
 	shift.B = []*ratAlias{r(3), r(-2)}
 
@@ -112,10 +112,10 @@ func TestMatrixClasses(t *testing.T) {
 // multipliers (Example 4.8), including the unsigned/signed
 // reinterpretation noted in Example 4.10 (the identity modulo 2^w).
 func TestModTVPEClasses(t *testing.T) {
-	g := group.NewModTVPE(16)
+	g := group.MustModTVPE(16)
 	u := New[string, group.ModAffine](g)
-	u.AddRelation("x", "y", g.NewLabel(3, 7))      // y = 3x + 7 mod 2^16
-	u.AddRelation("y", "z", g.NewLabel(0xabcd, 1)) // odd multiplier
+	u.AddRelation("x", "y", g.MustLabel(3, 7))      // y = 3x + 7 mod 2^16
+	u.AddRelation("y", "z", g.MustLabel(0xabcd, 1)) // odd multiplier
 	rel, ok := u.GetRelation("x", "z")
 	if !ok {
 		t.Fatal("related")
@@ -123,8 +123,8 @@ func TestModTVPEClasses(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	for i := 0; i < 100; i++ {
 		x := uint64(rng.Uint32()) & 0xffff
-		y := g.Apply(g.NewLabel(3, 7), x)
-		z := g.Apply(g.NewLabel(0xabcd, 1), y)
+		y := g.Apply(g.MustLabel(3, 7), x)
+		z := g.Apply(g.MustLabel(0xabcd, 1), y)
 		if g.Apply(rel, x) != z {
 			t.Fatalf("composed relation wrong at x=%#x", x)
 		}

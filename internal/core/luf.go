@@ -21,6 +21,7 @@ package core
 import (
 	"math/rand"
 
+	"luf/internal/fault"
 	"luf/internal/group"
 )
 
@@ -58,6 +59,13 @@ type Stats struct {
 	Conflicts int // AddRelation calls that conflicted
 }
 
+// Assertion is one accepted AddRelation call, recorded when auditing
+// is enabled (WithAudit): the constraint N --Label--> M.
+type Assertion[N comparable, L any] struct {
+	N, M  N
+	Label L
+}
+
 // UF is the mutable labeled union-find of Figure 4. The zero value is not
 // usable; create instances with New.
 type UF[N comparable, L any] struct {
@@ -68,6 +76,10 @@ type UF[N comparable, L any] struct {
 	rng        *rand.Rand
 	compress   bool
 	stats      Stats
+	audit      []Assertion[N, L] // nil unless WithAudit
+	auditing   bool
+	inConflict bool // true while onConflict runs (reentrancy detection)
+	misuse     error
 }
 
 // Option configures a UF.
@@ -89,6 +101,14 @@ func WithSeed[N comparable, L any](seed int64) Option[N, L] {
 // benchmarks.
 func WithoutPathCompression[N comparable, L any]() Option[N, L] {
 	return func(u *UF[N, L]) { u.compress = false }
+}
+
+// WithAudit records every accepted AddRelation call so the runtime
+// invariant checker (package invariant) can recompose relations from
+// first principles and compare them against the structure's answers.
+// Memory grows linearly with accepted assertions.
+func WithAudit[N comparable, L any]() Option[N, L] {
+	return func(u *UF[N, L]) { u.auditing = true }
 }
 
 // New returns an empty labeled union-find over the label group g.
@@ -167,6 +187,17 @@ func (u *UF[N, L]) AddRelation(n, m N, l L) bool {
 // if so which root was re-pointed under which one (oldRoot --link--> newRoot
 // became an edge of the structure).
 func (u *UF[N, L]) addRelation(n, m N, l L) (merged, conflicted bool, oldRoot, newRoot N) {
+	if u.inConflict {
+		// Reentrant mutation from inside the conflict callback would
+		// corrupt the structure mid-update (Theorem 3.1's hypothesis
+		// forbids it). Refuse the call, record the misuse, and leave
+		// the structure untouched.
+		if u.misuse == nil {
+			u.misuse = fault.Conflictf("reentrant AddRelation from inside ConflictFunc (callback must not mutate the union-find)")
+		}
+		rn, _ := u.Find(n)
+		return false, true, rn, rn
+	}
 	u.stats.AddCalls++
 	rn, ln := u.Find(n)
 	rm, lm := u.Find(m)
@@ -175,14 +206,20 @@ func (u *UF[N, L]) addRelation(n, m N, l L) (merged, conflicted bool, oldRoot, n
 		if !u.g.Equal(l, existing) {
 			u.stats.Conflicts++
 			if u.onConflict != nil {
-				u.onConflict(Conflict[N, L]{N: n, M: m, New: l, Old: existing})
+				u.inConflict = true
+				func() {
+					defer func() { u.inConflict = false }()
+					u.onConflict(Conflict[N, L]{N: n, M: m, New: l, Old: existing})
+				}()
 			}
 			return false, true, rn, rn
 		}
 		u.stats.Redundant++
+		u.record(n, m, l)
 		return false, false, rn, rn
 	}
 	u.stats.Unions++
+	u.record(n, m, l)
 	// Randomized linking (Goel et al.): flip a coin for the new root.
 	if u.rng.Intn(2) == 0 {
 		// rn --inv(ln);l;lm--> rm
@@ -192,6 +229,49 @@ func (u *UF[N, L]) addRelation(n, m N, l L) (merged, conflicted bool, oldRoot, n
 	// rm --inv(lm);inv(l);ln--> rn
 	u.link(rm, rn, group.ComposeAll[L](u.g, u.g.Inverse(lm), u.g.Inverse(l), ln))
 	return true, false, rm, rn
+}
+
+func (u *UF[N, L]) record(n, m N, l L) {
+	if u.auditing {
+		u.audit = append(u.audit, Assertion[N, L]{N: n, M: m, Label: l})
+	}
+}
+
+// Misuse returns the first recorded API-misuse error (currently:
+// reentrant AddRelation from a ConflictFunc), wrapped in
+// fault.ErrConflict, or nil.
+func (u *UF[N, L]) Misuse() error { return u.misuse }
+
+// Assertions returns the audit log of accepted AddRelation calls;
+// empty unless the UF was built WithAudit. The slice is shared — do
+// not modify it.
+func (u *UF[N, L]) Assertions() []Assertion[N, L] { return u.audit }
+
+// Auditing reports whether WithAudit was enabled.
+func (u *UF[N, L]) Auditing() bool { return u.auditing }
+
+// ForEachEdge calls f on every parent edge n --Label--> Parent of the
+// current forest, without mutating the structure (no path
+// compression). Iteration order is unspecified.
+func (u *UF[N, L]) ForEachEdge(f func(n N, e Edge[N, L])) {
+	for n, e := range u.parent {
+		f(n, e)
+	}
+}
+
+// ForEachMemberList calls f on every root's member list (members
+// exclude the root itself). The slices are shared — do not modify.
+func (u *UF[N, L]) ForEachMemberList(f func(root N, members []N)) {
+	for r, mem := range u.members {
+		f(r, mem)
+	}
+}
+
+// InjectEdge overwrites n's parent edge bypassing all validation. It
+// exists ONLY so negative tests can corrupt a structure and prove the
+// invariant checker catches it; never call it from production code.
+func (u *UF[N, L]) InjectEdge(n N, e Edge[N, L]) {
+	u.parent[n] = e
 }
 
 // link points root a at root b with a --l--> b and merges member lists.

@@ -140,16 +140,16 @@ func TestTheorem31Randomized(t *testing.T) {
 		})
 	})
 	t.Run("XorRot", func(t *testing.T) {
-		g := group.NewXorRot(16)
+		g := group.MustXorRot(16)
 		theorem31Fuzz[group.XRLabel](t, g, func(rng *rand.Rand) group.XRLabel {
 			return g.NewLabel(uint(rng.Intn(16)), rng.Uint64())
 		})
 	})
 	t.Run("Perm", func(t *testing.T) {
-		g := group.NewPerm(5)
+		g := group.MustPerm(5)
 		theorem31Fuzz[group.PermLabel](t, g, func(rng *rand.Rand) group.PermLabel {
 			p := rng.Perm(5)
-			return g.NewLabel(p)
+			return g.MustLabel(p)
 		})
 	})
 }
@@ -285,7 +285,7 @@ func TestTVPEChainExample(t *testing.T) {
 	g := group.TVPE{}
 	u := New[string, group.Affine](g)
 	u.AddRelation("z", "y", group.AffineInt(2, 0))
-	u.AddRelation("y", "x", group.NewAffine(big.NewRat(1, 2), big.NewRat(0, 1)))
+	u.AddRelation("y", "x", group.MustAffine(big.NewRat(1, 2), big.NewRat(0, 1)))
 	l, ok := u.GetRelation("z", "x")
 	if !ok || !g.Equal(l, g.Identity()) {
 		t.Errorf("z->x = %s, want identity", g.Format(l))

@@ -14,6 +14,7 @@ package core
 //     class, including the representative itself.
 
 import (
+	"luf/internal/fault"
 	"luf/internal/group"
 	"luf/internal/pmap"
 )
@@ -85,6 +86,25 @@ func (u PUF[L]) Class(n int) []int {
 	return []int{n}
 }
 
+// ForEachEdge calls f on every parent entry n --Label--> Parent
+// (roots point to themselves with the identity label). Read-only.
+func (u PUF[L]) ForEachEdge(f func(n int, e PEdge[L]) bool) {
+	u.parent.ForEach(f)
+}
+
+// ForEachClass calls f on every representative's member set. Read-only.
+func (u PUF[L]) ForEachClass(f func(root int, members pmap.Set) bool) {
+	u.classes.ForEach(f)
+}
+
+// InjectEdge returns a copy with n's parent entry overwritten,
+// bypassing all validation and without touching the class map. It
+// exists ONLY so negative tests can corrupt a structure and prove the
+// invariant checker catches it; never call it from production code.
+func (u PUF[L]) InjectEdge(n int, e PEdge[L]) PUF[L] {
+	return PUF[L]{g: u.g, parent: u.parent.Set(n, e), classes: u.classes}
+}
+
 // addNode ensures n is known, pointing at itself.
 func (u PUF[L]) addNode(n int) PUF[L] {
 	if u.parent.Contains(n) {
@@ -100,7 +120,7 @@ func (u PUF[L]) addNode(n int) PUF[L] {
 // be nil) is called and the structure is returned unchanged with ok=false.
 func (u PUF[L]) AddRelation(n, m int, l L, onConflict ConflictFunc[int, L]) (PUF[L], bool) {
 	if n < 0 || m < 0 {
-		panic("core: persistent union-find nodes must be non-negative")
+		panic(fault.Invalidf("persistent union-find nodes must be non-negative, got (%d, %d)", n, m))
 	}
 	u = u.addNode(n)
 	u = u.addNode(m)

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"luf/internal/fault"
+	"luf/internal/group"
+)
+
+// TestConflictCallbackReentrancy: a ConflictFunc that calls back into
+// AddRelation violates Theorem 3.1's hypothesis. The structure must
+// refuse the reentrant call without mutating, record the misuse as an
+// ErrConflict-classified error, and stay consistent.
+func TestConflictCallbackReentrancy(t *testing.T) {
+	var u *UF[string, group.DeltaLabel]
+	reentered := false
+	u = New[string, group.DeltaLabel](group.Delta{},
+		WithConflictHandler[string, group.DeltaLabel](func(c Conflict[string, group.DeltaLabel]) {
+			reentered = true
+			// Misuse: mutate from inside the callback.
+			if u.AddRelation("a", "b", 42) {
+				t.Error("reentrant AddRelation must report failure")
+			}
+		}))
+	u.AddRelation("x", "y", 2)
+	if u.AddRelation("x", "y", 3) {
+		t.Fatal("conflicting add must report failure")
+	}
+	if !reentered {
+		t.Fatal("conflict handler did not run")
+	}
+	if err := u.Misuse(); !errors.Is(err, fault.ErrConflict) {
+		t.Fatalf("Misuse() = %v, want ErrConflict-wrapped error", err)
+	}
+	// The reentrant call must not have corrupted or extended the state.
+	if u.Related("a", "b") {
+		t.Error("reentrant AddRelation mutated the structure")
+	}
+	if l, ok := u.GetRelation("x", "y"); !ok || l != 2 {
+		t.Errorf("original relation damaged: %d, %v", l, ok)
+	}
+	// A later, legal add still works.
+	if !u.AddRelation("a", "b", 7) {
+		t.Error("legal AddRelation after misuse must succeed")
+	}
+	if l, ok := u.GetRelation("a", "b"); !ok || l != 7 {
+		t.Errorf("post-misuse relation = %d, %v", l, ok)
+	}
+}
+
+// TestPanickingConflictCallback: a ConflictFunc that panics must not
+// leave the reentrancy flag stuck (which would make every later
+// AddRelation report misuse).
+func TestPanickingConflictCallback(t *testing.T) {
+	u := New[string, group.DeltaLabel](group.Delta{},
+		WithConflictHandler[string, group.DeltaLabel](func(Conflict[string, group.DeltaLabel]) {
+			panic("callback exploded")
+		}))
+	u.AddRelation("x", "y", 2)
+	func() {
+		defer func() { recover() }()
+		u.AddRelation("x", "y", 3)
+	}()
+	if !u.AddRelation("p", "q", 1) {
+		t.Error("AddRelation after a panicking callback must still work")
+	}
+	if u.Misuse() != nil {
+		t.Errorf("no misuse occurred, got %v", u.Misuse())
+	}
+}
+
+// FuzzUFOracle differentially fuzzes the labeled union-find against
+// the brute-force BFS reference (Theorem 3.1): random relation scripts
+// must produce identical relations, and no input may panic.
+func FuzzUFOracle(f *testing.F) {
+	f.Add(int64(1), uint(40))
+	f.Add(int64(7), uint(200))
+	f.Add(int64(42), uint(3))
+	f.Fuzz(func(t *testing.T, seed int64, ops uint) {
+		if ops > 500 {
+			ops = 500
+		}
+		rng := rand.New(rand.NewSource(seed))
+		u := New[int, group.DeltaLabel](group.Delta{},
+			WithSeed[int, group.DeltaLabel](seed))
+		ref := newRef[group.DeltaLabel](group.Delta{})
+		for i := uint(0); i < ops; i++ {
+			n, m := rng.Intn(25), rng.Intn(25)
+			l := int64(rng.Intn(15) - 7)
+			want, related := ref.relation(n, m)
+			ok := u.AddRelation(n, m, l)
+			if related && want != l {
+				if ok {
+					t.Fatalf("op %d: conflicting add (%d,%d,%d) accepted; existing %d", i, n, m, l, want)
+				}
+				continue // conflicting edge: reference must not record it either
+			}
+			if !ok {
+				t.Fatalf("op %d: consistent add (%d,%d,%d) rejected", i, n, m, l)
+			}
+			ref.add(n, m, l)
+		}
+		// Full cross-check of all pairs.
+		for n := 0; n < 25; n++ {
+			for m := 0; m < 25; m++ {
+				want, wantOK := ref.relation(n, m)
+				got, gotOK := u.GetRelation(n, m)
+				if wantOK != gotOK {
+					t.Fatalf("relation (%d,%d): related=%v, reference says %v", n, m, gotOK, wantOK)
+				}
+				if wantOK && got != want {
+					t.Fatalf("relation (%d,%d) = %d, reference says %d", n, m, got, want)
+				}
+			}
+		}
+	})
+}

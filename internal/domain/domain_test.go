@@ -212,7 +212,7 @@ func TestActionsAreGroupActions(t *testing.T) {
 }
 
 func TestXorRotActionAndRefine(t *testing.T) {
-	g := group.NewXorRot(8)
+	g := group.MustXorRot(8)
 	act := XorRotAction{G: g}
 	rng := rand.New(rand.NewSource(66))
 	for i := 0; i < 200; i++ {
@@ -352,7 +352,7 @@ func TestActionInterfaceMethods(t *testing.T) {
 	if !ta.Top().IsTop() {
 		t.Error("TVPEAction.Top")
 	}
-	xa := XorRotAction{G: group.NewXorRot(8)}
+	xa := XorRotAction{G: group.MustXorRot(8)}
 	m := xa.Meet(bits.MustParse("1???????"), bits.MustParse("?0??????"))
 	if m.String() != "0b10??????" {
 		t.Errorf("XorRotAction.Meet = %s", m)

@@ -1,0 +1,190 @@
+// Package fault defines the structured error taxonomy shared by every
+// layer of the repository, checked integer arithmetic, a unified
+// resource guard (step budgets, wall-clock deadlines, context
+// cancellation), and a deterministic fault injector for robustness
+// testing.
+//
+// The package is a leaf: it imports only the standard library, so any
+// internal package (group, core, pmap, solver, analyzer, ...) may
+// depend on it without cycles.
+//
+// # Panic-vs-error boundary
+//
+// The convention enforced across the repository (see DESIGN.md §4):
+//
+//   - Constructors and operations that validate *caller-supplied*
+//     data return (T, error) wrapping one of the sentinels below.
+//     Thin MustX wrappers panic with the classified error for tests,
+//     examples and package-level variables.
+//   - Violations of *internal* invariants — states that are
+//     unreachable unless the library itself has a bug — still panic,
+//     but with an error tagged by ErrInvariantViolated so the public
+//     facade's recover layer can classify them.
+//   - The public facade (package luf) never lets a panic escape:
+//     Protect / RecoverTo convert panics into classified errors.
+package fault
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors of the taxonomy. Every error produced by this
+// repository wraps exactly one of these (plus optionally ErrInjected
+// when it originates from the fault injector), so callers can
+// classify failures with errors.Is.
+var (
+	// ErrBudgetExhausted: a step budget ran out before the
+	// computation converged. Partial results are still valid.
+	ErrBudgetExhausted = errors.New("budget exhausted")
+
+	// ErrDeadlineExceeded: a wall-clock deadline expired.
+	ErrDeadlineExceeded = errors.New("deadline exceeded")
+
+	// ErrCanceled: an attached context.Context was canceled.
+	ErrCanceled = errors.New("canceled")
+
+	// ErrInvalidLabel: caller-supplied label or group parameters are
+	// outside the group's domain (zero affine slope, even modular
+	// multiplier, singular matrix, ...).
+	ErrInvalidLabel = errors.New("invalid label")
+
+	// ErrInvariantViolated: an internal invariant of a data
+	// structure does not hold — either detected by the runtime
+	// invariant checker or carried by a classified panic.
+	ErrInvariantViolated = errors.New("invariant violated")
+
+	// ErrOverflow: checked integer arithmetic overflowed.
+	ErrOverflow = errors.New("integer overflow")
+
+	// ErrConflict: two contradictory labels were asserted on one
+	// pair of nodes, or a conflict callback was misused.
+	ErrConflict = errors.New("conflict")
+
+	// ErrInjected: the failure was manufactured by an Injector. It
+	// always accompanies (via multi-%w wrapping) the sentinel of the
+	// failure it mimics.
+	ErrInjected = errors.New("injected fault")
+)
+
+// Invalidf returns an error wrapping ErrInvalidLabel.
+func Invalidf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrInvalidLabel, fmt.Sprintf(format, args...))
+}
+
+// Invariantf returns an error wrapping ErrInvariantViolated.
+func Invariantf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrInvariantViolated, fmt.Sprintf(format, args...))
+}
+
+// Overflowf returns an error wrapping ErrOverflow.
+func Overflowf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrOverflow, fmt.Sprintf(format, args...))
+}
+
+// Conflictf returns an error wrapping ErrConflict.
+func Conflictf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrConflict, fmt.Sprintf(format, args...))
+}
+
+// taxonomy lists the sentinels Classify preserves as-is.
+var taxonomy = []error{
+	ErrBudgetExhausted, ErrDeadlineExceeded, ErrCanceled,
+	ErrInvalidLabel, ErrInvariantViolated, ErrOverflow,
+	ErrConflict, ErrInjected,
+}
+
+// Classify converts a recovered panic value into a classified error.
+// Errors already wrapping a taxonomy sentinel pass through unchanged;
+// everything else (string panics, runtime errors, foreign errors) is
+// wrapped in ErrInvariantViolated, since an unclassified panic is by
+// definition a bug.
+func Classify(recovered any) error {
+	if recovered == nil {
+		return nil
+	}
+	if err, ok := recovered.(error); ok {
+		for _, s := range taxonomy {
+			if errors.Is(err, s) {
+				return err
+			}
+		}
+		return fmt.Errorf("%w: panic: %v", ErrInvariantViolated, err)
+	}
+	return fmt.Errorf("%w: panic: %v", ErrInvariantViolated, recovered)
+}
+
+// StopLabel returns a short, stable label for a classified error,
+// suitable for aggregation (benchmark stop-reason counts, CLI output).
+// Injected faults are prefixed "injected:" followed by the label of
+// the failure they mimic.
+func StopLabel(err error) string {
+	if err == nil {
+		return "none"
+	}
+	base := "other"
+	switch {
+	case errors.Is(err, ErrBudgetExhausted):
+		base = "budget"
+	case errors.Is(err, ErrDeadlineExceeded):
+		base = "deadline"
+	case errors.Is(err, ErrCanceled):
+		base = "canceled"
+	case errors.Is(err, ErrInvalidLabel):
+		base = "invalid-label"
+	case errors.Is(err, ErrInvariantViolated):
+		base = "invariant"
+	case errors.Is(err, ErrOverflow):
+		base = "overflow"
+	case errors.Is(err, ErrConflict):
+		base = "conflict"
+	}
+	if errors.Is(err, ErrInjected) {
+		return "injected:" + base
+	}
+	return base
+}
+
+// RecoverTo is meant to be deferred: it recovers a panic and stores
+// the classified error in *errp (without clobbering an earlier error).
+//
+//	func (t *T) Op() (err error) {
+//	    defer fault.RecoverTo(&err)
+//	    ...
+//	}
+func RecoverTo(errp *error) {
+	if r := recover(); r != nil && *errp == nil {
+		*errp = Classify(r)
+	}
+}
+
+// AddInt64 returns a+b, or ErrOverflow when the sum does not fit in
+// an int64.
+func AddInt64(a, b int64) (int64, error) {
+	s := a + b
+	if (a > 0 && b > 0 && s < 0) || (a < 0 && b < 0 && s >= 0) {
+		return 0, Overflowf("%d + %d", a, b)
+	}
+	return s, nil
+}
+
+// NegInt64 returns -a, or ErrOverflow for math.MinInt64.
+func NegInt64(a int64) (int64, error) {
+	if a == -a && a != 0 { // only math.MinInt64
+		return 0, Overflowf("-(%d)", a)
+	}
+	return -a, nil
+}
+
+// MulInt64 returns a*b, or ErrOverflow when the product does not fit
+// in an int64.
+func MulInt64(a, b int64) (int64, error) {
+	if a == 0 || b == 0 {
+		return 0, nil
+	}
+	p := a * b
+	if p/b != a || (a == -1 && p == -p && p != 0) || (b == -1 && p == -p && p != 0) {
+		return 0, Overflowf("%d * %d", a, b)
+	}
+	return p, nil
+}

@@ -1,0 +1,201 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+)
+
+func TestCheckedArithmetic(t *testing.T) {
+	if v, err := AddInt64(2, 3); err != nil || v != 5 {
+		t.Errorf("AddInt64(2,3) = %d, %v", v, err)
+	}
+	if _, err := AddInt64(math.MaxInt64, 1); !errors.Is(err, ErrOverflow) {
+		t.Errorf("AddInt64 overflow not detected: %v", err)
+	}
+	if _, err := AddInt64(math.MinInt64, -1); !errors.Is(err, ErrOverflow) {
+		t.Errorf("AddInt64 underflow not detected: %v", err)
+	}
+	if v, err := NegInt64(-7); err != nil || v != 7 {
+		t.Errorf("NegInt64(-7) = %d, %v", v, err)
+	}
+	if _, err := NegInt64(math.MinInt64); !errors.Is(err, ErrOverflow) {
+		t.Errorf("NegInt64(MinInt64) not detected: %v", err)
+	}
+	if v, err := MulInt64(-3, 4); err != nil || v != -12 {
+		t.Errorf("MulInt64(-3,4) = %d, %v", v, err)
+	}
+	for _, c := range [][2]int64{
+		{math.MaxInt64, 2}, {math.MinInt64, -1}, {-1, math.MinInt64},
+		{math.MaxInt64 / 2, 3}, {math.MinInt64, 2},
+	} {
+		if _, err := MulInt64(c[0], c[1]); !errors.Is(err, ErrOverflow) {
+			t.Errorf("MulInt64(%d,%d) overflow not detected: %v", c[0], c[1], err)
+		}
+	}
+}
+
+func TestClassify(t *testing.T) {
+	if Classify(nil) != nil {
+		t.Error("Classify(nil) != nil")
+	}
+	if err := Classify("boom"); !errors.Is(err, ErrInvariantViolated) {
+		t.Errorf("string panic not classified: %v", err)
+	}
+	tagged := Invalidf("zero slope")
+	if got := Classify(tagged); got != tagged {
+		t.Errorf("tagged error should pass through, got %v", got)
+	}
+	if err := Classify(errors.New("foreign")); !errors.Is(err, ErrInvariantViolated) {
+		t.Errorf("foreign error not classified: %v", err)
+	}
+}
+
+func TestRecoverTo(t *testing.T) {
+	f := func() (err error) {
+		defer RecoverTo(&err)
+		panic(Overflowf("deep"))
+	}
+	if err := f(); !errors.Is(err, ErrOverflow) {
+		t.Errorf("RecoverTo lost classification: %v", err)
+	}
+}
+
+func TestGuardBudget(t *testing.T) {
+	g := NewGuard(Limits{MaxSteps: 10})
+	for i := 0; i < 10; i++ {
+		if err := g.Step(1); err != nil {
+			t.Fatalf("step %d within budget failed: %v", i, err)
+		}
+	}
+	err := g.Step(1)
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("want ErrBudgetExhausted, got %v", err)
+	}
+	// Sticky: every later call reports the same error.
+	if err2 := g.Step(1); err2 != err {
+		t.Errorf("guard not sticky: %v vs %v", err2, err)
+	}
+	if g.Err() != err {
+		t.Errorf("Err() = %v", g.Err())
+	}
+}
+
+func TestGuardNilAndUnlimited(t *testing.T) {
+	var g *Guard
+	if err := g.Step(100); err != nil || g.Err() != nil || g.Steps() != 0 {
+		t.Error("nil guard must be a no-op")
+	}
+	u := NewGuard(Limits{})
+	for i := 0; i < 10000; i++ {
+		if err := u.Step(1); err != nil {
+			t.Fatalf("unlimited guard stopped: %v", err)
+		}
+	}
+	if u.Remaining() != -1 {
+		t.Errorf("Remaining() = %d, want -1", u.Remaining())
+	}
+}
+
+func TestGuardDeadline(t *testing.T) {
+	g := NewGuard(Limits{Deadline: time.Nanosecond, Stride: 1})
+	time.Sleep(time.Millisecond)
+	if err := g.Step(1); !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("want ErrDeadlineExceeded, got %v", err)
+	}
+}
+
+func TestGuardContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	g := NewGuard(Limits{Ctx: ctx, Stride: 1})
+	if err := g.Step(1); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+}
+
+// TestGuardPrecedence pins down who stops first when both a step
+// budget and a deadline are configured: a budget small enough to
+// trip before the first stride boundary wins over a generous
+// deadline, and an already-expired deadline wins over a generous
+// budget.
+func TestGuardPrecedence(t *testing.T) {
+	bg := NewGuard(Limits{MaxSteps: 5, Deadline: time.Hour})
+	var err error
+	for i := 0; i < 10 && err == nil; i++ {
+		err = bg.Step(1)
+	}
+	if !errors.Is(err, ErrBudgetExhausted) || errors.Is(err, ErrDeadlineExceeded) {
+		t.Errorf("budget should stop first: %v", err)
+	}
+
+	dg := NewGuard(Limits{MaxSteps: 1 << 30, Deadline: time.Nanosecond, Stride: 1})
+	time.Sleep(time.Millisecond)
+	err = dg.Step(1)
+	if !errors.Is(err, ErrDeadlineExceeded) || errors.Is(err, ErrBudgetExhausted) {
+		t.Errorf("deadline should stop first: %v", err)
+	}
+}
+
+func TestGuardStop(t *testing.T) {
+	g := NewGuard(Limits{})
+	g.Stop(errors.New("external failure"))
+	if err := g.Step(1); !errors.Is(err, ErrInvariantViolated) {
+		t.Errorf("Stop should classify foreign errors: %v", err)
+	}
+	// First stop wins.
+	g.Stop(Conflictf("later"))
+	if !errors.Is(g.Err(), ErrInvariantViolated) {
+		t.Errorf("second Stop overwrote: %v", g.Err())
+	}
+}
+
+func TestInjectorGuardCheck(t *testing.T) {
+	g := NewGuard(Limits{Stride: 1, Inject: &Injector{FailCheckAt: 3}})
+	var err error
+	n := 0
+	for err == nil {
+		err = g.Step(1)
+		n++
+	}
+	if n != 3 {
+		t.Errorf("failed at step %d, want 3", n)
+	}
+	if !errors.Is(err, ErrInjected) || !errors.Is(err, ErrBudgetExhausted) {
+		t.Errorf("injected check failure should wrap both sentinels: %v", err)
+	}
+}
+
+func TestInjectorLabelAndConflict(t *testing.T) {
+	inj := &Injector{RejectLabelAt: 2, ForceConflictAt: 1}
+	if err := inj.ObserveLabel(); err != nil {
+		t.Errorf("label 1 should pass: %v", err)
+	}
+	err := inj.ObserveLabel()
+	if !errors.Is(err, ErrInjected) || !errors.Is(err, ErrInvalidLabel) {
+		t.Errorf("label 2 should be rejected with both sentinels: %v", err)
+	}
+	if err := inj.ObserveLabel(); err != nil {
+		t.Errorf("label 3 should pass again: %v", err)
+	}
+	cerr := inj.ObserveConflict()
+	if !errors.Is(cerr, ErrInjected) || !errors.Is(cerr, ErrConflict) {
+		t.Errorf("conflict 1 should be forced: %v", cerr)
+	}
+	var nilInj *Injector
+	if nilInj.ObserveLabel() != nil || nilInj.ObserveConflict() != nil {
+		t.Error("nil injector must be a no-op")
+	}
+}
+
+func TestInjectorSeededDeterminism(t *testing.T) {
+	a, b := NewInjector(42, 100), NewInjector(42, 100)
+	if *a != *b {
+		t.Errorf("same seed must give same injector: %+v vs %+v", a, b)
+	}
+	if a.FailCheckAt < 1 || a.FailCheckAt > 100 {
+		t.Errorf("FailCheckAt out of range: %d", a.FailCheckAt)
+	}
+}

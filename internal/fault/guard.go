@@ -1,0 +1,131 @@
+package fault
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// Limits configures a Guard. The zero value means "unlimited".
+type Limits struct {
+	// MaxSteps is the step budget; <= 0 means unlimited.
+	MaxSteps int
+	// Deadline is a wall-clock limit measured from NewGuard;
+	// <= 0 means unlimited.
+	Deadline time.Duration
+	// Ctx, when non-nil, stops the guard as soon as the context is
+	// done (checked on the same stride as the deadline).
+	Ctx context.Context
+	// Stride controls how often the (comparatively expensive)
+	// deadline/context checks run: once every Stride steps.
+	// <= 0 defaults to 64, matching the solver's historical check.
+	Stride int
+	// Inject, when non-nil, lets tests manufacture deterministic
+	// failures inside the guard and its adopters.
+	Inject *Injector
+}
+
+// Guard is the unified resource guard: a step budget, a wall-clock
+// deadline and optional context cancellation behind a single Step
+// call. Exhaustion is sticky — once the guard has stopped, every
+// later Step reports the same classified error, which makes degraded
+// runs deterministic. A nil *Guard is valid and never stops.
+//
+// Guard is not safe for concurrent use; each worker needs its own.
+type Guard struct {
+	limits Limits
+	start  time.Time
+	steps  int
+	checks int // number of stride-boundary checks performed
+	err    error
+}
+
+// NewGuard starts a guard; the deadline clock begins now.
+func NewGuard(l Limits) *Guard {
+	if l.Stride <= 0 {
+		l.Stride = 64
+	}
+	return &Guard{limits: l, start: time.Now()}
+}
+
+// Steps returns the number of steps consumed so far.
+func (g *Guard) Steps() int {
+	if g == nil {
+		return 0
+	}
+	return g.steps
+}
+
+// Err returns the sticky stop error, or nil while the guard is live.
+func (g *Guard) Err() error {
+	if g == nil {
+		return nil
+	}
+	return g.err
+}
+
+// Remaining returns how many steps are left, or -1 when unlimited.
+func (g *Guard) Remaining() int {
+	if g == nil || g.limits.MaxSteps <= 0 {
+		return -1
+	}
+	if r := g.limits.MaxSteps - g.steps; r > 0 {
+		return r
+	}
+	return 0
+}
+
+// Step consumes n units of budget and reports whether the guard has
+// stopped. The step budget is checked on every call; the deadline and
+// context only on stride boundaries. The returned error wraps
+// ErrBudgetExhausted, ErrDeadlineExceeded or ErrCanceled (or, under
+// injection, additionally ErrInjected) and is sticky.
+func (g *Guard) Step(n int) error {
+	if g == nil {
+		return nil
+	}
+	if g.err != nil {
+		return g.err
+	}
+	before := g.steps / g.limits.Stride
+	g.steps += n
+	if g.limits.MaxSteps > 0 && g.steps > g.limits.MaxSteps {
+		g.err = fmt.Errorf("%w: %d steps over budget %d",
+			ErrBudgetExhausted, g.steps, g.limits.MaxSteps)
+		return g.err
+	}
+	if g.steps/g.limits.Stride == before {
+		return nil // not a stride boundary: skip the expensive checks
+	}
+	g.checks++
+	if inj := g.limits.Inject; inj != nil {
+		if err := inj.checkFailure(g.checks); err != nil {
+			g.err = err
+			return g.err
+		}
+	}
+	if g.limits.Deadline > 0 && time.Since(g.start) > g.limits.Deadline {
+		g.err = fmt.Errorf("%w: %v elapsed (limit %v)",
+			ErrDeadlineExceeded, time.Since(g.start).Round(time.Millisecond), g.limits.Deadline)
+		return g.err
+	}
+	if ctx := g.limits.Ctx; ctx != nil {
+		select {
+		case <-ctx.Done():
+			g.err = fmt.Errorf("%w: %v", ErrCanceled, ctx.Err())
+			return g.err
+		default:
+		}
+	}
+	return nil
+}
+
+// Stop forces the guard into the stopped state with err (classified
+// through Classify if it is not already taxonomy-tagged). Used by
+// adopters that detect a fatal condition outside Step.
+func (g *Guard) Stop(err error) {
+	if g == nil || err == nil || g.err != nil {
+		return
+	}
+	g.err = Classify(err)
+}

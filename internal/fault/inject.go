@@ -1,0 +1,82 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Injector manufactures deterministic failures for robustness tests:
+// fail the Nth budget check, reject the Nth label, force the Nth
+// conflict decision. Counters are 1-based; zero disables a site.
+// Every injected error wraps both ErrInjected and the sentinel of the
+// failure it mimics, so production classification (errors.Is against
+// the taxonomy) and test classification (errors.Is(err, ErrInjected))
+// both work on the same value.
+//
+// An Injector is not safe for concurrent use.
+type Injector struct {
+	// FailCheckAt makes the guard's Nth stride-boundary check fail
+	// as if the budget were exhausted.
+	FailCheckAt int
+	// RejectLabelAt makes the Nth ObserveLabel call report an
+	// invalid label.
+	RejectLabelAt int
+	// ForceConflictAt makes the Nth ObserveConflict call report a
+	// manufactured conflict.
+	ForceConflictAt int
+
+	labels    int
+	conflicts int
+}
+
+// NewInjector derives deterministic injection points from a seed: for
+// the same seed and the same instrumented run, the same events fail.
+// maxEvent bounds how deep into the run the faults land.
+func NewInjector(seed int64, maxEvent int) *Injector {
+	if maxEvent < 1 {
+		maxEvent = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return &Injector{
+		FailCheckAt:     1 + rng.Intn(maxEvent),
+		RejectLabelAt:   1 + rng.Intn(maxEvent),
+		ForceConflictAt: 1 + rng.Intn(maxEvent),
+	}
+}
+
+// checkFailure is called by Guard at its i-th stride-boundary check.
+func (inj *Injector) checkFailure(i int) error {
+	if inj == nil || inj.FailCheckAt <= 0 || i != inj.FailCheckAt {
+		return nil
+	}
+	return fmt.Errorf("%w: %w: budget check %d failed by injection",
+		ErrInjected, ErrBudgetExhausted, i)
+}
+
+// ObserveLabel is called by instrumented code each time it is about
+// to accept a caller-supplied label; the Nth call is rejected.
+func (inj *Injector) ObserveLabel() error {
+	if inj == nil {
+		return nil
+	}
+	inj.labels++
+	if inj.RejectLabelAt > 0 && inj.labels == inj.RejectLabelAt {
+		return fmt.Errorf("%w: %w: label %d rejected by injection",
+			ErrInjected, ErrInvalidLabel, inj.labels)
+	}
+	return nil
+}
+
+// ObserveConflict is called by instrumented code at each point where
+// a conflict could be reported; the Nth call forces one.
+func (inj *Injector) ObserveConflict() error {
+	if inj == nil {
+		return nil
+	}
+	inj.conflicts++
+	if inj.ForceConflictAt > 0 && inj.conflicts == inj.ForceConflictAt {
+		return fmt.Errorf("%w: %w: conflict %d forced by injection",
+			ErrInjected, ErrConflict, inj.conflicts)
+	}
+	return nil
+}

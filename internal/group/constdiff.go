@@ -4,6 +4,7 @@ import (
 	"math/big"
 	"strconv"
 
+	"luf/internal/fault"
 	"luf/internal/rational"
 )
 
@@ -23,11 +24,28 @@ type DeltaLabel = int64
 // Identity returns 0.
 func (Delta) Identity() DeltaLabel { return 0 }
 
-// Compose returns a + b.
-func (Delta) Compose(a, b DeltaLabel) DeltaLabel { return a + b }
+// Compose returns a + b with checked arithmetic: Delta is a group over
+// ℤ, not ℤ/2⁶⁴ℤ, so silent wraparound would fabricate a wrong relation
+// (use ModTVPE when modular semantics are wanted). On overflow it
+// panics with a fault.ErrOverflow-tagged error that the facade's
+// recover layer classifies.
+func (Delta) Compose(a, b DeltaLabel) DeltaLabel {
+	s, err := fault.AddInt64(a, b)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
 
-// Inverse returns -a.
-func (Delta) Inverse(a DeltaLabel) DeltaLabel { return -a }
+// Inverse returns -a, panicking with fault.ErrOverflow for MinInt64
+// (whose negation is not representable).
+func (Delta) Inverse(a DeltaLabel) DeltaLabel {
+	n, err := fault.NegInt64(a)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
 
 // Equal reports a == b.
 func (Delta) Equal(a, b DeltaLabel) bool { return a == b }

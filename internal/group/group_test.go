@@ -1,10 +1,13 @@
 package group
 
 import (
+	"errors"
+	"math"
 	"math/big"
 	"math/rand"
 	"testing"
 
+	"luf/internal/fault"
 	"luf/internal/rational"
 )
 
@@ -42,8 +45,8 @@ func TestTVPELaws(t *testing.T) {
 		AffineInt(1, 0),
 		AffineInt(2, 3),
 		AffineInt(-1, 5),
-		NewAffine(rational.New(1, 2), rational.New(-3, 4)),
-		NewAffine(rational.New(-5, 3), rational.Zero),
+		MustAffine(rational.New(1, 2), rational.New(-3, 4)),
+		MustAffine(rational.New(-5, 3), rational.Zero),
 	}
 	if err := CheckLaws[Affine](TVPE{}, samples); err != nil {
 		t.Fatal(err)
@@ -54,8 +57,8 @@ func TestTVPEApplySemantics(t *testing.T) {
 	g := TVPE{}
 	rng := rand.New(rand.NewSource(3))
 	for i := 0; i < 100; i++ {
-		l1 := NewAffine(rational.New(int64(rng.Intn(9)+1), int64(rng.Intn(5)+1)), rational.Int(int64(rng.Intn(21)-10)))
-		l2 := NewAffine(rational.New(int64(-(rng.Intn(9)+1)), int64(rng.Intn(5)+1)), rational.Int(int64(rng.Intn(21)-10)))
+		l1 := MustAffine(rational.New(int64(rng.Intn(9)+1), int64(rng.Intn(5)+1)), rational.Int(int64(rng.Intn(21)-10)))
+		l2 := MustAffine(rational.New(int64(-(rng.Intn(9)+1)), int64(rng.Intn(5)+1)), rational.Int(int64(rng.Intn(21)-10)))
 		x := rational.Int(int64(rng.Intn(100) - 50))
 		// Compose must mirror function composition along the path.
 		want := l2.Apply(l1.Apply(x))
@@ -75,12 +78,15 @@ func TestTVPEApplySemantics(t *testing.T) {
 }
 
 func TestTVPERejectsZeroSlope(t *testing.T) {
+	if _, err := NewAffine(rational.Zero, rational.One); !errors.Is(err, fault.ErrInvalidLabel) {
+		t.Errorf("zero slope must report ErrInvalidLabel (not injective), got %v", err)
+	}
 	defer func() {
-		if recover() == nil {
-			t.Error("zero slope must panic (not injective)")
+		if err := fault.Classify(recover()); !errors.Is(err, fault.ErrInvalidLabel) {
+			t.Errorf("MustAffine must panic with a classified error, got %v", err)
 		}
 	}()
-	NewAffine(rational.Zero, rational.One)
+	MustAffine(rational.Zero, rational.One)
 }
 
 func TestIntersect(t *testing.T) {
@@ -116,12 +122,12 @@ func TestThroughPoints(t *testing.T) {
 
 func TestModTVPELaws(t *testing.T) {
 	for _, w := range []uint{1, 8, 32, 64} {
-		g := NewModTVPE(w)
+		g := MustModTVPE(w)
 		samples := []ModAffine{
 			g.Identity(),
-			g.NewLabel(3, 7),
-			g.NewLabel(0xdeadbeefdeadbeef|1, 42),
-			g.NewLabel(^uint64(0), 1), // -1 is odd
+			g.MustLabel(3, 7),
+			g.MustLabel(0xdeadbeefdeadbeef|1, 42),
+			g.MustLabel(^uint64(0), 1), // -1 is odd
 		}
 		if err := CheckLaws[ModAffine](g, samples); err != nil {
 			t.Fatalf("width %d: %v", w, err)
@@ -130,11 +136,11 @@ func TestModTVPELaws(t *testing.T) {
 }
 
 func TestModTVPESemantics(t *testing.T) {
-	g := NewModTVPE(16)
+	g := MustModTVPE(16)
 	rng := rand.New(rand.NewSource(4))
 	for i := 0; i < 200; i++ {
-		l1 := g.NewLabel(uint64(rng.Uint32())|1, uint64(rng.Uint32()))
-		l2 := g.NewLabel(uint64(rng.Uint32())|1, uint64(rng.Uint32()))
+		l1 := g.MustLabel(uint64(rng.Uint32())|1, uint64(rng.Uint32()))
+		l2 := g.MustLabel(uint64(rng.Uint32())|1, uint64(rng.Uint32()))
 		x := uint64(rng.Uint32()) & 0xffff
 		if got, want := g.Apply(g.Compose(l1, l2), x), g.Apply(l2, g.Apply(l1, x)); got != want {
 			t.Fatalf("compose mismatch: %x vs %x", got, want)
@@ -146,12 +152,15 @@ func TestModTVPESemantics(t *testing.T) {
 }
 
 func TestModTVPERejectsEven(t *testing.T) {
+	if _, err := MustModTVPE(8).NewLabel(2, 0); !errors.Is(err, fault.ErrInvalidLabel) {
+		t.Errorf("even multiplier must report ErrInvalidLabel, got %v", err)
+	}
 	defer func() {
-		if recover() == nil {
-			t.Error("even multiplier must panic")
+		if err := fault.Classify(recover()); !errors.Is(err, fault.ErrInvalidLabel) {
+			t.Errorf("MustLabel must panic with a classified error, got %v", err)
 		}
 	}()
-	NewModTVPE(8).NewLabel(2, 0)
+	MustModTVPE(8).MustLabel(2, 0)
 }
 
 func TestOddInverse(t *testing.T) {
@@ -166,7 +175,7 @@ func TestOddInverse(t *testing.T) {
 
 func TestXorRotLaws(t *testing.T) {
 	for _, w := range []uint{1, 7, 32, 64} {
-		g := NewXorRot(w)
+		g := MustXorRot(w)
 		samples := []XRLabel{
 			g.Identity(),
 			g.NewLabel(1, 0xff),
@@ -181,7 +190,7 @@ func TestXorRotLaws(t *testing.T) {
 
 func TestXorRotSemantics(t *testing.T) {
 	for _, w := range []uint{8, 13, 64} {
-		g := NewXorRot(w)
+		g := MustXorRot(w)
 		rng := rand.New(rand.NewSource(int64(w)))
 		for i := 0; i < 300; i++ {
 			l1 := g.NewLabel(uint(rng.Intn(int(w))), rng.Uint64())
@@ -199,7 +208,7 @@ func TestXorRotSemantics(t *testing.T) {
 
 func TestXorRotNegationEncoding(t *testing.T) {
 	// Bitwise negation is (x xor ^0) rot 0 (Example 4.7).
-	g := NewXorRot(8)
+	g := MustXorRot(8)
 	l := g.NewLabel(0, 0xff)
 	if g.Apply(l, 0b10110001) != 0b01001110 {
 		t.Error("negation encoding wrong")
@@ -207,7 +216,7 @@ func TestXorRotNegationEncoding(t *testing.T) {
 }
 
 func TestXorConstLaws(t *testing.T) {
-	g := NewXorConst(32)
+	g := MustXorConst(32)
 	samples := []uint64{0, 1, 0xff00ff00, 0xffffffff}
 	if err := CheckLaws[uint64](g, samples); err != nil {
 		t.Fatal(err)
@@ -231,12 +240,12 @@ func TestRelocLaws(t *testing.T) {
 }
 
 func TestPermLaws(t *testing.T) {
-	g := NewPerm(4)
+	g := MustPerm(4)
 	samples := []PermLabel{
 		g.Identity(),
-		g.NewLabel([]int{1, 0, 2, 3}),
-		g.NewLabel([]int{1, 2, 3, 0}),
-		g.NewLabel([]int{3, 2, 1, 0}),
+		g.MustLabel([]int{1, 0, 2, 3}),
+		g.MustLabel([]int{1, 2, 3, 0}),
+		g.MustLabel([]int{3, 2, 1, 0}),
 	}
 	if err := CheckLaws[PermLabel](g, samples); err != nil {
 		t.Fatal(err)
@@ -244,9 +253,9 @@ func TestPermLaws(t *testing.T) {
 }
 
 func TestPermComposeOrder(t *testing.T) {
-	g := NewPerm(3)
-	a := g.NewLabel([]int{1, 2, 0}) // rotate
-	b := g.NewLabel([]int{1, 0, 2}) // swap 0,1
+	g := MustPerm(3)
+	a := g.MustLabel([]int{1, 2, 0}) // rotate
+	b := g.MustLabel([]int{1, 0, 2}) // swap 0,1
 	// First a then b: 0 -a-> 1 -b-> 0.
 	if got := g.Compose(a, b); got[0] != 0 {
 		t.Errorf("compose order wrong: %v", got)
@@ -254,16 +263,11 @@ func TestPermComposeOrder(t *testing.T) {
 }
 
 func TestPermValidation(t *testing.T) {
-	g := NewPerm(3)
+	g := MustPerm(3)
 	for _, bad := range [][]int{{0, 1}, {0, 0, 1}, {0, 1, 3}} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("NewLabel(%v) must panic", bad)
-				}
-			}()
-			g.NewLabel(bad)
-		}()
+		if _, err := g.NewLabel(bad); !errors.Is(err, fault.ErrInvalidLabel) {
+			t.Errorf("NewLabel(%v) must report ErrInvalidLabel, got %v", bad, err)
+		}
 	}
 }
 
@@ -295,13 +299,13 @@ func TestFreeReduction(t *testing.T) {
 }
 
 func TestMatGroupLaws(t *testing.T) {
-	g := NewMatGroup(2)
+	g := MustMatGroup(2)
 	r := func(n, d int64) *big.Rat { return rational.New(n, d) }
 	samples := []MatAffine{
 		g.Identity(),
-		g.NewLabel([][]*big.Rat{{r(2, 1), r(1, 1)}, {r(1, 1), r(1, 1)}}, []*big.Rat{r(3, 1), r(-1, 2)}),
-		g.NewLabel([][]*big.Rat{{r(0, 1), r(1, 1)}, {r(-1, 1), r(0, 1)}}, []*big.Rat{r(0, 1), r(0, 1)}),
-		g.NewLabel([][]*big.Rat{{r(1, 2), r(0, 1)}, {r(0, 1), r(3, 1)}}, []*big.Rat{r(1, 1), r(1, 1)}),
+		g.MustLabel([][]*big.Rat{{r(2, 1), r(1, 1)}, {r(1, 1), r(1, 1)}}, []*big.Rat{r(3, 1), r(-1, 2)}),
+		g.MustLabel([][]*big.Rat{{r(0, 1), r(1, 1)}, {r(-1, 1), r(0, 1)}}, []*big.Rat{r(0, 1), r(0, 1)}),
+		g.MustLabel([][]*big.Rat{{r(1, 2), r(0, 1)}, {r(0, 1), r(3, 1)}}, []*big.Rat{r(1, 1), r(1, 1)}),
 	}
 	if err := CheckLaws[MatAffine](g, samples); err != nil {
 		t.Fatal(err)
@@ -309,10 +313,10 @@ func TestMatGroupLaws(t *testing.T) {
 }
 
 func TestMatGroupApplySemantics(t *testing.T) {
-	g := NewMatGroup(2)
+	g := MustMatGroup(2)
 	r := func(n int64) *big.Rat { return rational.Int(n) }
-	l1 := g.NewLabel([][]*big.Rat{{r(2), r(1)}, {r(1), r(1)}}, []*big.Rat{r(3), r(-1)})
-	l2 := g.NewLabel([][]*big.Rat{{r(0), r(1)}, {r(-1), r(0)}}, []*big.Rat{r(5), r(0)})
+	l1 := g.MustLabel([][]*big.Rat{{r(2), r(1)}, {r(1), r(1)}}, []*big.Rat{r(3), r(-1)})
+	l2 := g.MustLabel([][]*big.Rat{{r(0), r(1)}, {r(-1), r(0)}}, []*big.Rat{r(5), r(0)})
 	x := []*big.Rat{r(7), r(-2)}
 	want := g.Apply(l2, g.Apply(l1, x))
 	got := g.Apply(g.Compose(l1, l2), x)
@@ -331,14 +335,11 @@ func TestMatGroupApplySemantics(t *testing.T) {
 }
 
 func TestMatGroupRejectsSingular(t *testing.T) {
-	g := NewMatGroup(2)
+	g := MustMatGroup(2)
 	r := func(n int64) *big.Rat { return rational.Int(n) }
-	defer func() {
-		if recover() == nil {
-			t.Error("singular matrix must panic")
-		}
-	}()
-	g.NewLabel([][]*big.Rat{{r(1), r(2)}, {r(2), r(4)}}, []*big.Rat{r(0), r(0)})
+	if _, err := g.NewLabel([][]*big.Rat{{r(1), r(2)}, {r(2), r(4)}}, []*big.Rat{r(0), r(0)}); !errors.Is(err, fault.ErrInvalidLabel) {
+		t.Errorf("singular matrix must report ErrInvalidLabel, got %v", err)
+	}
 }
 
 func TestHelpers(t *testing.T) {
@@ -370,39 +371,114 @@ func TestFormatters(t *testing.T) {
 		{(Reloc{}).Format(-3), "reloc(-3)"},
 		{(Free{}).Format(nil), "ε"},
 		{(Free{}).Format(Free{}.Compose(Free{}.Gen(2), Free{}.Inverse(Free{}.Gen(1)))), "g2·g1⁻¹"},
-		{NewModTVPE(8).Format(ModAffine{A: 3, B: 7}), "*3+7 (mod 2^8)"},
-		{NewXorConst(8).Format(0x0f), "xor 0xf"},
-		{NewPerm(3).Format(PermLabel{2, 0, 1}), "(2,0,1)"},
+		{MustModTVPE(8).Format(ModAffine{A: 3, B: 7}), "*3+7 (mod 2^8)"},
+		{MustXorConst(8).Format(0x0f), "xor 0xf"},
+		{MustPerm(3).Format(PermLabel{2, 0, 1}), "(2,0,1)"},
 	}
 	for _, c := range cases {
 		if c.got != c.want {
 			t.Errorf("Format = %q, want %q", c.got, c.want)
 		}
 	}
-	if s := NewMatGroup(2).Format(NewMatGroup(2).Identity()); s != "[1 0; 0 1]x + (0 0)" {
+	if s := MustMatGroup(2).Format(MustMatGroup(2).Identity()); s != "[1 0; 0 1]x + (0 0)" {
 		t.Errorf("matrix Format = %q", s)
 	}
 }
 
-func TestConstructorPanics(t *testing.T) {
+// TestConstructorErrors checks every validating constructor reports
+// fault.ErrInvalidLabel on bad input instead of panicking.
+func TestConstructorErrors(t *testing.T) {
+	for name, f := range map[string]func() error{
+		"ModTVPE-0":  func() error { _, err := NewModTVPE(0); return err },
+		"ModTVPE-65": func() error { _, err := NewModTVPE(65); return err },
+		"XorRot-0":   func() error { _, err := NewXorRot(0); return err },
+		"XorRot-65":  func() error { _, err := NewXorRot(65); return err },
+		"XorConst-0": func() error { _, err := NewXorConst(0); return err },
+		"Perm-0":     func() error { _, err := NewPerm(0); return err },
+		"MatGroup-0": func() error { _, err := NewMatGroup(0); return err },
+		"Mat-dims":   func() error { _, err := MustMatGroup(2).NewLabel(nil, nil); return err },
+	} {
+		if err := f(); !errors.Is(err, fault.ErrInvalidLabel) {
+			t.Errorf("%s must report ErrInvalidLabel, got %v", name, err)
+		}
+	}
+}
+
+// TestMustConstructorPanics checks the Must wrappers panic with
+// classified (taxonomy-tagged) errors, so the facade's recover layer
+// can map them back to the sentinel.
+func TestMustConstructorPanics(t *testing.T) {
 	for name, f := range map[string]func(){
-		"ModTVPE-0":  func() { NewModTVPE(0) },
-		"ModTVPE-65": func() { NewModTVPE(65) },
-		"XorRot-0":   func() { NewXorRot(0) },
-		"XorConst-0": func() { NewXorConst(0) },
-		"Perm-0":     func() { NewPerm(0) },
-		"MatGroup-0": func() { NewMatGroup(0) },
-		"Free-gen-0": func() { (Free{}).Gen(0) },
-		"Mat-dims":   func() { NewMatGroup(2).NewLabel(nil, nil) },
+		"MustModTVPE-0":  func() { MustModTVPE(0) },
+		"MustXorRot-0":   func() { MustXorRot(0) },
+		"MustXorConst-0": func() { MustXorConst(0) },
+		"MustPerm-0":     func() { MustPerm(0) },
+		"MustMatGroup-0": func() { MustMatGroup(0) },
+		"Free-gen-0":     func() { (Free{}).Gen(0) },
 	} {
 		func() {
 			defer func() {
-				if recover() == nil {
-					t.Errorf("%s must panic", name)
+				if err := fault.Classify(recover()); !errors.Is(err, fault.ErrInvalidLabel) {
+					t.Errorf("%s must panic with ErrInvalidLabel, got %v", name, err)
 				}
 			}()
 			f()
 		}()
+	}
+}
+
+// TestDeltaOverflowChecked: composing Delta labels past int64 range
+// must panic with a fault.ErrOverflow-tagged error, never wrap around
+// silently (Delta is a group over ℤ).
+func TestDeltaOverflowChecked(t *testing.T) {
+	g := Delta{}
+	for name, f := range map[string]func(){
+		"compose":  func() { g.Compose(math.MaxInt64, 1) },
+		"inverse":  func() { g.Inverse(math.MinInt64) },
+		"compose2": func() { g.Compose(math.MinInt64, -1) },
+	} {
+		func() {
+			defer func() {
+				if err := fault.Classify(recover()); !errors.Is(err, fault.ErrOverflow) {
+					t.Errorf("Delta %s must panic with ErrOverflow, got %v", name, err)
+				}
+			}()
+			f()
+		}()
+	}
+	relocG := Reloc{}
+	func() {
+		defer func() {
+			if err := fault.Classify(recover()); !errors.Is(err, fault.ErrOverflow) {
+				t.Errorf("Reloc compose must panic with ErrOverflow, got %v", err)
+			}
+		}()
+		relocG.Compose(math.MaxInt64, 1)
+	}()
+}
+
+// TestModTVPEWraparoundIntended pins down that ModTVPE composition is
+// modular arithmetic by design, matching big.Int reference arithmetic
+// mod 2ʷ — wraparound here is semantics, not overflow.
+func TestModTVPEWraparoundIntended(t *testing.T) {
+	for _, w := range []uint{8, 16, 64} {
+		g := MustModTVPE(w)
+		mod := new(big.Int).Lsh(big.NewInt(1), w)
+		rng := rand.New(rand.NewSource(int64(w)))
+		for i := 0; i < 100; i++ {
+			l1 := g.MustLabel(rng.Uint64()|1, rng.Uint64())
+			l2 := g.MustLabel(rng.Uint64()|1, rng.Uint64())
+			got := g.Compose(l1, l2)
+			refA := new(big.Int).Mul(new(big.Int).SetUint64(l1.A), new(big.Int).SetUint64(l2.A))
+			refA.Mod(refA, mod)
+			refB := new(big.Int).Mul(new(big.Int).SetUint64(l2.A), new(big.Int).SetUint64(l1.B))
+			refB.Add(refB, new(big.Int).SetUint64(l2.B))
+			refB.Mod(refB, mod)
+			if got.A != refA.Uint64() || got.B != refB.Uint64() {
+				t.Fatalf("w=%d compose disagrees with big.Int reference: (%x,%x) vs (%x,%x)",
+					w, got.A, got.B, refA.Uint64(), refB.Uint64())
+			}
+		}
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"math/big"
 	"strings"
 
+	"luf/internal/fault"
 	"luf/internal/rational"
 )
 
@@ -20,29 +21,49 @@ type MatGroup struct {
 	N int
 }
 
-// NewMatGroup returns the descriptor for dimension n >= 1.
-func NewMatGroup(n int) MatGroup {
+// NewMatGroup returns the descriptor for dimension n; it reports
+// fault.ErrInvalidLabel unless n >= 1.
+func NewMatGroup(n int) (MatGroup, error) {
 	if n < 1 {
-		panic("group: MatGroup needs n >= 1")
+		return MatGroup{}, fault.Invalidf("MatGroup dimension %d must be >= 1", n)
 	}
-	return MatGroup{N: n}
+	return MatGroup{N: n}, nil
+}
+
+// MustMatGroup is NewMatGroup that panics on invalid dimension.
+func MustMatGroup(n int) MatGroup {
+	g, err := NewMatGroup(n)
+	if err != nil {
+		panic(err)
+	}
+	return g
 }
 
 // NewLabel validates invertibility and returns the label y = A·x + b.
-// It panics if dimensions are wrong or A is singular.
-func (g MatGroup) NewLabel(a [][]*big.Rat, b []*big.Rat) MatAffine {
+// It reports fault.ErrInvalidLabel if dimensions are wrong or A is
+// singular (a singular map is not injective, Theorem 4.3).
+func (g MatGroup) NewLabel(a [][]*big.Rat, b []*big.Rat) (MatAffine, error) {
 	if len(a) != g.N || len(b) != g.N {
-		panic("group: matrix label has wrong dimension")
+		return MatAffine{}, fault.Invalidf("matrix label has dimension %dx?/%d, want %d", len(a), len(b), g.N)
 	}
 	for _, row := range a {
 		if len(row) != g.N {
-			panic("group: matrix label has wrong dimension")
+			return MatAffine{}, fault.Invalidf("matrix label row has length %d, want %d", len(row), g.N)
 		}
 	}
 	if _, ok := matInverse(a); !ok {
-		panic("group: matrix label is singular")
+		return MatAffine{}, fault.Invalidf("matrix label is singular")
 	}
-	return MatAffine{A: matClone(a), B: vecClone(b)}
+	return MatAffine{A: matClone(a), B: vecClone(b)}, nil
+}
+
+// MustLabel is NewLabel that panics on an invalid matrix.
+func (g MatGroup) MustLabel(a [][]*big.Rat, b []*big.Rat) MatAffine {
+	l, err := g.NewLabel(a, b)
+	if err != nil {
+		panic(err)
+	}
+	return l
 }
 
 // Apply returns A·x + b.
@@ -89,7 +110,10 @@ func (g MatGroup) Compose(l1, l2 MatAffine) MatAffine {
 func (g MatGroup) Inverse(l MatAffine) MatAffine {
 	inv, ok := matInverse(l.A)
 	if !ok {
-		panic("group: singular matrix in Inverse (labels must be validated)")
+		// Labels are validated at construction, so a singular matrix
+		// here means the structure was corrupted — a classified panic
+		// the facade's recover layer maps to ErrInvariantViolated.
+		panic(fault.Invariantf("singular matrix in Inverse (labels must be validated)"))
 	}
 	nb := matVec(inv, l.B)
 	for i := range nb {

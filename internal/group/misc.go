@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+
+	"luf/internal/fault"
 )
 
 // Parity is the parity-comparison group (Example 4.4 of the paper): the two
@@ -62,11 +64,26 @@ type RelocLabel = int64
 // Identity returns shift 0.
 func (Reloc) Identity() RelocLabel { return 0 }
 
-// Compose returns a + b.
-func (Reloc) Compose(a, b RelocLabel) RelocLabel { return a + b }
+// Compose returns a + b with checked arithmetic: relocations live in
+// ℤ, so silent int64 wraparound would compose a wrong relation. On
+// overflow it panics with a fault.ErrOverflow-tagged error the
+// facade's recover layer classifies.
+func (Reloc) Compose(a, b RelocLabel) RelocLabel {
+	s, err := fault.AddInt64(a, b)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
 
-// Inverse returns -a.
-func (Reloc) Inverse(a RelocLabel) RelocLabel { return -a }
+// Inverse returns -a, panicking with fault.ErrOverflow for MinInt64.
+func (Reloc) Inverse(a RelocLabel) RelocLabel {
+	n, err := fault.NegInt64(a)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
 
 // Equal reports a == b.
 func (Reloc) Equal(a, b RelocLabel) bool { return a == b }
@@ -87,29 +104,49 @@ type Perm struct {
 // PermLabel maps each point i to PermLabel[i].
 type PermLabel []int
 
-// NewPerm returns the descriptor of the symmetric group S_n.
-func NewPerm(n int) Perm {
+// NewPerm returns the descriptor of the symmetric group S_n; it
+// reports fault.ErrInvalidLabel unless n >= 1.
+func NewPerm(n int) (Perm, error) {
 	if n < 1 {
-		panic("group: Perm needs n >= 1")
+		return Perm{}, fault.Invalidf("Perm size %d must be >= 1", n)
 	}
-	return Perm{N: n}
+	return Perm{N: n}, nil
 }
 
-// NewLabel validates and returns a permutation label.
-func (g Perm) NewLabel(p []int) PermLabel {
+// MustPerm is NewPerm that panics on invalid size.
+func MustPerm(n int) Perm {
+	g, err := NewPerm(n)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// NewLabel validates and returns a permutation label, reporting
+// fault.ErrInvalidLabel if p is not a permutation of {0,…,N-1}.
+func (g Perm) NewLabel(p []int) (PermLabel, error) {
 	if len(p) != g.N {
-		panic("group: permutation has wrong length")
+		return nil, fault.Invalidf("permutation has length %d, want %d", len(p), g.N)
 	}
 	seen := make([]bool, g.N)
 	for _, v := range p {
 		if v < 0 || v >= g.N || seen[v] {
-			panic("group: not a permutation")
+			return nil, fault.Invalidf("%v is not a permutation of 0..%d", p, g.N-1)
 		}
 		seen[v] = true
 	}
 	out := make(PermLabel, g.N)
 	copy(out, p)
-	return out
+	return out, nil
+}
+
+// MustLabel is NewLabel that panics on a non-permutation.
+func (g Perm) MustLabel(p []int) PermLabel {
+	l, err := g.NewLabel(p)
+	if err != nil {
+		panic(err)
+	}
+	return l
 }
 
 // Identity returns the identity permutation.
@@ -175,10 +212,12 @@ type Free struct{}
 // adjacent pairs).
 type FreeLabel []int
 
-// Gen returns the one-letter word for generator g (g > 0).
+// Gen returns the one-letter word for generator g (g > 0). Generator
+// ids are produced by the library's own counters, so a non-positive id
+// is a bug: Gen keeps panicking, but with a classified error.
 func (Free) Gen(g int) FreeLabel {
 	if g <= 0 {
-		panic("group: free generators are positive ints")
+		panic(fault.Invalidf("free generators are positive ints, got %d", g))
 	}
 	return FreeLabel{g}
 }

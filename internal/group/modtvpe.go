@@ -3,6 +3,8 @@ package group
 import (
 	"fmt"
 	"math/bits"
+
+	"luf/internal/fault"
 )
 
 // ModAffine is a modular TVPE label (Example 4.8 of the paper): over
@@ -21,13 +23,22 @@ type ModTVPE struct {
 	Width uint // bit width w
 }
 
-// NewModTVPE returns the group descriptor for width w. It panics unless
-// 1 <= w <= 64.
-func NewModTVPE(w uint) ModTVPE {
+// NewModTVPE returns the group descriptor for width w. It reports
+// fault.ErrInvalidLabel unless 1 <= w <= 64.
+func NewModTVPE(w uint) (ModTVPE, error) {
 	if w < 1 || w > 64 {
-		panic("group: ModTVPE width must be in [1,64]")
+		return ModTVPE{}, fault.Invalidf("ModTVPE width %d must be in [1,64]", w)
 	}
-	return ModTVPE{Width: w}
+	return ModTVPE{Width: w}, nil
+}
+
+// MustModTVPE is NewModTVPE that panics on invalid width.
+func MustModTVPE(w uint) ModTVPE {
+	g, err := NewModTVPE(w)
+	if err != nil {
+		panic(err)
+	}
+	return g
 }
 
 func (g ModTVPE) mask() uint64 {
@@ -37,14 +48,24 @@ func (g ModTVPE) mask() uint64 {
 	return (uint64(1) << g.Width) - 1
 }
 
-// NewLabel returns the label y = a·x + b mod 2ʷ. It panics if a is even
-// (even multipliers are not invertible; encode them as xor-rotate when the
-// erased bits are known, per Example 4.8).
-func (g ModTVPE) NewLabel(a, b uint64) ModAffine {
+// NewLabel returns the label y = a·x + b mod 2ʷ. It reports
+// fault.ErrInvalidLabel if a is even (even multipliers are not
+// invertible; encode them as xor-rotate when the erased bits are
+// known, per Example 4.8).
+func (g ModTVPE) NewLabel(a, b uint64) (ModAffine, error) {
 	if a&1 == 0 {
-		panic("group: ModTVPE multiplier must be odd")
+		return ModAffine{}, fault.Invalidf("ModTVPE multiplier %d must be odd", a)
 	}
-	return ModAffine{A: a & g.mask(), B: b & g.mask()}
+	return ModAffine{A: a & g.mask(), B: b & g.mask()}, nil
+}
+
+// MustLabel is NewLabel that panics on an even multiplier.
+func (g ModTVPE) MustLabel(a, b uint64) ModAffine {
+	l, err := g.NewLabel(a, b)
+	if err != nil {
+		panic(err)
+	}
+	return l
 }
 
 // Apply returns a·x + b mod 2ʷ.
@@ -56,7 +77,11 @@ func (g ModTVPE) Apply(l ModAffine, x uint64) uint64 {
 func (g ModTVPE) Identity() ModAffine { return ModAffine{A: 1, B: 0} }
 
 // Compose returns (a1·a2, a2·b1 + b2) mod 2ʷ, the label of the two-edge
-// path (see TVPE.Compose).
+// path (see TVPE.Compose). The wraparound here is NOT an overflow bug:
+// the group is defined over ℤ/2ʷℤ, so modular reduction is the intended
+// semantics (unlike Delta/Reloc over ℤ, whose compose paths use checked
+// arithmetic). TestModTVPEWraparoundIntended pins this down against
+// big.Int reference arithmetic.
 func (g ModTVPE) Compose(l1, l2 ModAffine) ModAffine {
 	m := g.mask()
 	return ModAffine{A: (l1.A * l2.A) & m, B: (l2.A*l1.B + l2.B) & m}
@@ -106,12 +131,22 @@ type XRLabel struct {
 	C uint64 // xor mask (applied before rotation)
 }
 
-// NewXorRot returns the group descriptor for width w, 1 <= w <= 64.
-func NewXorRot(w uint) XorRot {
+// NewXorRot returns the group descriptor for width w; it reports
+// fault.ErrInvalidLabel unless 1 <= w <= 64.
+func NewXorRot(w uint) (XorRot, error) {
 	if w < 1 || w > 64 {
-		panic("group: XorRot width must be in [1,64]")
+		return XorRot{}, fault.Invalidf("XorRot width %d must be in [1,64]", w)
 	}
-	return XorRot{Width: w}
+	return XorRot{Width: w}, nil
+}
+
+// MustXorRot is NewXorRot that panics on invalid width.
+func MustXorRot(w uint) XorRot {
+	g, err := NewXorRot(w)
+	if err != nil {
+		panic(err)
+	}
+	return g
 }
 
 func (g XorRot) mask() uint64 {
@@ -177,12 +212,22 @@ type XorConst struct {
 	Width uint
 }
 
-// NewXorConst returns the descriptor for width w, 1 <= w <= 64.
-func NewXorConst(w uint) XorConst {
+// NewXorConst returns the descriptor for width w; it reports
+// fault.ErrInvalidLabel unless 1 <= w <= 64.
+func NewXorConst(w uint) (XorConst, error) {
 	if w < 1 || w > 64 {
-		panic("group: XorConst width must be in [1,64]")
+		return XorConst{}, fault.Invalidf("XorConst width %d must be in [1,64]", w)
 	}
-	return XorConst{Width: w}
+	return XorConst{Width: w}, nil
+}
+
+// MustXorConst is NewXorConst that panics on invalid width.
+func MustXorConst(w uint) XorConst {
+	g, err := NewXorConst(w)
+	if err != nil {
+		panic(err)
+	}
+	return g
 }
 
 func (g XorConst) mask() uint64 {

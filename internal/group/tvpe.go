@@ -3,6 +3,7 @@ package group
 import (
 	"math/big"
 
+	"luf/internal/fault"
 	"luf/internal/rational"
 )
 
@@ -19,19 +20,30 @@ type Affine struct {
 	B *big.Rat // offset
 }
 
-// NewAffine returns the label y = a·x + b. It panics if a is zero, since
-// a constant map is not injective and cannot be a group element
-// (Theorem 4.3).
-func NewAffine(a, b *big.Rat) Affine {
+// NewAffine returns the label y = a·x + b. It reports
+// fault.ErrInvalidLabel if a is zero, since a constant map is not
+// injective and cannot be a group element (Theorem 4.3).
+func NewAffine(a, b *big.Rat) (Affine, error) {
 	if a.Sign() == 0 {
-		panic("group: TVPE slope must be non-zero")
+		return Affine{}, fault.Invalidf("TVPE slope must be non-zero")
 	}
-	return Affine{A: a, B: b}
+	return Affine{A: a, B: b}, nil
 }
 
-// AffineInt is a convenience constructor for integer coefficients.
+// MustAffine is NewAffine that panics (with the classified error) on
+// invalid input, for tests, examples and statically-known labels.
+func MustAffine(a, b *big.Rat) Affine {
+	l, err := NewAffine(a, b)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// AffineInt is a convenience constructor for integer coefficients; it
+// panics if a is zero.
 func AffineInt(a, b int64) Affine {
-	return NewAffine(rational.Int(a), rational.Int(b))
+	return MustAffine(rational.Int(a), rational.Int(b))
 }
 
 // Apply returns a·x + b.

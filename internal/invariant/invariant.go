@@ -1,0 +1,228 @@
+// Package invariant is the runtime invariant checker of the labeled
+// union-find library: read-only audits of live structures that verify
+// the properties the paper's theorems rely on — path labels equal to
+// brute-force recomposition of the asserted relations (Theorem 3.1),
+// forest acyclicity, per-class info stored only at representatives
+// (Figure 5), the collapse invariants of the persistent variant
+// (Appendix A), and the Patricia-tree invariants of the pmap
+// substrate.
+//
+// All checks return nil on success or an error wrapping
+// fault.ErrInvariantViolated; none of them mutates the structure
+// under audit (in particular they never call Find, which would
+// path-compress). They are wired behind the -check flag of the three
+// CLIs and behind opt-in options in the solver and analyzer;
+// negative tests corrupt structures through the documented Inject
+// hooks and prove detection.
+package invariant
+
+import (
+	"luf/internal/core"
+	"luf/internal/fault"
+	"luf/internal/pmap"
+)
+
+// resolve walks n's parent chain without path compression, returning
+// the root and the composed label n --l--> root. A chain longer than
+// the number of edges proves a cycle.
+func resolve[N comparable, L any](g interface {
+	Identity() L
+	Compose(a, b L) L
+}, parent map[N]core.Edge[N, L], n N) (N, L, error) {
+	l := g.Identity()
+	cur := n
+	for steps := 0; ; steps++ {
+		e, ok := parent[cur]
+		if !ok {
+			return cur, l, nil
+		}
+		if steps > len(parent) {
+			var zero N
+			return zero, l, fault.Invariantf("parent chain from %v exceeds %d edges: cycle", n, len(parent))
+		}
+		l = g.Compose(l, e.Label)
+		cur = e.Parent
+	}
+}
+
+// CheckUF audits a mutable labeled union-find:
+//
+//   - the parent forest is acyclic;
+//   - member lists partition the nodes: every node with a parent edge
+//     appears in exactly one root's member list, and every listed
+//     member resolves to that root;
+//   - when the UF was built WithAudit, every accepted AddRelation
+//     call n --ℓ--> m is recomposed from the raw parent edges
+//     (without path compression) and compared against ℓ: this is the
+//     brute-force check that path labels compose to the asserted
+//     relations (Theorem 3.1).
+func CheckUF[N comparable, L any](u *core.UF[N, L]) error {
+	g := u.Group()
+
+	// Snapshot the forest read-only.
+	parent := make(map[N]core.Edge[N, L])
+	u.ForEachEdge(func(n N, e core.Edge[N, L]) {
+		parent[n] = e
+	})
+	for n, e := range parent {
+		if n == e.Parent {
+			return fault.Invariantf("node %v is its own parent", n)
+		}
+	}
+	// Acyclicity + root of every node.
+	root := make(map[N]N, len(parent))
+	for n := range parent {
+		r, _, err := resolve[N, L](g, parent, n)
+		if err != nil {
+			return err
+		}
+		root[n] = r
+	}
+	// Member lists.
+	seen := make(map[N]N) // member -> root whose list contains it
+	var memberErr error
+	u.ForEachMemberList(func(r N, members []N) {
+		if memberErr != nil {
+			return
+		}
+		if _, hasParent := parent[r]; hasParent {
+			memberErr = fault.Invariantf("member-list root %v has a parent edge", r)
+			return
+		}
+		for _, m := range members {
+			if prev, dup := seen[m]; dup {
+				memberErr = fault.Invariantf("node %v listed under two roots (%v and %v)", m, prev, r)
+				return
+			}
+			seen[m] = r
+			if root[m] != r {
+				memberErr = fault.Invariantf("member %v of root %v resolves to %v", m, r, root[m])
+				return
+			}
+		}
+	})
+	if memberErr != nil {
+		return memberErr
+	}
+	for n, r := range root {
+		if n == r {
+			continue
+		}
+		if seen[n] != r {
+			return fault.Invariantf("node %v resolves to %v but is not in its member list", n, r)
+		}
+	}
+	// Brute-force recomposition of the audited assertions.
+	for _, a := range u.Assertions() {
+		rn, ln, err := resolve[N, L](g, parent, a.N)
+		if err != nil {
+			return err
+		}
+		rm, lm, err := resolve[N, L](g, parent, a.M)
+		if err != nil {
+			return err
+		}
+		if rn != rm {
+			return fault.Invariantf("asserted relation %v -- %v lost: nodes in different classes", a.N, a.M)
+		}
+		got := g.Compose(ln, g.Inverse(lm))
+		if !g.Equal(got, a.Label) {
+			return fault.Invariantf("path label %v→%v is %s, assertion said %s",
+				a.N, a.M, g.Format(got), g.Format(a.Label))
+		}
+	}
+	if err := u.Misuse(); err != nil {
+		return fault.Invariantf("recorded API misuse: %v", err)
+	}
+	return nil
+}
+
+// CheckInfoUF audits the information extension of Figure 5 on top of
+// CheckUF: class information must be stored only at representatives
+// (nodes without parent edges) — info keyed at a non-root would be
+// silently ignored by GetInfo and never merged.
+func CheckInfoUF[N comparable, L, I any](u *core.InfoUF[N, L, I]) error {
+	if err := CheckUF(u.UF); err != nil {
+		return err
+	}
+	hasParent := make(map[N]bool)
+	u.ForEachEdge(func(n N, e core.Edge[N, L]) {
+		hasParent[n] = true
+	})
+	var err error
+	u.ForEachInfo(func(n N, _ I) {
+		if err == nil && hasParent[n] {
+			err = fault.Invariantf("class info stored at non-representative %v", n)
+		}
+	})
+	return err
+}
+
+// CheckPUF audits the persistent variant's Appendix A invariants:
+// eager collapse (every node points directly at a root; roots point
+// to themselves with the identity label), minimal representatives
+// (the root is the smallest node of its class), and a consistent
+// reverse map (Classes maps each root to exactly the nodes pointing
+// at it, including itself).
+func CheckPUF[L any](u core.PUF[L]) error {
+	g := u.Group()
+	rootOf := make(map[int]int)
+	var err error
+	u.ForEachEdge(func(n int, e core.PEdge[L]) bool {
+		if n == e.Parent {
+			if !g.Equal(e.Label, g.Identity()) {
+				err = fault.Invariantf("root %d points to itself with non-identity label %s", n, g.Format(e.Label))
+				return false
+			}
+		}
+		rootOf[n] = e.Parent
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	// Collapse: parents must be roots; minimality: parent <= node's
+	// whole class is checked through the class map below.
+	for n, r := range rootOf {
+		if rr, ok := rootOf[r]; !ok || rr != r {
+			return fault.Invariantf("node %d points at %d, which is not a collapsed root", n, r)
+		}
+		if r > n {
+			return fault.Invariantf("representative %d of node %d is not minimal", r, n)
+		}
+	}
+	// Reverse map.
+	counted := 0
+	u.ForEachClass(func(r int, members pmap.Set) bool {
+		if rootOf[r] != r {
+			err = fault.Invariantf("class map keyed at non-root %d", r)
+			return false
+		}
+		if !members.Contains(r) {
+			err = fault.Invariantf("class of root %d does not contain the root", r)
+			return false
+		}
+		members.ForEach(func(m int) bool {
+			counted++
+			if rootOf[m] != r {
+				err = fault.Invariantf("class of root %d lists %d, whose parent is %d", r, m, rootOf[m])
+				return false
+			}
+			return true
+		})
+		return err == nil
+	})
+	if err != nil {
+		return err
+	}
+	if counted != len(rootOf) {
+		return fault.Invariantf("class map covers %d nodes, parent map has %d", counted, len(rootOf))
+	}
+	return nil
+}
+
+// CheckPmap audits the Patricia-tree invariants of a persistent map
+// (single branching bits, prefix agreement, cached sizes).
+func CheckPmap[V any](m pmap.Map[V]) error {
+	return m.Audit()
+}

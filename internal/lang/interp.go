@@ -1,6 +1,6 @@
 package lang
 
-import "fmt"
+import "luf/internal/fault"
 
 // RunResult is the outcome of a concrete execution.
 type RunResult struct {
@@ -139,7 +139,7 @@ func (r *runner) stmt(s Stmt) error {
 			return blockedErr{}
 		}
 	default:
-		panic(fmt.Sprintf("unknown statement %T", s))
+		panic(fault.Invariantf("lang: unknown statement %T", s))
 	}
 	return nil
 }
@@ -231,5 +231,5 @@ func (r *runner) eval(e Expr) (int64, error) {
 			return boolToInt(l >= rv), nil
 		}
 	}
-	panic(fmt.Sprintf("unknown expression %T", e))
+	panic(fault.Invariantf("lang: unknown expression %T", e))
 }

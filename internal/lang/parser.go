@@ -1,6 +1,10 @@
 package lang
 
-import "fmt"
+import (
+	"fmt"
+
+	"luf/internal/fault"
+)
 
 // Parser is a recursive-descent parser for mini-C.
 type Parser struct {
@@ -11,8 +15,13 @@ type Parser struct {
 	scopes     []map[string]bool
 }
 
-// Parse parses a full program.
-func Parse(src string) (*Program, error) {
+// Parse parses a full program. No panic escapes: a parser bug that
+// panics (e.g. an index past the token slice) is recovered and
+// reported as a fault.ErrInvariantViolated-wrapped error, so callers
+// feeding untrusted sources always get (nil, error) — FuzzParse
+// enforces this.
+func Parse(src string) (prog *Program, err error) {
+	defer fault.RecoverTo(&err)
 	toks, err := Lex(src)
 	if err != nil {
 		return nil, err
@@ -29,11 +38,12 @@ func Parse(src string) (*Program, error) {
 	return &Program{Stmts: stmts, NumAsserts: p.numAsserts, NumNondets: p.numNondets}, nil
 }
 
-// MustParse parses or panics; for tests and embedded corpora.
+// MustParse parses or panics with the classified parse error; for
+// tests and embedded corpora.
 func MustParse(src string) *Program {
 	prog, err := Parse(src)
 	if err != nil {
-		panic(err)
+		panic(fault.Invalidf("lang.MustParse: %v", err))
 	}
 	return prog
 }

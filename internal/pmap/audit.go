@@ -1,0 +1,91 @@
+package pmap
+
+import "luf/internal/fault"
+
+// Audit walks the whole tree and verifies the Patricia invariants
+// (Okasaki & Gill): every branch's bit is a single set bit, both
+// children are non-empty, every key below a branch agrees with its
+// prefix above the branching bit and sits on the correct side of the
+// bit, and cached sizes are consistent. It returns a
+// fault.ErrInvariantViolated-wrapped error on the first violation.
+//
+// Audit lives inside pmap because the node representation is
+// unexported; package invariant re-exports it as CheckPmap.
+func (m Map[V]) Audit() error {
+	return auditNode[V](m.root)
+}
+
+func auditNode[V any](n node[V]) error {
+	switch t := n.(type) {
+	case nil:
+		return nil
+	case *leaf[V]:
+		return nil
+	case *branch[V]:
+		if t.bit == 0 || t.bit&(t.bit-1) != 0 {
+			return fault.Invariantf("pmap: branching bit %#x is not a single bit", t.bit)
+		}
+		if t.prefix&(t.bit|(t.bit-1)) != 0 {
+			return fault.Invariantf("pmap: prefix %#x has bits at or below branching bit %#x", t.prefix, t.bit)
+		}
+		if t.left == nil || t.right == nil {
+			return fault.Invariantf("pmap: branch with empty child")
+		}
+		if got := size[V](t.left) + size[V](t.right); t.size != got {
+			return fault.Invariantf("pmap: cached size %d != %d", t.size, got)
+		}
+		if err := auditKeys[V](t.left, t.prefix, t.bit, false); err != nil {
+			return err
+		}
+		if err := auditKeys[V](t.right, t.prefix, t.bit, true); err != nil {
+			return err
+		}
+		if err := auditNode[V](t.left); err != nil {
+			return err
+		}
+		return auditNode[V](t.right)
+	}
+	return fault.Invariantf("pmap: unknown node kind %T", n)
+}
+
+// auditKeys checks every key under n matches prefix above bit and has
+// the expected value of bit.
+func auditKeys[V any](n node[V], prefix, bit uint64, set bool) error {
+	switch t := n.(type) {
+	case nil:
+		return nil
+	case *leaf[V]:
+		if !matchPrefix(t.key, prefix, bit) {
+			return fault.Invariantf("pmap: key %#x disagrees with prefix %#x above bit %#x", t.key, prefix, bit)
+		}
+		if (t.key&bit != 0) != set {
+			return fault.Invariantf("pmap: key %#x on the wrong side of bit %#x", t.key, bit)
+		}
+		return nil
+	case *branch[V]:
+		if t.bit >= bit {
+			return fault.Invariantf("pmap: child branching bit %#x not below parent bit %#x", t.bit, bit)
+		}
+		if !matchPrefix(t.prefix, prefix, bit) {
+			return fault.Invariantf("pmap: subtree prefix %#x disagrees with prefix %#x above bit %#x", t.prefix, prefix, bit)
+		}
+		if (t.prefix&bit != 0) != set {
+			return fault.Invariantf("pmap: subtree prefix %#x on the wrong side of bit %#x", t.prefix, bit)
+		}
+		return nil
+	}
+	return fault.Invariantf("pmap: unknown node kind %T", n)
+}
+
+// InjectBroken returns a map whose root violates the Patricia
+// invariants (a branch with a non-power-of-two bit). It exists ONLY so
+// negative tests can prove Audit catches corruption.
+func InjectBroken[V any](a, b V) Map[V] {
+	return Map[V]{root: &branch[V]{
+		prefix: 0,
+		bit:    3, // two bits set: invalid
+		left:   &leaf[V]{key: 0, val: a},
+		right:  &leaf[V]{key: 3, val: b},
+		size:   2,
+	}}
+}

@@ -1,0 +1,68 @@
+package pmap
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"luf/internal/fault"
+)
+
+func TestAuditAcceptsValidMaps(t *testing.T) {
+	var m Map[int]
+	if err := m.Audit(); err != nil {
+		t.Fatalf("empty map: %v", err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 2000; i++ {
+		m = m.Set(rng.Intn(1<<20), i)
+		if i%100 == 0 {
+			if err := m.Audit(); err != nil {
+				t.Fatalf("after %d inserts: %v", i+1, err)
+			}
+		}
+	}
+	for i := 0; i < 500; i++ {
+		m = m.Remove(rng.Intn(1 << 20))
+	}
+	if err := m.Audit(); err != nil {
+		t.Fatalf("after removals: %v", err)
+	}
+	// Merge results must audit too.
+	var a, b Map[int]
+	for i := 0; i < 300; i++ {
+		a = a.Set(rng.Intn(1000), i)
+		b = b.Set(rng.Intn(1000), -i)
+	}
+	u := UnionWith(a, b, func(k, x, y int) int { return x + y })
+	if err := u.Audit(); err != nil {
+		t.Fatalf("union: %v", err)
+	}
+	in := IntersectWith(a, b, nil, func(k, x, y int) (int, bool) { return x, true })
+	if err := in.Audit(); err != nil {
+		t.Fatalf("intersection: %v", err)
+	}
+}
+
+// TestAuditCatchesCorruption is the negative test: a structurally
+// corrupted tree must be detected and classified.
+func TestAuditCatchesCorruption(t *testing.T) {
+	bad := InjectBroken(1, 2)
+	err := bad.Audit()
+	if !errors.Is(err, fault.ErrInvariantViolated) {
+		t.Fatalf("corrupted tree must report ErrInvariantViolated, got %v", err)
+	}
+
+	// Hand-built deeper corruptions exercise the other checks.
+	cases := map[string]node[int]{
+		"empty-child": &branch[int]{prefix: 0, bit: 4, left: &leaf[int]{key: 0}, right: nil, size: 1},
+		"bad-size":    &branch[int]{prefix: 0, bit: 4, left: &leaf[int]{key: 0}, right: &leaf[int]{key: 4}, size: 7},
+		"wrong-side":  &branch[int]{prefix: 0, bit: 4, left: &leaf[int]{key: 4}, right: &leaf[int]{key: 0}, size: 2},
+		"bad-prefix":  &branch[int]{prefix: 8, bit: 4, left: &leaf[int]{key: 0}, right: &leaf[int]{key: 4}, size: 2},
+	}
+	for name, n := range cases {
+		if err := (Map[int]{root: n}).Audit(); !errors.Is(err, fault.ErrInvariantViolated) {
+			t.Errorf("%s: want ErrInvariantViolated, got %v", name, err)
+		}
+	}
+}

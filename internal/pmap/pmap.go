@@ -12,6 +12,8 @@
 // visits keys in ascending order.
 package pmap
 
+import "luf/internal/fault"
+
 // A node is either a *leaf or a *branch. nil represents the empty map.
 type node[V any] interface{ isNode() }
 
@@ -39,7 +41,7 @@ type Map[V any] struct {
 
 func checkKey(k int) uint64 {
 	if k < 0 {
-		panic("pmap: negative key")
+		panic(fault.Invalidf("pmap: negative key %d", k))
 	}
 	return uint64(k)
 }
@@ -53,7 +55,7 @@ func size[V any](n node[V]) int {
 	case *branch[V]:
 		return n.size
 	}
-	panic("unreachable")
+	panic(fault.Invariantf("pmap: unreachable node kind"))
 }
 
 // Len returns the number of bindings in the map.
@@ -134,7 +136,7 @@ func prefixOf[V any](n node[V]) uint64 {
 	case *branch[V]:
 		return t.prefix
 	}
-	panic("prefixOf of empty tree")
+	panic(fault.Invariantf("pmap: prefixOf of empty tree"))
 }
 
 func mkBranch[V any](prefix, bit uint64, l, r node[V]) node[V] {
@@ -173,7 +175,7 @@ func insert[V any](n node[V], k uint64, v V) node[V] {
 		r := insert[V](t.right, k, v)
 		return &branch[V]{prefix: t.prefix, bit: t.bit, left: t.left, right: r, size: size[V](t.left) + size[V](r)}
 	}
-	panic("unreachable")
+	panic(fault.Invariantf("pmap: unreachable node kind"))
 }
 
 // Update returns a map where the binding for k is f(old, existed). If f's
@@ -222,7 +224,7 @@ func remove[V any](n node[V], k uint64) node[V] {
 		}
 		return mkBranch[V](t.prefix, t.bit, t.left, r)
 	}
-	panic("unreachable")
+	panic(fault.Invariantf("pmap: unreachable node kind"))
 }
 
 // ForEach calls f on each binding in ascending key order until f returns
@@ -240,7 +242,7 @@ func forEach[V any](n node[V], f func(k int, v V) bool) bool {
 	case *branch[V]:
 		return forEach[V](t.left, f) && forEach[V](t.right, f)
 	}
-	panic("unreachable")
+	panic(fault.Invariantf("pmap: unreachable node kind"))
 }
 
 // Keys returns all keys in ascending order.
@@ -338,7 +340,7 @@ func inter[V any](a, b node[V], eq func(va, vb V) bool, combine func(k int, va, 
 			return inter[V](a, tb.right, eq, combine)
 		}
 	}
-	panic("unreachable")
+	panic(fault.Invariantf("pmap: unreachable node kind"))
 }
 
 func getNode[V any](n node[V], k uint64) (V, bool) {
@@ -423,5 +425,5 @@ func union[V any](a, b node[V], combine func(k int, va, vb V) V) node[V] {
 			return mkBranch[V](tb.prefix, tb.bit, tb.left, union[V](a, tb.right, combine))
 		}
 	}
-	panic("unreachable")
+	panic(fault.Invariantf("pmap: unreachable node kind"))
 }

@@ -13,6 +13,8 @@ package rational
 import (
 	"fmt"
 	"math/big"
+
+	"luf/internal/fault"
 )
 
 // Common constants. These must never be mutated; use Clone when a mutable
@@ -195,11 +197,12 @@ func Parse(s string) (*big.Rat, error) {
 	return r, nil
 }
 
-// MustParse is Parse that panics on malformed input; for tests and tables.
+// MustParse is Parse that panics with a classified error on malformed
+// input; for tests and tables.
 func MustParse(s string) *big.Rat {
 	r, err := Parse(s)
 	if err != nil {
-		panic(err)
+		panic(fault.Invalidf("rational.MustParse: %v", err))
 	}
 	return r
 }

@@ -37,13 +37,15 @@ type Theory struct {
 // New returns an empty theory. useCanonRel selects the Section 6.2
 // extension; with it disabled only exact syntactic equalities of canonized
 // right-hand sides are detected (still through Delta, with label 0).
-func New(useCanonRel bool) *Theory {
+// Extra options are forwarded to the underlying union-find (the solver
+// passes core.WithAudit when invariant checking is requested).
+func New(useCanonRel bool, opts ...core.Option[Var, *big.Rat]) *Theory {
 	t := &Theory{
 		s:           make(map[Var]LinExp),
 		reverse:     make(map[string]Var),
 		UseCanonRel: useCanonRel,
 	}
-	t.Delta = core.New[Var, *big.Rat](group.QDiff{})
+	t.Delta = core.New[Var, *big.Rat](group.QDiff{}, opts...)
 	return t
 }
 

@@ -1,13 +1,16 @@
 package solver
 
 import (
+	"context"
 	"math/big"
 	"time"
 
 	"luf/internal/core"
 	"luf/internal/domain"
+	"luf/internal/fault"
 	"luf/internal/group"
 	"luf/internal/interval"
+	"luf/internal/invariant"
 	"luf/internal/rational"
 	"luf/internal/shostak"
 )
@@ -43,6 +46,18 @@ type Options struct {
 	// Results then depend on the machine; the step budget is the
 	// deterministic default.
 	Deadline time.Duration
+	// Ctx, when non-nil, allows external cancellation; checked on the
+	// same stride as the deadline.
+	Ctx context.Context
+	// Inject, when non-nil, deterministically injects faults (failed
+	// budget checks, rejected labels, forced conflicts) for robustness
+	// testing; see internal/fault.
+	Inject *fault.Injector
+	// CheckInvariants audits the Shostak layer's labeled union-find on
+	// exit (package invariant): the parent forest, member lists, and a
+	// brute-force recomposition of every accepted relation. A detected
+	// violation overrides the verdict with Unknown and a classified Stop.
+	CheckInvariants bool
 }
 
 // Result is a solver run outcome.
@@ -52,6 +67,24 @@ type Result struct {
 	// NumRelations is the number of constant-difference relations the
 	// Shostak layer pushed into the labeled union-find.
 	NumRelations int
+	// Stop is nil when propagation ran to completion; otherwise it
+	// classifies why the run stopped early (fault.ErrBudgetExhausted,
+	// fault.ErrDeadlineExceeded, fault.ErrCanceled, an injected fault,
+	// or an invariant violation), and Partial holds the best-known
+	// state. errors.Is distinguishes the causes.
+	Stop error
+	// Partial is the structured degraded result of an early stop: the
+	// abstract values reached so far are still a sound
+	// over-approximation of the solution set.
+	Partial *Partial
+}
+
+// Partial is the best-known state of a run that stopped early.
+type Partial struct {
+	Values     []domain.IC // per-variable best-known abstract value
+	Determined int         // variables pinned to a single rational
+	Bounded    int         // variables with at least one finite interval bound
+	Pending    int         // constraints still awaiting propagation
 }
 
 // Solve runs the given variant on the problem within the option budgets.
@@ -65,7 +98,13 @@ func Solve(p *Problem, variant Variant, opt Options) Result {
 	if opt.MaxBoundWords == 0 {
 		opt.MaxBoundWords = 20
 	}
-	s := &engine{p: p, variant: variant, opt: opt, start: time.Now()}
+	s := &engine{p: p, variant: variant, opt: opt}
+	s.guard = fault.NewGuard(fault.Limits{
+		MaxSteps: opt.MaxSteps,
+		Deadline: opt.Deadline,
+		Ctx:      opt.Ctx,
+		Inject:   opt.Inject,
+	})
 	return s.run()
 }
 
@@ -74,7 +113,7 @@ type engine struct {
 	p       *Problem
 	variant Variant
 	opt     Options
-	start   time.Time
+	guard   *fault.Guard
 
 	theory  *shostak.Theory
 	store   valueStore
@@ -82,9 +121,9 @@ type engine struct {
 	queue   []int
 	inQueue []bool
 	updates []int
-	steps   int
 	numRel  int
 	bottom  bool
+	stopErr error // first injected-fault stop, if any
 }
 
 // valueStore abstracts where abstract values live: a plain array (Base,
@@ -162,7 +201,60 @@ func (s *factorStore) relate(a, b int, k *big.Rat) []int {
 
 func (s *factorStore) classOf(v int) []int { return s.info.Class(v) }
 
-func (e *engine) run() Result {
+// result assembles a Result, attaching the degraded partial state when
+// the run stopped early and running the opt-in invariant audit.
+func (e *engine) result(v Verdict, stop error) Result {
+	r := Result{Verdict: v, Steps: e.guard.Steps(), NumRelations: e.numRel, Stop: stop}
+	if e.opt.CheckInvariants && e.theory != nil {
+		if err := invariant.CheckUF(e.theory.Delta); err != nil {
+			// A corrupted structure makes the verdict untrustworthy.
+			r.Verdict = VerdictUnknown
+			r.Stop = err
+		}
+	}
+	if r.Stop != nil {
+		r.Partial = e.partial()
+	}
+	return r
+}
+
+// partial snapshots the best-known abstract state; sound regardless of
+// where propagation stopped (refinements only shrink value sets).
+func (e *engine) partial() *Partial {
+	if e.store == nil {
+		return &Partial{}
+	}
+	p := &Partial{Values: make([]domain.IC, e.p.NumVars), Pending: len(e.queue)}
+	for v := 0; v < e.p.NumVars; v++ {
+		val := e.store.get(v)
+		p.Values[v] = val
+		if _, ok := val.IsConst(); ok {
+			p.Determined++
+		}
+		if !val.I.IsBottom() && (!val.I.LoInf || !val.I.HiInf) {
+			p.Bounded++
+		}
+	}
+	return p
+}
+
+// stopReason returns why the run must stop, or nil: injected faults
+// take precedence (they fired first), then the guard's sticky error.
+func (e *engine) stopReason() error {
+	if e.stopErr != nil {
+		return e.stopErr
+	}
+	return e.guard.Err()
+}
+
+func (e *engine) run() (res Result) {
+	defer func() {
+		if r := recover(); r != nil {
+			// Panic-free boundary: internal failures surface as a
+			// classified Stop with the partial state, never as a crash.
+			res = e.result(VerdictUnknown, fault.Classify(r))
+		}
+	}()
 	p := e.p
 	// Value store.
 	switch e.variant {
@@ -179,7 +271,7 @@ func (e *engine) run() Result {
 	for v := 0; v < p.NumVars; v++ {
 		if p.IntVar[v] {
 			if _, bot := e.store.refine(v, domain.Integers()); bot {
-				return Result{Verdict: VerdictUnsat, Steps: e.steps}
+				return e.result(VerdictUnsat, nil)
 			}
 		}
 	}
@@ -196,43 +288,64 @@ func (e *engine) run() Result {
 	// Shostak layer: all equalities go to the theory; the theory pushes
 	// constant-difference relations (LabeledUF/GroupAction) or exact
 	// equalities (Base) into Δ, and we react by transporting values.
-	e.theory = shostak.New(e.variant != Base)
+	var ufOpts []core.Option[shostak.Var, *big.Rat]
+	if e.opt.CheckInvariants {
+		ufOpts = append(ufOpts, core.WithAudit[shostak.Var, *big.Rat]())
+	}
+	e.theory = shostak.New(e.variant != Base, ufOpts...)
 	e.theory.OnNewRelation = func(a, b int, k *big.Rat) {
 		e.numRel++
+		if err := e.opt.Inject.ObserveLabel(); err != nil {
+			// Injected label rejection: stop cleanly instead of
+			// propagating a relation we pretend failed validation.
+			if e.stopErr == nil {
+				e.stopErr = err
+			}
+			return
+		}
 		e.onRelation(a, b, k)
 	}
 	for _, c := range p.Cons {
 		if c.Kind == ConEq {
 			if !e.theory.AssertEq(c.Lin, shostak.NewLinExp(rational.Zero)) {
-				return Result{Verdict: VerdictUnsat, Steps: e.steps, NumRelations: e.numRel}
+				return e.result(VerdictUnsat, nil)
+			}
+			if e.stopErr != nil {
+				return e.result(VerdictUnknown, e.stopReason())
 			}
 		}
 	}
 	if e.bottom {
-		return Result{Verdict: VerdictUnsat, Steps: e.steps, NumRelations: e.numRel}
+		return e.result(VerdictUnsat, nil)
 	}
-	// Propagate to fixpoint or budget exhaustion.
-	for len(e.queue) > 0 && e.steps < e.opt.MaxSteps {
-		if e.opt.Deadline > 0 && e.steps%64 == 0 && time.Since(e.start) > e.opt.Deadline {
+	// Propagate to fixpoint, or stop gracefully on budget exhaustion,
+	// deadline, cancellation, or injected fault.
+	for len(e.queue) > 0 && e.stopErr == nil {
+		if err := e.guard.Step(1); err != nil {
+			break
+		}
+		if err := e.opt.Inject.ObserveConflict(); err != nil {
+			// A forced conflict is an injected fault, not evidence of
+			// unsatisfiability: the verdict stays Unknown.
+			e.stopErr = err
 			break
 		}
 		ci := e.queue[0]
 		e.queue = e.queue[1:]
 		e.inQueue[ci] = false
-		e.steps++
 		e.propagate(p.Cons[ci])
 		if e.bottom {
-			return Result{Verdict: VerdictUnsat, Steps: e.steps, NumRelations: e.numRel}
+			return e.result(VerdictUnsat, nil)
 		}
 	}
-	if len(e.queue) > 0 {
-		return Result{Verdict: VerdictUnknown, Steps: e.steps, NumRelations: e.numRel} // budget exhausted
+	if stop := e.stopReason(); stop != nil {
+		return e.result(VerdictUnknown, stop)
 	}
 	// Fixpoint reached: try to extract a concrete witness.
 	if sigma, ok := e.witness(); ok && p.CheckWitness(sigma) {
-		return Result{Verdict: VerdictSat, Steps: e.steps, NumRelations: e.numRel}
+		return e.result(VerdictSat, nil)
 	}
-	return Result{Verdict: VerdictUnknown, Steps: e.steps, NumRelations: e.numRel}
+	return e.result(VerdictUnknown, nil)
 }
 
 // vars returns the variables a constraint watches.
@@ -259,7 +372,7 @@ func (e *engine) enqueue(ci int) {
 // and propagates consequences (class transport for LabeledUF, watcher
 // wake-ups for every changed variable).
 func (e *engine) refineVar(v int, val domain.IC) {
-	if e.bottom {
+	if e.bottom || e.guard.Err() != nil || e.stopErr != nil {
 		return
 	}
 	if e.updates[v] >= e.opt.MaxVarUpdates {
@@ -278,7 +391,7 @@ func (e *engine) refineVar(v int, val domain.IC) {
 		// member's view changes and must be re-read through the group
 		// action — the per-member bookkeeping the paper's GROUP-ACTION
 		// variant pays ("its implementation is more complex").
-		e.steps += len(changed) - 1
+		e.guard.Step(len(changed) - 1)
 	}
 	for _, w := range changed {
 		e.updates[w]++
@@ -298,7 +411,9 @@ func (e *engine) refineVar(v int, val domain.IC) {
 			if !ok {
 				continue
 			}
-			e.steps++
+			if e.guard.Step(1) != nil {
+				return // budget ran out mid-transport; sticky
+			}
 			shifted := e.store.get(v).AddConst(k) // σ(m) = σ(v) + k
 			ch2, bot2 := e.store.refine(m, shifted)
 			if bot2 {
@@ -325,7 +440,7 @@ func (e *engine) onRelation(a, b int, k *big.Rat) {
 	case GroupAction:
 		fs := e.store.(*factorStore)
 		members := fs.relate(a, b, k)
-		e.steps += len(members) - 1
+		e.guard.Step(len(members) - 1)
 		for _, w := range members {
 			if w < e.p.NumVars {
 				for _, ci := range e.watch[w] {
@@ -338,7 +453,7 @@ func (e *engine) onRelation(a, b int, k *big.Rat) {
 		}
 	default:
 		// Base (k = 0 only) and LabeledUF: transport values both ways.
-		e.steps++
+		e.guard.Step(1)
 		e.refineVar(b, e.store.get(a).AddConst(k))
 		e.refineVar(a, e.store.get(b).AddConst(rational.Neg(k)))
 	}

@@ -32,7 +32,9 @@ package luf
 
 import (
 	"luf/internal/core"
+	"luf/internal/fault"
 	"luf/internal/group"
+	"luf/internal/invariant"
 )
 
 // Group is the label-group descriptor interface (Assumption 2 of the
@@ -51,6 +53,13 @@ type Action[L, I any] = core.Action[L, I]
 
 // PUF is the confluently persistent labeled union-find (Appendix A).
 type PUF[L any] = core.PUF[L]
+
+// Edge is a labeled parent edge of UF, as exposed by ForEachEdge and
+// the InjectEdge test hook.
+type Edge[N comparable, L any] = core.Edge[N, L]
+
+// PEdge is a labeled parent edge of PUF.
+type PEdge[L any] = core.PEdge[L]
 
 // Conflict describes an inconsistent AddRelation call (Section 3.2).
 type Conflict[N comparable, L any] = core.Conflict[N, L]
@@ -144,26 +153,47 @@ type (
 	Reloc = group.Reloc
 )
 
-// NewAffine returns the TVPE label y = a·x + b (a ≠ 0).
-var NewAffine = group.NewAffine
+// NewAffine returns the TVPE label y = a·x + b; it reports
+// ErrInvalidLabel when a = 0. MustAffine panics instead.
+var (
+	NewAffine  = group.NewAffine
+	MustAffine = group.MustAffine
+)
 
-// AffineInt returns the TVPE label with integer coefficients.
+// AffineInt returns the TVPE label with integer coefficients (panics
+// on zero slope).
 var AffineInt = group.AffineInt
 
-// NewModTVPE returns the modular TVPE group of width w.
-var NewModTVPE = group.NewModTVPE
+// NewModTVPE returns the modular TVPE group of width w; it reports
+// ErrInvalidLabel outside [1,64]. MustModTVPE panics instead.
+var (
+	NewModTVPE  = group.NewModTVPE
+	MustModTVPE = group.MustModTVPE
+)
 
 // NewXorRot returns the xor-rotate group of width w.
-var NewXorRot = group.NewXorRot
+var (
+	NewXorRot  = group.NewXorRot
+	MustXorRot = group.MustXorRot
+)
 
 // NewXorConst returns the constant-xor group of width w.
-var NewXorConst = group.NewXorConst
+var (
+	NewXorConst  = group.NewXorConst
+	MustXorConst = group.MustXorConst
+)
 
 // NewMatGroup returns the invertible affine map group on ℚⁿ.
-var NewMatGroup = group.NewMatGroup
+var (
+	NewMatGroup  = group.NewMatGroup
+	MustMatGroup = group.MustMatGroup
+)
 
 // NewPerm returns the symmetric group S_n.
-var NewPerm = group.NewPerm
+var (
+	NewPerm  = group.NewPerm
+	MustPerm = group.MustPerm
+)
 
 // ThroughPoints returns the affine label through two points (the
 // "joining constants" rule of Section 7.2).
@@ -172,3 +202,82 @@ var ThroughPoints = group.ThroughPoints
 // Intersect solves two conflicting affine relations to a point
 // (Section 3.2's conflict handling).
 var Intersect = group.Intersect
+
+// Error taxonomy (package internal/fault). Every classified failure in
+// the library wraps exactly one of these sentinels; test with
+// errors.Is. Internal packages are unimportable from outside the
+// module, so the sentinels are re-exported here.
+var (
+	// ErrBudgetExhausted: a step budget ran out; partial results are
+	// still valid.
+	ErrBudgetExhausted = fault.ErrBudgetExhausted
+	// ErrDeadlineExceeded: a wall-clock deadline expired.
+	ErrDeadlineExceeded = fault.ErrDeadlineExceeded
+	// ErrCanceled: an attached context.Context was canceled.
+	ErrCanceled = fault.ErrCanceled
+	// ErrInvalidLabel: caller-supplied label or group parameters are
+	// outside the group's domain.
+	ErrInvalidLabel = fault.ErrInvalidLabel
+	// ErrInvariantViolated: an internal invariant does not hold
+	// (library bug or corrupted structure).
+	ErrInvariantViolated = fault.ErrInvariantViolated
+	// ErrOverflow: checked integer arithmetic overflowed.
+	ErrOverflow = fault.ErrOverflow
+	// ErrConflict: contradictory labels on one pair of nodes, or a
+	// misused conflict callback.
+	ErrConflict = fault.ErrConflict
+	// ErrInjected: the failure was manufactured by fault injection
+	// (testing only).
+	ErrInjected = fault.ErrInjected
+)
+
+// Protect runs f and converts any panic into a classified error:
+// taxonomy-tagged panics (overflow in Delta composition, Must
+// constructors, invariant violations) keep their sentinel; anything
+// else maps to ErrInvariantViolated. It is the panic-free boundary for
+// callers that cannot tolerate a crash:
+//
+//	err := luf.Protect(func() {
+//	    uf.AddRelation(x, y, label) // may panic on label overflow
+//	})
+//	if errors.Is(err, luf.ErrOverflow) { ... }
+func Protect(f func()) (err error) {
+	defer fault.RecoverTo(&err)
+	f()
+	return nil
+}
+
+// StopLabel returns a short, stable label ("budget", "deadline",
+// "conflict", ...) for a classified error, suitable for logging and
+// aggregation; injected faults are prefixed "injected:".
+var StopLabel = fault.StopLabel
+
+// WithAudit makes the union-find record every accepted AddRelation call
+// so CheckUF can brute-force-recompose each asserted relation
+// (Theorem 3.1). It costs O(1) memory per accepted assertion.
+func WithAudit[N comparable, L any]() Option[N, L] {
+	return core.WithAudit[N, L]()
+}
+
+// CheckUF verifies the runtime invariants of a labeled union-find
+// without mutating it: acyclic parent forest, consistent member lists,
+// and — when the structure was built with WithAudit — that every
+// recorded assertion is still derivable with the same label. It
+// returns nil or an ErrInvariantViolated-classified error.
+func CheckUF[N comparable, L any](u *UF[N, L]) error {
+	return invariant.CheckUF[N, L](u)
+}
+
+// CheckInfoUF additionally verifies that per-class information lives
+// only at representatives (Section 3.3's invariant).
+func CheckInfoUF[N comparable, L, I any](u *InfoUF[N, L, I]) error {
+	return invariant.CheckInfoUF[N, L, I](u)
+}
+
+// CheckPUF verifies the Appendix A invariants of a persistent
+// union-find: eager collapse (every node points directly at its root),
+// identity self-labels at roots, minimal representatives, and a class
+// index consistent with the parent edges.
+func CheckPUF[L any](u PUF[L]) error {
+	return invariant.CheckPUF[L](u)
+}
