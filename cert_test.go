@@ -1,0 +1,141 @@
+package luf_test
+
+import (
+	"errors"
+	"testing"
+
+	"luf"
+)
+
+// TestFacadeCertifiedAnswers exercises the documented certification
+// round trip: journal, Explain, CheckCertificate.
+func TestFacadeCertifiedAnswers(t *testing.T) {
+	j := luf.NewCertJournal[string, int64](luf.Delta{})
+	uf := luf.New[string](luf.Delta{}, luf.WithJournal[string, int64](j))
+	uf.AddRelationReason("x", "y", 2, "input-eq-7")
+	uf.AddRelationReason("y", "z", 3, "input-eq-8")
+
+	c, err := luf.Explain(uf, j, "x", "z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Label != 5 {
+		t.Errorf("certified relation = %d, want 5", c.Label)
+	}
+	if err := luf.CheckCertificate(c, luf.Delta{}); err != nil {
+		t.Errorf("CheckCertificate: %v", err)
+	}
+	if s := luf.FormatCertificate(c, luf.Delta{}); s == "" {
+		t.Error("FormatCertificate returned empty")
+	}
+	if _, err := luf.Explain(uf, j, "x", "unrelated"); !errors.Is(err, luf.ErrInvalidLabel) {
+		t.Errorf("Explain(unrelated) err = %v, want ErrInvalidLabel", err)
+	}
+}
+
+// TestExplainDetectsInjectedCorruption is the certification contract
+// end to end: corrupt the structure with InjectEdge and the emitted
+// certificate — claiming the corrupted answer on honest evidence —
+// must be rejected by the independent checker.
+func TestExplainDetectsInjectedCorruption(t *testing.T) {
+	j := luf.NewCertJournal[string, int64](luf.Delta{})
+	uf := luf.New[string](luf.Delta{}, luf.WithJournal[string, int64](j), luf.WithSeed[string, int64](3))
+	uf.AddRelationReason("a", "b", 10, "eq#0")
+	uf.AddRelationReason("b", "c", 20, "eq#1")
+
+	// Sanity: before corruption every answer certifies.
+	good, err := luf.Explain(uf, j, "a", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := luf.CheckCertificate(good, luf.Delta{}); err != nil {
+		t.Fatalf("pre-corruption certificate rejected: %v", err)
+	}
+
+	// Corrupt: flip a parent-edge label behind the structure's back.
+	var corruptedSome bool
+	uf.ForEachEdge(func(n string, e luf.Edge[string, int64]) {
+		if !corruptedSome {
+			uf.InjectEdge(n, luf.Edge[string, int64]{Parent: e.Parent, Label: e.Label + 1})
+			corruptedSome = true
+		}
+	})
+	if !corruptedSome {
+		t.Fatal("no edges to corrupt")
+	}
+
+	rejected := false
+	for _, pair := range [][2]string{{"a", "b"}, {"b", "c"}, {"a", "c"}} {
+		c, err := luf.Explain(uf, j, pair[0], pair[1])
+		if err != nil {
+			continue
+		}
+		if err := luf.CheckCertificate(c, luf.Delta{}); err != nil {
+			if !errors.Is(err, luf.ErrInvariantViolated) {
+				t.Errorf("rejection has wrong class: %v", err)
+			}
+			rejected = true
+		}
+	}
+	if !rejected {
+		t.Error("label corruption went uncertified: no emitted certificate was rejected")
+	}
+}
+
+// TestExplainPersistent certifies answers of the persistent variant
+// from its own journal, across snapshots.
+func TestExplainPersistent(t *testing.T) {
+	u := luf.NewPersistent[int64](luf.Delta{}).WithRecording()
+	u, _ = u.AddRelationReason(0, 1, 5, "c0", nil)
+	snap := u
+	u, _ = u.AddRelationReason(1, 2, 7, "c1", nil)
+
+	c, err := luf.ExplainPersistent(u, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Label != 12 {
+		t.Errorf("certified relation = %d, want 12", c.Label)
+	}
+	if err := luf.CheckCertificate(c, luf.Delta{}); err != nil {
+		t.Errorf("CheckCertificate: %v", err)
+	}
+	// The snapshot does not know 1--2: its journal must not prove it.
+	if _, err := luf.ExplainPersistent(snap, 0, 2); err == nil {
+		t.Error("snapshot certified a relation it does not have")
+	}
+	// Corruption: injected label flip makes the certificate rejectable.
+	bad := u.InjectEdge(1, luf.PEdge[int64]{Parent: 0, Label: 99})
+	if c, err := luf.ExplainPersistent(bad, 1, 0); err == nil {
+		if err := luf.CheckCertificate(c, luf.Delta{}); err == nil {
+			t.Error("corrupted persistent answer certified")
+		}
+	}
+}
+
+// TestCertifiedReplayFacade re-checks every certificate the facade can
+// emit for a deterministic workload; the CI certified-replay job runs
+// all *CertifiedReplay* tests.
+func TestCertifiedReplayFacade(t *testing.T) {
+	j := luf.NewCertJournal[int, luf.Affine](luf.TVPE{})
+	uf := luf.New[int](luf.TVPE{}, luf.WithJournal[int, luf.Affine](j))
+	for i := 0; i < 40; i++ {
+		a := int64(1 + i%3)
+		uf.AddRelationReason(i, i+1, luf.AffineInt(a, int64(i)), "gen")
+	}
+	g := luf.TVPE{}
+	for x := 0; x <= 40; x += 5 {
+		for y := 0; y <= 40; y += 7 {
+			if x == y {
+				continue
+			}
+			c, err := luf.Explain(uf, j, x, y)
+			if err != nil {
+				t.Fatalf("Explain(%d, %d): %v", x, y, err)
+			}
+			if err := luf.CheckCertificate(c, g); err != nil {
+				t.Errorf("certificate (%d, %d) rejected: %v", x, y, err)
+			}
+		}
+	}
+}

@@ -22,6 +22,7 @@ func main() {
 	quick := flag.Bool("quick", false, "smaller corpora for a fast smoke run")
 	budget := flag.Int("budget", 0, "per-run analyzer step budget for sec72 (0 = unlimited)")
 	check := flag.Bool("check", false, "audit union-find invariants after every run")
+	certify := flag.Bool("certify", false, "emit and independently re-check proof certificates on every run (table1, sec72, sec72d2); rejections are tallied per stop reason")
 	flag.Parse()
 
 	run := func(name string) bool { return *exp == name || *exp == "all" }
@@ -35,11 +36,12 @@ func main() {
 			cfg.Corpus.SlowConv, cfg.Corpus.MulFree = 20, 20
 		}
 		cfg.Opts.CheckInvariants = *check
+		cfg.Certify = *certify
 		fmt.Println(bench.RunTable1(cfg).Format())
 	}
 	if run("sec72") {
 		any = true
-		cfg := bench.Sec72Config{NumPrograms: *programs, Depth: 1000, Budget: *budget, Check: *check}
+		cfg := bench.Sec72Config{NumPrograms: *programs, Depth: 1000, Budget: *budget, Check: *check, Certify: *certify}
 		if *quick {
 			cfg.NumPrograms = 60
 		}
@@ -47,7 +49,7 @@ func main() {
 	}
 	if run("sec72d2") {
 		any = true
-		cfg := bench.Sec72Config{NumPrograms: *programs, Depth: 2, Budget: *budget, Check: *check}
+		cfg := bench.Sec72Config{NumPrograms: *programs, Depth: 2, Budget: *budget, Check: *check, Certify: *certify}
 		if *quick {
 			cfg.NumPrograms = 60
 		}

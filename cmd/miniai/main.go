@@ -9,10 +9,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"luf/internal/analyzer"
+	"luf/internal/cert"
 	"luf/internal/cfg"
 	"luf/internal/fault"
+	"luf/internal/group"
 	"luf/internal/lang"
 )
 
@@ -21,6 +24,7 @@ func main() {
 	steps := flag.Int("steps", 0, "analysis step budget (0 = unlimited)")
 	deadline := flag.Duration("deadline", 0, "wall-clock limit per analysis (0 = none)")
 	check := flag.Bool("check", false, "audit union-find invariants after analysis")
+	certify := flag.Bool("certify", false, "emit proof certificates for the final relations and re-check each with the independent verifier")
 	dumpSSA := flag.Bool("dump-ssa", false, "print the SSA control-flow graph")
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -48,7 +52,8 @@ func main() {
 			fmt.Println(g)
 		}
 		conf := analyzer.Config{UseLUF: useLUF, PropagationDepth: *depth,
-			MaxSteps: *steps, Deadline: *deadline, CheckInvariants: *check}
+			MaxSteps: *steps, Deadline: *deadline, CheckInvariants: *check,
+			Certify: *certify && useLUF}
 		res := analyzer.Analyze(g, dom, conf)
 		mode := "baseline"
 		if useLUF {
@@ -81,6 +86,39 @@ func main() {
 				res.Stats.ImprovedValues)
 		}
 		fmt.Println()
+		if *certify && useLUF {
+			printCertificates(g, res)
+		}
 		fmt.Println()
+	}
+}
+
+// printCertificates re-checks every certificate the analyzer attached
+// to its final relational state with the independent verifier.
+func printCertificates(g *cfg.Graph, res *analyzer.Result) {
+	tvpe := group.TVPE{}
+	accepted := 0
+	for _, c := range res.Certificates {
+		if err := cert.Check(c, tvpe); err != nil {
+			fmt.Printf("  CERT REJECTED: %v\n", err)
+			continue
+		}
+		accepted++
+	}
+	fmt.Printf("  certificates: %d emitted, %d verified\n", len(res.Certificates), accepted)
+	for _, c := range res.Certificates {
+		if cert.Check(c, tvpe) != nil {
+			continue
+		}
+		fmt.Printf("    %s~%s: %s   [%s]\n",
+			g.VarName[c.X], g.VarName[c.Y], tvpe.Format(c.Label),
+			strings.Join(c.Reasons(), "; "))
+	}
+	if cc := res.ConflictCert; cc != nil {
+		if err := cert.Check(*cc, tvpe); err != nil {
+			fmt.Printf("  CONFLICT CERT REJECTED: %v\n", err)
+		} else {
+			fmt.Printf("  unsatisfiability core (verified): %s\n", strings.Join(cc.Reasons(), "; "))
+		}
 	}
 }

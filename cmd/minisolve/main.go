@@ -20,7 +20,9 @@ import (
 	"os"
 	"strings"
 
+	"luf/internal/cert"
 	"luf/internal/fault"
+	"luf/internal/group"
 	"luf/internal/rational"
 	"luf/internal/shostak"
 	"luf/internal/solver"
@@ -31,6 +33,7 @@ func main() {
 	steps := flag.Int("steps", 200000, "step budget")
 	deadline := flag.Duration("deadline", 0, "wall-clock limit per variant (0 = none)")
 	check := flag.Bool("check", false, "audit union-find invariants after solving")
+	certify := flag.Bool("certify", false, "emit proof certificates and re-check each with the independent verifier")
 	flag.Parse()
 
 	var p *solver.Problem
@@ -62,7 +65,7 @@ func main() {
 	}
 	fmt.Printf("problem %s: %d variables, %d constraints\n\n", p.Name, p.NumVars, len(p.Cons))
 	for _, v := range []solver.Variant{solver.Base, solver.LabeledUF, solver.GroupAction} {
-		opts := solver.Options{MaxSteps: *steps, Deadline: *deadline, CheckInvariants: *check}
+		opts := solver.Options{MaxSteps: *steps, Deadline: *deadline, CheckInvariants: *check, Certify: *certify}
 		r := solver.Solve(p, v, opts)
 		fmt.Printf("  %-13s verdict=%-8s steps=%-7d relations=%d", v, r.Verdict, r.Steps, r.NumRelations)
 		if r.Stop != nil {
@@ -73,6 +76,36 @@ func main() {
 			}
 		}
 		fmt.Println()
+		if *certify {
+			printCertificates(r)
+		}
+	}
+}
+
+// printCertificates re-checks every emitted certificate with the
+// independent verifier and prints the verdicts (plus the UNSAT core
+// chain when one exists).
+func printCertificates(r solver.Result) {
+	g := group.QDiff{}
+	accepted := 0
+	for _, c := range r.Certs {
+		if err := cert.Check(c, g); err != nil {
+			fmt.Printf("    CERT REJECTED: %v\n", err)
+			continue
+		}
+		accepted++
+	}
+	fmt.Printf("    certificates: %d emitted, %d verified\n", len(r.Certs), accepted)
+	if cc := r.ConflictCert; cc != nil {
+		if err := cert.Check(*cc, g); err != nil {
+			fmt.Printf("    CONFLICT CERT REJECTED: %v\n", err)
+		} else {
+			fmt.Printf("    UNSAT core (verified):\n")
+			for _, line := range strings.Split(cert.Format(*cc, g), "\n") {
+				fmt.Printf("      %s\n", line)
+			}
+			fmt.Printf("      core constraints: %s\n", strings.Join(cc.Reasons(), ", "))
+		}
 	}
 }
 

@@ -2,9 +2,11 @@ package analyzer
 
 import (
 	"context"
+	"fmt"
 	"math/big"
 	"time"
 
+	"luf/internal/cert"
 	"luf/internal/cfg"
 	"luf/internal/core"
 	"luf/internal/domain"
@@ -46,6 +48,14 @@ type Config struct {
 	// (package invariant), including brute-force recomposition of every
 	// accepted relation. A violation degrades the result to ⊤.
 	CheckInvariants bool
+	// Certify runs the TVPE union-find in recording mode and attaches
+	// proof certificates to the result: one Relation certificate per
+	// (member, representative) pair of the final relational state —
+	// every relation the §7.2 proofs rest on becomes a checkable
+	// artifact — plus a Conflict certificate when parallel relations
+	// proved unsatisfiability. Requires UseLUF; verify with
+	// cert.Check(c, group.TVPE{}).
+	Certify bool
 }
 
 // DefaultConfig mirrors the paper's main configuration.
@@ -88,6 +98,13 @@ type Result struct {
 	// or an invariant violation). A non-nil Stop means the results were
 	// degraded to the sound ⊤ fallback.
 	Stop error
+	// Certificates holds the Relation certificates of the final
+	// relational state (one per non-representative class member) when
+	// Config.Certify was set. Verify with cert.Check(c, group.TVPE{}).
+	Certificates []cert.Certificate[int, group.Affine]
+	// ConflictCert is the evidence chain when parallel relations made
+	// the relational state unsatisfiable; nil otherwise.
+	ConflictCert *cert.Certificate[int, group.Affine]
 }
 
 // analysis is the per-run state.
@@ -96,6 +113,7 @@ type analysis struct {
 	dom     *cfg.DomInfo
 	cfgConf Config
 	luf     *factor.TVPEMap[int]
+	journal *cert.Journal[int, group.Affine] // non-nil iff Certify (fresh per restart)
 	defs    map[int]cfg.Expr // SSA value -> defining expression (IDefs only)
 	users   map[int][]int    // SSA value -> values whose def uses it
 	defBlk  []int            // SSA value -> block of its definition (-1: none)
@@ -141,6 +159,12 @@ func Analyze(g *cfg.Graph, dom *cfg.DomInfo, conf Config) *Result {
 			if conf.CheckInvariants {
 				opts = append(opts, core.WithAudit[int, group.Affine]())
 			}
+			if conf.Certify {
+				// A fresh journal per restart: retracted (banned) relations
+				// of earlier rounds must not serve as evidence.
+				a.journal = cert.NewJournal[int, group.Affine](group.TVPE{})
+				opts = append(opts, core.WithRecorder[int, group.Affine](a.journal.Record))
+			}
 			a.luf = factor.NewTVPEMap[int](opts...)
 		}
 		res = a.run()
@@ -155,7 +179,51 @@ func Analyze(g *cfg.Graph, dom *cfg.DomInfo, conf Config) *Result {
 			res = a.degraded(err)
 		}
 	}
+	if a.journal != nil && a.luf != nil {
+		res.Certificates, res.ConflictCert = a.certificates()
+	}
 	return res
+}
+
+// certificates builds one Relation certificate per non-representative
+// member of the final relational state — Label is the structure's
+// answer, Steps the journal's evidence — plus the Conflict certificate
+// when parallel relations proved unsatisfiability. Fault injection
+// (CorruptCertAt) sabotages the chosen certificate before emission.
+func (a *analysis) certificates() ([]cert.Certificate[int, group.Affine], *cert.Certificate[int, group.Affine]) {
+	g := group.TVPE{}
+	var certs []cert.Certificate[int, group.Affine]
+	emit := func(c cert.Certificate[int, group.Affine]) cert.Certificate[int, group.Affine] {
+		if a.cfgConf.Inject.ObserveCert() {
+			cert.Sabotage(&c, g)
+		}
+		return c
+	}
+	for _, root := range a.luf.Info.Roots() {
+		for _, m := range a.luf.Info.Class(root) {
+			if m == root {
+				continue
+			}
+			ans, ok := a.luf.Relation(m, root)
+			if !ok {
+				continue
+			}
+			c, err := a.journal.Explain(m, root)
+			if err != nil {
+				continue // not derivable from this restart's journal
+			}
+			c.Label = ans
+			certs = append(certs, emit(c))
+		}
+	}
+	var conflict *cert.Certificate[int, group.Affine]
+	if lc := a.luf.LastConflict; lc != nil {
+		if c, err := a.journal.ExplainConflict(lc.N, lc.M, lc.New, a.luf.LastConflictReason); err == nil {
+			c = emit(c)
+			conflict = &c
+		}
+	}
+	return certs, conflict
 }
 
 // degraded is the sound ⊤ fallback of an early stop or detected
@@ -580,13 +648,14 @@ func (a *analysis) finalPass(b int, s state, out []state, reachable []bool, res 
 
 // relate pushes a TVPE relation into the union-find, honouring label
 // injection: an injected rejection stops the analysis (through the
-// guard's sticky error) instead of silently dropping the relation.
-func (a *analysis) relate(n, m int, l group.Affine) {
+// guard's sticky error) instead of silently dropping the relation. The
+// reason (a program point) tags the journal entry in recording mode.
+func (a *analysis) relate(n, m int, l group.Affine, reason string) {
 	if err := a.cfgConf.Inject.ObserveLabel(); err != nil {
 		a.guard.Stop(err)
 		return
 	}
-	a.luf.Relate(n, m, l)
+	a.luf.RelateReason(n, m, l, reason)
 }
 
 // defRelation adds the TVPE relation implied by a definition v := a·w + b
@@ -597,7 +666,8 @@ func (a *analysis) defRelation(def cfg.IDef) {
 		return
 	}
 	// σ(def.Var) = coef·σ(w) + off: edge w --(coef,off)--> def.Var.
-	a.relate(w, def.Var, group.MustAffine(coef, off))
+	a.relate(w, def.Var, group.MustAffine(coef, off),
+		fmt.Sprintf("def v%d (block %d)", def.Var, a.defBlk[def.Var]))
 }
 
 // phiRelations applies the φ rules of Section 7.2 to every pair of φs in
@@ -701,7 +771,8 @@ func (a *analysis) phiRelations(b int, phis []cfg.IPhi, out []state, reachable [
 				continue
 			}
 			// Relate dst_p --cand--> dst_q.
-			a.relate(p.Var, q.Var, cand)
+			a.relate(p.Var, q.Var, cand,
+				fmt.Sprintf("phi join v%d~v%d (block %d)", p.Var, q.Var, b))
 			a.inferred[key] = cand
 		}
 	}

@@ -7,8 +7,10 @@ import (
 
 	"luf/internal/analyzer"
 	acorpus "luf/internal/analyzer/corpus"
+	"luf/internal/cert"
 	"luf/internal/cfg"
 	"luf/internal/fault"
+	"luf/internal/group"
 	"luf/internal/lang"
 )
 
@@ -26,6 +28,11 @@ type Sec72Config struct {
 	// Check audits the labeled union-find invariants after every
 	// analysis run (see internal/invariant).
 	Check bool
+	// Certify asks every LUF analysis for proof certificates and
+	// re-checks each with the independent verifier; rejections land in
+	// Degraded under "cert-reject", separating "answer rejected" from
+	// "budget exhausted" in the degradation report.
+	Certify bool
 }
 
 // DefaultSec72 mirrors the paper's setup.
@@ -49,8 +56,13 @@ type Sec72Result struct {
 	AlarmsLUF        int
 	PrecisionLosses  int // must be 0
 	// Degraded counts analyzer runs that stopped early (budget or
-	// deadline) and fell back to ⊤, by stop reason.
+	// deadline) and fell back to ⊤, by stop reason — plus "cert-reject"
+	// for runs whose certificates failed independent re-checking.
 	Degraded map[string]int
+	// CertEmitted / CertRejected count certificates across all LUF runs
+	// (Certify mode).
+	CertEmitted  int
+	CertRejected int
 }
 
 // RunSec72 analyzes the corpus with and without the LUF domain.
@@ -78,13 +90,33 @@ func RunSec72(cfg Sec72Config) *Sec72Result {
 		t1 := time.Now()
 		withLUF := analyzer.Analyze(gL.g, gL.dom, analyzer.Config{
 			UseLUF: true, PropagationDepth: cfg.Depth, MaxSteps: cfg.Budget,
-			CheckInvariants: cfg.Check})
+			CheckInvariants: cfg.Check, Certify: cfg.Certify})
 		res.LUFTime += time.Since(t1)
 		if base.Stop != nil {
 			res.Degraded[fault.StopLabel(base.Stop)]++
 		}
 		if withLUF.Stop != nil {
 			res.Degraded[fault.StopLabel(withLUF.Stop)]++
+		}
+		if cfg.Certify {
+			tvpe := group.TVPE{}
+			rejected := 0
+			res.CertEmitted += len(withLUF.Certificates)
+			for _, c := range withLUF.Certificates {
+				if cert.Check(c, tvpe) != nil {
+					rejected++
+				}
+			}
+			if cc := withLUF.ConflictCert; cc != nil {
+				res.CertEmitted++
+				if cert.Check(*cc, tvpe) != nil {
+					rejected++
+				}
+			}
+			res.CertRejected += rejected
+			if rejected > 0 {
+				res.Degraded["cert-reject"]++
+			}
 		}
 
 		st := withLUF.Stats
@@ -172,6 +204,10 @@ func (r *Sec72Result) Format() string {
 	fmt.Fprintf(&sb, "programs with new proofs:      %d (paper: 11 at depth 1000, 22 at depth 2)\n", r.NewProofPrograms)
 	fmt.Fprintf(&sb, "alarms: base %d, with LUF %d; precision losses: %d (paper: none)\n",
 		r.AlarmsBase, r.AlarmsLUF, r.PrecisionLosses)
+	if r.Config.Certify {
+		fmt.Fprintf(&sb, "certificates: %d emitted, %d rejected by the independent checker\n",
+			r.CertEmitted, r.CertRejected)
+	}
 	if len(r.Degraded) > 0 {
 		fmt.Fprintf(&sb, "degraded runs (sound ⊤ fallback): %v\n", r.Degraded)
 	}

@@ -10,7 +10,9 @@ import (
 	"strings"
 	"time"
 
+	"luf/internal/cert"
 	"luf/internal/fault"
+	"luf/internal/group"
 	"luf/internal/solver"
 	"luf/internal/solver/corpus"
 )
@@ -25,6 +27,11 @@ type Table1Config struct {
 	Budget int
 	Cutoff int
 	Opts   solver.Options
+	// Certify asks each run for proof certificates and re-checks every
+	// one with the independent verifier; rejections are tallied in
+	// Stops under "cert-reject", separating "answer rejected" from mere
+	// budget exhaustion in the degradation report.
+	Certify bool
 }
 
 // DefaultTable1 returns the configuration used by the reproduction.
@@ -54,8 +61,15 @@ type Table1Result struct {
 	// action transports), which the deterministic step count underweights.
 	WallTime map[solver.Variant]time.Duration
 	// Stops counts early-stopped runs per variant by classified reason
-	// (fault.StopLabel): budget, deadline, canceled, ...
+	// (fault.StopLabel): budget, deadline, canceled, ... — plus
+	// "cert-reject" for runs whose emitted certificates failed
+	// independent re-checking (Certify mode): an *answer* problem, not a
+	// *budget* problem.
 	Stops map[solver.Variant]map[string]int
+	// CertEmitted / CertRejected count certificates across all runs of
+	// each variant (Certify mode).
+	CertEmitted  map[solver.Variant]int
+	CertRejected map[solver.Variant]int
 }
 
 // Variants in display order.
@@ -65,16 +79,19 @@ var Variants = []solver.Variant{solver.Base, solver.LabeledUF, solver.GroupActio
 func RunTable1(cfg Table1Config) *Table1Result {
 	problems := corpus.Generate(cfg.Corpus)
 	res := &Table1Result{
-		Config:      cfg,
-		Problems:    len(problems),
-		Steps:       map[solver.Variant][]int{},
-		Solved:      map[solver.Variant][]bool{},
-		SolvedCount: map[solver.Variant]int{},
-		WallTime:    map[solver.Variant]time.Duration{},
-		Stops:       map[solver.Variant]map[string]int{},
+		Config:       cfg,
+		Problems:     len(problems),
+		Steps:        map[solver.Variant][]int{},
+		Solved:       map[solver.Variant][]bool{},
+		SolvedCount:  map[solver.Variant]int{},
+		WallTime:     map[solver.Variant]time.Duration{},
+		Stops:        map[solver.Variant]map[string]int{},
+		CertEmitted:  map[solver.Variant]int{},
+		CertRejected: map[solver.Variant]int{},
 	}
 	opts := cfg.Opts
 	opts.MaxSteps = cfg.Budget
+	opts.Certify = opts.Certify || cfg.Certify
 	for _, v := range Variants {
 		res.Steps[v] = make([]int, len(problems))
 		res.Solved[v] = make([]bool, len(problems))
@@ -93,6 +110,14 @@ func RunTable1(cfg Table1Config) *Table1Result {
 			if r.Stop != nil {
 				res.Stops[v][fault.StopLabel(r.Stop)]++
 			}
+			if opts.Certify {
+				rejected := verifyCerts(r)
+				res.CertEmitted[v] += certCount(r)
+				res.CertRejected[v] += rejected
+				if rejected > 0 {
+					res.Stops[v]["cert-reject"]++
+				}
+			}
 			if p.Truth == solver.StatusSat && r.Verdict == solver.VerdictUnsat ||
 				p.Truth == solver.StatusUnsat && r.Verdict == solver.VerdictSat {
 				res.Unsound = append(res.Unsound,
@@ -101,6 +126,31 @@ func RunTable1(cfg Table1Config) *Table1Result {
 		}
 	}
 	return res
+}
+
+// certCount returns how many certificates a solver run emitted.
+func certCount(r solver.Result) int {
+	n := len(r.Certs)
+	if r.ConflictCert != nil {
+		n++
+	}
+	return n
+}
+
+// verifyCerts re-checks every certificate of a solver run with the
+// independent verifier and returns the number rejected.
+func verifyCerts(r solver.Result) int {
+	g := group.QDiff{}
+	rejected := 0
+	for _, c := range r.Certs {
+		if cert.Check(c, g) != nil {
+			rejected++
+		}
+	}
+	if r.ConflictCert != nil && cert.Check(*r.ConflictCert, g) != nil {
+		rejected++
+	}
+	return rejected
 }
 
 // Improvement counts how often `row` solves within the cutoff a problem
@@ -141,6 +191,12 @@ func (r *Table1Result) Format() string {
 			fmt.Fprintf(&sb, "     -%d +%d (%+d)", m2, p2, p2-m2)
 		}
 		sb.WriteString("\n")
+	}
+	if r.Config.Certify || r.Config.Opts.Certify {
+		fmt.Fprintf(&sb, "\ncertificates (emitted/rejected): BASE %d/%d, LABELED-UF %d/%d, GROUP-ACTION %d/%d\n",
+			r.CertEmitted[solver.Base], r.CertRejected[solver.Base],
+			r.CertEmitted[solver.LabeledUF], r.CertRejected[solver.LabeledUF],
+			r.CertEmitted[solver.GroupAction], r.CertRejected[solver.GroupAction])
 	}
 	stops := false
 	for _, v := range Variants {

@@ -84,6 +84,15 @@ func (u *InfoUF[N, L, I]) AddRelation(n, m N, l L) bool {
 	return !conflicted
 }
 
+// AddRelationReason is AddRelation carrying a reason string for
+// recording mode (see UF.AddRelationReason).
+func (u *InfoUF[N, L, I]) AddRelationReason(n, m N, l L, reason string) bool {
+	u.pendingReason = reason
+	ok := u.AddRelation(n, m, l)
+	u.pendingReason = ""
+	return ok
+}
+
 // SetRoot overwrites the class information stored at n's representative.
 // It is a low-level hook for reductions that recompute class info wholesale
 // (e.g. narrowing); most callers want AddInfo.

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"testing"
+
+	"luf/internal/cert"
+	"luf/internal/group"
+)
+
+// These tests pin the Appendix A `Inter` edge cases and cross-check
+// each with proof certificates. An intersection's relations are not
+// assertions of either input but consequences of both, so Inter starts
+// an empty journal; every relation it reports must instead be
+// certifiable from EACH parent's own journal (a relation holds in the
+// intersection iff it holds in both inputs).
+
+// certifyVia builds a certificate for x~y from one parent's journal and
+// checks it against the parent's reported relation.
+func certifyVia(t *testing.T, parent PUF[group.DeltaLabel], x, y int) {
+	t.Helper()
+	ans, ok := parent.GetRelation(x, y)
+	if !ok {
+		t.Fatalf("parent does not relate (%d,%d): inter is unsound", x, y)
+	}
+	j := cert.NewJournal[int, group.DeltaLabel](group.Delta{})
+	parent.ForEachJournalEntry(j.Record)
+	c, err := j.Explain(x, y)
+	if err != nil {
+		t.Fatalf("parent journal cannot explain (%d,%d): %v", x, y, err)
+	}
+	c.Label = ans
+	if err := cert.Check(c, group.Delta{}); err != nil {
+		t.Fatalf("certificate for (%d,%d) rejected: %v", x, y, err)
+	}
+}
+
+// certifyInter certifies every relation of the intersection through both
+// parents and asserts the intersection itself carries no journal (its
+// evidence lives in the parents).
+func certifyInter(t *testing.T, i, a, b PUF[group.DeltaLabel], nodes int) {
+	t.Helper()
+	if i.JournalLen() != 0 {
+		t.Fatalf("intersection journal has %d entries, want 0 (evidence belongs to the parents)", i.JournalLen())
+	}
+	for n := 0; n < nodes; n++ {
+		for m := 0; m < nodes; m++ {
+			li, ok := i.GetRelation(n, m)
+			if !ok {
+				continue
+			}
+			la, oka := a.GetRelation(n, m)
+			lb, okb := b.GetRelation(n, m)
+			if !oka || !okb || la != li || lb != li {
+				t.Fatalf("inter relates (%d,%d)=%d but parents say %d,%v / %d,%v", n, m, li, la, oka, lb, okb)
+			}
+			certifyVia(t, a, n, m)
+			certifyVia(t, b, n, m)
+		}
+	}
+}
+
+// TestInterEmptyClassSide: a class known to only one input contributes
+// nothing — the other side's "empty class" wins, soundly.
+func TestInterEmptyClassSide(t *testing.T) {
+	a := NewPersistent[group.DeltaLabel](group.Delta{}).WithRecording()
+	a, _ = a.AddRelationReason(0, 1, 2, "a:0~1", nil)
+	a, _ = a.AddRelationReason(5, 6, 3, "a:5~6", nil) // class unknown to b
+
+	b := NewPersistent[group.DeltaLabel](group.Delta{}).WithRecording()
+	b, _ = b.AddRelationReason(0, 1, 2, "b:0~1", nil)
+
+	i := Inter(a, b)
+	if l, ok := i.GetRelation(0, 1); !ok || l != 2 {
+		t.Fatalf("0~1 = %d,%v want 2 (shared relation must survive)", l, ok)
+	}
+	if _, ok := i.GetRelation(5, 6); ok {
+		t.Fatal("5~6 must be dropped: b's side of the class is empty")
+	}
+	if !i.Recording() {
+		t.Fatal("recording must propagate when both parents record")
+	}
+	certifyInter(t, i, a, b, 8)
+	checkPUFInvariants(t, i)
+}
+
+// TestInterSelfJoinIdempotent: Inter(u, u) is u relation-wise, and every
+// relation is certifiable from u's own journal on both "sides".
+func TestInterSelfJoinIdempotent(t *testing.T) {
+	u := NewPersistent[group.DeltaLabel](group.Delta{}).WithRecording()
+	u, _ = u.AddRelationReason(0, 1, 1, "e1", nil)
+	u, _ = u.AddRelationReason(1, 2, 2, "e2", nil)
+	u, _ = u.AddRelationReason(3, 4, -5, "e3", nil)
+
+	i := Inter(u, u)
+	for n := 0; n < 5; n++ {
+		for m := 0; m < 5; m++ {
+			lu, oku := u.GetRelation(n, m)
+			li, oki := i.GetRelation(n, m)
+			if oku != oki || (oku && lu != li) {
+				t.Fatalf("Inter(u,u) differs from u at (%d,%d)", n, m)
+			}
+		}
+	}
+	certifyInter(t, i, u, u, 5)
+	checkPUFInvariants(t, i)
+}
+
+// TestInterLabelMismatchSplit: both inputs hold the class {0,1,2} but
+// disagree on where 2 sits. The intersection must split the class —
+// keeping 0~1 (agreed) and dropping 2 into a singleton — and the
+// surviving relation certifies through both journals while each parent
+// can still prove its OWN (mutually incompatible) claim about 0~2.
+func TestInterLabelMismatchSplit(t *testing.T) {
+	a := NewPersistent[group.DeltaLabel](group.Delta{}).WithRecording()
+	a, _ = a.AddRelationReason(0, 1, 4, "a:0~1", nil)
+	a, _ = a.AddRelationReason(1, 2, 1, "a:1~2", nil) // a: 0~2 = 5
+
+	b := NewPersistent[group.DeltaLabel](group.Delta{}).WithRecording()
+	b, _ = b.AddRelationReason(0, 1, 4, "b:0~1", nil)
+	b, _ = b.AddRelationReason(1, 2, 9, "b:1~2", nil) // b: 0~2 = 13
+
+	i := Inter(a, b)
+	if l, ok := i.GetRelation(0, 1); !ok || l != 4 {
+		t.Fatalf("0~1 = %d,%v want 4", l, ok)
+	}
+	if _, ok := i.GetRelation(0, 2); ok {
+		t.Fatal("0~2 must be split off (labels disagree)")
+	}
+	if _, ok := i.GetRelation(1, 2); ok {
+		t.Fatal("1~2 must be split off (labels disagree)")
+	}
+	if got := i.Class(2); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("2 must be a singleton after the split, got %v", got)
+	}
+	certifyInter(t, i, a, b, 3)
+	checkPUFInvariants(t, i)
+
+	// Each parent still proves its own incompatible claim about 0~2 —
+	// the split is the only sound reconciliation.
+	var labels [2]int64
+	for k, p := range []PUF[group.DeltaLabel]{a, b} {
+		l, ok := p.GetRelation(0, 2)
+		if !ok {
+			t.Fatal("parent lost its own relation")
+		}
+		certifyVia(t, p, 0, 2)
+		labels[k] = l
+	}
+	if labels[0] == labels[1] {
+		t.Fatalf("test setup broken: parents agree on 0~2 (%d)", labels[0])
+	}
+}

@@ -80,6 +80,14 @@ type UF[N comparable, L any] struct {
 	auditing   bool
 	inConflict bool // true while onConflict runs (reentrancy detection)
 	misuse     error
+
+	// Recording mode (certification): every accepted AddRelation call is
+	// forwarded — exactly as asserted, untouched by path compression or
+	// randomized linking — to the recorder hook, together with the
+	// caller-supplied reason of AddRelationReason (empty for plain
+	// AddRelation). cert.Journal.Record matches this signature.
+	recorder      func(n, m N, l L, reason string)
+	pendingReason string
 }
 
 // Option configures a UF.
@@ -109,6 +117,14 @@ func WithoutPathCompression[N comparable, L any]() Option[N, L] {
 // Memory grows linearly with accepted assertions.
 func WithAudit[N comparable, L any]() Option[N, L] {
 	return func(u *UF[N, L]) { u.auditing = true }
+}
+
+// WithRecorder puts the union-find in recording mode: f is called for
+// every accepted AddRelation/AddRelationReason call with the assertion
+// exactly as made (n --l--> m) and the caller's reason. Pass a
+// cert.Journal's Record method to collect certifiable evidence.
+func WithRecorder[N comparable, L any](f func(n, m N, l L, reason string)) Option[N, L] {
+	return func(u *UF[N, L]) { u.recorder = f }
 }
 
 // New returns an empty labeled union-find over the label group g.
@@ -182,6 +198,17 @@ func (u *UF[N, L]) AddRelation(n, m N, l L) bool {
 	return !conflicted
 }
 
+// AddRelationReason is AddRelation carrying a reason string (a solver
+// constraint id, an analyzer program point, …) that recording mode
+// attaches to the journal entry; certificates later cite it as
+// evidence. Without a recorder the reason is ignored.
+func (u *UF[N, L]) AddRelationReason(n, m N, l L, reason string) bool {
+	u.pendingReason = reason
+	ok := u.AddRelation(n, m, l)
+	u.pendingReason = ""
+	return ok
+}
+
 // addRelation implements Figure 4's add_relation and additionally reports
 // what happened, for the InfoUF layer: whether a union was performed, and
 // if so which root was re-pointed under which one (oldRoot --link--> newRoot
@@ -235,7 +262,13 @@ func (u *UF[N, L]) record(n, m N, l L) {
 	if u.auditing {
 		u.audit = append(u.audit, Assertion[N, L]{N: n, M: m, Label: l})
 	}
+	if u.recorder != nil {
+		u.recorder(n, m, l, u.pendingReason)
+	}
 }
+
+// Recording reports whether a recorder hook is installed.
+func (u *UF[N, L]) Recording() bool { return u.recorder != nil }
 
 // Misuse returns the first recorded API-misuse error (currently:
 // reentrant AddRelation from a ConflictFunc), wrapped in

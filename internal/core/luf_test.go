@@ -30,6 +30,16 @@ func (r *refGraph[L]) add(n, m int, l L) {
 	r.edges[m] = append(r.edges[m], refEdge[L]{to: n, label: r.g.Inverse(l)})
 }
 
+// clone deep-copies the reference so a snapshot can be checked against
+// the structure's own persistent snapshots.
+func (r *refGraph[L]) clone() *refGraph[L] {
+	c := newRef[L](r.g)
+	for n, es := range r.edges {
+		c.edges[n] = append([]refEdge[L](nil), es...)
+	}
+	return c
+}
+
 // relation returns the label of some path n --> m, if any.
 func (r *refGraph[L]) relation(n, m int) (L, bool) {
 	type item struct {

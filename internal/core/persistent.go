@@ -33,6 +33,21 @@ type PUF[L any] struct {
 	g       group.Group[L]
 	parent  pmap.Map[PEdge[L]] // total over known nodes; roots point to themselves
 	classes pmap.Map[pmap.Set] // representative -> members (including itself)
+
+	// Recording mode (certification): accepted assertions accumulate in
+	// an immutable cons list shared across versions, so every snapshot
+	// carries the exact journal of its own history.
+	recording bool
+	journal   *pjEntry[L]
+}
+
+// pjEntry is one cons cell of a persistent journal: the assertion
+// n --l--> m with its reason, plus the journal it extends.
+type pjEntry[L any] struct {
+	prev   *pjEntry[L]
+	n, m   int
+	l      L
+	reason string
 }
 
 // NewPersistent returns an empty persistent labeled union-find over g.
@@ -42,6 +57,42 @@ func NewPersistent[L any](g group.Group[L]) PUF[L] {
 
 // Group returns the label group.
 func (u PUF[L]) Group() group.Group[L] { return u.g }
+
+// WithRecording returns a copy in recording mode: subsequent accepted
+// assertions are journaled (persistently, shared across versions) and
+// can be replayed with ForEachJournalEntry to certify answers.
+func (u PUF[L]) WithRecording() PUF[L] {
+	u.recording = true
+	return u
+}
+
+// Recording reports whether this version journals assertions.
+func (u PUF[L]) Recording() bool { return u.recording }
+
+// ForEachJournalEntry calls f on every journaled assertion, oldest
+// first. Feed it a cert.Journal to build certificates:
+//
+//	j := cert.NewJournal[int, L](u.Group())
+//	u.ForEachJournalEntry(j.Record)
+func (u PUF[L]) ForEachJournalEntry(f func(n, m int, l L, reason string)) {
+	var entries []*pjEntry[L]
+	for e := u.journal; e != nil; e = e.prev {
+		entries = append(entries, e)
+	}
+	for i := len(entries) - 1; i >= 0; i-- {
+		e := entries[i]
+		f(e.n, e.m, e.l, e.reason)
+	}
+}
+
+// JournalLen returns the number of journaled assertions.
+func (u PUF[L]) JournalLen() int {
+	n := 0
+	for e := u.journal; e != nil; e = e.prev {
+		n++
+	}
+	return n
+}
 
 // NumNodes returns the number of nodes known to the structure.
 func (u PUF[L]) NumNodes() int { return u.parent.Len() }
@@ -102,7 +153,10 @@ func (u PUF[L]) ForEachClass(f func(root int, members pmap.Set) bool) {
 // exists ONLY so negative tests can corrupt a structure and prove the
 // invariant checker catches it; never call it from production code.
 func (u PUF[L]) InjectEdge(n int, e PEdge[L]) PUF[L] {
-	return PUF[L]{g: u.g, parent: u.parent.Set(n, e), classes: u.classes}
+	// The journal is deliberately kept: it records what was *asserted*,
+	// so certificates built from it expose the injected corruption.
+	u.parent = u.parent.Set(n, e)
+	return u
 }
 
 // addNode ensures n is known, pointing at itself.
@@ -119,6 +173,13 @@ func (u PUF[L]) addNode(n int) PUF[L] {
 // nodes are already related with a different label, onConflict (which may
 // be nil) is called and the structure is returned unchanged with ok=false.
 func (u PUF[L]) AddRelation(n, m int, l L, onConflict ConflictFunc[int, L]) (PUF[L], bool) {
+	return u.AddRelationReason(n, m, l, "", onConflict)
+}
+
+// AddRelationReason is AddRelation carrying a reason string attached to
+// the journal entry when the structure is in recording mode (see
+// WithRecording); certificates later cite it as evidence.
+func (u PUF[L]) AddRelationReason(n, m int, l L, reason string, onConflict ConflictFunc[int, L]) (PUF[L], bool) {
 	if n < 0 || m < 0 {
 		panic(fault.Invalidf("persistent union-find nodes must be non-negative, got (%d, %d)", n, m))
 	}
@@ -134,7 +195,7 @@ func (u PUF[L]) AddRelation(n, m int, l L, onConflict ConflictFunc[int, L]) (PUF
 			}
 			return u, false
 		}
-		return u, true
+		return u.journaled(n, m, l, reason), true
 	}
 	// Merge under the smaller representative (invariant: reps are minimal).
 	// Label of rOld --x--> rNew.
@@ -159,8 +220,17 @@ func (u PUF[L]) AddRelation(n, m int, l L, onConflict ConflictFunc[int, L]) (PUF
 		return true
 	})
 	newClass, _ := u.classes.Get(rNew)
-	classes := u.classes.Remove(rOld).Set(rNew, newClass.Union(oldClass))
-	return PUF[L]{g: u.g, parent: parent, classes: classes}, true
+	u.parent = parent
+	u.classes = u.classes.Remove(rOld).Set(rNew, newClass.Union(oldClass))
+	return u.journaled(n, m, l, reason), true
+}
+
+// journaled returns u extended with a journal entry when recording.
+func (u PUF[L]) journaled(n, m int, l L, reason string) PUF[L] {
+	if u.recording {
+		u.journal = &pjEntry[L]{prev: u.journal, n: n, m: m, l: l, reason: reason}
+	}
+	return u
 }
 
 // Inter computes the intersection of two persistent labeled union-finds
@@ -222,5 +292,9 @@ func Inter[L any](a, b PUF[L]) PUF[L] {
 			M[p] = append(items, mitem{n: n, l1: g.Inverse(e1.Label), l2: g.Inverse(e2.Label)})
 			return PEdge[L]{Parent: n, Label: g.Identity()}, true
 		})
-	return PUF[L]{g: g, parent: U, classes: C}
+	// The intersection starts a fresh (empty) journal: its relations are
+	// not assertions of either input but consequences of both, so each
+	// is certified against the two parents' own journals (a relation
+	// holds in the intersection iff it holds in both inputs).
+	return PUF[L]{g: g, parent: U, classes: C, recording: a.recording && b.recording}
 }

@@ -31,6 +31,13 @@ type TVPEMap[N comparable] struct {
 	Info   *core.InfoUF[N, group.Affine, domain.IC]
 	g      group.TVPE
 	bottom bool
+	// LastConflict captures the first pair of *parallel* conflicting
+	// relations (the unsatisfiable case of Section 3.2), with the reason
+	// of the rejected assertion — the raw material of a Conflict
+	// certificate. Intersecting conflicts are resolved, not captured.
+	LastConflict       *core.Conflict[N, group.Affine]
+	LastConflictReason string
+	pendingReason      string
 }
 
 // NewTVPEMap returns an empty factorized TVPE value map.
@@ -49,6 +56,10 @@ func (m *TVPEMap[N]) onConflict(c core.Conflict[N, group.Affine]) {
 	x, y, sat := group.Intersect(c.Old, c.New)
 	if !sat {
 		m.bottom = true
+		if m.LastConflict == nil {
+			m.LastConflict = &c
+			m.LastConflictReason = m.pendingReason
+		}
 		return
 	}
 	m.Info.AddInfo(c.N, domain.Const(x))
@@ -64,6 +75,15 @@ func (m *TVPEMap[N]) SetBottom() { m.bottom = true }
 
 // Relate adds σ(m2) = l.A·σ(n) + l.B.
 func (m *TVPEMap[N]) Relate(n, m2 N, l group.Affine) { m.Info.AddRelation(n, m2, l) }
+
+// RelateReason is Relate carrying a reason string (an analyzer program
+// point) for recording mode; the reason also tags LastConflict when
+// this very assertion turns out parallel-contradictory.
+func (m *TVPEMap[N]) RelateReason(n, m2 N, l group.Affine, reason string) {
+	m.pendingReason = reason
+	m.Info.AddRelationReason(n, m2, l, reason)
+	m.pendingReason = ""
+}
 
 // Refine intersects n's value with v (stored at the representative).
 func (m *TVPEMap[N]) Refine(n N, v domain.IC) {

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"luf/internal/cert"
 	"luf/internal/core"
 	"luf/internal/domain"
 	"luf/internal/group"
@@ -224,5 +225,70 @@ func TestQuotientMatchesUnfactored(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestParallelConflictCertified: two parallel affine relations on the
+// same pair are unsatisfiable (Section 3.2); the captured conflict must
+// convert into a conflict certificate the independent checker accepts,
+// while an intersecting conflict is resolved to a point and captures
+// nothing.
+func TestParallelConflictCertified(t *testing.T) {
+	tvpe := group.TVPE{}
+	j := cert.NewJournal[string, group.Affine](tvpe)
+	m := NewTVPEMap[string](core.WithRecorder[string, group.Affine](j.Record))
+
+	m.RelateReason("x", "y", group.AffineInt(2, 1), "def: y = 2x+1")
+	m.RelateReason("y", "z", group.AffineInt(1, 3), "def: z = y+3")
+	if m.IsBottom() || m.LastConflict != nil {
+		t.Fatal("consistent relations must not conflict")
+	}
+	// z = 2x+4 transitively; asserting the parallel z = 2x+9 is ⊥.
+	m.RelateReason("x", "z", group.AffineInt(2, 9), "phi: z = 2x+9")
+	if !m.IsBottom() {
+		t.Fatal("parallel relation must make the state bottom")
+	}
+	lc := m.LastConflict
+	if lc == nil {
+		t.Fatal("parallel conflict not captured")
+	}
+	if m.LastConflictReason != "phi: z = 2x+9" {
+		t.Fatalf("conflict reason = %q", m.LastConflictReason)
+	}
+
+	cc, err := j.ExplainConflict(lc.N, lc.M, lc.New, m.LastConflictReason)
+	if err != nil {
+		t.Fatalf("ExplainConflict: %v", err)
+	}
+	if err := cert.Check(cc, tvpe); err != nil {
+		t.Fatalf("conflict certificate rejected: %v", err)
+	}
+	if len(cc.Reasons()) < 2 {
+		t.Fatalf("UNSAT core %v should cite the evidence chain", cc.Reasons())
+	}
+	cert.Sabotage(&cc, tvpe)
+	if cert.Check(cc, tvpe) == nil {
+		t.Fatal("sabotaged conflict certificate accepted")
+	}
+}
+
+// TestIntersectingConflictResolvesWithoutCapture: distinct intersecting
+// lines pin the pair to the intersection point — satisfiable, so no
+// conflict certificate material may be recorded.
+func TestIntersectingConflictResolvesWithoutCapture(t *testing.T) {
+	m := NewTVPEMap[string]()
+	m.RelateReason("x", "y", group.AffineInt(2, 1), "a")
+	m.RelateReason("x", "y", group.AffineInt(3, 0), "b") // intersect at x=1, y=3
+	if m.IsBottom() {
+		t.Fatal("intersecting lines are satisfiable")
+	}
+	if m.LastConflict != nil {
+		t.Fatalf("intersecting conflict wrongly captured: %+v", m.LastConflict)
+	}
+	if v := m.Value("x"); !v.Contains(rational.Int(1)) {
+		t.Fatalf("x should be pinned near 1, got %s", v)
+	}
+	if v := m.Value("y"); !v.Contains(rational.Int(3)) {
+		t.Fatalf("y should be pinned near 3, got %s", v)
 	}
 }

@@ -24,9 +24,14 @@ type Injector struct {
 	// ForceConflictAt makes the Nth ObserveConflict call report a
 	// manufactured conflict.
 	ForceConflictAt int
+	// CorruptCertAt makes the Nth ObserveCert call report true, telling
+	// a certifying caller to sabotage that certificate before emitting
+	// it (proving the independent checker rejects corrupted answers).
+	CorruptCertAt int
 
 	labels    int
 	conflicts int
+	certs     int
 }
 
 // NewInjector derives deterministic injection points from a seed: for
@@ -41,6 +46,9 @@ func NewInjector(seed int64, maxEvent int) *Injector {
 		FailCheckAt:     1 + rng.Intn(maxEvent),
 		RejectLabelAt:   1 + rng.Intn(maxEvent),
 		ForceConflictAt: 1 + rng.Intn(maxEvent),
+		// Drawn last so earlier injection points keep the values they had
+		// before certificate corruption existed (reproducible seeds).
+		CorruptCertAt: 1 + rng.Intn(maxEvent),
 	}
 }
 
@@ -65,6 +73,17 @@ func (inj *Injector) ObserveLabel() error {
 			ErrInjected, ErrInvalidLabel, inj.labels)
 	}
 	return nil
+}
+
+// ObserveCert is called by certifying code each time it is about to
+// emit a certificate; it reports true when the Nth certificate should
+// be sabotaged before emission (negative testing of the checker).
+func (inj *Injector) ObserveCert() bool {
+	if inj == nil {
+		return false
+	}
+	inj.certs++
+	return inj.CorruptCertAt > 0 && inj.certs == inj.CorruptCertAt
 }
 
 // ObserveConflict is called by instrumented code at each point where

@@ -32,6 +32,25 @@ type Theory struct {
 	// the plain full-key reverse map that only detects exact equalities
 	// (the BASE behaviour).
 	UseCanonRel bool
+	// Reason tags relations pushed into Delta while it is set (certifying
+	// callers set it to the current constraint id before each AssertEq,
+	// and Delta runs in recording mode via core.WithRecorder).
+	Reason string
+	// LastConflict captures the first *relational* contradiction: two
+	// different constant differences derived between the same pair of
+	// variables. It is the raw material of a Conflict certificate. Nil
+	// when unsatisfiability (if any) was arithmetic (e.g. 0 = 1), which
+	// has no relational evidence chain.
+	LastConflict *RelConflict
+}
+
+// RelConflict is a contradictory constant-difference derivation:
+// Delta already implies σ(B) = σ(A) + Old, and the assertion tagged
+// Reason would additionally require σ(B) = σ(A) + New with New ≠ Old.
+type RelConflict struct {
+	A, B     Var
+	New, Old *big.Rat
+	Reason   string
 }
 
 // New returns an empty theory. useCanonRel selects the Section 6.2
@@ -179,10 +198,13 @@ func (t *Theory) relate(a, b Var, k *big.Rat) {
 			// Two different constant differences between the same pair:
 			// contradiction.
 			t.unsat = true
+			if t.LastConflict == nil {
+				t.LastConflict = &RelConflict{A: a, B: b, New: k, Old: existing, Reason: t.Reason}
+			}
 		}
 		return
 	}
-	t.Delta.AddRelation(a, b, k)
+	t.Delta.AddRelationReason(a, b, k, t.Reason)
 	if t.OnNewRelation != nil {
 		t.OnNewRelation(a, b, k)
 	}

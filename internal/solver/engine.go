@@ -2,9 +2,11 @@ package solver
 
 import (
 	"context"
+	"fmt"
 	"math/big"
 	"time"
 
+	"luf/internal/cert"
 	"luf/internal/core"
 	"luf/internal/domain"
 	"luf/internal/fault"
@@ -58,6 +60,13 @@ type Options struct {
 	// brute-force recomposition of every accepted relation. A detected
 	// violation overrides the verdict with Unknown and a classified Stop.
 	CheckInvariants bool
+	// Certify runs the Shostak layer's union-find in recording mode and
+	// attaches proof certificates to the result: one Relation
+	// certificate per (member, representative) pair of the final
+	// relational state, and a Conflict certificate (UNSAT core) when
+	// unsatisfiability was detected relationally. Certificates replay
+	// with cert.Check, independently of the solver.
+	Certify bool
 }
 
 // Result is a solver run outcome.
@@ -77,6 +86,15 @@ type Result struct {
 	// abstract values reached so far are still a sound
 	// over-approximation of the solution set.
 	Partial *Partial
+	// Certs holds the Relation certificates of the final relational
+	// state (one per non-representative class member), when
+	// Options.Certify was set. Verify with cert.Check(c, group.QDiff{}).
+	Certs []cert.Certificate[int, *big.Rat]
+	// ConflictCert is the UNSAT core when the Unsat verdict came from a
+	// relational contradiction (two different constant differences
+	// between one pair of variables); nil for arithmetic-only
+	// unsatisfiability, which leaves no relational evidence chain.
+	ConflictCert *cert.Certificate[int, *big.Rat]
 }
 
 // Partial is the best-known state of a run that stopped early.
@@ -116,6 +134,7 @@ type engine struct {
 	guard   *fault.Guard
 
 	theory  *shostak.Theory
+	journal *cert.Journal[int, *big.Rat] // non-nil iff Options.Certify
 	store   valueStore
 	watch   [][]int // var -> constraint indices
 	queue   []int
@@ -215,7 +234,52 @@ func (e *engine) result(v Verdict, stop error) Result {
 	if r.Stop != nil {
 		r.Partial = e.partial()
 	}
+	if e.journal != nil {
+		r.Certs, r.ConflictCert = e.certificates()
+	}
 	return r
+}
+
+// certificates builds one Relation certificate per non-representative
+// member of the final relational state — Label is the *structure's*
+// answer, Steps the journal's evidence, so a corrupted structure emits
+// certificates cert.Check rejects — plus the Conflict certificate when
+// the theory hit a relational contradiction. Fault injection
+// (CorruptCertAt) sabotages the chosen certificate before emission.
+func (e *engine) certificates() ([]cert.Certificate[int, *big.Rat], *cert.Certificate[int, *big.Rat]) {
+	g := group.QDiff{}
+	var certs []cert.Certificate[int, *big.Rat]
+	emit := func(c cert.Certificate[int, *big.Rat]) cert.Certificate[int, *big.Rat] {
+		if e.opt.Inject.ObserveCert() {
+			cert.Sabotage(&c, g)
+		}
+		return c
+	}
+	for _, root := range e.theory.Delta.Roots() {
+		for _, m := range e.theory.Delta.Class(root) {
+			if m == root {
+				continue
+			}
+			ans, ok := e.theory.Delta.GetRelation(m, root)
+			if !ok {
+				continue
+			}
+			c, err := e.journal.Explain(m, root)
+			if err != nil {
+				continue // journal cannot derive it; nothing to certify
+			}
+			c.Label = ans
+			certs = append(certs, emit(c))
+		}
+	}
+	var conflict *cert.Certificate[int, *big.Rat]
+	if lc := e.theory.LastConflict; lc != nil {
+		if c, err := e.journal.ExplainConflict(lc.A, lc.B, lc.New, lc.Reason); err == nil {
+			c = emit(c)
+			conflict = &c
+		}
+	}
+	return certs, conflict
 }
 
 // partial snapshots the best-known abstract state; sound regardless of
@@ -292,6 +356,10 @@ func (e *engine) run() (res Result) {
 	if e.opt.CheckInvariants {
 		ufOpts = append(ufOpts, core.WithAudit[shostak.Var, *big.Rat]())
 	}
+	if e.opt.Certify {
+		e.journal = cert.NewJournal[int, *big.Rat](group.QDiff{})
+		ufOpts = append(ufOpts, core.WithRecorder[shostak.Var, *big.Rat](e.journal.Record))
+	}
 	e.theory = shostak.New(e.variant != Base, ufOpts...)
 	e.theory.OnNewRelation = func(a, b int, k *big.Rat) {
 		e.numRel++
@@ -305,8 +373,12 @@ func (e *engine) run() (res Result) {
 		}
 		e.onRelation(a, b, k)
 	}
-	for _, c := range p.Cons {
+	for ci, c := range p.Cons {
 		if c.Kind == ConEq {
+			// Reasons tag every relation the theory derives with the
+			// asserting constraint's id, so certificate chains cite the
+			// exact input constraints that support each answer.
+			e.theory.Reason = fmt.Sprintf("eq#%d", ci)
 			if !e.theory.AssertEq(c.Lin, shostak.NewLinExp(rational.Zero)) {
 				return e.result(VerdictUnsat, nil)
 			}

@@ -31,6 +31,7 @@
 package luf
 
 import (
+	"luf/internal/cert"
 	"luf/internal/core"
 	"luf/internal/fault"
 	"luf/internal/group"
@@ -251,6 +252,94 @@ func Protect(f func()) (err error) {
 // "conflict", ...) for a classified error, suitable for logging and
 // aggregation; injected faults are prefixed "injected:".
 var StopLabel = fault.StopLabel
+
+// Certificate is a machine-checkable proof of one answer: a chain of
+// asserted relations whose labels compose to the claimed relation
+// (Section 8 / Nieuwenhuis–Oliveras proof production, generalized to
+// any label group). Produced by Explain and checked — independently of
+// any union-find internals — by CheckCertificate.
+type Certificate[N comparable, L any] = cert.Certificate[N, L]
+
+// CertStep is one link of a certificate chain.
+type CertStep[N comparable, L any] = cert.Step[N, L]
+
+// CertJournal records accepted assertions (with caller-supplied
+// reasons) for certificate production; attach one to a union-find with
+// WithJournal.
+type CertJournal[N comparable, L any] = cert.Journal[N, L]
+
+// NewCertJournal returns an empty assertion journal over g.
+func NewCertJournal[N comparable, L any](g Group[L]) *CertJournal[N, L] {
+	return cert.NewJournal[N, L](g)
+}
+
+// WithJournal puts the union-find in recording mode: every accepted
+// AddRelation/AddRelationReason call is journaled (exactly as
+// asserted, untouched by path compression), so Explain can later
+// produce certificates for the structure's answers:
+//
+//	j := luf.NewCertJournal[string, int64](luf.Delta{})
+//	uf := luf.New[string](luf.Delta{}, luf.WithJournal(j))
+//	uf.AddRelationReason("x", "y", 2, "input-eq-7")
+//	c, _ := luf.Explain(uf, j, "x", "y")
+//	err := luf.CheckCertificate(c, luf.Delta{}) // nil: answer is proved
+func WithJournal[N comparable, L any](j *CertJournal[N, L]) Option[N, L] {
+	return core.WithRecorder[N, L](j.Record)
+}
+
+// Explain certifies the structure's answer about (x, y): the returned
+// certificate claims exactly what GetRelation(x, y) reports, with a
+// minimal evidence chain drawn from the journal. Unrelated nodes (or a
+// journal that cannot justify the answer) yield a classified error.
+// The certificate is self-contained: CheckCertificate replays it
+// without consulting the union-find.
+func Explain[N comparable, L any](u *UF[N, L], j *CertJournal[N, L], x, y N) (Certificate[N, L], error) {
+	ans, ok := u.GetRelation(x, y)
+	if !ok {
+		return Certificate[N, L]{}, fault.Invalidf("Explain(%v, %v): nodes are not related", x, y)
+	}
+	c, err := j.Explain(x, y)
+	if err != nil {
+		return Certificate[N, L]{}, err
+	}
+	// The claim is the structure's answer; the chain is the journal's
+	// evidence. If corruption made them disagree, CheckCertificate
+	// rejects the certificate — that is the point.
+	c.Label = ans
+	return c, nil
+}
+
+// ExplainPersistent certifies a persistent union-find's answer about
+// (x, y) from its own journal (the structure must have been built from
+// a WithRecording() version with AddRelationReason calls).
+func ExplainPersistent[L any](u PUF[L], x, y int) (Certificate[int, L], error) {
+	ans, ok := u.GetRelation(x, y)
+	if !ok {
+		return Certificate[int, L]{}, fault.Invalidf("ExplainPersistent(%d, %d): nodes are not related", x, y)
+	}
+	j := cert.NewJournal[int, L](u.Group())
+	u.ForEachJournalEntry(j.Record)
+	c, err := j.Explain(x, y)
+	if err != nil {
+		return Certificate[int, L]{}, err
+	}
+	c.Label = ans
+	return c, nil
+}
+
+// CheckCertificate replays a certificate against the label group: it
+// composes labels along the chain, checks endpoints, and compares the
+// result with the claim. It knows nothing about union-find internals,
+// so a data-structure bug can never make a wrong answer check out.
+func CheckCertificate[N comparable, L any](c Certificate[N, L], g Group[L]) error {
+	return cert.Check(c, g)
+}
+
+// FormatCertificate renders a certificate for humans, one step per
+// line with its reason.
+func FormatCertificate[N comparable, L any](c Certificate[N, L], g Group[L]) string {
+	return cert.Format(c, g)
+}
 
 // WithAudit makes the union-find record every accepted AddRelation call
 // so CheckUF can brute-force-recompose each asserted relation
