@@ -195,6 +195,30 @@ func BenchmarkAblationPathCompression(b *testing.B) {
 	b.Run("without-compression", build(false))
 }
 
+// BenchmarkConcurrentQueryBatch measures the serving layer's batch
+// query path at several worker counts on a loaded structure;
+// cmd/lufbench -exp concurrent runs the full sequential-vs-parallel
+// comparison (including the latency-overlap serving workload) and
+// writes BENCH_concurrent.json.
+func BenchmarkConcurrentQueryBatch(b *testing.B) {
+	const n = 4096
+	uf := luf.NewConcurrent[int](luf.Delta{})
+	for k := 1; k < n; k++ {
+		uf.AddRelation(k-1, k, 1)
+	}
+	qs := make([]luf.BatchQuery[int], n)
+	for q := range qs {
+		qs[q] = luf.BatchQuery[int]{N: 0, M: q}
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				uf.QueryBatch(qs, luf.BatchOptions{Workers: workers})
+			}
+		})
+	}
+}
+
 // BenchmarkDBMClose isolates the O(n³) baseline closure.
 func BenchmarkDBMClose(b *testing.B) {
 	for _, n := range []int{32, 128} {

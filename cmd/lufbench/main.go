@@ -5,6 +5,7 @@
 //	lufbench -exp sec72d2   Section 7.2 with propagation depth 2
 //	lufbench -exp scaling   closure-cost comparison motivating LUF (§2)
 //	lufbench -exp inter     Appendix A persistent-join complexity
+//	lufbench -exp concurrent  serving-layer throughput (sequential vs parallel batches)
 //	lufbench -exp all       everything
 package main
 
@@ -12,17 +13,20 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"luf/internal/bench"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, sec72, sec72d2, scaling, inter, all")
+	exp := flag.String("exp", "all", "experiment: table1, sec72, sec72d2, scaling, inter, concurrent, all")
 	programs := flag.Int("programs", 584, "number of analyzer corpus programs (sec72)")
 	quick := flag.Bool("quick", false, "smaller corpora for a fast smoke run")
 	budget := flag.Int("budget", 0, "per-run analyzer step budget for sec72 (0 = unlimited)")
 	check := flag.Bool("check", false, "audit union-find invariants after every run")
 	certify := flag.Bool("certify", false, "emit and independently re-check proof certificates on every run (table1, sec72, sec72d2); rejections are tallied per stop reason")
+	parallel := flag.Int("parallel", 8, "goroutine-ladder cap for the concurrent experiment (measures 1,2,4,... up to this)")
+	jsonPath := flag.String("json", "BENCH_concurrent.json", "output path for the concurrent experiment's JSON result")
 	flag.Parse()
 
 	run := func(name string) bool { return *exp == name || *exp == "all" }
@@ -71,6 +75,35 @@ func main() {
 			sizes = []int{256}
 		}
 		fmt.Println(bench.FormatInter(bench.RunInter(sizes, deltas, 5)))
+	}
+	if run("concurrent") {
+		any = true
+		cfg := bench.DefaultConcurrent()
+		if *quick {
+			cfg.Nodes = 512
+			cfg.Queries = 4000
+			cfg.ServeLatency = 50 * time.Microsecond
+			cfg.CertPairs = 40
+			cfg.PortfolioProblems = 3
+		}
+		var ladder []int
+		for _, k := range cfg.Goroutines {
+			if k <= *parallel {
+				ladder = append(ladder, k)
+			}
+		}
+		if len(ladder) > 0 {
+			cfg.Goroutines = ladder
+		}
+		res := bench.RunConcurrent(cfg)
+		fmt.Println(res.Format())
+		if *jsonPath != "" {
+			if err := res.WriteJSON(*jsonPath); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *jsonPath)
+		}
 	}
 	if !any {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)

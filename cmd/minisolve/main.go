@@ -15,12 +15,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"luf/internal/cert"
+	"luf/internal/concurrent"
 	"luf/internal/fault"
 	"luf/internal/group"
 	"luf/internal/rational"
@@ -34,6 +36,7 @@ func main() {
 	deadline := flag.Duration("deadline", 0, "wall-clock limit per variant (0 = none)")
 	check := flag.Bool("check", false, "audit union-find invariants after solving")
 	certify := flag.Bool("certify", false, "emit proof certificates and re-check each with the independent verifier")
+	parallel := flag.Int("parallel", 0, "race the first N solver variants as a first-answer-wins portfolio instead of running them in sequence (0 = sequential sweep)")
 	flag.Parse()
 
 	var p *solver.Problem
@@ -64,6 +67,12 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("problem %s: %d variables, %d constraints\n\n", p.Name, p.NumVars, len(p.Cons))
+	if *parallel > 0 {
+		runPortfolio(p, *parallel, solver.Options{
+			MaxSteps: *steps, Deadline: *deadline, CheckInvariants: *check, Certify: *certify,
+		}, *certify)
+		return
+	}
 	for _, v := range []solver.Variant{solver.Base, solver.LabeledUF, solver.GroupAction} {
 		opts := solver.Options{MaxSteps: *steps, Deadline: *deadline, CheckInvariants: *check, Certify: *certify}
 		r := solver.Solve(p, v, opts)
@@ -79,6 +88,36 @@ func main() {
 		if *certify {
 			printCertificates(r)
 		}
+	}
+}
+
+// runPortfolio races the first n solver variants concurrently and
+// reports the winner's answer plus every variant's final state.
+func runPortfolio(p *solver.Problem, n int, opts solver.Options, certify bool) {
+	variants := []solver.Variant{solver.LabeledUF, solver.GroupAction, solver.Base}
+	if n < len(variants) {
+		variants = variants[:n]
+	}
+	pf := concurrent.NewPortfolio(variants...)
+	pf.Opts = opts
+	out := pf.Solve(context.Background(), p)
+	fmt.Printf("  portfolio (%d variants, first answer wins)\n", len(variants))
+	if out.Decided {
+		fmt.Printf("  winner: %s verdict=%s steps=%d relations=%d\n",
+			out.Winner, out.Result.Verdict, out.Result.Steps, out.Result.NumRelations)
+	} else {
+		fmt.Printf("  undecided (no variant reached a verdict)\n")
+	}
+	for _, v := range variants {
+		r := out.All[v]
+		fmt.Printf("    %-13s verdict=%-8s steps=%-7d", v, r.Verdict, r.Steps)
+		if r.Stop != nil {
+			fmt.Printf(" stop=%s", fault.StopLabel(r.Stop))
+		}
+		fmt.Println()
+	}
+	if certify && out.Decided {
+		printCertificates(out.Result)
 	}
 }
 

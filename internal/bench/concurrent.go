@@ -1,0 +1,326 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"luf/internal/cert"
+	"luf/internal/concurrent"
+	"luf/internal/group"
+	"luf/internal/solver"
+	"luf/internal/solver/corpus"
+)
+
+// ConcurrentConfig parameterizes the concurrent serving-layer
+// benchmark: sequential-vs-parallel batch throughput on the scaling
+// corpus (the §2 chain-plus-extra-edges constant-difference family),
+// plus a certificate round-trip from a concurrently built structure
+// and a solver-portfolio comparison.
+type ConcurrentConfig struct {
+	// Nodes is the corpus size; edges are the scaling family's chain
+	// plus Nodes/2 random extras, all consistent with one hidden
+	// valuation.
+	Nodes int
+	// Queries is the number of relation queries per throughput
+	// measurement.
+	Queries int
+	// RequestBatch is the number of queries bundled into one simulated
+	// serving request.
+	RequestBatch int
+	// ServeLatency is the simulated downstream latency charged to each
+	// serving request (the network/IO share of a real request that
+	// concurrency overlaps). Zero disables the serving workload.
+	ServeLatency time.Duration
+	// Goroutines is the ladder of worker counts, e.g. 1,2,4,8; a "1"
+	// entry is the sequential baseline.
+	Goroutines []int
+	// CertPairs is the number of (related) pairs certified from the
+	// concurrently built journal and re-checked independently.
+	CertPairs int
+	// PortfolioProblems is the number of solver-corpus problems raced
+	// sequentially vs as a first-answer-wins portfolio.
+	PortfolioProblems int
+	Seed              int64
+}
+
+// DefaultConcurrent returns the configuration used to produce
+// BENCH_concurrent.json.
+func DefaultConcurrent() ConcurrentConfig {
+	return ConcurrentConfig{
+		Nodes:             4096,
+		Queries:           40000,
+		RequestBatch:      16,
+		ServeLatency:      200 * time.Microsecond,
+		Goroutines:        []int{1, 2, 4, 8},
+		CertPairs:         200,
+		PortfolioProblems: 12,
+		Seed:              2025,
+	}
+}
+
+// ConcurrentRow is one throughput measurement.
+type ConcurrentRow struct {
+	// Workload identifies the measurement:
+	//   assert-batch — AssertBatch over the corpus edges (CPU-bound)
+	//   query-batch  — one QueryBatch over all queries (CPU-bound;
+	//                  parallel speedup is capped by GOMAXPROCS)
+	//   query-serve  — Goroutines request handlers sharing the UF, each
+	//                  request a RequestBatch-query QueryBatch plus the
+	//                  simulated downstream latency; the serving metric,
+	//                  where concurrency overlaps latency even on one CPU
+	Workload   string  `json:"workload"`
+	Goroutines int     `json:"goroutines"`
+	Ops        int     `json:"ops"`
+	DurationNS int64   `json:"duration_ns"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+	// Speedup is OpsPerSec over the same workload's 1-goroutine row.
+	Speedup float64 `json:"speedup_vs_sequential"`
+}
+
+// ConcurrentResult aggregates the benchmark for BENCH_concurrent.json.
+type ConcurrentResult struct {
+	GOMAXPROCS     int             `json:"gomaxprocs"`
+	Nodes          int             `json:"nodes"`
+	Edges          int             `json:"edges"`
+	Queries        int             `json:"queries"`
+	RequestBatch   int             `json:"request_batch_size"`
+	ServeLatencyNS int64           `json:"simulated_downstream_latency_ns"`
+	Rows           []ConcurrentRow `json:"rows"`
+	// SpeedupServeAt4 / SpeedupCPUAt4 are the 4-goroutine speedups of
+	// the serving and CPU-bound query workloads; on a single-CPU host
+	// only the serving number can exceed 1 (latency overlap), which is
+	// exactly what a server buys from this layer.
+	SpeedupServeAt4 float64 `json:"speedup_serve_at_4"`
+	SpeedupCPUAt4   float64 `json:"speedup_cpu_at_4"`
+	// CertsChecked certificates were produced from the journal of a
+	// concurrently built (4-worker AssertBatch) structure and replayed
+	// through cert.Check; CertsRejected must be zero.
+	CertsChecked  int `json:"certs_checked"`
+	CertsRejected int `json:"certs_rejected"`
+	// PortfolioRuns problems were solved sequentially (sum of all
+	// variants) and as a portfolio; PortfolioWins counts winners.
+	PortfolioRuns       int            `json:"portfolio_runs"`
+	PortfolioWins       map[string]int `json:"portfolio_wins"`
+	PortfolioSeqNS      int64          `json:"portfolio_sequential_ns"`
+	PortfolioParallelNS int64          `json:"portfolio_parallel_ns"`
+	Note                string         `json:"note"`
+}
+
+// concurrentCorpus is the scaling family: a hidden valuation, a chain
+// and n/2 random extra edges, plus random query pairs.
+type concurrentCorpus struct {
+	sigma   []int64
+	asserts []concurrent.Assert[int, group.DeltaLabel]
+	queries []concurrent.Query[int]
+}
+
+func buildConcurrentCorpus(cfg ConcurrentConfig) concurrentCorpus {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := cfg.Nodes
+	c := concurrentCorpus{sigma: make([]int64, n)}
+	for i := range c.sigma {
+		c.sigma[i] = int64(rng.Intn(2*n) - n)
+	}
+	for i := 1; i < n; i++ {
+		j := rng.Intn(i)
+		c.asserts = append(c.asserts, concurrent.Assert[int, group.DeltaLabel]{
+			N: j, M: i, Label: c.sigma[i] - c.sigma[j], Reason: fmt.Sprintf("edge#%d", i)})
+	}
+	for k := 0; k < n/2; k++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		c.asserts = append(c.asserts, concurrent.Assert[int, group.DeltaLabel]{
+			N: i, M: j, Label: c.sigma[j] - c.sigma[i], Reason: fmt.Sprintf("extra#%d", k)})
+	}
+	for q := 0; q < cfg.Queries; q++ {
+		c.queries = append(c.queries, concurrent.Query[int]{N: rng.Intn(n), M: rng.Intn(n)})
+	}
+	return c
+}
+
+// loadedUF builds a UF with all corpus edges asserted (4-worker batch),
+// optionally journaled.
+func (c concurrentCorpus) loadedUF(j *cert.Journal[int, group.DeltaLabel]) *concurrent.UF[int, group.DeltaLabel] {
+	var opts []concurrent.Option[int, group.DeltaLabel]
+	if j != nil {
+		opts = append(opts, concurrent.WithJournal[int, group.DeltaLabel](j))
+	}
+	u := concurrent.New[int, group.DeltaLabel](group.Delta{}, opts...)
+	u.AssertBatch(c.asserts, concurrent.BatchOptions{Workers: 4})
+	return u
+}
+
+// RunConcurrent executes the concurrent serving-layer benchmark.
+func RunConcurrent(cfg ConcurrentConfig) *ConcurrentResult {
+	corp := buildConcurrentCorpus(cfg)
+	res := &ConcurrentResult{
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		Nodes:          cfg.Nodes,
+		Edges:          len(corp.asserts),
+		Queries:        cfg.Queries,
+		RequestBatch:   cfg.RequestBatch,
+		ServeLatencyNS: cfg.ServeLatency.Nanoseconds(),
+		PortfolioWins:  map[string]int{},
+		Note: "query-serve models request handlers with simulated downstream latency; " +
+			"its speedup comes from latency overlap and holds on any GOMAXPROCS. " +
+			"query-batch/assert-batch are CPU-bound and scale only with GOMAXPROCS.",
+	}
+	base := map[string]float64{}
+	addRow := func(workload string, k, ops int, d time.Duration) {
+		row := ConcurrentRow{
+			Workload:   workload,
+			Goroutines: k,
+			Ops:        ops,
+			DurationNS: d.Nanoseconds(),
+			OpsPerSec:  float64(ops) / d.Seconds(),
+		}
+		if k == 1 {
+			base[workload] = row.OpsPerSec
+		}
+		if b := base[workload]; b > 0 {
+			row.Speedup = row.OpsPerSec / b
+		}
+		res.Rows = append(res.Rows, row)
+		if k == 4 {
+			switch workload {
+			case "query-serve":
+				res.SpeedupServeAt4 = row.Speedup
+			case "query-batch":
+				res.SpeedupCPUAt4 = row.Speedup
+			}
+		}
+	}
+
+	for _, k := range cfg.Goroutines {
+		// assert-batch: fresh structure each time, all edges.
+		u := concurrent.New[int, group.DeltaLabel](group.Delta{})
+		t0 := time.Now()
+		u.AssertBatch(corp.asserts, concurrent.BatchOptions{Workers: k})
+		addRow("assert-batch", k, len(corp.asserts), time.Since(t0))
+	}
+
+	loaded := corp.loadedUF(nil)
+	for _, k := range cfg.Goroutines {
+		t0 := time.Now()
+		loaded.QueryBatch(corp.queries, concurrent.BatchOptions{Workers: k})
+		addRow("query-batch", k, len(corp.queries), time.Since(t0))
+	}
+
+	if cfg.ServeLatency > 0 && cfg.RequestBatch > 0 {
+		requests := len(corp.queries) / cfg.RequestBatch
+		for _, k := range cfg.Goroutines {
+			t0 := time.Now()
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			for h := 0; h < k; h++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						r := int(next.Add(1)) - 1
+						if r >= requests {
+							return
+						}
+						qs := corp.queries[r*cfg.RequestBatch : (r+1)*cfg.RequestBatch]
+						loaded.QueryBatch(qs, concurrent.BatchOptions{Workers: 1})
+						time.Sleep(cfg.ServeLatency) // simulated downstream IO
+					}
+				}()
+			}
+			wg.Wait()
+			addRow("query-serve", k, requests*cfg.RequestBatch, time.Since(t0))
+		}
+	}
+
+	// Certificates from a concurrently built structure must replay.
+	j := cert.NewJournal[int, group.DeltaLabel](group.Delta{})
+	cu := corp.loadedUF(j)
+	rng := rand.New(rand.NewSource(cfg.Seed * 17))
+	for res.CertsChecked < cfg.CertPairs {
+		x, y := rng.Intn(cfg.Nodes), rng.Intn(cfg.Nodes)
+		ans, ok := cu.GetRelation(x, y)
+		if !ok {
+			continue
+		}
+		c, err := j.Explain(x, y)
+		if err != nil {
+			res.CertsRejected++
+			res.CertsChecked++
+			continue
+		}
+		c.Label = ans
+		if cert.Check(c, group.Delta{}) != nil {
+			res.CertsRejected++
+		}
+		res.CertsChecked++
+	}
+
+	// Portfolio vs sequential variant sweep.
+	if cfg.PortfolioProblems > 0 {
+		problems := corpus.Generate(corpus.Config{
+			Seed: cfg.Seed, Linear: cfg.PortfolioProblems * 2 / 3,
+			SlowConv: cfg.PortfolioProblems / 3,
+		})
+		if len(problems) > cfg.PortfolioProblems {
+			problems = problems[:cfg.PortfolioProblems]
+		}
+		opts := solver.Options{MaxSteps: 100000}
+		t0 := time.Now()
+		for _, p := range problems {
+			for _, v := range Variants {
+				solver.Solve(p, v, opts)
+			}
+		}
+		res.PortfolioSeqNS = time.Since(t0).Nanoseconds()
+		pf := concurrent.NewPortfolio()
+		pf.Opts = opts
+		t1 := time.Now()
+		for _, p := range problems {
+			out := pf.Solve(context.Background(), p)
+			res.PortfolioWins[out.Winner.String()]++
+		}
+		res.PortfolioParallelNS = time.Since(t1).Nanoseconds()
+		res.PortfolioRuns = len(problems)
+	}
+	return res
+}
+
+// WriteJSON writes the result to path, pretty-printed.
+func (r *ConcurrentResult) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Format renders the concurrent benchmark for humans.
+func (r *ConcurrentResult) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Concurrent serving layer: %d nodes, %d edges, %d queries (GOMAXPROCS %d)\n",
+		r.Nodes, r.Edges, r.Queries, r.GOMAXPROCS)
+	fmt.Fprintf(&sb, "serving requests: %d queries/request, %v simulated downstream latency\n\n",
+		r.RequestBatch, time.Duration(r.ServeLatencyNS))
+	sb.WriteString("workload        goroutines        ops/s      speedup\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%-15s %10d %12.0f %11.2fx\n",
+			row.Workload, row.Goroutines, row.OpsPerSec, row.Speedup)
+	}
+	fmt.Fprintf(&sb, "\ncertificates from concurrent runs: %d checked, %d rejected\n",
+		r.CertsChecked, r.CertsRejected)
+	if r.PortfolioRuns > 0 {
+		fmt.Fprintf(&sb, "portfolio: %d problems, sequential sweep %v, first-answer-wins %v, wins %v\n",
+			r.PortfolioRuns,
+			time.Duration(r.PortfolioSeqNS).Round(time.Millisecond),
+			time.Duration(r.PortfolioParallelNS).Round(time.Millisecond),
+			r.PortfolioWins)
+	}
+	return sb.String()
+}

@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// quickConcurrent shrinks the concurrent benchmark for test time while
+// keeping every workload and the certificate round-trip.
+func quickConcurrent() ConcurrentConfig {
+	cfg := DefaultConcurrent()
+	cfg.Nodes = 512
+	cfg.Queries = 2000
+	cfg.ServeLatency = 50 * time.Microsecond
+	cfg.Goroutines = []int{1, 4}
+	cfg.CertPairs = 40
+	cfg.PortfolioProblems = 3
+	return cfg
+}
+
+// TestConcurrentBenchShape asserts the serving-layer benchmark's
+// qualitative shape: every workload produces a row per goroutine count,
+// the serving workload overlaps its simulated latency (>= 2x at 4
+// handlers even on one CPU), and certificates produced by concurrently
+// built structures are all accepted by the independent checker.
+func TestConcurrentBenchShape(t *testing.T) {
+	res := RunConcurrent(quickConcurrent())
+	byWorkload := map[string]int{}
+	for _, row := range res.Rows {
+		byWorkload[row.Workload]++
+		if row.OpsPerSec <= 0 {
+			t.Errorf("%s@%d: non-positive throughput", row.Workload, row.Goroutines)
+		}
+	}
+	for _, w := range []string{"assert-batch", "query-batch", "query-serve"} {
+		if byWorkload[w] != 2 {
+			t.Errorf("workload %s has %d rows, want 2", w, byWorkload[w])
+		}
+	}
+	if res.SpeedupServeAt4 < 2 {
+		t.Errorf("serving speedup at 4 goroutines = %.2fx, want >= 2x (latency overlap)",
+			res.SpeedupServeAt4)
+	}
+	if res.CertsRejected != 0 {
+		t.Errorf("%d certificates from concurrent runs rejected", res.CertsRejected)
+	}
+	if res.CertsChecked == 0 {
+		t.Error("no certificates checked")
+	}
+	if res.PortfolioRuns == 0 {
+		t.Error("no portfolio runs")
+	}
+	out := res.Format()
+	for _, want := range []string{"Concurrent serving layer", "query-serve", "certificates"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format missing %q", want)
+		}
+	}
+}
+
+// TestConcurrentBenchJSON round-trips the JSON emission.
+func TestConcurrentBenchJSON(t *testing.T) {
+	cfg := quickConcurrent()
+	cfg.PortfolioProblems = 0
+	cfg.CertPairs = 5
+	cfg.Queries = 200
+	res := RunConcurrent(cfg)
+	path := filepath.Join(t.TempDir(), "BENCH_concurrent.json")
+	if err := res.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ConcurrentResult
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("emitted JSON does not parse: %v", err)
+	}
+	if back.GOMAXPROCS != res.GOMAXPROCS || len(back.Rows) != len(res.Rows) {
+		t.Fatalf("round-trip mismatch: %+v", back)
+	}
+}

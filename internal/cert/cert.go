@@ -81,6 +81,7 @@ const (
 	Conflict
 )
 
+// String names the kind for log and error text.
 func (k Kind) String() string {
 	switch k {
 	case Relation:

@@ -1,0 +1,229 @@
+package concurrent
+
+import (
+	"runtime"
+	"sync"
+
+	"luf/internal/fault"
+)
+
+// Assert is one relation assertion of a batch: N --Label--> M, with an
+// optional Reason recorded by certification journals.
+type Assert[N comparable, L any] struct {
+	N, M   N
+	Label  L
+	Reason string
+}
+
+// AssertResult reports one batch assertion's outcome.
+type AssertResult struct {
+	// OK mirrors AddRelation's return value: true when the assertion
+	// was accepted (new or redundant), false when it conflicted — or
+	// when it was skipped (Err non-nil).
+	OK bool
+	// Err is non-nil when the worker's resource guard stopped before
+	// this operation ran; the operation was then skipped, and Err wraps
+	// the classifying sentinel (fault.ErrBudgetExhausted, ...).
+	Err error
+}
+
+// Query asks for the relation between two nodes.
+type Query[N comparable] struct{ N, M N }
+
+// QueryResult is one batch query outcome: the relation N --Label--> M
+// when OK, or an Err when the worker's guard stopped before the query
+// ran.
+type QueryResult[L any] struct {
+	Label L
+	OK    bool
+	Err   error
+}
+
+// BatchOptions configures batch execution.
+type BatchOptions struct {
+	// Workers is the worker-pool size; <= 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// Limits is the per-batch resource budget. The step budget
+	// (one step per operation) is split evenly across workers before
+	// execution starts, so which operations get skipped on exhaustion
+	// depends only on the batch and the worker count, never on
+	// scheduling — degradation stays deterministic. Deadline and Ctx
+	// apply to every worker as-is (wall-clock limits are inherently
+	// machine-dependent, exactly as in the sequential engines).
+	// Limits.Inject, being single-owner state, is handed to worker 0
+	// only.
+	Limits fault.Limits
+}
+
+// workerCount resolves the pool size for n operations.
+func (o BatchOptions) workerCount(n int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// workerLimits derives worker wi's guard limits from the per-batch
+// limits: the step budget is divided evenly (remainder to the lowest
+// workers, so splitting is exact), the injector goes to worker 0 only.
+func (o BatchOptions) workerLimits(wi, workers int) fault.Limits {
+	l := o.Limits
+	if l.MaxSteps > 0 {
+		per := l.MaxSteps / workers
+		if wi < l.MaxSteps%workers {
+			per++
+		}
+		if per == 0 {
+			// A budget smaller than the worker count still has to stop
+			// the surplus workers; MaxSteps 0 would mean "unlimited".
+			per = -1
+		}
+		l.MaxSteps = per
+	}
+	if wi != 0 {
+		l.Inject = nil
+	}
+	return l
+}
+
+// guardStep consumes one step; a negative budget (the "zero share"
+// marker from workerLimits) stops immediately.
+func guardStep(g *fault.Guard, negBudget bool) error {
+	if negBudget {
+		return fault.ErrBudgetExhausted
+	}
+	return g.Step(1)
+}
+
+// AssertBatch executes a batch of assertions on a worker pool and
+// returns one result per operation, in input order.
+//
+// Operations are partitioned into independence classes first: two
+// assertions belong to the same class when their endpoints are
+// transitively connected, either through the batch itself or through
+// the current structure. Each class is executed by a single worker in
+// batch order, so conflict outcomes within a class never depend on
+// goroutine scheduling; distinct classes commute and run in parallel.
+// Starting from a quiescent structure, the result vector is therefore
+// deterministic for a fixed batch and worker count (wall-clock limits
+// excepted).
+func (u *UF[N, L]) AssertBatch(ops []Assert[N, L], opt BatchOptions) []AssertResult {
+	res := make([]AssertResult, len(ops))
+	if len(ops) == 0 {
+		return res
+	}
+	w := opt.workerCount(len(ops))
+	groups := u.partitionAsserts(ops, w)
+	var wg sync.WaitGroup
+	for wi := 0; wi < w; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			lim := opt.workerLimits(wi, w)
+			neg := lim.MaxSteps < 0
+			g := fault.NewGuard(lim)
+			for _, idx := range groups[wi] {
+				if err := guardStep(g, neg); err != nil {
+					res[idx] = AssertResult{OK: false, Err: err}
+					continue
+				}
+				op := ops[idx]
+				res[idx] = AssertResult{OK: u.AddRelationReason(op.N, op.M, op.Label, op.Reason)}
+			}
+		}(wi)
+	}
+	wg.Wait()
+	return res
+}
+
+// QueryBatch executes a batch of relation queries on a worker pool and
+// returns one result per query, in input order. Queries are
+// independent, so they are dealt round-robin across workers; each
+// worker runs under its own share of the per-batch budget.
+func (u *UF[N, L]) QueryBatch(qs []Query[N], opt BatchOptions) []QueryResult[L] {
+	res := make([]QueryResult[L], len(qs))
+	if len(qs) == 0 {
+		return res
+	}
+	w := opt.workerCount(len(qs))
+	var wg sync.WaitGroup
+	for wi := 0; wi < w; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			lim := opt.workerLimits(wi, w)
+			neg := lim.MaxSteps < 0
+			g := fault.NewGuard(lim)
+			for idx := wi; idx < len(qs); idx += w {
+				if err := guardStep(g, neg); err != nil {
+					res[idx] = QueryResult[L]{Err: err}
+					continue
+				}
+				l, ok := u.GetRelation(qs[idx].N, qs[idx].M)
+				res[idx] = QueryResult[L]{Label: l, OK: ok}
+			}
+		}(wi)
+	}
+	wg.Wait()
+	return res
+}
+
+// partitionAsserts groups batch operations into independence classes
+// (connected components over {batch edges} ∪ {existing classes}) and
+// deals the classes round-robin, in order of first appearance, onto w
+// workers. Each worker's list preserves batch order.
+func (u *UF[N, L]) partitionAsserts(ops []Assert[N, L], w int) [][]int {
+	// Tiny index union-find over the ops, keyed by the *current*
+	// representative of each endpoint so components account for the
+	// structure's existing classes, not just the batch's edges.
+	parent := make([]int, len(ops))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]]
+			i = parent[i]
+		}
+		return i
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	rep := map[N]int{} // class representative -> first op index touching it
+	for i, op := range ops {
+		for _, node := range [2]N{op.N, op.M} {
+			r, _ := u.Find(node)
+			if j, ok := rep[r]; ok {
+				union(i, j)
+			} else {
+				rep[r] = i
+			}
+		}
+	}
+	groups := make([][]int, w)
+	compWorker := map[int]int{} // component root -> worker
+	next := 0
+	for i := range ops {
+		c := find(i)
+		wi, ok := compWorker[c]
+		if !ok {
+			wi = next % w
+			compWorker[c] = wi
+			next++
+		}
+		groups[wi] = append(groups[wi], i)
+	}
+	return groups
+}

@@ -1,0 +1,149 @@
+package concurrent
+
+import (
+	"errors"
+	"testing"
+
+	"luf/internal/fault"
+	"luf/internal/group"
+)
+
+// chainAsserts builds k disjoint chains of length n each, every edge
+// labeled 1, with one deliberate conflict per chain at a fixed batch
+// position.
+func chainAsserts(chains, n int, conflictAt int) []Assert[int, group.DeltaLabel] {
+	var ops []Assert[int, group.DeltaLabel]
+	for c := 0; c < chains; c++ {
+		base := c * n
+		for i := 1; i < n; i++ {
+			ops = append(ops, Assert[int, group.DeltaLabel]{N: base + i - 1, M: base + i, Label: 1})
+			if i == conflictAt {
+				// Contradicts the chain: base ~ base+i with a wrong label.
+				ops = append(ops, Assert[int, group.DeltaLabel]{N: base, M: base + i, Label: int64(i) + 5})
+			}
+		}
+	}
+	return ops
+}
+
+// TestConcurrentAssertBatchDeterminism: for a fixed batch, the result
+// vector must be identical for every worker count, because connected
+// operations are serialized inside one worker in batch order.
+func TestConcurrentAssertBatchDeterminism(t *testing.T) {
+	ops := chainAsserts(8, 30, 7)
+	var ref []AssertResult
+	for _, workers := range []int{1, 2, 4, 8} {
+		u := New[int, group.DeltaLabel](group.Delta{})
+		res := u.AssertBatch(ops, BatchOptions{Workers: workers})
+		if workers == 1 {
+			ref = res
+			continue
+		}
+		for i := range res {
+			if res[i] != ref[i] {
+				t.Fatalf("workers=%d: result[%d] = %+v, sequential says %+v",
+					workers, i, res[i], ref[i])
+			}
+		}
+	}
+	// Exactly one conflict per chain, everything else accepted.
+	conflicts := 0
+	for _, r := range ref {
+		if !r.OK {
+			conflicts++
+		}
+	}
+	if conflicts != 8 {
+		t.Fatalf("%d conflicts, want 8 (one per chain)", conflicts)
+	}
+}
+
+// TestConcurrentAssertBatchExistingClasses: operations connected only
+// THROUGH the existing structure (not through the batch) must still
+// land in one worker, so their conflict outcome stays deterministic.
+func TestConcurrentAssertBatchExistingClasses(t *testing.T) {
+	u := New[int, group.DeltaLabel](group.Delta{})
+	u.AddRelation(0, 100, 1) // pre-existing bridge between the two op groups
+	ops := []Assert[int, group.DeltaLabel]{
+		{N: 0, M: 1, Label: 1},
+		{N: 100, M: 1, Label: 7}, // conflicts with 0~1~100 iff first op ran: 1 --(-1)--> 0 --1--> 100
+	}
+	for run := 0; run < 20; run++ {
+		v := New[int, group.DeltaLabel](group.Delta{})
+		v.AddRelation(0, 100, 1)
+		res := v.AssertBatch(ops, BatchOptions{Workers: 2})
+		if !res[0].OK || res[1].OK {
+			t.Fatalf("run %d: results %+v, want [accepted, conflict]", run, res)
+		}
+	}
+}
+
+// TestConcurrentQueryBatchOrder: results come back in input order with
+// exact labels, for every worker count.
+func TestConcurrentQueryBatchOrder(t *testing.T) {
+	const n = 100
+	u := New[int, group.DeltaLabel](group.Delta{})
+	for i := 1; i < n; i++ {
+		u.AddRelation(i-1, i, 2)
+	}
+	qs := make([]Query[int], 0, n)
+	for i := 0; i < n; i++ {
+		qs = append(qs, Query[int]{N: 0, M: i})
+	}
+	for _, workers := range []int{1, 3, 8} {
+		res := u.QueryBatch(qs, BatchOptions{Workers: workers})
+		for i, r := range res {
+			if !r.OK || r.Label != int64(2*i) {
+				t.Fatalf("workers=%d: res[%d] = %+v, want label %d", workers, i, r, 2*i)
+			}
+		}
+	}
+}
+
+// TestConcurrentBatchBudgetDeterminism: a step budget smaller than the
+// batch must skip the same operations on every run (per-worker split,
+// no scheduling dependence), and classify them as budget exhaustion.
+func TestConcurrentBatchBudgetDeterminism(t *testing.T) {
+	ops := chainAsserts(4, 25, 0)
+	var ref []AssertResult
+	for run := 0; run < 5; run++ {
+		u := New[int, group.DeltaLabel](group.Delta{})
+		res := u.AssertBatch(ops, BatchOptions{
+			Workers: 4,
+			Limits:  fault.Limits{MaxSteps: len(ops) / 2},
+		})
+		skipped := 0
+		for i, r := range res {
+			if r.Err != nil {
+				skipped++
+				if !errors.Is(r.Err, fault.ErrBudgetExhausted) {
+					t.Fatalf("res[%d].Err = %v, want budget classification", i, r.Err)
+				}
+			}
+		}
+		if skipped == 0 {
+			t.Fatal("budget half the batch size skipped nothing")
+		}
+		if run == 0 {
+			ref = res
+			continue
+		}
+		for i := range res {
+			if (res[i].Err == nil) != (ref[i].Err == nil) || res[i].OK != ref[i].OK {
+				t.Fatalf("run %d: res[%d] = %+v, first run says %+v", run, i, res[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestConcurrentBatchEmpty: empty batches return empty results without
+// spawning workers.
+func TestConcurrentBatchEmpty(t *testing.T) {
+	u := New[int, group.DeltaLabel](group.Delta{})
+	if res := u.AssertBatch(nil, BatchOptions{}); len(res) != 0 {
+		t.Fatalf("AssertBatch(nil) returned %d results", len(res))
+	}
+	if res := u.QueryBatch(nil, BatchOptions{}); len(res) != 0 {
+		t.Fatalf("QueryBatch(nil) returned %d results", len(res))
+	}
+}

@@ -1,0 +1,85 @@
+package concurrent
+
+import (
+	"context"
+
+	"luf/internal/solver"
+)
+
+// Portfolio races several solver variants (Section 7.1) on one problem
+// in parallel goroutines: the first variant to reach a decisive verdict
+// wins and the others are canceled through context, bounding the
+// portfolio's wall-clock time by its fastest member. Variants never
+// disagree on decisive verdicts (they are all sound and complete with
+// respect to the propagation engine), so first-answer-wins is safe.
+type Portfolio struct {
+	// Variants are raced in parallel; defaults (via NewPortfolio) to
+	// all three engine variants.
+	Variants []solver.Variant
+	// Opts configures every run identically; Opts.Ctx is overridden by
+	// the portfolio's own cancellable context derived from the Solve
+	// argument.
+	Opts solver.Options
+}
+
+// NewPortfolio returns a portfolio over the given variants, defaulting
+// to BASE, LABELED-UF and GROUP-ACTION when none are given.
+func NewPortfolio(variants ...solver.Variant) *Portfolio {
+	if len(variants) == 0 {
+		variants = []solver.Variant{solver.Base, solver.LabeledUF, solver.GroupAction}
+	}
+	return &Portfolio{Variants: variants}
+}
+
+// PortfolioOutcome is one portfolio race's result.
+type PortfolioOutcome struct {
+	// Winner is the variant whose result is reported: the first to
+	// decide, or — when no variant decided — the first configured
+	// variant (deterministic tie-breaking).
+	Winner solver.Variant
+	// Result is the winner's result.
+	Result solver.Result
+	// Decided reports whether any variant reached a decisive verdict.
+	Decided bool
+	// All holds every variant's result; losers typically carry a
+	// canceled Stop from the first-answer-wins cancellation.
+	All map[solver.Variant]solver.Result
+}
+
+// Solve races the portfolio's variants on prob. Each variant runs in
+// its own goroutine under a context derived from ctx; the first
+// decisive verdict cancels the rest (they stop at their next guard
+// stride with a fault.ErrCanceled-classified Stop and a sound partial
+// result). Solve returns after every goroutine has finished, so no
+// solver run outlives the call.
+func (p *Portfolio) Solve(ctx context.Context, prob *solver.Problem) PortfolioOutcome {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type vr struct {
+		v solver.Variant
+		r solver.Result
+	}
+	ch := make(chan vr, len(p.Variants))
+	for _, v := range p.Variants {
+		go func(v solver.Variant) {
+			opt := p.Opts
+			opt.Ctx = ctx
+			ch <- vr{v, solver.Solve(prob, v, opt)}
+		}(v)
+	}
+	out := PortfolioOutcome{All: make(map[solver.Variant]solver.Result, len(p.Variants))}
+	for range p.Variants {
+		r := <-ch
+		out.All[r.v] = r.r
+		if !out.Decided && r.r.Verdict != solver.VerdictUnknown {
+			out.Decided = true
+			out.Winner, out.Result = r.v, r.r
+			cancel() // first answer wins
+		}
+	}
+	if !out.Decided {
+		out.Winner = p.Variants[0]
+		out.Result = out.All[p.Variants[0]]
+	}
+	return out
+}

@@ -1,0 +1,82 @@
+package concurrent
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"luf/internal/fault"
+	"luf/internal/solver"
+	"luf/internal/solver/corpus"
+)
+
+// TestConcurrentPortfolioFirstAnswerWins: on decidable problems the
+// portfolio must return a decisive verdict that matches the ground
+// truth, with every variant's result collected.
+func TestConcurrentPortfolioFirstAnswerWins(t *testing.T) {
+	problems := corpus.Generate(corpus.Config{Seed: 5, Linear: 6, Offsets: 2})
+	p := NewPortfolio()
+	p.Opts = solver.Options{MaxSteps: 200000}
+	decided := 0
+	for _, prob := range problems {
+		out := p.Solve(context.Background(), prob)
+		if len(out.All) != 3 {
+			t.Fatalf("%s: %d results, want 3", prob.Name, len(out.All))
+		}
+		if !out.Decided {
+			continue
+		}
+		decided++
+		if prob.Truth == solver.StatusSat && out.Result.Verdict == solver.VerdictUnsat ||
+			prob.Truth == solver.StatusUnsat && out.Result.Verdict == solver.VerdictSat {
+			t.Fatalf("%s: portfolio verdict %s contradicts ground truth %s",
+				prob.Name, out.Result.Verdict, prob.Truth)
+		}
+		if out.All[out.Winner].Verdict != out.Result.Verdict {
+			t.Fatalf("%s: winner's entry in All disagrees with Result", prob.Name)
+		}
+	}
+	if decided == 0 {
+		t.Fatal("portfolio decided nothing on the corpus sample")
+	}
+}
+
+// TestConcurrentPortfolioCancellation: a pre-canceled context must
+// stop every variant with a classified Stop and an undecided outcome
+// reported deterministically for the first configured variant.
+func TestConcurrentPortfolioCancellation(t *testing.T) {
+	problems := corpus.Generate(corpus.Config{Seed: 9, SlowConv: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := NewPortfolio(solver.LabeledUF, solver.Base)
+	out := p.Solve(ctx, problems[0])
+	if out.Decided {
+		t.Fatal("canceled portfolio reported a decision")
+	}
+	if out.Winner != solver.LabeledUF {
+		t.Fatalf("undecided winner = %s, want first configured variant", out.Winner)
+	}
+	for v, r := range out.All {
+		if r.Verdict != solver.VerdictUnknown {
+			t.Fatalf("%s: verdict %s under canceled context", v, r.Verdict)
+		}
+		if r.Stop == nil || !errors.Is(r.Stop, fault.ErrCanceled) {
+			t.Fatalf("%s: Stop = %v, want ErrCanceled classification", v, r.Stop)
+		}
+	}
+}
+
+// TestConcurrentPortfolioSubset: a single-variant portfolio degenerates
+// to a plain solve.
+func TestConcurrentPortfolioSubset(t *testing.T) {
+	problems := corpus.Generate(corpus.Config{Seed: 11, Linear: 1})
+	p := NewPortfolio(solver.LabeledUF)
+	out := p.Solve(context.Background(), problems[0])
+	seq := solver.Solve(problems[0], solver.LabeledUF, p.Opts)
+	if out.Result.Verdict != seq.Verdict {
+		t.Fatalf("portfolio verdict %s != sequential %s", out.Result.Verdict, seq.Verdict)
+	}
+	if out.Winner != solver.LabeledUF {
+		t.Fatalf("winner = %s", out.Winner)
+	}
+}

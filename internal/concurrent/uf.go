@@ -1,0 +1,465 @@
+// Package concurrent provides a thread-safe labeled union-find and the
+// serving-layer primitives built on it: a batch API that partitions
+// independent operations across a worker pool, and a solver portfolio
+// that races variants under first-answer-wins cancellation.
+//
+// The core structure, UF, keeps the paper's data model (parent edges
+// labeled by group elements, Section 3) but replaces the single-owner
+// mutable maps of internal/core with a sharded node table protected by
+// striped read-write locks:
+//
+//   - every node hashes to one of S lock stripes (hash/maphash over the
+//     node value, so a node's stripe never changes);
+//   - reads (Find, GetRelation, Related) take one stripe read-lock per
+//     hop and never hold two traversal locks at once — each hop reads a
+//     persistent fact "n --ℓ--> parent", which no later union or
+//     compression can invalidate (relations, once asserted, hold
+//     forever; that is what makes labeled union-find so friendly to
+//     concurrency);
+//   - writes (AddRelation) lock the stripes of the two observed class
+//     representatives in canonical (ascending index) order, re-validate
+//     that both are still roots, and retry on staleness — so the link
+//     write is atomic with respect to every other writer and the
+//     acquisition order excludes deadlock;
+//   - path compression is optional and deferred: Find performs path
+//     halving only when the needed stripes are free (TryLock), so
+//     readers never block on compression and compression never blocks
+//     readers under contention.
+//
+// See CONCURRENCY.md at the repository root for the locking protocol,
+// the deadlock argument, and the exact linearizability guarantees.
+package concurrent
+
+import (
+	"hash/maphash"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+
+	"luf/internal/cert"
+	"luf/internal/core"
+	"luf/internal/group"
+)
+
+// edge is one parent link: the owning node points to parent with
+// node --label--> parent. Stored by value inside a stripe's map.
+type edge[N comparable, L any] struct {
+	parent N
+	label  L
+}
+
+// stripe is one lock-striped shard of the node table: the parent edges
+// of every node whose hash maps to this stripe, plus the stripe lock.
+type stripe[N comparable, L any] struct {
+	mu    sync.RWMutex
+	edges map[N]edge[N, L]
+}
+
+// UF is a labeled union-find safe for concurrent use by many readers
+// and writers. The zero value is not usable; create instances with New.
+//
+// Method semantics mirror core.UF with the concurrency-specific
+// differences documented per method; the structural invariant (an
+// acyclic labeled forest whose path compositions realize every asserted
+// relation, Theorem 3.1) holds at every instant.
+type UF[N comparable, L any] struct {
+	g       group.Group[L]
+	seed    maphash.Seed
+	stripes []stripe[N, L]
+	mask    uint64
+
+	compress   bool
+	onConflict core.ConflictFunc[N, L]
+
+	// recorder (certification) runs under the stripe lock(s) of the
+	// accepted assertion plus recMu, so journal order is consistent
+	// with the linearization order of the unions that produced it.
+	recorder func(n, m N, l L, reason string)
+	recMu    sync.Mutex
+
+	finds, adds, unions, redundant, conflicts atomic.Int64
+	retries, halves, halvesDeferred           atomic.Int64
+}
+
+// Stats counts the operations performed on a concurrent union-find.
+// Counters are updated atomically; a snapshot taken while writers run
+// is internally consistent per counter but not across counters.
+type Stats struct {
+	Finds     int64 // calls to Find (including the two inside GetRelation)
+	AddCalls  int64 // calls to AddRelation / AddRelationReason
+	Unions    int64 // adds that merged two classes
+	Redundant int64 // adds already implied by the structure
+	Conflicts int64 // adds rejected as contradictory
+
+	Retries        int64 // write-path restarts after stale-root validation
+	Halves         int64 // path-halving writes performed
+	HalvesDeferred int64 // halvings skipped because a stripe was contended
+}
+
+// Option configures a concurrent UF.
+type Option[N comparable, L any] func(*UF[N, L])
+
+// WithStripes sets the number of lock stripes, rounded up to a power of
+// two (default 64). More stripes admit more concurrent writers at the
+// cost of memory; reads scale independently of the stripe count.
+func WithStripes[N comparable, L any](k int) Option[N, L] {
+	return func(u *UF[N, L]) {
+		n := 1
+		for n < k {
+			n <<= 1
+		}
+		u.stripes = make([]stripe[N, L], n)
+		u.mask = uint64(n - 1)
+	}
+}
+
+// WithConflictHandler installs f as the conflict callback. f is invoked
+// WITHOUT any stripe lock held (so it may query the union-find) and may
+// run concurrently with other operations from other goroutines; like
+// core.ConflictFunc it must not mutate the union-find.
+func WithConflictHandler[N comparable, L any](f core.ConflictFunc[N, L]) Option[N, L] {
+	return func(u *UF[N, L]) { u.onConflict = f }
+}
+
+// WithoutPathCompression disables the deferred path halving entirely;
+// used by benchmarks to isolate the cost of compression.
+func WithoutPathCompression[N comparable, L any]() Option[N, L] {
+	return func(u *UF[N, L]) { u.compress = false }
+}
+
+// WithRecorder puts the union-find in recording mode: f is called for
+// every accepted AddRelation/AddRelationReason call, exactly as
+// asserted, while the accepting stripe lock(s) and a dedicated recorder
+// mutex are held. f therefore runs serialized and must not call back
+// into the union-find.
+func WithRecorder[N comparable, L any](f func(n, m N, l L, reason string)) Option[N, L] {
+	return func(u *UF[N, L]) { u.recorder = f }
+}
+
+// WithJournal attaches a certificate journal: every accepted assertion
+// is recorded under the stripe lock, so journal entries are true facts
+// in linearization order and certificates produced from the journal
+// remain checkable by cert.Check regardless of interleaving.
+func WithJournal[N comparable, L any](j *cert.Journal[N, L]) Option[N, L] {
+	return WithRecorder[N, L](j.Record)
+}
+
+// New returns an empty concurrent labeled union-find over the label
+// group g. The group implementation must be safe for concurrent calls;
+// every group in internal/group is stateless and qualifies.
+func New[N comparable, L any](g group.Group[L], opts ...Option[N, L]) *UF[N, L] {
+	u := &UF[N, L]{
+		g:        g,
+		seed:     maphash.MakeSeed(),
+		compress: true,
+	}
+	WithStripes[N, L](64)(u)
+	for _, o := range opts {
+		o(u)
+	}
+	for i := range u.stripes {
+		u.stripes[i].edges = make(map[N]edge[N, L])
+	}
+	return u
+}
+
+// Group returns the label group of the union-find.
+func (u *UF[N, L]) Group() group.Group[L] { return u.g }
+
+// NumStripes returns the number of lock stripes.
+func (u *UF[N, L]) NumStripes() int { return len(u.stripes) }
+
+// Stats returns a snapshot of the operation counters.
+func (u *UF[N, L]) Stats() Stats {
+	return Stats{
+		Finds:          u.finds.Load(),
+		AddCalls:       u.adds.Load(),
+		Unions:         u.unions.Load(),
+		Redundant:      u.redundant.Load(),
+		Conflicts:      u.conflicts.Load(),
+		Retries:        u.retries.Load(),
+		Halves:         u.halves.Load(),
+		HalvesDeferred: u.halvesDeferred.Load(),
+	}
+}
+
+// stripeIndex hashes a node to its stripe. The hash depends only on the
+// node value, so the stripe of a given node never changes; "the stripe
+// of a class" means the stripe its current representative hashes to.
+func (u *UF[N, L]) stripeIndex(n N) uint64 {
+	return maphash.Comparable(u.seed, n) & u.mask
+}
+
+// walk follows parent edges from n to the current root, taking one
+// stripe read-lock per hop and never two at once. Each hop reads a
+// persistent fact, so the result "n --label--> root, and root was a
+// root at the moment its stripe was read" is true even if the root has
+// since been linked under another class. The nodes traversed (those
+// that had a parent) are appended to path for later halving.
+func (u *UF[N, L]) walk(n N, path *[]N) (N, L) {
+	cur, acc := n, u.g.Identity()
+	for {
+		s := &u.stripes[u.stripeIndex(cur)]
+		s.mu.RLock()
+		e, ok := s.edges[cur]
+		s.mu.RUnlock()
+		if !ok {
+			return cur, acc
+		}
+		if path != nil {
+			*path = append(*path, cur)
+		}
+		acc = u.g.Compose(acc, e.label)
+		cur = e.parent
+	}
+}
+
+// halveNode points x at its current grandparent (path halving),
+// best-effort: it gives up rather than block when either stripe is
+// contended, so compression is deferred under contention and readers
+// never wait for it. The write happens under x's stripe write-lock with
+// the grandparent re-read under the parent's stripe, so it always
+// points x at a current ancestor — which can never create a cycle.
+func (u *UF[N, L]) halveNode(x N) {
+	si := u.stripeIndex(x)
+	s := &u.stripes[si]
+	if !s.mu.TryLock() {
+		u.halvesDeferred.Add(1)
+		return
+	}
+	defer s.mu.Unlock()
+	e, ok := s.edges[x]
+	if !ok {
+		return
+	}
+	pi := u.stripeIndex(e.parent)
+	var pe edge[N, L]
+	var pok bool
+	if pi == si {
+		pe, pok = s.edges[e.parent]
+	} else {
+		ps := &u.stripes[pi]
+		if !ps.mu.TryRLock() {
+			u.halvesDeferred.Add(1)
+			return
+		}
+		pe, pok = ps.edges[e.parent]
+		ps.mu.RUnlock()
+	}
+	if !pok {
+		return // parent is a root: nothing to halve
+	}
+	s.edges[x] = edge[N, L]{parent: pe.parent, label: u.g.Compose(e.label, pe.label)}
+	u.halves.Add(1)
+}
+
+// Find returns a representative r of n's relational class and the label
+// ℓ with n --ℓ--> r. The answer is a true fact: n --ℓ--> r holds
+// forever, though r may already have been linked under a further root
+// by a concurrent union (see CONCURRENCY.md for the exact guarantee).
+// Unknown nodes are their own representative with the identity label.
+// Path halving runs best-effort after the traversal.
+func (u *UF[N, L]) Find(n N) (N, L) {
+	u.finds.Add(1)
+	var pathArr [16]N
+	var path []N
+	if u.compress {
+		path = pathArr[:0]
+		r, l := u.walk(n, &path)
+		// Halving needs a grandparent, so a path of length < 2 has
+		// nothing to compress.
+		if len(path) >= 2 {
+			for _, x := range path[:len(path)-1] {
+				u.halveNode(x)
+			}
+		}
+		return r, l
+	}
+	return u.walk(n, nil)
+}
+
+// GetRelation returns the label ℓ with n --ℓ--> m if the nodes are
+// related. A positive answer is a persistent fact and needs no
+// validation. A negative answer is validated by re-checking, under both
+// stripes' read locks held together, that the two observed
+// representatives are still distinct roots — which exhibits one instant
+// at which the classes were disjoint, making the answer linearizable;
+// on stale observations the query retries.
+func (u *UF[N, L]) GetRelation(n, m N) (L, bool) {
+	for {
+		rn, ln := u.Find(n)
+		rm, lm := u.Find(m)
+		if rn == rm {
+			return u.g.Compose(ln, u.g.Inverse(lm)), true
+		}
+		i, j := u.stripeIndex(rn), u.stripeIndex(rm)
+		lo, hi := i, j
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		u.stripes[lo].mu.RLock()
+		if hi != lo {
+			u.stripes[hi].mu.RLock()
+		}
+		_, nHasParent := u.stripes[i].edges[rn]
+		_, mHasParent := u.stripes[j].edges[rm]
+		if hi != lo {
+			u.stripes[hi].mu.RUnlock()
+		}
+		u.stripes[lo].mu.RUnlock()
+		if !nHasParent && !mHasParent {
+			var zero L
+			return zero, false
+		}
+		u.retries.Add(1)
+	}
+}
+
+// Related reports whether n and m are in the same relational class,
+// with GetRelation's linearizability guarantees.
+func (u *UF[N, L]) Related(n, m N) bool {
+	_, ok := u.GetRelation(n, m)
+	return ok
+}
+
+// AddRelation adds the constraint n --ℓ--> m. If the nodes are already
+// related and the existing relation disagrees with ℓ, the conflict
+// handler runs (without locks held) and AddRelation reports false;
+// otherwise it reports true. The union, when one happens, is atomic:
+// it is performed under the write locks of both representatives'
+// stripes, taken in ascending stripe order, after re-validating that
+// both are still roots (retrying otherwise).
+func (u *UF[N, L]) AddRelation(n, m N, l L) bool {
+	return u.AddRelationReason(n, m, l, "")
+}
+
+// AddRelationReason is AddRelation carrying a reason string that
+// recording mode attaches to the journal entry; certificates later cite
+// it as evidence. Without a recorder the reason is ignored.
+func (u *UF[N, L]) AddRelationReason(n, m N, l L, reason string) bool {
+	u.adds.Add(1)
+	for {
+		rn, ln := u.Find(n)
+		rm, lm := u.Find(m)
+		if rn == rm {
+			// Same class: the derived relation is a persistent fact,
+			// so the decision is valid even if rn has since lost
+			// rootness — no validation or retry needed.
+			existing := u.g.Compose(ln, u.g.Inverse(lm))
+			if !u.g.Equal(l, existing) {
+				u.conflicts.Add(1)
+				if u.onConflict != nil {
+					u.onConflict(core.Conflict[N, L]{N: n, M: m, New: l, Old: existing})
+				}
+				return false
+			}
+			s := &u.stripes[u.stripeIndex(rn)]
+			s.mu.Lock()
+			u.redundant.Add(1)
+			u.recordLocked(n, m, l, reason)
+			s.mu.Unlock()
+			return true
+		}
+		i, j := u.stripeIndex(rn), u.stripeIndex(rm)
+		lo, hi := i, j
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		u.stripes[lo].mu.Lock()
+		if hi != lo {
+			u.stripes[hi].mu.Lock()
+		}
+		_, nHasParent := u.stripes[i].edges[rn]
+		_, mHasParent := u.stripes[j].edges[rm]
+		if nHasParent || mHasParent {
+			// A concurrent union got here first: at least one observed
+			// root is stale. Release and re-find.
+			if hi != lo {
+				u.stripes[hi].mu.Unlock()
+			}
+			u.stripes[lo].mu.Unlock()
+			u.retries.Add(1)
+			continue
+		}
+		// Both rn and rm are roots right now, so they are the current
+		// representatives of n and m (a node's root can only change by
+		// the root gaining a parent — which it has not). Link them;
+		// this write is the linearization point of the union.
+		u.unions.Add(1)
+		if rand.Uint64()&1 == 0 {
+			// rn --inv(ln);l;lm--> rm
+			u.stripes[i].edges[rn] = edge[N, L]{
+				parent: rm,
+				label:  group.ComposeAll[L](u.g, u.g.Inverse(ln), l, lm),
+			}
+		} else {
+			// rm --inv(lm);inv(l);ln--> rn
+			u.stripes[j].edges[rm] = edge[N, L]{
+				parent: rn,
+				label:  group.ComposeAll[L](u.g, u.g.Inverse(lm), u.g.Inverse(l), ln),
+			}
+		}
+		u.recordLocked(n, m, l, reason)
+		if hi != lo {
+			u.stripes[hi].mu.Unlock()
+		}
+		u.stripes[lo].mu.Unlock()
+		return true
+	}
+}
+
+// recordLocked forwards an accepted assertion to the recorder hook.
+// Callers hold the accepting stripe lock(s); recMu additionally
+// serializes recorders across stripes.
+func (u *UF[N, L]) recordLocked(n, m N, l L, reason string) {
+	if u.recorder == nil {
+		return
+	}
+	u.recMu.Lock()
+	u.recorder(n, m, l, reason)
+	u.recMu.Unlock()
+}
+
+// Recording reports whether a recorder hook is installed.
+func (u *UF[N, L]) Recording() bool { return u.recorder != nil }
+
+// ForEachEdge calls f on every parent edge n --Label--> Parent, taking
+// each stripe's read lock in turn. The snapshot is per-stripe
+// consistent; for a globally consistent view call it at quiescence
+// (no concurrent writers). Iteration order is unspecified.
+func (u *UF[N, L]) ForEachEdge(f func(n N, e core.Edge[N, L])) {
+	for si := range u.stripes {
+		s := &u.stripes[si]
+		s.mu.RLock()
+		for n, e := range s.edges {
+			f(n, core.Edge[N, L]{Parent: e.parent, Label: e.label})
+		}
+		s.mu.RUnlock()
+	}
+}
+
+// NumEdges returns the number of parent edges (equivalently, the number
+// of non-root nodes), summed per stripe under read locks.
+func (u *UF[N, L]) NumEdges() int {
+	total := 0
+	for si := range u.stripes {
+		s := &u.stripes[si]
+		s.mu.RLock()
+		total += len(s.edges)
+		s.mu.RUnlock()
+	}
+	return total
+}
+
+// Snapshot re-derives the current relations into a fresh single-owner
+// core.UF (re-asserting each parent edge, not copying internals), for
+// interop with the sequential toolchain: invariant checking, audits,
+// Explain. Call it at quiescence; under concurrent writers the snapshot
+// is a sound subset of the relations.
+func (u *UF[N, L]) Snapshot(opts ...core.Option[N, L]) *core.UF[N, L] {
+	out := core.New[N, L](u.g, opts...)
+	u.ForEachEdge(func(n N, e core.Edge[N, L]) {
+		out.AddRelation(n, e.Parent, e.Label)
+	})
+	return out
+}

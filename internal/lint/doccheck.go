@@ -1,0 +1,177 @@
+// Package main implements the repository's documentation linter: every
+// exported symbol of the public-facing packages must carry a godoc
+// comment that starts with the symbol's name, so `go doc` output reads
+// as complete sentences and no API ships undocumented. Run it with
+//
+//	go run ./internal/lint
+//
+// It exits non-zero listing each violation as file:line: message.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Violation is one documentation failure at a source position.
+type Violation struct {
+	Pos     token.Position
+	Message string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s:%d: %s", v.Pos.Filename, v.Pos.Line, v.Message)
+}
+
+// CheckPackageDir lints every non-test .go file of the package in dir
+// and returns the violations, sorted by position.
+func CheckPackageDir(dir string) ([]Violation, error) {
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var violations []Violation
+	packageDocumented := false
+	sawFile := false
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		sawFile = true
+		path := filepath.Join(dir, name)
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			packageDocumented = true
+		}
+		violations = append(violations, checkFile(fset, f)...)
+	}
+	if sawFile && !packageDocumented {
+		violations = append(violations, Violation{
+			Pos:     token.Position{Filename: filepath.Join(dir, "...")},
+			Message: "package has no package doc comment",
+		})
+	}
+	sort.Slice(violations, func(i, j int) bool {
+		a, b := violations[i].Pos, violations[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	return violations, nil
+}
+
+// checkFile lints one parsed file's exported top-level declarations and
+// exported methods on exported receivers.
+func checkFile(fset *token.FileSet, f *ast.File) []Violation {
+	var out []Violation
+	report := func(pos token.Pos, format string, args ...any) {
+		out = append(out, Violation{Pos: fset.Position(pos), Message: fmt.Sprintf(format, args...)})
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() {
+				continue
+			}
+			if d.Recv != nil && !exportedReceiver(d.Recv) {
+				continue
+			}
+			if !docStartsWith(d.Doc, d.Name.Name) {
+				kind := "function"
+				if d.Recv != nil {
+					kind = "method"
+				}
+				report(d.Name.Pos(), "exported %s %s needs a doc comment starting with %q",
+					kind, d.Name.Name, d.Name.Name)
+			}
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if !s.Name.IsExported() {
+						continue
+					}
+					// A doc on the spec wins; a single-spec decl doc is
+					// equivalent.
+					if !docStartsWith(s.Doc, s.Name.Name) && !docStartsWith(d.Doc, s.Name.Name) {
+						report(s.Name.Pos(), "exported type %s needs a doc comment starting with %q",
+							s.Name.Name, s.Name.Name)
+					}
+				case *ast.ValueSpec:
+					for _, n := range s.Names {
+						if !n.IsExported() {
+							continue
+						}
+						if !docStartsWith(s.Doc, n.Name) && !docStartsWith(d.Doc, n.Name) {
+							report(n.Pos(), "exported %s %s needs a doc comment starting with %q",
+								declKind(d.Tok), n.Name, n.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// exportedReceiver reports whether a method receiver names an exported
+// type (methods on unexported types are not part of the API surface).
+func exportedReceiver(recv *ast.FieldList) bool {
+	if recv == nil || len(recv.List) == 0 {
+		return false
+	}
+	t := recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr:
+			t = x.X
+		case *ast.IndexListExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+// docStartsWith reports whether the comment group's text begins with
+// name as its first word.
+func docStartsWith(doc *ast.CommentGroup, name string) bool {
+	if doc == nil {
+		return false
+	}
+	text := strings.TrimSpace(doc.Text())
+	if !strings.HasPrefix(text, name) {
+		return false
+	}
+	rest := text[len(name):]
+	// The name must be a whole word: followed by space, punctuation or
+	// end of comment — not a longer identifier.
+	return rest == "" || !isIdentByte(rest[0])
+}
+
+func isIdentByte(b byte) bool {
+	return b == '_' || b >= '0' && b <= '9' || b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z'
+}
+
+func declKind(tok token.Token) string {
+	if tok == token.CONST {
+		return "const"
+	}
+	return "var"
+}

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestDocLintCleanPackages asserts the checked packages have zero
+// violations — the CI gate, runnable as a plain test.
+func TestDocLintCleanPackages(t *testing.T) {
+	for _, pkg := range checkedPackages {
+		violations, err := CheckPackageDir(filepath.Join("../..", pkg))
+		if err != nil {
+			t.Fatalf("%s: %v", pkg, err)
+		}
+		for _, v := range violations {
+			t.Errorf("%s: %s", pkg, v)
+		}
+	}
+}
+
+// TestDocLintDetectsViolations feeds the checker a synthetic package
+// exercising every rule: missing package doc, undocumented exported
+// symbols, docs not starting with the name, grouped specs, and exported
+// methods on exported (including generic) receivers. Unexported and
+// test-only symbols must not be flagged.
+func TestDocLintDetectsViolations(t *testing.T) {
+	dir := t.TempDir()
+	src := `package bad
+
+// Documented is fine.
+type Documented struct{}
+
+type Undocumented struct{}
+
+// wrong prefix
+func Exported() {}
+
+// ExportedName is a prefix of ExportedNameLonger but not a whole word.
+func ExportedNameLonger() {}
+
+// A grouped decl doc not naming the symbols covers neither.
+var (
+	Grouped  = 1
+	Ungrouped = 2
+)
+
+func unexported() {}
+
+// Get is fine.
+func (Documented) Get() {}
+
+func (d *Documented) Put() {}
+
+type generic[T any] struct{}
+
+func (g generic[T]) Skip() {}
+`
+	if err := os.WriteFile(filepath.Join(dir, "bad.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	violations, err := CheckPackageDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, v := range violations {
+		got[v.Message] = true
+	}
+	wantSubstrings := []string{
+		"no package doc",
+		`type Undocumented`,
+		`function Exported `,
+		`function ExportedNameLonger`,
+		`var Grouped `,
+		`var Ungrouped`,
+		`method Put`,
+	}
+	for _, want := range wantSubstrings {
+		found := false
+		for msg := range got {
+			if strings.Contains(msg, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no violation matching %q in %v", want, violations)
+		}
+	}
+	for msg := range got {
+		for _, banned := range []string{"Documented", "unexported", "Skip", "Get"} {
+			if strings.Contains(msg, banned) && !strings.Contains(msg, "Undocumented") {
+				t.Errorf("false positive: %s", msg)
+			}
+		}
+	}
+}

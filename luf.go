@@ -32,10 +32,12 @@ package luf
 
 import (
 	"luf/internal/cert"
+	"luf/internal/concurrent"
 	"luf/internal/core"
 	"luf/internal/fault"
 	"luf/internal/group"
 	"luf/internal/invariant"
+	"luf/internal/solver"
 )
 
 // Group is the label-group descriptor interface (Assumption 2 of the
@@ -155,46 +157,50 @@ type (
 )
 
 // NewAffine returns the TVPE label y = a·x + b; it reports
-// ErrInvalidLabel when a = 0. MustAffine panics instead.
-var (
-	NewAffine  = group.NewAffine
-	MustAffine = group.MustAffine
-)
+// ErrInvalidLabel when a = 0.
+var NewAffine = group.NewAffine
+
+// MustAffine is NewAffine, panicking on invalid labels.
+var MustAffine = group.MustAffine
 
 // AffineInt returns the TVPE label with integer coefficients (panics
 // on zero slope).
 var AffineInt = group.AffineInt
 
 // NewModTVPE returns the modular TVPE group of width w; it reports
-// ErrInvalidLabel outside [1,64]. MustModTVPE panics instead.
-var (
-	NewModTVPE  = group.NewModTVPE
-	MustModTVPE = group.MustModTVPE
-)
+// ErrInvalidLabel outside [1,64].
+var NewModTVPE = group.NewModTVPE
 
-// NewXorRot returns the xor-rotate group of width w.
-var (
-	NewXorRot  = group.NewXorRot
-	MustXorRot = group.MustXorRot
-)
+// MustModTVPE is NewModTVPE, panicking on invalid widths.
+var MustModTVPE = group.MustModTVPE
 
-// NewXorConst returns the constant-xor group of width w.
-var (
-	NewXorConst  = group.NewXorConst
-	MustXorConst = group.MustXorConst
-)
+// NewXorRot returns the xor-rotate group of width w, or ErrInvalidLabel
+// outside [1,64].
+var NewXorRot = group.NewXorRot
 
-// NewMatGroup returns the invertible affine map group on ℚⁿ.
-var (
-	NewMatGroup  = group.NewMatGroup
-	MustMatGroup = group.MustMatGroup
-)
+// MustXorRot is NewXorRot, panicking on invalid widths.
+var MustXorRot = group.MustXorRot
 
-// NewPerm returns the symmetric group S_n.
-var (
-	NewPerm  = group.NewPerm
-	MustPerm = group.MustPerm
-)
+// NewXorConst returns the constant-xor group of width w, or
+// ErrInvalidLabel outside [1,64].
+var NewXorConst = group.NewXorConst
+
+// MustXorConst is NewXorConst, panicking on invalid widths.
+var MustXorConst = group.MustXorConst
+
+// NewMatGroup returns the invertible affine map group on ℚⁿ, or
+// ErrInvalidLabel for non-positive dimensions.
+var NewMatGroup = group.NewMatGroup
+
+// MustMatGroup is NewMatGroup, panicking on invalid dimensions.
+var MustMatGroup = group.MustMatGroup
+
+// NewPerm returns the symmetric group S_n, or ErrInvalidLabel for
+// non-positive n.
+var NewPerm = group.NewPerm
+
+// MustPerm is NewPerm, panicking on invalid n.
+var MustPerm = group.MustPerm
 
 // ThroughPoints returns the affine label through two points (the
 // "joining constants" rule of Section 7.2).
@@ -370,3 +376,112 @@ func CheckInfoUF[N comparable, L, I any](u *InfoUF[N, L, I]) error {
 func CheckPUF[L any](u PUF[L]) error {
 	return invariant.CheckPUF[L](u)
 }
+
+// Concurrent is the thread-safe labeled union-find: the same relational
+// semantics as UF behind per-class striped RW locking, safe for any mix
+// of goroutines calling AddRelation, GetRelation, Find and the batch
+// APIs. The soundness of its lock-light read path rests on relations
+// being persistent facts — once asserted, they hold forever — so a
+// parent edge read under one stripe lock can never be invalidated. See
+// CONCURRENCY.md for the locking protocol and its guarantees.
+type Concurrent[N comparable, L any] = concurrent.UF[N, L]
+
+// ConcurrentOption configures a Concurrent union-find.
+type ConcurrentOption[N comparable, L any] = concurrent.Option[N, L]
+
+// ConcurrentStats is a snapshot of a Concurrent structure's operation
+// counters (finds, unions, conflicts, lock retries, deferred
+// compressions).
+type ConcurrentStats = concurrent.Stats
+
+// NewConcurrent returns an empty thread-safe labeled union-find over
+// label group g:
+//
+//	uf := luf.NewConcurrent[string](luf.Delta{})
+//	go uf.AddRelation("x", "y", 2)
+//	go uf.GetRelation("x", "y")
+func NewConcurrent[N comparable, L any](g Group[L], opts ...ConcurrentOption[N, L]) *Concurrent[N, L] {
+	return concurrent.New[N, L](g, opts...)
+}
+
+// WithStripes sets the number of lock stripes (rounded up to a power of
+// two, default 64). More stripes reduce contention; fewer save memory.
+func WithStripes[N comparable, L any](k int) ConcurrentOption[N, L] {
+	return concurrent.WithStripes[N, L](k)
+}
+
+// WithConcurrentJournal puts a Concurrent union-find in recording mode:
+// accepted assertions are journaled under the stripe lock, so
+// certificates drawn from the journal are consistent with every answer
+// the structure has given. Use ExplainConcurrent to certify answers.
+func WithConcurrentJournal[N comparable, L any](j *CertJournal[N, L]) ConcurrentOption[N, L] {
+	return concurrent.WithJournal[N, L](j)
+}
+
+// ExplainConcurrent certifies a Concurrent structure's answer about
+// (x, y), exactly as Explain does for the sequential UF.
+func ExplainConcurrent[N comparable, L any](u *Concurrent[N, L], j *CertJournal[N, L], x, y N) (Certificate[N, L], error) {
+	ans, ok := u.GetRelation(x, y)
+	if !ok {
+		return Certificate[N, L]{}, fault.Invalidf("ExplainConcurrent(%v, %v): nodes are not related", x, y)
+	}
+	c, err := j.Explain(x, y)
+	if err != nil {
+		return Certificate[N, L]{}, err
+	}
+	c.Label = ans
+	return c, nil
+}
+
+// Assert is one relation assertion in a batch: n --label--> m, with an
+// optional journal reason.
+type Assert[N comparable, L any] = concurrent.Assert[N, L]
+
+// AssertResult is the outcome of one batched assertion: OK reports
+// acceptance (false = conflict), Err carries a classified budget or
+// injected failure when the operation was skipped.
+type AssertResult = concurrent.AssertResult
+
+// BatchQuery is one relation query in a batch.
+type BatchQuery[N comparable] = concurrent.Query[N]
+
+// BatchQueryResult is the outcome of one batched query.
+type BatchQueryResult[L any] = concurrent.QueryResult[L]
+
+// BatchOptions sets the worker count and resource limits of a batch
+// call; see Concurrent.AssertBatch and Concurrent.QueryBatch.
+type BatchOptions = concurrent.BatchOptions
+
+// Limits bounds a computation's resources: a step budget, a wall-clock
+// deadline, and a context, checked on a configurable stride. Used by
+// BatchOptions; exhausted batch operations come back with an
+// ErrBudgetExhausted-classified error instead of aborting the batch.
+type Limits = fault.Limits
+
+// Portfolio races solver variants on one problem, first decisive answer
+// wins; losers are canceled through a shared context.
+type Portfolio = concurrent.Portfolio
+
+// PortfolioOutcome reports a portfolio race: the winning variant, its
+// result, and every variant's final state.
+type PortfolioOutcome = concurrent.PortfolioOutcome
+
+// NewPortfolio returns a portfolio over the given solver variants
+// (default: all three of Section 7.1).
+func NewPortfolio(variants ...SolveVariant) *Portfolio {
+	return concurrent.NewPortfolio(variants...)
+}
+
+// SolveVariant names a solver variant of Section 7.1.
+type SolveVariant = solver.Variant
+
+// SolveBase is the propagation solver without union-find sharing.
+const SolveBase = solver.Base
+
+// SolveLabeledUF is the solver sharing relations through a labeled
+// union-find.
+const SolveLabeledUF = solver.LabeledUF
+
+// SolveGroupAction is the solver transporting bounds through the group
+// action.
+const SolveGroupAction = solver.GroupAction
