@@ -6,6 +6,7 @@
 //	lufbench -exp scaling   closure-cost comparison motivating LUF (§2)
 //	lufbench -exp inter     Appendix A persistent-join complexity
 //	lufbench -exp concurrent  serving-layer throughput (sequential vs parallel batches)
+//	lufbench -exp recovery  durable-store certified recovery (journal replay vs snapshot)
 //	lufbench -exp all       everything
 package main
 
@@ -19,7 +20,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, sec72, sec72d2, scaling, inter, concurrent, all")
+	exp := flag.String("exp", "all", "experiment: table1, sec72, sec72d2, scaling, inter, concurrent, recovery, all")
 	programs := flag.Int("programs", 584, "number of analyzer corpus programs (sec72)")
 	quick := flag.Bool("quick", false, "smaller corpora for a fast smoke run")
 	budget := flag.Int("budget", 0, "per-run analyzer step budget for sec72 (0 = unlimited)")
@@ -27,6 +28,7 @@ func main() {
 	certify := flag.Bool("certify", false, "emit and independently re-check proof certificates on every run (table1, sec72, sec72d2); rejections are tallied per stop reason")
 	parallel := flag.Int("parallel", 8, "goroutine-ladder cap for the concurrent experiment (measures 1,2,4,... up to this)")
 	jsonPath := flag.String("json", "BENCH_concurrent.json", "output path for the concurrent experiment's JSON result")
+	recoveryJSON := flag.String("recovery-json", "BENCH_recovery.json", "output path for the recovery experiment's JSON result")
 	flag.Parse()
 
 	run := func(name string) bool { return *exp == name || *exp == "all" }
@@ -103,6 +105,26 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Printf("wrote %s\n", *jsonPath)
+		}
+	}
+	if run("recovery") {
+		any = true
+		cfg := bench.DefaultRecovery()
+		if *quick {
+			cfg.Lengths = []int{200, 1000}
+		}
+		res, err := bench.RunRecovery(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(res.Format())
+		if *recoveryJSON != "" {
+			if err := res.WriteJSON(*recoveryJSON); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *recoveryJSON)
 		}
 	}
 	if !any {

@@ -1,0 +1,112 @@
+// Command lufd is the durable labeled-union-find daemon: the HTTP/JSON
+// serving layer of internal/server over the crash-safe journal store of
+// internal/wal.
+//
+// Quickstart:
+//
+//	lufd -dir /var/lib/lufd -addr 127.0.0.1:8080
+//
+// Every accepted assertion is appended to the write-ahead journal and
+// fsynced before the request is acknowledged; on restart, lufd replays
+// the journal through the group operations and re-proves every entry
+// with the independent certificate checker before serving. SIGTERM or
+// SIGINT triggers a graceful drain: in-flight requests finish, new ones
+// get structured 503s, the journal is flushed and a final snapshot
+// written.
+//
+// See OPERATIONS.md at the repository root for the journal format,
+// durability contract, recovery semantics and client retry policy.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"luf/internal/server"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable daemon body: it serves until ctx is canceled
+// (signal or test), then drains and exits. It prints exactly one
+// "lufd: listening on <addr>" line once the listener is ready, so
+// tests and process supervisors can scrape the bound address.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lufd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+	dir := fs.String("dir", "", "durable store directory (empty serves from memory, no durability)")
+	maxInflight := fs.Int("max-inflight", 64, "admission-control limit on concurrent requests")
+	requestTimeout := fs.Duration("request-timeout", 2*time.Second, "per-request deadline")
+	snapshotEvery := fs.Int("snapshot-every", 4096, "write a snapshot after this many journaled asserts (0 = only on drain)")
+	breakerFailures := fs.Int("breaker-failures", 3, "consecutive solve failures that open the solver circuit breaker")
+	breakerCooldown := fs.Duration("breaker-cooldown", 5*time.Second, "open-circuit cooldown before a probe")
+	solveSteps := fs.Int("solve-steps", 200000, "per-variant solver step budget")
+	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "graceful-drain limit after a termination signal")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	s, rec, err := server.New(server.Config{
+		Dir:             *dir,
+		MaxInflight:     *maxInflight,
+		RequestTimeout:  *requestTimeout,
+		SnapshotEvery:   *snapshotEvery,
+		BreakerFailures: *breakerFailures,
+		BreakerCooldown: *breakerCooldown,
+		SolveSteps:      *solveSteps,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "lufd: %v\n", err)
+		return 1
+	}
+	if rec != nil {
+		fmt.Fprintf(stdout, "lufd: recovered %d assertions (%d from snapshot, %d torn bytes repaired, seq %d) from %s\n",
+			rec.Entries, rec.FromSnapshot, rec.TailTruncated, rec.LastSeq, *dir)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "lufd: listen %s: %v\n", *addr, err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "lufd: listening on %s\n", ln.Addr())
+
+	hs := &http.Server{Handler: s.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintf(stderr, "lufd: serve: %v\n", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintf(stdout, "lufd: draining\n")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	code := 0
+	if err := s.Drain(drainCtx); err != nil {
+		fmt.Fprintf(stderr, "lufd: drain: %v\n", err)
+		code = 1
+	}
+	if err := hs.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(stderr, "lufd: shutdown: %v\n", err)
+		code = 1
+	}
+	fmt.Fprintf(stdout, "lufd: stopped\n")
+	return code
+}

@@ -1,0 +1,244 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"luf/internal/client"
+	"luf/internal/wal"
+)
+
+// syncBuffer is a concurrency-safe bytes.Buffer: the daemon goroutine
+// writes while the test polls.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// daemon is one in-process lufd run.
+type daemon struct {
+	addr string
+	out  *syncBuffer
+	stop func() int // cancel (SIGTERM equivalent) and wait for exit
+}
+
+// startDaemon launches run() with the given extra args on a free port
+// and waits for the listening line.
+func startDaemon(t *testing.T, args ...string) *daemon {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	out := &syncBuffer{}
+	done := make(chan int, 1)
+	full := append([]string{"-addr", "127.0.0.1:0"}, args...)
+	go func() { done <- run(ctx, full, out, out) }()
+
+	deadline := time.Now().Add(5 * time.Second)
+	var addr string
+	for time.Now().Before(deadline) {
+		if s := out.String(); strings.Contains(s, "listening on ") {
+			line := s[strings.Index(s, "listening on ")+len("listening on "):]
+			addr = strings.TrimSpace(strings.SplitN(line, "\n", 2)[0])
+			break
+		}
+		select {
+		case code := <-done:
+			t.Fatalf("daemon exited with code %d before listening:\n%s", code, out.String())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	if addr == "" {
+		cancel()
+		t.Fatalf("daemon never reported its address:\n%s", out.String())
+	}
+	stopped := false
+	d := &daemon{addr: addr, out: out, stop: func() int {
+		if stopped {
+			return 0
+		}
+		stopped = true
+		cancel()
+		select {
+		case code := <-done:
+			return code
+		case <-time.After(10 * time.Second):
+			t.Fatalf("daemon did not exit after cancel:\n%s", out.String())
+			return 1
+		}
+	}}
+	t.Cleanup(func() { d.stop() })
+	return d
+}
+
+func TestLufdRestartPreservesCertifiedState(t *testing.T) {
+	dir := t.TempDir()
+	d := startDaemon(t, "-dir", dir)
+	c := client.New("http://" + d.addr)
+	ctx := context.Background()
+
+	if _, err := c.Assert(ctx, "x", "y", 3, "session-1-fact-1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Assert(ctx, "y", "z", 4, "session-1-fact-2"); err != nil {
+		t.Fatal(err)
+	}
+	if code := d.stop(); code != 0 {
+		t.Fatalf("drain exit code %d:\n%s", code, d.out.String())
+	}
+	if !strings.Contains(d.out.String(), "draining") || !strings.Contains(d.out.String(), "stopped") {
+		t.Fatalf("shutdown output lacks drain markers:\n%s", d.out.String())
+	}
+
+	d2 := startDaemon(t, "-dir", dir)
+	if !strings.Contains(d2.out.String(), "recovered 2 assertions") {
+		t.Fatalf("restart output lacks recovery line:\n%s", d2.out.String())
+	}
+	c2 := client.New("http://" + d2.addr)
+	l, ok, err := c2.Relation(ctx, "x", "z")
+	if err != nil || !ok || l != 7 {
+		t.Fatalf("restarted relation(x,z) = (%d,%v,%v), want (7,true,nil)", l, ok, err)
+	}
+	// Explain re-verifies the certificate locally; its reasons must be
+	// the pre-restart facts, proving provenance survived the journal.
+	cc, err := c2.Explain(ctx, "x", "z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reasons := strings.Join(cc.Reasons(), ",")
+	if !strings.Contains(reasons, "session-1-fact-1") || !strings.Contains(reasons, "session-1-fact-2") {
+		t.Fatalf("recovered certificate reasons %q lost provenance", reasons)
+	}
+	if code := d2.stop(); code != 0 {
+		t.Fatalf("second drain exit code %d", code)
+	}
+}
+
+func TestLufdTornTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	d := startDaemon(t, "-dir", dir)
+	c := client.New("http://" + d.addr)
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if _, err := c.Assert(ctx, fmt.Sprintf("n%d", i), fmt.Sprintf("n%d", i+1), int64(i+1), ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.stop()
+
+	// A crash mid-append leaves a torn frame at the journal tail.
+	jpath := filepath.Join(dir, "journal.wal")
+	f, err := os.OpenFile(jpath, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x2a, 0x00, 0x00, 0x00, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	d2 := startDaemon(t, "-dir", dir)
+	out := d2.out.String()
+	if !strings.Contains(out, "recovered 3 assertions") {
+		t.Fatalf("torn-tail restart lacks recovery line:\n%s", out)
+	}
+	if !strings.Contains(out, "torn bytes repaired") || strings.Contains(out, "0 torn bytes repaired") {
+		t.Fatalf("torn-tail restart did not report the repair:\n%s", out)
+	}
+	c2 := client.New("http://" + d2.addr)
+	l, ok, err := c2.Relation(context.Background(), "n0", "n3")
+	if err != nil || !ok || l != 6 {
+		t.Fatalf("relation after torn-tail repair = (%d,%v,%v), want (6,true,nil)", l, ok, err)
+	}
+}
+
+// TestLufdCrashPointMatrix is the end-to-end acceptance matrix: a
+// journal produced through the real daemon is truncated at every byte
+// offset (every possible crash point), and a fresh daemon must come up
+// serving exactly the relations of the surviving record prefix — the
+// next asserted-but-torn fact must be gone, not half-applied. Zero
+// silent divergences, demonstrated through cmd/lufd restart.
+func TestLufdCrashPointMatrix(t *testing.T) {
+	// Build the reference journal through the daemon itself.
+	seedDir := t.TempDir()
+	d := startDaemon(t, "-dir", seedDir)
+	c := client.New("http://" + d.addr)
+	ctx := context.Background()
+	const facts = 4
+	for i := 0; i < facts; i++ {
+		if _, err := c.Assert(ctx, fmt.Sprintf("n%d", i), fmt.Sprintf("n%d", i+1), int64(i+1), fmt.Sprintf("fact-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.stop()
+	image, err := os.ReadFile(filepath.Join(seedDir, "journal.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := wal.DecodeAll(image, wal.DeltaCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Records) != facts {
+		t.Fatalf("journal has %d records, want %d", len(full.Records), facts)
+	}
+
+	scratch := t.TempDir()
+	for cut := 0; cut <= len(image); cut++ {
+		survivors := 0
+		for _, r := range full.Records {
+			if r.Off+r.Len <= cut {
+				survivors++
+			}
+		}
+		dir := filepath.Join(scratch, "cut")
+		if err := os.RemoveAll(dir); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "journal.wal"), image[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		dc := startDaemon(t, "-dir", dir)
+		cc := client.New("http://" + dc.addr)
+		// Every surviving fact answers with its exact composed label...
+		sum := int64(0)
+		for i := 0; i < survivors; i++ {
+			sum += int64(i + 1)
+			l, ok, err := cc.Relation(ctx, "n0", fmt.Sprintf("n%d", i+1))
+			if err != nil || !ok || l != sum {
+				t.Fatalf("cut %d: relation(n0,n%d) = (%d,%v,%v), want (%d,true,nil)", cut, i+1, l, ok, err, sum)
+			}
+		}
+		// ...and the first torn-away fact is fully gone.
+		if survivors < facts {
+			_, ok, err := cc.Relation(ctx, "n0", fmt.Sprintf("n%d", survivors+1))
+			if err != nil || ok {
+				t.Fatalf("cut %d: torn-away fact leaked: related=%v err=%v", cut, ok, err)
+			}
+		}
+		if code := dc.stop(); code != 0 {
+			t.Fatalf("cut %d: exit code %d:\n%s", cut, code, dc.out.String())
+		}
+	}
+}

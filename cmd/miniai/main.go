@@ -2,7 +2,13 @@
 // interpreter, with and without the labeled union-find TVPE domain, and
 // reports per-variable values and assertion verdicts.
 //
-//	miniai [-depth n] [-steps n] [-deadline d] [-check] [-dump-ssa] file.c
+//	miniai [-depth n] [-steps n] [-deadline d] [-check] [-dump-ssa] [-wal dir] file.c
+//
+// With -wal, the certified relational facts of the labeled-union-find
+// run are persisted to a write-ahead journal in dir (the analyzer
+// instantiation of internal/wal: int SSA nodes, TVPE labels), then the
+// store is reopened so certified recovery independently re-proves
+// every persisted fact.
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"luf/internal/fault"
 	"luf/internal/group"
 	"luf/internal/lang"
+	"luf/internal/wal"
 )
 
 func main() {
@@ -26,9 +33,10 @@ func main() {
 	check := flag.Bool("check", false, "audit union-find invariants after analysis")
 	certify := flag.Bool("certify", false, "emit proof certificates for the final relations and re-check each with the independent verifier")
 	dumpSSA := flag.Bool("dump-ssa", false, "print the SSA control-flow graph")
+	walDir := flag.String("wal", "", "persist the certified relations to a write-ahead journal in this directory and re-prove them by reopening it (implies -certify)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: miniai [-depth n] [-steps n] [-deadline d] [-check] [-dump-ssa] file.c")
+		fmt.Fprintln(os.Stderr, "usage: miniai [-depth n] [-steps n] [-deadline d] [-check] [-dump-ssa] [-wal dir] file.c")
 		os.Exit(2)
 	}
 	data, err := os.ReadFile(flag.Arg(0))
@@ -53,7 +61,7 @@ func main() {
 		}
 		conf := analyzer.Config{UseLUF: useLUF, PropagationDepth: *depth,
 			MaxSteps: *steps, Deadline: *deadline, CheckInvariants: *check,
-			Certify: *certify && useLUF}
+			Certify: (*certify || *walDir != "") && useLUF}
 		res := analyzer.Analyze(g, dom, conf)
 		mode := "baseline"
 		if useLUF {
@@ -89,8 +97,67 @@ func main() {
 		if *certify && useLUF {
 			printCertificates(g, res)
 		}
+		if *walDir != "" && useLUF {
+			persistWAL(res, *walDir)
+		}
 		fmt.Println()
 	}
+}
+
+// persistWAL journals every verified relation certificate of the LUF
+// analysis, then reopens the store: certified recovery replays each
+// fact through the group operations and re-proves it with the
+// independent checker, so the printed count is a durability proof, not
+// an echo of in-memory state.
+func persistWAL(res *analyzer.Result, dir string) {
+	tvpe := group.TVPE{}
+	fatal := func(err error) {
+		fmt.Fprintln(os.Stderr, "wal:", err)
+		os.Exit(1)
+	}
+	st, _, err := wal.Open(dir, tvpe, wal.TVPECodec{}, wal.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	var last uint64
+	for _, c := range res.Certificates {
+		if cert.Check(c, tvpe) != nil {
+			continue
+		}
+		seq, err := st.Append(cert.Entry[int, group.Affine]{
+			N: c.X, M: c.Y, Label: c.Label,
+			Reason: strings.Join(c.Reasons(), "; ")})
+		if err != nil {
+			fatal(err)
+		}
+		last = seq
+	}
+	if last > 0 {
+		if err := st.Commit(last); err != nil {
+			fatal(err)
+		}
+	}
+	persisted := st.Len()
+	if err := st.Close(); err != nil {
+		fatal(err)
+	}
+
+	st2, rec, err := wal.Open(dir, tvpe, wal.TVPECodec{}, wal.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	defer st2.Close()
+	reproved := 0
+	for _, c := range res.Certificates {
+		if cert.Check(c, tvpe) != nil {
+			continue
+		}
+		if l, ok := rec.UF.GetRelation(c.X, c.Y); ok && tvpe.Key(l) == tvpe.Key(c.Label) {
+			reproved++
+		}
+	}
+	fmt.Printf("  wal: %d certified relations durable in %s; reopen re-proved %d certificates (%d entries, seq %d)\n",
+		persisted, dir, reproved, rec.Entries, rec.LastSeq)
 }
 
 // printCertificates re-checks every certificate the analyzer attached

@@ -52,7 +52,7 @@ func main() {
 			os.Exit(1)
 		}
 		var perr error
-		p, perr = ParseProblem(flag.Arg(0), string(data))
+		p, perr = solver.ParseProblem(flag.Arg(0), string(data))
 		if perr != nil {
 			fmt.Fprintln(os.Stderr, perr)
 			os.Exit(1)
@@ -146,140 +146,6 @@ func printCertificates(r solver.Result) {
 			fmt.Printf("      core constraints: %s\n", strings.Join(cc.Reasons(), ", "))
 		}
 	}
-}
-
-// ParseProblem parses the minisolve problem format.
-func ParseProblem(name, src string) (*solver.Problem, error) {
-	p := solver.NewProblem(name, 0)
-	vars := map[string]int{}
-	lookup := func(tok string) (int, error) {
-		v, ok := vars[tok]
-		if !ok {
-			return 0, fmt.Errorf("undeclared variable %q", tok)
-		}
-		return v, nil
-	}
-	for ln, line := range strings.Split(src, "\n") {
-		if i := strings.IndexByte(line, '#'); i >= 0 {
-			line = line[:i]
-		}
-		fields := strings.Fields(line)
-		if len(fields) == 0 {
-			continue
-		}
-		fail := func(format string, args ...any) error {
-			return fmt.Errorf("%s:%d: %s", name, ln+1, fmt.Sprintf(format, args...))
-		}
-		switch fields[0] {
-		case "var":
-			if len(fields) != 3 || (fields[2] != "int" && fields[2] != "rat") {
-				return nil, fail("expected 'var <name> int|rat'")
-			}
-			if _, dup := vars[fields[1]]; dup {
-				return nil, fail("duplicate variable %q", fields[1])
-			}
-			vars[fields[1]] = p.AddVar(fields[2] == "int")
-		case "eq", "le":
-			rest := strings.Join(fields[1:], " ")
-			var lhs, rhs string
-			var op string
-			switch {
-			case strings.Contains(rest, "<="):
-				op = "<="
-				parts := strings.SplitN(rest, "<=", 2)
-				lhs, rhs = parts[0], parts[1]
-			case strings.Contains(rest, "="):
-				op = "="
-				parts := strings.SplitN(rest, "=", 2)
-				lhs, rhs = parts[0], parts[1]
-			default:
-				return nil, fail("expected '=' or '<='")
-			}
-			if (fields[0] == "eq") != (op == "=") {
-				return nil, fail("constraint kind %q does not match operator %q", fields[0], op)
-			}
-			el, err := parseLin(lhs, lookup)
-			if err != nil {
-				return nil, fail("%v", err)
-			}
-			er, err := parseLin(rhs, lookup)
-			if err != nil {
-				return nil, fail("%v", err)
-			}
-			e := el.Sub(er)
-			if fields[0] == "eq" {
-				p.Add(solver.Eq(e))
-			} else {
-				p.Add(solver.Le(e))
-			}
-		case "mul":
-			// mul z = x * y
-			if len(fields) != 6 || fields[2] != "=" || fields[4] != "*" {
-				return nil, fail("expected 'mul z = x * y'")
-			}
-			z, err := lookup(fields[1])
-			if err != nil {
-				return nil, fail("%v", err)
-			}
-			x, err := lookup(fields[3])
-			if err != nil {
-				return nil, fail("%v", err)
-			}
-			y, err := lookup(fields[5])
-			if err != nil {
-				return nil, fail("%v", err)
-			}
-			p.Add(solver.MulCon(z, x, y))
-		default:
-			return nil, fail("unknown directive %q", fields[0])
-		}
-	}
-	return p, nil
-}
-
-// parseLin parses "2*x + -3/2*y - 4" into a linear expression.
-func parseLin(s string, lookup func(string) (int, error)) (shostak.LinExp, error) {
-	e := shostak.NewLinExp(rational.Zero)
-	s = strings.ReplaceAll(s, " ", "")
-	s = strings.ReplaceAll(s, "-", "+-")
-	for _, term := range strings.Split(s, "+") {
-		if term == "" {
-			continue
-		}
-		if i := strings.IndexByte(term, '*'); i >= 0 {
-			coefStr := strings.TrimSpace(term[:i])
-			varStr := strings.TrimSpace(term[i+1:])
-			if coefStr == "" || coefStr == "-" {
-				coefStr += "1"
-			}
-			c, err := rational.Parse(coefStr)
-			if err != nil {
-				return e, err
-			}
-			v, err := lookup(varStr)
-			if err != nil {
-				return e, err
-			}
-			e = e.Add(shostak.Monomial(c, v))
-			continue
-		}
-		if v, err := lookup(term); err == nil {
-			e = e.Add(shostak.Monomial(rational.One, v))
-			continue
-		}
-		if bare, neg := strings.CutPrefix(term, "-"); neg {
-			if v, err := lookup(bare); err == nil {
-				e = e.Add(shostak.Monomial(rational.MinusOne, v))
-				continue
-			}
-		}
-		c, err := rational.Parse(term)
-		if err != nil {
-			return e, fmt.Errorf("cannot parse term %q", term)
-		}
-		e = e.AddConst(c)
-	}
-	return e, nil
 }
 
 func figure7() *solver.Problem {

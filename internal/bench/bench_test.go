@@ -1,6 +1,9 @@
 package bench
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -119,5 +122,42 @@ func TestInterShape(t *testing.T) {
 	}
 	if !strings.Contains(FormatInter(rows), "Theorem A.1") {
 		t.Error("FormatInter output")
+	}
+}
+
+func TestRecoveryShape(t *testing.T) {
+	res, err := RunRecovery(RecoveryConfig{Lengths: []int{60, 200}, Commit: 32, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(res.Rows))
+	}
+	for i, row := range res.Rows {
+		if row.Entries == 0 || row.JournalBytes == 0 {
+			t.Fatalf("row %d empty: %+v", i, row)
+		}
+		if row.RecoveredEntries != row.Entries || row.RecoveredFromSnap != row.Entries {
+			t.Fatalf("row %d snapshot recovery mismatch: %+v", i, row)
+		}
+	}
+	out := res.Format()
+	if !strings.Contains(out, "snap-recover") {
+		t.Fatalf("Format missing header:\n%s", out)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_recovery.json")
+	if err := res.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	var back RecoveryResult
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Rows) != len(res.Rows) {
+		t.Fatalf("JSON round-trip lost rows: %d vs %d", len(back.Rows), len(res.Rows))
 	}
 }

@@ -1,0 +1,284 @@
+// Package client is the Go client for the lufd HTTP API
+// (internal/server) with the retry discipline the server's
+// self-protection expects: exponential backoff with full jitter on
+// retryable failures (503 shed load, 504 deadlines, transport errors),
+// honoring Retry-After when the server sends one, and never retrying
+// permanent outcomes (409 conflict, 400 invalid input).
+//
+// Retrying asserts is safe because asserts are idempotent: re-asserting
+// an accepted relation is redundant by the union-find's own semantics,
+// and the durable store deduplicates journal entries. The client can
+// therefore treat "no response" (a timeout after the server may or may
+// not have applied the write) exactly like "retryable error" — the
+// at-least-once delivery this produces changes nothing observable.
+// fault.Injector's DuplicateRequestAt hooks into Do to prove it: the
+// chaos tests deliver requests twice and assert state equivalence.
+//
+// Certificates fetched through Explain are re-verified locally with
+// the independent checker (cert.Check) before they are returned, so a
+// buggy or compromised server cannot hand the caller a bogus proof.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"luf/internal/cert"
+	"luf/internal/fault"
+	"luf/internal/group"
+	"luf/internal/server"
+)
+
+// Client talks to a lufd server. Create with New; the zero value is
+// not usable.
+type Client struct {
+	base string
+	hc   *http.Client
+
+	// MaxRetries is how many times a retryable request is re-sent
+	// after the first attempt.
+	MaxRetries int
+	// BaseDelay is the first backoff step; doubled per retry up to
+	// MaxDelay, then fully jittered (uniform in [0, step]).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff step.
+	MaxDelay time.Duration
+	// Inject, when non-nil, lets chaos tests duplicate requests
+	// (DuplicateRequestAt) to prove idempotence.
+	Inject *fault.Injector
+
+	rng *rand.Rand
+	// lastErrBody is the decoded error body of the most recent non-2xx
+	// response (the client is single-goroutine, like the Injector it
+	// carries).
+	lastErrBody *server.ErrorBody
+}
+
+// New returns a client for the server at base (e.g.
+// "http://127.0.0.1:8080") with the default retry policy: 4 retries,
+// 25ms base delay, 1s cap.
+func New(base string) *Client {
+	return &Client{
+		base:       base,
+		hc:         &http.Client{},
+		MaxRetries: 4,
+		BaseDelay:  25 * time.Millisecond,
+		MaxDelay:   time.Second,
+		rng:        rand.New(rand.NewSource(1)),
+	}
+}
+
+// APIError is a non-2xx response with its structured body.
+type APIError struct {
+	Status int
+	Body   server.ErrorBody
+}
+
+// Error renders the taxonomy kind and message.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("HTTP %d: %s: %s", e.Status, e.Body.Error.Kind, e.Body.Error.Message)
+}
+
+// retryable reports whether the outcome of one attempt warrants
+// another: transport errors and 5xx/429 shed-or-timeout statuses do;
+// permanent verdicts (409 conflict, 400 invalid, 404) do not.
+func retryable(status int, err error) bool {
+	if err != nil {
+		return true
+	}
+	switch status {
+	case http.StatusServiceUnavailable, http.StatusGatewayTimeout,
+		http.StatusTooManyRequests, http.StatusInternalServerError:
+		return true
+	}
+	return false
+}
+
+// backoff returns the sleep before retry attempt (1-based), applying
+// exponential growth, the cap, full jitter, and any server-provided
+// Retry-After floor.
+func (c *Client) backoff(attempt int, retryAfter time.Duration) time.Duration {
+	step := c.BaseDelay << (attempt - 1)
+	if step > c.MaxDelay || step <= 0 {
+		step = c.MaxDelay
+	}
+	d := time.Duration(c.rng.Int63n(int64(step) + 1))
+	if d < retryAfter {
+		d = retryAfter
+	}
+	return d
+}
+
+// do sends one request (possibly twice, under duplicate injection) and
+// retries per the policy. On success it decodes the JSON body into
+// out; on a non-2xx response it returns *APIError.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var payload []byte
+	if body != nil {
+		var err error
+		if payload, err = json.Marshal(body); err != nil {
+			return fmt.Errorf("encode request: %v", err)
+		}
+	}
+	var last error
+	for attempt := 0; ; attempt++ {
+		status, retryAfter, err := c.send(ctx, method, path, payload, out)
+		if err == nil && status < 300 {
+			return nil
+		}
+		if err == nil {
+			last = &APIError{Status: status, Body: *c.lastErrBody}
+		} else {
+			last = err
+		}
+		if attempt >= c.MaxRetries || !retryable(status, err) {
+			return last
+		}
+		select {
+		case <-time.After(c.backoff(attempt+1, retryAfter)):
+		case <-ctx.Done():
+			return fmt.Errorf("%w: %v (last attempt: %v)", fault.ErrCanceled, ctx.Err(), last)
+		}
+	}
+}
+
+// send performs one HTTP exchange — or two, when duplicate injection
+// fires — and decodes the response. It returns the HTTP status, any
+// Retry-After duration, and a transport error.
+func (c *Client) send(ctx context.Context, method, path string, payload []byte, out any) (int, time.Duration, error) {
+	sends := 1
+	if c.Inject.ObserveSend() {
+		sends = 2 // at-least-once delivery: harmless, asserts are idempotent
+	}
+	var status int
+	var retryAfter time.Duration
+	var err error
+	for i := 0; i < sends; i++ {
+		status, retryAfter, err = c.sendOnce(ctx, method, path, payload, out)
+	}
+	return status, retryAfter, err
+}
+
+func (c *Client) sendOnce(ctx context.Context, method, path string, payload []byte, out any) (int, time.Duration, error) {
+	var rd io.Reader
+	if payload != nil {
+		rd = bytes.NewReader(payload)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return 0, 0, err
+	}
+	if payload != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	var retryAfter time.Duration
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil {
+			retryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return 0, 0, err
+	}
+	if resp.StatusCode >= 300 {
+		eb := &server.ErrorBody{}
+		_ = json.Unmarshal(body, eb) // best effort; an empty body keeps zero values
+		c.lastErrBody = eb
+		return resp.StatusCode, retryAfter, nil
+	}
+	if out != nil {
+		if err := json.Unmarshal(body, out); err != nil {
+			return 0, 0, fmt.Errorf("decode response: %v", err)
+		}
+	}
+	return resp.StatusCode, retryAfter, nil
+}
+
+// Assert asserts m - n = label with an optional reason. It retries on
+// shed load and transport failure (safe: asserts are idempotent) and
+// returns the server's response, or *APIError — for a 409, the error
+// body carries the machine-checkable conflict certificate.
+func (c *Client) Assert(ctx context.Context, n, m string, label int64, reason string) (server.AssertResponse, error) {
+	var out server.AssertResponse
+	err := c.do(ctx, http.MethodPost, "/v1/assert", server.AssertRequest{N: n, M: m, Label: label, Reason: reason}, &out)
+	return out, err
+}
+
+// Relation queries the relation between n and m.
+func (c *Client) Relation(ctx context.Context, n, m string) (label int64, related bool, err error) {
+	var out server.RelationResponse
+	err = c.do(ctx, http.MethodGet, "/v1/relation?"+url.Values{"n": {n}, "m": {m}}.Encode(), nil, &out)
+	return out.Label, out.Related, err
+}
+
+// Explain fetches the relation certificate for (n, m) and re-verifies
+// it locally with the independent checker before returning it — the
+// caller never sees a certificate that does not check.
+func (c *Client) Explain(ctx context.Context, n, m string) (cert.Certificate[string, int64], error) {
+	var out server.ExplainResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/explain?"+url.Values{"n": {n}, "m": {m}}.Encode(), nil, &out); err != nil {
+		return cert.Certificate[string, int64]{}, err
+	}
+	cc, err := server.FromWire(out.Cert)
+	if err != nil {
+		return cc, fmt.Errorf("malformed certificate: %v", err)
+	}
+	if err := cert.Check(cc, group.Delta{}); err != nil {
+		return cc, fault.Invariantf("server certificate failed local verification: %v", err)
+	}
+	return cc, nil
+}
+
+// BatchAssert sends a batch of asserts.
+func (c *Client) BatchAssert(ctx context.Context, asserts []server.AssertRequest) (server.BatchAssertResponse, error) {
+	var out server.BatchAssertResponse
+	err := c.do(ctx, http.MethodPost, "/v1/batch/assert", server.BatchAssertRequest{Asserts: asserts}, &out)
+	return out, err
+}
+
+// Solve submits a problem in the minisolve text format.
+func (c *Client) Solve(ctx context.Context, name, src string) (server.SolveResponse, error) {
+	var out server.SolveResponse
+	err := c.do(ctx, http.MethodPost, "/v1/solve", server.SolveRequest{Name: name, Src: src}, &out)
+	return out, err
+}
+
+// Health fetches /healthz (no retries, and the body is decoded even on
+// 503: health checks must see degradation, not mask it).
+func (c *Client) Health(ctx context.Context) (server.HealthResponse, error) {
+	var out server.HealthResponse
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return out, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return out, err
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return out, fmt.Errorf("decode health response: %v", err)
+	}
+	return out, nil
+}
+
+// Stats fetches /v1/stats.
+func (c *Client) Stats(ctx context.Context) (server.StatsResponse, error) {
+	var out server.StatsResponse
+	err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &out)
+	return out, err
+}

@@ -61,6 +61,16 @@ var (
 	// pair of nodes, or a conflict callback was misused.
 	ErrConflict = errors.New("conflict")
 
+	// ErrIO: a durability operation (journal write, fsync, snapshot
+	// rename, recovery read) failed or found corrupt bytes. State in
+	// memory stays valid; unacknowledged writes may be lost.
+	ErrIO = errors.New("i/o failure")
+
+	// ErrUnavailable: the serving layer refused the request before
+	// doing any work — draining, over admission capacity, or a tripped
+	// circuit breaker. Always safe to retry after backoff.
+	ErrUnavailable = errors.New("service unavailable")
+
 	// ErrInjected: the failure was manufactured by an Injector. It
 	// always accompanies (via multi-%w wrapping) the sentinel of the
 	// failure it mimics.
@@ -87,11 +97,21 @@ func Conflictf(format string, args ...any) error {
 	return fmt.Errorf("%w: %s", ErrConflict, fmt.Sprintf(format, args...))
 }
 
+// IOf returns an error wrapping ErrIO.
+func IOf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrIO, fmt.Sprintf(format, args...))
+}
+
+// Unavailablef returns an error wrapping ErrUnavailable.
+func Unavailablef(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrUnavailable, fmt.Sprintf(format, args...))
+}
+
 // taxonomy lists the sentinels Classify preserves as-is.
 var taxonomy = []error{
 	ErrBudgetExhausted, ErrDeadlineExceeded, ErrCanceled,
 	ErrInvalidLabel, ErrInvariantViolated, ErrOverflow,
-	ErrConflict, ErrInjected,
+	ErrConflict, ErrIO, ErrUnavailable, ErrInjected,
 }
 
 // Classify converts a recovered panic value into a classified error.
@@ -138,6 +158,10 @@ func StopLabel(err error) string {
 		base = "overflow"
 	case errors.Is(err, ErrConflict):
 		base = "conflict"
+	case errors.Is(err, ErrIO):
+		base = "io"
+	case errors.Is(err, ErrUnavailable):
+		base = "unavailable"
 	}
 	if errors.Is(err, ErrInjected) {
 		return "injected:" + base

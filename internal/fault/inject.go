@@ -3,6 +3,7 @@ package fault
 import (
 	"fmt"
 	"math/rand"
+	"time"
 )
 
 // Injector manufactures deterministic failures for robustness tests:
@@ -29,9 +30,36 @@ type Injector struct {
 	// it (proving the independent checker rejects corrupted answers).
 	CorruptCertAt int
 
+	// TornWriteAt makes the Nth ObserveFrameWrite call report a torn
+	// write: only a prefix of the frame reaches the file before the
+	// mimicked crash, leaving a torn tail for recovery to repair.
+	TornWriteAt int
+	// FailSyncAt makes the Nth ObserveSync call fail as if fsync
+	// returned an error (disk full, device gone).
+	FailSyncAt int
+	// ShortReadAt makes the Nth ObserveRead call truncate the bytes it
+	// covers, as if the file were cut short mid-read.
+	ShortReadAt int
+	// DelayRequestAt makes the Nth ObserveRequest call report
+	// RequestDelay, which serving code sleeps before handling — used to
+	// hold a request in flight across a drain or deadline.
+	DelayRequestAt int
+	// RequestDelay is the delay reported by the DelayRequestAt'th
+	// ObserveRequest call.
+	RequestDelay time.Duration
+	// DuplicateRequestAt makes the Nth ObserveSend call report true,
+	// telling a client to deliver that request twice (at-least-once
+	// delivery; safe only because asserts are idempotent).
+	DuplicateRequestAt int
+
 	labels    int
 	conflicts int
 	certs     int
+	writes    int
+	syncs     int
+	reads     int
+	requests  int
+	sends     int
 }
 
 // NewInjector derives deterministic injection points from a seed: for
@@ -84,6 +112,76 @@ func (inj *Injector) ObserveCert() bool {
 	}
 	inj.certs++
 	return inj.CorruptCertAt > 0 && inj.certs == inj.CorruptCertAt
+}
+
+// ObserveFrameWrite is called by the journal writer before writing a
+// frame of n bytes; it returns how many bytes to actually write. The
+// TornWriteAt'th call returns roughly half the frame plus an
+// ErrIO-classified injected error — the caller writes the prefix (the
+// tear a crash would leave) and then surfaces the error.
+func (inj *Injector) ObserveFrameWrite(n int) (int, error) {
+	if inj == nil {
+		return n, nil
+	}
+	inj.writes++
+	if inj.TornWriteAt > 0 && inj.writes == inj.TornWriteAt {
+		return n / 2, fmt.Errorf("%w: %w: frame write %d torn by injection after %d/%d bytes",
+			ErrInjected, ErrIO, inj.writes, n/2, n)
+	}
+	return n, nil
+}
+
+// ObserveSync is called by the journal writer before each fsync; the
+// FailSyncAt'th call fails with an ErrIO-classified injected error.
+func (inj *Injector) ObserveSync() error {
+	if inj == nil {
+		return nil
+	}
+	inj.syncs++
+	if inj.FailSyncAt > 0 && inj.syncs == inj.FailSyncAt {
+		return fmt.Errorf("%w: %w: fsync %d failed by injection", ErrInjected, ErrIO, inj.syncs)
+	}
+	return nil
+}
+
+// ObserveRead is called by recovery readers with the number of bytes a
+// read covers; it returns how many of them the read yields. The
+// ShortReadAt'th call is cut to half, mimicking a short read of a file
+// whose tail never reached the disk.
+func (inj *Injector) ObserveRead(n int) int {
+	if inj == nil {
+		return n
+	}
+	inj.reads++
+	if inj.ShortReadAt > 0 && inj.reads == inj.ShortReadAt {
+		return n / 2
+	}
+	return n
+}
+
+// ObserveRequest is called by a server at the start of each admitted
+// request; the DelayRequestAt'th call returns RequestDelay for the
+// handler to sleep, holding the request in flight.
+func (inj *Injector) ObserveRequest() time.Duration {
+	if inj == nil {
+		return 0
+	}
+	inj.requests++
+	if inj.DelayRequestAt > 0 && inj.requests == inj.DelayRequestAt {
+		return inj.RequestDelay
+	}
+	return 0
+}
+
+// ObserveSend is called by a client before sending each request; it
+// reports true when the DuplicateRequestAt'th request should be
+// delivered twice.
+func (inj *Injector) ObserveSend() bool {
+	if inj == nil {
+		return false
+	}
+	inj.sends++
+	return inj.DuplicateRequestAt > 0 && inj.sends == inj.DuplicateRequestAt
 }
 
 // ObserveConflict is called by instrumented code at each point where

@@ -14,6 +14,9 @@ var checkedPackages = []string{
 	"internal/core",
 	"internal/concurrent",
 	"internal/cert",
+	"internal/wal",
+	"internal/server",
+	"internal/client",
 }
 
 // main lints the checked packages and exits 1 when any exported symbol

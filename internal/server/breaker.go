@@ -1,0 +1,122 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"luf/internal/fault"
+)
+
+// breakerState is the classic three-state circuit-breaker automaton.
+type breakerState int
+
+const (
+	breakerClosed   breakerState = iota // normal operation
+	breakerOpen                         // failing fast, waiting out the cooldown
+	breakerHalfOpen                     // cooldown elapsed; one probe in flight
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return "closed"
+}
+
+// Breaker is a circuit breaker guarding the solver portfolio: solve
+// requests are expensive and can exhaust their budgets under load, so
+// after Threshold consecutive failures the breaker opens and solve
+// requests fail fast with fault.ErrUnavailable for Cooldown. The first
+// request after the cooldown becomes a probe (half-open): its success
+// closes the circuit, its failure re-opens it for another cooldown.
+//
+// Assert/query traffic never passes through the breaker — the
+// union-find stays available while the solver recovers.
+type Breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	state     breakerState
+	failures  int       // consecutive failures while closed
+	openedAt  time.Time // when the circuit last opened
+	probing   bool      // a half-open probe is in flight
+	now       func() time.Time
+}
+
+// NewBreaker returns a closed breaker that opens after threshold
+// consecutive failures and cools down for cooldown before probing.
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold <= 0 {
+		threshold = 3
+	}
+	if cooldown <= 0 {
+		cooldown = 5 * time.Second
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// Allow reports whether a request may proceed. While the circuit is
+// open it returns a structured fault.ErrUnavailable error carrying the
+// remaining cooldown; callers surface it as 503 with Retry-After.
+func (b *Breaker) Allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return nil
+	case breakerOpen:
+		remaining := b.cooldown - b.now().Sub(b.openedAt)
+		if remaining > 0 {
+			return fault.Unavailablef("solver circuit open; retry in %v", remaining.Round(time.Millisecond))
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return nil
+	default: // half-open
+		if b.probing {
+			return fault.Unavailablef("solver circuit half-open; probe in flight")
+		}
+		b.probing = true
+		return nil
+	}
+}
+
+// Record reports the outcome of an allowed request.
+func (b *Breaker) Record(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == breakerHalfOpen {
+		b.probing = false
+		if ok {
+			b.state = breakerClosed
+			b.failures = 0
+		} else {
+			b.state = breakerOpen
+			b.openedAt = b.now()
+		}
+		return
+	}
+	if ok {
+		b.failures = 0
+		return
+	}
+	b.failures++
+	if b.failures >= b.threshold {
+		b.state = breakerOpen
+		b.openedAt = b.now()
+	}
+}
+
+// State returns the breaker's current state name ("closed", "open",
+// "half-open") for health and stats endpoints.
+func (b *Breaker) State() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == breakerOpen && b.now().Sub(b.openedAt) >= b.cooldown {
+		return breakerHalfOpen.String()
+	}
+	return b.state.String()
+}

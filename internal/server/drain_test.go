@@ -1,0 +1,132 @@
+package server_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"luf/internal/fault"
+	"luf/internal/group"
+	"luf/internal/server"
+	"luf/internal/wal"
+)
+
+// TestGracefulDrain is the drain acceptance test: an in-flight request
+// completes, new requests are refused with a structured 503, and the
+// final snapshot holds exactly the pre-drain certified state.
+func TestGracefulDrain(t *testing.T) {
+	dir := t.TempDir()
+	// The injected delay holds the 3rd admitted request in flight long
+	// enough for the drain to start around it.
+	inj := &fault.Injector{DelayRequestAt: 3, RequestDelay: 300 * time.Millisecond}
+	s, ts, c := newTestServer(t, server.Config{Dir: dir, Inject: inj})
+	ctx := context.Background()
+
+	if _, err := c.Assert(ctx, "x", "y", 3, "pre-drain-1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Assert(ctx, "y", "z", 4, "pre-drain-2"); err != nil {
+		t.Fatal(err)
+	}
+
+	// The slow request: admitted before the drain begins, must still
+	// complete (and be durable) after the drain finishes.
+	type result struct {
+		resp server.AssertResponse
+		err  error
+	}
+	slow := make(chan result, 1)
+	go func() {
+		resp, err := c.Assert(ctx, "z", "w", 5, "in-flight-during-drain")
+		slow <- result{resp, err}
+	}()
+	time.Sleep(50 * time.Millisecond) // let the slow assert get admitted
+
+	drained := make(chan error, 1)
+	go func() { drained <- s.Drain(ctx) }()
+	time.Sleep(20 * time.Millisecond) // let Drain flip the draining flag
+
+	// New requests are refused with the structured drain error.
+	resp, err := http.Get(ts.URL + "/v1/relation?n=x&m=y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var eb server.ErrorBody
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("request during drain: status %d, want 503", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if eb.Error.Kind != "unavailable" || !strings.Contains(eb.Error.Message, "draining") {
+		t.Fatalf("drain refusal body = %+v", eb.Error)
+	}
+
+	// The in-flight request completed normally...
+	got := <-slow
+	if got.err != nil {
+		t.Fatalf("in-flight assert failed during drain: %v", got.err)
+	}
+	if !got.resp.Durable {
+		t.Fatalf("in-flight assert not durable: %+v", got.resp)
+	}
+	// ...before the drain finished.
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	// The final snapshot covers the whole journal — including the
+	// in-flight assert — and recovers to the pre-drain certified state.
+	st, rec, err := wal.Open(dir, group.Delta{}, wal.DeltaCodec{}, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if rec.Entries != 3 || rec.FromSnapshot != 3 {
+		t.Fatalf("post-drain recovery: %d entries (%d from snapshot), want 3 (3)", rec.Entries, rec.FromSnapshot)
+	}
+	l, ok := rec.UF.GetRelation("x", "w")
+	if !ok || l != 12 {
+		t.Fatalf("post-drain relation(x,w) = (%d,%v), want (12,true)", l, ok)
+	}
+}
+
+// TestDrainIsIdempotent calls Drain twice; the second must be a no-op.
+func TestDrainIsIdempotent(t *testing.T) {
+	s, _, _ := newTestServer(t, server.Config{Dir: t.TempDir()})
+	ctx := context.Background()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("second drain: %v", err)
+	}
+}
+
+// TestDrainRespectsContext aborts a drain whose in-flight request
+// outlives the context.
+func TestDrainRespectsContext(t *testing.T) {
+	inj := &fault.Injector{DelayRequestAt: 1, RequestDelay: 500 * time.Millisecond}
+	s, ts, _ := newTestServer(t, server.Config{Inject: inj, RequestTimeout: time.Second})
+
+	slow := make(chan struct{})
+	go func() {
+		resp, err := http.Get(ts.URL + "/v1/relation?n=a&m=b")
+		if err == nil {
+			resp.Body.Close()
+		}
+		close(slow)
+	}()
+	time.Sleep(50 * time.Millisecond)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := s.Drain(ctx); err == nil {
+		t.Fatal("drain returned nil despite the in-flight request outliving the context")
+	}
+	<-slow
+}

@@ -1,0 +1,461 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"luf/internal/cert"
+	"luf/internal/concurrent"
+	"luf/internal/fault"
+	"luf/internal/solver"
+)
+
+// maxBodyBytes bounds request bodies; oversized bodies get a
+// structured 400 rather than unbounded allocation.
+const maxBodyBytes = 4 << 20
+
+// ErrorBody is the structured error payload of every non-2xx response.
+type ErrorBody struct {
+	Error ErrorDetail `json:"error"`
+}
+
+// ErrorDetail carries the taxonomy kind and human-readable message.
+type ErrorDetail struct {
+	// Kind is the fault taxonomy label (fault.StopLabel): "conflict",
+	// "unavailable", "io", "deadline", "budget", "invalid-label", ...
+	Kind string `json:"kind"`
+	// Message is the classified error's text.
+	Message string `json:"message"`
+	// ConflictCert, present on 409 responses, is the machine-checkable
+	// UNSAT core: a derivation of the existing relation plus the
+	// contradicting assertion.
+	ConflictCert *WireCert `json:"conflict_cert,omitempty"`
+}
+
+// WireStep is one certificate step on the wire.
+type WireStep struct {
+	N        string `json:"n"`
+	M        string `json:"m"`
+	Label    int64  `json:"label"`
+	Reversed bool   `json:"reversed,omitempty"`
+	Reason   string `json:"reason,omitempty"`
+}
+
+// WireCert is a certificate on the wire.
+type WireCert struct {
+	Kind        string     `json:"kind"` // "relation" or "conflict"
+	X           string     `json:"x"`
+	Y           string     `json:"y"`
+	Label       int64      `json:"label"`
+	Steps       []WireStep `json:"steps"`
+	Conflicting *WireStep  `json:"conflicting,omitempty"`
+}
+
+// ToWire converts a certificate to its wire form.
+func ToWire(c cert.Certificate[string, int64]) WireCert {
+	w := WireCert{Kind: c.Kind.String(), X: c.X, Y: c.Y, Label: c.Label}
+	for _, s := range c.Steps {
+		w.Steps = append(w.Steps, WireStep{N: s.N, M: s.M, Label: s.Label, Reversed: s.Reversed, Reason: s.Reason})
+	}
+	if c.Conflicting != nil {
+		cs := *c.Conflicting
+		w.Conflicting = &WireStep{N: cs.N, M: cs.M, Label: cs.Label, Reversed: cs.Reversed, Reason: cs.Reason}
+	}
+	return w
+}
+
+// FromWire converts a wire certificate back to the checkable form.
+func FromWire(w WireCert) (cert.Certificate[string, int64], error) {
+	c := cert.Certificate[string, int64]{X: w.X, Y: w.Y, Label: w.Label}
+	switch w.Kind {
+	case cert.Relation.String():
+		c.Kind = cert.Relation
+	case cert.Conflict.String():
+		c.Kind = cert.Conflict
+	default:
+		return c, fmt.Errorf("unknown certificate kind %q", w.Kind)
+	}
+	for _, s := range w.Steps {
+		c.Steps = append(c.Steps, cert.Step[string, int64]{N: s.N, M: s.M, Label: s.Label, Reversed: s.Reversed, Reason: s.Reason})
+	}
+	if w.Conflicting != nil {
+		cs := *w.Conflicting
+		c.Conflicting = &cert.Step[string, int64]{N: cs.N, M: cs.M, Label: cs.Label, Reversed: cs.Reversed, Reason: cs.Reason}
+	}
+	return c, nil
+}
+
+// statusFor maps a classified error to an HTTP status.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, fault.ErrConflict):
+		return http.StatusConflict
+	case errors.Is(err, fault.ErrUnavailable):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, fault.ErrDeadlineExceeded), errors.Is(err, fault.ErrCanceled):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, fault.ErrBudgetExhausted):
+		return http.StatusTooManyRequests
+	case errors.Is(err, fault.ErrInvalidLabel):
+		return http.StatusBadRequest
+	case errors.Is(err, fault.ErrIO), errors.Is(err, fault.ErrInvariantViolated):
+		return http.StatusInternalServerError
+	}
+	return http.StatusInternalServerError
+}
+
+// writeJSON writes v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError writes the structured error body for err. 503s carry a
+// Retry-After header so well-behaved clients back off.
+func writeError(w http.ResponseWriter, err error) {
+	status := statusFor(err)
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, ErrorBody{Error: ErrorDetail{Kind: fault.StopLabel(err), Message: err.Error()}})
+}
+
+// decodeBody decodes a bounded JSON request body into v.
+func decodeBody(r *http.Request, v any) error {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+	if err != nil {
+		return fault.IOf("read body: %v", err)
+	}
+	if len(body) > maxBodyBytes {
+		return fault.Invalidf("request body exceeds %d bytes", maxBodyBytes)
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		return fault.Invalidf("bad request body: %v", err)
+	}
+	return nil
+}
+
+// routes registers all endpoints.
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/assert", s.guarded(s.handleAssert))
+	s.mux.HandleFunc("GET /v1/relation", s.guarded(s.handleRelation))
+	s.mux.HandleFunc("GET /v1/explain", s.guarded(s.handleExplain))
+	s.mux.HandleFunc("POST /v1/batch/assert", s.guarded(s.handleBatchAssert))
+	s.mux.HandleFunc("POST /v1/solve", s.guarded(s.handleSolve))
+	s.mux.HandleFunc("GET /healthz", s.handleHealth) // never shed: probes must work under load
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+}
+
+// guarded wraps a handler with admission control and the per-request
+// deadline: the request context is bounded by RequestTimeout, so
+// downstream work (solver portfolio, injected delays) is canceled when
+// the budget expires.
+func (s *Server) guarded(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		release, err := s.admit(r)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		defer release()
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		if ctx.Err() != nil {
+			writeError(w, fmt.Errorf("%w: request deadline expired before handling", fault.ErrDeadlineExceeded))
+			return
+		}
+		h(w, r.WithContext(ctx))
+	}
+}
+
+// AssertRequest is the /v1/assert request body: assert m - n = label.
+type AssertRequest struct {
+	N      string `json:"n"`
+	M      string `json:"m"`
+	Label  int64  `json:"label"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// AssertResponse is the /v1/assert success body.
+type AssertResponse struct {
+	OK bool `json:"ok"`
+	// Durable reports whether the assert was fsynced to the journal
+	// (always false for in-memory servers).
+	Durable bool `json:"durable"`
+	// Seq is the journal sequence number covering the assert (0 for
+	// in-memory servers).
+	Seq uint64 `json:"seq,omitempty"`
+}
+
+func (s *Server) handleAssert(w http.ResponseWriter, r *http.Request) {
+	var req AssertRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if req.N == "" || req.M == "" {
+		writeError(w, fault.Invalidf("both nodes are required"))
+		return
+	}
+	if !s.uf.AddRelationReason(req.N, req.M, req.Label, req.Reason) {
+		err := fault.Conflictf("assert %s -(%d)-> %s contradicts the existing relation", req.N, req.Label, req.M)
+		detail := ErrorDetail{Kind: fault.StopLabel(err), Message: err.Error()}
+		if cc, cerr := s.journal.ExplainConflict(req.N, req.M, req.Label, req.Reason); cerr == nil {
+			wc := ToWire(cc)
+			detail.ConflictCert = &wc
+		}
+		writeJSON(w, http.StatusConflict, ErrorBody{Error: detail})
+		return
+	}
+	if err := s.persist(cert.Entry[string, int64]{N: req.N, M: req.M, Label: req.Label, Reason: req.Reason}); err != nil {
+		// Accepted in memory but not durable: the client must treat the
+		// assert as lost. The journal is sticky-failed; the server keeps
+		// serving reads.
+		writeError(w, err)
+		return
+	}
+	resp := AssertResponse{OK: true, Durable: s.store != nil}
+	if s.store != nil {
+		resp.Seq = s.store.LastSeq()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// RelationResponse is the /v1/relation success body.
+type RelationResponse struct {
+	Related bool  `json:"related"`
+	Label   int64 `json:"label,omitempty"`
+}
+
+func (s *Server) handleRelation(w http.ResponseWriter, r *http.Request) {
+	n, m := r.URL.Query().Get("n"), r.URL.Query().Get("m")
+	if n == "" || m == "" {
+		writeError(w, fault.Invalidf("query parameters n and m are required"))
+		return
+	}
+	l, ok := s.uf.GetRelation(n, m)
+	if !ok {
+		writeJSON(w, http.StatusOK, RelationResponse{Related: false})
+		return
+	}
+	writeJSON(w, http.StatusOK, RelationResponse{Related: true, Label: l})
+}
+
+// ExplainResponse is the /v1/explain success body: a certificate the
+// server has already re-verified with the independent checker before
+// emitting.
+type ExplainResponse struct {
+	Cert WireCert `json:"cert"`
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	n, m := r.URL.Query().Get("n"), r.URL.Query().Get("m")
+	if n == "" || m == "" {
+		writeError(w, fault.Invalidf("query parameters n and m are required"))
+		return
+	}
+	c, err := s.journal.Explain(n, m)
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, ErrorBody{Error: ErrorDetail{
+			Kind: "not-found", Message: fmt.Sprintf("no derivation between %q and %q: %v", n, m, err),
+		}})
+		return
+	}
+	s.injMu.Lock()
+	sabotage := s.cfg.Inject.ObserveCert()
+	s.injMu.Unlock()
+	if sabotage {
+		cert.Sabotage(&c, s.g)
+	}
+	// Self-verification: never emit a certificate the independent
+	// checker rejects. A rejection here means a server bug (or an
+	// injected sabotage) — surface it as a structured 500, not a bogus
+	// proof.
+	if err := cert.Check(c, s.g); err != nil {
+		writeError(w, fault.Invariantf("refusing to emit a certificate the checker rejects: %v", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, ExplainResponse{Cert: ToWire(c)})
+}
+
+// BatchAssertRequest is the /v1/batch/assert request body.
+type BatchAssertRequest struct {
+	Asserts []AssertRequest `json:"asserts"`
+}
+
+// BatchAssertItem is one per-assert outcome in a batch response.
+type BatchAssertItem struct {
+	OK bool `json:"ok"`
+	// Error carries the taxonomy kind when the item failed or was
+	// skipped by budget exhaustion.
+	Error string `json:"error,omitempty"`
+}
+
+// BatchAssertResponse is the /v1/batch/assert success body.
+type BatchAssertResponse struct {
+	Results []BatchAssertItem `json:"results"`
+	// Durable reports whether the accepted asserts were fsynced.
+	Durable bool `json:"durable"`
+}
+
+func (s *Server) handleBatchAssert(w http.ResponseWriter, r *http.Request) {
+	var req BatchAssertRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	ops := make([]concurrent.Assert[string, int64], len(req.Asserts))
+	for i, a := range req.Asserts {
+		if a.N == "" || a.M == "" {
+			writeError(w, fault.Invalidf("assert %d: both nodes are required", i))
+			return
+		}
+		ops[i] = concurrent.Assert[string, int64]{N: a.N, M: a.M, Label: a.Label, Reason: a.Reason}
+	}
+	results := s.uf.AssertBatch(ops, concurrent.BatchOptions{
+		Limits: fault.Limits{MaxSteps: s.cfg.RequestSteps, Ctx: r.Context()},
+	})
+	resp := BatchAssertResponse{Results: make([]BatchAssertItem, len(results)), Durable: s.store != nil}
+	var persistErr error
+	for i, res := range results {
+		item := BatchAssertItem{OK: res.OK}
+		if res.Err != nil {
+			item.Error = fault.StopLabel(res.Err)
+		} else if !res.OK {
+			item.Error = "conflict"
+		} else if persistErr == nil {
+			persistErr = s.persist(cert.Entry[string, int64]{
+				N: ops[i].N, M: ops[i].M, Label: ops[i].Label, Reason: ops[i].Reason,
+			})
+		}
+		resp.Results[i] = item
+	}
+	if persistErr != nil {
+		writeError(w, persistErr)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// SolveRequest is the /v1/solve request body: a problem in the
+// minisolve text format.
+type SolveRequest struct {
+	Name string `json:"name,omitempty"`
+	Src  string `json:"src"`
+}
+
+// SolveResponse is the /v1/solve success body.
+type SolveResponse struct {
+	Verdict string `json:"verdict"`
+	Winner  string `json:"winner"`
+	Steps   int    `json:"steps"`
+	// Stopped carries the taxonomy kind when the winning run stopped
+	// early (budget, deadline, ...); empty for a completed run.
+	Stopped string `json:"stopped,omitempty"`
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	if err := s.breaker.Allow(); err != nil {
+		writeError(w, err)
+		return
+	}
+	var req SolveRequest
+	if err := decodeBody(r, &req); err != nil {
+		s.breaker.Record(true) // malformed input is the client's failure, not the solver's
+		writeError(w, err)
+		return
+	}
+	name := req.Name
+	if name == "" {
+		name = "request"
+	}
+	// An empty problem is vacuously sat; answering that would mask a
+	// client bug (wrong field name, empty body) as a real verdict.
+	if strings.TrimSpace(req.Src) == "" {
+		s.breaker.Record(true)
+		writeError(w, fault.Invalidf(`solve request has an empty "src" problem`))
+		return
+	}
+	prob, err := solver.ParseProblem(name, req.Src)
+	if err != nil {
+		s.breaker.Record(true)
+		writeError(w, fault.Invalidf("parse problem: %v", err))
+		return
+	}
+	p := concurrent.NewPortfolio()
+	p.Opts = solver.Options{MaxSteps: s.cfg.SolveSteps, Certify: true}
+	out := p.Solve(r.Context(), prob)
+	s.breaker.Record(out.Decided)
+	resp := SolveResponse{
+		Verdict: out.Result.Verdict.String(),
+		Winner:  out.Winner.String(),
+		Steps:   out.Result.Steps,
+	}
+	if out.Result.Stop != nil {
+		resp.Stopped = fault.StopLabel(out.Result.Stop)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// HealthResponse is the /healthz body.
+type HealthResponse struct {
+	Status   string `json:"status"` // "ok", "degraded" (journal failed), "draining"
+	Draining bool   `json:"draining"`
+	Breaker  string `json:"breaker"`
+	// JournalError is the sticky journal failure, if any.
+	JournalError string `json:"journal_error,omitempty"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	resp := HealthResponse{Status: "ok", Draining: s.draining.Load(), Breaker: s.breaker.State()}
+	if resp.Draining {
+		resp.Status = "draining"
+	}
+	if s.store != nil {
+		if err := s.store.Err(); err != nil {
+			resp.Status = "degraded"
+			resp.JournalError = err.Error()
+		}
+	}
+	status := http.StatusOK
+	if resp.Status != "ok" {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, resp)
+}
+
+// StatsResponse is the /v1/stats body.
+type StatsResponse struct {
+	UF          concurrent.Stats `json:"uf"`
+	Assertions  int              `json:"assertions"`
+	Served      int64            `json:"served"`
+	Shed        int64            `json:"shed"`
+	Breaker     string           `json:"breaker"`
+	Durable     bool             `json:"durable"`
+	LastSeq     uint64           `json:"last_seq,omitempty"`
+	SnapshotSeq uint64           `json:"snapshot_seq,omitempty"`
+	JournalSize int64            `json:"journal_bytes,omitempty"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	resp := StatsResponse{
+		UF:         s.uf.Stats(),
+		Assertions: s.journal.Len(),
+		Served:     s.served.Load(),
+		Shed:       s.shed.Load(),
+		Breaker:    s.breaker.State(),
+		Durable:    s.store != nil,
+	}
+	if s.store != nil {
+		resp.LastSeq = s.store.LastSeq()
+		resp.SnapshotSeq = s.store.SnapshotSeq()
+		resp.JournalSize = s.store.JournalSize()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

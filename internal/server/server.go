@@ -1,0 +1,266 @@
+// Package server exposes the durable labeled-union-find over HTTP/JSON
+// with the self-protection mechanisms a long-running service needs.
+//
+// The serving instantiation is the string-node constant-difference
+// structure (group.Delta): clients assert relations m - n = label,
+// query them, and fetch machine-checkable certificates for every
+// answer. When configured with a directory, every accepted assertion is
+// appended to the write-ahead journal (internal/wal) and fsynced before
+// the request is acknowledged — an acknowledged assert survives any
+// crash, and recovery re-proves it through the independent certificate
+// checker.
+//
+// Self-protection:
+//
+//   - admission control: at most MaxInflight requests run at once;
+//     beyond that the server sheds load with 503 + Retry-After rather
+//     than queueing without bound;
+//   - per-request budgets: each request runs under a fault.Guard
+//     deadline, and batch work under split step budgets, so one huge
+//     request degrades deterministically instead of starving the rest;
+//   - a circuit breaker around the solver portfolio fails solve
+//     requests fast after repeated failures while assert/query traffic
+//     keeps flowing;
+//   - graceful drain: Drain stops admitting, lets in-flight requests
+//     finish, flushes the journal and writes a final snapshot;
+//   - a failed journal (disk gone) degrades the server to read-only
+//     serving with structured 503s on writes, never silent data loss.
+//
+// Every error response carries a structured body {"error": {"kind",
+// "message"}} whose kind is the fault taxonomy label (fault.StopLabel),
+// so clients can distinguish shed load (retryable) from conflicts
+// (permanent) mechanically.
+package server
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"luf/internal/cert"
+	"luf/internal/concurrent"
+	"luf/internal/fault"
+	"luf/internal/group"
+	"luf/internal/wal"
+)
+
+// Config configures a Server. The zero value serves from memory only.
+type Config struct {
+	// Dir, when non-empty, is the durable store directory: accepted
+	// asserts are journaled and fsynced before acknowledgement, and
+	// Open recovers (with certification) whatever a previous process
+	// persisted. Empty means in-memory serving without durability.
+	Dir string
+	// MaxInflight bounds concurrently admitted requests; <= 0 means 64.
+	MaxInflight int
+	// RequestTimeout is the per-request deadline; <= 0 means 2s.
+	RequestTimeout time.Duration
+	// RequestSteps is the per-request step budget for batch work;
+	// <= 0 means 1e6.
+	RequestSteps int
+	// SnapshotEvery triggers a background snapshot after that many
+	// journaled asserts; <= 0 disables automatic snapshots (Drain still
+	// writes a final one).
+	SnapshotEvery int
+	// BreakerFailures is the consecutive-failure threshold of the
+	// solver circuit breaker; <= 0 means 3.
+	BreakerFailures int
+	// BreakerCooldown is the breaker's open-state cooldown; <= 0 means 5s.
+	BreakerCooldown time.Duration
+	// SolveSteps is the per-variant solver step budget; <= 0 uses the
+	// solver default.
+	SolveSteps int
+	// Inject, when non-nil, threads deterministic faults through the
+	// server (request delays, certificate sabotage) and its store (torn
+	// writes, fsync failures). The injector is single-owner; the server
+	// serializes access to it.
+	Inject *fault.Injector
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 64
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 2 * time.Second
+	}
+	if c.RequestSteps <= 0 {
+		c.RequestSteps = 1_000_000
+	}
+	if c.BreakerFailures <= 0 {
+		c.BreakerFailures = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 5 * time.Second
+	}
+	return c
+}
+
+// Server is the HTTP serving layer over a concurrent labeled
+// union-find, optionally backed by a durable WAL store.
+type Server struct {
+	cfg     Config
+	g       group.Delta
+	uf      *concurrent.UF[string, int64]
+	journal *cert.SyncJournal[string, int64]
+	store   *wal.Store[string, int64] // nil when Config.Dir is empty
+	breaker *Breaker
+	mux     *http.ServeMux
+
+	sem      chan struct{} // admission tokens
+	draining atomic.Bool
+
+	injMu sync.Mutex // Injector is not safe for concurrent use
+
+	shed     atomic.Int64 // requests rejected by admission control
+	served   atomic.Int64 // requests admitted
+	snapping atomic.Bool  // a background snapshot is running
+	appends  atomic.Int64 // journaled asserts since the last snapshot
+}
+
+// New builds a server, recovering durable state from cfg.Dir when set.
+// The returned Recovered describes what recovery restored (nil without
+// a store directory).
+func New(cfg Config) (*Server, *wal.Recovered[string, int64], error) {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		breaker: NewBreaker(cfg.BreakerFailures, cfg.BreakerCooldown),
+		sem:     make(chan struct{}, cfg.MaxInflight),
+	}
+	var rec *wal.Recovered[string, int64]
+	if cfg.Dir != "" {
+		store, r, err := wal.Open(cfg.Dir, s.g, wal.DeltaCodec{}, wal.Options{Inject: cfg.Inject})
+		if err != nil {
+			return nil, nil, err
+		}
+		s.store, rec = store, r
+		s.uf, s.journal = r.UF, r.Journal
+	} else {
+		s.journal = cert.NewSyncJournal[string, int64](s.g)
+		s.uf = concurrent.New[string, int64](s.g, concurrent.WithRecorder[string, int64](s.journal.Record))
+	}
+	s.mux = http.NewServeMux()
+	s.routes()
+	return s, rec, nil
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// admit implements admission control: it acquires an inflight token
+// without blocking, applies any injected request delay, and returns a
+// release func — or a structured error when the server is draining or
+// saturated.
+func (s *Server) admit(r *http.Request) (func(), error) {
+	if s.draining.Load() {
+		return nil, fault.Unavailablef("server is draining")
+	}
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		s.shed.Add(1)
+		return nil, fault.Unavailablef("server at capacity (%d in flight)", s.cfg.MaxInflight)
+	}
+	// Re-check after taking the token: a drain that started in between
+	// counts tokens, so we must either hold ours visibly or give it
+	// back — never slip past a drain that believes the server is idle.
+	if s.draining.Load() {
+		<-s.sem
+		return nil, fault.Unavailablef("server is draining")
+	}
+	s.served.Add(1)
+	s.injMu.Lock()
+	delay := s.cfg.Inject.ObserveRequest()
+	s.injMu.Unlock()
+	if delay > 0 {
+		select {
+		case <-time.After(delay):
+		case <-r.Context().Done():
+		}
+	}
+	return func() { <-s.sem }, nil
+}
+
+// persist journals one accepted assertion and blocks until it is
+// durable. Without a store it is a no-op. A sticky journal failure
+// surfaces as the store's classified error; the caller turns it into a
+// structured 503 (the in-memory accept stands, but the client was told
+// durability failed, so it must not rely on it).
+func (s *Server) persist(e cert.Entry[string, int64]) error {
+	if s.store == nil {
+		return nil
+	}
+	seq, err := s.store.Append(e)
+	if err != nil {
+		return err
+	}
+	if err := s.store.Commit(seq); err != nil {
+		return err
+	}
+	if n := s.appends.Add(1); s.cfg.SnapshotEvery > 0 && n >= int64(s.cfg.SnapshotEvery) {
+		s.maybeSnapshot()
+	}
+	return nil
+}
+
+// maybeSnapshot starts a background snapshot unless one is running.
+func (s *Server) maybeSnapshot() {
+	if !s.snapping.CompareAndSwap(false, true) {
+		return
+	}
+	s.appends.Store(0)
+	go func() {
+		defer s.snapping.Store(false)
+		// A snapshot failure is not fatal: the journal still holds
+		// everything. The next trigger retries.
+		_ = s.store.Snapshot()
+	}()
+}
+
+// Drain gracefully shuts the server down: new requests are refused
+// with 503 (structured "unavailable" error), in-flight requests run to
+// completion (bounded by ctx), the journal is flushed, and — when the
+// drain completed cleanly — a final snapshot is written so the next
+// start recovers without replaying the whole journal. Drain is
+// idempotent; it returns the first error encountered.
+func (s *Server) Drain(ctx context.Context) error {
+	if s.draining.Swap(true) {
+		return nil
+	}
+	// Acquire every admission token: once we hold all of them, no
+	// request is in flight (each in-flight request holds one until it
+	// finishes, and new requests are already refused).
+	for i := 0; i < cap(s.sem); i++ {
+		select {
+		case s.sem <- struct{}{}:
+		case <-ctx.Done():
+			return fault.Unavailablef("drain aborted with requests in flight: %v", ctx.Err())
+		}
+	}
+	if s.store == nil {
+		return nil
+	}
+	var first error
+	if err := s.store.Sync(); err != nil {
+		first = err
+	}
+	if first == nil {
+		if err := s.store.Snapshot(); err != nil {
+			first = err
+		}
+	}
+	if err := s.store.Close(); err != nil && first == nil {
+		first = err
+	}
+	return first
+}
+
+// Store returns the durable store (nil for in-memory servers); tests
+// and the daemon use it for stats.
+func (s *Server) Store() *wal.Store[string, int64] { return s.store }
+
+// UF returns the serving union-find.
+func (s *Server) UF() *concurrent.UF[string, int64] { return s.uf }

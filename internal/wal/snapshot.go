@@ -1,0 +1,89 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+
+	"luf/internal/cert"
+	"luf/internal/fault"
+)
+
+// snapshotName and journalName are the fixed file names inside a store
+// directory; snapshotTmp is the atomic-rename staging name.
+const (
+	journalName  = "journal.wal"
+	snapshotName = "snapshot.wal"
+	snapshotTmp  = "snapshot.tmp"
+)
+
+// writeSnapshot atomically writes a snapshot file: the deduplicated
+// entries, in one image with a header whose CoversSeq records the
+// journal sequence number the snapshot subsumes. The image is staged
+// under a temporary name, fsynced, renamed into place, and the
+// directory fsynced — so at every instant the store holds either the
+// old complete snapshot or the new one, never a partial file.
+func writeSnapshot[N comparable, L any](dir string, c Codec[N, L], entries []cert.Entry[N, L], coversSeq uint64) error {
+	image := appendFrame(nil, encodeHeader(c.GroupID(), coversSeq))
+	for i, e := range entries {
+		// Snapshot records get fresh local sequence numbers 1..k; the
+		// header's CoversSeq, not the local numbering, positions the
+		// snapshot against the journal.
+		image = appendFrame(image, encodeAssert(c, uint64(i+1), e))
+	}
+	tmp := filepath.Join(dir, snapshotTmp)
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fault.IOf("snapshot: create %s: %v", tmp, err)
+	}
+	if _, err := f.Write(image); err != nil {
+		f.Close()
+		return fault.IOf("snapshot: write %s: %v", tmp, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fault.IOf("snapshot: sync %s: %v", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		return fault.IOf("snapshot: close %s: %v", tmp, err)
+	}
+	final := filepath.Join(dir, snapshotName)
+	if err := os.Rename(tmp, final); err != nil {
+		return fault.IOf("snapshot: rename %s: %v", final, err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		// Persist the rename itself; ignore fsync errors on platforms
+		// that reject directory syncs.
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// readSnapshot loads and decodes the snapshot file, if any. Because
+// snapshots are written atomically, any damage — torn bytes included —
+// is real corruption and reported as a structured error, unlike the
+// live journal's repairable tail.
+func readSnapshot[N comparable, L any](dir string, c Codec[N, L], inj *fault.Injector) (DecodeResult[N, L], bool, error) {
+	var res DecodeResult[N, L]
+	path := filepath.Join(dir, snapshotName)
+	image, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return res, false, nil
+	}
+	if err != nil {
+		return res, false, fault.IOf("snapshot: read %s: %v", path, err)
+	}
+	if inj != nil {
+		image = image[:inj.ObserveRead(len(image))]
+	}
+	res, err = DecodeAll(image, c)
+	if err != nil {
+		return res, false, err
+	}
+	if !res.HasHeader || res.TornBytes > 0 {
+		return res, false, fault.IOf("snapshot %s is damaged (%d valid bytes, %d torn): snapshots are written atomically, so this is corruption, not a crash tail",
+			path, res.ValidLen, res.TornBytes)
+	}
+	return res, true, nil
+}

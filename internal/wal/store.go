@@ -1,0 +1,257 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"luf/internal/cert"
+	"luf/internal/concurrent"
+	"luf/internal/fault"
+	"luf/internal/group"
+)
+
+// Store is a durable assertion store: a directory holding one live
+// journal (journal.wal) and at most one snapshot (snapshot.wal), with
+// an in-memory deduplicated copy of every persisted assertion for
+// snapshotting. It is safe for concurrent use.
+type Store[N comparable, L any] struct {
+	dir   string
+	g     group.Group[L]
+	codec Codec[N, L]
+	log   *Log
+
+	mu          sync.Mutex
+	entries     []cert.Entry[N, L]
+	seen        map[string]bool
+	snapshotSeq uint64 // CoversSeq of the newest snapshot on disk
+
+	snapMu sync.Mutex // serializes snapshot writes
+}
+
+// Options configures Open.
+type Options struct {
+	// Inject, when non-nil, threads deterministic I/O faults (torn
+	// writes, fsync failures, short reads) through the store.
+	Inject *fault.Injector
+}
+
+// Recovered describes a completed certified recovery.
+type Recovered[N comparable, L any] struct {
+	// UF is the rebuilt concurrent union-find, recording into Journal.
+	UF *concurrent.UF[N, L]
+	// Journal is the certificate journal holding exactly the recovered
+	// assertions; serving layers keep recording into it.
+	Journal *cert.SyncJournal[N, L]
+	// Entries is the number of distinct assertions recovered.
+	Entries int
+	// FromSnapshot is how many of them came from the snapshot file.
+	FromSnapshot int
+	// TailTruncated is the number of torn journal bytes repaired.
+	TailTruncated int
+	// LastSeq is the journal sequence number appends resume after.
+	LastSeq uint64
+}
+
+// Open opens (creating if needed) a durable store in dir and runs
+// certified recovery: snapshot entries plus the journal records beyond
+// the snapshot's coverage are replayed through the group operations
+// into a fresh concurrent union-find, and every replayed assertion is
+// re-proved by the independent checker. A torn journal tail is
+// truncated and counted; checksum damage anywhere else, a replay
+// conflict, or a certificate the checker rejects aborts with a
+// structured error — recovery never silently accepts corrupt state.
+func Open[N comparable, L any](dir string, g group.Group[L], c Codec[N, L], opts Options) (*Store[N, L], *Recovered[N, L], error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fault.IOf("store: mkdir %s: %v", dir, err)
+	}
+	snap, hasSnap, err := readSnapshot(dir, c, opts.Inject)
+	if err != nil {
+		return nil, nil, err
+	}
+	log, jres, err := openLogFile(filepath.Join(dir, journalName), c, opts.Inject)
+	if err != nil {
+		return nil, nil, err
+	}
+	covers := uint64(0)
+	if hasSnap {
+		covers = snap.Header.CoversSeq
+	}
+	var entries []cert.Entry[N, L]
+	fromSnapshot := 0
+	for _, r := range snap.Records {
+		entries = append(entries, r.Entry)
+		fromSnapshot++
+	}
+	for _, r := range jres.Records {
+		if r.Seq > covers {
+			entries = append(entries, r.Entry)
+		}
+	}
+	uf, journal, err := Rebuild(g, entries)
+	if err != nil {
+		log.Close()
+		return nil, nil, fmt.Errorf("recovery of %s: %w", dir, err)
+	}
+	s := &Store[N, L]{
+		dir:         dir,
+		g:           g,
+		codec:       c,
+		log:         log,
+		seen:        map[string]bool{},
+		snapshotSeq: covers,
+	}
+	// The deduplicated journal, not the raw record list, seeds the
+	// store's entry set (the journal may legitimately contain duplicate
+	// records when concurrent writers raced the same assertion).
+	for _, e := range journal.Entries() {
+		s.entries = append(s.entries, e)
+		s.seen[s.key(e)] = true
+	}
+	// Appends must resume above both the journal tail and the snapshot
+	// coverage (the journal file may have been truncated below the
+	// snapshot by crash repair).
+	if log.seq < covers {
+		log.seq = covers
+		log.durable = covers
+	}
+	rec := &Recovered[N, L]{
+		UF:            uf,
+		Journal:       journal,
+		Entries:       len(s.entries),
+		FromSnapshot:  fromSnapshot,
+		TailTruncated: jres.TornBytes,
+		LastSeq:       log.Seq(),
+	}
+	return s, rec, nil
+}
+
+// Rebuild replays entries through the group operations into a fresh
+// concurrent union-find with an attached certificate journal, then
+// re-proves every entry with the independent checker: each assertion
+// must be derivable from the journal with exactly its logged label
+// (cert.Check accepts the chain) and the rebuilt structure must answer
+// it identically. Any divergence — a conflicting record, an unprovable
+// record, a wrong structure answer — aborts with a structured error.
+func Rebuild[N comparable, L any](g group.Group[L], entries []cert.Entry[N, L]) (*concurrent.UF[N, L], *cert.SyncJournal[N, L], error) {
+	journal := cert.NewSyncJournal[N, L](g)
+	uf := concurrent.New[N, L](g, concurrent.WithRecorder[N, L](journal.Record))
+	replayOne := func(i int, e cert.Entry[N, L]) (err error) {
+		// Corrupt labels can make group arithmetic panic (e.g. Delta's
+		// checked overflow); classify instead of crashing recovery.
+		defer fault.RecoverTo(&err)
+		if !uf.AddRelationReason(e.N, e.M, e.Label, e.Reason) {
+			return fault.Invariantf(
+				"record %d (%v -> %v) conflicts with the records before it — a journal of accepted assertions can never conflict, so the file is corrupt", i, e.N, e.M)
+		}
+		return nil
+	}
+	for i, e := range entries {
+		if err := replayOne(i, e); err != nil {
+			return nil, nil, fmt.Errorf("replay: %w", err)
+		}
+	}
+	for i, e := range entries {
+		c, err := journal.Explain(e.N, e.M)
+		if err != nil {
+			return nil, nil, fault.Invariantf("certify: record %d (%v -> %v): no derivation: %v", i, e.N, e.M, err)
+		}
+		c.Label = e.Label
+		if err := cert.Check(c, g); err != nil {
+			return nil, nil, fault.Invariantf("certify: record %d (%v -> %v): %v", i, e.N, e.M, err)
+		}
+		ans, ok := uf.GetRelation(e.N, e.M)
+		if !ok || !g.Equal(ans, e.Label) {
+			return nil, nil, fault.Invariantf(
+				"certify: record %d (%v -> %v): rebuilt structure answers %v, journal proves %s",
+				i, e.N, e.M, ok, g.Format(e.Label))
+		}
+	}
+	return uf, journal, nil
+}
+
+// key builds the deduplication key of an entry.
+func (s *Store[N, L]) key(e cert.Entry[N, L]) string {
+	return string(s.codec.EncodeNode(e.N)) + "\x00" + string(s.codec.EncodeNode(e.M)) + "\x00" + s.g.Key(e.Label)
+}
+
+// Append persists one accepted assertion and returns the sequence
+// number to pass to Commit. Duplicate assertions (same endpoints and
+// label) are not rewritten; the returned sequence number still
+// guarantees, once committed, that the assertion is durable.
+func (s *Store[N, L]) Append(e cert.Entry[N, L]) (uint64, error) {
+	s.mu.Lock()
+	if s.seen[s.key(e)] {
+		s.mu.Unlock()
+		return s.log.Seq(), s.log.Err()
+	}
+	s.seen[s.key(e)] = true
+	s.entries = append(s.entries, e)
+	s.mu.Unlock()
+	return appendRecord(s.log, s.codec, e)
+}
+
+// Commit blocks until sequence number seq is durable (group-commit
+// fsync batching with concurrent callers).
+func (s *Store[N, L]) Commit(seq uint64) error { return s.log.Commit(seq) }
+
+// Sync makes every appended record durable.
+func (s *Store[N, L]) Sync() error { return s.log.Sync() }
+
+// Err returns the journal's sticky I/O error, or nil while healthy.
+func (s *Store[N, L]) Err() error { return s.log.Err() }
+
+// Len returns the number of distinct persisted assertions.
+func (s *Store[N, L]) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// LastSeq returns the last appended journal sequence number.
+func (s *Store[N, L]) LastSeq() uint64 { return s.log.Seq() }
+
+// SnapshotSeq returns the CoversSeq of the newest snapshot on disk.
+func (s *Store[N, L]) SnapshotSeq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snapshotSeq
+}
+
+// JournalSize returns the live journal's size in bytes.
+func (s *Store[N, L]) JournalSize() int64 { return s.log.Size() }
+
+// Entries returns a copy of the distinct persisted assertions.
+func (s *Store[N, L]) Entries() []cert.Entry[N, L] {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]cert.Entry[N, L], len(s.entries))
+	copy(out, s.entries)
+	return out
+}
+
+// Snapshot writes a snapshot covering every assertion appended so far
+// and records its coverage; after it returns, recovery replays only
+// journal records beyond the snapshot. Concurrent appends proceed —
+// an assertion racing the snapshot lands in the journal suffix (and
+// possibly, harmlessly, in both files; replay deduplicates).
+func (s *Store[N, L]) Snapshot() error {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	s.mu.Lock()
+	entries := make([]cert.Entry[N, L], len(s.entries))
+	copy(entries, s.entries)
+	covers := s.log.Seq()
+	s.mu.Unlock()
+	if err := writeSnapshot(s.dir, s.codec, entries, covers); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.snapshotSeq = covers
+	s.mu.Unlock()
+	return nil
+}
+
+// Close syncs and closes the journal.
+func (s *Store[N, L]) Close() error { return s.log.Close() }

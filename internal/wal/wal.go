@@ -1,0 +1,372 @@
+// Package wal implements the durable side of the labeled-union-find
+// serving stack: a length-prefixed, CRC-checksummed, fsync-batched
+// write-ahead journal of accepted assertions, periodic snapshots, and
+// *certified* recovery.
+//
+// Durability here is not "trust the bytes": every journal record is an
+// asserted relation with its certificate reason, so recovery does not
+// restore state — it re-derives it. The journal is replayed through the
+// group operations into a fresh union-find, and every replayed
+// assertion is then re-proved by the independent certificate checker
+// (cert.Check), which knows nothing about union-find internals or the
+// on-disk format. A recovered state is therefore exactly as trustworthy
+// as a freshly built one; corrupt bytes can crash recovery with a
+// structured error, but they can never smuggle in a wrong relation.
+//
+// # On-disk format
+//
+// A journal file is a sequence of frames:
+//
+//	[4B LE payload length][4B LE CRC-32C of payload][payload]
+//
+// The first frame is a header record (magic, format version, label
+// group id, and — for snapshot files — the journal sequence number the
+// snapshot covers). Every other frame is an assertion record: a record
+// type byte, a monotonically increasing sequence number, and the
+// assertion's two nodes, label and reason as length-prefixed byte
+// strings produced by a Codec.
+//
+// # Crash semantics
+//
+// Appends are acknowledged only after fsync (group commit, see Log), so
+// a crash can only damage the unacknowledged tail. On open, the tail is
+// classified:
+//
+//   - an incomplete frame, a frame whose declared length overruns the
+//     file, or a zero-length frame (file-system zero fill) is a torn
+//     write: the tail is truncated at the last valid record and the
+//     byte count reported;
+//   - a checksum failure on the file's final frame is likewise a torn
+//     write (a tear that left garbage bytes behind the header);
+//   - a checksum or decode failure anywhere else is real corruption:
+//     DecodeAll reports a structured fault.ErrIO error and recovery
+//     aborts — never a silent partial accept.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"luf/internal/cert"
+	"luf/internal/fault"
+)
+
+// Format constants of the journal file format.
+const (
+	// Magic opens every header payload; it identifies a LUF journal.
+	Magic = "LUFWAL1\n"
+	// FormatVersion is the current record-format version.
+	FormatVersion = 1
+	// MaxRecordSize bounds a single frame's payload; a declared length
+	// beyond it is treated as corruption, which keeps the decoder from
+	// allocating attacker-controlled amounts of memory.
+	MaxRecordSize = 1 << 20
+)
+
+// Record type bytes (first payload byte).
+const (
+	recHeader byte = 1
+	recAssert byte = 2
+)
+
+// frameOverhead is the per-frame framing cost: length plus checksum.
+const frameOverhead = 8
+
+// castagnoli is the CRC-32C table used for every frame checksum.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Codec serializes nodes and labels of one union-find instantiation for
+// the journal. Encoders must be injective; decoders must reject what
+// they cannot parse (never panic) and must round-trip every encoded
+// value. GroupID names the (group, node-type) pair and is stored in
+// every file header, so recovery refuses to replay a journal into the
+// wrong algebra.
+type Codec[N comparable, L any] interface {
+	// GroupID returns the stable identifier of the codec's group and
+	// node type, e.g. "delta/string".
+	GroupID() string
+	// EncodeNode serializes a node.
+	EncodeNode(n N) []byte
+	// DecodeNode parses a node; it reports an error for byte strings
+	// EncodeNode cannot produce.
+	DecodeNode(b []byte) (N, error)
+	// EncodeLabel serializes a label.
+	EncodeLabel(l L) []byte
+	// DecodeLabel parses a label; it reports an error for byte strings
+	// EncodeLabel cannot produce.
+	DecodeLabel(b []byte) (L, error)
+}
+
+// Header is the decoded first record of a journal or snapshot file.
+type Header struct {
+	// Version is the file's format version.
+	Version int
+	// GroupID is the codec identifier the file was written with.
+	GroupID string
+	// CoversSeq is zero for live journals; in a snapshot file it is the
+	// journal sequence number up to which the snapshot's entries
+	// subsume the journal (recovery replays only records with a larger
+	// sequence number).
+	CoversSeq uint64
+}
+
+// Record is one decoded assertion record.
+type Record[N comparable, L any] struct {
+	// Seq is the record's journal sequence number (monotonically
+	// increasing within a file).
+	Seq uint64
+	// Entry is the asserted relation with its certificate reason.
+	Entry cert.Entry[N, L]
+	// Off and Len locate the frame's payload inside the decoded image
+	// (Off is the payload offset, Len its length), letting tests and
+	// fuzz targets re-verify the stored checksum independently.
+	Off, Len int
+}
+
+// appendFrame appends one frame (length, CRC-32C, payload) to dst.
+func appendFrame(dst, payload []byte) []byte {
+	var hdr [frameOverhead]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// appendString appends a uvarint-length-prefixed byte string to dst.
+func appendString(dst, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+// encodeHeader builds a header record payload.
+func encodeHeader(groupID string, coversSeq uint64) []byte {
+	p := []byte{recHeader}
+	p = append(p, Magic...)
+	p = binary.AppendUvarint(p, FormatVersion)
+	p = appendString(p, []byte(groupID))
+	p = binary.AppendUvarint(p, coversSeq)
+	return p
+}
+
+// encodeAssert builds an assertion record payload.
+func encodeAssert[N comparable, L any](c Codec[N, L], seq uint64, e cert.Entry[N, L]) []byte {
+	p := []byte{recAssert}
+	p = binary.AppendUvarint(p, seq)
+	p = appendString(p, c.EncodeNode(e.N))
+	p = appendString(p, c.EncodeNode(e.M))
+	p = appendString(p, c.EncodeLabel(e.Label))
+	p = appendString(p, []byte(e.Reason))
+	return p
+}
+
+// cursor is a panic-free reader over a payload.
+type cursor struct {
+	b   []byte
+	off int
+}
+
+func (c *cursor) byte() (byte, error) {
+	if c.off >= len(c.b) {
+		return 0, fmt.Errorf("payload truncated at byte %d", c.off)
+	}
+	v := c.b[c.off]
+	c.off++
+	return v, nil
+}
+
+func (c *cursor) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(c.b[c.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("bad uvarint at byte %d", c.off)
+	}
+	c.off += n
+	return v, nil
+}
+
+func (c *cursor) bytes() ([]byte, error) {
+	n, err := c.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(c.b)-c.off) {
+		return nil, fmt.Errorf("byte string of length %d overruns payload at byte %d", n, c.off)
+	}
+	b := c.b[c.off : c.off+int(n)]
+	c.off += int(n)
+	return b, nil
+}
+
+func (c *cursor) done() error {
+	if c.off != len(c.b) {
+		return fmt.Errorf("%d trailing bytes after record", len(c.b)-c.off)
+	}
+	return nil
+}
+
+// decodeHeader parses a header payload (sans the type byte, already
+// consumed by the caller's cursor).
+func decodeHeader(cur *cursor) (Header, error) {
+	var h Header
+	for i := 0; i < len(Magic); i++ {
+		b, err := cur.byte()
+		if err != nil || b != Magic[i] {
+			return h, fmt.Errorf("bad magic")
+		}
+	}
+	v, err := cur.uvarint()
+	if err != nil {
+		return h, err
+	}
+	if v != FormatVersion {
+		return h, fmt.Errorf("unsupported format version %d", v)
+	}
+	h.Version = int(v)
+	gid, err := cur.bytes()
+	if err != nil {
+		return h, err
+	}
+	h.GroupID = string(gid)
+	covers, err := cur.uvarint()
+	if err != nil {
+		return h, err
+	}
+	h.CoversSeq = covers
+	return h, cur.done()
+}
+
+// decodeAssert parses an assertion payload (sans the type byte).
+func decodeAssert[N comparable, L any](c Codec[N, L], cur *cursor) (uint64, cert.Entry[N, L], error) {
+	var e cert.Entry[N, L]
+	seq, err := cur.uvarint()
+	if err != nil {
+		return 0, e, err
+	}
+	nb, err := cur.bytes()
+	if err != nil {
+		return 0, e, err
+	}
+	mb, err := cur.bytes()
+	if err != nil {
+		return 0, e, err
+	}
+	lb, err := cur.bytes()
+	if err != nil {
+		return 0, e, err
+	}
+	rb, err := cur.bytes()
+	if err != nil {
+		return 0, e, err
+	}
+	if err := cur.done(); err != nil {
+		return 0, e, err
+	}
+	if e.N, err = c.DecodeNode(nb); err != nil {
+		return 0, e, fmt.Errorf("node: %v", err)
+	}
+	if e.M, err = c.DecodeNode(mb); err != nil {
+		return 0, e, fmt.Errorf("node: %v", err)
+	}
+	if e.Label, err = c.DecodeLabel(lb); err != nil {
+		return 0, e, fmt.Errorf("label: %v", err)
+	}
+	e.Reason = string(rb)
+	return seq, e, nil
+}
+
+// DecodeResult is DecodeAll's outcome over one file image.
+type DecodeResult[N comparable, L any] struct {
+	// Header is the file header (zero when the image is empty or its
+	// tail tore before the header frame completed).
+	Header Header
+	// HasHeader reports whether a valid header record was decoded.
+	HasHeader bool
+	// Records are the decoded assertion records, in file order.
+	Records []Record[N, L]
+	// ValidLen is the byte length of the valid prefix; bytes beyond it
+	// are the torn tail.
+	ValidLen int
+	// TornBytes is len(image) - ValidLen: the bytes a crash tore.
+	TornBytes int
+}
+
+// DecodeAll parses a whole journal or snapshot image. It never panics.
+// Torn tails (see the package comment's crash semantics) are reported
+// through TornBytes with a nil error; mid-file damage — a bad checksum
+// or undecodable record that is *not* the file's final frame — returns
+// a structured fault.ErrIO error, as does a header whose group id
+// differs from the codec's.
+func DecodeAll[N comparable, L any](image []byte, c Codec[N, L]) (DecodeResult[N, L], error) {
+	res := DecodeResult[N, L]{}
+	off := 0
+	lastSeq := uint64(0)
+	fail := func(format string, args ...any) (DecodeResult[N, L], error) {
+		return res, fault.IOf("journal corrupt at byte %d: %s", off, fmt.Sprintf(format, args...))
+	}
+	for {
+		res.ValidLen = off
+		res.TornBytes = len(image) - off
+		if len(image)-off < frameOverhead {
+			return res, nil // torn: incomplete frame header (or clean EOF)
+		}
+		plen := int(binary.LittleEndian.Uint32(image[off : off+4]))
+		if plen == 0 {
+			return res, nil // torn: zero fill / preallocated tail
+		}
+		if plen > MaxRecordSize {
+			return fail("frame length %d exceeds limit %d", plen, MaxRecordSize)
+		}
+		if plen > len(image)-off-frameOverhead {
+			return res, nil // torn: declared payload overruns the file
+		}
+		want := binary.LittleEndian.Uint32(image[off+4 : off+8])
+		payload := image[off+frameOverhead : off+frameOverhead+plen]
+		atEOF := off+frameOverhead+plen == len(image)
+		if crc32.Checksum(payload, castagnoli) != want {
+			if atEOF {
+				return res, nil // torn: garbage in the file's final frame
+			}
+			return fail("checksum mismatch on frame of %d bytes", plen)
+		}
+		cur := &cursor{b: payload}
+		typ, err := cur.byte()
+		if err != nil {
+			return fail("%v", err)
+		}
+		switch typ {
+		case recHeader:
+			if res.HasHeader {
+				return fail("duplicate header record")
+			}
+			if off != 0 {
+				return fail("header record not first")
+			}
+			h, err := decodeHeader(cur)
+			if err != nil {
+				return fail("header: %v", err)
+			}
+			if h.GroupID != c.GroupID() {
+				return fail("group id %q, codec expects %q", h.GroupID, c.GroupID())
+			}
+			res.Header, res.HasHeader = h, true
+		case recAssert:
+			if !res.HasHeader {
+				return fail("assertion record before header")
+			}
+			seq, e, err := decodeAssert(c, cur)
+			if err != nil {
+				return fail("assertion: %v", err)
+			}
+			if seq <= lastSeq {
+				return fail("sequence %d not above predecessor %d", seq, lastSeq)
+			}
+			lastSeq = seq
+			res.Records = append(res.Records, Record[N, L]{
+				Seq: seq, Entry: e, Off: off + frameOverhead, Len: plen,
+			})
+		default:
+			return fail("unknown record type %d", typ)
+		}
+		off += frameOverhead + plen
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"luf/internal/group"
 	"luf/internal/invariant"
 	"luf/internal/solver"
+	"luf/internal/wal"
 )
 
 // Group is the label-group descriptor interface (Assumption 2 of the
@@ -236,6 +237,12 @@ var (
 	// ErrInjected: the failure was manufactured by fault injection
 	// (testing only).
 	ErrInjected = fault.ErrInjected
+	// ErrIO: a durable-store I/O failure (torn journal write, fsync
+	// error, corrupted record); the store degrades to read-only.
+	ErrIO = fault.ErrIO
+	// ErrUnavailable: the serving layer refused the request (shed load,
+	// draining, or an open circuit breaker); safe to retry later.
+	ErrUnavailable = fault.ErrUnavailable
 )
 
 // Protect runs f and converts any panic into a classified error:
@@ -485,3 +492,60 @@ const SolveLabeledUF = solver.LabeledUF
 // SolveGroupAction is the solver transporting bounds through the group
 // action.
 const SolveGroupAction = solver.GroupAction
+
+// SyncCertJournal is the concurrency-safe certificate journal: the
+// recording backend of the serving layer, safe to share between a
+// Concurrent union-find and explain/certify callers. Attach one with
+// WithSyncCertJournal; certificates come from its Explain method.
+type SyncCertJournal[N comparable, L any] = cert.SyncJournal[N, L]
+
+// NewSyncCertJournal returns an empty concurrency-safe assertion
+// journal over g.
+func NewSyncCertJournal[N comparable, L any](g Group[L]) *SyncCertJournal[N, L] {
+	return cert.NewSyncJournal[N, L](g)
+}
+
+// WithSyncCertJournal puts a Concurrent union-find in recording mode
+// backed by a concurrency-safe journal, so assertions from any
+// goroutine are captured for certificate production:
+//
+//	j := luf.NewSyncCertJournal[string](luf.Delta{})
+//	uf := luf.NewConcurrent[string](luf.Delta{}, luf.WithSyncCertJournal(j))
+func WithSyncCertJournal[N comparable, L any](j *SyncCertJournal[N, L]) ConcurrentOption[N, L] {
+	return concurrent.WithRecorder[N, L](j.Record)
+}
+
+// WALStore is the crash-safe durable store of the serving layer: a
+// length-prefixed, checksummed, fsync-batched write-ahead journal of
+// accepted assertions with periodic snapshots. Recovery replays every
+// entry through the group operations and re-proves it with the
+// independent certificate checker; a torn tail (crash mid-append) is
+// repaired, anything else corrupt aborts with an ErrIO-classified
+// error. See OPERATIONS.md for the format and durability contract.
+type WALStore[N comparable, L any] = wal.Store[N, L]
+
+// WALCodec serializes nodes and labels for the write-ahead journal;
+// WALDeltaCodec and WALTVPECodec cover the built-in instantiations.
+type WALCodec[N comparable, L any] = wal.Codec[N, L]
+
+// WALRecovered describes what a recovery restored: the rebuilt
+// union-find, its certificate journal, and the entry/snapshot/torn-tail
+// accounting.
+type WALRecovered[N comparable, L any] = wal.Recovered[N, L]
+
+// WALDeltaCodec is the serving-layer codec: string nodes,
+// constant-difference int64 labels.
+type WALDeltaCodec = wal.DeltaCodec
+
+// WALTVPECodec is the analyzer codec: int SSA nodes, TVPE (affine over
+// ℚ) labels.
+type WALTVPECodec = wal.TVPECodec
+
+// OpenWAL opens (or creates) a durable store in dir and runs certified
+// recovery over whatever a previous process persisted:
+//
+//	st, rec, err := luf.OpenWAL(dir, luf.Delta{}, luf.WALDeltaCodec{})
+//	// rec.UF serves; st.Append + st.Commit make new assertions durable
+func OpenWAL[N comparable, L any](dir string, g Group[L], c WALCodec[N, L]) (*WALStore[N, L], *WALRecovered[N, L], error) {
+	return wal.Open(dir, g, c, wal.Options{})
+}
