@@ -7,6 +7,7 @@
 //	lufbench -exp inter     Appendix A persistent-join complexity
 //	lufbench -exp concurrent  serving-layer throughput (sequential vs parallel batches)
 //	lufbench -exp recovery  durable-store certified recovery (journal replay vs snapshot)
+//	lufbench -exp replication  primary/follower shipping, catch-up and failover latency
 //	lufbench -exp all       everything
 package main
 
@@ -20,7 +21,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, sec72, sec72d2, scaling, inter, concurrent, recovery, all")
+	exp := flag.String("exp", "all", "experiment: table1, sec72, sec72d2, scaling, inter, concurrent, recovery, replication, all")
 	programs := flag.Int("programs", 584, "number of analyzer corpus programs (sec72)")
 	quick := flag.Bool("quick", false, "smaller corpora for a fast smoke run")
 	budget := flag.Int("budget", 0, "per-run analyzer step budget for sec72 (0 = unlimited)")
@@ -29,6 +30,7 @@ func main() {
 	parallel := flag.Int("parallel", 8, "goroutine-ladder cap for the concurrent experiment (measures 1,2,4,... up to this)")
 	jsonPath := flag.String("json", "BENCH_concurrent.json", "output path for the concurrent experiment's JSON result")
 	recoveryJSON := flag.String("recovery-json", "BENCH_recovery.json", "output path for the recovery experiment's JSON result")
+	replicationJSON := flag.String("replication-json", "BENCH_replication.json", "output path for the replication experiment's JSON result")
 	flag.Parse()
 
 	run := func(name string) bool { return *exp == name || *exp == "all" }
@@ -125,6 +127,27 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Printf("wrote %s\n", *recoveryJSON)
+		}
+	}
+	if run("replication") {
+		any = true
+		cfg := bench.DefaultReplication()
+		if *quick {
+			cfg.Entries = 100
+			cfg.Catchup = 500
+		}
+		res, err := bench.RunReplication(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(res.Format())
+		if *replicationJSON != "" {
+			if err := res.WriteJSON(*replicationJSON); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *replicationJSON)
 		}
 	}
 	if !any {

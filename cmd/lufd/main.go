@@ -27,9 +27,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"luf/internal/replica"
 	"luf/internal/server"
 )
 
@@ -55,8 +57,31 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	breakerCooldown := fs.Duration("breaker-cooldown", 5*time.Second, "open-circuit cooldown before a probe")
 	solveSteps := fs.Int("solve-steps", 200000, "per-variant solver step budget")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "graceful-drain limit after a termination signal")
+	role := fs.String("role", "primary", `replication role: "primary" or "follower"`)
+	nodeName := fs.String("node-name", "node", "this node's name in replication status")
+	peers := fs.String("peers", "", "comma-separated other cluster members as name=http://host:port")
+	advertise := fs.String("advertise", "", "client-facing base URL shared with followers (default: the bound listen address)")
+	leaseTTL := fs.Duration("lease-ttl", time.Second, "how long the primary may write without a follower acknowledgement")
+	syncRepl := fs.Bool("sync-replication", false, "acknowledge writes only after a follower holds them durably")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	peerList, err := parsePeers(*peers)
+	if err != nil {
+		fmt.Fprintf(stderr, "lufd: %v\n", err)
+		return 2
+	}
+
+	// Listen before building the server: the advertised address —
+	// which followers hand to redirected clients — defaults to the
+	// address actually bound, not the one requested (port 0 differs).
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "lufd: listen %s: %v\n", *addr, err)
+		return 1
+	}
+	if *advertise == "" {
+		*advertise = "http://" + ln.Addr().String()
 	}
 
 	s, rec, err := server.New(server.Config{
@@ -67,8 +92,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		BreakerFailures: *breakerFailures,
 		BreakerCooldown: *breakerCooldown,
 		SolveSteps:      *solveSteps,
+		Role:            *role,
+		NodeName:        *nodeName,
+		Advertise:       *advertise,
+		Peers:           peerList,
+		LeaseTTL:        *leaseTTL,
+		SyncReplication: *syncRepl,
 	})
 	if err != nil {
+		ln.Close()
 		fmt.Fprintf(stderr, "lufd: %v\n", err)
 		return 1
 	}
@@ -76,11 +108,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "lufd: recovered %d assertions (%d from snapshot, %d torn bytes repaired, seq %d) from %s\n",
 			rec.Entries, rec.FromSnapshot, rec.TailTruncated, rec.LastSeq, *dir)
 	}
-
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		fmt.Fprintf(stderr, "lufd: listen %s: %v\n", *addr, err)
-		return 1
+	if len(peerList) > 0 {
+		fmt.Fprintf(stdout, "lufd: role %s, replicating with %d peer(s), advertising %s\n", *role, len(peerList), *advertise)
 	}
 	fmt.Fprintf(stdout, "lufd: listening on %s\n", ln.Addr())
 
@@ -109,4 +138,29 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "lufd: stopped\n")
 	return code
+}
+
+// parsePeers parses the -peers flag: comma-separated name=url pairs
+// (a bare url gets its host:port as the name).
+func parsePeers(s string) ([]replica.Peer, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []replica.Peer
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, rawURL, ok := strings.Cut(part, "=")
+		if !ok {
+			rawURL = part
+			name = strings.TrimPrefix(strings.TrimPrefix(part, "https://"), "http://")
+		}
+		if !strings.HasPrefix(rawURL, "http://") && !strings.HasPrefix(rawURL, "https://") {
+			return nil, fmt.Errorf("peer %q: url must start with http:// or https://", part)
+		}
+		out = append(out, replica.Peer{Name: name, URL: rawURL})
+	}
+	return out, nil
 }

@@ -11,7 +11,11 @@ import (
 	"testing"
 	"time"
 
+	"errors"
+	"net/http"
+
 	"luf/internal/client"
+	"luf/internal/replica"
 	"luf/internal/wal"
 )
 
@@ -240,5 +244,118 @@ func TestLufdCrashPointMatrix(t *testing.T) {
 		if code := dc.stop(); code != 0 {
 			t.Fatalf("cut %d: exit code %d:\n%s", cut, code, dc.out.String())
 		}
+	}
+}
+
+// TestLufdFailoverNoCertifiedAnswerLost is the end-to-end failover
+// acceptance test: a primary replicating synchronously to a follower
+// is killed mid-load; the follower is promoted under a fencing token;
+// every acknowledged answer must still be served — certified — by the
+// new primary; and the revived stale primary must be provably fenced
+// out (its stream refused, itself demoted, its client writes
+// redirected).
+func TestLufdFailoverNoCertifiedAnswerLost(t *testing.T) {
+	fdir, pdir := t.TempDir(), t.TempDir()
+	f := startDaemon(t, "-dir", fdir, "-role", "follower", "-node-name", "f")
+	p := startDaemon(t, "-dir", pdir, "-role", "primary", "-node-name", "p",
+		"-peers", "f=http://"+f.addr, "-sync-replication", "-lease-ttl", "10s")
+	ctx := context.Background()
+	pc := client.New("http://" + p.addr)
+
+	// Load the primary from a writer goroutine. With -sync-replication
+	// every acknowledged write is already durable on the follower, so
+	// the kill can only lose writes that were never acknowledged —
+	// exactly what the durability contract permits.
+	type fact struct {
+		n, m  string
+		label int64
+	}
+	var acked []fact // goroutine-owned until loadDone closes
+	loadDone := make(chan struct{})
+	go func() {
+		defer close(loadDone)
+		for i := 0; ; i++ {
+			ft := fact{fmt.Sprintf("k%d", i), fmt.Sprintf("k%d", i+1), int64(i%7 + 1)}
+			if _, err := pc.Assert(ctx, ft.n, ft.m, ft.label, fmt.Sprintf("load-%d", i)); err != nil {
+				return // the primary died mid-load
+			}
+			acked = append(acked, ft)
+		}
+	}()
+	time.Sleep(150 * time.Millisecond)
+	p.stop() // the primary goes away under load
+	<-loadDone
+	if len(acked) == 0 {
+		t.Fatal("no write was acknowledged before the kill; the load premise failed")
+	}
+
+	// Promote the follower under fencing token 1.
+	resp, err := http.Post("http://"+f.addr+"/v1/promote", "application/json", strings.NewReader(`{"fence":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("promote: status %d", resp.StatusCode)
+	}
+
+	// Zero certified answers lost or wrong: every acknowledged fact is
+	// served by the new primary with its exact label, and certificates
+	// re-verify locally in the client.
+	fc := client.New("http://" + f.addr)
+	for _, ft := range acked {
+		l, ok, err := fc.Relation(ctx, ft.n, ft.m)
+		if err != nil || !ok || l != ft.label {
+			t.Fatalf("acked fact %s->%s lost or wrong after failover: (%d,%v,%v), want (%d,true,nil)",
+				ft.n, ft.m, l, ok, err, ft.label)
+		}
+	}
+	if _, err := fc.Explain(ctx, acked[0].n, acked[0].m); err != nil {
+		t.Fatalf("certificate after failover: %v", err)
+	}
+	// The promoted node serves new writes.
+	if _, err := fc.Assert(ctx, "after", "failover", 9, "post-failover"); err != nil {
+		t.Fatalf("write to the promoted primary: %v", err)
+	}
+
+	// Revive the stale primary from its old directory, still configured
+	// as primary. Its first replication probe carries the stale token,
+	// the follower-turned-primary refuses it with 403, and the revived
+	// node steps down.
+	p2 := startDaemon(t, "-dir", pdir, "-role", "primary", "-node-name", "p",
+		"-peers", "f=http://"+f.addr)
+	hc := client.New("http://" + p2.addr)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		h, err := hc.Health(ctx)
+		if err == nil && h.Role == "follower" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("revived stale primary never demoted itself:\n%s", p2.out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Its client writes are provably rejected with a redirect.
+	_, err = hc.Assert(ctx, "stale", "write", 1, "split-brain-attempt")
+	var ae *client.APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusMisdirectedRequest || ae.Body.Error.Kind != "not-primary" {
+		t.Fatalf("stale primary write: %v, want 421 not-primary", err)
+	}
+	// And a replication batch carrying its stale token is refused with
+	// the accepted token in the response header.
+	req, _ := http.NewRequest(http.MethodPost, "http://"+f.addr+replica.ReplicatePath, nil)
+	req.Header.Set(replica.HeaderFence, "0")
+	req.Header.Set(replica.HeaderPrevSeq, "0")
+	req.Header.Set(replica.HeaderPrevCRC, "0")
+	req.Header.Set(replica.HeaderCount, "0")
+	rres, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rres.Body.Close()
+	if rres.StatusCode != http.StatusForbidden || rres.Header.Get(replica.HeaderFence) != "1" {
+		t.Fatalf("stale replicate: status %d fence header %q, want 403 with token 1",
+			rres.StatusCode, rres.Header.Get(replica.HeaderFence))
 	}
 }

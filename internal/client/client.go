@@ -167,6 +167,29 @@ func (c *Client) send(ctx context.Context, method, path string, payload []byte, 
 	return status, retryAfter, err
 }
 
+// parseRetryAfter interprets a Retry-After header value per RFC 9110:
+// either non-negative delta-seconds or an HTTP-date (all three formats
+// http.ParseTime accepts), relative to now. An absent, unparsable, or
+// already-elapsed value yields 0 — the client then falls back to its
+// own backoff rather than treating garbage as a directive.
+func parseRetryAfter(ra string, now time.Time) time.Duration {
+	if ra == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(ra); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if at, err := http.ParseTime(ra); err == nil {
+		if d := at.Sub(now); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
+
 func (c *Client) sendOnce(ctx context.Context, method, path string, payload []byte, out any) (int, time.Duration, error) {
 	var rd io.Reader
 	if payload != nil {
@@ -184,12 +207,7 @@ func (c *Client) sendOnce(ctx context.Context, method, path string, payload []by
 		return 0, 0, err
 	}
 	defer resp.Body.Close()
-	var retryAfter time.Duration
-	if ra := resp.Header.Get("Retry-After"); ra != "" {
-		if secs, err := strconv.Atoi(ra); err == nil {
-			retryAfter = time.Duration(secs) * time.Second
-		}
-	}
+	retryAfter := parseRetryAfter(resp.Header.Get("Retry-After"), time.Now())
 	body, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
 	if err != nil {
 		return 0, 0, err

@@ -1,0 +1,189 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+
+	"luf/internal/cert"
+	"luf/internal/fault"
+	"luf/internal/server"
+)
+
+// Cluster is a failover-aware client over a replicated lufd cluster:
+// writes chase the current primary by following 421 redirect hints,
+// reads round-robin across every replica (each serves from its own
+// certified state), and permanent verdicts — above all 409 conflicts —
+// are never retried anywhere. Like Client, a Cluster is
+// single-goroutine.
+type Cluster struct {
+	urls    []string
+	clients []*Client
+	primary int // index of the believed primary
+	cursor  int // round-robin read cursor
+}
+
+// NewCluster returns a cluster client over the given node base URLs;
+// the first is the initial primary guess.
+func NewCluster(urls ...string) *Cluster {
+	cl := &Cluster{urls: urls}
+	for _, u := range urls {
+		cl.clients = append(cl.clients, New(u))
+	}
+	return cl
+}
+
+// indexOf returns the position of url among the nodes, or -1.
+func (cl *Cluster) indexOf(url string) int {
+	for i, u := range cl.urls {
+		if u == url {
+			return i
+		}
+	}
+	return -1
+}
+
+// permanent reports whether an attempt's outcome must not be retried
+// on any node: conflicts, invalid input, fencing refusals.
+func permanent(err error) bool {
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		return false
+	}
+	switch ae.Status {
+	case http.StatusConflict, http.StatusBadRequest, http.StatusNotFound, http.StatusForbidden:
+		return true
+	}
+	return false
+}
+
+// redirect follows a 421's primary hint: a known node becomes the new
+// primary guess, an unknown one is learned, and a hintless refusal
+// rotates to the next node. It reports whether err was a 421.
+func (cl *Cluster) redirect(err error) bool {
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusMisdirectedRequest {
+		return false
+	}
+	hint := ae.Body.Error.Primary
+	if i := cl.indexOf(hint); i >= 0 {
+		cl.primary = i
+	} else if hint != "" {
+		cl.urls = append(cl.urls, hint)
+		cl.clients = append(cl.clients, New(hint))
+		cl.primary = len(cl.clients) - 1
+	} else {
+		cl.primary = (cl.primary + 1) % len(cl.clients)
+	}
+	return true
+}
+
+// write runs op against the believed primary, following redirects and
+// rotating away from unreachable nodes, for at most one pass beyond
+// the cluster size.
+func (cl *Cluster) write(op func(*Client) error) error {
+	var last error
+	for tries := 0; tries <= len(cl.clients)+1; tries++ {
+		err := op(cl.clients[cl.primary])
+		if err == nil || permanent(err) {
+			return err
+		}
+		last = err
+		if cl.redirect(err) {
+			continue
+		}
+		// Unreachable or shedding beyond its own retries: try the next
+		// node, which may have been promoted without us hearing yet.
+		cl.primary = (cl.primary + 1) % len(cl.clients)
+	}
+	return last
+}
+
+// read runs op against each node in round-robin order until one
+// answers; permanent verdicts return immediately.
+func (cl *Cluster) read(op func(*Client) error) error {
+	var last error
+	for i := 0; i < len(cl.clients); i++ {
+		c := cl.clients[cl.cursor%len(cl.clients)]
+		cl.cursor++
+		err := op(c)
+		if err == nil || permanent(err) {
+			return err
+		}
+		last = err
+	}
+	return last
+}
+
+// Assert asserts m - n = label against the current primary, following
+// failover redirects. Conflicts (409) are returned immediately, never
+// retried — re-sending a conflicting assertion cannot succeed and
+// would hammer a recovering cluster.
+func (cl *Cluster) Assert(ctx context.Context, n, m string, label int64, reason string) (server.AssertResponse, error) {
+	var out server.AssertResponse
+	err := cl.write(func(c *Client) error {
+		var e error
+		out, e = c.Assert(ctx, n, m, label, reason)
+		return e
+	})
+	return out, err
+}
+
+// Relation queries any replica, round-robin.
+func (cl *Cluster) Relation(ctx context.Context, n, m string) (label int64, related bool, err error) {
+	err = cl.read(func(c *Client) error {
+		var e error
+		label, related, e = c.Relation(ctx, n, m)
+		return e
+	})
+	return label, related, err
+}
+
+// Explain fetches a certificate from any replica, round-robin; the
+// per-node client re-verifies it locally before returning.
+func (cl *Cluster) Explain(ctx context.Context, n, m string) (cert.Certificate[string, int64], error) {
+	var out cert.Certificate[string, int64]
+	err := cl.read(func(c *Client) error {
+		var e error
+		out, e = c.Explain(ctx, n, m)
+		return e
+	})
+	return out, err
+}
+
+// Promote runs a deterministic manual election: it asks every
+// reachable node for its stats, picks the one holding the longest
+// durable history, and promotes it under a fencing token one above the
+// highest token any reachable node has accepted. It returns the new
+// primary's base URL. Promotion through a stale view (a node
+// elsewhere already accepted a higher token) is refused by the server
+// with 403, which is never retried.
+func (cl *Cluster) Promote(ctx context.Context) (string, error) {
+	best, bestSeq, maxFence := -1, uint64(0), uint64(0)
+	for i, c := range cl.clients {
+		st, err := c.Stats(ctx)
+		if err != nil {
+			continue
+		}
+		if st.Fence > maxFence {
+			maxFence = st.Fence
+		}
+		if best == -1 || st.DurableSeq > bestSeq {
+			best, bestSeq = i, st.DurableSeq
+		}
+	}
+	if best == -1 {
+		return "", fault.Unavailablef("no cluster node reachable for election")
+	}
+	var out server.PromoteResponse
+	if err := cl.clients[best].do(ctx, http.MethodPost, "/v1/promote", server.PromoteRequest{Fence: maxFence + 1}, &out); err != nil {
+		return "", err
+	}
+	cl.primary = best
+	return cl.urls[best], nil
+}
+
+// Stats fetches stats from the believed primary.
+func (cl *Cluster) Stats(ctx context.Context) (server.StatsResponse, error) {
+	return cl.clients[cl.primary].Stats(ctx)
+}

@@ -1,0 +1,178 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"luf/internal/client"
+	"luf/internal/replica"
+	"luf/internal/server"
+)
+
+// clusterPair builds a replicated primary/follower pair on real
+// listeners (created before the servers so each can name the other)
+// and returns the live servers plus their URLs and test servers.
+func clusterPair(t *testing.T) (p, f *server.Server, pURL, fURL string, pts, fts *httptest.Server) {
+	t.Helper()
+	pts = httptest.NewUnstartedServer(http.NotFoundHandler())
+	fts = httptest.NewUnstartedServer(http.NotFoundHandler())
+	pURL = "http://" + pts.Listener.Addr().String()
+	fURL = "http://" + fts.Listener.Addr().String()
+
+	mk := func(role, name, adv string, peers []replica.Peer) *server.Server {
+		s, _, err := server.New(server.Config{
+			Dir: t.TempDir(), Role: role, NodeName: name, Advertise: adv,
+			Peers: peers, ShipInterval: 5 * time.Millisecond,
+			// Generous TTL: a promotion confers one TTL of authority, and
+			// the failover test keeps writing after its only peer died.
+			LeaseTTL: 30 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	p = mk(server.RolePrimary, "p", pURL, []replica.Peer{{Name: "f", URL: fURL}})
+	f = mk(server.RoleFollower, "f", fURL, []replica.Peer{{Name: "p", URL: pURL}})
+	pts.Config.Handler = p.Handler()
+	fts.Config.Handler = f.Handler()
+	pts.Start()
+	fts.Start()
+	t.Cleanup(func() {
+		_ = p.Drain(context.Background())
+		_ = f.Drain(context.Background())
+		pts.Close()
+		fts.Close()
+	})
+	return p, f, pURL, fURL, pts, fts
+}
+
+func waitCond(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestClusterRedirectsWritesToPrimary starts the cluster client with
+// the follower as its primary guess: the first write must follow the
+// 421 hint to the real primary and succeed.
+func TestClusterRedirectsWritesToPrimary(t *testing.T) {
+	p, f, pURL, fURL, _, _ := clusterPair(t)
+	cl := client.NewCluster(fURL, pURL) // wrong guess first
+	ctx := context.Background()
+
+	for i := 0; i < 6; i++ {
+		if _, err := cl.Assert(ctx, fmt.Sprintf("c%d", i), fmt.Sprintf("c%d", i+1), 5, "via-cluster"); err != nil {
+			t.Fatalf("cluster assert %d: %v", i, err)
+		}
+	}
+	waitCond(t, "follower catch-up", func() bool { return f.Store().LastSeq() == p.Store().LastSeq() })
+
+	// Reads round-robin over both replicas and agree.
+	for i := 0; i < 4; i++ {
+		label, related, err := cl.Relation(ctx, "c0", "c6")
+		if err != nil || !related || label != 30 {
+			t.Fatalf("read %d: (%d,%v,%v), want (30,true,nil)", i, label, related, err)
+		}
+	}
+	cc, err := cl.Explain(ctx, "c0", "c6")
+	if err != nil || len(cc.Steps) == 0 {
+		t.Fatalf("cluster explain: %v", err)
+	}
+}
+
+// TestClusterNeverRetriesConflicts asserts a contradiction through the
+// cluster: exactly one 409 comes back, with the conflict certificate,
+// and no node saw retries (the servers' served counters prove it).
+func TestClusterNeverRetriesConflicts(t *testing.T) {
+	p, _, pURL, fURL, _, _ := clusterPair(t)
+	cl := client.NewCluster(pURL, fURL)
+	ctx := context.Background()
+
+	if _, err := cl.Assert(ctx, "x", "y", 3, "truth"); err != nil {
+		t.Fatal(err)
+	}
+	_ = p
+	st0, err := cl.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = cl.Assert(ctx, "x", "y", 4, "lie")
+	var ae *client.APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusConflict {
+		t.Fatalf("conflicting assert: %v, want 409 APIError", err)
+	}
+	if ae.Body.Error.ConflictCert == nil {
+		t.Fatal("409 lacks the conflict certificate")
+	}
+	st1, err := cl.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stats bypasses admission control, so the conflicting assert is the
+	// only admitted request between the two readings. Any retry of the
+	// 409 would show up here.
+	if got := st1.Served - st0.Served; got != 1 {
+		t.Fatalf("primary served %d admitted requests around the conflict, want 1 (no retries)", got)
+	}
+}
+
+// TestClusterFailoverElection kills the primary mid-stream, elects the
+// follower through the cluster client, and keeps writing: nothing
+// acknowledged is lost, and the demoted... the dead node stays dead —
+// the promoted follower serves reads and writes alone.
+func TestClusterFailoverElection(t *testing.T) {
+	p, f, pURL, fURL, pts, _ := clusterPair(t)
+	cl := client.NewCluster(pURL, fURL)
+	ctx := context.Background()
+
+	for i := 0; i < 10; i++ {
+		if _, err := cl.Assert(ctx, fmt.Sprintf("e%d", i), fmt.Sprintf("e%d", i+1), 1, "pre"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitCond(t, "catch-up before the kill", func() bool { return f.Store().LastSeq() == p.Store().LastSeq() })
+
+	// Kill the primary (listener down, no drain — a crash).
+	pts.CloseClientConnections()
+	pts.Close()
+
+	// Election: the follower holds the longest durable history and gets
+	// promoted under fence max+1 = 1.
+	newPrimary, err := cl.Promote(ctx)
+	if err != nil {
+		t.Fatalf("election: %v", err)
+	}
+	if newPrimary != fURL {
+		t.Fatalf("elected %q, want the follower %q", newPrimary, fURL)
+	}
+	if f.Role() != server.RolePrimary {
+		t.Fatalf("follower role after election: %q", f.Role())
+	}
+
+	// Writes continue against the new primary; every pre-failover
+	// answer is still served, certified.
+	for i := 10; i < 14; i++ {
+		if _, err := cl.Assert(ctx, fmt.Sprintf("e%d", i), fmt.Sprintf("e%d", i+1), 1, "post"); err != nil {
+			t.Fatalf("post-failover assert %d: %v", i, err)
+		}
+	}
+	label, related, err := client.New(fURL).Relation(ctx, "e0", "e14")
+	if err != nil || !related || label != 14 {
+		t.Fatalf("post-failover relation(e0,e14) = (%d,%v,%v), want (14,true,nil)", label, related, err)
+	}
+	if _, err := client.New(fURL).Explain(ctx, "e0", "e14"); err != nil {
+		t.Fatalf("post-failover certificate: %v", err)
+	}
+}

@@ -1,0 +1,89 @@
+package client
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestParseRetryAfterDeltaSeconds(t *testing.T) {
+	now := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	for _, tc := range []struct {
+		in   string
+		want time.Duration
+	}{
+		{"0", 0},
+		{"1", time.Second},
+		{"120", 2 * time.Minute},
+		{"-5", 0}, // negative delta is nonsense; fall back to backoff
+	} {
+		if got := parseRetryAfter(tc.in, now); got != tc.want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestParseRetryAfterHTTPDate(t *testing.T) {
+	now := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	// All three RFC 9110 date formats http.ParseTime accepts.
+	future := now.Add(90 * time.Second)
+	for _, in := range []string{
+		future.Format(http.TimeFormat),                  // IMF-fixdate
+		future.Format("Monday, 02-Jan-06 15:04:05 GMT"), // RFC 850
+		future.Format(time.ANSIC),                       // asctime
+	} {
+		got := parseRetryAfter(in, now)
+		if got < 89*time.Second || got > 91*time.Second {
+			t.Errorf("parseRetryAfter(%q) = %v, want ~90s", in, got)
+		}
+	}
+	// A date in the past means "retry now": no artificial floor.
+	past := now.Add(-time.Hour).Format(http.TimeFormat)
+	if got := parseRetryAfter(past, now); got != 0 {
+		t.Errorf("past HTTP-date gave %v, want 0", got)
+	}
+}
+
+func TestParseRetryAfterUnparsableFallsBack(t *testing.T) {
+	now := time.Now()
+	for _, in := range []string{"", "soon", "12.5", "Tue 99 Foo", "1h"} {
+		if got := parseRetryAfter(in, now); got != 0 {
+			t.Errorf("parseRetryAfter(%q) = %v, want 0 (fall back to client backoff)", in, got)
+		}
+	}
+}
+
+// TestRetryAfterHTTPDateHonored drives the full client loop: a server
+// that sheds with an HTTP-date Retry-After must hold the client off at
+// least that long before the retry lands.
+func TestRetryAfterHTTPDateHonored(t *testing.T) {
+	const hold = 2 * time.Second
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", time.Now().Add(hold).UTC().Format(http.TimeFormat))
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte(`{"ok":true,"durable":false}`))
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL)
+	start := time.Now()
+	if _, err := c.Assert(t.Context(), "a", "b", 1, ""); err != nil {
+		t.Fatal(err)
+	}
+	// HTTP-dates have whole-second resolution, so the parsed hold may
+	// round down by up to a second — but the client's own backoff would
+	// have retried within ~25ms, so a one-second floor proves the
+	// header's date form was honored.
+	if calls.Load() != 2 {
+		t.Fatalf("server saw %d calls, want 2", calls.Load())
+	}
+	if elapsed := time.Since(start); elapsed < time.Second {
+		t.Fatalf("client retried after %v; the HTTP-date Retry-After was ignored", elapsed)
+	}
+}

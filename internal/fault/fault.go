@@ -71,6 +71,16 @@ var (
 	// circuit breaker. Always safe to retry after backoff.
 	ErrUnavailable = errors.New("service unavailable")
 
+	// ErrNotPrimary: a write reached a replica that is not the current
+	// primary. Not retryable against the same node; clients re-target
+	// the advertised primary.
+	ErrNotPrimary = errors.New("not primary")
+
+	// ErrFenced: a replication message carried a fencing token older
+	// than one the receiver has already accepted. The sender is a stale
+	// primary; it must step down, never retry.
+	ErrFenced = errors.New("stale fencing token")
+
 	// ErrInjected: the failure was manufactured by an Injector. It
 	// always accompanies (via multi-%w wrapping) the sentinel of the
 	// failure it mimics.
@@ -107,11 +117,21 @@ func Unavailablef(format string, args ...any) error {
 	return fmt.Errorf("%w: %s", ErrUnavailable, fmt.Sprintf(format, args...))
 }
 
+// NotPrimaryf returns an error wrapping ErrNotPrimary.
+func NotPrimaryf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrNotPrimary, fmt.Sprintf(format, args...))
+}
+
+// Fencedf returns an error wrapping ErrFenced.
+func Fencedf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrFenced, fmt.Sprintf(format, args...))
+}
+
 // taxonomy lists the sentinels Classify preserves as-is.
 var taxonomy = []error{
 	ErrBudgetExhausted, ErrDeadlineExceeded, ErrCanceled,
 	ErrInvalidLabel, ErrInvariantViolated, ErrOverflow,
-	ErrConflict, ErrIO, ErrUnavailable, ErrInjected,
+	ErrConflict, ErrIO, ErrUnavailable, ErrNotPrimary, ErrFenced, ErrInjected,
 }
 
 // Classify converts a recovered panic value into a classified error.
@@ -162,6 +182,10 @@ func StopLabel(err error) string {
 		base = "io"
 	case errors.Is(err, ErrUnavailable):
 		base = "unavailable"
+	case errors.Is(err, ErrNotPrimary):
+		base = "not-primary"
+	case errors.Is(err, ErrFenced):
+		base = "fenced"
 	}
 	if errors.Is(err, ErrInjected) {
 		return "injected:" + base

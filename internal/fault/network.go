@@ -1,0 +1,155 @@
+package fault
+
+import (
+	"sync"
+	"time"
+)
+
+// Network is a deterministic simulated network for replication chaos
+// tests: per directed link (from, to) it can drop, delay or duplicate
+// the k-th message, and partition the link entirely until healed.
+// Transports consult Observe before each message; the verdict tells
+// them what the "network" did to it.
+//
+// Unlike Injector, a Network is safe for concurrent use: replication
+// shippers run one goroutine per peer, and chaos tests mutate
+// partitions while traffic flows.
+type Network struct {
+	mu    sync.Mutex
+	links map[link]*linkState
+}
+
+// link is a directed edge of the simulated network.
+type link struct{ from, to string }
+
+// linkState carries the per-link message counter and fault points.
+type linkState struct {
+	msgs        int
+	partitioned bool
+	dropAt      map[int]bool
+	dupAt       map[int]bool
+	delayAt     map[int]time.Duration
+}
+
+// Verdict is what the simulated network decided to do with one message.
+type Verdict struct {
+	// Drop reports that the message never arrives; the sender sees a
+	// transport error.
+	Drop bool
+	// Delay is how long the message sits on the wire before delivery.
+	Delay time.Duration
+	// Duplicate reports that the message is delivered twice.
+	Duplicate bool
+}
+
+// NewNetwork returns a fault-free simulated network.
+func NewNetwork() *Network {
+	return &Network{links: map[link]*linkState{}}
+}
+
+// state returns (creating if needed) the state of a directed link.
+// Callers hold mu.
+func (n *Network) state(from, to string) *linkState {
+	k := link{from: from, to: to}
+	s := n.links[k]
+	if s == nil {
+		s = &linkState{dropAt: map[int]bool{}, dupAt: map[int]bool{}, delayAt: map[int]time.Duration{}}
+		n.links[k] = s
+	}
+	return s
+}
+
+// Partition severs the directed link from -> to: every message on it is
+// dropped until Heal. Use both directions for a full partition.
+func (n *Network) Partition(from, to string) {
+	if n == nil {
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.state(from, to).partitioned = true
+}
+
+// PartitionBoth severs both directions between a and b.
+func (n *Network) PartitionBoth(a, b string) {
+	n.Partition(a, b)
+	n.Partition(b, a)
+}
+
+// Heal restores the directed link from -> to.
+func (n *Network) Heal(from, to string) {
+	if n == nil {
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.state(from, to).partitioned = false
+}
+
+// HealBoth restores both directions between a and b.
+func (n *Network) HealBoth(a, b string) {
+	n.Heal(a, b)
+	n.Heal(b, a)
+}
+
+// DropAt drops the k-th message (1-based, counted per link) sent on
+// from -> to.
+func (n *Network) DropAt(from, to string, k int) {
+	if n == nil {
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.state(from, to).dropAt[k] = true
+}
+
+// DuplicateAt delivers the k-th message on from -> to twice.
+func (n *Network) DuplicateAt(from, to string, k int) {
+	if n == nil {
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.state(from, to).dupAt[k] = true
+}
+
+// DelayAt holds the k-th message on from -> to for d before delivery.
+func (n *Network) DelayAt(from, to string, k int, d time.Duration) {
+	if n == nil {
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.state(from, to).delayAt[k] = d
+}
+
+// Observe is called by an instrumented transport before sending one
+// message on from -> to; it counts the message and returns the
+// network's verdict. A nil Network passes everything through.
+func (n *Network) Observe(from, to string) Verdict {
+	if n == nil {
+		return Verdict{}
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	s := n.state(from, to)
+	s.msgs++
+	v := Verdict{}
+	if s.partitioned || s.dropAt[s.msgs] {
+		v.Drop = true
+		return v
+	}
+	v.Delay = s.delayAt[s.msgs]
+	v.Duplicate = s.dupAt[s.msgs]
+	return v
+}
+
+// Messages returns how many messages were observed on from -> to.
+func (n *Network) Messages(from, to string) int {
+	if n == nil {
+		return 0
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.state(from, to).msgs
+}

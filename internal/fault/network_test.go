@@ -1,0 +1,101 @@
+package fault
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNetworkNilPassesThrough(t *testing.T) {
+	var n *Network
+	v := n.Observe("a", "b")
+	if v.Drop || v.Duplicate || v.Delay != 0 {
+		t.Fatalf("nil network verdict %+v, want pass-through", v)
+	}
+	n.Partition("a", "b") // must not panic
+	n.Heal("a", "b")
+	if n.Messages("a", "b") != 0 {
+		t.Fatal("nil network counted a message")
+	}
+}
+
+func TestNetworkPartitionIsDirectedAndHealable(t *testing.T) {
+	n := NewNetwork()
+	n.Partition("a", "b")
+	if !n.Observe("a", "b").Drop {
+		t.Fatal("partitioned link delivered")
+	}
+	if n.Observe("b", "a").Drop {
+		t.Fatal("reverse direction dropped without partition")
+	}
+	n.Heal("a", "b")
+	if n.Observe("a", "b").Drop {
+		t.Fatal("healed link still dropping")
+	}
+	n.PartitionBoth("a", "b")
+	if !n.Observe("a", "b").Drop || !n.Observe("b", "a").Drop {
+		t.Fatal("PartitionBoth left a direction open")
+	}
+	n.HealBoth("a", "b")
+	if n.Observe("a", "b").Drop || n.Observe("b", "a").Drop {
+		t.Fatal("HealBoth left a direction severed")
+	}
+}
+
+func TestNetworkPointFaultsAreDeterministic(t *testing.T) {
+	n := NewNetwork()
+	n.DropAt("p", "f", 2)
+	n.DuplicateAt("p", "f", 3)
+	n.DelayAt("p", "f", 4, 5*time.Millisecond)
+	want := []Verdict{
+		{},
+		{Drop: true},
+		{Duplicate: true},
+		{Delay: 5 * time.Millisecond},
+		{},
+	}
+	for i, w := range want {
+		got := n.Observe("p", "f")
+		if got != w {
+			t.Fatalf("message %d verdict %+v, want %+v", i+1, got, w)
+		}
+	}
+	if n.Messages("p", "f") != len(want) {
+		t.Fatalf("counted %d messages, want %d", n.Messages("p", "f"), len(want))
+	}
+}
+
+func TestNetworkConcurrentUse(t *testing.T) {
+	n := NewNetwork()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				n.Observe("a", "b")
+				n.Partition("a", "b")
+				n.Heal("a", "b")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := n.Messages("a", "b"); got != 8*200 {
+		t.Fatalf("counted %d messages, want %d", got, 8*200)
+	}
+}
+
+func TestNewSentinelsClassify(t *testing.T) {
+	np := NotPrimaryf("write hit follower %s", "b")
+	if !errors.Is(np, ErrNotPrimary) || StopLabel(np) != "not-primary" {
+		t.Fatalf("NotPrimaryf classification broken: %v -> %q", np, StopLabel(np))
+	}
+	fe := Fencedf("token %d below %d", 1, 2)
+	if !errors.Is(fe, ErrFenced) || StopLabel(fe) != "fenced" {
+		t.Fatalf("Fencedf classification broken: %v -> %q", fe, StopLabel(fe))
+	}
+	if Classify(fe) != fe {
+		t.Fatal("Classify rewrapped a taxonomy error")
+	}
+}

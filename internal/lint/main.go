@@ -17,6 +17,7 @@ var checkedPackages = []string{
 	"internal/wal",
 	"internal/server",
 	"internal/client",
+	"internal/replica",
 }
 
 // main lints the checked packages and exits 1 when any exported symbol

@@ -1,0 +1,118 @@
+package replica
+
+import (
+	"testing"
+	"time"
+
+	"luf/internal/fault"
+	"luf/internal/wal"
+)
+
+func TestChaosDropDelayDuplicate(t *testing.T) {
+	entries := consistentEntries(30, 21)
+	p := primary(t, entries[:10])
+	f := newNode(t, t.TempDir(), wal.Options{})
+	net := fault.NewNetwork()
+	// Deterministic point faults across the first messages of the link:
+	// drops force re-probes, duplicates force idempotent re-delivery,
+	// delays reorder nothing (the loop is sequential) but stall it.
+	net.DropAt("p", "f", 1)
+	net.DropAt("p", "f", 4)
+	net.DuplicateAt("p", "f", 2)
+	net.DuplicateAt("p", "f", 6)
+	net.DelayAt("p", "f", 3, 10*time.Millisecond)
+	net.DelayAt("p", "f", 7, 5*time.Millisecond)
+
+	sh := shipperFor(p, []Peer{{Name: "f", URL: f.srv.URL}}, nil, net, nil)
+	sh.Start()
+	defer sh.Stop()
+	waitFor(t, "shipping through drops/dups/delays", func() bool { return f.store.LastSeq() == p.LastSeq() })
+	for _, e := range entries[10:] {
+		if _, err := p.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sh.Kick()
+	waitFor(t, "tail shipping", func() bool { return f.store.LastSeq() == p.LastSeq() })
+	verifyFollower(t, f, entries)
+	if got := f.store.LastSeq(); got != p.LastSeq() {
+		t.Fatalf("follower at %d, primary at %d", got, p.LastSeq())
+	}
+}
+
+func TestChaosPartitionExpiresLeaseThenHeals(t *testing.T) {
+	entries := consistentEntries(20, 22)
+	p := primary(t, entries[:8])
+	f := newNode(t, t.TempDir(), wal.Options{})
+	net := fault.NewNetwork()
+	lease := NewLease(60 * time.Millisecond)
+	sh := shipperFor(p, []Peer{{Name: "f", URL: f.srv.URL}}, lease, net, nil)
+	sh.Start()
+	defer sh.Stop()
+	waitFor(t, "pre-partition shipping", func() bool { return f.store.LastSeq() == p.LastSeq() })
+	waitFor(t, "lease held", lease.Valid)
+
+	// Partition the link: acks stop, the lease must lapse (this is what
+	// stops a partitioned primary from acknowledging writes), and the
+	// follower must stop advancing.
+	net.Partition("p", "f")
+	frozen := f.store.LastSeq()
+	for _, e := range entries[8:14] {
+		if _, err := p.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sh.Kick()
+	waitFor(t, "lease expiry under partition", func() bool { return !lease.Valid() })
+	if f.store.LastSeq() != frozen {
+		t.Fatalf("records crossed a partitioned link: %d -> %d", frozen, f.store.LastSeq())
+	}
+
+	// Heal: anti-entropy replays the buffered suffix and the lease
+	// comes back.
+	net.Heal("p", "f")
+	for _, e := range entries[14:] {
+		if _, err := p.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sh.Kick()
+	waitFor(t, "post-heal catch-up", func() bool { return f.store.LastSeq() == p.LastSeq() })
+	waitFor(t, "lease renewal after heal", lease.Valid)
+	verifyFollower(t, f, entries)
+}
+
+func TestChaosConcurrentWritersWhileShipping(t *testing.T) {
+	entries := consistentEntries(60, 23)
+	p := primary(t, nil)
+	f := newNode(t, t.TempDir(), wal.Options{})
+	net := fault.NewNetwork()
+	net.DuplicateAt("p", "f", 3)
+	net.DropAt("p", "f", 5)
+	sh := shipperFor(p, []Peer{{Name: "f", URL: f.srv.URL}}, nil, net, nil)
+	sh.Start()
+	defer sh.Stop()
+
+	// Concurrent appenders race the shipping loop (the -race build is
+	// the real assertion here, alongside convergence).
+	done := make(chan error, 3)
+	for w := 0; w < 3; w++ {
+		go func(w int) {
+			for i := w; i < len(entries); i += 3 {
+				if _, err := p.Append(entries[i]); err != nil {
+					done <- err
+					return
+				}
+				sh.Kick()
+			}
+			done <- nil
+		}(w)
+	}
+	for i := 0; i < 3; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "convergence under concurrent writers", func() bool { return f.store.LastSeq() == p.LastSeq() })
+	verifyFollower(t, f, entries)
+}

@@ -1,0 +1,229 @@
+// Package replica implements lease-fenced primary/replica log
+// shipping for the durable serving stack: a primary streams its
+// write-ahead journal, frame for frame, to followers that *re-verify
+// every record's certificate* before applying it to their own durable
+// store — replication here does not copy trust, it re-derives it.
+//
+// # Protocol
+//
+// The primary POSTs batches of raw journal frames (wal.EncodeFrames)
+// to each follower's /v1/replicate endpoint. Every batch carries:
+//
+//   - the primary's fencing token: a monotonic epoch number persisted
+//     in the WAL on both ends. A follower holding a newer token
+//     refuses the batch (HTTP 403, fault.ErrFenced) — a revived stale
+//     primary's writes are provably rejected, and the refusal tells it
+//     to step down;
+//   - the sequence number and CRC-32C of the record *preceding* the
+//     batch, computed from the sender's own copy. The follower
+//     recomputes both from its copy before appending; any mismatch
+//     means the histories diverged and the batch is refused with a
+//     structured invariant error, never merged. Resolution is
+//     explicit: wipe the divergent follower and resync from zero;
+//   - the record count, so a truncated-in-transit body cannot pass as
+//     a shorter batch.
+//
+// A follower applies each new record exactly the way certified
+// recovery does: replay through the group operations, re-prove with
+// the independent checker (cert.Check), cross-check the rebuilt
+// structure's answer, and only then append to its own journal with the
+// primary's sequence number. Batches are acknowledged with the
+// follower's durable sequence number, which is also how anti-entropy
+// works: a follower that was down reports where its journal ends and
+// the primary ships the missing suffix from its in-memory record
+// mirror.
+//
+// Acknowledgements double as lease renewals: see Lease. With
+// synchronous replication the primary acknowledges a client write only
+// after a follower holds it durably, so killing the primary loses no
+// acknowledged write.
+package replica
+
+import (
+	"luf/internal/cert"
+	"luf/internal/concurrent"
+	"luf/internal/fault"
+	"luf/internal/group"
+	"luf/internal/wal"
+)
+
+// ReplicatePath is the HTTP path followers serve replication on.
+const ReplicatePath = "/v1/replicate"
+
+// Replication protocol headers.
+const (
+	// HeaderFence carries the sender's fencing token (decimal).
+	HeaderFence = "X-Luf-Fence"
+	// HeaderPrimary carries the sender's advertised client address, so
+	// followers can redirect writes to the current primary.
+	HeaderPrimary = "X-Luf-Primary"
+	// HeaderPrevSeq carries the sequence number of the record
+	// immediately before the batch (0 when the batch starts the
+	// history).
+	HeaderPrevSeq = "X-Luf-Prev-Seq"
+	// HeaderPrevCRC carries the CRC-32C of that record's encoded
+	// payload, computed from the sender's copy.
+	HeaderPrevCRC = "X-Luf-Prev-Crc"
+	// HeaderCount carries the number of records in the body.
+	HeaderCount = "X-Luf-Count"
+)
+
+// Batch is one decoded replication request: a fence-stamped,
+// history-anchored run of journal frames. An empty batch (Count 0) is
+// a heartbeat — it checks the fence, renews the primary's lease via
+// the acknowledgement, and reports the follower's durable sequence
+// number without shipping anything.
+type Batch struct {
+	// Fence is the sender's fencing token.
+	Fence uint64
+	// Primary is the sender's advertised client address.
+	Primary string
+	// PrevSeq anchors the batch: the sequence number of the record
+	// immediately before it, 0 for a batch starting the history.
+	PrevSeq uint64
+	// PrevCRC is the CRC-32C of the anchoring record's payload.
+	PrevCRC uint32
+	// Count is the number of records in Frames.
+	Count int
+	// Frames is the raw frame run (wal.EncodeFrames).
+	Frames []byte
+}
+
+// Ack is the follower's reply to an applied batch.
+type Ack struct {
+	// Durable is the follower's last fsynced sequence number.
+	Durable uint64 `json:"durable"`
+	// Fence is the follower's current fencing token.
+	Fence uint64 `json:"fence"`
+}
+
+// Applier is the follower half of replication: it verifies and applies
+// shipped batches against a node's union-find, certificate journal and
+// durable store. It is safe for concurrent use (the store serializes
+// appends; the union-find is concurrent by construction), though a
+// follower normally sees one batch at a time.
+type Applier[N comparable, L any] struct {
+	// G is the label group.
+	G group.Group[L]
+	// UF is the node's live union-find.
+	UF *concurrent.UF[N, L]
+	// Journal is the node's certificate journal.
+	Journal *cert.SyncJournal[N, L]
+	// Store is the node's durable store.
+	Store *wal.Store[N, L]
+}
+
+// Apply verifies and applies one shipped batch, returning the
+// follower's acknowledgement. The fence is checked first (stale
+// senders get fault.ErrFenced and nothing else happens); then the
+// batch's anchor record is cross-checked against this node's history;
+// then every new record is certified exactly as recovery certifies
+// journal records, appended with the primary's sequence number, and
+// the whole batch is fsynced before the acknowledgement is returned.
+// Records the follower already holds are skipped idempotently after a
+// divergence check, so duplicated deliveries are harmless.
+func (a *Applier[N, L]) Apply(b Batch) (Ack, error) {
+	if cur := a.Store.Fence(); b.Fence < cur {
+		return Ack{}, fault.Fencedf("batch carries fencing token %d, this replica has accepted %d", b.Fence, cur)
+	} else if b.Fence > cur {
+		// A newer epoch: persist the token before applying anything, so
+		// even a crash mid-batch leaves the old primary fenced out.
+		if err := a.Store.SetFence(b.Fence); err != nil {
+			return Ack{}, err
+		}
+	}
+	recs, err := wal.DecodeFrames(b.Frames, a.Store.Codec())
+	if err != nil {
+		return Ack{}, err
+	}
+	if len(recs) != b.Count {
+		return Ack{}, fault.IOf("batch declares %d records, body holds %d", b.Count, len(recs))
+	}
+	if b.Count > 0 {
+		if err := a.checkAnchor(b, recs); err != nil {
+			return Ack{}, err
+		}
+		if err := a.applyRecords(recs); err != nil {
+			return Ack{}, err
+		}
+		if err := a.Store.Commit(recs[len(recs)-1].Seq); err != nil {
+			return Ack{}, err
+		}
+	}
+	return Ack{Durable: a.Store.DurableSeq(), Fence: a.Store.Fence()}, nil
+}
+
+// checkAnchor runs the log-matching check: the batch must start right
+// after its anchor record, and the anchor must be byte-identical on
+// both ends.
+func (a *Applier[N, L]) checkAnchor(b Batch, recs []wal.SeqEntry[N, L]) error {
+	if recs[0].Seq != b.PrevSeq+1 {
+		return fault.Invariantf("batch starts at sequence %d but is anchored at %d", recs[0].Seq, b.PrevSeq)
+	}
+	if b.PrevSeq == 0 {
+		return nil
+	}
+	anchor, ok := a.Store.RecordAt(b.PrevSeq)
+	if !ok {
+		return fault.Invariantf("batch is anchored at sequence %d, which this replica does not hold (journal ends at %d)", b.PrevSeq, a.Store.LastSeq())
+	}
+	if crc := wal.RecordCRC(a.Store.Codec(), anchor); crc != b.PrevCRC {
+		return fault.Invariantf(
+			"divergent histories: record %d has checksum %d here, %d on the primary — refusing to merge; wipe this replica and resync", b.PrevSeq, crc, b.PrevCRC)
+	}
+	return nil
+}
+
+// applyRecords certifies and persists the batch's new records in
+// order. Each record beyond this node's tail is replayed into the
+// union-find, re-proved by the independent checker, cross-checked
+// against the structure's answer, and appended durably; records at or
+// below the tail only pass the store's divergence check.
+func (a *Applier[N, L]) applyRecords(recs []wal.SeqEntry[N, L]) error {
+	tail := a.Store.LastSeq()
+	for _, r := range recs {
+		if r.Seq <= tail {
+			if err := a.Store.AppendReplicated(r.Seq, r.Entry); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := a.certifyOne(r); err != nil {
+			return err
+		}
+		if err := a.Store.AppendReplicated(r.Seq, r.Entry); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// certifyOne replays one record into the union-find and re-proves it,
+// mirroring certified recovery (wal.Rebuild): a record that conflicts,
+// cannot be derived, fails the independent checker, or is answered
+// differently by the structure is refused with a structured error —
+// corrupt or forged shipping can crash replication, never poison it.
+func (a *Applier[N, L]) certifyOne(r wal.SeqEntry[N, L]) (err error) {
+	// Corrupt labels can make group arithmetic panic (e.g. checked
+	// overflow); classify instead of crashing the follower.
+	defer fault.RecoverTo(&err)
+	e := r.Entry
+	if !a.UF.AddRelationReason(e.N, e.M, e.Label, e.Reason) {
+		return fault.Invariantf(
+			"shipped record %d (%v -> %v) conflicts with this replica's state — a stream of accepted assertions can never conflict, so the histories diverged", r.Seq, e.N, e.M)
+	}
+	c, err := a.Journal.Explain(e.N, e.M)
+	if err != nil {
+		return fault.Invariantf("shipped record %d (%v -> %v): no derivation: %v", r.Seq, e.N, e.M, err)
+	}
+	c.Label = e.Label
+	if err := cert.Check(c, a.G); err != nil {
+		return fault.Invariantf("shipped record %d (%v -> %v): certificate rejected: %v", r.Seq, e.N, e.M, err)
+	}
+	ans, ok := a.UF.GetRelation(e.N, e.M)
+	if !ok || !a.G.Equal(ans, e.Label) {
+		return fault.Invariantf(
+			"shipped record %d (%v -> %v): structure answers %v, certificate proves %s", r.Seq, e.N, e.M, ok, a.G.Format(e.Label))
+	}
+	return nil
+}

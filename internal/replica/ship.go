@@ -1,0 +1,425 @@
+package replica
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"luf/internal/fault"
+	"luf/internal/wal"
+)
+
+// Peer identifies one follower a primary ships to.
+type Peer struct {
+	// Name is the peer's stable node name (also the fault.Network link
+	// endpoint in chaos tests).
+	Name string
+	// URL is the peer's base HTTP URL, e.g. "http://127.0.0.1:7071".
+	URL string
+}
+
+// Config configures a Shipper.
+type Config[N comparable, L any] struct {
+	// Store is the primary's durable store: the source of records,
+	// sequence numbers and the fencing token.
+	Store *wal.Store[N, L]
+	// Self is this node's name (the fault.Network link source).
+	Self string
+	// Advertise is the client-facing address followers should redirect
+	// writes to while this node is primary.
+	Advertise string
+	// Peers are the followers to ship to.
+	Peers []Peer
+	// Lease, when non-nil, is renewed on every follower
+	// acknowledgement.
+	Lease *Lease
+	// BatchMax bounds records per shipped batch (default 256).
+	BatchMax int
+	// Interval is the idle poll/heartbeat period and the retry delay
+	// after transient errors (default 50ms).
+	Interval time.Duration
+	// Timeout bounds each replication request (default 2s).
+	Timeout time.Duration
+	// Net, when non-nil, is the simulated network chaos tests route
+	// every batch through.
+	Net *fault.Network
+	// OnFenced is called (once, from its own goroutine) when a follower
+	// refuses this node's token as stale — the node must step down.
+	OnFenced func(token uint64)
+	// Client optionally overrides the HTTP client.
+	Client *http.Client
+}
+
+// PeerStatus is one follower's view in Shipper.Status.
+type PeerStatus struct {
+	// Acked is the follower's last acknowledged durable sequence
+	// number.
+	Acked uint64 `json:"acked"`
+	// Err is the follower's last (or fatal) error, empty when healthy.
+	Err string `json:"err,omitempty"`
+}
+
+// Shipper is the primary half of replication: one goroutine per peer
+// streams journal records, anchored with the log-matching check, and
+// tracks each peer's acknowledged durable sequence number. It is safe
+// for concurrent use.
+type Shipper[N comparable, L any] struct {
+	cfg Config[N, L]
+	hc  *http.Client
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	acked   map[string]uint64
+	errs    map[string]string
+	fenced  bool
+	stopped bool
+
+	kicks map[string]chan struct{}
+	stop  chan struct{}
+	wg    sync.WaitGroup
+}
+
+// fencedError carries the newer token a follower fenced us with.
+type fencedError struct {
+	token uint64
+	msg   string
+}
+
+func (e *fencedError) Error() string { return e.msg }
+func (e *fencedError) Unwrap() error { return fault.ErrFenced }
+
+// NewShipper builds a shipper; call Start to begin streaming.
+func NewShipper[N comparable, L any](cfg Config[N, L]) *Shipper[N, L] {
+	if cfg.BatchMax <= 0 {
+		cfg.BatchMax = 256
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 50 * time.Millisecond
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 2 * time.Second
+	}
+	sh := &Shipper[N, L]{
+		cfg:   cfg,
+		hc:    cfg.Client,
+		acked: map[string]uint64{},
+		errs:  map[string]string{},
+		kicks: map[string]chan struct{}{},
+		stop:  make(chan struct{}),
+	}
+	if sh.hc == nil {
+		sh.hc = &http.Client{Timeout: cfg.Timeout}
+	}
+	sh.cond = sync.NewCond(&sh.mu)
+	for _, p := range cfg.Peers {
+		sh.kicks[p.Name] = make(chan struct{}, 1)
+	}
+	return sh
+}
+
+// Start launches one shipping loop per peer.
+func (sh *Shipper[N, L]) Start() {
+	for _, p := range sh.cfg.Peers {
+		sh.wg.Add(1)
+		go sh.run(p)
+	}
+}
+
+// Stop halts every shipping loop and wakes all WaitAcked callers.
+func (sh *Shipper[N, L]) Stop() {
+	sh.mu.Lock()
+	if sh.stopped {
+		sh.mu.Unlock()
+		sh.wg.Wait()
+		return
+	}
+	sh.stopped = true
+	close(sh.stop)
+	sh.cond.Broadcast()
+	sh.mu.Unlock()
+	sh.wg.Wait()
+}
+
+// Kick nudges every peer loop to ship immediately instead of waiting
+// out the idle interval; the primary calls it after each local append.
+func (sh *Shipper[N, L]) Kick() {
+	for _, ch := range sh.kicks {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// WaitAcked blocks until at least one follower has acknowledged
+// sequence number seq as durable — the synchronous-replication gate: a
+// write acknowledged after WaitAcked survives the loss of the primary.
+// It fails with a structured error when the context expires, the
+// shipper stops, or this node is fenced.
+func (sh *Shipper[N, L]) WaitAcked(ctx context.Context, seq uint64) error {
+	stopWatch := context.AfterFunc(ctx, func() {
+		sh.mu.Lock()
+		sh.cond.Broadcast()
+		sh.mu.Unlock()
+	})
+	defer stopWatch()
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for {
+		for _, a := range sh.acked {
+			if a >= seq {
+				return nil
+			}
+		}
+		if sh.fenced {
+			return fault.Fencedf("fenced while waiting for replication of sequence %d", seq)
+		}
+		if sh.stopped {
+			return fault.Unavailablef("replication stopped while waiting for sequence %d", seq)
+		}
+		if err := ctx.Err(); err != nil {
+			return fault.Unavailablef("sequence %d not acknowledged by any follower before deadline (%v) — the write is durable locally but not yet replicated", seq, err)
+		}
+		sh.cond.Wait()
+	}
+}
+
+// Status returns each peer's acknowledged sequence number and last
+// error.
+func (sh *Shipper[N, L]) Status() map[string]PeerStatus {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	out := make(map[string]PeerStatus, len(sh.acked))
+	for _, p := range sh.cfg.Peers {
+		out[p.Name] = PeerStatus{Acked: sh.acked[p.Name], Err: sh.errs[p.Name]}
+	}
+	return out
+}
+
+// observeAck records a successful acknowledgement from peer p.
+func (sh *Shipper[N, L]) observeAck(p Peer, a Ack) {
+	if sh.cfg.Lease != nil {
+		sh.cfg.Lease.Renew()
+	}
+	sh.mu.Lock()
+	sh.acked[p.Name] = a.Durable
+	delete(sh.errs, p.Name)
+	sh.cond.Broadcast()
+	sh.mu.Unlock()
+}
+
+// observeErr records a peer error; fatal reports whether the loop must
+// stop (fenced or diverged).
+func (sh *Shipper[N, L]) observeErr(p Peer, err error) (fatal bool) {
+	sh.mu.Lock()
+	sh.errs[p.Name] = err.Error()
+	var fe *fencedError
+	if errors.As(err, &fe) {
+		fatal = true
+		if !sh.fenced {
+			sh.fenced = true
+			sh.cond.Broadcast()
+			if sh.cfg.OnFenced != nil {
+				// From its own goroutine: the demotion path may Stop()
+				// this shipper, which joins this very loop.
+				go sh.cfg.OnFenced(fe.token)
+			}
+		}
+	} else if errors.Is(err, fault.ErrInvariantViolated) {
+		// Divergent histories: shipping to this peer can never succeed;
+		// the error stays visible in Status until an operator resyncs.
+		fatal = true
+	}
+	sh.cond.Broadcast()
+	sh.mu.Unlock()
+	return fatal
+}
+
+// run is the per-peer shipping loop: probe the peer's durable
+// position, then stream batches from there, heartbeating when idle.
+func (sh *Shipper[N, L]) run(p Peer) {
+	defer sh.wg.Done()
+	known := false
+	var acked uint64
+	for {
+		select {
+		case <-sh.stop:
+			return
+		default:
+		}
+		if !known {
+			ack, err := sh.post(p, nil)
+			if err != nil {
+				if sh.observeErr(p, err) {
+					return
+				}
+				if !sh.sleep(sh.cfg.Interval) {
+					return
+				}
+				continue
+			}
+			acked = ack.Durable
+			known = true
+			sh.observeAck(p, ack)
+		}
+		recs := sh.cfg.Store.RecordsSince(acked, sh.cfg.BatchMax)
+		if len(recs) == 0 {
+			select {
+			case <-sh.stop:
+				return
+			case <-sh.kicks[p.Name]:
+			case <-time.After(sh.cfg.Interval):
+				// Idle heartbeat: renews the lease and detects fencing
+				// even when no writes flow.
+				ack, err := sh.post(p, nil)
+				if err != nil {
+					if sh.observeErr(p, err) {
+						return
+					}
+					known = false
+					continue
+				}
+				acked = ack.Durable
+				sh.observeAck(p, ack)
+			}
+			continue
+		}
+		ack, err := sh.post(p, recs)
+		if err != nil {
+			if sh.observeErr(p, err) {
+				return
+			}
+			// Transient: re-probe the peer's durable position before
+			// resending (it may have moved, or the peer restarted and
+			// lost an unsynced tail).
+			known = false
+			if !sh.sleep(sh.cfg.Interval) {
+				return
+			}
+			continue
+		}
+		acked = ack.Durable
+		sh.observeAck(p, ack)
+	}
+}
+
+// sleep waits d or until Stop; it reports false when stopping.
+func (sh *Shipper[N, L]) sleep(d time.Duration) bool {
+	select {
+	case <-sh.stop:
+		return false
+	case <-time.After(d):
+		return true
+	}
+}
+
+// post ships one batch (nil recs = heartbeat) through the simulated
+// network, delivering duplicates when the network says so.
+func (sh *Shipper[N, L]) post(p Peer, recs []wal.SeqEntry[N, L]) (Ack, error) {
+	v := sh.cfg.Net.Observe(sh.cfg.Self, p.Name)
+	if v.Delay > 0 {
+		time.Sleep(v.Delay)
+	}
+	if v.Drop {
+		return Ack{}, fault.Unavailablef("link %s -> %s dropped the batch", sh.cfg.Self, p.Name)
+	}
+	ack, err := sh.doPost(p, recs)
+	if v.Duplicate {
+		// The network delivered the batch twice; apply is idempotent,
+		// and the later delivery's acknowledgement supersedes.
+		if ack2, err2 := sh.doPost(p, recs); err2 == nil || err != nil {
+			return ack2, err2
+		}
+	}
+	return ack, err
+}
+
+// doPost performs one replication POST and classifies the reply.
+func (sh *Shipper[N, L]) doPost(p Peer, recs []wal.SeqEntry[N, L]) (Ack, error) {
+	var body []byte
+	var prevSeq uint64
+	var prevCRC uint32
+	if len(recs) > 0 {
+		body = wal.EncodeFrames(sh.cfg.Store.Codec(), recs)
+		prevSeq = recs[0].Seq - 1
+		if prevSeq > 0 {
+			anchor, ok := sh.cfg.Store.RecordAt(prevSeq)
+			if !ok {
+				return Ack{}, fault.Invariantf("cannot anchor batch: record %d missing from the shipping mirror", prevSeq)
+			}
+			prevCRC = wal.RecordCRC(sh.cfg.Store.Codec(), anchor)
+		}
+	}
+	req, err := http.NewRequest(http.MethodPost, p.URL+ReplicatePath, bytes.NewReader(body))
+	if err != nil {
+		return Ack{}, fault.Invalidf("build replicate request for %s: %v", p.URL, err)
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	req.Header.Set(HeaderFence, strconv.FormatUint(sh.cfg.Store.Fence(), 10))
+	req.Header.Set(HeaderPrimary, sh.cfg.Advertise)
+	req.Header.Set(HeaderPrevSeq, strconv.FormatUint(prevSeq, 10))
+	req.Header.Set(HeaderPrevCRC, strconv.FormatUint(uint64(prevCRC), 10))
+	req.Header.Set(HeaderCount, strconv.Itoa(len(recs)))
+	resp, err := sh.hc.Do(req)
+	if err != nil {
+		return Ack{}, fault.Unavailablef("ship to %s: %v", p.Name, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return Ack{}, fault.Unavailablef("read reply from %s: %v", p.Name, err)
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var ack Ack
+		if err := json.Unmarshal(raw, &ack); err != nil {
+			return Ack{}, fault.IOf("bad acknowledgement from %s: %v", p.Name, err)
+		}
+		return ack, nil
+	case http.StatusForbidden:
+		token, _ := strconv.ParseUint(resp.Header.Get(HeaderFence), 10, 64)
+		return Ack{}, &fencedError{token: token, msg: fmt.Sprintf(
+			"follower %s fenced this primary: it has accepted token %d (%s)", p.Name, token, peerMessage(raw))}
+	default:
+		msg := peerMessage(raw)
+		if peerKind(raw) == "invariant" {
+			return Ack{}, fault.Invariantf("follower %s refused the batch: %s", p.Name, msg)
+		}
+		return Ack{}, fault.Unavailablef("follower %s: http %d: %s", p.Name, resp.StatusCode, msg)
+	}
+}
+
+// peerErrorBody mirrors the server's structured error payload without
+// importing the server package (which imports this one).
+type peerErrorBody struct {
+	Error struct {
+		Kind    string `json:"kind"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+// peerKind extracts the taxonomy kind from a structured error reply.
+func peerKind(raw []byte) string {
+	var eb peerErrorBody
+	if json.Unmarshal(raw, &eb) == nil {
+		return eb.Error.Kind
+	}
+	return ""
+}
+
+// peerMessage extracts the message from a structured error reply,
+// falling back to the raw bytes.
+func peerMessage(raw []byte) string {
+	var eb peerErrorBody
+	if json.Unmarshal(raw, &eb) == nil && eb.Error.Message != "" {
+		return eb.Error.Message
+	}
+	return string(raw)
+}

@@ -1,0 +1,150 @@
+package server
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"luf/internal/fault"
+)
+
+// TestBreakerHalfOpenSingleProbe drives N concurrent Allow calls at a
+// breaker whose cooldown just elapsed: exactly one caller may become
+// the half-open probe; every other caller must fail fast with the
+// structured unavailable error. The injected clock makes the elapsed
+// cooldown deterministic; the -race build asserts the admission is
+// also data-race clean.
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	b := NewBreaker(1, time.Second)
+	var mu sync.Mutex
+	now := time.Unix(1_000, 0)
+	b.now = func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	}
+
+	b.Record(false) // threshold 1: the circuit opens
+	if err := b.Allow(); !errors.Is(err, fault.ErrUnavailable) {
+		t.Fatalf("open breaker admitted a request (err %v)", err)
+	}
+	mu.Lock()
+	now = now.Add(2 * time.Second) // cooldown elapsed
+	mu.Unlock()
+
+	const n = 64
+	var admitted atomic.Int32
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			err := b.Allow()
+			switch {
+			case err == nil:
+				admitted.Add(1)
+			case !errors.Is(err, fault.ErrUnavailable):
+				t.Errorf("refused caller got %v, want structured unavailable", err)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if got := admitted.Load(); got != 1 {
+		t.Fatalf("%d concurrent callers were admitted as probes, want exactly 1", got)
+	}
+	if st := b.State(); st != "half-open" {
+		t.Fatalf("state after admitting the probe = %q, want half-open", st)
+	}
+
+	// The probe's outcome decides the circuit: failure re-opens it for
+	// another full cooldown, success closes it.
+	b.Record(false)
+	if err := b.Allow(); !errors.Is(err, fault.ErrUnavailable) {
+		t.Fatal("failed probe did not re-open the circuit")
+	}
+	mu.Lock()
+	now = now.Add(2 * time.Second)
+	mu.Unlock()
+	if err := b.Allow(); err != nil {
+		t.Fatalf("second probe refused: %v", err)
+	}
+	b.Record(true)
+	if st := b.State(); st != "closed" {
+		t.Fatalf("state after successful probe = %q, want closed", st)
+	}
+}
+
+// TestBreakerHalfOpenOverHTTP is the same single-probe guarantee at
+// the HTTP layer: after the cooldown, N concurrent solve requests
+// yield exactly one admitted probe (200, the starved solver still
+// answers) while the rest are shed with 503 + Retry-After.
+func TestBreakerHalfOpenOverHTTP(t *testing.T) {
+	s, _, err := New(Config{
+		BreakerFailures: 1,
+		BreakerCooldown: 50 * time.Millisecond,
+		SolveSteps:      1, // starve the solver: every run fails undecided
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	solve := func() *http.Response {
+		resp, err := http.Post(ts.URL+"/v1/solve", "application/json",
+			strings.NewReader(`{"name":"x","src":"var x rat\nvar y rat\nvar z rat\nle 1*x - 10 <= 0\nle -1*x + 1 <= 0\neq 1*y - 2*x - 1 = 0\nmul z = x * y\n"}`))
+		if err != nil {
+			t.Error(err)
+			return nil
+		}
+		resp.Body.Close()
+		return resp
+	}
+	if resp := solve(); resp == nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("opening solve did not reach the solver: %+v", resp)
+	}
+	if st := s.breaker.State(); st != "open" {
+		t.Fatalf("breaker after starved solve = %q, want open", st)
+	}
+	time.Sleep(80 * time.Millisecond) // cooldown elapses
+
+	const n = 16
+	var ok, shed atomic.Int32
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			resp := solve()
+			if resp == nil {
+				return
+			}
+			switch resp.StatusCode {
+			case http.StatusOK:
+				ok.Add(1)
+			case http.StatusServiceUnavailable:
+				if resp.Header.Get("Retry-After") == "" {
+					t.Error("shed request lacks Retry-After")
+				}
+				shed.Add(1)
+			default:
+				t.Errorf("unexpected status %d", resp.StatusCode)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if ok.Load() != 1 || shed.Load() != n-1 {
+		t.Fatalf("after cooldown: %d probes admitted, %d shed; want exactly 1 and %d", ok.Load(), shed.Load(), n-1)
+	}
+}

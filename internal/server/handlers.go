@@ -12,6 +12,7 @@ import (
 	"luf/internal/cert"
 	"luf/internal/concurrent"
 	"luf/internal/fault"
+	"luf/internal/replica"
 	"luf/internal/solver"
 )
 
@@ -35,6 +36,10 @@ type ErrorDetail struct {
 	// UNSAT core: a derivation of the existing relation plus the
 	// contradicting assertion.
 	ConflictCert *WireCert `json:"conflict_cert,omitempty"`
+	// Primary, present on 421 responses, is the base URL of the node
+	// this follower believes is the current primary — the redirect hint
+	// failover-aware clients follow.
+	Primary string `json:"primary,omitempty"`
 }
 
 // WireStep is one certificate step on the wire.
@@ -103,6 +108,10 @@ func statusFor(err error) int {
 		return http.StatusTooManyRequests
 	case errors.Is(err, fault.ErrInvalidLabel):
 		return http.StatusBadRequest
+	case errors.Is(err, fault.ErrNotPrimary):
+		return http.StatusMisdirectedRequest
+	case errors.Is(err, fault.ErrFenced):
+		return http.StatusForbidden
 	case errors.Is(err, fault.ErrIO), errors.Is(err, fault.ErrInvariantViolated):
 		return http.StatusInternalServerError
 	}
@@ -124,6 +133,21 @@ func writeError(w http.ResponseWriter, err error) {
 		w.Header().Set("Retry-After", "1")
 	}
 	writeJSON(w, status, ErrorBody{Error: ErrorDetail{Kind: fault.StopLabel(err), Message: err.Error()}})
+}
+
+// refuseWrite writes the structured refusal for a node that cannot
+// accept this write: 421 responses carry the current primary's address
+// as a redirect hint, 503s the usual Retry-After.
+func (s *Server) refuseWrite(w http.ResponseWriter, err error) {
+	status := statusFor(err)
+	detail := ErrorDetail{Kind: fault.StopLabel(err), Message: err.Error()}
+	if status == http.StatusMisdirectedRequest {
+		detail.Primary, _ = s.primaryHint.Load().(string)
+	}
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, ErrorBody{Error: detail})
 }
 
 // decodeBody decodes a bounded JSON request body into v.
@@ -150,6 +174,12 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/solve", s.guarded(s.handleSolve))
 	s.mux.HandleFunc("GET /healthz", s.handleHealth) // never shed: probes must work under load
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	// Replication bypasses admission control: shedding the primary's
+	// stream under client load would turn an overload into divergence
+	// between replicas' ack state and reality. The fence check is the
+	// gate instead.
+	s.mux.HandleFunc("POST "+replica.ReplicatePath, s.handleReplicate)
+	s.mux.HandleFunc("POST /v1/promote", s.handlePromote)
 }
 
 // guarded wraps a handler with admission control and the per-request
@@ -194,6 +224,10 @@ type AssertResponse struct {
 }
 
 func (s *Server) handleAssert(w http.ResponseWriter, r *http.Request) {
+	if err := s.writable(); err != nil {
+		s.refuseWrite(w, err)
+		return
+	}
 	var req AssertRequest
 	if err := decodeBody(r, &req); err != nil {
 		writeError(w, err)
@@ -213,16 +247,24 @@ func (s *Server) handleAssert(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusConflict, ErrorBody{Error: detail})
 		return
 	}
-	if err := s.persist(cert.Entry[string, int64]{N: req.N, M: req.M, Label: req.Label, Reason: req.Reason}); err != nil {
+	seq, err := s.persist(cert.Entry[string, int64]{N: req.N, M: req.M, Label: req.Label, Reason: req.Reason})
+	if err != nil {
 		// Accepted in memory but not durable: the client must treat the
 		// assert as lost. The journal is sticky-failed; the server keeps
 		// serving reads.
 		writeError(w, err)
 		return
 	}
+	if err := s.syncWait(r.Context(), seq); err != nil {
+		// Durable locally but not replicated within the deadline (or
+		// this node was fenced mid-write): the client must not treat the
+		// write as surviving a primary failure.
+		writeError(w, err)
+		return
+	}
 	resp := AssertResponse{OK: true, Durable: s.store != nil}
 	if s.store != nil {
-		resp.Seq = s.store.LastSeq()
+		resp.Seq = seq
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -305,6 +347,10 @@ type BatchAssertResponse struct {
 }
 
 func (s *Server) handleBatchAssert(w http.ResponseWriter, r *http.Request) {
+	if err := s.writable(); err != nil {
+		s.refuseWrite(w, err)
+		return
+	}
 	var req BatchAssertRequest
 	if err := decodeBody(r, &req); err != nil {
 		writeError(w, err)
@@ -323,6 +369,7 @@ func (s *Server) handleBatchAssert(w http.ResponseWriter, r *http.Request) {
 	})
 	resp := BatchAssertResponse{Results: make([]BatchAssertItem, len(results)), Durable: s.store != nil}
 	var persistErr error
+	var lastSeq uint64
 	for i, res := range results {
 		item := BatchAssertItem{OK: res.OK}
 		if res.Err != nil {
@@ -330,14 +377,24 @@ func (s *Server) handleBatchAssert(w http.ResponseWriter, r *http.Request) {
 		} else if !res.OK {
 			item.Error = "conflict"
 		} else if persistErr == nil {
-			persistErr = s.persist(cert.Entry[string, int64]{
+			var seq uint64
+			seq, persistErr = s.persist(cert.Entry[string, int64]{
 				N: ops[i].N, M: ops[i].M, Label: ops[i].Label, Reason: ops[i].Reason,
 			})
+			if persistErr == nil {
+				lastSeq = seq
+			}
 		}
 		resp.Results[i] = item
 	}
 	if persistErr != nil {
 		writeError(w, persistErr)
+		return
+	}
+	// One replication gate for the whole batch: every accepted item has
+	// a sequence number at or below lastSeq.
+	if err := s.syncWait(r.Context(), lastSeq); err != nil {
+		writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -408,12 +465,14 @@ type HealthResponse struct {
 	Status   string `json:"status"` // "ok", "degraded" (journal failed), "draining"
 	Draining bool   `json:"draining"`
 	Breaker  string `json:"breaker"`
+	// Role is the node's current replication role.
+	Role string `json:"role"`
 	// JournalError is the sticky journal failure, if any.
 	JournalError string `json:"journal_error,omitempty"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	resp := HealthResponse{Status: "ok", Draining: s.draining.Load(), Breaker: s.breaker.State()}
+	resp := HealthResponse{Status: "ok", Draining: s.draining.Load(), Breaker: s.breaker.State(), Role: s.Role()}
 	if resp.Draining {
 		resp.Status = "draining"
 	}
@@ -441,6 +500,21 @@ type StatsResponse struct {
 	LastSeq     uint64           `json:"last_seq,omitempty"`
 	SnapshotSeq uint64           `json:"snapshot_seq,omitempty"`
 	JournalSize int64            `json:"journal_bytes,omitempty"`
+	// Role is the node's current replication role.
+	Role string `json:"role"`
+	// Fence is the node's accepted fencing token (elections pick a
+	// token above the cluster-wide maximum).
+	Fence uint64 `json:"fence,omitempty"`
+	// DurableSeq is the node's last fsynced sequence number (elections
+	// promote the node with the highest).
+	DurableSeq uint64 `json:"durable_seq,omitempty"`
+	// Primary is the base URL of the node this one believes is primary.
+	Primary string `json:"primary,omitempty"`
+	// LeaseValid reports whether a replicating primary currently holds
+	// its write lease.
+	LeaseValid bool `json:"lease_valid,omitempty"`
+	// Peers is each follower's replication status, on the primary.
+	Peers map[string]replica.PeerStatus `json:"peers,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -451,11 +525,24 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Shed:       s.shed.Load(),
 		Breaker:    s.breaker.State(),
 		Durable:    s.store != nil,
+		Role:       s.Role(),
 	}
 	if s.store != nil {
 		resp.LastSeq = s.store.LastSeq()
 		resp.SnapshotSeq = s.store.SnapshotSeq()
 		resp.JournalSize = s.store.JournalSize()
+		resp.Fence = s.store.Fence()
+		resp.DurableSeq = s.store.DurableSeq()
+	}
+	resp.Primary, _ = s.primaryHint.Load().(string)
+	if s.lease != nil {
+		resp.LeaseValid = s.lease.Valid()
+	}
+	s.repMu.Lock()
+	sh := s.shipper
+	s.repMu.Unlock()
+	if sh != nil {
+		resp.Peers = sh.Status()
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

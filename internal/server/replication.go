@@ -1,0 +1,124 @@
+package server
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"strconv"
+
+	"luf/internal/fault"
+	"luf/internal/replica"
+)
+
+// maxReplicateBytes bounds one replication batch body. Raw journal
+// frames are compact; 32 MiB is thousands of batches past BatchMax.
+const maxReplicateBytes = 32 << 20
+
+// readBatch parses the replication protocol headers and body into a
+// replica.Batch.
+func readBatch(r *http.Request) (replica.Batch, error) {
+	var b replica.Batch
+	var err error
+	if b.Fence, err = strconv.ParseUint(r.Header.Get(replica.HeaderFence), 10, 64); err != nil {
+		return b, fault.Invalidf("bad %s header: %v", replica.HeaderFence, err)
+	}
+	if b.PrevSeq, err = strconv.ParseUint(r.Header.Get(replica.HeaderPrevSeq), 10, 64); err != nil {
+		return b, fault.Invalidf("bad %s header: %v", replica.HeaderPrevSeq, err)
+	}
+	crc, err := strconv.ParseUint(r.Header.Get(replica.HeaderPrevCRC), 10, 32)
+	if err != nil {
+		return b, fault.Invalidf("bad %s header: %v", replica.HeaderPrevCRC, err)
+	}
+	b.PrevCRC = uint32(crc)
+	if b.Count, err = strconv.Atoi(r.Header.Get(replica.HeaderCount)); err != nil || b.Count < 0 {
+		return b, fault.Invalidf("bad %s header", replica.HeaderCount)
+	}
+	b.Primary = r.Header.Get(replica.HeaderPrimary)
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxReplicateBytes+1))
+	if err != nil {
+		return b, fault.IOf("read replication body: %v", err)
+	}
+	if len(body) > maxReplicateBytes {
+		return b, fault.Invalidf("replication batch exceeds %d bytes", maxReplicateBytes)
+	}
+	b.Frames = body
+	return b, nil
+}
+
+// handleReplicate is the follower half of log shipping: it verifies
+// and applies one fence-stamped batch of journal frames, acknowledging
+// with this node's durable sequence number. A batch carrying a newer
+// fencing token than this node has accepted demotes a still-running
+// primary — the new primary's stream is how a replaced one learns it
+// was superseded. Stale tokens are refused with 403 and the accepted
+// token in the X-Luf-Fence response header.
+func (s *Server) handleReplicate(w http.ResponseWriter, r *http.Request) {
+	if s.applier == nil {
+		writeError(w, fault.Invalidf("this node has no durable store and cannot accept replication"))
+		return
+	}
+	if s.draining.Load() {
+		writeError(w, fault.Unavailablef("server is draining"))
+		return
+	}
+	b, err := readBatch(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if b.Fence > s.store.Fence() && !s.follower.Load() {
+		s.demote(b.Fence)
+	}
+	ack, err := s.applier.Apply(b)
+	if err != nil {
+		if errors.Is(err, fault.ErrFenced) {
+			w.Header().Set(replica.HeaderFence, strconv.FormatUint(s.store.Fence(), 10))
+		}
+		writeError(w, err)
+		return
+	}
+	if b.Primary != "" {
+		s.primaryHint.Store(b.Primary)
+	}
+	writeJSON(w, http.StatusOK, ack)
+}
+
+// PromoteRequest is the /v1/promote request body.
+type PromoteRequest struct {
+	// Fence is the new epoch's fencing token; it must exceed every
+	// token this node has accepted (pick max cluster fence + 1).
+	Fence uint64 `json:"fence"`
+}
+
+// PromoteResponse is the /v1/promote success body.
+type PromoteResponse struct {
+	// Role is the node's role after the promotion ("primary").
+	Role string `json:"role"`
+	// Fence is the now-durable fencing token.
+	Fence uint64 `json:"fence"`
+	// LastSeq is the promoted node's journal tail — the history it
+	// serves as the new primary.
+	LastSeq uint64 `json:"last_seq"`
+}
+
+// handlePromote turns this node into the primary under a fencing token
+// that must exceed every token it has accepted; see Server.Promote.
+func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	var req PromoteRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if req.Fence == 0 {
+		writeError(w, fault.Invalidf("a promotion needs a non-zero fencing token"))
+		return
+	}
+	if err := s.Promote(req.Fence); err != nil {
+		if errors.Is(err, fault.ErrFenced) && s.store != nil {
+			w.Header().Set(replica.HeaderFence, strconv.FormatUint(s.store.Fence(), 10))
+		}
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, PromoteResponse{Role: s.Role(), Fence: s.store.Fence(), LastSeq: s.store.LastSeq()})
+}

@@ -1,0 +1,256 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"luf/internal/client"
+	"luf/internal/replica"
+	"luf/internal/server"
+)
+
+// newPair builds a primary/follower pair wired at each other over real
+// HTTP listeners. The listeners exist before either server so each
+// node can be configured with the other's address.
+func newPair(t *testing.T, pcfg, fcfg server.Config) (p, f *server.Server, pURL, fURL string) {
+	t.Helper()
+	pts := httptest.NewUnstartedServer(http.NotFoundHandler())
+	fts := httptest.NewUnstartedServer(http.NotFoundHandler())
+	pURL = "http://" + pts.Listener.Addr().String()
+	fURL = "http://" + fts.Listener.Addr().String()
+
+	pcfg.Dir, fcfg.Dir = t.TempDir(), t.TempDir()
+	pcfg.Role, fcfg.Role = server.RolePrimary, server.RoleFollower
+	pcfg.NodeName, fcfg.NodeName = "p", "f"
+	pcfg.Advertise, fcfg.Advertise = pURL, fURL
+	pcfg.Peers = []replica.Peer{{Name: "f", URL: fURL}}
+	fcfg.Peers = []replica.Peer{{Name: "p", URL: pURL}}
+	if pcfg.ShipInterval == 0 {
+		pcfg.ShipInterval = 5 * time.Millisecond
+	}
+	if fcfg.ShipInterval == 0 {
+		fcfg.ShipInterval = 5 * time.Millisecond
+	}
+
+	p, _, err := server.New(pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _, err = server.New(fcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts.Config.Handler = p.Handler()
+	fts.Config.Handler = f.Handler()
+	pts.Start()
+	fts.Start()
+	t.Cleanup(func() {
+		_ = p.Drain(context.Background())
+		_ = f.Drain(context.Background())
+		pts.Close()
+		fts.Close()
+	})
+	return p, f, pURL, fURL
+}
+
+// waitUntil polls cond for up to 5s.
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func postJSON(t *testing.T, url string, body string) (*http.Response, server.ErrorBody) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var eb server.ErrorBody
+	_ = json.NewDecoder(resp.Body).Decode(&eb)
+	return resp, eb
+}
+
+func TestReplicationStreamsToFollower(t *testing.T) {
+	p, f, pURL, fURL := newPair(t, server.Config{}, server.Config{})
+	c := client.New(pURL)
+	ctx := context.Background()
+
+	// Writes retry through the initial lease probe, land on the primary,
+	// and stream to the follower.
+	for i := 0; i < 12; i++ {
+		if _, err := c.Assert(ctx, fmt.Sprintf("n%d", i), fmt.Sprintf("n%d", i+1), int64(i), "repl"); err != nil {
+			t.Fatalf("assert %d: %v", i, err)
+		}
+	}
+	waitUntil(t, "follower catch-up", func() bool { return f.Store().LastSeq() == p.Store().LastSeq() })
+
+	// Reads are served by the follower from its own certified state.
+	fc := client.New(fURL)
+	label, related, err := fc.Relation(ctx, "n0", "n12")
+	if err != nil || !related || label != 66 {
+		t.Fatalf("follower relation(n0,n12) = (%d,%v,%v), want (66,true,nil)", label, related, err)
+	}
+	cc, err := fc.Explain(ctx, "n0", "n12")
+	if err != nil || len(cc.Steps) == 0 {
+		t.Fatalf("follower explain: %+v, %v", cc, err)
+	}
+
+	// Writes to the follower are refused with 421 plus the primary hint.
+	resp, eb := postJSON(t, fURL+"/v1/assert", `{"n":"a","m":"b","label":1}`)
+	if resp.StatusCode != http.StatusMisdirectedRequest || eb.Error.Kind != "not-primary" {
+		t.Fatalf("follower write: status %d kind %q, want 421/not-primary", resp.StatusCode, eb.Error.Kind)
+	}
+	if eb.Error.Primary != pURL {
+		t.Fatalf("follower redirect hint %q, want %q", eb.Error.Primary, pURL)
+	}
+}
+
+func TestSyncReplicationGatesAcks(t *testing.T) {
+	p, f, pURL, _ := newPair(t, server.Config{SyncReplication: true}, server.Config{})
+	c := client.New(pURL)
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		r, err := c.Assert(ctx, fmt.Sprintf("s%d", i), fmt.Sprintf("s%d", i+1), 1, "sync")
+		if err != nil {
+			t.Fatalf("sync assert %d: %v", i, err)
+		}
+		// The acknowledgement means the write is already durable on a
+		// follower: losing the primary right now cannot lose it.
+		if got := f.Store().DurableSeq(); got < r.Seq {
+			t.Fatalf("acked seq %d but follower durable at %d", r.Seq, got)
+		}
+	}
+	_ = p
+}
+
+func TestPromoteFencesStalePrimary(t *testing.T) {
+	p, f, pURL, fURL := newPair(t, server.Config{}, server.Config{})
+	c := client.New(pURL)
+	ctx := context.Background()
+	for i := 0; i < 8; i++ {
+		if _, err := c.Assert(ctx, fmt.Sprintf("m%d", i), fmt.Sprintf("m%d", i+1), 2, "pre-failover"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitUntil(t, "pre-failover catch-up", func() bool { return f.Store().LastSeq() == p.Store().LastSeq() })
+
+	// Promote the follower under fencing token 1 (above the cluster max
+	// of 0). The old primary is still running — the worst case.
+	resp, _ := postJSON(t, fURL+"/v1/promote", `{"fence":1}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("promote: status %d", resp.StatusCode)
+	}
+	if f.Role() != server.RolePrimary {
+		t.Fatalf("promoted node role %q", f.Role())
+	}
+
+	// The old primary learns it was superseded — either its own shipping
+	// is refused with 403, or the new primary's stream (token 1) demotes
+	// it. Both end with the old node a follower redirecting to the new.
+	waitUntil(t, "stale primary demotion", func() bool { return p.Role() == server.RoleFollower })
+	resp, eb := postJSON(t, pURL+"/v1/assert", `{"n":"x","m":"y","label":1}`)
+	if resp.StatusCode != http.StatusMisdirectedRequest || eb.Error.Kind != "not-primary" {
+		t.Fatalf("stale primary write: status %d kind %q, want 421/not-primary", resp.StatusCode, eb.Error.Kind)
+	}
+	waitUntil(t, "redirect hint updated", func() bool {
+		_, eb := postJSON(t, pURL+"/v1/assert", `{"n":"x","m":"y","label":1}`)
+		return eb.Error.Primary == fURL
+	})
+
+	// A replication batch carrying the stale token is provably rejected:
+	// 403, kind "fenced", and the accepted token in the response header.
+	req, _ := http.NewRequest(http.MethodPost, fURL+replica.ReplicatePath, bytes.NewReader(nil))
+	req.Header.Set(replica.HeaderFence, "0")
+	req.Header.Set(replica.HeaderPrevSeq, "0")
+	req.Header.Set(replica.HeaderPrevCRC, "0")
+	req.Header.Set(replica.HeaderCount, "0")
+	hres, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var feb server.ErrorBody
+	_ = json.NewDecoder(hres.Body).Decode(&feb)
+	hres.Body.Close()
+	if hres.StatusCode != http.StatusForbidden || feb.Error.Kind != "fenced" {
+		t.Fatalf("stale replicate: status %d kind %q, want 403/fenced", hres.StatusCode, feb.Error.Kind)
+	}
+	if hres.Header.Get(replica.HeaderFence) != "1" {
+		t.Fatalf("fenced response header %q, want the accepted token 1", hres.Header.Get(replica.HeaderFence))
+	}
+
+	// A promotion that does not beat the accepted token is refused.
+	resp, eb = postJSON(t, fURL+"/v1/promote", `{"fence":1}`)
+	if resp.StatusCode != http.StatusForbidden || eb.Error.Kind != "fenced" {
+		t.Fatalf("replayed promote: status %d kind %q, want 403/fenced", resp.StatusCode, eb.Error.Kind)
+	}
+
+	// The new primary serves writes; the demoted node follows its stream
+	// and converges on the same history.
+	fc := client.New(fURL)
+	for i := 0; i < 4; i++ {
+		if _, err := fc.Assert(ctx, fmt.Sprintf("post%d", i), fmt.Sprintf("post%d", i+1), 3, "post-failover"); err != nil {
+			t.Fatalf("post-failover assert %d: %v", i, err)
+		}
+	}
+	waitUntil(t, "old primary following the new one", func() bool {
+		return p.Store().LastSeq() == f.Store().LastSeq()
+	})
+	label, related, err := client.New(pURL).Relation(ctx, "post0", "post4")
+	if err != nil || !related || label != 12 {
+		t.Fatalf("demoted node relation(post0,post4) = (%d,%v,%v), want (12,true,nil)", label, related, err)
+	}
+}
+
+func TestStatsExposeReplication(t *testing.T) {
+	p, f, pURL, fURL := newPair(t, server.Config{}, server.Config{})
+	c := client.New(pURL)
+	if _, err := c.Assert(context.Background(), "a", "b", 1, ""); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, "catch-up", func() bool { return f.Store().LastSeq() == p.Store().LastSeq() })
+
+	get := func(url string) server.StatsResponse {
+		t.Helper()
+		resp, err := http.Get(url + "/v1/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var st server.StatsResponse
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	// The ack travels back after the follower's store advances, so wait
+	// for it to surface in the primary's stats.
+	waitUntil(t, "ack visibility in stats", func() bool {
+		st := get(pURL)
+		return st.Peers["f"].Acked == st.LastSeq
+	})
+	pst, fst := get(pURL), get(fURL)
+	if pst.Role != server.RolePrimary || fst.Role != server.RoleFollower {
+		t.Fatalf("roles %q/%q", pst.Role, fst.Role)
+	}
+	if !pst.LeaseValid {
+		t.Fatal("replicating primary should hold its lease after follower acks")
+	}
+	if fst.Primary != pURL {
+		t.Fatalf("follower's primary hint %q, want %q", fst.Primary, pURL)
+	}
+}

@@ -43,6 +43,7 @@ import (
 	"luf/internal/concurrent"
 	"luf/internal/fault"
 	"luf/internal/group"
+	"luf/internal/replica"
 	"luf/internal/wal"
 )
 
@@ -77,6 +78,36 @@ type Config struct {
 	// writes, fsync failures). The injector is single-owner; the server
 	// serializes access to it.
 	Inject *fault.Injector
+
+	// NodeName is this node's name: the source endpoint on the
+	// simulated network and the name peers see; <= "" means "node".
+	NodeName string
+	// Role selects the node's replication role: "primary" (the default)
+	// accepts writes and ships its journal to Peers; "follower" refuses
+	// client writes with 421 and applies shipped batches on
+	// /v1/replicate until promoted.
+	Role string
+	// Advertise is this node's client-facing base URL, shipped to
+	// followers so they can redirect writes to the current primary.
+	Advertise string
+	// Peers are the other cluster members this node ships to while it
+	// is (or becomes) primary. Requires Dir: replication is only
+	// meaningful between durable stores.
+	Peers []replica.Peer
+	// LeaseTTL bounds how long the primary may accept writes without a
+	// follower acknowledgement; <= 0 means 1s. Only meaningful with
+	// Peers.
+	LeaseTTL time.Duration
+	// SyncReplication makes writes block until at least one follower
+	// acknowledges the record as durable — an acknowledged write then
+	// survives the loss of the primary.
+	SyncReplication bool
+	// ShipInterval is the shipper's idle heartbeat/retry period; <= 0
+	// uses the replica default (50ms).
+	ShipInterval time.Duration
+	// Net, when non-nil, routes replication through a simulated network
+	// (chaos tests).
+	Net *fault.Network
 }
 
 func (c Config) withDefaults() Config {
@@ -95,8 +126,27 @@ func (c Config) withDefaults() Config {
 	if c.BreakerCooldown <= 0 {
 		c.BreakerCooldown = 5 * time.Second
 	}
+	if c.Role == "" {
+		c.Role = RolePrimary
+	}
+	if c.NodeName == "" {
+		c.NodeName = "node"
+	}
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = time.Second
+	}
 	return c
 }
+
+// Replication role names used in Config.Role and surfaced in stats.
+const (
+	// RolePrimary marks the node that accepts writes and ships its
+	// journal.
+	RolePrimary = "primary"
+	// RoleFollower marks a node that applies shipped batches and
+	// redirects writes.
+	RoleFollower = "follower"
+)
 
 // Server is the HTTP serving layer over a concurrent labeled
 // union-find, optionally backed by a durable WAL store.
@@ -118,6 +168,16 @@ type Server struct {
 	served   atomic.Int64 // requests admitted
 	snapping atomic.Bool  // a background snapshot is running
 	appends  atomic.Int64 // journaled asserts since the last snapshot
+
+	// Replication state. follower flips atomically on promotion and on
+	// fencing; repMu serializes the shipper lifecycle transitions
+	// (promote, demote, drain).
+	follower    atomic.Bool
+	primaryHint atomic.Value // string: last known primary base URL
+	lease       *replica.Lease
+	applier     *replica.Applier[string, int64]
+	repMu       sync.Mutex
+	shipper     *replica.Shipper[string, int64]
 }
 
 // New builds a server, recovering durable state from cfg.Dir when set.
@@ -142,9 +202,135 @@ func New(cfg Config) (*Server, *wal.Recovered[string, int64], error) {
 		s.journal = cert.NewSyncJournal[string, int64](s.g)
 		s.uf = concurrent.New[string, int64](s.g, concurrent.WithRecorder[string, int64](s.journal.Record))
 	}
+	if cfg.Role != RolePrimary && cfg.Role != RoleFollower {
+		return nil, nil, fault.Invalidf("unknown role %q (want %q or %q)", cfg.Role, RolePrimary, RoleFollower)
+	}
+	if (cfg.Role == RoleFollower || len(cfg.Peers) > 0) && s.store == nil {
+		return nil, nil, fault.Invalidf("replication requires a durable store directory")
+	}
+	s.primaryHint.Store("")
+	if s.store != nil {
+		s.applier = &replica.Applier[string, int64]{G: s.g, UF: s.uf, Journal: s.journal, Store: s.store}
+	}
+	s.follower.Store(cfg.Role == RoleFollower)
+	if len(cfg.Peers) > 0 {
+		// The lease starts expired: a freshly started (or revived)
+		// primary must earn a follower acknowledgement before it may
+		// accept writes — a stale primary is fenced during that probe
+		// instead of accepting doomed writes. Followers carry the same
+		// (expired) lease so a later promotion inherits the gate.
+		s.lease = replica.NewLease(cfg.LeaseTTL)
+	}
+	if cfg.Role == RolePrimary && len(cfg.Peers) > 0 {
+		s.startShipping()
+	}
+	if cfg.Role == RolePrimary && cfg.Advertise != "" {
+		s.primaryHint.Store(cfg.Advertise)
+	}
 	s.mux = http.NewServeMux()
 	s.routes()
 	return s, rec, nil
+}
+
+// startShipping builds and starts the shipper for this node's peers.
+// Callers hold repMu or are still single-threaded (New).
+func (s *Server) startShipping() {
+	sh := replica.NewShipper(replica.Config[string, int64]{
+		Store:     s.store,
+		Self:      s.cfg.NodeName,
+		Advertise: s.cfg.Advertise,
+		Peers:     s.cfg.Peers,
+		Lease:     s.lease,
+		Interval:  s.cfg.ShipInterval,
+		Net:       s.cfg.Net,
+		OnFenced:  s.demote,
+	})
+	s.shipper = sh
+	sh.Start()
+}
+
+// demote steps this node down to follower after a newer fencing token
+// was observed: writes start redirecting, the lease is expired, and the
+// shipper is stopped. Called from the shipper's OnFenced goroutine and
+// from the replicate handler when a newer primary ships to us.
+func (s *Server) demote(token uint64) {
+	s.repMu.Lock()
+	sh := s.shipper
+	s.shipper = nil
+	s.follower.Store(true)
+	if s.lease != nil {
+		s.lease.Expire()
+	}
+	// The old hint may point at this very node; the new primary's
+	// stream will supply the real one.
+	s.primaryHint.Store("")
+	s.repMu.Unlock()
+	if sh != nil {
+		sh.Stop()
+	}
+}
+
+// Promote turns this node into the primary under the given fencing
+// token, which must exceed every token this node has accepted; the
+// token is made durable before the role flips. The new primary starts
+// shipping to its configured peers; its lease starts expired until a
+// follower acknowledges (in a single-surviving-node emergency there is
+// nobody to acknowledge — see OPERATIONS.md for the escape hatch).
+func (s *Server) Promote(token uint64) error {
+	if s.store == nil {
+		return fault.Invalidf("promotion requires a durable store")
+	}
+	s.repMu.Lock()
+	defer s.repMu.Unlock()
+	if cur := s.store.Fence(); token <= cur {
+		return fault.Fencedf("promotion token %d is not above the accepted fencing token %d", token, cur)
+	}
+	if err := s.store.SetFence(token); err != nil {
+		return err
+	}
+	s.follower.Store(false)
+	if s.cfg.Advertise != "" {
+		s.primaryHint.Store(s.cfg.Advertise)
+	}
+	if s.lease != nil {
+		// The election confers one TTL of write authority: the token the
+		// promoter computed had to beat the cluster-wide maximum, so no
+		// older primary can replicate past us, and any *newer* election
+		// fences us at first contact. Sustained authority still requires
+		// follower acknowledgements to keep renewing the lease.
+		s.lease.Renew()
+	}
+	if s.shipper == nil && len(s.cfg.Peers) > 0 {
+		s.startShipping()
+	}
+	return nil
+}
+
+// Role returns the node's current replication role, which changes at
+// runtime through Promote and fencing-driven demotion.
+func (s *Server) Role() string {
+	if s.follower.Load() {
+		return RoleFollower
+	}
+	return RolePrimary
+}
+
+// writable reports whether this node may accept a client write right
+// now: followers redirect (421 + primary hint), and a primary whose
+// lease lapsed — no follower acknowledgement within the TTL, i.e. it
+// may be partitioned while a new primary is elected — refuses with a
+// retryable 503 instead of accepting writes that fencing would doom.
+func (s *Server) writable() error {
+	if s.follower.Load() {
+		if hint, _ := s.primaryHint.Load().(string); hint != "" {
+			return fault.NotPrimaryf("this node is a follower; write to the primary at %s", hint)
+		}
+		return fault.NotPrimaryf("this node is a follower; write to the primary")
+	}
+	if s.lease != nil && !s.lease.Valid() {
+		return fault.Unavailablef("primary lease lapsed (no follower acknowledgement within %v); refusing writes until a follower acks", s.cfg.LeaseTTL)
+	}
+	return nil
 }
 
 // Handler returns the server's HTTP handler.
@@ -189,21 +375,47 @@ func (s *Server) admit(r *http.Request) (func(), error) {
 // surfaces as the store's classified error; the caller turns it into a
 // structured 503 (the in-memory accept stands, but the client was told
 // durability failed, so it must not rely on it).
-func (s *Server) persist(e cert.Entry[string, int64]) error {
+func (s *Server) persist(e cert.Entry[string, int64]) (uint64, error) {
 	if s.store == nil {
-		return nil
+		return 0, nil
 	}
 	seq, err := s.store.Append(e)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if err := s.store.Commit(seq); err != nil {
-		return err
+		return 0, err
 	}
 	if n := s.appends.Add(1); s.cfg.SnapshotEvery > 0 && n >= int64(s.cfg.SnapshotEvery) {
 		s.maybeSnapshot()
 	}
-	return nil
+	s.repMu.Lock()
+	sh := s.shipper
+	s.repMu.Unlock()
+	if sh != nil {
+		sh.Kick()
+	}
+	return seq, nil
+}
+
+// syncWait gates the acknowledgement of a durable write behind
+// synchronous replication, when configured: it blocks (bounded by ctx)
+// until at least one follower acknowledged seq as durable, so the
+// write survives the loss of this primary.
+func (s *Server) syncWait(ctx context.Context, seq uint64) error {
+	if !s.cfg.SyncReplication || seq == 0 || len(s.cfg.Peers) == 0 {
+		return nil
+	}
+	s.repMu.Lock()
+	sh := s.shipper
+	s.repMu.Unlock()
+	if sh == nil {
+		// A drain or demotion stopped the shipper while this write was
+		// in flight. Acknowledging now would promise failover
+		// durability the record does not have — refuse instead.
+		return fault.Unavailablef("write is durable locally but replication is stopped; it may not survive failover")
+	}
+	return sh.WaitAcked(ctx, seq)
 }
 
 // maybeSnapshot starts a background snapshot unless one is running.
@@ -215,8 +427,13 @@ func (s *Server) maybeSnapshot() {
 	go func() {
 		defer s.snapping.Store(false)
 		// A snapshot failure is not fatal: the journal still holds
-		// everything. The next trigger retries.
-		_ = s.store.Snapshot()
+		// everything. The next trigger retries. Once a snapshot covers a
+		// journal prefix, the prefix is trimmed away (atomically) so the
+		// journal does not grow without bound.
+		if err := s.store.Snapshot(); err != nil {
+			return
+		}
+		_ = s.store.Trim()
 	}()
 }
 
@@ -229,6 +446,13 @@ func (s *Server) maybeSnapshot() {
 func (s *Server) Drain(ctx context.Context) error {
 	if s.draining.Swap(true) {
 		return nil
+	}
+	s.repMu.Lock()
+	sh := s.shipper
+	s.shipper = nil
+	s.repMu.Unlock()
+	if sh != nil {
+		sh.Stop()
 	}
 	// Acquire every admission token: once we hold all of them, no
 	// request is in flight (each in-flight request holds one until it

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sync"
 
 	"luf/internal/cert"
@@ -26,6 +27,7 @@ import (
 type Log struct {
 	mu      sync.Mutex // file offset + seq state
 	f       *os.File
+	path    string
 	seq     uint64 // last appended sequence number
 	size    int64  // current file size
 	failed  error  // sticky first I/O error
@@ -42,6 +44,9 @@ type Log struct {
 // corruption aborts with a structured error.
 func openLogFile[N comparable, L any](path string, c Codec[N, L], inj *fault.Injector) (*Log, DecodeResult[N, L], error) {
 	var res DecodeResult[N, L]
+	// A crash mid-Rewrite can strand a staging file; it was never the
+	// live journal, so it is simply discarded.
+	_ = os.Remove(path + ".tmp")
 	image, err := os.ReadFile(path)
 	if err != nil && !errors.Is(err, os.ErrNotExist) {
 		return nil, res, fault.IOf("open %s: %v", path, err)
@@ -57,7 +62,7 @@ func openLogFile[N comparable, L any](path string, c Codec[N, L], inj *fault.Inj
 	if err != nil {
 		return nil, res, fault.IOf("open %s: %v", path, err)
 	}
-	l := &Log{f: f, inj: inj}
+	l := &Log{f: f, path: path, inj: inj}
 	if !res.HasHeader {
 		// Fresh file, or a crash tore the very first frame: start over.
 		if err := f.Truncate(0); err != nil {
@@ -65,7 +70,7 @@ func openLogFile[N comparable, L any](path string, c Codec[N, L], inj *fault.Inj
 			return nil, res, fault.IOf("truncate %s: %v", path, err)
 		}
 		res = DecodeResult[N, L]{}
-		hdr := appendFrame(nil, encodeHeader(c.GroupID(), 0))
+		hdr := appendFrame(nil, encodeHeader(c.GroupID(), 0, 0))
 		if _, err := f.WriteAt(hdr, 0); err != nil {
 			f.Close()
 			return nil, res, fault.IOf("write header %s: %v", path, err)
@@ -131,33 +136,111 @@ func (l *Log) Size() int64 {
 	return l.size
 }
 
-// append writes one assertion frame and returns its sequence number.
-// The write lands in the page cache only; call Commit to make it (and
-// everything before it) durable.
-func appendRecord[N comparable, L any](l *Log, c Codec[N, L], e cert.Entry[N, L]) (uint64, error) {
+// appendRecordAt writes one assertion frame carrying an explicit,
+// caller-assigned sequence number (the store allocates primary-side
+// sequence numbers; followers append with the primary's). The write
+// lands in the page cache only; call Commit to make it (and everything
+// before it) durable.
+func appendRecordAt[N comparable, L any](l *Log, c Codec[N, L], seq uint64, e cert.Entry[N, L]) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.failed != nil {
-		return 0, l.failed
+		return l.failed
 	}
-	seq := l.seq + 1
+	if seq <= l.seq {
+		return l.fail(fault.Invariantf("journal append at sequence %d, file already at %d", seq, l.seq))
+	}
 	frame := appendFrame(nil, encodeAssert(c, seq, e))
 	l.injMu.Lock()
 	n, injErr := l.inj.ObserveFrameWrite(len(frame))
 	l.injMu.Unlock()
 	if _, err := l.f.WriteAt(frame[:n], l.size); err != nil {
-		return 0, l.fail(fault.IOf("append: %v", err))
+		return l.fail(fault.IOf("append: %v", err))
 	}
 	if injErr != nil {
 		// The torn prefix is on disk, exactly as a crash mid-write
 		// would leave it; the log is now failed and the next open
 		// repairs the tear.
 		l.size += int64(n)
-		return 0, l.fail(injErr)
+		return l.fail(injErr)
 	}
 	l.size += int64(len(frame))
 	l.seq = seq
-	return seq, nil
+	return nil
+}
+
+// appendFence writes one fence record. Fence records carry no sequence
+// number — they mark an epoch change, not an assertion — so they leave
+// the assert numbering untouched.
+func (l *Log) appendFence(token uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.failed != nil {
+		return l.failed
+	}
+	frame := appendFrame(nil, encodeFence(token))
+	l.injMu.Lock()
+	n, injErr := l.inj.ObserveFrameWrite(len(frame))
+	l.injMu.Unlock()
+	if _, err := l.f.WriteAt(frame[:n], l.size); err != nil {
+		return l.fail(fault.IOf("append fence: %v", err))
+	}
+	if injErr != nil {
+		l.size += int64(n)
+		return l.fail(injErr)
+	}
+	l.size += int64(len(frame))
+	return nil
+}
+
+// Rewrite atomically replaces the whole journal file with image (used
+// by Store.Trim to drop the snapshot-covered prefix): the image is
+// staged under a temporary name, fsynced, renamed over the live file,
+// and the directory fsynced, so a crash at any point leaves either the
+// old complete journal or the new one. lastSeq is the highest sequence
+// number the image accounts for (its trim base plus its records);
+// appends resume above it.
+func (l *Log) Rewrite(image []byte, lastSeq uint64) error {
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.failed != nil {
+		return l.failed
+	}
+	if lastSeq < l.seq {
+		return l.fail(fault.Invariantf("journal rewrite to sequence %d would lose records up to %d", lastSeq, l.seq))
+	}
+	tmp := l.path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return l.fail(fault.IOf("rewrite: create %s: %v", tmp, err))
+	}
+	if _, err := f.Write(image); err != nil {
+		f.Close()
+		return l.fail(fault.IOf("rewrite: write %s: %v", tmp, err))
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return l.fail(fault.IOf("rewrite: sync %s: %v", tmp, err))
+	}
+	if err := os.Rename(tmp, l.path); err != nil {
+		f.Close()
+		return l.fail(fault.IOf("rewrite: rename %s: %v", l.path, err))
+	}
+	if d, err := os.Open(filepath.Dir(l.path)); err == nil {
+		// Persist the rename itself; ignore fsync errors on platforms
+		// that reject directory syncs.
+		_ = d.Sync()
+		d.Close()
+	}
+	old := l.f
+	l.f = f
+	old.Close()
+	l.size = int64(len(image))
+	l.seq = lastSeq
+	l.durable = lastSeq
+	return nil
 }
 
 // Commit blocks until sequence number seq is durable (fsynced),

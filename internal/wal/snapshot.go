@@ -5,7 +5,6 @@ import (
 	"os"
 	"path/filepath"
 
-	"luf/internal/cert"
 	"luf/internal/fault"
 )
 
@@ -17,19 +16,20 @@ const (
 	snapshotTmp  = "snapshot.tmp"
 )
 
-// writeSnapshot atomically writes a snapshot file: the deduplicated
-// entries, in one image with a header whose CoversSeq records the
-// journal sequence number the snapshot subsumes. The image is staged
-// under a temporary name, fsynced, renamed into place, and the
-// directory fsynced — so at every instant the store holds either the
-// old complete snapshot or the new one, never a partial file.
-func writeSnapshot[N comparable, L any](dir string, c Codec[N, L], entries []cert.Entry[N, L], coversSeq uint64) error {
-	image := appendFrame(nil, encodeHeader(c.GroupID(), coversSeq))
-	for i, e := range entries {
-		// Snapshot records get fresh local sequence numbers 1..k; the
-		// header's CoversSeq, not the local numbering, positions the
-		// snapshot against the journal.
-		image = appendFrame(image, encodeAssert(c, uint64(i+1), e))
+// writeSnapshot atomically writes a snapshot file: the store's records
+// with their *original* journal sequence numbers, in one image with a
+// header whose CoversSeq records the journal sequence number the
+// snapshot subsumes and whose Fence persists the fencing token in
+// force. Preserving the original numbering keeps one global sequence
+// identity per assertion across snapshots, trims and replication. The
+// image is staged under a temporary name, fsynced, renamed into place,
+// and the directory fsynced — so at every instant the store holds
+// either the old complete snapshot or the new one, never a partial
+// file.
+func writeSnapshot[N comparable, L any](dir string, c Codec[N, L], recs []SeqEntry[N, L], coversSeq, fence uint64) error {
+	image := appendFrame(nil, encodeHeader(c.GroupID(), coversSeq, fence))
+	for _, r := range recs {
+		image = appendFrame(image, encodeAssert(c, r.Seq, r.Entry))
 	}
 	tmp := filepath.Join(dir, snapshotTmp)
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 
 	"luf/internal/cert"
@@ -14,8 +15,14 @@ import (
 
 // Store is a durable assertion store: a directory holding one live
 // journal (journal.wal) and at most one snapshot (snapshot.wal), with
-// an in-memory deduplicated copy of every persisted assertion for
-// snapshotting. It is safe for concurrent use.
+// an in-memory sequence-ordered mirror of every persisted record for
+// snapshotting and log shipping. It is safe for concurrent use.
+//
+// Sequence numbers are global, not per-file: a record keeps the number
+// it was first assigned through snapshots, journal trims and
+// replication, so "the record at sequence 17" means the same assertion
+// on every replica. A primary allocates numbers with Append; followers
+// write the primary's numbers verbatim with AppendReplicated.
 type Store[N comparable, L any] struct {
 	dir   string
 	g     group.Group[L]
@@ -23,11 +30,14 @@ type Store[N comparable, L any] struct {
 	log   *Log
 
 	mu          sync.Mutex
+	seq         uint64 // last allocated sequence number
+	fence       uint64 // highest accepted fencing token
+	records     []SeqEntry[N, L]
 	entries     []cert.Entry[N, L]
 	seen        map[string]bool
 	snapshotSeq uint64 // CoversSeq of the newest snapshot on disk
 
-	snapMu sync.Mutex // serializes snapshot writes
+	snapMu sync.Mutex // serializes snapshot writes and trims
 }
 
 // Options configures Open.
@@ -52,16 +62,19 @@ type Recovered[N comparable, L any] struct {
 	TailTruncated int
 	// LastSeq is the journal sequence number appends resume after.
 	LastSeq uint64
+	// Fence is the highest fencing token the store had accepted.
+	Fence uint64
 }
 
 // Open opens (creating if needed) a durable store in dir and runs
-// certified recovery: snapshot entries plus the journal records beyond
+// certified recovery: snapshot records plus the journal records beyond
 // the snapshot's coverage are replayed through the group operations
 // into a fresh concurrent union-find, and every replayed assertion is
 // re-proved by the independent checker. A torn journal tail is
 // truncated and counted; checksum damage anywhere else, a replay
-// conflict, or a certificate the checker rejects aborts with a
-// structured error — recovery never silently accepts corrupt state.
+// conflict, a certificate the checker rejects, or a trimmed journal
+// whose covering snapshot is missing aborts with a structured error —
+// recovery never silently accepts corrupt or shrunken state.
 func Open[N comparable, L any](dir string, g group.Group[L], c Codec[N, L], opts Options) (*Store[N, L], *Recovered[N, L], error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, fault.IOf("store: mkdir %s: %v", dir, err)
@@ -78,16 +91,23 @@ func Open[N comparable, L any](dir string, g group.Group[L], c Codec[N, L], opts
 	if hasSnap {
 		covers = snap.Header.CoversSeq
 	}
-	var entries []cert.Entry[N, L]
-	fromSnapshot := 0
+	if base := jres.Header.CoversSeq; base > covers {
+		log.Close()
+		return nil, nil, fault.IOf(
+			"store %s: journal was trimmed to sequence %d but the snapshot covers only %d — the covering snapshot is missing or stale, so records are gone; restore the snapshot or resync from a replica", dir, base, covers)
+	}
+	var records []SeqEntry[N, L]
 	for _, r := range snap.Records {
-		entries = append(entries, r.Entry)
-		fromSnapshot++
+		records = append(records, SeqEntry[N, L]{Seq: r.Seq, Entry: r.Entry})
 	}
 	for _, r := range jres.Records {
 		if r.Seq > covers {
-			entries = append(entries, r.Entry)
+			records = append(records, SeqEntry[N, L]{Seq: r.Seq, Entry: r.Entry})
 		}
+	}
+	entries := make([]cert.Entry[N, L], 0, len(records))
+	for _, r := range records {
+		entries = append(entries, r.Entry)
 	}
 	uf, journal, err := Rebuild(g, entries)
 	if err != nil {
@@ -99,12 +119,13 @@ func Open[N comparable, L any](dir string, g group.Group[L], c Codec[N, L], opts
 		g:           g,
 		codec:       c,
 		log:         log,
+		records:     records,
 		seen:        map[string]bool{},
 		snapshotSeq: covers,
 	}
 	// The deduplicated journal, not the raw record list, seeds the
-	// store's entry set (the journal may legitimately contain duplicate
-	// records when concurrent writers raced the same assertion).
+	// store's distinct-entry set (the record list may legitimately hold
+	// the same relation more than once across a failover boundary).
 	for _, e := range journal.Entries() {
 		s.entries = append(s.entries, e)
 		s.seen[s.key(e)] = true
@@ -116,13 +137,19 @@ func Open[N comparable, L any](dir string, g group.Group[L], c Codec[N, L], opts
 		log.seq = covers
 		log.durable = covers
 	}
+	s.seq = log.seq
+	s.fence = snap.Fence
+	if jres.Fence > s.fence {
+		s.fence = jres.Fence
+	}
 	rec := &Recovered[N, L]{
 		UF:            uf,
 		Journal:       journal,
 		Entries:       len(s.entries),
-		FromSnapshot:  fromSnapshot,
+		FromSnapshot:  len(snap.Records),
 		TailTruncated: jres.TornBytes,
-		LastSeq:       log.Seq(),
+		LastSeq:       s.seq,
+		Fence:         s.fence,
 	}
 	return s, rec, nil
 }
@@ -176,20 +203,131 @@ func (s *Store[N, L]) key(e cert.Entry[N, L]) string {
 	return string(s.codec.EncodeNode(e.N)) + "\x00" + string(s.codec.EncodeNode(e.M)) + "\x00" + s.g.Key(e.Label)
 }
 
-// Append persists one accepted assertion and returns the sequence
-// number to pass to Commit. Duplicate assertions (same endpoints and
-// label) are not rewritten; the returned sequence number still
-// guarantees, once committed, that the assertion is durable.
+// Append persists one accepted assertion under a freshly allocated
+// sequence number and returns that number to pass to Commit. Duplicate
+// assertions (same endpoints and label) are not rewritten; the
+// returned sequence number still guarantees, once committed, that the
+// assertion is durable. The in-memory mirror registers the record only
+// after the journal write succeeds, so it never claims a sequence
+// number the disk and the replicas will not see.
 func (s *Store[N, L]) Append(e cert.Entry[N, L]) (uint64, error) {
+	// s.mu stays held across the journal write: sequence allocation and
+	// the file append must not interleave with a concurrent Trim
+	// rewrite. The write is a page-cache copy; fsync concurrency lives
+	// in Commit, which this does not serialize.
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.seen[s.key(e)] {
-		s.mu.Unlock()
-		return s.log.Seq(), s.log.Err()
+		return s.seq, s.log.Err()
 	}
+	seq := s.seq + 1
+	if err := appendRecordAt(s.log, s.codec, seq, e); err != nil {
+		return 0, err
+	}
+	s.seq = seq
 	s.seen[s.key(e)] = true
 	s.entries = append(s.entries, e)
+	s.records = append(s.records, SeqEntry[N, L]{Seq: seq, Entry: e})
+	return seq, nil
+}
+
+// AppendReplicated persists one record shipped by the primary, keeping
+// the primary's sequence number. Records at or below the store's tail
+// are idempotent re-deliveries: they are skipped after a divergence
+// check (a different assertion at an already-held sequence number
+// means the histories split and is refused, never merged). A record
+// that would leave a gap is likewise refused — shipping is contiguous
+// by construction, so a gap means messages were lost or reordered
+// beyond what the protocol tolerates.
+func (s *Store[N, L]) AppendReplicated(seq uint64, e cert.Entry[N, L]) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if seq <= s.seq {
+		if r, ok := s.recordAtLocked(seq); ok {
+			if s.key(r.Entry) != s.key(e) || r.Entry.Reason != e.Reason {
+				return fault.Invariantf(
+					"divergent histories at sequence %d: this store holds a different assertion than the one shipped — refusing to merge; wipe and resync", seq)
+			}
+		}
+		return nil
+	}
+	if seq != s.seq+1 {
+		return fault.Invariantf("replicated record at sequence %d leaves a gap after %d", seq, s.seq)
+	}
+	if err := appendRecordAt(s.log, s.codec, seq, e); err != nil {
+		return err
+	}
+	s.seq = seq
+	if !s.seen[s.key(e)] {
+		s.seen[s.key(e)] = true
+		s.entries = append(s.entries, e)
+	}
+	s.records = append(s.records, SeqEntry[N, L]{Seq: seq, Entry: e})
+	return nil
+}
+
+// recordAtLocked binary-searches the sequence-ordered record mirror.
+// Callers hold s.mu.
+func (s *Store[N, L]) recordAtLocked(seq uint64) (SeqEntry[N, L], bool) {
+	i := sort.Search(len(s.records), func(i int) bool { return s.records[i].Seq >= seq })
+	if i < len(s.records) && s.records[i].Seq == seq {
+		return s.records[i], true
+	}
+	return SeqEntry[N, L]{}, false
+}
+
+// RecordAt returns the record holding sequence number seq, if the
+// store has it (replication uses it to compute the prev-record
+// checksum of the log-matching check).
+func (s *Store[N, L]) RecordAt(seq uint64) (SeqEntry[N, L], bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.recordAtLocked(seq)
+}
+
+// RecordsSince returns up to max records with sequence numbers
+// strictly above after, in sequence order — the shipping read used by
+// both steady-state replication and anti-entropy catch-up. The mirror
+// keeps every record regardless of journal trims, so a follower can
+// catch up from any point of the history.
+func (s *Store[N, L]) RecordsSince(after uint64, max int) []SeqEntry[N, L] {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i := sort.Search(len(s.records), func(i int) bool { return s.records[i].Seq > after })
+	n := len(s.records) - i
+	if max > 0 && n > max {
+		n = max
+	}
+	out := make([]SeqEntry[N, L], n)
+	copy(out, s.records[i:i+n])
+	return out
+}
+
+// Fence returns the highest fencing token the store has accepted.
+func (s *Store[N, L]) Fence() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fence
+}
+
+// SetFence durably raises the store's fencing token: the token is
+// recorded in memory first (so stale traffic is refused even if the
+// disk write then fails), appended to the journal as a fence record
+// and fsynced. Tokens at or below the current fence are ignored —
+// fences only move forward. A non-nil error means the new fence may
+// not survive a restart; promotions must treat that as fatal.
+func (s *Store[N, L]) SetFence(token uint64) error {
+	s.mu.Lock()
+	if token <= s.fence {
+		s.mu.Unlock()
+		return nil
+	}
+	s.fence = token
 	s.mu.Unlock()
-	return appendRecord(s.log, s.codec, e)
+	if err := s.log.appendFence(token); err != nil {
+		return err
+	}
+	return s.log.Sync()
 }
 
 // Commit blocks until sequence number seq is durable (group-commit
@@ -209,8 +347,19 @@ func (s *Store[N, L]) Len() int {
 	return len(s.entries)
 }
 
-// LastSeq returns the last appended journal sequence number.
-func (s *Store[N, L]) LastSeq() uint64 { return s.log.Seq() }
+// LastSeq returns the last allocated journal sequence number.
+func (s *Store[N, L]) LastSeq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq
+}
+
+// DurableSeq returns the last sequence number known fsynced.
+func (s *Store[N, L]) DurableSeq() uint64 {
+	s.log.mu.Lock()
+	defer s.log.mu.Unlock()
+	return s.log.durable
+}
 
 // SnapshotSeq returns the CoversSeq of the newest snapshot on disk.
 func (s *Store[N, L]) SnapshotSeq() uint64 {
@@ -221,6 +370,10 @@ func (s *Store[N, L]) SnapshotSeq() uint64 {
 
 // JournalSize returns the live journal's size in bytes.
 func (s *Store[N, L]) JournalSize() int64 { return s.log.Size() }
+
+// Codec returns the codec the store serializes with (replication uses
+// it to frame shipped records exactly as the journal stores them).
+func (s *Store[N, L]) Codec() Codec[N, L] { return s.codec }
 
 // Entries returns a copy of the distinct persisted assertions.
 func (s *Store[N, L]) Entries() []cert.Entry[N, L] {
@@ -235,22 +388,52 @@ func (s *Store[N, L]) Entries() []cert.Entry[N, L] {
 // and records its coverage; after it returns, recovery replays only
 // journal records beyond the snapshot. Concurrent appends proceed —
 // an assertion racing the snapshot lands in the journal suffix (and
-// possibly, harmlessly, in both files; replay deduplicates).
+// possibly, harmlessly, in both files; replay deduplicates by
+// sequence number).
 func (s *Store[N, L]) Snapshot() error {
 	s.snapMu.Lock()
 	defer s.snapMu.Unlock()
 	s.mu.Lock()
-	entries := make([]cert.Entry[N, L], len(s.entries))
-	copy(entries, s.entries)
-	covers := s.log.Seq()
+	recs := make([]SeqEntry[N, L], len(s.records))
+	copy(recs, s.records)
+	covers := s.seq
+	fence := s.fence
 	s.mu.Unlock()
-	if err := writeSnapshot(s.dir, s.codec, entries, covers); err != nil {
+	if err := writeSnapshot(s.dir, s.codec, recs, covers, fence); err != nil {
 		return err
 	}
 	s.mu.Lock()
 	s.snapshotSeq = covers
 	s.mu.Unlock()
 	return nil
+}
+
+// Trim atomically rewrites the journal down to the records the newest
+// snapshot does not cover: the new file's header carries the trim base
+// (the snapshot's CoversSeq) and the current fence, followed by the
+// suffix records. Recovery refuses a trimmed journal without a
+// snapshot covering its base, so a lost snapshot turns into a
+// structured error, never a silently shrunken state. The in-memory
+// record mirror is not trimmed — shipping can still serve any suffix
+// of the history. A store with no snapshot has nothing to trim.
+func (s *Store[N, L]) Trim() error {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	// s.mu stays held across the rewrite: appends must not land in the
+	// old file while the new image replaces it.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	base := s.snapshotSeq
+	if base == 0 {
+		return nil
+	}
+	image := appendFrame(nil, encodeHeader(s.codec.GroupID(), base, s.fence))
+	for _, r := range s.records {
+		if r.Seq > base {
+			image = appendFrame(image, encodeAssert(s.codec, r.Seq, r.Entry))
+		}
+	}
+	return s.log.Rewrite(image, s.seq)
 }
 
 // Close syncs and closes the journal.

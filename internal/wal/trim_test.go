@@ -1,0 +1,321 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"luf/internal/cert"
+	"luf/internal/fault"
+	"luf/internal/group"
+)
+
+// buildTrimmedStore creates a store with entries split around a
+// snapshot, trims the journal, and returns the entry set plus the
+// journal bytes before and after the trim and the snapshot bytes
+// (for crash-state reconstruction).
+func buildTrimmedStore(t *testing.T, dir string) (entries []cert.Entry[string, int64], oldJournal, newJournal, snapshot []byte) {
+	t.Helper()
+	entries = consistentEntries(24, 11)
+	st, _, err := Open(dir, group.Delta{}, DeltaCodec{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries[:16] {
+		if _, err := st.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries[16:] {
+		if _, err := st.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	oldJournal, err = os.ReadFile(filepath.Join(dir, journalName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Trim(); err != nil {
+		t.Fatal(err)
+	}
+	newJournal, err = os.ReadFile(filepath.Join(dir, journalName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot, err = os.ReadFile(filepath.Join(dir, snapshotName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return entries, oldJournal, newJournal, snapshot
+}
+
+func TestTrimShrinksJournalKeepsState(t *testing.T) {
+	dir := t.TempDir()
+	entries, oldJournal, newJournal, _ := buildTrimmedStore(t, dir)
+	if len(newJournal) >= len(oldJournal) {
+		t.Fatalf("trim grew the journal: %d -> %d bytes", len(oldJournal), len(newJournal))
+	}
+	st, rec, err := Open(dir, group.Delta{}, DeltaCodec{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	verifyState(t, st, rec, entries)
+	// The in-memory mirror still serves the whole history for shipping.
+	if got := len(st.RecordsSince(0, 0)); got != len(dedup(entries)) {
+		t.Fatalf("RecordsSince(0) after trim = %d records, want %d", got, len(dedup(entries)))
+	}
+	// Appends resume above the pre-trim sequence numbers.
+	extra := cert.Entry[string, int64]{N: "n_fresh", M: "m_fresh", Label: 1, Reason: "post-trim"}
+	seq, err := st.Append(extra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq <= rec.LastSeq {
+		t.Fatalf("post-trim append got seq %d, want above %d", seq, rec.LastSeq)
+	}
+}
+
+func TestTrimCrashPointMatrix(t *testing.T) {
+	base := t.TempDir()
+	entries, oldJournal, newJournal, snapshot := buildTrimmedStore(t, filepath.Join(base, "seed"))
+
+	// A trim is: stage the new image under journal.wal.tmp, fsync,
+	// rename over journal.wal. A crash before the rename leaves the old
+	// journal plus an arbitrary prefix of the staging file; a crash
+	// after leaves the complete new journal (it was fsynced first),
+	// possibly with a stale staging file. Every such state must recover
+	// the full entry set.
+	check := func(t *testing.T, dir string) {
+		t.Helper()
+		st, rec, err := Open(dir, group.Delta{}, DeltaCodec{}, Options{})
+		if err != nil {
+			t.Fatalf("recovery: %v", err)
+		}
+		verifyState(t, st, rec, entries)
+		if _, err := os.Stat(filepath.Join(dir, journalName+".tmp")); !errors.Is(err, os.ErrNotExist) {
+			t.Fatalf("stale staging file survived open (stat err %v)", err)
+		}
+		// The store must stay appendable and re-recoverable.
+		if _, err := st.Append(cert.Entry[string, int64]{N: "p", M: "q", Label: 2, Reason: "after-crash"}); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+		st2, rec2, err := Open(dir, group.Delta{}, DeltaCodec{}, Options{})
+		if err != nil {
+			t.Fatalf("re-recovery: %v", err)
+		}
+		verifyState(t, st2, rec2, entries)
+		st2.Close()
+	}
+
+	for cut := 0; cut <= len(newJournal); cut++ {
+		dir := filepath.Join(base, "pre-rename", "cut")
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, journalName), oldJournal, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, snapshotName), snapshot, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, journalName+".tmp"), newJournal[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		check(t, dir)
+		if err := os.RemoveAll(dir); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	t.Run("post-rename", func(t *testing.T) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, journalName), newJournal, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, snapshotName), snapshot, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, journalName+".tmp"), newJournal[:len(newJournal)/2], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		check(t, dir)
+	})
+}
+
+func TestTrimmedJournalWithoutSnapshotRefused(t *testing.T) {
+	dir := t.TempDir()
+	buildTrimmedStore(t, dir)
+	if err := os.Remove(filepath.Join(dir, snapshotName)); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := Open(dir, group.Delta{}, DeltaCodec{}, Options{})
+	if err == nil || !errors.Is(err, fault.ErrIO) {
+		t.Fatalf("open of trimmed journal without snapshot = %v, want ErrIO", err)
+	}
+}
+
+func TestTrimWithoutSnapshotIsNoop(t *testing.T) {
+	dir := t.TempDir()
+	st, _, err := Open(dir, group.Delta{}, DeltaCodec{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for _, e := range consistentEntries(4, 3) {
+		if _, err := st.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := st.JournalSize()
+	if err := st.Trim(); err != nil {
+		t.Fatal(err)
+	}
+	if st.JournalSize() != before {
+		t.Fatal("trim without a snapshot rewrote the journal")
+	}
+}
+
+func TestFencePersistsAcrossRestartAndTrim(t *testing.T) {
+	dir := t.TempDir()
+	st, rec, err := Open(dir, group.Delta{}, DeltaCodec{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Fence != 0 || st.Fence() != 0 {
+		t.Fatalf("fresh store fence = %d/%d, want 0", rec.Fence, st.Fence())
+	}
+	if err := st.SetFence(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SetFence(2); err != nil { // lower tokens are ignored
+		t.Fatal(err)
+	}
+	if st.Fence() != 3 {
+		t.Fatalf("fence = %d after SetFence(3) then SetFence(2), want 3", st.Fence())
+	}
+	for _, e := range consistentEntries(8, 5) {
+		if _, err := st.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st, rec, err = Open(dir, group.Delta{}, DeltaCodec{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Fence != 3 || st.Fence() != 3 {
+		t.Fatalf("fence after restart = %d/%d, want 3", rec.Fence, st.Fence())
+	}
+	// A snapshot plus trim must carry the fence through the header even
+	// though the fence record itself is trimmed away.
+	if err := st.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Trim(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, rec, err = Open(dir, group.Delta{}, DeltaCodec{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if rec.Fence != 3 {
+		t.Fatalf("fence after snapshot+trim restart = %d, want 3", rec.Fence)
+	}
+}
+
+func TestAppendReplicatedMirrorsPrimary(t *testing.T) {
+	primaryDir, followerDir := t.TempDir(), t.TempDir()
+	entries := consistentEntries(20, 9)
+	p, _, err := Open(primaryDir, group.Delta{}, DeltaCodec{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	for _, e := range entries {
+		if _, err := p.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f, _, err := Open(followerDir, group.Delta{}, DeltaCodec{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := p.RecordsSince(0, 0)
+	for _, r := range recs {
+		if err := f.AppendReplicated(r.Seq, r.Entry); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Re-delivery (duplicated messages) is idempotent.
+	for _, r := range recs[:5] {
+		if err := f.AppendReplicated(r.Seq, r.Entry); err != nil {
+			t.Fatalf("re-delivery of seq %d: %v", r.Seq, err)
+		}
+	}
+	if f.LastSeq() != p.LastSeq() {
+		t.Fatalf("follower at seq %d, primary at %d", f.LastSeq(), p.LastSeq())
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The follower's disk recovers to the primary's state, certified.
+	f2, rec2, err := Open(followerDir, group.Delta{}, DeltaCodec{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	verifyState(t, f2, rec2, entries)
+}
+
+func TestAppendReplicatedRefusesGapsAndDivergence(t *testing.T) {
+	dir := t.TempDir()
+	st, _, err := Open(dir, group.Delta{}, DeltaCodec{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	entries := consistentEntries(6, 13)
+	for i, e := range entries[:3] {
+		if err := st.AppendReplicated(uint64(i+1), e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A gap means lost shipping messages: refuse.
+	if err := st.AppendReplicated(5, entries[4]); err == nil || !errors.Is(err, fault.ErrInvariantViolated) {
+		t.Fatalf("gap append = %v, want ErrInvariantViolated", err)
+	}
+	// A different assertion at a held sequence number means the
+	// histories diverged: refuse, never merge.
+	forged := entries[0]
+	forged.Reason = "forged"
+	if err := st.AppendReplicated(1, forged); err == nil || !errors.Is(err, fault.ErrInvariantViolated) {
+		t.Fatalf("divergent append = %v, want ErrInvariantViolated", err)
+	}
+	if st.LastSeq() != 3 {
+		t.Fatalf("refused appends moved the sequence to %d", st.LastSeq())
+	}
+}

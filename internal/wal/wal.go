@@ -68,6 +68,7 @@ const (
 const (
 	recHeader byte = 1
 	recAssert byte = 2
+	recFence  byte = 3
 )
 
 // frameOverhead is the per-frame framing cost: length plus checksum.
@@ -104,11 +105,19 @@ type Header struct {
 	Version int
 	// GroupID is the codec identifier the file was written with.
 	GroupID string
-	// CoversSeq is zero for live journals; in a snapshot file it is the
-	// journal sequence number up to which the snapshot's entries
-	// subsume the journal (recovery replays only records with a larger
-	// sequence number).
+	// CoversSeq positions the file against the global sequence
+	// numbering. In a snapshot file it is the journal sequence number up
+	// to which the snapshot's entries subsume the journal (recovery
+	// replays only records with a larger sequence number). In a journal
+	// file it is zero until the journal is trimmed; after a trim it is
+	// the trim base — recovery refuses to proceed unless a snapshot
+	// covering at least that sequence number exists, so a lost snapshot
+	// can never silently shrink the state.
 	CoversSeq uint64
+	// Fence is the replication fencing token in force when the file was
+	// written (snapshots and trimmed journals persist it here; live
+	// journals persist fence changes as fence records instead).
+	Fence uint64
 }
 
 // Record is one decoded assertion record.
@@ -139,14 +148,26 @@ func appendString(dst, b []byte) []byte {
 	return append(dst, b...)
 }
 
-// encodeHeader builds a header record payload.
-func encodeHeader(groupID string, coversSeq uint64) []byte {
+// encodeHeader builds a header record payload. The fence field is a
+// backward-compatible trailing extension: it is written only when
+// non-zero, and decodeHeader defaults it to zero when absent, so
+// fence-free files keep their exact pre-fencing byte layout.
+func encodeHeader(groupID string, coversSeq, fence uint64) []byte {
 	p := []byte{recHeader}
 	p = append(p, Magic...)
 	p = binary.AppendUvarint(p, FormatVersion)
 	p = appendString(p, []byte(groupID))
 	p = binary.AppendUvarint(p, coversSeq)
+	if fence > 0 {
+		p = binary.AppendUvarint(p, fence)
+	}
 	return p
+}
+
+// encodeFence builds a fence record payload carrying one fencing token.
+func encodeFence(token uint64) []byte {
+	p := []byte{recFence}
+	return binary.AppendUvarint(p, token)
 }
 
 // encodeAssert builds an assertion record payload.
@@ -232,6 +253,13 @@ func decodeHeader(cur *cursor) (Header, error) {
 		return h, err
 	}
 	h.CoversSeq = covers
+	if cur.off < len(cur.b) {
+		fence, err := cur.uvarint()
+		if err != nil {
+			return h, err
+		}
+		h.Fence = fence
+	}
 	return h, cur.done()
 }
 
@@ -283,6 +311,9 @@ type DecodeResult[N comparable, L any] struct {
 	HasHeader bool
 	// Records are the decoded assertion records, in file order.
 	Records []Record[N, L]
+	// Fence is the highest fencing token seen in the file (header field
+	// or fence records); zero when the file predates fencing.
+	Fence uint64
 	// ValidLen is the byte length of the valid prefix; bytes beyond it
 	// are the torn tail.
 	ValidLen int
@@ -349,6 +380,23 @@ func DecodeAll[N comparable, L any](image []byte, c Codec[N, L]) (DecodeResult[N
 				return fail("group id %q, codec expects %q", h.GroupID, c.GroupID())
 			}
 			res.Header, res.HasHeader = h, true
+			if h.Fence > res.Fence {
+				res.Fence = h.Fence
+			}
+		case recFence:
+			if !res.HasHeader {
+				return fail("fence record before header")
+			}
+			token, err := cur.uvarint()
+			if err != nil {
+				return fail("fence: %v", err)
+			}
+			if err := cur.done(); err != nil {
+				return fail("fence: %v", err)
+			}
+			if token > res.Fence {
+				res.Fence = token
+			}
 		case recAssert:
 			if !res.HasHeader {
 				return fail("assertion record before header")

@@ -318,7 +318,7 @@ func TestRebuildRejectsConflictingJournal(t *testing.T) {
 
 func TestDecodeAllTornAndCorrupt(t *testing.T) {
 	c := DeltaCodec{}
-	image := appendFrame(nil, encodeHeader(c.GroupID(), 0))
+	image := appendFrame(nil, encodeHeader(c.GroupID(), 0, 0))
 	for i, e := range consistentEntries(5, 5) {
 		image = appendFrame(image, encodeAssert(c, uint64(i+1), e))
 	}
