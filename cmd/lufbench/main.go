@@ -8,6 +8,7 @@
 //	lufbench -exp concurrent  serving-layer throughput (sequential vs parallel batches)
 //	lufbench -exp recovery  durable-store certified recovery (journal replay vs snapshot)
 //	lufbench -exp replication  primary/follower shipping, catch-up and failover latency
+//	lufbench -exp heal      scrub overhead, corruption detection, automated resync latency
 //	lufbench -exp all       everything
 package main
 
@@ -21,7 +22,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, sec72, sec72d2, scaling, inter, concurrent, recovery, replication, all")
+	exp := flag.String("exp", "all", "experiment: table1, sec72, sec72d2, scaling, inter, concurrent, recovery, replication, heal, all")
 	programs := flag.Int("programs", 584, "number of analyzer corpus programs (sec72)")
 	quick := flag.Bool("quick", false, "smaller corpora for a fast smoke run")
 	budget := flag.Int("budget", 0, "per-run analyzer step budget for sec72 (0 = unlimited)")
@@ -31,6 +32,7 @@ func main() {
 	jsonPath := flag.String("json", "BENCH_concurrent.json", "output path for the concurrent experiment's JSON result")
 	recoveryJSON := flag.String("recovery-json", "BENCH_recovery.json", "output path for the recovery experiment's JSON result")
 	replicationJSON := flag.String("replication-json", "BENCH_replication.json", "output path for the replication experiment's JSON result")
+	healJSON := flag.String("heal-json", "BENCH_heal.json", "output path for the heal experiment's JSON result")
 	flag.Parse()
 
 	run := func(name string) bool { return *exp == name || *exp == "all" }
@@ -148,6 +150,27 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Printf("wrote %s\n", *replicationJSON)
+		}
+	}
+	if run("heal") {
+		any = true
+		cfg := bench.DefaultHeal()
+		if *quick {
+			cfg.Entries = 200
+			cfg.ScrubTicks = 5
+		}
+		res, err := bench.RunHeal(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(res.Format())
+		if *healJSON != "" {
+			if err := res.WriteJSON(*healJSON); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *healJSON)
 		}
 	}
 	if !any {

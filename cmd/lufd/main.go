@@ -63,6 +63,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	advertise := fs.String("advertise", "", "client-facing base URL shared with followers (default: the bound listen address)")
 	leaseTTL := fs.Duration("lease-ttl", time.Second, "how long the primary may write without a follower acknowledgement")
 	syncRepl := fs.Bool("sync-replication", false, "acknowledge writes only after a follower holds them durably")
+	scrubInterval := fs.Duration("scrub-interval", time.Minute, "background integrity scrub period (0 disables the background loop; requires -dir)")
+	resyncMax := fs.Int("resync-max-attempts", 8, "self-healing resync attempts per episode before a follower degrades to refusing reads (0 disables self-healing)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -84,20 +86,31 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		*advertise = "http://" + ln.Addr().String()
 	}
 
+	// Self-healing is on for any durable follower unless the operator
+	// zeroes the attempt cap; a primary has no source of truth to pull
+	// from, so it only scrubs (and degrades for the operator on a hit).
+	selfHeal := *resyncMax > 0 && *role == server.RoleFollower && *dir != ""
+	scrub := *scrubInterval
+	if *dir == "" {
+		scrub = 0
+	}
 	s, rec, err := server.New(server.Config{
-		Dir:             *dir,
-		MaxInflight:     *maxInflight,
-		RequestTimeout:  *requestTimeout,
-		SnapshotEvery:   *snapshotEvery,
-		BreakerFailures: *breakerFailures,
-		BreakerCooldown: *breakerCooldown,
-		SolveSteps:      *solveSteps,
-		Role:            *role,
-		NodeName:        *nodeName,
-		Advertise:       *advertise,
-		Peers:           peerList,
-		LeaseTTL:        *leaseTTL,
-		SyncReplication: *syncRepl,
+		Dir:               *dir,
+		MaxInflight:       *maxInflight,
+		RequestTimeout:    *requestTimeout,
+		SnapshotEvery:     *snapshotEvery,
+		BreakerFailures:   *breakerFailures,
+		BreakerCooldown:   *breakerCooldown,
+		SolveSteps:        *solveSteps,
+		Role:              *role,
+		NodeName:          *nodeName,
+		Advertise:         *advertise,
+		Peers:             peerList,
+		LeaseTTL:          *leaseTTL,
+		SyncReplication:   *syncRepl,
+		SelfHeal:          selfHeal,
+		ScrubInterval:     scrub,
+		ResyncMaxAttempts: *resyncMax,
 	})
 	if err != nil {
 		ln.Close()
@@ -110,6 +123,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	if len(peerList) > 0 {
 		fmt.Fprintf(stdout, "lufd: role %s, replicating with %d peer(s), advertising %s\n", *role, len(peerList), *advertise)
+	}
+	if selfHeal {
+		fmt.Fprintf(stdout, "lufd: self-healing enabled (max %d resync attempts per episode)\n", *resyncMax)
 	}
 	fmt.Fprintf(stdout, "lufd: listening on %s\n", ln.Addr())
 

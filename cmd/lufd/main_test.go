@@ -247,6 +247,55 @@ func TestLufdCrashPointMatrix(t *testing.T) {
 	}
 }
 
+// TestLufdSelfHealFlags verifies the flag wiring of the self-healing
+// stack: a durable follower self-heals by default (healer status in
+// /v1/stats, background scrubber on), `-resync-max-attempts 0` turns
+// the healer off, and a primary never gets one — it only scrubs.
+func TestLufdSelfHealFlags(t *testing.T) {
+	ctx := context.Background()
+
+	f := startDaemon(t, "-dir", t.TempDir(), "-role", "follower", "-node-name", "f",
+		"-resync-max-attempts", "3", "-scrub-interval", "30s")
+	if !strings.Contains(f.out.String(), "self-healing enabled (max 3 resync attempts per episode)") {
+		t.Fatalf("follower startup lacks the self-healing line:\n%s", f.out.String())
+	}
+	st, err := client.New("http://" + f.addr).Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Heal == nil || st.Heal.State != replica.HealHealthy {
+		t.Fatalf("follower stats heal = %+v, want healthy healer status", st.Heal)
+	}
+	if st.Scrub == nil {
+		t.Fatal("follower stats lack scrubber counters")
+	}
+
+	off := startDaemon(t, "-dir", t.TempDir(), "-role", "follower", "-node-name", "off",
+		"-resync-max-attempts", "0")
+	if strings.Contains(off.out.String(), "self-healing enabled") {
+		t.Fatalf("-resync-max-attempts 0 still enabled self-healing:\n%s", off.out.String())
+	}
+	st, err = client.New("http://" + off.addr).Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Heal != nil {
+		t.Fatalf("disabled follower still reports a healer: %+v", st.Heal)
+	}
+
+	p := startDaemon(t, "-dir", t.TempDir(), "-role", "primary", "-node-name", "p")
+	st, err = client.New("http://" + p.addr).Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Heal != nil {
+		t.Fatalf("primary reports a healer: %+v", st.Heal)
+	}
+	if st.Scrub == nil {
+		t.Fatal("primary stats lack scrubber counters")
+	}
+}
+
 // TestLufdFailoverNoCertifiedAnswerLost is the end-to-end failover
 // acceptance test: a primary replicating synchronously to a follower
 // is killed mid-load; the follower is promoted under a fencing token;

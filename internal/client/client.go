@@ -300,3 +300,14 @@ func (c *Client) Stats(ctx context.Context) (server.StatsResponse, error) {
 	err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &out)
 	return out, err
 }
+
+// Resync forces a fresh self-healing episode on a follower — the
+// operator escape hatch for a node stuck past its resync attempt cap,
+// or a deliberate full resync of a healthy one. A non-empty source
+// names the node to pull certified state from, for the stuck node that
+// never learned a primary hint.
+func (c *Client) Resync(ctx context.Context, source string) (server.ResyncResponse, error) {
+	var out server.ResyncResponse
+	err := c.do(ctx, http.MethodPost, "/v1/resync", server.ResyncRequest{Source: source}, &out)
+	return out, err
+}

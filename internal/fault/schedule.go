@@ -1,0 +1,93 @@
+package fault
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// SchedEvent is one step of a chaos Schedule: at virtual time At, run
+// Do. Name labels the event in logs and test output.
+type SchedEvent struct {
+	// At is the event's virtual-clock time, relative to Run's start.
+	At time.Duration
+	// Name labels the event.
+	Name string
+	// Do performs the event.
+	Do func()
+}
+
+// Schedule is a deterministic, virtual-clock chaos schedule: a fixed
+// list of events (partitions, crash-restarts, corruptions, scrub
+// ticks, client writes...) executed strictly in time order. All
+// randomness is injected up front — typically by building the schedule
+// from a seeded rand.Rand with Scatter — so one seed always yields the
+// same event sequence, which is what makes whole-cluster chaos tests
+// reproducible. The virtual clock is decoupled from the wall clock:
+// Run maps elapsed virtual time onto whatever the caller's advance
+// function does with it (sleep scaled down, step a simulation, or
+// nothing at all).
+type Schedule struct {
+	mu     sync.Mutex
+	events []SchedEvent
+}
+
+// NewSchedule returns an empty schedule.
+func NewSchedule() *Schedule { return &Schedule{} }
+
+// At adds one event at virtual time at. Events added with equal times
+// run in insertion order.
+func (s *Schedule) At(at time.Duration, name string, do func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.events = append(s.events, SchedEvent{At: at, Name: name, Do: do})
+}
+
+// Scatter adds n occurrences of an action at pseudo-random virtual
+// times drawn uniformly from [from, to) using r — the seeded entry
+// point for "sprinkle k scrub ticks over the run" style chaos. The
+// draw order is deterministic for a fixed seed. do receives the
+// occurrence index.
+func (s *Schedule) Scatter(r *rand.Rand, n int, from, to time.Duration, name string, do func(i int)) {
+	span := int64(to - from)
+	for i := 0; i < n; i++ {
+		at := from
+		if span > 0 {
+			at += time.Duration(r.Int63n(span))
+		}
+		i := i
+		s.At(at, name, func() { do(i) })
+	}
+}
+
+// Len returns the number of scheduled events.
+func (s *Schedule) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.events)
+}
+
+// Run executes the schedule: events sorted by virtual time (stable, so
+// equal times keep insertion order), with advance called for each
+// positive gap between consecutive event times and observe, when
+// non-nil, called before each event runs. Run returns after the last
+// event; it must not race additions to the schedule.
+func (s *Schedule) Run(advance func(elapsed time.Duration), observe func(at time.Duration, name string)) {
+	s.mu.Lock()
+	events := make([]SchedEvent, len(s.events))
+	copy(events, s.events)
+	s.mu.Unlock()
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+	clock := time.Duration(0)
+	for _, ev := range events {
+		if gap := ev.At - clock; gap > 0 && advance != nil {
+			advance(gap)
+		}
+		clock = ev.At
+		if observe != nil {
+			observe(ev.At, ev.Name)
+		}
+		ev.Do()
+	}
+}

@@ -1,0 +1,70 @@
+package fault
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestScheduleRunsInTimeOrder(t *testing.T) {
+	s := NewSchedule()
+	var got []string
+	s.At(30*time.Millisecond, "c", func() { got = append(got, "c") })
+	s.At(10*time.Millisecond, "a", func() { got = append(got, "a") })
+	s.At(20*time.Millisecond, "b1", func() { got = append(got, "b1") })
+	s.At(20*time.Millisecond, "b2", func() { got = append(got, "b2") })
+
+	var elapsed time.Duration
+	var observed []string
+	s.Run(
+		func(gap time.Duration) { elapsed += gap },
+		func(at time.Duration, name string) { observed = append(observed, name) },
+	)
+	want := []string{"a", "b1", "b2", "c"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("execution order %v, want %v (equal times keep insertion order)", got, want)
+	}
+	if !reflect.DeepEqual(observed, want) {
+		t.Fatalf("observed order %v, want %v", observed, want)
+	}
+	if elapsed != 30*time.Millisecond {
+		t.Fatalf("advanced %v of virtual time, want 30ms (gaps only, no advance for simultaneous events)", elapsed)
+	}
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", s.Len())
+	}
+}
+
+func TestScatterIsDeterministicPerSeed(t *testing.T) {
+	build := func(seed int64) []time.Duration {
+		s := NewSchedule()
+		var fired []time.Duration
+		s.Scatter(rand.New(rand.NewSource(seed)), 10, 5*time.Millisecond, 100*time.Millisecond, "tick", func(i int) {})
+		s.Run(nil, func(at time.Duration, name string) { fired = append(fired, at) })
+		return fired
+	}
+	a, b := build(99), build(99)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different schedules:\n%v\n%v", a, b)
+	}
+	c := build(100)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical scatter (suspicious randomness)")
+	}
+	for _, at := range a {
+		if at < 5*time.Millisecond || at >= 100*time.Millisecond {
+			t.Fatalf("scattered event at %v outside [5ms, 100ms)", at)
+		}
+	}
+}
+
+func TestScatterPassesOccurrenceIndex(t *testing.T) {
+	s := NewSchedule()
+	seen := map[int]bool{}
+	s.Scatter(rand.New(rand.NewSource(1)), 5, 0, time.Millisecond, "idx", func(i int) { seen[i] = true })
+	s.Run(nil, nil)
+	if len(seen) != 5 {
+		t.Fatalf("saw %d distinct occurrence indexes, want 5: %v", len(seen), seen)
+	}
+}

@@ -18,6 +18,7 @@ var checkedPackages = []string{
 	"internal/server",
 	"internal/client",
 	"internal/replica",
+	"internal/scrub",
 }
 
 // main lints the checked packages and exits 1 when any exported symbol

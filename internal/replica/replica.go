@@ -18,8 +18,9 @@
 //     batch, computed from the sender's own copy. The follower
 //     recomputes both from its copy before appending; any mismatch
 //     means the histories diverged and the batch is refused with a
-//     structured invariant error, never merged. Resolution is
-//     explicit: wipe the divergent follower and resync from zero;
+//     typed ErrDivergence, never merged. Resolution is automatic on
+//     self-healing followers: the Healer quarantines the store, wipes
+//     it and pulls a certified snapshot from the primary (see heal.go);
 //   - the record count, so a truncated-in-transit body cannot pass as
 //     a shorter batch.
 //
@@ -40,12 +41,21 @@
 package replica
 
 import (
+	"fmt"
+
 	"luf/internal/cert"
 	"luf/internal/concurrent"
 	"luf/internal/fault"
 	"luf/internal/group"
 	"luf/internal/wal"
 )
+
+// ErrDivergence aliases wal.ErrDivergence at the replication layer:
+// every refusal to merge split histories — a mismatched batch anchor,
+// a conflicting record at a held sequence number, a replay conflict —
+// wraps it. Test with errors.Is; inspect the sequence number and both
+// checksums with errors.As on *wal.DivergenceError.
+var ErrDivergence = wal.ErrDivergence
 
 // ReplicatePath is the HTTP path followers serve replication on.
 const ReplicatePath = "/v1/replicate"
@@ -168,8 +178,12 @@ func (a *Applier[N, L]) checkAnchor(b Batch, recs []wal.SeqEntry[N, L]) error {
 		return fault.Invariantf("batch is anchored at sequence %d, which this replica does not hold (journal ends at %d)", b.PrevSeq, a.Store.LastSeq())
 	}
 	if crc := wal.RecordCRC(a.Store.Codec(), anchor); crc != b.PrevCRC {
-		return fault.Invariantf(
-			"divergent histories: record %d has checksum %d here, %d on the primary — refusing to merge; wipe this replica and resync", b.PrevSeq, crc, b.PrevCRC)
+		return &wal.DivergenceError{
+			Seq:       b.PrevSeq,
+			LocalCRC:  crc,
+			RemoteCRC: b.PrevCRC,
+			Detail:    "the batch's anchor record differs between this replica and the primary",
+		}
 	}
 	return nil
 }
@@ -209,8 +223,11 @@ func (a *Applier[N, L]) certifyOne(r wal.SeqEntry[N, L]) (err error) {
 	defer fault.RecoverTo(&err)
 	e := r.Entry
 	if !a.UF.AddRelationReason(e.N, e.M, e.Label, e.Reason) {
-		return fault.Invariantf(
-			"shipped record %d (%v -> %v) conflicts with this replica's state — a stream of accepted assertions can never conflict, so the histories diverged", r.Seq, e.N, e.M)
+		return &wal.DivergenceError{
+			Seq: r.Seq,
+			Detail: fmt.Sprintf(
+				"shipped record (%v -> %v) conflicts with this replica's state — a stream of accepted assertions can never conflict, so the histories diverged", e.N, e.M),
+		}
 	}
 	c, err := a.Journal.Explain(e.N, e.M)
 	if err != nil {

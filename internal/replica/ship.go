@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strconv"
 	"sync"
@@ -42,11 +43,23 @@ type Config[N comparable, L any] struct {
 	Lease *Lease
 	// BatchMax bounds records per shipped batch (default 256).
 	BatchMax int
-	// Interval is the idle poll/heartbeat period and the retry delay
-	// after transient errors (default 50ms).
+	// Interval is the idle poll/heartbeat period and the base of the
+	// retry backoff after errors (default 50ms).
 	Interval time.Duration
 	// Timeout bounds each replication request (default 2s).
 	Timeout time.Duration
+	// MaxBackoff caps the exponential retry backoff a failing peer's
+	// loop grows toward (default 2s).
+	MaxBackoff time.Duration
+	// StallAfter is the watchdog deadline: a peer that has made no
+	// progress for this long is marked stalled and demoted from the
+	// sync-ack set, so one wedged follower cannot block WaitAcked
+	// forever (default max(1s, 10×Interval)).
+	StallAfter time.Duration
+	// Seed seeds the retry jitter; 0 picks a fixed default, so set it
+	// per node for fleet-wide retry spreading or per test for
+	// determinism.
+	Seed int64
 	// Net, when non-nil, is the simulated network chaos tests route
 	// every batch through.
 	Net *fault.Network
@@ -62,24 +75,42 @@ type PeerStatus struct {
 	// Acked is the follower's last acknowledged durable sequence
 	// number.
 	Acked uint64 `json:"acked"`
-	// Err is the follower's last (or fatal) error, empty when healthy.
+	// Err is the follower's last error, empty when healthy. It clears
+	// on the next acknowledgement that shows real progress — in
+	// particular, automatically once a divergent follower finishes its
+	// certified resync.
 	Err string `json:"err,omitempty"`
+	// Stalled reports the watchdog demoted this peer from the
+	// sync-ack set: it has made no progress for StallAfter. The flag
+	// clears on the peer's next acknowledged batch.
+	Stalled bool `json:"stalled,omitempty"`
+	// Divergent reports the peer refused shipping because its history
+	// split from this node's; it clears once the peer resyncs and
+	// acknowledges the shipped tail again.
+	Divergent bool `json:"divergent,omitempty"`
 }
 
 // Shipper is the primary half of replication: one goroutine per peer
 // streams journal records, anchored with the log-matching check, and
-// tracks each peer's acknowledged durable sequence number. It is safe
+// tracks each peer's acknowledged durable sequence number. Errors are
+// retried with exponential backoff and jitter; a per-peer watchdog
+// marks peers that stop making progress as stalled so the
+// synchronous-replication gate degrades instead of hanging. It is safe
 // for concurrent use.
 type Shipper[N comparable, L any] struct {
 	cfg Config[N, L]
 	hc  *http.Client
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	acked   map[string]uint64
-	errs    map[string]string
-	fenced  bool
-	stopped bool
+	mu        sync.Mutex
+	cond      *sync.Cond
+	acked     map[string]uint64
+	errs      map[string]string
+	stalled   map[string]bool
+	divergent map[string]bool
+	lastOK    map[string]time.Time
+	rng       *rand.Rand
+	fenced    bool
+	stopped   bool
 
 	kicks map[string]chan struct{}
 	stop  chan struct{}
@@ -106,20 +137,39 @@ func NewShipper[N comparable, L any](cfg Config[N, L]) *Shipper[N, L] {
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 2 * time.Second
 	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 2 * time.Second
+	}
+	if cfg.StallAfter <= 0 {
+		cfg.StallAfter = 10 * cfg.Interval
+		if cfg.StallAfter < time.Second {
+			cfg.StallAfter = time.Second
+		}
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
 	sh := &Shipper[N, L]{
-		cfg:   cfg,
-		hc:    cfg.Client,
-		acked: map[string]uint64{},
-		errs:  map[string]string{},
-		kicks: map[string]chan struct{}{},
-		stop:  make(chan struct{}),
+		cfg:       cfg,
+		hc:        cfg.Client,
+		acked:     map[string]uint64{},
+		errs:      map[string]string{},
+		stalled:   map[string]bool{},
+		divergent: map[string]bool{},
+		lastOK:    map[string]time.Time{},
+		rng:       rand.New(rand.NewSource(seed)),
+		kicks:     map[string]chan struct{}{},
+		stop:      make(chan struct{}),
 	}
 	if sh.hc == nil {
 		sh.hc = &http.Client{Timeout: cfg.Timeout}
 	}
 	sh.cond = sync.NewCond(&sh.mu)
+	now := time.Now()
 	for _, p := range cfg.Peers {
 		sh.kicks[p.Name] = make(chan struct{}, 1)
+		sh.lastOK[p.Name] = now
 	}
 	return sh
 }
@@ -162,7 +212,9 @@ func (sh *Shipper[N, L]) Kick() {
 // sequence number seq as durable — the synchronous-replication gate: a
 // write acknowledged after WaitAcked survives the loss of the primary.
 // It fails with a structured error when the context expires, the
-// shipper stops, or this node is fenced.
+// shipper stops, this node is fenced, or the watchdog has marked every
+// follower stalled (so a fully wedged fleet degrades the write path
+// immediately instead of holding each write until its deadline).
 func (sh *Shipper[N, L]) WaitAcked(ctx context.Context, seq uint64) error {
 	stopWatch := context.AfterFunc(ctx, func() {
 		sh.mu.Lock()
@@ -184,6 +236,10 @@ func (sh *Shipper[N, L]) WaitAcked(ctx context.Context, seq uint64) error {
 		if sh.stopped {
 			return fault.Unavailablef("replication stopped while waiting for sequence %d", seq)
 		}
+		if len(sh.cfg.Peers) > 0 && len(sh.stalled) == len(sh.cfg.Peers) {
+			return fault.Unavailablef(
+				"sequence %d not acknowledged: every follower is stalled (unreachable, wedged or divergent) and demoted from the sync-ack set — the write is durable locally but not replicated", seq)
+		}
 		if err := ctx.Err(); err != nil {
 			return fault.Unavailablef("sequence %d not acknowledged by any follower before deadline (%v) — the write is durable locally but not yet replicated", seq, err)
 		}
@@ -191,63 +247,110 @@ func (sh *Shipper[N, L]) WaitAcked(ctx context.Context, seq uint64) error {
 	}
 }
 
-// Status returns each peer's acknowledged sequence number and last
-// error.
+// Status returns each peer's acknowledged sequence number, last error
+// and watchdog flags.
 func (sh *Shipper[N, L]) Status() map[string]PeerStatus {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	out := make(map[string]PeerStatus, len(sh.acked))
+	out := make(map[string]PeerStatus, len(sh.cfg.Peers))
 	for _, p := range sh.cfg.Peers {
-		out[p.Name] = PeerStatus{Acked: sh.acked[p.Name], Err: sh.errs[p.Name]}
+		out[p.Name] = PeerStatus{
+			Acked:     sh.acked[p.Name],
+			Err:       sh.errs[p.Name],
+			Stalled:   sh.stalled[p.Name],
+			Divergent: sh.divergent[p.Name],
+		}
 	}
 	return out
 }
 
-// observeAck records a successful acknowledgement from peer p.
+// observeAck records a successful acknowledgement from peer p. A
+// heartbeat ack from a peer marked divergent does not clear its state:
+// reachability is not progress, and the divergence note must stay
+// visible until the peer's resync actually catches it up to this
+// node's tail.
 func (sh *Shipper[N, L]) observeAck(p Peer, a Ack) {
 	if sh.cfg.Lease != nil {
 		sh.cfg.Lease.Renew()
 	}
 	sh.mu.Lock()
 	sh.acked[p.Name] = a.Durable
-	delete(sh.errs, p.Name)
+	if !sh.divergent[p.Name] || a.Durable >= sh.cfg.Store.LastSeq() {
+		delete(sh.errs, p.Name)
+		delete(sh.stalled, p.Name)
+		delete(sh.divergent, p.Name)
+		sh.lastOK[p.Name] = time.Now()
+	}
 	sh.cond.Broadcast()
 	sh.mu.Unlock()
 }
 
-// observeErr records a peer error; fatal reports whether the loop must
-// stop (fenced or diverged).
+// observeErr records a peer error and runs the watchdog check; fatal
+// reports whether the loop must stop, which only fencing is — a
+// divergent peer keeps being probed at backoff pace, because a
+// self-healing follower will resync and accept shipping again.
 func (sh *Shipper[N, L]) observeErr(p Peer, err error) (fatal bool) {
 	sh.mu.Lock()
 	sh.errs[p.Name] = err.Error()
+	if errors.Is(err, wal.ErrDivergence) {
+		sh.divergent[p.Name] = true
+	}
+	if time.Since(sh.lastOK[p.Name]) > sh.cfg.StallAfter {
+		sh.stalled[p.Name] = true
+	}
 	var fe *fencedError
 	if errors.As(err, &fe) {
 		fatal = true
 		if !sh.fenced {
 			sh.fenced = true
-			sh.cond.Broadcast()
 			if sh.cfg.OnFenced != nil {
 				// From its own goroutine: the demotion path may Stop()
 				// this shipper, which joins this very loop.
 				go sh.cfg.OnFenced(fe.token)
 			}
 		}
-	} else if errors.Is(err, fault.ErrInvariantViolated) {
-		// Divergent histories: shipping to this peer can never succeed;
-		// the error stays visible in Status until an operator resyncs.
-		fatal = true
 	}
 	sh.cond.Broadcast()
 	sh.mu.Unlock()
 	return fatal
 }
 
+// backoff returns the jittered retry delay for the given consecutive
+// failure count: the base interval doubled per failure up to
+// MaxBackoff, then drawn from the upper half of that window so retries
+// neither synchronize across peers nor collapse to zero sleep.
+func (sh *Shipper[N, L]) backoff(failures int) time.Duration {
+	d := sh.cfg.Interval
+	for i := 1; i < failures && d < sh.cfg.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > sh.cfg.MaxBackoff {
+		d = sh.cfg.MaxBackoff
+	}
+	sh.mu.Lock()
+	jit := time.Duration(sh.rng.Int63n(int64(d)/2 + 1))
+	sh.mu.Unlock()
+	return d/2 + jit
+}
+
 // run is the per-peer shipping loop: probe the peer's durable
-// position, then stream batches from there, heartbeating when idle.
+// position, then stream batches from there, heartbeating when idle and
+// backing off exponentially while the peer errors.
 func (sh *Shipper[N, L]) run(p Peer) {
 	defer sh.wg.Done()
 	known := false
+	failures := 0
 	var acked uint64
+	// fail records one failed exchange; it reports false when the loop
+	// must exit (fenced or stopping).
+	fail := func(err error) bool {
+		if sh.observeErr(p, err) {
+			return false
+		}
+		known = false
+		failures++
+		return sh.sleep(sh.backoff(failures))
+	}
 	for {
 		select {
 		case <-sh.stop:
@@ -257,16 +360,14 @@ func (sh *Shipper[N, L]) run(p Peer) {
 		if !known {
 			ack, err := sh.post(p, nil)
 			if err != nil {
-				if sh.observeErr(p, err) {
-					return
-				}
-				if !sh.sleep(sh.cfg.Interval) {
+				if !fail(err) {
 					return
 				}
 				continue
 			}
 			acked = ack.Durable
 			known = true
+			failures = 0
 			sh.observeAck(p, ack)
 		}
 		recs := sh.cfg.Store.RecordsSince(acked, sh.cfg.BatchMax)
@@ -280,32 +381,30 @@ func (sh *Shipper[N, L]) run(p Peer) {
 				// even when no writes flow.
 				ack, err := sh.post(p, nil)
 				if err != nil {
-					if sh.observeErr(p, err) {
+					if !fail(err) {
 						return
 					}
-					known = false
 					continue
 				}
 				acked = ack.Durable
+				failures = 0
 				sh.observeAck(p, ack)
 			}
 			continue
 		}
 		ack, err := sh.post(p, recs)
 		if err != nil {
-			if sh.observeErr(p, err) {
-				return
-			}
-			// Transient: re-probe the peer's durable position before
-			// resending (it may have moved, or the peer restarted and
-			// lost an unsynced tail).
-			known = false
-			if !sh.sleep(sh.cfg.Interval) {
+			// Transient or divergent: re-probe the peer's durable
+			// position before resending (it may have moved, the peer may
+			// have restarted and lost an unsynced tail, or a self-healing
+			// follower may have resynced to a new history).
+			if !fail(err) {
 				return
 			}
 			continue
 		}
 		acked = ack.Durable
+		failures = 0
 		sh.observeAck(p, ack)
 	}
 }
@@ -388,30 +487,50 @@ func (sh *Shipper[N, L]) doPost(p Peer, recs []wal.SeqEntry[N, L]) (Ack, error) 
 		return Ack{}, &fencedError{token: token, msg: fmt.Sprintf(
 			"follower %s fenced this primary: it has accepted token %d (%s)", p.Name, token, peerMessage(raw))}
 	default:
-		msg := peerMessage(raw)
-		if peerKind(raw) == "invariant" {
-			return Ack{}, fault.Invariantf("follower %s refused the batch: %s", p.Name, msg)
+		return Ack{}, peerRefusal(p.Name, raw, resp.StatusCode)
+	}
+}
+
+// peerRefusal reconstructs a typed error from a follower's structured
+// refusal: divergence refusals come back as *wal.DivergenceError with
+// the peer's reported sequence number and checksums, invariant
+// refusals as fault.ErrInvariantViolated, everything else as
+// fault.ErrUnavailable.
+func peerRefusal(peer string, raw []byte, status int) error {
+	var eb peerErrorBody
+	_ = json.Unmarshal(raw, &eb)
+	msg := eb.Error.Message
+	if msg == "" {
+		msg = string(raw)
+	}
+	switch eb.Error.Kind {
+	case wal.DivergenceKind:
+		de := &wal.DivergenceError{Detail: fmt.Sprintf("follower %s refused the batch: %s", peer, msg)}
+		if d := eb.Error.Divergence; d != nil {
+			de.Seq, de.LocalCRC, de.RemoteCRC = d.Seq, d.RemoteCRC, d.LocalCRC
 		}
-		return Ack{}, fault.Unavailablef("follower %s: http %d: %s", p.Name, resp.StatusCode, msg)
+		return de
+	case "invariant":
+		return fault.Invariantf("follower %s refused the batch: %s", peer, msg)
+	default:
+		return fault.Unavailablef("follower %s: http %d: %s", peer, status, msg)
 	}
 }
 
 // peerErrorBody mirrors the server's structured error payload without
-// importing the server package (which imports this one).
+// importing the server package (which imports this one). The embedded
+// divergence detail is read from the follower's perspective: its
+// "local" checksum is this node's "remote" one.
 type peerErrorBody struct {
 	Error struct {
-		Kind    string `json:"kind"`
-		Message string `json:"message"`
+		Kind       string `json:"kind"`
+		Message    string `json:"message"`
+		Divergence *struct {
+			Seq       uint64 `json:"seq"`
+			LocalCRC  uint32 `json:"local_crc"`
+			RemoteCRC uint32 `json:"remote_crc"`
+		} `json:"divergence,omitempty"`
 	} `json:"error"`
-}
-
-// peerKind extracts the taxonomy kind from a structured error reply.
-func peerKind(raw []byte) string {
-	var eb peerErrorBody
-	if json.Unmarshal(raw, &eb) == nil {
-		return eb.Error.Kind
-	}
-	return ""
 }
 
 // peerMessage extracts the message from a structured error reply,

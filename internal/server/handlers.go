@@ -13,7 +13,9 @@ import (
 	"luf/internal/concurrent"
 	"luf/internal/fault"
 	"luf/internal/replica"
+	"luf/internal/scrub"
 	"luf/internal/solver"
+	"luf/internal/wal"
 )
 
 // maxBodyBytes bounds request bodies; oversized bodies get a
@@ -40,6 +42,21 @@ type ErrorDetail struct {
 	// this follower believes is the current primary — the redirect hint
 	// failover-aware clients follow.
 	Primary string `json:"primary,omitempty"`
+	// Divergence, present when Kind is "divergence", pinpoints where
+	// the refusing node's history split from the sender's.
+	Divergence *DivergenceDetail `json:"divergence,omitempty"`
+}
+
+// DivergenceDetail is the wire form of a wal.DivergenceError: the
+// first disagreeing sequence number and both ends' record checksums
+// (from the refusing node's perspective).
+type DivergenceDetail struct {
+	// Seq is the sequence number the histories disagree on.
+	Seq uint64 `json:"seq"`
+	// LocalCRC is the refusing node's record checksum at Seq.
+	LocalCRC uint32 `json:"local_crc"`
+	// RemoteCRC is the checksum the sender shipped for Seq.
+	RemoteCRC uint32 `json:"remote_crc"`
 }
 
 // WireStep is one certificate step on the wire.
@@ -126,13 +143,22 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 // writeError writes the structured error body for err. 503s carry a
-// Retry-After header so well-behaved clients back off.
+// Retry-After header so well-behaved clients back off. Divergence
+// refusals override the taxonomy kind with "divergence" and attach the
+// seq/CRC detail, so a shipping primary can tell "this follower needs
+// a resync" from any other invariant violation.
 func writeError(w http.ResponseWriter, err error) {
 	status := statusFor(err)
 	if status == http.StatusServiceUnavailable {
 		w.Header().Set("Retry-After", "1")
 	}
-	writeJSON(w, status, ErrorBody{Error: ErrorDetail{Kind: fault.StopLabel(err), Message: err.Error()}})
+	detail := ErrorDetail{Kind: fault.StopLabel(err), Message: err.Error()}
+	var de *wal.DivergenceError
+	if errors.As(err, &de) {
+		detail.Kind = wal.DivergenceKind
+		detail.Divergence = &DivergenceDetail{Seq: de.Seq, LocalCRC: de.LocalCRC, RemoteCRC: de.RemoteCRC}
+	}
+	writeJSON(w, status, ErrorBody{Error: detail})
 }
 
 // refuseWrite writes the structured refusal for a node that cannot
@@ -177,8 +203,11 @@ func (s *Server) routes() {
 	// Replication bypasses admission control: shedding the primary's
 	// stream under client load would turn an overload into divergence
 	// between replicas' ack state and reality. The fence check is the
-	// gate instead.
+	// gate instead. The snapshot-transfer and resync endpoints are part
+	// of the same machinery.
 	s.mux.HandleFunc("POST "+replica.ReplicatePath, s.handleReplicate)
+	s.mux.HandleFunc("GET "+replica.SnapshotPath, s.handleSnapshot)
+	s.mux.HandleFunc("POST /v1/resync", s.handleResync)
 	s.mux.HandleFunc("POST /v1/promote", s.handlePromote)
 }
 
@@ -237,10 +266,11 @@ func (s *Server) handleAssert(w http.ResponseWriter, r *http.Request) {
 		writeError(w, fault.Invalidf("both nodes are required"))
 		return
 	}
-	if !s.uf.AddRelationReason(req.N, req.M, req.Label, req.Reason) {
+	st := s.st()
+	if !st.uf.AddRelationReason(req.N, req.M, req.Label, req.Reason) {
 		err := fault.Conflictf("assert %s -(%d)-> %s contradicts the existing relation", req.N, req.Label, req.M)
 		detail := ErrorDetail{Kind: fault.StopLabel(err), Message: err.Error()}
-		if cc, cerr := s.journal.ExplainConflict(req.N, req.M, req.Label, req.Reason); cerr == nil {
+		if cc, cerr := st.journal.ExplainConflict(req.N, req.M, req.Label, req.Reason); cerr == nil {
 			wc := ToWire(cc)
 			detail.ConflictCert = &wc
 		}
@@ -262,8 +292,8 @@ func (s *Server) handleAssert(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	resp := AssertResponse{OK: true, Durable: s.store != nil}
-	if s.store != nil {
+	resp := AssertResponse{OK: true, Durable: st.store != nil}
+	if st.store != nil {
 		resp.Seq = seq
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -276,12 +306,19 @@ type RelationResponse struct {
 }
 
 func (s *Server) handleRelation(w http.ResponseWriter, r *http.Request) {
+	if err := s.healthyState(); err != nil {
+		// A quarantined or stuck node must not serve answers from state
+		// it knows is damaged; refusing reads is the degradation the
+		// resync attempt cap promises.
+		writeError(w, err)
+		return
+	}
 	n, m := r.URL.Query().Get("n"), r.URL.Query().Get("m")
 	if n == "" || m == "" {
 		writeError(w, fault.Invalidf("query parameters n and m are required"))
 		return
 	}
-	l, ok := s.uf.GetRelation(n, m)
+	l, ok := s.st().uf.GetRelation(n, m)
 	if !ok {
 		writeJSON(w, http.StatusOK, RelationResponse{Related: false})
 		return
@@ -297,12 +334,16 @@ type ExplainResponse struct {
 }
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	if err := s.healthyState(); err != nil {
+		writeError(w, err)
+		return
+	}
 	n, m := r.URL.Query().Get("n"), r.URL.Query().Get("m")
 	if n == "" || m == "" {
 		writeError(w, fault.Invalidf("query parameters n and m are required"))
 		return
 	}
-	c, err := s.journal.Explain(n, m)
+	c, err := s.st().journal.Explain(n, m)
 	if err != nil {
 		writeJSON(w, http.StatusNotFound, ErrorBody{Error: ErrorDetail{
 			Kind: "not-found", Message: fmt.Sprintf("no derivation between %q and %q: %v", n, m, err),
@@ -364,10 +405,11 @@ func (s *Server) handleBatchAssert(w http.ResponseWriter, r *http.Request) {
 		}
 		ops[i] = concurrent.Assert[string, int64]{N: a.N, M: a.M, Label: a.Label, Reason: a.Reason}
 	}
-	results := s.uf.AssertBatch(ops, concurrent.BatchOptions{
+	st := s.st()
+	results := st.uf.AssertBatch(ops, concurrent.BatchOptions{
 		Limits: fault.Limits{MaxSteps: s.cfg.RequestSteps, Ctx: r.Context()},
 	})
-	resp := BatchAssertResponse{Results: make([]BatchAssertItem, len(results)), Durable: s.store != nil}
+	resp := BatchAssertResponse{Results: make([]BatchAssertItem, len(results)), Durable: st.store != nil}
 	var persistErr error
 	var lastSeq uint64
 	for i, res := range results {
@@ -469,6 +511,9 @@ type HealthResponse struct {
 	Role string `json:"role"`
 	// JournalError is the sticky journal failure, if any.
 	JournalError string `json:"journal_error,omitempty"`
+	// Heal is the self-healing state when it is anything but healthy:
+	// "quarantined", "resyncing", "catching-up" or "stuck".
+	Heal string `json:"heal,omitempty"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -476,11 +521,24 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if resp.Draining {
 		resp.Status = "draining"
 	}
-	if s.store != nil {
-		if err := s.store.Err(); err != nil {
+	st := s.st()
+	if st.store != nil {
+		if err := st.store.Err(); err != nil {
 			resp.Status = "degraded"
 			resp.JournalError = err.Error()
 		}
+	}
+	if hs := s.HealStatus(); hs != nil && hs.State != replica.HealHealthy {
+		resp.Heal = string(hs.State)
+		// Catching-up keeps serving (the adopted state is certified and
+		// complete up to the transfer point); the other states refuse.
+		if hs.State != replica.HealCatchingUp {
+			resp.Status = "healing"
+		}
+	}
+	if err := s.integrityErr(); err != nil {
+		resp.Status = "degraded"
+		resp.JournalError = err.Error()
 	}
 	status := http.StatusOK
 	if resp.Status != "ok" {
@@ -515,24 +573,43 @@ type StatsResponse struct {
 	LeaseValid bool `json:"lease_valid,omitempty"`
 	// Peers is each follower's replication status, on the primary.
 	Peers map[string]replica.PeerStatus `json:"peers,omitempty"`
+	// Heal is the self-healing state machine's status, on nodes with a
+	// healer.
+	Heal *replica.HealStatus `json:"heal,omitempty"`
+	// Scrub is the background integrity scrubber's counters, on durable
+	// nodes.
+	Scrub *scrub.Stats `json:"scrub,omitempty"`
+	// IntegrityError is the unrecoverable integrity failure pinning this
+	// node in the degraded state, if any (primaries have no resync
+	// source, so corruption there needs an operator).
+	IntegrityError string `json:"integrity_error,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.st()
 	resp := StatsResponse{
-		UF:         s.uf.Stats(),
-		Assertions: s.journal.Len(),
+		UF:         st.uf.Stats(),
+		Assertions: st.journal.Len(),
 		Served:     s.served.Load(),
 		Shed:       s.shed.Load(),
 		Breaker:    s.breaker.State(),
-		Durable:    s.store != nil,
+		Durable:    st.store != nil,
 		Role:       s.Role(),
 	}
-	if s.store != nil {
-		resp.LastSeq = s.store.LastSeq()
-		resp.SnapshotSeq = s.store.SnapshotSeq()
-		resp.JournalSize = s.store.JournalSize()
-		resp.Fence = s.store.Fence()
-		resp.DurableSeq = s.store.DurableSeq()
+	if st.store != nil {
+		resp.LastSeq = st.store.LastSeq()
+		resp.SnapshotSeq = st.store.SnapshotSeq()
+		resp.JournalSize = st.store.JournalSize()
+		resp.Fence = st.store.Fence()
+		resp.DurableSeq = st.store.DurableSeq()
+	}
+	resp.Heal = s.HealStatus()
+	if s.scrubber != nil {
+		sstats := s.scrubber.Stats()
+		resp.Scrub = &sstats
+	}
+	if err := s.integrityErr(); err != nil {
+		resp.IntegrityError = err.Error()
 	}
 	resp.Primary, _ = s.primaryHint.Load().(string)
 	if s.lease != nil {

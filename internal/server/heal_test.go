@@ -1,0 +1,420 @@
+package server_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"luf/internal/cert"
+	"luf/internal/client"
+	"luf/internal/fault"
+	"luf/internal/group"
+	"luf/internal/replica"
+	"luf/internal/server"
+	"luf/internal/wal"
+)
+
+// newPairWithDirs is newPair with caller-chosen store directories, so
+// tests can pre-seed a follower's history (divergence, corruption).
+func newPairWithDirs(t *testing.T, pcfg, fcfg server.Config, pdir, fdir string) (p, f *server.Server, pURL, fURL string) {
+	t.Helper()
+	pts := httptest.NewUnstartedServer(http.NotFoundHandler())
+	fts := httptest.NewUnstartedServer(http.NotFoundHandler())
+	pURL = "http://" + pts.Listener.Addr().String()
+	fURL = "http://" + fts.Listener.Addr().String()
+
+	pcfg.Dir, fcfg.Dir = pdir, fdir
+	pcfg.Role, fcfg.Role = server.RolePrimary, server.RoleFollower
+	pcfg.NodeName, fcfg.NodeName = "p", "f"
+	pcfg.Advertise, fcfg.Advertise = pURL, fURL
+	pcfg.Peers = []replica.Peer{{Name: "f", URL: fURL}}
+	fcfg.Peers = []replica.Peer{{Name: "p", URL: pURL}}
+	if pcfg.ShipInterval == 0 {
+		pcfg.ShipInterval = 5 * time.Millisecond
+	}
+	if fcfg.ShipInterval == 0 {
+		fcfg.ShipInterval = 5 * time.Millisecond
+	}
+
+	p, _, err := server.New(pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _, err = server.New(fcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts.Config.Handler = p.Handler()
+	fts.Config.Handler = f.Handler()
+	pts.Start()
+	fts.Start()
+	t.Cleanup(func() {
+		_ = p.Drain(context.Background())
+		_ = f.Drain(context.Background())
+		pts.Close()
+		fts.Close()
+	})
+	return p, f, pURL, fURL
+}
+
+// newSoloServer starts a single durable node with a scrubber and no
+// peers.
+func newSoloServer(t *testing.T, cfg server.Config) (*server.Server, *httptest.Server, string) {
+	t.Helper()
+	s, _, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts, ts.URL
+}
+
+// healPairCfg returns the follower config self-healing server tests
+// share: healing on, tight backoffs, no background scrub loop (tests
+// drive ScrubNow deterministically).
+func healPairCfg() server.Config {
+	return server.Config{
+		SelfHeal:          true,
+		ResyncBackoff:     time.Millisecond,
+		ResyncMaxAttempts: 100,
+		Seed:              7,
+	}
+}
+
+// seedDivergentDir writes a store whose first record no primary will
+// ever ship: the canonical way to manufacture split histories.
+func seedDivergentDir(t *testing.T, dir string) {
+	t.Helper()
+	st, _, err := wal.Open(dir, group.Delta{}, wal.DeltaCodec{}, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Append(cert.Entry[string, int64]{N: "rogue-a", M: "rogue-b", Label: 41, Reason: "divergent"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// flipJournalByte corrupts one byte in the middle of a store
+// directory's journal, away from the torn-tail region recovery repairs.
+func flipJournalByte(t *testing.T, dir string) {
+	t.Helper()
+	jpath := filepath.Join(dir, "journal.wal")
+	fi, err := os.Stat(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(jpath, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	off := fi.Size() / 3
+	buf := make([]byte, 1)
+	if _, err := f.ReadAt(buf, off); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] ^= 0x20
+	if _, err := f.WriteAt(buf, off); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func getStats(t *testing.T, url string) server.StatsResponse {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st server.StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestFollowerSelfHealsAfterDivergence(t *testing.T) {
+	// The follower starts over a directory whose history already split
+	// from the primary's.
+	fdir := t.TempDir()
+	seedDivergentDir(t, fdir)
+	fcfg := healPairCfg()
+	p, f, pURL, fURL := newPairWithDirs(t, server.Config{}, fcfg, t.TempDir(), fdir)
+	c := client.New(pURL)
+	ctx := context.Background()
+	for i := 0; i < 20; i++ {
+		if _, err := c.Assert(ctx, fmt.Sprintf("h%d", i), fmt.Sprintf("h%d", i+1), int64(i%5), "heal"); err != nil {
+			t.Fatalf("assert %d: %v", i, err)
+		}
+	}
+
+	// The shipped stream collides with the rogue record, the follower
+	// quarantines itself, pulls the primary's certified history, adopts
+	// it and rejoins shipping — no operator in the loop.
+	waitUntil(t, "automated self-heal to a converged tail", func() bool {
+		hs := f.HealStatus()
+		return hs != nil && hs.State == replica.HealHealthy && hs.Resyncs == 1 &&
+			f.Store().LastSeq() == p.Store().LastSeq()
+	})
+
+	// The rogue assertion is gone; every acked write answers.
+	if _, ok := f.UF().GetRelation("rogue-a", "rogue-b"); ok {
+		t.Fatal("divergent assertion survived the resync")
+	}
+	for i := 0; i < 20; i++ {
+		l, ok := f.UF().GetRelation(fmt.Sprintf("h%d", i), fmt.Sprintf("h%d", i+1))
+		if !ok || l != int64(i%5) {
+			t.Fatalf("acked write h%d lost after self-heal (%d,%v)", i, l, ok)
+		}
+	}
+	// The adopted history was re-proved record by record.
+	if _, _, err := wal.Rebuild(group.Delta{}, f.Store().Entries()); err != nil {
+		t.Fatalf("certified rebuild of healed follower: %v", err)
+	}
+	// Satellite: the primary's sticky per-peer error cleared once the
+	// follower actually converged — not on mere heartbeat reachability.
+	waitUntil(t, "shipper status clean after heal", func() bool {
+		st := getStats(t, pURL).Peers["f"]
+		return st.Err == "" && !st.Divergent && st.Acked == p.Store().LastSeq()
+	})
+	// The follower's stats narrate the episode.
+	fst := getStats(t, fURL)
+	if fst.Heal == nil || fst.Heal.Resyncs != 1 || fst.Heal.State != replica.HealHealthy {
+		t.Fatalf("follower heal stats = %+v", fst.Heal)
+	}
+	if fst.Heal.Cause == "" || !strings.Contains(fst.Heal.Cause, "diverg") {
+		t.Fatalf("heal cause %q does not mention divergence", fst.Heal.Cause)
+	}
+}
+
+func TestFollowerSelfHealsFromCorruptStartup(t *testing.T) {
+	// Build a valid follower store, then rot a byte mid-journal: the
+	// next open fails certified recovery. With self-healing on, New
+	// wipes the damage and starts quarantined instead of erroring.
+	fdir := t.TempDir()
+	st, _, err := wal.Open(fdir, group.Delta{}, wal.DeltaCodec{}, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := st.Append(cert.Entry[string, int64]{N: fmt.Sprintf("c%d", i), M: fmt.Sprintf("c%d", i+1), Label: 2, Reason: "pre"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	flipJournalByte(t, fdir)
+
+	fcfg := healPairCfg()
+	p, f, pURL, fURL := newPairWithDirs(t, server.Config{}, fcfg, t.TempDir(), fdir)
+
+	// While quarantined the follower refuses reads with a structured
+	// 503 — it will not serve state it cannot trust.
+	if hs := f.HealStatus(); hs.State == replica.HealQuarantined || hs.State == replica.HealResyncing {
+		resp, err := http.Get(fURL + "/v1/relation?n=c0&m=c1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("quarantined read: status %d, want 503", resp.StatusCode)
+		}
+	}
+
+	c := client.New(pURL)
+	for i := 0; i < 8; i++ {
+		if _, err := c.Assert(context.Background(), fmt.Sprintf("c%d", i), fmt.Sprintf("c%d", i+1), 2, "post"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The follower learns the primary from the (refused) replication
+	// stream, resyncs, and converges.
+	waitUntil(t, "heal from boot-time corruption", func() bool {
+		hs := f.HealStatus()
+		return hs != nil && hs.State == replica.HealHealthy && f.Store().LastSeq() == p.Store().LastSeq()
+	})
+	if _, _, err := wal.Rebuild(group.Delta{}, f.Store().Entries()); err != nil {
+		t.Fatalf("certified rebuild after boot heal: %v", err)
+	}
+}
+
+func TestScrubDetectionTriggersSelfHeal(t *testing.T) {
+	fcfg := healPairCfg()
+	fdir := t.TempDir()
+	p, f, pURL, _ := newPairWithDirs(t, server.Config{}, fcfg, t.TempDir(), fdir)
+	c := client.New(pURL)
+	for i := 0; i < 15; i++ {
+		if _, err := c.Assert(context.Background(), fmt.Sprintf("s%d", i), fmt.Sprintf("s%d", i+1), 3, "scrub"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitUntil(t, "pre-corruption catch-up", func() bool { return f.Store().LastSeq() == p.Store().LastSeq() })
+	if err := f.ScrubNow(); err != nil {
+		t.Fatalf("clean scrub flagged damage: %v", err)
+	}
+
+	// Bit-rot the follower's disk under a running server. The scrubber
+	// finds it, the node quarantines itself and heals.
+	flipJournalByte(t, fdir)
+	if err := f.ScrubNow(); err == nil {
+		t.Fatal("scrub missed flipped bits")
+	}
+	waitUntil(t, "heal after scrub detection", func() bool {
+		hs := f.HealStatus()
+		return hs != nil && hs.Resyncs == 1 && hs.State == replica.HealHealthy &&
+			f.Store().LastSeq() == p.Store().LastSeq()
+	})
+	// A post-heal scrub over the adopted state is clean.
+	if err := f.ScrubNow(); err != nil {
+		t.Fatalf("scrub after heal: %v", err)
+	}
+	if _, _, err := wal.Rebuild(group.Delta{}, f.Store().Entries()); err != nil {
+		t.Fatalf("certified rebuild after scrub-triggered heal: %v", err)
+	}
+}
+
+func TestStuckNodeRefusesReadsUntilForcedResync(t *testing.T) {
+	// A follower with a tiny attempt budget and no reachable primary:
+	// healing must degrade to stuck, refuse reads, and recover only via
+	// the operator escape hatch once a primary exists.
+	fdir := t.TempDir()
+	net := fault.NewNetwork()
+	// The snapshot pull path is partitioned, so every resync attempt
+	// fails and the small budget runs out.
+	net.Partition("f", "p")
+	fcfg := healPairCfg()
+	fcfg.ResyncMaxAttempts = 2
+	fcfg.Net = net
+
+	p, f, pURL, fURL := newPairWithDirs(t, server.Config{Net: net}, fcfg, t.TempDir(), fdir)
+	// Build history while the follower is healthy (so the primary's
+	// lease stays renewable), then rot the follower's disk.
+	c := client.New(pURL)
+	for i := 0; i < 6; i++ {
+		if _, err := c.Assert(context.Background(), fmt.Sprintf("r%d", i), fmt.Sprintf("r%d", i+1), 1, "pre-rot"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitUntil(t, "pre-rot catch-up", func() bool { return f.Store().LastSeq() == p.Store().LastSeq() })
+	flipJournalByte(t, fdir)
+	if err := f.ScrubNow(); err == nil {
+		t.Fatal("scrub missed the corruption")
+	}
+	waitUntil(t, "degradation to stuck", func() bool {
+		hs := f.HealStatus()
+		return hs != nil && hs.State == replica.HealStuck
+	})
+
+	// Reads refuse with the escape hatch named in the message.
+	resp, err := http.Get(fURL + "/v1/relation?n=a&m=b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var eb server.ErrorBody
+	_ = json.NewDecoder(resp.Body).Decode(&eb)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("stuck read: status %d, want 503", resp.StatusCode)
+	}
+	if !strings.Contains(eb.Error.Message, "/v1/resync") {
+		t.Fatalf("stuck refusal %q does not point the operator at /v1/resync", eb.Error.Message)
+	}
+	// /healthz narrates the state.
+	hresp, err := http.Get(fURL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hb server.HealthResponse
+	_ = json.NewDecoder(hresp.Body).Decode(&hb)
+	hresp.Body.Close()
+	if hb.Status != "healing" || hb.Heal != string(replica.HealStuck) {
+		t.Fatalf("health while stuck = %+v", hb)
+	}
+
+	// The operator repairs the network and forces a resync, naming the
+	// source explicitly (the hatch for a node that never learned one).
+	net.Heal("f", "p")
+	rresp, err := http.Post(fURL+"/v1/resync", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"source":%q}`, pURL)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rr server.ResyncResponse
+	_ = json.NewDecoder(rresp.Body).Decode(&rr)
+	rresp.Body.Close()
+	if rresp.StatusCode != http.StatusOK || rr.State != replica.HealQuarantined || rr.Attempts != 0 {
+		t.Fatalf("forced resync: status %d body %+v", rresp.StatusCode, rr)
+	}
+	waitUntil(t, "forced resync convergence", func() bool {
+		hs := f.HealStatus()
+		return hs != nil && f.Store().LastSeq() == p.Store().LastSeq() && hs.Resyncs == 1
+	})
+	// Reads serve again.
+	waitUntil(t, "reads after forced resync", func() bool {
+		resp, err := http.Get(fURL + "/v1/relation?n=r0&m=r1")
+		if err != nil {
+			return false
+		}
+		resp.Body.Close()
+		return resp.StatusCode == http.StatusOK
+	})
+	// A resync against a primary is refused: it has no source of truth.
+	presp, err := http.Post(pURL+"/v1/resync", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	presp.Body.Close()
+	if presp.StatusCode == http.StatusOK {
+		t.Fatal("a primary accepted /v1/resync")
+	}
+}
+
+func TestPrimaryCorruptionDegradesForOperator(t *testing.T) {
+	// A primary has no-one to pull certified state from: scrub-detected
+	// corruption must pin it degraded (reads and writes refused,
+	// promotion refused) rather than silently serving rot.
+	pdir := t.TempDir()
+	p, _, pURL := newSoloServer(t, server.Config{Dir: pdir, SelfHeal: false})
+	c := client.New(pURL)
+	for i := 0; i < 10; i++ {
+		if _, err := c.Assert(context.Background(), fmt.Sprintf("p%d", i), fmt.Sprintf("p%d", i+1), 1, "solo"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	flipJournalByte(t, pdir)
+	if err := p.ScrubNow(); err == nil {
+		t.Fatal("scrub missed primary corruption")
+	}
+	resp, err := http.Get(pURL + "/v1/relation?n=p0&m=p1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var eb server.ErrorBody
+	_ = json.NewDecoder(resp.Body).Decode(&eb)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(eb.Error.Message, "operator") {
+		t.Fatalf("degraded primary read: status %d message %q", resp.StatusCode, eb.Error.Message)
+	}
+	st := getStats(t, pURL)
+	if st.IntegrityError == "" {
+		t.Fatal("stats hide the integrity failure")
+	}
+	if st.Scrub == nil || st.Scrub.Corruptions == 0 {
+		t.Fatalf("scrub stats = %+v", st.Scrub)
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"luf/internal/fault"
 	"luf/internal/replica"
+	"luf/internal/wal"
 )
 
 // maxReplicateBytes bounds one replication batch body. Raw journal
@@ -51,9 +52,13 @@ func readBatch(r *http.Request) (replica.Batch, error) {
 // fencing token than this node has accepted demotes a still-running
 // primary — the new primary's stream is how a replaced one learns it
 // was superseded. Stale tokens are refused with 403 and the accepted
-// token in the X-Luf-Fence response header.
+// token in the X-Luf-Fence response header. A batch that diverges from
+// this node's history quarantines the node (triggering self-healing
+// when enabled); a successful apply on a catching-up node confirms it
+// has rejoined the live stream and marks it healthy.
 func (s *Server) handleReplicate(w http.ResponseWriter, r *http.Request) {
-	if s.applier == nil {
+	st := s.st()
+	if st.applier == nil {
 		writeError(w, fault.Invalidf("this node has no durable store and cannot accept replication"))
 		return
 	}
@@ -66,21 +71,114 @@ func (s *Server) handleReplicate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	if b.Fence > s.store.Fence() && !s.follower.Load() {
+	// Learn the primary hint even from batches we are about to refuse:
+	// a quarantined follower needs it to know where to pull the resync
+	// snapshot from.
+	if b.Primary != "" {
+		s.primaryHint.Store(b.Primary)
+	}
+	if err := s.healthyState(); err != nil {
+		writeError(w, err)
+		return
+	}
+	if b.Fence > st.store.Fence() && !s.follower.Load() {
 		s.demote(b.Fence)
 	}
-	ack, err := s.applier.Apply(b)
+	ack, err := st.applier.Apply(b)
 	if err != nil {
 		if errors.Is(err, fault.ErrFenced) {
-			w.Header().Set(replica.HeaderFence, strconv.FormatUint(s.store.Fence(), 10))
+			w.Header().Set(replica.HeaderFence, strconv.FormatUint(st.store.Fence(), 10))
+		}
+		if errors.Is(err, wal.ErrDivergence) {
+			// The histories split. Refuse the batch with the typed
+			// divergence detail and quarantine: a self-healing follower
+			// wipes and resyncs, anything else degrades for the operator.
+			s.quarantine(err)
 		}
 		writeError(w, err)
 		return
 	}
-	if b.Primary != "" {
-		s.primaryHint.Store(b.Primary)
+	if s.healer != nil {
+		// Applying live batches again is the definition of healed: the
+		// resync'd store anchored into the primary's stream.
+		s.healer.MarkHealthy()
 	}
 	writeJSON(w, http.StatusOK, ack)
+}
+
+// handleSnapshot is the source half of certified resync: it streams a
+// chunk of this node's journal history as raw CRC-framed records,
+// anchored and fence-stamped exactly like live replication, so the
+// pulling node verifies and re-proves each chunk with the same applier
+// machinery. Only a healthy node serves snapshots — shipping suspect
+// history would propagate exactly the damage resync exists to repair.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	st := s.st()
+	if st.store == nil {
+		writeError(w, fault.Invalidf("this node has no durable store and cannot serve snapshots"))
+		return
+	}
+	if s.draining.Load() {
+		writeError(w, fault.Unavailablef("server is draining"))
+		return
+	}
+	if err := s.healthyState(); err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := replica.ServeSnapshot(w, r, st.store, s.cfg.Advertise); err != nil {
+		writeError(w, err)
+	}
+}
+
+// ResyncRequest is the optional /v1/resync request body.
+type ResyncRequest struct {
+	// Source, when non-empty, is the base URL of the node to pull
+	// certified state from — for the case where the stuck node never
+	// learned a primary hint (e.g. it has been partitioned since boot)
+	// and the operator knows better.
+	Source string `json:"source,omitempty"`
+}
+
+// ResyncResponse is the /v1/resync success body.
+type ResyncResponse struct {
+	// State is the healer's state right after the forced kick
+	// ("quarantined": the resync is queued).
+	State replica.HealState `json:"state"`
+	// Attempts is the attempt counter, reset to zero by the force.
+	Attempts int `json:"attempts"`
+}
+
+// handleResync is the operator escape hatch for a stuck node: it
+// forces a fresh self-healing episode (attempt counter reset)
+// regardless of the current state. It also works on a healthy follower
+// — a deliberate full resync, e.g. after replacing a disk.
+func (s *Server) handleResync(w http.ResponseWriter, r *http.Request) {
+	if s.healer == nil {
+		writeError(w, fault.Invalidf("self-healing is not enabled on this node"))
+		return
+	}
+	if !s.follower.Load() {
+		writeError(w, fault.Invalidf("a primary cannot resync (it has no source of truth to pull from); demote it first"))
+		return
+	}
+	if r.ContentLength != 0 {
+		var req ResyncRequest
+		if err := decodeBody(r, &req); err != nil {
+			writeError(w, err)
+			return
+		}
+		if req.Source != "" {
+			s.primaryHint.Store(req.Source)
+		}
+	}
+	// The store being replaced must stop accepting work before the wipe.
+	if st := s.st(); st.store != nil {
+		_ = st.store.Close()
+	}
+	s.healer.ForceResync(errors.New("operator-forced resync via POST /v1/resync"))
+	hs := s.healer.Status()
+	writeJSON(w, http.StatusOK, ResyncResponse{State: hs.State, Attempts: hs.Attempts})
 }
 
 // PromoteRequest is the /v1/promote request body.
@@ -114,11 +212,12 @@ func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.Promote(req.Fence); err != nil {
-		if errors.Is(err, fault.ErrFenced) && s.store != nil {
-			w.Header().Set(replica.HeaderFence, strconv.FormatUint(s.store.Fence(), 10))
+		if errors.Is(err, fault.ErrFenced) && s.st().store != nil {
+			w.Header().Set(replica.HeaderFence, strconv.FormatUint(s.st().store.Fence(), 10))
 		}
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, PromoteResponse{Role: s.Role(), Fence: s.store.Fence(), LastSeq: s.store.LastSeq()})
+	st := s.st()
+	writeJSON(w, http.StatusOK, PromoteResponse{Role: s.Role(), Fence: st.store.Fence(), LastSeq: st.store.LastSeq()})
 }

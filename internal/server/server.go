@@ -34,7 +34,9 @@ package server
 
 import (
 	"context"
+	"errors"
 	"net/http"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -44,6 +46,7 @@ import (
 	"luf/internal/fault"
 	"luf/internal/group"
 	"luf/internal/replica"
+	"luf/internal/scrub"
 	"luf/internal/wal"
 )
 
@@ -108,6 +111,32 @@ type Config struct {
 	// Net, when non-nil, routes replication through a simulated network
 	// (chaos tests).
 	Net *fault.Network
+
+	// SelfHeal enables automated certified resync on this node:
+	// detected divergence or corruption quarantines the store, wipes
+	// it, pulls the primary's history over /v1/snapshot and re-proves
+	// every record before adopting it — no operator involved. Requires
+	// Dir; only acts while the node is a follower (a primary has no
+	// source of truth to pull from and degrades instead).
+	SelfHeal bool
+	// ScrubInterval is the background integrity scrubber's period;
+	// <= 0 disables the background loop (ScrubNow still scrubs on
+	// demand). Requires Dir.
+	ScrubInterval time.Duration
+	// ScrubSample is the number of certificates the scrubber re-proves
+	// per pass (rotating window); <= 0 means 32.
+	ScrubSample int
+	// ResyncMaxAttempts caps resync attempts per self-healing episode
+	// before the node degrades to refusing reads and waits for
+	// POST /v1/resync; <= 0 means 8.
+	ResyncMaxAttempts int
+	// ResyncBackoff is the base delay between resync attempts
+	// (exponential with full jitter); <= 0 means 50ms.
+	ResyncBackoff time.Duration
+	// Seed seeds the node's jittered backoffs and the scrub sampling
+	// window; fixed seeds make chaos tests deterministic (0 picks a
+	// library default).
+	Seed int64
 }
 
 func (c Config) withDefaults() Config {
@@ -135,6 +164,15 @@ func (c Config) withDefaults() Config {
 	if c.LeaseTTL <= 0 {
 		c.LeaseTTL = time.Second
 	}
+	if c.ScrubSample <= 0 {
+		c.ScrubSample = 32
+	}
+	if c.ResyncMaxAttempts <= 0 {
+		c.ResyncMaxAttempts = 8
+	}
+	if c.ResyncBackoff <= 0 {
+		c.ResyncBackoff = 50 * time.Millisecond
+	}
 	return c
 }
 
@@ -148,14 +186,28 @@ const (
 	RoleFollower = "follower"
 )
 
+// nodeState bundles the swappable serving state — the union-find, its
+// certificate journal, the durable store and the replication applier
+// built over them. Self-healing replaces the whole bundle atomically
+// when a resync adopts a rebuilt store, so every handler reads it once
+// per request and works against one consistent generation.
+type nodeState struct {
+	uf      *concurrent.UF[string, int64]
+	journal *cert.SyncJournal[string, int64]
+	store   *wal.Store[string, int64]     // nil when Config.Dir is empty
+	applier *replica.Applier[string, int64] // nil without a store
+}
+
+// errBox wraps an error for storage in an atomic.Value (which needs a
+// consistent concrete type).
+type errBox struct{ err error }
+
 // Server is the HTTP serving layer over a concurrent labeled
 // union-find, optionally backed by a durable WAL store.
 type Server struct {
 	cfg     Config
 	g       group.Delta
-	uf      *concurrent.UF[string, int64]
-	journal *cert.SyncJournal[string, int64]
-	store   *wal.Store[string, int64] // nil when Config.Dir is empty
+	state   atomic.Pointer[nodeState]
 	breaker *Breaker
 	mux     *http.ServeMux
 
@@ -175,10 +227,20 @@ type Server struct {
 	follower    atomic.Bool
 	primaryHint atomic.Value // string: last known primary base URL
 	lease       *replica.Lease
-	applier     *replica.Applier[string, int64]
 	repMu       sync.Mutex
 	shipper     *replica.Shipper[string, int64]
+
+	// Self-healing state. healer is non-nil with Config.SelfHeal,
+	// scrubber with a durable store; integrity holds the errBox of a
+	// corruption this node cannot heal from (primary, or healing
+	// disabled), which degrades it to refusing reads and writes.
+	healer    *replica.Healer[string, int64]
+	scrubber  *scrub.Scrubber[string, int64]
+	integrity atomic.Value // errBox
 }
+
+// st returns the current serving-state generation.
+func (s *Server) st() *nodeState { return s.state.Load() }
 
 // New builds a server, recovering durable state from cfg.Dir when set.
 // The returned Recovered describes what recovery restored (nil without
@@ -191,27 +253,46 @@ func New(cfg Config) (*Server, *wal.Recovered[string, int64], error) {
 		sem:     make(chan struct{}, cfg.MaxInflight),
 	}
 	var rec *wal.Recovered[string, int64]
+	var startCause error
+	st := &nodeState{}
 	if cfg.Dir != "" {
 		store, r, err := wal.Open(cfg.Dir, s.g, wal.DeltaCodec{}, wal.Options{Inject: cfg.Inject})
+		if err != nil && cfg.SelfHeal && cfg.Role == RoleFollower &&
+			(errors.Is(err, fault.ErrIO) || errors.Is(err, fault.ErrInvariantViolated)) {
+			// The local state is damaged beyond the torn-tail repair
+			// recovery performs. A self-healing follower does not need an
+			// operator for this: wipe, start quarantined, and resync the
+			// whole history from the primary with every record re-proved.
+			startCause = err
+			if rmErr := os.RemoveAll(cfg.Dir); rmErr != nil {
+				return nil, nil, fault.IOf("self-heal: wipe damaged store %s: %v", cfg.Dir, rmErr)
+			}
+			store, r, err = wal.Open(cfg.Dir, s.g, wal.DeltaCodec{}, wal.Options{Inject: cfg.Inject})
+		}
 		if err != nil {
 			return nil, nil, err
 		}
-		s.store, rec = store, r
-		s.uf, s.journal = r.UF, r.Journal
+		st.store, rec = store, r
+		st.uf, st.journal = r.UF, r.Journal
 	} else {
-		s.journal = cert.NewSyncJournal[string, int64](s.g)
-		s.uf = concurrent.New[string, int64](s.g, concurrent.WithRecorder[string, int64](s.journal.Record))
+		st.journal = cert.NewSyncJournal[string, int64](s.g)
+		st.uf = concurrent.New[string, int64](s.g, concurrent.WithRecorder[string, int64](st.journal.Record))
 	}
 	if cfg.Role != RolePrimary && cfg.Role != RoleFollower {
 		return nil, nil, fault.Invalidf("unknown role %q (want %q or %q)", cfg.Role, RolePrimary, RoleFollower)
 	}
-	if (cfg.Role == RoleFollower || len(cfg.Peers) > 0) && s.store == nil {
+	if (cfg.Role == RoleFollower || len(cfg.Peers) > 0) && st.store == nil {
 		return nil, nil, fault.Invalidf("replication requires a durable store directory")
 	}
-	s.primaryHint.Store("")
-	if s.store != nil {
-		s.applier = &replica.Applier[string, int64]{G: s.g, UF: s.uf, Journal: s.journal, Store: s.store}
+	if cfg.SelfHeal && st.store == nil {
+		return nil, nil, fault.Invalidf("self-healing requires a durable store directory")
 	}
+	s.primaryHint.Store("")
+	s.integrity.Store(errBox{})
+	if st.store != nil {
+		st.applier = &replica.Applier[string, int64]{G: s.g, UF: st.uf, Journal: st.journal, Store: st.store}
+	}
+	s.state.Store(st)
 	s.follower.Store(cfg.Role == RoleFollower)
 	if len(cfg.Peers) > 0 {
 		// The lease starts expired: a freshly started (or revived)
@@ -221,27 +302,194 @@ func New(cfg Config) (*Server, *wal.Recovered[string, int64], error) {
 		// (expired) lease so a later promotion inherits the gate.
 		s.lease = replica.NewLease(cfg.LeaseTTL)
 	}
+	if cfg.SelfHeal {
+		s.healer = replica.NewHealer(replica.HealConfig[string, int64]{
+			Dir:         cfg.Dir,
+			G:           s.g,
+			Codec:       wal.DeltaCodec{},
+			Self:        cfg.NodeName,
+			Source:      s.healSource,
+			Net:         cfg.Net,
+			MaxAttempts: cfg.ResyncMaxAttempts,
+			BaseBackoff: cfg.ResyncBackoff,
+			Seed:        cfg.Seed,
+			OnAdopt:     s.adopt,
+		})
+		s.healer.Start()
+	}
+	if st.store != nil && cfg.Dir != "" {
+		s.scrubber = scrub.New(scrub.Config[string, int64]{
+			Dir:   cfg.Dir,
+			G:     s.g,
+			Codec: wal.DeltaCodec{},
+			State: func() (*wal.Store[string, int64], *concurrent.UF[string, int64], *cert.SyncJournal[string, int64]) {
+				cur := s.st()
+				return cur.store, cur.uf, cur.journal
+			},
+			Gate:         s.scrubbable,
+			Sample:       cfg.ScrubSample,
+			Interval:     cfg.ScrubInterval,
+			Seed:         cfg.Seed,
+			OnCorruption: s.quarantine,
+		})
+		s.scrubber.Start()
+	}
 	if cfg.Role == RolePrimary && len(cfg.Peers) > 0 {
 		s.startShipping()
 	}
 	if cfg.Role == RolePrimary && cfg.Advertise != "" {
 		s.primaryHint.Store(cfg.Advertise)
 	}
+	if startCause != nil {
+		s.quarantine(startCause)
+	}
 	s.mux = http.NewServeMux()
 	s.routes()
 	return s, rec, nil
+}
+
+// adopt atomically swaps in the state a completed certified resync
+// rebuilt; the healer calls it exactly once per successful resync.
+func (s *Server) adopt(store *wal.Store[string, int64], uf *concurrent.UF[string, int64], journal *cert.SyncJournal[string, int64]) {
+	s.state.Store(&nodeState{
+		uf:      uf,
+		journal: journal,
+		store:   store,
+		applier: &replica.Applier[string, int64]{G: s.g, UF: uf, Journal: journal, Store: store},
+	})
+}
+
+// healSource resolves the node to pull certified resync state from:
+// the primary this follower last heard from, mapped back to its peer
+// name so chaos tests can partition the pull path too. It returns an
+// empty URL while no primary is known (the healer retries after
+// backoff; the quarantined replicate handler still learns the hint
+// from refused batches).
+func (s *Server) healSource() (string, string) {
+	hint, _ := s.primaryHint.Load().(string)
+	if hint == "" || hint == s.cfg.Advertise {
+		return "", ""
+	}
+	for _, p := range s.cfg.Peers {
+		if p.URL == hint {
+			return p.Name, hint
+		}
+	}
+	return "primary", hint
+}
+
+// quarantine reacts to detected divergence or corruption. A
+// self-healing follower closes the suspect store and hands the episode
+// to the healer; any other node (a primary has no source of truth to
+// pull from) records the cause and degrades to refusing reads and
+// writes until an operator steps in.
+func (s *Server) quarantine(cause error) {
+	if s.healer != nil && s.follower.Load() {
+		if st := s.st(); st.store != nil {
+			_ = st.store.Close()
+		}
+		s.healer.Quarantine(cause)
+		return
+	}
+	s.integrity.Store(errBox{err: cause})
+}
+
+// integrityErr returns the unrecoverable integrity failure pinning this
+// node in the degraded state, or nil.
+func (s *Server) integrityErr() error {
+	if b, ok := s.integrity.Load().(errBox); ok {
+		return b.err
+	}
+	return nil
+}
+
+// healthyState reports whether this node's local state is currently
+// trustworthy to serve: a non-nil return (always fault.ErrUnavailable)
+// means the state is quarantined, resyncing, stuck, or failed an
+// integrity check it cannot heal from.
+func (s *Server) healthyState() error {
+	if b, ok := s.integrity.Load().(errBox); ok && b.err != nil {
+		return fault.Unavailablef("node state failed an integrity check and cannot self-heal: %v — operator action required", b.err)
+	}
+	if s.healer == nil {
+		return nil
+	}
+	hs := s.healer.Status()
+	switch hs.State {
+	case replica.HealQuarantined, replica.HealResyncing:
+		return fault.Unavailablef("node state is %s (%s) — self-healing in progress", hs.State, hs.Cause)
+	case replica.HealStuck:
+		return fault.Unavailablef("self-healing gave up after %d resync attempts (last error: %s) — POST /v1/resync to retry", hs.Attempts, hs.LastErr)
+	}
+	return nil
+}
+
+// scrubbable gates the integrity scrubber: only a node whose state is
+// trustworthy and whose journal is not already sticky-failed gets
+// scrubbed — scrubbing a store mid-resync (wiped from disk) or after a
+// known disk failure would only re-report what the node already knows.
+func (s *Server) scrubbable() bool {
+	if s.healthyState() != nil {
+		return false
+	}
+	st := s.st()
+	return st.store != nil && st.store.Err() == nil
+}
+
+// ScrubNow runs one synchronous integrity pass (disk frames plus a
+// certificate sample window) and returns its verdict; tests and the
+// chaos scheduler drive scrubbing deterministically through it. A nil
+// return means clean, skipped (gated off), or no scrubber (in-memory
+// server).
+func (s *Server) ScrubNow() error {
+	if s.scrubber == nil {
+		return nil
+	}
+	return s.scrubber.Tick()
+}
+
+// HealStatus returns the self-healing lifecycle state, or nil when
+// self-healing is not enabled.
+func (s *Server) HealStatus() *replica.HealStatus {
+	if s.healer == nil {
+		return nil
+	}
+	hs := s.healer.Status()
+	return &hs
+}
+
+// Kill hard-stops the node's background machinery — shipper, healer,
+// scrubber — without draining, flushing or closing the store: the
+// in-process stand-in for a crash. Chaos tests restart the node by
+// reopening its directory with New.
+func (s *Server) Kill() {
+	s.draining.Store(true)
+	s.repMu.Lock()
+	sh := s.shipper
+	s.shipper = nil
+	s.repMu.Unlock()
+	if sh != nil {
+		sh.Stop()
+	}
+	if s.scrubber != nil {
+		s.scrubber.Stop()
+	}
+	if s.healer != nil {
+		s.healer.Stop()
+	}
 }
 
 // startShipping builds and starts the shipper for this node's peers.
 // Callers hold repMu or are still single-threaded (New).
 func (s *Server) startShipping() {
 	sh := replica.NewShipper(replica.Config[string, int64]{
-		Store:     s.store,
+		Store:     s.st().store,
 		Self:      s.cfg.NodeName,
 		Advertise: s.cfg.Advertise,
 		Peers:     s.cfg.Peers,
 		Lease:     s.lease,
 		Interval:  s.cfg.ShipInterval,
+		Seed:      s.cfg.Seed,
 		Net:       s.cfg.Net,
 		OnFenced:  s.demote,
 	})
@@ -277,15 +525,21 @@ func (s *Server) demote(token uint64) {
 // follower acknowledges (in a single-surviving-node emergency there is
 // nobody to acknowledge — see OPERATIONS.md for the escape hatch).
 func (s *Server) Promote(token uint64) error {
-	if s.store == nil {
+	st := s.st()
+	if st.store == nil {
 		return fault.Invalidf("promotion requires a durable store")
+	}
+	if err := s.healthyState(); err != nil {
+		// A quarantined, resyncing or stuck node must never become the
+		// source of truth: its local state is exactly what is in doubt.
+		return fault.Unavailablef("refusing promotion: %v", err)
 	}
 	s.repMu.Lock()
 	defer s.repMu.Unlock()
-	if cur := s.store.Fence(); token <= cur {
+	if cur := st.store.Fence(); token <= cur {
 		return fault.Fencedf("promotion token %d is not above the accepted fencing token %d", token, cur)
 	}
-	if err := s.store.SetFence(token); err != nil {
+	if err := st.store.SetFence(token); err != nil {
 		return err
 	}
 	s.follower.Store(false)
@@ -326,6 +580,9 @@ func (s *Server) writable() error {
 			return fault.NotPrimaryf("this node is a follower; write to the primary at %s", hint)
 		}
 		return fault.NotPrimaryf("this node is a follower; write to the primary")
+	}
+	if err := s.healthyState(); err != nil {
+		return err
 	}
 	if s.lease != nil && !s.lease.Valid() {
 		return fault.Unavailablef("primary lease lapsed (no follower acknowledgement within %v); refusing writes until a follower acks", s.cfg.LeaseTTL)
@@ -376,14 +633,15 @@ func (s *Server) admit(r *http.Request) (func(), error) {
 // structured 503 (the in-memory accept stands, but the client was told
 // durability failed, so it must not rely on it).
 func (s *Server) persist(e cert.Entry[string, int64]) (uint64, error) {
-	if s.store == nil {
+	st := s.st()
+	if st.store == nil {
 		return 0, nil
 	}
-	seq, err := s.store.Append(e)
+	seq, err := st.store.Append(e)
 	if err != nil {
 		return 0, err
 	}
-	if err := s.store.Commit(seq); err != nil {
+	if err := st.store.Commit(seq); err != nil {
 		return 0, err
 	}
 	if n := s.appends.Add(1); s.cfg.SnapshotEvery > 0 && n >= int64(s.cfg.SnapshotEvery) {
@@ -424,16 +682,17 @@ func (s *Server) maybeSnapshot() {
 		return
 	}
 	s.appends.Store(0)
+	st := s.st()
 	go func() {
 		defer s.snapping.Store(false)
 		// A snapshot failure is not fatal: the journal still holds
 		// everything. The next trigger retries. Once a snapshot covers a
 		// journal prefix, the prefix is trimmed away (atomically) so the
 		// journal does not grow without bound.
-		if err := s.store.Snapshot(); err != nil {
+		if err := st.store.Snapshot(); err != nil {
 			return
 		}
-		_ = s.store.Trim()
+		_ = st.store.Trim()
 	}()
 }
 
@@ -454,6 +713,12 @@ func (s *Server) Drain(ctx context.Context) error {
 	if sh != nil {
 		sh.Stop()
 	}
+	if s.scrubber != nil {
+		s.scrubber.Stop()
+	}
+	if s.healer != nil {
+		s.healer.Stop()
+	}
 	// Acquire every admission token: once we hold all of them, no
 	// request is in flight (each in-flight request holds one until it
 	// finishes, and new requests are already refused).
@@ -464,27 +729,32 @@ func (s *Server) Drain(ctx context.Context) error {
 			return fault.Unavailablef("drain aborted with requests in flight: %v", ctx.Err())
 		}
 	}
-	if s.store == nil {
+	st := s.st()
+	if st.store == nil || s.healthyState() != nil {
+		// A quarantined or degraded store has nothing worth flushing: its
+		// contents are either already closed (pending resync) or suspect.
 		return nil
 	}
 	var first error
-	if err := s.store.Sync(); err != nil {
+	if err := st.store.Sync(); err != nil {
 		first = err
 	}
 	if first == nil {
-		if err := s.store.Snapshot(); err != nil {
+		if err := st.store.Snapshot(); err != nil {
 			first = err
 		}
 	}
-	if err := s.store.Close(); err != nil && first == nil {
+	if err := st.store.Close(); err != nil && first == nil {
 		first = err
 	}
 	return first
 }
 
 // Store returns the durable store (nil for in-memory servers); tests
-// and the daemon use it for stats.
-func (s *Server) Store() *wal.Store[string, int64] { return s.store }
+// and the daemon use it for stats. Self-healing may swap the store a
+// resync rebuilt in at any time, so callers must not cache it.
+func (s *Server) Store() *wal.Store[string, int64] { return s.st().store }
 
-// UF returns the serving union-find.
-func (s *Server) UF() *concurrent.UF[string, int64] { return s.uf }
+// UF returns the serving union-find; like Store, it must not be
+// cached across a self-healing resync.
+func (s *Server) UF() *concurrent.UF[string, int64] { return s.st().uf }

@@ -1,0 +1,130 @@
+package wal
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"luf/internal/cert"
+	"luf/internal/fault"
+	"luf/internal/group"
+)
+
+func TestDivergenceErrorCarriesBothIdentities(t *testing.T) {
+	de := &DivergenceError{Seq: 7, LocalCRC: 1, RemoteCRC: 2, Detail: "test"}
+	// The typed identity lets the shipper and the healer react
+	// specifically; the invariant identity keeps the existing taxonomy
+	// (HTTP 500, StopLabel "invariant") working unchanged.
+	if !errors.Is(de, ErrDivergence) {
+		t.Fatal("DivergenceError does not match ErrDivergence")
+	}
+	if !errors.Is(de, fault.ErrInvariantViolated) {
+		t.Fatal("DivergenceError does not match fault.ErrInvariantViolated")
+	}
+	var got *DivergenceError
+	if !errors.As(de, &got) || got.Seq != 7 {
+		t.Fatalf("errors.As lost the typed detail: %+v", got)
+	}
+	for _, frag := range []string{"sequence 7", "refusing to merge", "test"} {
+		if !strings.Contains(de.Error(), frag) {
+			t.Fatalf("message %q misses %q", de.Error(), frag)
+		}
+	}
+}
+
+func TestAppendReplicatedReturnsTypedDivergence(t *testing.T) {
+	g := group.Delta{}
+	s, _, err := Open(t.TempDir(), g, DeltaCodec{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	held := cert.Entry[string, int64]{N: "a", M: "b", Label: 1, Reason: "held"}
+	if err := s.AppendReplicated(1, held); err != nil {
+		t.Fatal(err)
+	}
+	// Re-shipping the identical record is idempotent, not divergent.
+	if err := s.AppendReplicated(1, held); err != nil {
+		t.Fatalf("idempotent re-append refused: %v", err)
+	}
+	// A different record at the same sequence number is the typed error,
+	// with the CRCs pinpointing the split.
+	err = s.AppendReplicated(1, cert.Entry[string, int64]{N: "a", M: "b", Label: 2, Reason: "other"})
+	var de *DivergenceError
+	if !errors.As(err, &de) {
+		t.Fatalf("conflicting append = %v, want a *DivergenceError", err)
+	}
+	if de.Seq != 1 || de.LocalCRC == de.RemoteCRC {
+		t.Fatalf("divergence detail = %+v, want seq 1 with differing CRCs", de)
+	}
+}
+
+func TestRecordsSinceServesFullHistoryAfterTrim(t *testing.T) {
+	g := group.Delta{}
+	s, _, err := Open(t.TempDir(), g, DeltaCodec{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 20; i++ {
+		e := cert.Entry[string, int64]{N: n(i), M: n(i + 1), Label: 1, Reason: "trim-mirror"}
+		if _, err := s.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Trim(); err != nil {
+		t.Fatal(err)
+	}
+	// The journal shrank, but the shipping/snapshot-transfer mirror must
+	// still serve from sequence zero — resync pulls depend on it.
+	recs := s.RecordsSince(0, 0)
+	if len(recs) != 20 {
+		t.Fatalf("mirror serves %d records after trim, want 20", len(recs))
+	}
+	for i, r := range recs {
+		if r.Seq != uint64(i+1) {
+			t.Fatalf("record %d has seq %d", i, r.Seq)
+		}
+	}
+	if _, ok := s.RecordAt(1); !ok {
+		t.Fatal("RecordAt(1) lost after trim; snapshot-transfer anchors would fail")
+	}
+}
+
+func TestVerifyDirMatchesRecoverySemantics(t *testing.T) {
+	g := group.Delta{}
+	dir := t.TempDir()
+	s, _, err := Open(dir, g, DeltaCodec{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := s.Append(cert.Entry[string, int64]{N: n(i), M: n(i + 1), Label: 2, Reason: "verify"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	frames, err := VerifyDir(dir, DeltaCodec{})
+	if err != nil {
+		t.Fatalf("clean dir: %v", err)
+	}
+	if frames == 0 {
+		t.Fatal("clean dir verified zero frames")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A missing journal is IO damage, not a clean pass.
+	if _, err := VerifyDir(t.TempDir(), DeltaCodec{}); err == nil || !errors.Is(err, fault.ErrIO) {
+		t.Fatalf("empty dir = %v, want ErrIO", err)
+	}
+}
+
+func n(i int) string {
+	return "w" + string(rune('a'+i/26)) + string(rune('a'+i%26))
+}

@@ -245,8 +245,12 @@ func (s *Store[N, L]) AppendReplicated(seq uint64, e cert.Entry[N, L]) error {
 	if seq <= s.seq {
 		if r, ok := s.recordAtLocked(seq); ok {
 			if s.key(r.Entry) != s.key(e) || r.Entry.Reason != e.Reason {
-				return fault.Invariantf(
-					"divergent histories at sequence %d: this store holds a different assertion than the one shipped — refusing to merge; wipe and resync", seq)
+				return &DivergenceError{
+					Seq:       seq,
+					LocalCRC:  RecordCRC(s.codec, r),
+					RemoteCRC: RecordCRC(s.codec, SeqEntry[N, L]{Seq: seq, Entry: e}),
+					Detail:    "this store holds a different assertion than the one shipped",
+				}
 			}
 		}
 		return nil
