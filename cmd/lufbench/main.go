@@ -9,6 +9,7 @@
 //	lufbench -exp recovery  durable-store certified recovery (journal replay vs snapshot)
 //	lufbench -exp replication  primary/follower shipping, catch-up and failover latency
 //	lufbench -exp heal      scrub overhead, corruption detection, automated resync latency
+//	lufbench -exp readfleet read scaling vs replica count, follower staleness, goodput under 2x overload
 //	lufbench -exp all       everything
 package main
 
@@ -22,7 +23,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, sec72, sec72d2, scaling, inter, concurrent, recovery, replication, heal, all")
+	exp := flag.String("exp", "all", "experiment: table1, sec72, sec72d2, scaling, inter, concurrent, recovery, replication, heal, readfleet, all")
 	programs := flag.Int("programs", 584, "number of analyzer corpus programs (sec72)")
 	quick := flag.Bool("quick", false, "smaller corpora for a fast smoke run")
 	budget := flag.Int("budget", 0, "per-run analyzer step budget for sec72 (0 = unlimited)")
@@ -33,6 +34,7 @@ func main() {
 	recoveryJSON := flag.String("recovery-json", "BENCH_recovery.json", "output path for the recovery experiment's JSON result")
 	replicationJSON := flag.String("replication-json", "BENCH_replication.json", "output path for the replication experiment's JSON result")
 	healJSON := flag.String("heal-json", "BENCH_heal.json", "output path for the heal experiment's JSON result")
+	readfleetJSON := flag.String("readfleet-json", "BENCH_readfleet.json", "output path for the readfleet experiment's JSON result")
 	flag.Parse()
 
 	run := func(name string) bool { return *exp == name || *exp == "all" }
@@ -171,6 +173,28 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Printf("wrote %s\n", *healJSON)
+		}
+	}
+	if run("readfleet") {
+		any = true
+		cfg := bench.DefaultReadFleet()
+		if *quick {
+			cfg.Entries = 120
+			cfg.Phase = 200 * time.Millisecond
+			cfg.Samples = 60
+		}
+		res, err := bench.RunReadFleet(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(res.Format())
+		if *readfleetJSON != "" {
+			if err := res.WriteJSON(*readfleetJSON); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *readfleetJSON)
 		}
 	}
 	if !any {

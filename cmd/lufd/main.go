@@ -52,6 +52,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	dir := fs.String("dir", "", "durable store directory (empty serves from memory, no durability)")
 	maxInflight := fs.Int("max-inflight", 64, "admission-control limit on concurrent requests")
 	requestTimeout := fs.Duration("request-timeout", 2*time.Second, "per-request deadline")
+	minDeadline := fs.Duration("min-deadline", 2*time.Millisecond, "refuse requests whose propagated X-Luf-Deadline budget is below this floor (504 instead of doomed work)")
+	followerWait := fs.Duration("follower-wait", 50*time.Millisecond, "longest a follower read waits for durable state to cover the client's session token before 421-redirecting to the primary")
 	snapshotEvery := fs.Int("snapshot-every", 4096, "write a snapshot after this many journaled asserts (0 = only on drain)")
 	breakerFailures := fs.Int("breaker-failures", 3, "consecutive solve failures that open the solver circuit breaker")
 	breakerCooldown := fs.Duration("breaker-cooldown", 5*time.Second, "open-circuit cooldown before a probe")
@@ -98,6 +100,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		Dir:               *dir,
 		MaxInflight:       *maxInflight,
 		RequestTimeout:    *requestTimeout,
+		MinDeadline:       *minDeadline,
+		FollowerWaitMax:   *followerWait,
 		SnapshotEvery:     *snapshotEvery,
 		BreakerFailures:   *breakerFailures,
 		BreakerCooldown:   *breakerCooldown,

@@ -1,0 +1,461 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"luf/internal/client"
+	"luf/internal/replica"
+	"luf/internal/server"
+)
+
+// ReadFleetConfig parameterizes the overload-resilient read fleet
+// benchmark: a real primary plus two followers on loopback listeners,
+// measured three ways — read throughput as replicas are added to the
+// fleet, the staleness distribution of follower reads under write
+// churn, and goodput when the offered read load is twice the per-node
+// admission limit (the brownout + retry-budget + hedging stack working
+// together).
+type ReadFleetConfig struct {
+	// Entries is the number of relations preloaded before any phase.
+	Entries int
+	// Readers is the number of reader goroutines per measured fleet in
+	// the scaling phase.
+	Readers int
+	// Phase is the measured wall-clock window of the scaling and
+	// overload phases.
+	Phase time.Duration
+	// Samples is the number of follower reads sampled for the staleness
+	// distribution.
+	Samples int
+	// MaxInflight is each node's global admission limit; the overload
+	// phase offers twice this many concurrent readers.
+	MaxInflight int
+	// ShipInterval is the primary's idle replication poll period.
+	ShipInterval time.Duration
+	// ReadLatency is the simulated downstream latency charged to every
+	// relation/explain read, and ReadParallel the per-node IO
+	// parallelism serving them — the same simulated-downstream-IO device
+	// as the concurrent benchmark's ServeLatency. Together they make
+	// replica capacity (ReadParallel/ReadLatency reads per second per
+	// node) the read bottleneck, so fleet throughput can actually scale
+	// with replica count instead of being a measurement of one
+	// machine's CPU.
+	ReadLatency  time.Duration
+	ReadParallel int
+	Seed         int64
+}
+
+// DefaultReadFleet returns the configuration used to produce
+// BENCH_readfleet.json.
+func DefaultReadFleet() ReadFleetConfig {
+	return ReadFleetConfig{
+		Entries: 400, Readers: 16, Phase: 600 * time.Millisecond,
+		Samples: 250, MaxInflight: 8, ShipInterval: 2 * time.Millisecond,
+		ReadLatency: 2 * time.Millisecond, ReadParallel: 4, Seed: 2025,
+	}
+}
+
+// ReadFleetScale is one row of the replica-scaling measurement.
+type ReadFleetScale struct {
+	Replicas    int     `json:"replicas"`
+	Readers     int     `json:"readers"`
+	Reads       int64   `json:"reads"`
+	NS          int64   `json:"ns"`
+	ReadsPerSec float64 `json:"reads_per_sec"`
+}
+
+// ReadFleetResult aggregates the benchmark for BENCH_readfleet.json.
+type ReadFleetResult struct {
+	// The simulated per-replica read capacity (see ReadFleetConfig).
+	ReadLatencyNS int64 `json:"simulated_read_latency_ns"`
+	ReadParallel  int   `json:"simulated_read_parallel"`
+	// Scale is read throughput against 1, 2 and 3 replicas with the
+	// same offered load.
+	Scale []ReadFleetScale `json:"read_scaling"`
+	// The staleness distribution of stale-tolerant follower reads under
+	// write churn, in journal sequence numbers behind the primary's
+	// tail (an upper bound: the tail is sampled after each response).
+	StalenessSamples int     `json:"staleness_samples"`
+	StalenessMeanSeq float64 `json:"staleness_mean_seq"`
+	StalenessP50Seq  uint64  `json:"staleness_p50_seq"`
+	StalenessP95Seq  uint64  `json:"staleness_p95_seq"`
+	StalenessMaxSeq  uint64  `json:"staleness_max_seq"`
+	// Goodput under 2x offered overload: session-carrying, hedging,
+	// budget-bounded cluster readers against the whole fleet.
+	OverloadReaders       int              `json:"overload_readers"`
+	OverloadMaxInflight   int              `json:"overload_max_inflight"`
+	OverloadGoodReads     int64            `json:"overload_good_reads"`
+	OverloadFailedReads   int64            `json:"overload_failed_reads"`
+	OverloadGoodputPerSec float64          `json:"overload_goodput_per_sec"`
+	OverloadAckedWrites   int64            `json:"overload_acked_writes"`
+	OverloadShed          int64            `json:"overload_shed"`
+	OverloadShedByClass   map[string]int64 `json:"overload_shed_by_class,omitempty"`
+	OverloadHedges        int64            `json:"overload_hedges"`
+	OverloadRetries       int64            `json:"overload_retries"`
+	Note                  string           `json:"note"`
+}
+
+// ioGate models a replica with bounded read parallelism: every
+// relation/explain read holds one of ReadParallel slots for
+// ReadLatency of simulated downstream IO before the real handler
+// answers. Writes, replication and stats pass through untouched.
+type ioGate struct {
+	next  http.Handler
+	slots chan struct{}
+	delay time.Duration
+}
+
+func (g *ioGate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodGet &&
+		(strings.HasPrefix(r.URL.Path, "/v1/relation") || strings.HasPrefix(r.URL.Path, "/v1/explain")) {
+		g.slots <- struct{}{}
+		time.Sleep(g.delay)
+		defer func() { <-g.slots }()
+	}
+	g.next.ServeHTTP(w, r)
+}
+
+// startReadFleet builds a primary and two plain followers under root,
+// each on its own loopback listener.
+func startReadFleet(root string, cfg ReadFleetConfig) ([]*benchNode, error) {
+	names := []string{"p", "f1", "f2"}
+	nodes := make([]*benchNode, len(names))
+	for i := range nodes {
+		ln, u, err := newBenchListener()
+		if err != nil {
+			for _, n := range nodes[:i] {
+				n.ln.Close()
+			}
+			return nil, err
+		}
+		nodes[i] = &benchNode{ln: ln, url: u}
+	}
+	for i, n := range nodes {
+		c := server.Config{
+			Dir: filepath.Join(root, names[i]), NodeName: names[i], Advertise: n.url,
+			ShipInterval: cfg.ShipInterval, MaxInflight: cfg.MaxInflight,
+			FollowerWaitMax: 50 * time.Millisecond, Seed: cfg.Seed + int64(i),
+		}
+		if i == 0 {
+			c.Role = server.RolePrimary
+			c.LeaseTTL = 30 * time.Second
+			c.Peers = []replica.Peer{{Name: "f1", URL: nodes[1].url}, {Name: "f2", URL: nodes[2].url}}
+		} else {
+			c.Role = server.RoleFollower
+			c.Peers = []replica.Peer{{Name: "p", URL: nodes[0].url}}
+		}
+		var err error
+		n.srv, _, err = server.New(c)
+		if err != nil {
+			for _, m := range nodes {
+				if m.srv != nil {
+					m.close()
+				} else {
+					m.ln.Close()
+				}
+			}
+			return nil, err
+		}
+		n.serveDown()
+		n.handler.Store(handlerBox{&ioGate{
+			next:  n.srv.Handler(),
+			slots: make(chan struct{}, cfg.ReadParallel),
+			delay: cfg.ReadLatency,
+		}})
+	}
+	return nodes, nil
+}
+
+// runReaders drives n reader goroutines, each with its own cluster
+// client over urls, for the window; it returns good and failed read
+// counts plus the clients for budget/hedge accounting.
+func runReaders(n int, urls []string, hedge, window time.Duration, query func(*client.Cluster) error) (good, bad int64, cls []*client.Cluster) {
+	stop := make(chan struct{})
+	var g, b atomic.Int64
+	cls = make([]*client.Cluster, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		cl := client.NewCluster(urls...)
+		cl.Hedge = hedge
+		cls[i] = cl
+		wg.Add(1)
+		go func(cl *client.Cluster) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := query(cl); err != nil {
+					b.Add(1)
+				} else {
+					g.Add(1)
+				}
+			}
+		}(cl)
+	}
+	time.Sleep(window)
+	close(stop)
+	wg.Wait()
+	return g.Load(), b.Load(), cls
+}
+
+// RunReadFleet executes the read-fleet benchmark in a temporary
+// directory.
+func RunReadFleet(cfg ReadFleetConfig) (*ReadFleetResult, error) {
+	def := DefaultReadFleet()
+	if cfg.Entries <= 0 {
+		cfg.Entries = def.Entries
+	}
+	if cfg.Readers <= 0 {
+		cfg.Readers = def.Readers
+	}
+	if cfg.Phase <= 0 {
+		cfg.Phase = def.Phase
+	}
+	if cfg.Samples <= 0 {
+		cfg.Samples = def.Samples
+	}
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = def.MaxInflight
+	}
+	if cfg.ShipInterval <= 0 {
+		cfg.ShipInterval = def.ShipInterval
+	}
+	if cfg.ReadLatency <= 0 {
+		cfg.ReadLatency = def.ReadLatency
+	}
+	if cfg.ReadParallel <= 0 {
+		cfg.ReadParallel = def.ReadParallel
+	}
+	root, err := os.MkdirTemp("", "luf-readfleet-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(root)
+	res := &ReadFleetResult{
+		ReadLatencyNS: cfg.ReadLatency.Nanoseconds(),
+		ReadParallel:  cfg.ReadParallel,
+		Note: "reads rotate across the fleet with health-aware ordering, carry " +
+			"read-your-writes session tokens, hedge slow replicas, and bound retries " +
+			"with a token bucket; servers shed by brownout class (heavy first, writes " +
+			"last) with 429 vs 503 split and propagate client deadlines. Each replica " +
+			"serves reads through a simulated bounded-IO gate (read_parallel slots of " +
+			"read_latency each), so fleet capacity grows with replica count. Staleness " +
+			"is measured in journal sequence numbers as an upper bound (primary tail " +
+			"sampled after each follower response).",
+	}
+	ctx := context.Background()
+
+	nodes, err := startReadFleet(root, cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		for _, n := range nodes {
+			n.close()
+		}
+	}()
+	urls := []string{nodes[0].url, nodes[1].url, nodes[2].url}
+	primary := nodes[0].srv
+
+	// Preload and let every follower reach the tail.
+	entries := recoveryEntries(cfg.Entries, cfg.Seed)
+	pc := client.New(urls[0])
+	for _, e := range entries {
+		if _, err := pc.Assert(ctx, e.N, e.M, e.Label, e.Reason); err != nil {
+			return nil, fmt.Errorf("preload assert: %w", err)
+		}
+	}
+	tail := primary.Store().LastSeq()
+	catchup := func() error {
+		return waitFor(time.Minute, func() bool {
+			return nodes[1].srv.Store().LastSeq() >= tail && nodes[2].srv.Store().LastSeq() >= tail
+		})
+	}
+	if err := catchup(); err != nil {
+		return nil, fmt.Errorf("preload catch-up: %w", err)
+	}
+
+	// Phase 1 — read throughput vs replica count: the same offered load
+	// against a growing fleet.
+	q := entries[:64]
+	for replicas := 1; replicas <= len(urls); replicas++ {
+		i := 0
+		t0 := time.Now()
+		good, _, _ := runReaders(cfg.Readers, urls[:replicas], 0, cfg.Phase, func(cl *client.Cluster) error {
+			e := q[i%len(q)]
+			i++ // per-goroutine data race on i is harmless: it only picks a query
+			_, _, err := cl.Relation(ctx, e.N, e.M)
+			return err
+		})
+		ns := time.Since(t0).Nanoseconds()
+		res.Scale = append(res.Scale, ReadFleetScale{
+			Replicas: replicas, Readers: cfg.Readers, Reads: good, NS: ns,
+			ReadsPerSec: float64(good) / (float64(ns) / 1e9),
+		})
+	}
+
+	// Phase 2 — staleness distribution: stale-tolerant follower reads
+	// while a writer churns new relations through the primary.
+	stopW := make(chan struct{})
+	var wErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		wc := client.New(urls[0])
+		for i := 0; ; i++ {
+			select {
+			case <-stopW:
+				return
+			default:
+			}
+			if _, err := wc.Assert(ctx, fmt.Sprintf("churn%d", i), fmt.Sprintf("churn%d", i+1), 1, "churn"); err != nil {
+				wErr = err
+				return
+			}
+		}
+	}()
+	var lags []uint64
+	probe := entries[0]
+	for i := 0; i < cfg.Samples; i++ {
+		fc := client.New(urls[1+i%2])
+		fc.StaleOK = true // stale-tolerant: no session gate, measure raw lag
+		if _, _, err := fc.Relation(ctx, probe.N, probe.M); err != nil {
+			continue
+		}
+		seen := fc.Session.Seq() // the follower's durable frontier, stamped on the response
+		ptail := primary.Store().LastSeq()
+		lag := uint64(0)
+		if ptail > seen {
+			lag = ptail - seen
+		}
+		lags = append(lags, lag)
+	}
+	close(stopW)
+	wg.Wait()
+	if wErr != nil {
+		return nil, fmt.Errorf("churn writer: %w", wErr)
+	}
+	if len(lags) == 0 {
+		return nil, fmt.Errorf("no staleness samples collected")
+	}
+	sort.Slice(lags, func(a, b int) bool { return lags[a] < lags[b] })
+	var sum uint64
+	for _, l := range lags {
+		sum += l
+	}
+	res.StalenessSamples = len(lags)
+	res.StalenessMeanSeq = float64(sum) / float64(len(lags))
+	res.StalenessP50Seq = lags[len(lags)/2]
+	res.StalenessP95Seq = lags[len(lags)*95/100]
+	res.StalenessMaxSeq = lags[len(lags)-1]
+
+	// Phase 3 — goodput under 2x overload: twice MaxInflight concurrent
+	// session-carrying readers plus a writer, against the whole fleet.
+	tail = primary.Store().LastSeq()
+	if err := catchup(); err != nil {
+		return nil, fmt.Errorf("pre-overload catch-up: %w", err)
+	}
+	var acked atomic.Int64
+	stopO := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		wcl := client.NewCluster(urls[0], urls[1])
+		wcl.SetRetryBudget(client.NewRetryBudget(64, 0.5))
+		for i := 0; ; i++ {
+			select {
+			case <-stopO:
+				return
+			default:
+			}
+			octx, cancel := context.WithTimeout(ctx, 2*time.Second)
+			if _, err := wcl.Assert(octx, fmt.Sprintf("ov%d", i), fmt.Sprintf("ov%d", i+1), 1, "overload"); err == nil {
+				acked.Add(1)
+			}
+			cancel()
+		}
+	}()
+	readers := 2 * cfg.MaxInflight
+	t0 := time.Now()
+	good, bad, cls := runReaders(readers, urls, 10*time.Millisecond, cfg.Phase, func(cl *client.Cluster) error {
+		e := q[0]
+		rctx, cancel := context.WithTimeout(ctx, 400*time.Millisecond)
+		defer cancel()
+		_, _, err := cl.Relation(rctx, e.N, e.M)
+		return err
+	})
+	ns := time.Since(t0).Nanoseconds()
+	close(stopO)
+	wg.Wait()
+
+	res.OverloadReaders = readers
+	res.OverloadMaxInflight = cfg.MaxInflight
+	res.OverloadGoodReads = good
+	res.OverloadFailedReads = bad
+	res.OverloadGoodputPerSec = float64(good) / (float64(ns) / 1e9)
+	res.OverloadAckedWrites = acked.Load()
+	for _, cl := range cls {
+		res.OverloadHedges += cl.Hedges()
+		res.OverloadRetries += cl.Budget().Stats().Retries
+	}
+	for _, u := range urls {
+		st, err := client.New(u).Stats(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("stats from %s: %w", u, err)
+		}
+		res.OverloadShed += st.Shed
+		for k, v := range st.ShedByClass {
+			if res.OverloadShedByClass == nil {
+				res.OverloadShedByClass = make(map[string]int64)
+			}
+			res.OverloadShedByClass[k] += v
+		}
+	}
+	return res, nil
+}
+
+// WriteJSON writes the result to path, pretty-printed.
+func (r *ReadFleetResult) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Format renders the read-fleet benchmark for humans.
+func (r *ReadFleetResult) Format() string {
+	var sb strings.Builder
+	sb.WriteString("Overload-resilient read fleet (scaling, staleness, goodput under 2x load)\n\n")
+	fmt.Fprintf(&sb, "read throughput vs replica count (per-replica IO: %d slots x %v simulated):\n",
+		r.ReadParallel, time.Duration(r.ReadLatencyNS))
+	for _, s := range r.Scale {
+		fmt.Fprintf(&sb, "  %d replica(s), %d readers: %8.0f reads/s (%d reads)\n",
+			s.Replicas, s.Readers, s.ReadsPerSec, s.Reads)
+	}
+	fmt.Fprintf(&sb, "\nfollower read staleness under write churn (%d samples, journal seqs behind primary):\n", r.StalenessSamples)
+	fmt.Fprintf(&sb, "  mean %.1f, p50 %d, p95 %d, max %d\n",
+		r.StalenessMeanSeq, r.StalenessP50Seq, r.StalenessP95Seq, r.StalenessMaxSeq)
+	fmt.Fprintf(&sb, "\ngoodput under 2x overload (%d readers vs max-inflight %d per node):\n",
+		r.OverloadReaders, r.OverloadMaxInflight)
+	fmt.Fprintf(&sb, "  %8.0f good reads/s (%d good, %d failed), %d writes acked\n",
+		r.OverloadGoodputPerSec, r.OverloadGoodReads, r.OverloadFailedReads, r.OverloadAckedWrites)
+	fmt.Fprintf(&sb, "  fleet shed %d request(s) by class %v; clients hedged %d, retried %d within budget\n",
+		r.OverloadShed, r.OverloadShedByClass, r.OverloadHedges, r.OverloadRetries)
+	sb.WriteString("\nBrownouts shed certificate-heavy work first and writes last; 429 sheds spread\nload immediately while 503 cooldowns route around degraded nodes.\n")
+	return sb.String()
+}

@@ -1,9 +1,18 @@
 // Package client is the Go client for the lufd HTTP API
 // (internal/server) with the retry discipline the server's
 // self-protection expects: exponential backoff with full jitter on
-// retryable failures (503 shed load, 504 deadlines, transport errors),
-// honoring Retry-After when the server sends one, and never retrying
-// permanent outcomes (409 conflict, 400 invalid input).
+// retryable failures (429 shed load, 503 degraded nodes, 504
+// deadlines, transport errors), honoring Retry-After when the server
+// sends one, never retrying permanent outcomes (409 conflict, 400
+// invalid input), and — when a RetryBudget is attached — bounding
+// total retry volume to a fraction of request volume so overload
+// cannot metastasize into a retry storm.
+//
+// The client cooperates with the server's overload controls: a context
+// deadline is propagated as the request's remaining budget
+// (X-Luf-Deadline) so the server can refuse doomed work, and a Session
+// carries the highest durable sequence number observed so replicas
+// serve reads without giving up read-your-writes.
 //
 // Retrying asserts is safe because asserts are idempotent: re-asserting
 // an accepted relation is redundant by the union-find's own semantics,
@@ -23,6 +32,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -54,6 +64,21 @@ type Client struct {
 	// Inject, when non-nil, lets chaos tests duplicate requests
 	// (DuplicateRequestAt) to prove idempotence.
 	Inject *fault.Injector
+	// Session, when non-nil, is the read-your-writes token: every
+	// response's durable frontier advances it, every request carries it
+	// (unless StaleOK), and replicas serve reads only once they cover
+	// it. New attaches a fresh session; share one across clients to
+	// share the guarantee.
+	Session *Session
+	// Retry, when non-nil, gates every retry on the shared token
+	// bucket: an exhausted budget fails the request with the last error
+	// instead of adding retry load. A nil budget never refuses
+	// (standalone single-client behavior).
+	Retry *RetryBudget
+	// StaleOK marks this client's requests stale-tolerant: the session
+	// token is not sent, so any replica answers immediately from its
+	// current certified state regardless of staleness.
+	StaleOK bool
 
 	rng *rand.Rand
 	// lastErrBody is the decoded error body of the most recent non-2xx
@@ -72,8 +97,21 @@ func New(base string) *Client {
 		MaxRetries: 4,
 		BaseDelay:  25 * time.Millisecond,
 		MaxDelay:   time.Second,
+		Session:    NewSession(),
 		rng:        rand.New(rand.NewSource(1)),
 	}
+}
+
+// clone returns an independent copy for a concurrent attempt (hedged
+// reads): it shares the HTTP transport, session and retry budget —
+// all safe for concurrent use — but gets its own rng and error-body
+// slot, and drops the single-owner Injector.
+func (c *Client) clone() *Client {
+	cp := *c
+	cp.rng = rand.New(rand.NewSource(c.rng.Int63()))
+	cp.lastErrBody = nil
+	cp.Inject = nil
+	return &cp
 }
 
 // APIError is a non-2xx response with its structured body.
@@ -89,10 +127,13 @@ func (e *APIError) Error() string {
 
 // retryable reports whether the outcome of one attempt warrants
 // another: transport errors and 5xx/429 shed-or-timeout statuses do;
-// permanent verdicts (409 conflict, 400 invalid, 404) do not.
+// permanent verdicts (409 conflict, 400 invalid, 404) do not, and
+// neither does a locally exhausted deadline — the budget will not come
+// back, so retrying only burns server capacity on doomed work.
 func retryable(status int, err error) bool {
 	if err != nil {
-		return true
+		return !errors.Is(err, fault.ErrDeadlineExceeded) && !errors.Is(err, fault.ErrCanceled) &&
+			!errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled)
 	}
 	switch status {
 	case http.StatusServiceUnavailable, http.StatusGatewayTimeout,
@@ -128,6 +169,7 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 			return fmt.Errorf("encode request: %v", err)
 		}
 	}
+	c.Retry.OnRequest()
 	var last error
 	for attempt := 0; ; attempt++ {
 		status, retryAfter, err := c.send(ctx, method, path, payload, out)
@@ -141,6 +183,9 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 		}
 		if attempt >= c.MaxRetries || !retryable(status, err) {
 			return last
+		}
+		if !c.Retry.TakeRetry() {
+			return fmt.Errorf("retry budget exhausted after %d attempt(s): %w", attempt+1, last)
 		}
 		select {
 		case <-time.After(c.backoff(attempt+1, retryAfter)):
@@ -202,11 +247,31 @@ func (c *Client) sendOnce(ctx context.Context, method, path string, payload []by
 	if payload != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	// Deadline propagation: tell the server how much budget this
+	// request has left, so it can refuse doomed work and scale its own
+	// per-request budgets down to what fits.
+	if dl, ok := ctx.Deadline(); ok {
+		ms := time.Until(dl).Milliseconds()
+		if ms <= 0 {
+			return 0, 0, fmt.Errorf("%w: request budget exhausted before sending", fault.ErrDeadlineExceeded)
+		}
+		req.Header.Set(server.HeaderDeadline, strconv.FormatInt(ms, 10))
+	}
+	if !c.StaleOK {
+		if seq := c.Session.Seq(); seq > 0 {
+			req.Header.Set(server.HeaderSession, strconv.FormatUint(seq, 10))
+		}
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return 0, 0, err
 	}
 	defer resp.Body.Close()
+	if v := resp.Header.Get(server.HeaderDurable); v != "" {
+		if seq, perr := strconv.ParseUint(v, 10, 64); perr == nil {
+			c.Session.Observe(seq)
+		}
+	}
 	retryAfter := parseRetryAfter(resp.Header.Get("Retry-After"), time.Now())
 	body, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
 	if err != nil {

@@ -3,35 +3,101 @@ package client
 import (
 	"context"
 	"errors"
+	"fmt"
 	"net/http"
+	"sync/atomic"
+	"time"
 
 	"luf/internal/cert"
 	"luf/internal/fault"
 	"luf/internal/server"
 )
 
-// Cluster is a failover-aware client over a replicated lufd cluster:
-// writes chase the current primary by following 421 redirect hints,
-// reads round-robin across every replica (each serves from its own
-// certified state), and permanent verdicts — above all 409 conflicts —
-// are never retried anywhere. Like Client, a Cluster is
-// single-goroutine.
+// Cluster is a failover- and overload-aware client over a replicated
+// lufd cluster: writes chase the current primary by following 421
+// redirect hints, reads rotate across every replica with health-aware
+// ordering (a node that answered 503 or vanished is skipped for a
+// cooldown instead of re-hit every pass), and permanent verdicts —
+// above all 409 conflicts — are never retried anywhere.
+//
+// All member clients share one Session (read-your-writes across the
+// fleet) and one RetryBudget (cluster-wide retry volume bounded to a
+// fraction of traffic). When Hedge is set, a slow read is hedged to
+// the next healthy replica — never a write — with the hedge charged
+// against the same budget.
+//
+// Like Client, a Cluster is single-goroutine for callers; hedged
+// attempts run on internal goroutines against cloned clients.
 type Cluster struct {
 	urls    []string
 	clients []*Client
 	primary int // index of the believed primary
-	cursor  int // round-robin read cursor
+	cursor  int // rotation read cursor
+
+	// Hedge, when positive, fires a read's backup attempt at the next
+	// healthy replica after this long without an answer, and returns
+	// whichever attempt wins. Zero disables hedging. Writes are never
+	// hedged: a hedged write would race its twin for the journal.
+	Hedge time.Duration
+	// Cooldown is how long reads and write rotation skip a node after
+	// a 503 (degraded/healing) or transport failure; admission sheds
+	// (429) do not cool a node down — it is healthy, just busy.
+	// Default 500ms.
+	Cooldown time.Duration
+
+	session *Session
+	budget  *RetryBudget
+	cooled  []time.Time // per-node: skip until this instant
+	hedges  atomic.Int64
+	now     func() time.Time // injectable clock for tests
 }
 
 // NewCluster returns a cluster client over the given node base URLs;
-// the first is the initial primary guess.
+// the first is the initial primary guess. All members share a fresh
+// Session and a default RetryBudget (burst 16, ratio 0.1 — sustained
+// retries at most 10% of traffic).
 func NewCluster(urls ...string) *Cluster {
-	cl := &Cluster{urls: urls}
+	cl := &Cluster{
+		session:  NewSession(),
+		budget:   NewRetryBudget(16, 0.1),
+		Cooldown: 500 * time.Millisecond,
+		now:      time.Now,
+	}
 	for _, u := range urls {
-		cl.clients = append(cl.clients, New(u))
+		cl.addClient(u)
 	}
 	return cl
 }
+
+// addClient registers one more node, wiring it to the shared session
+// and retry budget.
+func (cl *Cluster) addClient(u string) {
+	c := New(u)
+	c.Session = cl.session
+	c.Retry = cl.budget
+	cl.urls = append(cl.urls, u)
+	cl.clients = append(cl.clients, c)
+	cl.cooled = append(cl.cooled, time.Time{})
+}
+
+// Session returns the shared read-your-writes session token.
+func (cl *Cluster) Session() *Session { return cl.session }
+
+// Budget returns the shared retry budget (its Stats make cluster-wide
+// retry volume auditable).
+func (cl *Cluster) Budget() *RetryBudget { return cl.budget }
+
+// SetRetryBudget replaces the shared retry budget on the cluster and
+// every member client; nil removes the bound entirely.
+func (cl *Cluster) SetRetryBudget(b *RetryBudget) {
+	cl.budget = b
+	for _, c := range cl.clients {
+		c.Retry = b
+	}
+}
+
+// Hedges returns how many hedged read attempts have fired.
+func (cl *Cluster) Hedges() int64 { return cl.hedges.Load() }
 
 // indexOf returns the position of url among the nodes, or -1.
 func (cl *Cluster) indexOf(url string) int {
@@ -57,9 +123,59 @@ func permanent(err error) bool {
 	return false
 }
 
+// noteOutcome updates node i's health record: success clears any
+// cooldown; a transport failure or a 503 (the node says it is
+// degraded, healing or draining) cools it down so rotation stops
+// re-hitting it every pass. A 429 is deliberately not a health signal.
+func (cl *Cluster) noteOutcome(i int, err error) {
+	if err == nil {
+		cl.cooled[i] = time.Time{}
+		return
+	}
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status == http.StatusServiceUnavailable {
+		cl.cooled[i] = cl.now().Add(cl.Cooldown)
+	}
+}
+
+// warm reports whether node i is currently outside its cooldown.
+func (cl *Cluster) warm(i int) bool { return !cl.now().Before(cl.cooled[i]) }
+
+// nextWarm returns the next healthy node after from in rotation order,
+// falling back to plain rotation when every node is cooling down
+// (skipping all of them would mean trying nothing at all).
+func (cl *Cluster) nextWarm(from int) int {
+	n := len(cl.clients)
+	for k := 1; k <= n; k++ {
+		if i := (from + k) % n; cl.warm(i) {
+			return i
+		}
+	}
+	return (from + 1) % n
+}
+
+// readOrder returns all node indices for one read: rotation order, but
+// with cooling-down nodes moved to the back — they are only tried once
+// every healthy node has failed.
+func (cl *Cluster) readOrder() []int {
+	n := len(cl.clients)
+	order := make([]int, 0, n)
+	var cold []int
+	for k := 0; k < n; k++ {
+		i := (cl.cursor + k) % n
+		if cl.warm(i) {
+			order = append(order, i)
+		} else {
+			cold = append(cold, i)
+		}
+	}
+	cl.cursor++
+	return append(order, cold...)
+}
+
 // redirect follows a 421's primary hint: a known node becomes the new
 // primary guess, an unknown one is learned, and a hintless refusal
-// rotates to the next node. It reports whether err was a 421.
+// rotates to the next healthy node. It reports whether err was a 421.
 func (cl *Cluster) redirect(err error) bool {
 	var ae *APIError
 	if !errors.As(err, &ae) || ae.Status != http.StatusMisdirectedRequest {
@@ -69,22 +185,26 @@ func (cl *Cluster) redirect(err error) bool {
 	if i := cl.indexOf(hint); i >= 0 {
 		cl.primary = i
 	} else if hint != "" {
-		cl.urls = append(cl.urls, hint)
-		cl.clients = append(cl.clients, New(hint))
+		cl.addClient(hint)
 		cl.primary = len(cl.clients) - 1
 	} else {
-		cl.primary = (cl.primary + 1) % len(cl.clients)
+		cl.primary = cl.nextWarm(cl.primary)
 	}
 	return true
 }
 
 // write runs op against the believed primary, following redirects and
 // rotating away from unreachable nodes, for at most one pass beyond
-// the cluster size.
+// the cluster size. Every attempt after the first is charged to the
+// retry budget; writes are never hedged.
 func (cl *Cluster) write(op func(*Client) error) error {
 	var last error
 	for tries := 0; tries <= len(cl.clients)+1; tries++ {
+		if tries > 0 && !cl.budget.TakeRetry() {
+			return fmt.Errorf("cluster retry budget exhausted after %d attempt(s): %w", tries, last)
+		}
 		err := op(cl.clients[cl.primary])
+		cl.noteOutcome(cl.primary, err)
 		if err == nil || permanent(err) {
 			return err
 		}
@@ -93,26 +213,113 @@ func (cl *Cluster) write(op func(*Client) error) error {
 			continue
 		}
 		// Unreachable or shedding beyond its own retries: try the next
-		// node, which may have been promoted without us hearing yet.
-		cl.primary = (cl.primary + 1) % len(cl.clients)
+		// healthy node, which may have been promoted without us hearing
+		// yet.
+		cl.primary = cl.nextWarm(cl.primary)
 	}
 	return last
 }
 
-// read runs op against each node in round-robin order until one
-// answers; permanent verdicts return immediately.
-func (cl *Cluster) read(op func(*Client) error) error {
-	var last error
-	for i := 0; i < len(cl.clients); i++ {
-		c := cl.clients[cl.cursor%len(cl.clients)]
-		cl.cursor++
-		err := op(c)
-		if err == nil || permanent(err) {
-			return err
+// attemptResult is one read attempt's outcome, tagged with the node it
+// ran against.
+type attemptResult[T any] struct {
+	v   T
+	err error
+	i   int
+}
+
+// launchAttempt starts do against node i on a cloned client (the
+// shared session, budget and transport are concurrency-safe; the rng
+// and error slot are not) and delivers the outcome on ch.
+func launchAttempt[T any](ctx context.Context, cl *Cluster, i int, do func(context.Context, *Client) (T, error), ch chan attemptResult[T]) {
+	c := cl.clients[i].clone()
+	go func() {
+		v, err := do(ctx, c)
+		ch <- attemptResult[T]{v: v, err: err, i: i}
+	}()
+}
+
+// hedgedAttempt runs do against node i and — when hedging is on, a
+// backup node j exists and the retry budget grants a token — fires the
+// backup after cl.Hedge without an answer, returning results in
+// arrival order and stopping at the first success (the loser is
+// canceled). The channel is buffered so an unread loser never leaks.
+func hedgedAttempt[T any](ctx context.Context, cl *Cluster, i, j int, do func(context.Context, *Client) (T, error)) []attemptResult[T] {
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	ch := make(chan attemptResult[T], 2)
+	launchAttempt(actx, cl, i, do, ch)
+	inflight := 1
+	if cl.Hedge > 0 && j >= 0 {
+		timer := time.NewTimer(cl.Hedge)
+		select {
+		case r := <-ch:
+			timer.Stop()
+			return []attemptResult[T]{r}
+		case <-timer.C:
+			if cl.budget.TakeRetry() {
+				cl.hedges.Add(1)
+				launchAttempt(actx, cl, j, do, ch)
+				inflight = 2
+			}
 		}
-		last = err
 	}
-	return last
+	var out []attemptResult[T]
+	for n := 0; n < inflight; n++ {
+		r := <-ch
+		out = append(out, r)
+		if r.err == nil {
+			break
+		}
+	}
+	return out
+}
+
+// readFleet runs one read against the fleet: candidates in
+// health-aware rotation order, every candidate after the first charged
+// to the retry budget, slow attempts hedged to the next candidate, 421
+// session redirects steering toward the primary, and permanent
+// verdicts returned immediately.
+func readFleet[T any](ctx context.Context, cl *Cluster, do func(context.Context, *Client) (T, error)) (T, error) {
+	order := cl.readOrder()
+	tried := make(map[int]bool)
+	var zero T
+	var last error
+	for k := 0; k < len(order); k++ {
+		i := order[k]
+		if tried[i] {
+			continue
+		}
+		if last != nil && !cl.budget.TakeRetry() {
+			return zero, fmt.Errorf("cluster retry budget exhausted: %w", last)
+		}
+		j := -1
+		if cl.Hedge > 0 {
+			for kk := k + 1; kk < len(order); kk++ {
+				if !tried[order[kk]] {
+					j = order[kk]
+					break
+				}
+			}
+		}
+		for _, r := range hedgedAttempt(ctx, cl, i, j, do) {
+			tried[r.i] = true
+			cl.noteOutcome(r.i, r.err)
+			if r.err == nil {
+				return r.v, nil
+			}
+			if permanent(r.err) {
+				return zero, r.err
+			}
+			if cl.redirect(r.err) && !tried[cl.primary] {
+				// A replica couldn't cover the session token in time; make
+				// sure the (possibly just-learned) primary gets a turn.
+				order = append(order, cl.primary)
+			}
+			last = r.err
+		}
+	}
+	return zero, last
 }
 
 // Assert asserts m - n = label against the current primary, following
@@ -129,26 +336,28 @@ func (cl *Cluster) Assert(ctx context.Context, n, m string, label int64, reason 
 	return out, err
 }
 
-// Relation queries any replica, round-robin.
+// Relation queries the fleet with health-aware rotation and optional
+// hedging; the shared session keeps the answer at least as fresh as
+// every write this cluster client has seen acknowledged.
 func (cl *Cluster) Relation(ctx context.Context, n, m string) (label int64, related bool, err error) {
-	err = cl.read(func(c *Client) error {
-		var e error
-		label, related, e = c.Relation(ctx, n, m)
-		return e
+	type rel struct {
+		label   int64
+		related bool
+	}
+	out, err := readFleet(ctx, cl, func(ctx context.Context, c *Client) (rel, error) {
+		l, ok, e := c.Relation(ctx, n, m)
+		return rel{label: l, related: ok}, e
 	})
-	return label, related, err
+	return out.label, out.related, err
 }
 
-// Explain fetches a certificate from any replica, round-robin; the
-// per-node client re-verifies it locally before returning.
+// Explain fetches a certificate from the fleet (health-aware rotation,
+// optional hedging); the per-node client re-verifies it locally before
+// returning.
 func (cl *Cluster) Explain(ctx context.Context, n, m string) (cert.Certificate[string, int64], error) {
-	var out cert.Certificate[string, int64]
-	err := cl.read(func(c *Client) error {
-		var e error
-		out, e = c.Explain(ctx, n, m)
-		return e
+	return readFleet(ctx, cl, func(ctx context.Context, c *Client) (cert.Certificate[string, int64], error) {
+		return c.Explain(ctx, n, m)
 	})
-	return out, err
 }
 
 // Promote runs a deterministic manual election: it asks every

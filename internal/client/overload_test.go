@@ -1,0 +1,212 @@
+package client_test
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"luf/internal/client"
+)
+
+// fakeNode is a scripted lufd stand-in: it serves a fixed relation
+// answer (or a fixed failure) and counts hits, so cluster routing
+// decisions are observable without real replication underneath.
+type fakeNode struct {
+	ts    *httptest.Server
+	hits  atomic.Int64
+	fail  atomic.Bool // answer 503 instead of the relation
+	delay time.Duration
+}
+
+func newFakeNode(t *testing.T, delay time.Duration) *fakeNode {
+	t.Helper()
+	n := &fakeNode{delay: delay}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/relation", func(w http.ResponseWriter, r *http.Request) {
+		n.hits.Add(1)
+		if n.delay > 0 {
+			select {
+			case <-time.After(n.delay):
+			case <-r.Context().Done():
+				return
+			}
+		}
+		if n.fail.Load() {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprint(w, `{"error":{"kind":"unavailable","message":"scripted degradation"}}`)
+			return
+		}
+		fmt.Fprint(w, `{"related":true,"label":7}`)
+	})
+	mux.HandleFunc("POST /v1/assert", func(w http.ResponseWriter, r *http.Request) {
+		n.hits.Add(1)
+		if n.delay > 0 {
+			time.Sleep(n.delay)
+		}
+		fmt.Fprint(w, `{"ok":true}`)
+	})
+	n.ts = httptest.NewServer(mux)
+	t.Cleanup(n.ts.Close)
+	return n
+}
+
+// TestClusterCooldownSkipsDegradedNode pins the health-aware rotation:
+// after a node answers 503, reads stop probing it for the cooldown and
+// go straight to the healthy replica; once the cooldown expires the
+// node is probed again.
+func TestClusterCooldownSkipsDegradedNode(t *testing.T) {
+	sick := newFakeNode(t, 0)
+	sick.fail.Store(true)
+	well := newFakeNode(t, 0)
+	cl := client.NewCluster(sick.ts.URL, well.ts.URL)
+	cl.Cooldown = 300 * time.Millisecond
+	ctx := context.Background()
+
+	// First read discovers the degradation: the sick node is tried (and
+	// internally retried), then the healthy one answers.
+	if label, related, err := cl.Relation(ctx, "a", "b"); err != nil || !related || label != 7 {
+		t.Fatalf("read through a half-degraded fleet = (%d,%v,%v), want (7,true,nil)", label, related, err)
+	}
+	probed := sick.hits.Load()
+	if probed == 0 {
+		t.Fatal("the degraded node was never probed at all")
+	}
+
+	// While the cooldown holds, rotation leaves the sick node alone.
+	for i := 0; i < 6; i++ {
+		if _, _, err := cl.Relation(ctx, "a", "b"); err != nil {
+			t.Fatalf("read %d during cooldown: %v", i, err)
+		}
+	}
+	if got := sick.hits.Load(); got != probed {
+		t.Fatalf("degraded node probed %d more times during its cooldown", got-probed)
+	}
+
+	// After the cooldown (and recovery) it rejoins the rotation.
+	sick.fail.Store(false)
+	time.Sleep(cl.Cooldown + 50*time.Millisecond)
+	for i := 0; i < 4; i++ {
+		if _, _, err := cl.Relation(ctx, "a", "b"); err != nil {
+			t.Fatalf("read %d after cooldown: %v", i, err)
+		}
+	}
+	if got := sick.hits.Load(); got == probed {
+		t.Fatal("recovered node never rejoined the read rotation after its cooldown expired")
+	}
+}
+
+// TestClusterHedgesSlowReads pins the tail-latency defense: when the
+// first replica sits on a read past the hedge delay, a backup attempt
+// fires at the next replica, the fast answer wins, and the hedge is
+// charged to the retry budget.
+func TestClusterHedgesSlowReads(t *testing.T) {
+	slow := newFakeNode(t, 400*time.Millisecond)
+	fast := newFakeNode(t, 0)
+	cl := client.NewCluster(slow.ts.URL, fast.ts.URL)
+	cl.Hedge = 20 * time.Millisecond
+	ctx := context.Background()
+
+	start := time.Now()
+	label, related, err := cl.Relation(ctx, "a", "b")
+	if err != nil || !related || label != 7 {
+		t.Fatalf("hedged read = (%d,%v,%v), want (7,true,nil)", label, related, err)
+	}
+	if elapsed := time.Since(start); elapsed >= 400*time.Millisecond {
+		t.Fatalf("hedged read took %v — the backup attempt never won", elapsed)
+	}
+	if cl.Hedges() != 1 {
+		t.Fatalf("hedge counter = %d, want 1", cl.Hedges())
+	}
+	if st := cl.Budget().Stats(); st.Retries < 1 {
+		t.Fatalf("budget stats %+v: the hedge was not charged as a retry", st)
+	}
+	if fast.hits.Load() == 0 {
+		t.Fatal("the backup replica was never asked")
+	}
+}
+
+// TestClusterNeverHedgesWrites pins the write-safety rule: even with
+// hedging on and a slow primary, an assert runs exactly once — a
+// hedged write would race its twin for the journal.
+func TestClusterNeverHedgesWrites(t *testing.T) {
+	slow := newFakeNode(t, 100*time.Millisecond)
+	backup := newFakeNode(t, 0)
+	cl := client.NewCluster(slow.ts.URL, backup.ts.URL)
+	cl.Hedge = 5 * time.Millisecond
+	if _, err := cl.Assert(context.Background(), "a", "b", 1, "no-hedge"); err != nil {
+		t.Fatal(err)
+	}
+	if cl.Hedges() != 0 {
+		t.Fatalf("hedge counter = %d after a write, want 0", cl.Hedges())
+	}
+	if backup.hits.Load() != 0 {
+		t.Fatalf("write reached the backup node %d times, want 0", backup.hits.Load())
+	}
+}
+
+// TestClusterRetryBudgetStopsStorm pins the metastability defense:
+// with every node shedding, an exhausted budget fails the read with a
+// structured error instead of hammering the fleet in a loop.
+func TestClusterRetryBudgetStopsStorm(t *testing.T) {
+	a := newFakeNode(t, 0)
+	a.fail.Store(true)
+	b := newFakeNode(t, 0)
+	b.fail.Store(true)
+	cl := client.NewCluster(a.ts.URL, b.ts.URL)
+	cl.SetRetryBudget(client.NewRetryBudget(1, 0))
+
+	_, _, err := cl.Relation(context.Background(), "a", "b")
+	if err == nil {
+		t.Fatal("read through a fully degraded fleet succeeded")
+	}
+	if !strings.Contains(err.Error(), "retry budget exhausted") {
+		t.Fatalf("error %q does not surface the exhausted budget", err)
+	}
+	st := cl.Budget().Stats()
+	if st.Exhausted == 0 {
+		t.Fatalf("budget stats %+v recorded no exhaustion", st)
+	}
+	if st.Retries > 1 {
+		t.Fatalf("budget granted %d retries from a burst of 1", st.Retries)
+	}
+	// Total traffic is bounded: one first attempt per member client plus
+	// the single granted retry.
+	if total := a.hits.Load() + b.hits.Load(); total > 3 {
+		t.Fatalf("%d requests hit the degraded fleet, want at most 3 (budget must stop the storm)", total)
+	}
+}
+
+// TestClusterReadYourWritesImmediately drives the shared session
+// through a real replicated pair: every write's answer is readable
+// through the rotating fleet immediately, with no catch-up wait in the
+// test — the session token makes the follower wait or redirect instead
+// of serving stale state.
+func TestClusterReadYourWritesImmediately(t *testing.T) {
+	_, _, pURL, fURL, _, _ := clusterPair(t)
+	cl := client.NewCluster(pURL, fURL)
+	ctx := context.Background()
+
+	sum := int64(0)
+	for i := 0; i < 8; i++ {
+		if _, err := cl.Assert(ctx, fmt.Sprintf("s%d", i), fmt.Sprintf("s%d", i+1), int64(i+1), "ryw"); err != nil {
+			t.Fatalf("assert %d: %v", i, err)
+		}
+		sum += int64(i + 1)
+		// Read back instantly, twice so rotation crosses the follower.
+		for j := 0; j < 2; j++ {
+			label, related, err := cl.Relation(ctx, "s0", fmt.Sprintf("s%d", i+1))
+			if err != nil || !related || label != sum {
+				t.Fatalf("read-your-writes after assert %d = (%d,%v,%v), want (%d,true,nil)", i, label, related, err, sum)
+			}
+		}
+	}
+	if cl.Session().Seq() == 0 {
+		t.Fatal("shared session never observed a durable frontier")
+	}
+}

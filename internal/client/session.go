@@ -1,0 +1,134 @@
+package client
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Session is the read-your-writes token shared by the clients of one
+// logical caller: the highest durable sequence number observed in any
+// response (servers stamp it on X-Luf-Durable-Seq). Requests carry it
+// back in X-Luf-Session, and a replica serves a read only once its own
+// durable state covers the token — so a caller who just wrote through
+// the primary never reads an older world from a follower, while the
+// whole replica fleet stays a valid read path. All methods are nil-safe
+// and safe for concurrent use: hedged attempts share one session.
+type Session struct {
+	seq atomic.Uint64
+}
+
+// NewSession returns an empty session (no observation yet, token 0).
+func NewSession() *Session { return &Session{} }
+
+// Seq returns the session token: the highest durable sequence number
+// observed so far, 0 before any observation.
+func (s *Session) Seq() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.seq.Load()
+}
+
+// Observe advances the token to seq when it is higher; stale
+// observations (a lagging follower's frontier) are ignored.
+func (s *Session) Observe(seq uint64) {
+	if s == nil {
+		return
+	}
+	for {
+		cur := s.seq.Load()
+		if seq <= cur || s.seq.CompareAndSwap(cur, seq) {
+			return
+		}
+	}
+}
+
+// RetryBudget is a token bucket bounding retry volume to a fraction of
+// request volume — the client-side defense against metastable retry
+// storms. Under overload every retrying client multiplies its offered
+// load exactly when capacity is scarcest; with a budget, sustained
+// retry traffic cannot exceed Ratio of first-attempt traffic (plus the
+// initial Burst), so a brownout drains instead of spiraling. Each
+// first attempt earns Ratio tokens (capped at Burst), each retry or
+// hedge spends one whole token.
+//
+// All methods are nil-safe (a nil budget never refuses) and safe for
+// concurrent use, so one budget can govern a whole cluster client
+// including its hedged reads.
+type RetryBudget struct {
+	mu        sync.Mutex
+	tokens    float64
+	burst     float64
+	ratio     float64
+	requests  int64
+	retries   int64
+	exhausted int64
+}
+
+// NewRetryBudget returns a budget with the given initial burst of
+// whole tokens and earn ratio per first-attempt request. Negative
+// arguments are clamped to 0.
+func NewRetryBudget(burst, ratio float64) *RetryBudget {
+	if burst < 0 {
+		burst = 0
+	}
+	if ratio < 0 {
+		ratio = 0
+	}
+	return &RetryBudget{tokens: burst, burst: burst, ratio: ratio}
+}
+
+// OnRequest credits the budget for one first-attempt request.
+func (b *RetryBudget) OnRequest() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.requests++
+	b.tokens += b.ratio
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+}
+
+// TakeRetry consumes one retry token, reporting false when the budget
+// is exhausted — the caller must give up (or fail over without
+// retrying) instead of adding retry load.
+func (b *RetryBudget) TakeRetry() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens < 1 {
+		b.exhausted++
+		return false
+	}
+	b.tokens--
+	b.retries++
+	return true
+}
+
+// RetryBudgetStats is a snapshot of a budget's counters. The bucket
+// invariant makes retry volume auditable: Retries never exceeds
+// Burst + Ratio×Requests.
+type RetryBudgetStats struct {
+	// Requests counts first attempts credited via OnRequest.
+	Requests int64
+	// Retries counts tokens consumed: retries and hedged attempts.
+	Retries int64
+	// Exhausted counts refusals — retries that were wanted but denied
+	// because the bucket was empty.
+	Exhausted int64
+}
+
+// Stats returns a consistent snapshot of the budget's counters.
+func (b *RetryBudget) Stats() RetryBudgetStats {
+	if b == nil {
+		return RetryBudgetStats{}
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return RetryBudgetStats{Requests: b.requests, Retries: b.retries, Exhausted: b.exhausted}
+}

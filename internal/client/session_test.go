@@ -1,0 +1,112 @@
+package client_test
+
+import (
+	"sync"
+	"testing"
+
+	"luf/internal/client"
+)
+
+func TestSessionObservesMonotonicMax(t *testing.T) {
+	s := client.NewSession()
+	if s.Seq() != 0 {
+		t.Fatalf("fresh session token %d, want 0", s.Seq())
+	}
+	s.Observe(5)
+	s.Observe(3) // a lagging follower's frontier must not rewind the token
+	if s.Seq() != 5 {
+		t.Fatalf("token %d after observing 5 then 3, want 5", s.Seq())
+	}
+	s.Observe(9)
+	if s.Seq() != 9 {
+		t.Fatalf("token %d after observing 9, want 9", s.Seq())
+	}
+
+	// Hedged attempts share one session; concurrent observations must
+	// still land on the maximum.
+	var wg sync.WaitGroup
+	for i := uint64(1); i <= 100; i++ {
+		wg.Add(1)
+		go func(v uint64) { defer wg.Done(); s.Observe(v) }(i)
+	}
+	wg.Wait()
+	if s.Seq() != 100 {
+		t.Fatalf("token %d after concurrent observations up to 100", s.Seq())
+	}
+}
+
+func TestSessionAndBudgetNilSafe(t *testing.T) {
+	var s *client.Session
+	if s.Seq() != 0 {
+		t.Fatal("nil session must read as token 0")
+	}
+	s.Observe(7) // must not panic
+
+	var b *client.RetryBudget
+	b.OnRequest()
+	if !b.TakeRetry() {
+		t.Fatal("nil budget must never refuse (standalone client behavior)")
+	}
+	if st := b.Stats(); st != (client.RetryBudgetStats{}) {
+		t.Fatalf("nil budget stats %+v, want zero", st)
+	}
+}
+
+// TestRetryBudgetEarnSpendInvariant walks the token bucket through its
+// whole lifecycle and pins the auditable invariant: retries never
+// exceed burst + ratio x requests.
+func TestRetryBudgetEarnSpendInvariant(t *testing.T) {
+	b := client.NewRetryBudget(2, 0.5)
+
+	// The initial burst grants exactly two retries.
+	if !b.TakeRetry() || !b.TakeRetry() {
+		t.Fatal("burst of 2 must grant two retries")
+	}
+	if b.TakeRetry() {
+		t.Fatal("third retry granted from an empty bucket")
+	}
+
+	// Two first attempts earn 2 x 0.5 = one whole token back.
+	b.OnRequest()
+	b.OnRequest()
+	if !b.TakeRetry() {
+		t.Fatal("earned token refused")
+	}
+	if b.TakeRetry() {
+		t.Fatal("retry granted beyond earned tokens")
+	}
+
+	st := b.Stats()
+	if st.Requests != 2 || st.Retries != 3 || st.Exhausted != 2 {
+		t.Fatalf("stats %+v, want requests=2 retries=3 exhausted=2", st)
+	}
+	if float64(st.Retries) > 2+0.5*float64(st.Requests) {
+		t.Fatalf("invariant violated: %d retries for %d requests exceeds burst+ratio*requests", st.Retries, st.Requests)
+	}
+}
+
+// TestRetryBudgetCapsEarningAtBurst pins that a long quiet stretch of
+// successful requests cannot bank an unbounded retry storm for later.
+func TestRetryBudgetCapsEarningAtBurst(t *testing.T) {
+	b := client.NewRetryBudget(1, 1)
+	for i := 0; i < 50; i++ {
+		b.OnRequest()
+	}
+	if !b.TakeRetry() {
+		t.Fatal("capped bucket must still hold its burst")
+	}
+	if b.TakeRetry() {
+		t.Fatal("50 requests at ratio 1 banked more than the burst of 1")
+	}
+}
+
+func TestRetryBudgetClampsNegativeConfig(t *testing.T) {
+	b := client.NewRetryBudget(-4, -0.5)
+	if b.TakeRetry() {
+		t.Fatal("negative burst must clamp to an empty bucket")
+	}
+	b.OnRequest()
+	if b.TakeRetry() {
+		t.Fatal("negative ratio must clamp to earning nothing")
+	}
+}

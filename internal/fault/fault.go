@@ -67,9 +67,20 @@ var (
 	ErrIO = errors.New("i/o failure")
 
 	// ErrUnavailable: the serving layer refused the request before
-	// doing any work — draining, over admission capacity, or a tripped
-	// circuit breaker. Always safe to retry after backoff.
+	// doing any work because this node is degraded — draining, healing
+	// after corruption, or a tripped circuit breaker. Safe to retry
+	// after backoff, but a cooperating client should prefer another
+	// replica for a while; the node needs time, not more traffic.
 	ErrUnavailable = errors.New("service unavailable")
+
+	// ErrOverloaded: admission control shed the request because the
+	// node is at capacity right now — a load condition, not a health
+	// condition. The work was refused before any of it started, so the
+	// request is immediately safe to send to a different replica (or to
+	// the same one after the advertised Retry-After). Distinguished
+	// from ErrUnavailable so clients can tell "spread the load" (429)
+	// from "leave this node alone" (503).
+	ErrOverloaded = errors.New("overloaded")
 
 	// ErrNotPrimary: a write reached a replica that is not the current
 	// primary. Not retryable against the same node; clients re-target
@@ -117,6 +128,11 @@ func Unavailablef(format string, args ...any) error {
 	return fmt.Errorf("%w: %s", ErrUnavailable, fmt.Sprintf(format, args...))
 }
 
+// Overloadedf returns an error wrapping ErrOverloaded.
+func Overloadedf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrOverloaded, fmt.Sprintf(format, args...))
+}
+
 // NotPrimaryf returns an error wrapping ErrNotPrimary.
 func NotPrimaryf(format string, args ...any) error {
 	return fmt.Errorf("%w: %s", ErrNotPrimary, fmt.Sprintf(format, args...))
@@ -131,7 +147,7 @@ func Fencedf(format string, args ...any) error {
 var taxonomy = []error{
 	ErrBudgetExhausted, ErrDeadlineExceeded, ErrCanceled,
 	ErrInvalidLabel, ErrInvariantViolated, ErrOverflow,
-	ErrConflict, ErrIO, ErrUnavailable, ErrNotPrimary, ErrFenced, ErrInjected,
+	ErrConflict, ErrIO, ErrUnavailable, ErrOverloaded, ErrNotPrimary, ErrFenced, ErrInjected,
 }
 
 // Classify converts a recovered panic value into a classified error.
@@ -182,6 +198,8 @@ func StopLabel(err error) string {
 		base = "io"
 	case errors.Is(err, ErrUnavailable):
 		base = "unavailable"
+	case errors.Is(err, ErrOverloaded):
+		base = "overloaded"
 	case errors.Is(err, ErrNotPrimary):
 		base = "not-primary"
 	case errors.Is(err, ErrFenced):

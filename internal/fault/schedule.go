@@ -61,6 +61,21 @@ func (s *Schedule) Scatter(r *rand.Rand, n int, from, to time.Duration, name str
 	}
 }
 
+// Every adds periodic occurrences of an action at from, from+period,
+// ... strictly before to — the fixed-cadence counterpart of Scatter,
+// for sustained load (a request every tick) rather than sprinkled
+// chaos. A non-positive period panics: it would loop forever. do
+// receives the occurrence index.
+func (s *Schedule) Every(period, from, to time.Duration, name string, do func(i int)) {
+	if period <= 0 {
+		panic(Invalidf("Schedule.Every: period %v must be positive", period))
+	}
+	for i, at := 0, from; at < to; i, at = i+1, at+period {
+		i := i
+		s.At(at, name, func() { do(i) })
+	}
+}
+
 // Len returns the number of scheduled events.
 func (s *Schedule) Len() int {
 	s.mu.Lock()

@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"errors"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -67,4 +68,107 @@ func TestScatterPassesOccurrenceIndex(t *testing.T) {
 	if len(seen) != 5 {
 		t.Fatalf("saw %d distinct occurrence indexes, want 5: %v", len(seen), seen)
 	}
+}
+
+// TestScheduleZeroDelayEvents pins the zero-delay edge case: events at
+// virtual time 0 (and simultaneous events generally) run in insertion
+// order without a single advance call — a schedule of immediate events
+// must not sleep at all.
+func TestScheduleZeroDelayEvents(t *testing.T) {
+	s := NewSchedule()
+	var got []string
+	s.At(0, "first", func() { got = append(got, "first") })
+	s.At(0, "second", func() { got = append(got, "second") })
+	s.At(0, "third", func() { got = append(got, "third") })
+	advances := 0
+	s.Run(func(time.Duration) { advances++ }, nil)
+	if !reflect.DeepEqual(got, []string{"first", "second", "third"}) {
+		t.Fatalf("zero-delay execution order %v, want insertion order", got)
+	}
+	if advances != 0 {
+		t.Fatalf("advance called %d times for an all-zero schedule, want 0", advances)
+	}
+}
+
+// TestScheduleEmptyRun pins that running an empty schedule is a no-op
+// rather than a panic or a stray advance.
+func TestScheduleEmptyRun(t *testing.T) {
+	s := NewSchedule()
+	s.Run(func(time.Duration) { t.Fatal("advance called on empty schedule") },
+		func(time.Duration, string) { t.Fatal("observe called on empty schedule") })
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", s.Len())
+	}
+}
+
+// TestScatterZeroSpan pins the degenerate window: from == to collapses
+// every occurrence onto from instead of panicking on a zero-width
+// random draw.
+func TestScatterZeroSpan(t *testing.T) {
+	s := NewSchedule()
+	var ats []time.Duration
+	s.Scatter(rand.New(rand.NewSource(7)), 3, 10*time.Millisecond, 10*time.Millisecond, "pin", func(int) {})
+	s.Run(nil, func(at time.Duration, _ string) { ats = append(ats, at) })
+	if len(ats) != 3 {
+		t.Fatalf("fired %d events, want 3", len(ats))
+	}
+	for _, at := range ats {
+		if at != 10*time.Millisecond {
+			t.Fatalf("zero-span scatter fired at %v, want exactly 10ms", at)
+		}
+	}
+}
+
+// TestScatterSeedsDivergeAcrossRuns draws several seed pairs and
+// checks the schedules differ — determinism per seed must not collapse
+// into one shared schedule for all seeds.
+func TestScatterSeedsDivergeAcrossRuns(t *testing.T) {
+	build := func(seed int64) []time.Duration {
+		s := NewSchedule()
+		s.Scatter(rand.New(rand.NewSource(seed)), 8, 0, time.Second, "tick", func(int) {})
+		var ats []time.Duration
+		s.Run(nil, func(at time.Duration, _ string) { ats = append(ats, at) })
+		return ats
+	}
+	distinct := 0
+	for seed := int64(1); seed <= 5; seed++ {
+		if !reflect.DeepEqual(build(seed), build(seed+1000)) {
+			distinct++
+		}
+	}
+	if distinct == 0 {
+		t.Fatal("every tested seed pair produced identical scatter timings")
+	}
+}
+
+// TestEveryFixedCadence pins the periodic helper: occurrences at from,
+// from+period, ... strictly below to, indices in order.
+func TestEveryFixedCadence(t *testing.T) {
+	s := NewSchedule()
+	var ats []time.Duration
+	var idx []int
+	s.Every(10*time.Millisecond, 5*time.Millisecond, 45*time.Millisecond, "tick", func(i int) { idx = append(idx, i) })
+	s.Run(nil, func(at time.Duration, _ string) { ats = append(ats, at) })
+	wantAts := []time.Duration{5 * time.Millisecond, 15 * time.Millisecond, 25 * time.Millisecond, 35 * time.Millisecond}
+	if !reflect.DeepEqual(ats, wantAts) {
+		t.Fatalf("Every fired at %v, want %v (strictly below to)", ats, wantAts)
+	}
+	if !reflect.DeepEqual(idx, []int{0, 1, 2, 3}) {
+		t.Fatalf("Every indices %v, want 0..3", idx)
+	}
+}
+
+// TestEveryRejectsNonPositivePeriod pins that a non-positive period
+// panics (classified) instead of looping forever.
+func TestEveryRejectsNonPositivePeriod(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Every(0, ...) did not panic")
+		}
+		if err := Classify(r); !errors.Is(err, ErrInvalidLabel) {
+			t.Fatalf("panic classified as %v, want ErrInvalidLabel", err)
+		}
+	}()
+	NewSchedule().Every(0, 0, time.Second, "loop", func(int) {})
 }

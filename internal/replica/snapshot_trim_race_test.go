@@ -1,0 +1,154 @@
+package replica
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"testing"
+
+	"luf/internal/wal"
+)
+
+// TestSnapshotStreamSurvivesConcurrentTrim races a chunked /v1/snapshot
+// walk against a writer that keeps appending and repeatedly
+// snapshots + trims the journal underneath it. ServeSnapshot cuts
+// chunks from the store's in-memory record mirror, which trims never
+// shrink — so every walk, including ones spanning a trim, must yield a
+// gapless, correctly anchored history, and a final walk must return
+// every record the store ever accepted.
+func TestSnapshotStreamSurvivesConcurrentTrim(t *testing.T) {
+	entries := consistentEntries(4000, 17)
+	store := primary(t, entries[:100])
+	src := snapshotSource(t, store)
+
+	// walk pulls the full chunk stream the way Healer.pull does,
+	// checking each chunk's anchor matches what was asked for and that
+	// every record is gapless and byte-identical (by CRC) to the store's
+	// own mirror. It returns the walked length, or an error.
+	walk := func() (int, error) {
+		n := 0
+		after := uint64(0)
+		for {
+			resp, err := http.Get(fmt.Sprintf("%s?after=%d&max=7", src.URL, after))
+			if err != nil {
+				return n, err
+			}
+			raw, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				return n, err
+			}
+			if resp.StatusCode != http.StatusOK {
+				return n, fmt.Errorf("snapshot chunk after=%d: http %d: %s", after, resp.StatusCode, raw)
+			}
+			prevSeq, err := strconv.ParseUint(resp.Header.Get(HeaderPrevSeq), 10, 64)
+			if err != nil || prevSeq != after {
+				return n, fmt.Errorf("chunk after=%d anchored at PrevSeq %q (%v)", after, resp.Header.Get(HeaderPrevSeq), err)
+			}
+			tail, err := strconv.ParseUint(resp.Header.Get(HeaderLastSeq), 10, 64)
+			if err != nil {
+				return n, fmt.Errorf("chunk after=%d: bad tail header: %v", after, err)
+			}
+			chunk, err := wal.DecodeFrames[string, int64](raw, store.Codec())
+			if err != nil {
+				return n, fmt.Errorf("chunk after=%d failed to decode: %v", after, err)
+			}
+			for _, r := range chunk {
+				if r.Seq != after+1 {
+					return n, fmt.Errorf("chunk after=%d starts a gap: got seq %d, want %d", after, r.Seq, after+1)
+				}
+				mine, ok := store.RecordAt(r.Seq)
+				if !ok {
+					return n, fmt.Errorf("record %d came over the wire but is gone from the mirror", r.Seq)
+				}
+				if wal.RecordCRC(store.Codec(), r) != wal.RecordCRC(store.Codec(), mine) {
+					return n, fmt.Errorf("record %d differs from the store's own copy: got %+v", r.Seq, r.Entry)
+				}
+				after = r.Seq
+				n++
+			}
+			if after >= tail {
+				return n, nil
+			}
+			if len(chunk) == 0 {
+				return n, fmt.Errorf("source reports tail %d but shipped nothing past %d", tail, after)
+			}
+		}
+	}
+
+	// The churn: appends with a snapshot + trim every 40 — the journal
+	// on disk keeps shrinking while the walker streams chunks. The
+	// writer keeps churning until at least two full walks have raced it
+	// (so the overlap is guaranteed, not a timing accident), with the
+	// entry supply as a hard stop.
+	var walksDone atomic.Int64
+	done := make(chan error, 1)
+	go func() {
+		for i := 100; i < len(entries); i++ {
+			if _, err := store.Append(entries[i]); err != nil {
+				done <- err
+				return
+			}
+			if i%40 == 0 {
+				if err := store.Snapshot(); err != nil {
+					done <- err
+					return
+				}
+				if err := store.Trim(); err != nil {
+					done <- err
+					return
+				}
+			}
+			if i >= 400 && walksDone.Load() >= 2 {
+				break
+			}
+		}
+		done <- store.Sync()
+	}()
+	// fail drains the writer first so nothing mutates the store (or its
+	// directory) during test cleanup.
+	fail := func(err error) {
+		t.Helper()
+		<-done
+		t.Fatal(err)
+	}
+
+	walks := 0
+	churning := true
+	for churning {
+		if n, err := walk(); err != nil {
+			fail(err)
+		} else if n < 100 {
+			fail(fmt.Errorf("walk yielded %d records, fewer than the pre-churn 100", n))
+		}
+		walks++
+		walksDone.Store(int64(walks))
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+			churning = false
+		default:
+		}
+	}
+
+	// The final walk sees the complete accepted history despite every
+	// trim (Append deduplicates repeated entries, so the store's own
+	// count is the reference, not len(entries)).
+	n, err := walk()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != store.Len() {
+		t.Fatalf("final walk yielded %d records, want the full history of %d", n, store.Len())
+	}
+	if store.SnapshotSeq() <= 100 {
+		t.Fatalf("snapshot seq %d: the trims this test races against never happened", store.SnapshotSeq())
+	}
+	if walks < 2 {
+		t.Fatalf("only %d walk(s) completed during the churn; the race was not exercised", walks)
+	}
+}

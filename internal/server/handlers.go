@@ -1,7 +1,6 @@
 package server
 
 import (
-	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -121,7 +120,7 @@ func statusFor(err error) int {
 		return http.StatusServiceUnavailable
 	case errors.Is(err, fault.ErrDeadlineExceeded), errors.Is(err, fault.ErrCanceled):
 		return http.StatusGatewayTimeout
-	case errors.Is(err, fault.ErrBudgetExhausted):
+	case errors.Is(err, fault.ErrBudgetExhausted), errors.Is(err, fault.ErrOverloaded):
 		return http.StatusTooManyRequests
 	case errors.Is(err, fault.ErrInvalidLabel):
 		return http.StatusBadRequest
@@ -142,16 +141,24 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// writeError writes the structured error body for err. 503s carry a
-// Retry-After header so well-behaved clients back off. Divergence
-// refusals override the taxonomy kind with "divergence" and attach the
-// seq/CRC detail, so a shipping primary can tell "this follower needs
-// a resync" from any other invariant violation.
-func writeError(w http.ResponseWriter, err error) {
-	status := statusFor(err)
-	if status == http.StatusServiceUnavailable {
+// setRetryAfter stamps the Retry-After header both shed statuses
+// carry: 503 (node degraded — back off and prefer another replica)
+// and 429 (admission shed — immediately safe elsewhere, this long
+// before the same node).
+func setRetryAfter(w http.ResponseWriter, status int) {
+	if status == http.StatusServiceUnavailable || status == http.StatusTooManyRequests {
 		w.Header().Set("Retry-After", "1")
 	}
+}
+
+// writeError writes the structured error body for err. 503s and 429s
+// carry a Retry-After header so well-behaved clients back off.
+// Divergence refusals override the taxonomy kind with "divergence" and
+// attach the seq/CRC detail, so a shipping primary can tell "this
+// follower needs a resync" from any other invariant violation.
+func writeError(w http.ResponseWriter, err error) {
+	status := statusFor(err)
+	setRetryAfter(w, status)
 	detail := ErrorDetail{Kind: fault.StopLabel(err), Message: err.Error()}
 	var de *wal.DivergenceError
 	if errors.As(err, &de) {
@@ -161,18 +168,18 @@ func writeError(w http.ResponseWriter, err error) {
 	writeJSON(w, status, ErrorBody{Error: detail})
 }
 
-// refuseWrite writes the structured refusal for a node that cannot
-// accept this write: 421 responses carry the current primary's address
-// as a redirect hint, 503s the usual Retry-After.
-func (s *Server) refuseWrite(w http.ResponseWriter, err error) {
+// refuseWithHint writes the structured refusal for a node that cannot
+// handle this request itself: 421 responses (follower refusing a
+// write, replica refusing a stale session read) carry the current
+// primary's address as a redirect hint; 503s and 429s the usual
+// Retry-After.
+func (s *Server) refuseWithHint(w http.ResponseWriter, err error) {
 	status := statusFor(err)
 	detail := ErrorDetail{Kind: fault.StopLabel(err), Message: err.Error()}
 	if status == http.StatusMisdirectedRequest {
 		detail.Primary, _ = s.primaryHint.Load().(string)
 	}
-	if status == http.StatusServiceUnavailable {
-		w.Header().Set("Retry-After", "1")
-	}
+	setRetryAfter(w, status)
 	writeJSON(w, status, ErrorBody{Error: detail})
 }
 
@@ -191,13 +198,15 @@ func decodeBody(r *http.Request, v any) error {
 	return nil
 }
 
-// routes registers all endpoints.
+// routes registers all endpoints. The guarded ones carry a brownout
+// class: explain and solve are certificate-heavy and shed first,
+// relation reads second, writes last.
 func (s *Server) routes() {
-	s.mux.HandleFunc("POST /v1/assert", s.guarded(s.handleAssert))
-	s.mux.HandleFunc("GET /v1/relation", s.guarded(s.handleRelation))
-	s.mux.HandleFunc("GET /v1/explain", s.guarded(s.handleExplain))
-	s.mux.HandleFunc("POST /v1/batch/assert", s.guarded(s.handleBatchAssert))
-	s.mux.HandleFunc("POST /v1/solve", s.guarded(s.handleSolve))
+	s.mux.HandleFunc("POST /v1/assert", s.guarded(classWrite, s.handleAssert))
+	s.mux.HandleFunc("GET /v1/relation", s.guarded(classRead, s.handleRelation))
+	s.mux.HandleFunc("GET /v1/explain", s.guarded(classHeavy, s.handleExplain))
+	s.mux.HandleFunc("POST /v1/batch/assert", s.guarded(classWrite, s.handleBatchAssert))
+	s.mux.HandleFunc("POST /v1/solve", s.guarded(classHeavy, s.handleSolve))
 	s.mux.HandleFunc("GET /healthz", s.handleHealth) // never shed: probes must work under load
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	// Replication bypasses admission control: shedding the primary's
@@ -209,28 +218,6 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET "+replica.SnapshotPath, s.handleSnapshot)
 	s.mux.HandleFunc("POST /v1/resync", s.handleResync)
 	s.mux.HandleFunc("POST /v1/promote", s.handlePromote)
-}
-
-// guarded wraps a handler with admission control and the per-request
-// deadline: the request context is bounded by RequestTimeout, so
-// downstream work (solver portfolio, injected delays) is canceled when
-// the budget expires.
-func (s *Server) guarded(h http.HandlerFunc) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		release, err := s.admit(r)
-		if err != nil {
-			writeError(w, err)
-			return
-		}
-		defer release()
-		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
-		defer cancel()
-		if ctx.Err() != nil {
-			writeError(w, fmt.Errorf("%w: request deadline expired before handling", fault.ErrDeadlineExceeded))
-			return
-		}
-		h(w, r.WithContext(ctx))
-	}
 }
 
 // AssertRequest is the /v1/assert request body: assert m - n = label.
@@ -254,7 +241,7 @@ type AssertResponse struct {
 
 func (s *Server) handleAssert(w http.ResponseWriter, r *http.Request) {
 	if err := s.writable(); err != nil {
-		s.refuseWrite(w, err)
+		s.refuseWithHint(w, err)
 		return
 	}
 	var req AssertRequest
@@ -296,6 +283,7 @@ func (s *Server) handleAssert(w http.ResponseWriter, r *http.Request) {
 	if st.store != nil {
 		resp.Seq = seq
 	}
+	s.stampDurable(w)
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -313,12 +301,16 @@ func (s *Server) handleRelation(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	if !s.coverSession(w, r) {
+		return
+	}
 	n, m := r.URL.Query().Get("n"), r.URL.Query().Get("m")
 	if n == "" || m == "" {
 		writeError(w, fault.Invalidf("query parameters n and m are required"))
 		return
 	}
 	l, ok := s.st().uf.GetRelation(n, m)
+	s.stampDurable(w)
 	if !ok {
 		writeJSON(w, http.StatusOK, RelationResponse{Related: false})
 		return
@@ -336,6 +328,9 @@ type ExplainResponse struct {
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	if err := s.healthyState(); err != nil {
 		writeError(w, err)
+		return
+	}
+	if !s.coverSession(w, r) {
 		return
 	}
 	n, m := r.URL.Query().Get("n"), r.URL.Query().Get("m")
@@ -364,6 +359,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		writeError(w, fault.Invariantf("refusing to emit a certificate the checker rejects: %v", err))
 		return
 	}
+	s.stampDurable(w)
 	writeJSON(w, http.StatusOK, ExplainResponse{Cert: ToWire(c)})
 }
 
@@ -389,7 +385,7 @@ type BatchAssertResponse struct {
 
 func (s *Server) handleBatchAssert(w http.ResponseWriter, r *http.Request) {
 	if err := s.writable(); err != nil {
-		s.refuseWrite(w, err)
+		s.refuseWithHint(w, err)
 		return
 	}
 	var req BatchAssertRequest
@@ -407,7 +403,7 @@ func (s *Server) handleBatchAssert(w http.ResponseWriter, r *http.Request) {
 	}
 	st := s.st()
 	results := st.uf.AssertBatch(ops, concurrent.BatchOptions{
-		Limits: fault.Limits{MaxSteps: s.cfg.RequestSteps, Ctx: r.Context()},
+		Limits: fault.Limits{MaxSteps: requestSteps(r.Context(), s.cfg.RequestSteps), Ctx: r.Context()},
 	})
 	resp := BatchAssertResponse{Results: make([]BatchAssertItem, len(results)), Durable: st.store != nil}
 	var persistErr error
@@ -439,6 +435,7 @@ func (s *Server) handleBatchAssert(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	s.stampDurable(w)
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -549,15 +546,29 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 
 // StatsResponse is the /v1/stats body.
 type StatsResponse struct {
-	UF          concurrent.Stats `json:"uf"`
-	Assertions  int              `json:"assertions"`
-	Served      int64            `json:"served"`
-	Shed        int64            `json:"shed"`
-	Breaker     string           `json:"breaker"`
-	Durable     bool             `json:"durable"`
-	LastSeq     uint64           `json:"last_seq,omitempty"`
-	SnapshotSeq uint64           `json:"snapshot_seq,omitempty"`
-	JournalSize int64            `json:"journal_bytes,omitempty"`
+	UF         concurrent.Stats `json:"uf"`
+	Assertions int              `json:"assertions"`
+	Served     int64            `json:"served"`
+	Shed       int64            `json:"shed"`
+	// ShedByClass splits Shed by brownout class ("heavy", "read",
+	// "write"): under sustained overload heavy counts grow first, write
+	// counts last — the priority order made observable.
+	ShedByClass map[string]int64 `json:"shed_by_class,omitempty"`
+	// DeadlineRefused counts requests refused before admission because
+	// their propagated X-Luf-Deadline budget could not cover even
+	// MinDeadline — doomed work the server declined to start.
+	DeadlineRefused int64 `json:"deadline_refused,omitempty"`
+	// SessionWaits counts reads served after briefly waiting for this
+	// node's durable state to catch up to the client's session token.
+	SessionWaits int64 `json:"session_waits,omitempty"`
+	// SessionRedirects counts reads 421-redirected because the session
+	// token stayed uncovered past FollowerWaitMax.
+	SessionRedirects int64  `json:"session_redirects,omitempty"`
+	Breaker          string `json:"breaker"`
+	Durable          bool   `json:"durable"`
+	LastSeq          uint64 `json:"last_seq,omitempty"`
+	SnapshotSeq      uint64 `json:"snapshot_seq,omitempty"`
+	JournalSize      int64  `json:"journal_bytes,omitempty"`
 	// Role is the node's current replication role.
 	Role string `json:"role"`
 	// Fence is the node's accepted fencing token (elections pick a
@@ -588,13 +599,24 @@ type StatsResponse struct {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.st()
 	resp := StatsResponse{
-		UF:         st.uf.Stats(),
-		Assertions: st.journal.Len(),
-		Served:     s.served.Load(),
-		Shed:       s.shed.Load(),
-		Breaker:    s.breaker.State(),
-		Durable:    st.store != nil,
-		Role:       s.Role(),
+		UF:               st.uf.Stats(),
+		Assertions:       st.journal.Len(),
+		Served:           s.served.Load(),
+		Shed:             s.shed.Load(),
+		DeadlineRefused:  s.deadlineRefused.Load(),
+		SessionWaits:     s.sessionWaits.Load(),
+		SessionRedirects: s.sessionRedirects.Load(),
+		Breaker:          s.breaker.State(),
+		Durable:          st.store != nil,
+		Role:             s.Role(),
+	}
+	for c := reqClass(0); c < numClasses; c++ {
+		if n := s.classShed[c].Load(); n > 0 {
+			if resp.ShedByClass == nil {
+				resp.ShedByClass = make(map[string]int64, int(numClasses))
+			}
+			resp.ShedByClass[c.String()] = n
+		}
 	}
 	if st.store != nil {
 		resp.LastSeq = st.store.LastSeq()

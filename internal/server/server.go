@@ -12,12 +12,23 @@
 //
 // Self-protection:
 //
-//   - admission control: at most MaxInflight requests run at once;
-//     beyond that the server sheds load with 503 + Retry-After rather
-//     than queueing without bound;
+//   - admission control with brownout degradation: at most MaxInflight
+//     requests run at once, with per-class caps below that so
+//     certificate-heavy work (explain, solve) sheds first, stale-
+//     tolerant reads second and writes last; shed requests get 429 +
+//     Retry-After (go spread the load) while degraded-node refusals
+//     stay 503 (leave this node alone), never unbounded queueing;
+//   - deadline propagation: clients attach their remaining budget via
+//     the X-Luf-Deadline header; the server clamps its per-request
+//     deadline and step budget to it and refuses doomed work outright;
 //   - per-request budgets: each request runs under a fault.Guard
 //     deadline, and batch work under split step budgets, so one huge
 //     request degrades deterministically instead of starving the rest;
+//   - bounded-staleness reads: a request's X-Luf-Session token names
+//     the durable frontier the client has observed; a replica serves
+//     the read only once its own durable state covers it (briefly
+//     waiting), else 421-redirects toward the primary — every replica
+//     is a read path without giving up read-your-writes;
 //   - a circuit breaker around the solver portfolio fails solve
 //     requests fast after repeated failures while assert/query traffic
 //     keeps flowing;
@@ -62,8 +73,18 @@ type Config struct {
 	// RequestTimeout is the per-request deadline; <= 0 means 2s.
 	RequestTimeout time.Duration
 	// RequestSteps is the per-request step budget for batch work;
-	// <= 0 means 1e6.
+	// <= 0 means 1e6. A propagated client deadline shorter than
+	// RequestTimeout scales the budget down proportionally.
 	RequestSteps int
+	// MinDeadline is the floor under propagated client deadlines: a
+	// request arriving with less remaining budget than this is refused
+	// immediately (504) instead of burning capacity on work the client
+	// will abandon; <= 0 means 2ms.
+	MinDeadline time.Duration
+	// FollowerWaitMax bounds how long a read blocks waiting for this
+	// node's durable state to cover the client's session token before
+	// 421-redirecting toward the primary; <= 0 means 50ms.
+	FollowerWaitMax time.Duration
 	// SnapshotEvery triggers a background snapshot after that many
 	// journaled asserts; <= 0 disables automatic snapshots (Drain still
 	// writes a final one).
@@ -149,6 +170,12 @@ func (c Config) withDefaults() Config {
 	if c.RequestSteps <= 0 {
 		c.RequestSteps = 1_000_000
 	}
+	if c.MinDeadline <= 0 {
+		c.MinDeadline = 2 * time.Millisecond
+	}
+	if c.FollowerWaitMax <= 0 {
+		c.FollowerWaitMax = 50 * time.Millisecond
+	}
 	if c.BreakerFailures <= 0 {
 		c.BreakerFailures = 3
 	}
@@ -194,7 +221,7 @@ const (
 type nodeState struct {
 	uf      *concurrent.UF[string, int64]
 	journal *cert.SyncJournal[string, int64]
-	store   *wal.Store[string, int64]     // nil when Config.Dir is empty
+	store   *wal.Store[string, int64]       // nil when Config.Dir is empty
 	applier *replica.Applier[string, int64] // nil without a store
 }
 
@@ -220,6 +247,16 @@ type Server struct {
 	served   atomic.Int64 // requests admitted
 	snapping atomic.Bool  // a background snapshot is running
 	appends  atomic.Int64 // journaled asserts since the last snapshot
+
+	// Brownout state: per-class inflight counts against per-class caps
+	// (heavy work sheds first, writes last), plus the overload-control
+	// counters surfaced in /v1/stats.
+	classLimit       [numClasses]int64
+	classInflight    [numClasses]atomic.Int64
+	classShed        [numClasses]atomic.Int64
+	deadlineRefused  atomic.Int64 // doomed requests refused before admission
+	sessionWaits     atomic.Int64 // reads served after waiting for catch-up
+	sessionRedirects atomic.Int64 // reads 421-redirected: session not covered in time
 
 	// Replication state. follower flips atomically on promotion and on
 	// fencing; repMu serializes the shipper lifecycle transitions
@@ -248,9 +285,10 @@ func (s *Server) st() *nodeState { return s.state.Load() }
 func New(cfg Config) (*Server, *wal.Recovered[string, int64], error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:     cfg,
-		breaker: NewBreaker(cfg.BreakerFailures, cfg.BreakerCooldown),
-		sem:     make(chan struct{}, cfg.MaxInflight),
+		cfg:        cfg,
+		breaker:    NewBreaker(cfg.BreakerFailures, cfg.BreakerCooldown),
+		sem:        make(chan struct{}, cfg.MaxInflight),
+		classLimit: classLimits(cfg.MaxInflight),
 	}
 	var rec *wal.Recovered[string, int64]
 	var startCause error
@@ -592,40 +630,6 @@ func (s *Server) writable() error {
 
 // Handler returns the server's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
-
-// admit implements admission control: it acquires an inflight token
-// without blocking, applies any injected request delay, and returns a
-// release func — or a structured error when the server is draining or
-// saturated.
-func (s *Server) admit(r *http.Request) (func(), error) {
-	if s.draining.Load() {
-		return nil, fault.Unavailablef("server is draining")
-	}
-	select {
-	case s.sem <- struct{}{}:
-	default:
-		s.shed.Add(1)
-		return nil, fault.Unavailablef("server at capacity (%d in flight)", s.cfg.MaxInflight)
-	}
-	// Re-check after taking the token: a drain that started in between
-	// counts tokens, so we must either hold ours visibly or give it
-	// back — never slip past a drain that believes the server is idle.
-	if s.draining.Load() {
-		<-s.sem
-		return nil, fault.Unavailablef("server is draining")
-	}
-	s.served.Add(1)
-	s.injMu.Lock()
-	delay := s.cfg.Inject.ObserveRequest()
-	s.injMu.Unlock()
-	if delay > 0 {
-		select {
-		case <-time.After(delay):
-		case <-r.Context().Done():
-		}
-	}
-	return func() { <-s.sem }, nil
-}
 
 // persist journals one accepted assertion and blocks until it is
 // durable. Without a store it is a no-op. A sticky journal failure

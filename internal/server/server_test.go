@@ -159,18 +159,21 @@ func TestAdmissionControlShedsLoad(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("second request status = %d, want 503", resp.StatusCode)
+	// Admission sheds are 429 "overloaded" (a load condition — retry
+	// elsewhere immediately), distinct from the 503 "unavailable" a
+	// draining or degraded node answers.
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second request status = %d, want 429", resp.StatusCode)
 	}
 	if ra := resp.Header.Get("Retry-After"); ra == "" {
-		t.Fatal("503 lacks Retry-After")
+		t.Fatal("429 lacks Retry-After")
 	}
 	var eb server.ErrorBody
 	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
 		t.Fatal(err)
 	}
-	if eb.Error.Kind != "unavailable" {
-		t.Fatalf("shed-load kind = %q, want unavailable", eb.Error.Kind)
+	if eb.Error.Kind != "overloaded" {
+		t.Fatalf("shed-load kind = %q, want overloaded", eb.Error.Kind)
 	}
 	if err := <-slow; err != nil {
 		t.Fatalf("slow request failed: %v", err)
