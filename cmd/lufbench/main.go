@@ -139,6 +139,8 @@ func main() {
 		if *quick {
 			cfg.Entries = 100
 			cfg.Catchup = 500
+			cfg.PipelinedEntries = 800
+			cfg.CertSample = 40
 		}
 		res, err := bench.RunReplication(cfg)
 		if err != nil {

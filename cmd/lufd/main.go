@@ -65,6 +65,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	advertise := fs.String("advertise", "", "client-facing base URL shared with followers (default: the bound listen address)")
 	leaseTTL := fs.Duration("lease-ttl", time.Second, "how long the primary may write without a follower acknowledgement")
 	syncRepl := fs.Bool("sync-replication", false, "acknowledge writes only after a follower holds them durably")
+	pipelineDepth := fs.Int("pipeline-depth", 0, "replication batches kept in flight per follower (0 = default 4; 1 = stop-and-wait)")
 	scrubInterval := fs.Duration("scrub-interval", time.Minute, "background integrity scrub period (0 disables the background loop; requires -dir)")
 	resyncMax := fs.Int("resync-max-attempts", 8, "self-healing resync attempts per episode before a follower degrades to refusing reads (0 disables self-healing)")
 	if err := fs.Parse(args); err != nil {
@@ -112,6 +113,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		Peers:             peerList,
 		LeaseTTL:          *leaseTTL,
 		SyncReplication:   *syncRepl,
+		PipelineDepth:     *pipelineDepth,
 		SelfHeal:          selfHeal,
 		ScrubInterval:     scrub,
 		ResyncMaxAttempts: *resyncMax,

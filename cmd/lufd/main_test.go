@@ -408,3 +408,81 @@ func TestLufdFailoverNoCertifiedAnswerLost(t *testing.T) {
 			rres.StatusCode, rres.Header.Get(replica.HeaderFence))
 	}
 }
+
+// TestLufdPipelinedFailoverNoCertifiedAnswerLost repeats the failover
+// acceptance test under the pipelined write path: several concurrent
+// writers keep the shipper's send window full (explicit
+// -pipeline-depth 4) so the primary dies with multiple batches in
+// flight. Acknowledged writes resolve against the follower's
+// cumulative durable watermark, so even a kill mid-window may only
+// lose unacknowledged writes — every acked fact must survive
+// promotion with its exact label and a checking certificate.
+func TestLufdPipelinedFailoverNoCertifiedAnswerLost(t *testing.T) {
+	fdir, pdir := t.TempDir(), t.TempDir()
+	f := startDaemon(t, "-dir", fdir, "-role", "follower", "-node-name", "f")
+	p := startDaemon(t, "-dir", pdir, "-role", "primary", "-node-name", "p",
+		"-peers", "f=http://"+f.addr, "-sync-replication", "-pipeline-depth", "4", "-lease-ttl", "10s")
+	ctx := context.Background()
+
+	type fact struct {
+		n, m  string
+		label int64
+	}
+	const writers = 4
+	ackedBy := make([][]fact, writers) // slice w is goroutine-owned until wg.Wait
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wc := client.New("http://" + p.addr)
+			for i := 0; ; i++ {
+				// Disjoint node namespaces per writer: no cross-writer
+				// conflicts, so every assert is expected to succeed.
+				ft := fact{fmt.Sprintf("w%dk%d", w, i), fmt.Sprintf("w%dk%d", w, i+1), int64((w+i)%7 + 1)}
+				if _, err := wc.Assert(ctx, ft.n, ft.m, ft.label, fmt.Sprintf("load-%d-%d", w, i)); err != nil {
+					return // the primary died mid-load
+				}
+				ackedBy[w] = append(ackedBy[w], ft)
+			}
+		}(w)
+	}
+	time.Sleep(250 * time.Millisecond)
+	p.stop() // the primary goes away with the pipeline full
+	wg.Wait()
+	var acked []fact
+	for _, part := range ackedBy {
+		acked = append(acked, part...)
+	}
+	if len(acked) == 0 {
+		t.Fatal("no write was acknowledged before the kill; the load premise failed")
+	}
+
+	resp, err := http.Post("http://"+f.addr+"/v1/promote", "application/json", strings.NewReader(`{"fence":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("promote: status %d", resp.StatusCode)
+	}
+
+	// Zero certified answers lost across every writer's stream, and
+	// certificates still re-verify locally in the client.
+	fc := client.New("http://" + f.addr)
+	for _, ft := range acked {
+		l, ok, err := fc.Relation(ctx, ft.n, ft.m)
+		if err != nil || !ok || l != ft.label {
+			t.Fatalf("acked fact %s->%s lost or wrong after pipelined failover: (%d,%v,%v), want (%d,true,nil)",
+				ft.n, ft.m, l, ok, err, ft.label)
+		}
+	}
+	for i := 0; i < len(acked); i += len(acked)/8 + 1 {
+		if _, err := fc.Explain(ctx, acked[i].n, acked[i].m); err != nil {
+			t.Fatalf("certificate for %s->%s after pipelined failover: %v", acked[i].n, acked[i].m, err)
+		}
+	}
+	if _, err := fc.Assert(ctx, "after", "pipelined-failover", 9, "post-failover"); err != nil {
+		t.Fatalf("write to the promoted primary: %v", err)
+	}
+}

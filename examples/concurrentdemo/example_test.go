@@ -75,9 +75,9 @@ func Example_parallelQueries() {
 	// false 0
 }
 
-// Example_certifiedConcurrent: assertions from racing goroutines are
-// journaled under the stripe lock, so the structure's answers certify
-// under any interleaving.
+// Example_certifiedConcurrent: each accepted assertion's link and
+// journal record are published together, so the structure's answers
+// certify under any interleaving.
 func Example_certifiedConcurrent() {
 	j := luf.NewCertJournal[string, int64](luf.Delta{})
 	uf := luf.NewConcurrent[string](luf.Delta{}, luf.WithConcurrentJournal[string, int64](j))

@@ -2,7 +2,7 @@
 //
 // One concurrent UF is shared by writer and reader goroutines; a batch
 // of assertions is partitioned across workers with deterministic
-// results; a certificate journal records under the stripe lock so
+// results; a certificate journal records each accepted link so
 // answers from the racy build still check out; and the solver portfolio
 // races the three Section 7.1 variants, first answer wins.
 //

@@ -69,6 +69,14 @@ type RecoveryResult struct {
 // hidden valuation (the same construction the wal tests use), so every
 // replay must accept and certify all of them.
 func recoveryEntries(n int, seed int64) []cert.Entry[string, int64] {
+	return entryCorpus(n, seed, "v")
+}
+
+// entryCorpus is recoveryEntries over a caller-chosen node-name prefix.
+// Corpora with distinct prefixes touch disjoint nodes, so they can be
+// mixed on one server without any risk of cross-corpus conflicts (each
+// prefix carries its own hidden valuation).
+func entryCorpus(n int, seed int64, prefix string) []cert.Entry[string, int64] {
 	rng := rand.New(rand.NewSource(seed))
 	nodes := n/4 + 2
 	sigma := make([]int64, nodes)
@@ -76,7 +84,7 @@ func recoveryEntries(n int, seed int64) []cert.Entry[string, int64] {
 		sigma[i] = int64(rng.Intn(2*nodes) - nodes)
 	}
 	entries := make([]cert.Entry[string, int64], 0, n)
-	name := func(i int) string { return fmt.Sprintf("v%d", i) }
+	name := func(i int) string { return fmt.Sprintf("%s%d", prefix, i) }
 	for i := 1; i < nodes && len(entries) < n; i++ {
 		j := rng.Intn(i)
 		entries = append(entries, cert.Entry[string, int64]{

@@ -9,9 +9,11 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"luf/internal/cert"
 	"luf/internal/client"
 	"luf/internal/group"
 	"luf/internal/replica"
@@ -32,6 +34,21 @@ type ReplicationConfig struct {
 	// Catchup is the number of entries the primary accumulates while
 	// the follower is down, then ships when it returns.
 	Catchup int
+	// Writers is the number of concurrent clients in the pipelined
+	// steady-state measurement (default 24). The serial measurement is
+	// one client awaiting each acknowledgement in turn; the pipelined
+	// one offers Writers at once, so group commit, batched shipping and
+	// cumulative watermark acks amortize the ship-fsync round-trip
+	// across many writes.
+	Writers int
+	// PipelinedEntries is the number of writes pushed through the
+	// pipelined measurement (default 8x Entries, so it runs long enough
+	// to reach the pipelined steady state).
+	PipelinedEntries int
+	// CertSample is the number of post-write certificates fetched and
+	// re-verified through the client after each steady-state
+	// measurement (default 100).
+	CertSample int
 	// ShipInterval is the primary's idle poll period; writes are
 	// kicked immediately regardless.
 	ShipInterval time.Duration
@@ -41,18 +58,40 @@ type ReplicationConfig struct {
 // DefaultReplication returns the configuration used to produce
 // BENCH_replication.json.
 func DefaultReplication() ReplicationConfig {
-	return ReplicationConfig{Entries: 300, Catchup: 2000, ShipInterval: 2 * time.Millisecond, Seed: 2025}
+	return ReplicationConfig{
+		Entries: 300, Catchup: 2000, Writers: 24, PipelinedEntries: 2400,
+		CertSample: 100, ShipInterval: 2 * time.Millisecond, Seed: 2025,
+	}
 }
 
 // ReplicationResult aggregates the benchmark for
 // BENCH_replication.json.
 type ReplicationResult struct {
 	// Steady-state synchronous shipping: client-observed write
-	// latency with the durable-on-a-follower acknowledgement gate.
+	// latency with the durable-on-a-follower acknowledgement gate,
+	// measured with one serial client (each write awaits its own
+	// acknowledgement — the pre-pipelining protocol ceiling).
 	SteadyEntries      int     `json:"steady_entries"`
 	SteadyNS           int64   `json:"steady_ns"`
 	SteadyPerWriteNS   int64   `json:"steady_per_write_ns"`
 	SteadyWritesPerSec float64 `json:"steady_writes_per_sec"`
+	// Pipelined steady state: the same sync-replication gate under
+	// Writers concurrent clients — group commit, batched shipping and
+	// cumulative watermark acknowledgements resolve whole batches per
+	// ship-fsync round-trip.
+	PipelinedWriters      int     `json:"pipelined_writers"`
+	PipelinedEntries      int     `json:"pipelined_entries"`
+	PipelinedNS           int64   `json:"pipelined_ns"`
+	PipelinedWritesPerSec float64 `json:"pipelined_writes_per_sec"`
+	// PipelinedSpeedup is PipelinedWritesPerSec over
+	// SteadyWritesPerSec from the same run.
+	PipelinedSpeedup float64 `json:"pipelined_speedup_vs_serial"`
+	// CertsChecked certificates were fetched through the verifying
+	// client after the steady-state measurements (half from the
+	// primary's writes, half from the pipelined batch) and re-proved;
+	// CertsRejected must be zero.
+	CertsChecked  int `json:"certs_checked"`
+	CertsRejected int `json:"certs_rejected"`
 	// Anti-entropy catch-up: follower returns after downtime and
 	// re-certifies the missed suffix.
 	CatchupEntries       int     `json:"catchup_entries"`
@@ -176,6 +215,15 @@ func RunReplication(cfg ReplicationConfig) (*ReplicationResult, error) {
 	if cfg.Catchup <= 0 {
 		cfg.Catchup = 2000
 	}
+	if cfg.Writers <= 0 {
+		cfg.Writers = 24
+	}
+	if cfg.PipelinedEntries <= 0 {
+		cfg.PipelinedEntries = 8 * cfg.Entries
+	}
+	if cfg.CertSample <= 0 {
+		cfg.CertSample = 100
+	}
 	if cfg.ShipInterval <= 0 {
 		cfg.ShipInterval = 2 * time.Millisecond
 	}
@@ -186,9 +234,14 @@ func RunReplication(cfg ReplicationConfig) (*ReplicationResult, error) {
 	defer os.RemoveAll(root)
 	res := &ReplicationResult{
 		Note: "steady state gates every acknowledgement on follower durability " +
-			"(sync replication); catch-up re-certifies every shipped record on the " +
-			"follower; failover is primary kill -> deterministic election -> first " +
-			"relation answered with a verified certificate.",
+			"(sync replication): the serial row is one client awaiting each ack, " +
+			"the pipelined row offers writes from concurrent clients so group " +
+			"commit, streamed batches and cumulative watermark acks amortize the " +
+			"ship-fsync round-trip; the certificate sweep re-proves sampled " +
+			"answers with the independent checker; catch-up re-certifies every " +
+			"shipped record on the follower; failover is primary kill -> " +
+			"deterministic election -> first relation answered with a verified " +
+			"certificate.",
 	}
 	ctx := context.Background()
 
@@ -213,6 +266,73 @@ func RunReplication(cfg ReplicationConfig) (*ReplicationResult, error) {
 	res.SteadyNS = steady.Nanoseconds()
 	res.SteadyPerWriteNS = steady.Nanoseconds() / int64(cfg.Entries)
 	res.SteadyWritesPerSec = float64(cfg.Entries) / steady.Seconds()
+
+	// Pipelined steady state: the same durable-on-a-follower gate, but
+	// Writers clients offering writes concurrently. Group commit batches
+	// their fsyncs, the shipper streams frames without waiting per
+	// batch, and the follower's cumulative durable watermark resolves
+	// every write in a shipped batch with a single acknowledgement. The
+	// corpus lives under its own node-name prefix so it cannot conflict
+	// with the serial corpus already on the pair.
+	pentries := entryCorpus(cfg.PipelinedEntries, cfg.Seed+2, "w")
+	var wg sync.WaitGroup
+	werrs := make(chan error, cfg.Writers)
+	t0 = time.Now()
+	for w := 0; w < cfg.Writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wc := client.New(p.url)
+			for i := w; i < len(pentries); i += cfg.Writers {
+				e := pentries[i]
+				if _, err := wc.Assert(ctx, e.N, e.M, e.Label, e.Reason); err != nil {
+					werrs <- fmt.Errorf("pipelined assert: %w", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	pipelined := time.Since(t0)
+	close(werrs)
+	if err := <-werrs; err != nil {
+		return nil, err
+	}
+	res.PipelinedWriters = cfg.Writers
+	res.PipelinedEntries = cfg.PipelinedEntries
+	res.PipelinedNS = pipelined.Nanoseconds()
+	res.PipelinedWritesPerSec = float64(cfg.PipelinedEntries) / pipelined.Seconds()
+	res.PipelinedSpeedup = res.PipelinedWritesPerSec / res.SteadyWritesPerSec
+
+	// Certificate sweep: re-fetch a sample of the written relations
+	// through the verifying client, which re-proves each certificate
+	// with the independent checker before returning it. Half the sample
+	// comes from the serial corpus, half from the pipelined one.
+	sweep := func(corpus []cert.Entry[string, int64], want int) {
+		if want > len(corpus) {
+			want = len(corpus)
+		}
+		if want <= 0 {
+			return
+		}
+		stride := len(corpus) / want
+		if stride == 0 {
+			stride = 1
+		}
+		for i := 0; want > 0 && i < len(corpus); i += stride {
+			e := corpus[i]
+			res.CertsChecked++
+			if _, err := pc.Explain(ctx, e.N, e.M); err != nil {
+				res.CertsRejected++
+			}
+			want--
+		}
+	}
+	sweep(entries, cfg.CertSample/2)
+	sweep(pentries, cfg.CertSample-cfg.CertSample/2)
+	if res.CertsRejected > 0 {
+		return nil, fmt.Errorf("certificate sweep: %d of %d certificates failed verification", res.CertsRejected, res.CertsChecked)
+	}
 
 	// Failover: kill the primary abruptly (no drain), elect the
 	// follower, and time the first certified answer.
@@ -308,9 +428,13 @@ func (r *ReplicationResult) WriteJSON(path string) error {
 func (r *ReplicationResult) Format() string {
 	var sb strings.Builder
 	sb.WriteString("Certified replication (primary/follower over loopback HTTP)\n\n")
-	fmt.Fprintf(&sb, "steady-state sync shipping: %d writes in %v (%v/write, %.0f writes/s)\n",
+	fmt.Fprintf(&sb, "steady-state sync shipping: %d writes in %v (%v/write, %.0f writes/s, serial client)\n",
 		r.SteadyEntries, time.Duration(r.SteadyNS).Round(time.Millisecond),
 		time.Duration(r.SteadyPerWriteNS).Round(time.Microsecond), r.SteadyWritesPerSec)
+	fmt.Fprintf(&sb, "pipelined sync shipping:    %d writes, %d writers in %v (%.0f writes/s, %.1fx serial)\n",
+		r.PipelinedEntries, r.PipelinedWriters, time.Duration(r.PipelinedNS).Round(time.Millisecond),
+		r.PipelinedWritesPerSec, r.PipelinedSpeedup)
+	fmt.Fprintf(&sb, "certificate sweep:          %d checked, %d rejected\n", r.CertsChecked, r.CertsRejected)
 	fmt.Fprintf(&sb, "anti-entropy catch-up:      %d entries in %v (%.0f entries/s, each re-certified)\n",
 		r.CatchupEntries, time.Duration(r.CatchupNS).Round(time.Millisecond), r.CatchupEntriesPerSec)
 	fmt.Fprintf(&sb, "failover to first answer:   %v (kill -> election -> certified relation)\n",

@@ -1,0 +1,180 @@
+package concurrent
+
+import (
+	"hash/maphash"
+	"sync"
+	"sync/atomic"
+)
+
+// Layout constants of the flat store: node ids index fixed-size chunks
+// of edge slots, and interner shards refill their private id ranges in
+// blocks so id allocation almost never touches the global growth lock.
+const (
+	chunkBits = 12             // 4096 slots per chunk
+	chunkSize = 1 << chunkBits // slots (and names) per chunk
+	chunkMask = chunkSize - 1
+	blockSize = 64 // ids handed to an interner shard per refill
+)
+
+// edgeRec is one parent link in the flat store: the owning id points at
+// parent with id --label--> parent. An edgeRec is immutable after
+// publication — path halving replaces the whole record through the
+// slot's atomic pointer rather than mutating it — so a reader that
+// loads a slot always sees a consistent (parent, label) pair.
+type edgeRec[L any] struct {
+	parent int32
+	label  L
+}
+
+// chunk is one fixed-size block of the flat store. Chunks are allocated
+// once and never move or shrink, so a writer holding a stale top-level
+// table still addresses the live shared slots; growth only ever appends
+// new chunks behind a republished table header.
+type chunk[N comparable, L any] struct {
+	slots [chunkSize]atomic.Pointer[edgeRec[L]]
+	names [chunkSize]N
+}
+
+// table is the immutable top-level header of the flat store: a snapshot
+// of the chunk directory. Growth copies the (tiny) directory, appends
+// fresh chunks and republishes the header through UF.tab; the chunks
+// themselves are shared across every header generation.
+type table[N comparable, L any] struct {
+	chunks []*chunk[N, L]
+}
+
+// covers reports whether id's chunk exists in this table snapshot.
+// Coverage is monotone: once an id is covered by some published table,
+// every later table covers it too.
+func (t *table[N, L]) covers(id int32) bool {
+	return int(id>>chunkBits) < len(t.chunks)
+}
+
+// slot returns the edge slot of id. The caller must have established
+// coverage (covers(id), or an id obtained from a published edge after
+// reloading the table).
+func (t *table[N, L]) slot(id int32) *atomic.Pointer[edgeRec[L]] {
+	return &t.chunks[id>>chunkBits].slots[id&chunkMask]
+}
+
+// shard is one interner shard mapping node values to dense ids. Reads
+// hit the frozen map lock-free through an atomic pointer; inserts go to
+// the dirty map under the shard mutex and are merged into a fresh
+// frozen map once dirty outgrows half the frozen size, so the amortized
+// insert cost stays O(1) and a warmed-up read path never locks.
+type shard[N comparable, L any] struct {
+	frozen    atomic.Pointer[map[N]int32]
+	mu        sync.Mutex
+	dirty     map[N]int32
+	next, end int32 // private id block, refilled from UF.grabBlock
+}
+
+// shardIndex hashes a node to its interner shard. The hash depends only
+// on the node value, so a node's shard never changes.
+func (u *UF[N, L]) shardIndex(n N) uint64 {
+	return maphash.Comparable(u.seed, n) & u.mask
+}
+
+// lookup resolves a node to its id without allocating one: the frozen
+// map is consulted lock-free, then the dirty map (and the frozen map
+// again, in case a merge raced) under the shard mutex. Unknown nodes
+// stay unknown — negative queries about them never take the growth
+// lock or allocate.
+func (u *UF[N, L]) lookup(n N) (int32, bool) {
+	sh := &u.shards[u.shardIndex(n)]
+	if m := sh.frozen.Load(); m != nil {
+		if id, ok := (*m)[n]; ok {
+			return id, true
+		}
+	}
+	sh.mu.Lock()
+	id, ok := sh.dirty[n]
+	if !ok {
+		if m := sh.frozen.Load(); m != nil {
+			id, ok = (*m)[n]
+		}
+	}
+	sh.mu.Unlock()
+	return id, ok
+}
+
+// intern resolves a node to its dense id, allocating one on first
+// sight. The name is written into the chunk before the id is published
+// (through the dirty map, a frozen-map merge, or an edge CAS), so any
+// reader that legitimately holds an id also sees its name.
+func (u *UF[N, L]) intern(n N) int32 {
+	sh := &u.shards[u.shardIndex(n)]
+	if m := sh.frozen.Load(); m != nil {
+		if id, ok := (*m)[n]; ok {
+			return id
+		}
+	}
+	sh.mu.Lock()
+	if id, ok := sh.dirty[n]; ok {
+		sh.mu.Unlock()
+		return id
+	}
+	if m := sh.frozen.Load(); m != nil {
+		if id, ok := (*m)[n]; ok {
+			sh.mu.Unlock()
+			return id
+		}
+	}
+	if sh.next == sh.end {
+		sh.next, sh.end = u.grabBlock()
+	}
+	id := sh.next
+	sh.next++
+	t := u.tab.Load()
+	t.chunks[id>>chunkBits].names[id&chunkMask] = n
+	sh.dirty[n] = id
+	frozenLen := 0
+	if m := sh.frozen.Load(); m != nil {
+		frozenLen = len(*m)
+	}
+	if len(sh.dirty) > frozenLen/2+16 {
+		merged := make(map[N]int32, frozenLen+len(sh.dirty))
+		if m := sh.frozen.Load(); m != nil {
+			for k, v := range *m {
+				merged[k] = v
+			}
+		}
+		for k, v := range sh.dirty {
+			merged[k] = v
+		}
+		sh.frozen.Store(&merged)
+		sh.dirty = make(map[N]int32)
+	}
+	sh.mu.Unlock()
+	return id
+}
+
+// grabBlock hands out the next block of ids under the growth lock,
+// allocating and publishing any chunks the block needs before the ids
+// escape — so every id a shard can mint is already backed by live
+// slots.
+func (u *UF[N, L]) grabBlock() (int32, int32) {
+	u.growMu.Lock()
+	defer u.growMu.Unlock()
+	start := u.idCap
+	u.idCap += blockSize
+	t := u.tab.Load()
+	need := int(u.idCap+chunkMask) >> chunkBits
+	if need > len(t.chunks) {
+		chunks := make([]*chunk[N, L], need)
+		copy(chunks, t.chunks)
+		for i := len(t.chunks); i < need; i++ {
+			chunks[i] = new(chunk[N, L])
+		}
+		u.tab.Store(&table[N, L]{chunks: chunks})
+	}
+	return start, start + blockSize
+}
+
+// nameOf returns the node value behind an id. Safe for any id obtained
+// from a published edge or the interner: the name write happens-before
+// every publication of the id.
+func (u *UF[N, L]) nameOf(id int32) N {
+	t := u.tab.Load()
+	return t.chunks[id>>chunkBits].names[id&chunkMask]
+}

@@ -232,10 +232,11 @@ func TestConcurrentCertifiedRace(t *testing.T) {
 	}
 }
 
-// TestConcurrentNoSyncMap: the package promises striped RWMutexes, not
-// sync.Map (whose iteration and miss costs fit neither the read path
-// nor the validation protocol). Enforce the guarantee at the source
-// level, the same way internal/cert enforces checker independence.
+// TestConcurrentNoSyncMap: the package promises a flat atomic slot
+// array with a sharded RCU interner, not sync.Map (whose iteration and
+// miss costs fit neither the read path nor the validation protocol).
+// Enforce the guarantee at the source level, the same way
+// internal/cert enforces checker independence.
 func TestConcurrentNoSyncMap(t *testing.T) {
 	fset := token.NewFileSet()
 	entries, err := os.ReadDir(".")

@@ -4,35 +4,43 @@
 // that races variants under first-answer-wins cancellation.
 //
 // The core structure, UF, keeps the paper's data model (parent edges
-// labeled by group elements, Section 3) but replaces the single-owner
-// mutable maps of internal/core with a sharded node table protected by
-// striped read-write locks:
+// labeled by group elements, Section 3) but stores the forest in a
+// flat, cache-friendly array of dense int32 ids instead of pointer- or
+// map-shaped nodes:
 //
-//   - every node hashes to one of S lock stripes (hash/maphash over the
-//     node value, so a node's stripe never changes);
-//   - reads (Find, GetRelation, Related) take one stripe read-lock per
-//     hop and never hold two traversal locks at once — each hop reads a
-//     persistent fact "n --ℓ--> parent", which no later union or
-//     compression can invalidate (relations, once asserted, hold
-//     forever; that is what makes labeled union-find so friendly to
-//     concurrency);
-//   - writes (AddRelation) lock the stripes of the two observed class
-//     representatives in canonical (ascending index) order, re-validate
-//     that both are still roots, and retry on staleness — so the link
-//     write is atomic with respect to every other writer and the
-//     acquisition order excludes deadlock;
-//   - path compression is optional and deferred: Find performs path
-//     halving only when the needed stripes are free (TryLock), so
-//     readers never block on compression and compression never blocks
-//     readers under contention.
+//   - node values are interned to dense ids by a sharded RCU-style
+//     index (lock-free frozen map + small dirty map per shard), and the
+//     parent edge of id i lives in slot i of a chunked flat array — a
+//     root walk is a handful of array loads, no pointer chasing and no
+//     locks;
+//   - each slot holds an atomic pointer to an immutable (parent, label)
+//     record. Slots are monotone: nil until the node is linked, non-nil
+//     forever after, and every published record is a persistent fact
+//     "i --ℓ--> parent" that no later union or halving can invalidate —
+//     which is exactly what makes labeled union-find so friendly to
+//     concurrency;
+//   - unions always link the smaller root id under the larger, so every
+//     parent edge points upward in id order and the forest is acyclic
+//     by construction, under any interleaving. The link itself is a
+//     single compare-and-swap of the smaller root's slot from nil,
+//     which atomically re-validates rootness and publishes the edge —
+//     writers never take a lock either, they retry on CAS failure;
+//   - path halving re-points a node at its grandparent by publishing a
+//     replacement record (another true fact, still upward in id order),
+//     so compression is wait-free for readers and racy halvings are
+//     harmless;
+//   - negative queries are linearizable without locks because slots are
+//     monotone: observing both walk endpoints' slots nil — with one
+//     re-load of the first root after the second walk — exhibits one
+//     instant at which both classes were disjoint.
 //
-// See CONCURRENCY.md at the repository root for the locking protocol,
-// the deadlock argument, and the exact linearizability guarantees.
+// See CONCURRENCY.md at the repository root for the memory-model
+// argument, the acyclicity invariant, and the exact linearizability
+// guarantees, and DESIGN.md §7 for the flat layout.
 package concurrent
 
 import (
 	"hash/maphash"
-	"math/rand/v2"
 	"sync"
 	"sync/atomic"
 
@@ -40,20 +48,6 @@ import (
 	"luf/internal/core"
 	"luf/internal/group"
 )
-
-// edge is one parent link: the owning node points to parent with
-// node --label--> parent. Stored by value inside a stripe's map.
-type edge[N comparable, L any] struct {
-	parent N
-	label  L
-}
-
-// stripe is one lock-striped shard of the node table: the parent edges
-// of every node whose hash maps to this stripe, plus the stripe lock.
-type stripe[N comparable, L any] struct {
-	mu    sync.RWMutex
-	edges map[N]edge[N, L]
-}
 
 // UF is a labeled union-find safe for concurrent use by many readers
 // and writers. The zero value is not usable; create instances with New.
@@ -63,17 +57,26 @@ type stripe[N comparable, L any] struct {
 // acyclic labeled forest whose path compositions realize every asserted
 // relation, Theorem 3.1) holds at every instant.
 type UF[N comparable, L any] struct {
-	g       group.Group[L]
-	seed    maphash.Seed
-	stripes []stripe[N, L]
-	mask    uint64
+	g    group.Group[L]
+	seed maphash.Seed
+
+	// tab is the current flat-store header; growMu serializes chunk
+	// growth and id-block handout; idCap is the id space already backed
+	// by chunks (guarded by growMu).
+	tab    atomic.Pointer[table[N, L]]
+	growMu sync.Mutex
+	idCap  int32
+
+	shards []shard[N, L]
+	mask   uint64
 
 	compress   bool
 	onConflict core.ConflictFunc[N, L]
 
-	// recorder (certification) runs under the stripe lock(s) of the
-	// accepted assertion plus recMu, so journal order is consistent
-	// with the linearization order of the unions that produced it.
+	// recorder (certification) runs under recMu, and the link CAS of a
+	// recorded union happens inside the same critical section, so
+	// journal order is consistent with the linearization order of the
+	// unions that produced it.
 	recorder func(n, m N, l L, reason string)
 	recMu    sync.Mutex
 
@@ -85,61 +88,64 @@ type UF[N comparable, L any] struct {
 // Counters are updated atomically; a snapshot taken while writers run
 // is internally consistent per counter but not across counters.
 type Stats struct {
-	Finds     int64 // calls to Find (including the two inside GetRelation)
+	Finds     int64 // root walks: Find calls plus two per GetRelation
 	AddCalls  int64 // calls to AddRelation / AddRelationReason
 	Unions    int64 // adds that merged two classes
 	Redundant int64 // adds already implied by the structure
 	Conflicts int64 // adds rejected as contradictory
 
-	Retries        int64 // write-path restarts after stale-root validation
-	Halves         int64 // path-halving writes performed
-	HalvesDeferred int64 // halvings skipped because a stripe was contended
+	Retries        int64 // link-CAS failures and negative-query revalidations
+	Halves         int64 // path-halving records published
+	HalvesDeferred int64 // always 0 in the flat core; retained for stats compatibility
 }
 
 // Option configures a concurrent UF.
 type Option[N comparable, L any] func(*UF[N, L])
 
-// WithStripes sets the number of lock stripes, rounded up to a power of
-// two (default 64). More stripes admit more concurrent writers at the
-// cost of memory; reads scale independently of the stripe count.
+// WithStripes sets the number of interner shards, rounded up to a power
+// of two (default 64). The flat core has no lock stripes — the name
+// retains the striped-lock era's API — but shards play the same tuning
+// role: more shards admit more concurrent first-sight interning at the
+// cost of memory. The relational store itself is lock-free regardless.
 func WithStripes[N comparable, L any](k int) Option[N, L] {
 	return func(u *UF[N, L]) {
 		n := 1
 		for n < k {
 			n <<= 1
 		}
-		u.stripes = make([]stripe[N, L], n)
+		u.shards = make([]shard[N, L], n)
 		u.mask = uint64(n - 1)
 	}
 }
 
 // WithConflictHandler installs f as the conflict callback. f is invoked
-// WITHOUT any stripe lock held (so it may query the union-find) and may
-// run concurrently with other operations from other goroutines; like
+// without any lock held (so it may query the union-find) and may run
+// concurrently with other operations from other goroutines; like
 // core.ConflictFunc it must not mutate the union-find.
 func WithConflictHandler[N comparable, L any](f core.ConflictFunc[N, L]) Option[N, L] {
 	return func(u *UF[N, L]) { u.onConflict = f }
 }
 
-// WithoutPathCompression disables the deferred path halving entirely;
-// used by benchmarks to isolate the cost of compression.
+// WithoutPathCompression disables path halving entirely; used by
+// benchmarks to isolate the cost of compression.
 func WithoutPathCompression[N comparable, L any]() Option[N, L] {
 	return func(u *UF[N, L]) { u.compress = false }
 }
 
 // WithRecorder puts the union-find in recording mode: f is called for
 // every accepted AddRelation/AddRelationReason call, exactly as
-// asserted, while the accepting stripe lock(s) and a dedicated recorder
-// mutex are held. f therefore runs serialized and must not call back
-// into the union-find.
+// asserted, while the recorder mutex is held and — for unions — inside
+// the same critical section as the link CAS. f therefore runs
+// serialized, in linearization order, and must not call back into the
+// union-find's write path.
 func WithRecorder[N comparable, L any](f func(n, m N, l L, reason string)) Option[N, L] {
 	return func(u *UF[N, L]) { u.recorder = f }
 }
 
 // WithJournal attaches a certificate journal: every accepted assertion
-// is recorded under the stripe lock, so journal entries are true facts
-// in linearization order and certificates produced from the journal
-// remain checkable by cert.Check regardless of interleaving.
+// is recorded in linearization order, so journal entries are true facts
+// and certificates produced from the journal remain checkable by
+// cert.Check regardless of interleaving.
 func WithJournal[N comparable, L any](j *cert.Journal[N, L]) Option[N, L] {
 	return WithRecorder[N, L](j.Record)
 }
@@ -157,17 +163,18 @@ func New[N comparable, L any](g group.Group[L], opts ...Option[N, L]) *UF[N, L] 
 	for _, o := range opts {
 		o(u)
 	}
-	for i := range u.stripes {
-		u.stripes[i].edges = make(map[N]edge[N, L])
+	for i := range u.shards {
+		u.shards[i].dirty = make(map[N]int32)
 	}
+	u.tab.Store(&table[N, L]{})
 	return u
 }
 
 // Group returns the label group of the union-find.
 func (u *UF[N, L]) Group() group.Group[L] { return u.g }
 
-// NumStripes returns the number of lock stripes.
-func (u *UF[N, L]) NumStripes() int { return len(u.stripes) }
+// NumStripes returns the number of interner shards (see WithStripes).
+func (u *UF[N, L]) NumStripes() int { return len(u.shards) }
 
 // Stats returns a snapshot of the operation counters.
 func (u *UF[N, L]) Stats() Stats {
@@ -183,132 +190,125 @@ func (u *UF[N, L]) Stats() Stats {
 	}
 }
 
-// stripeIndex hashes a node to its stripe. The hash depends only on the
-// node value, so the stripe of a given node never changes; "the stripe
-// of a class" means the stripe its current representative hashes to.
-func (u *UF[N, L]) stripeIndex(n N) uint64 {
-	return maphash.Comparable(u.seed, n) & u.mask
-}
-
-// walk follows parent edges from n to the current root, taking one
-// stripe read-lock per hop and never two at once. Each hop reads a
-// persistent fact, so the result "n --label--> root, and root was a
-// root at the moment its stripe was read" is true even if the root has
-// since been linked under another class. The nodes traversed (those
-// that had a parent) are appended to path for later halving.
-func (u *UF[N, L]) walk(n N, path *[]N) (N, L) {
-	cur, acc := n, u.g.Identity()
+// findID walks parent slots from id to the current root, lock-free,
+// composing labels along the way. Each loaded record is a persistent
+// fact, so the result "id --acc--> root, whose slot was nil when read"
+// is true even if the root has since been linked under another class.
+// With compression enabled, traversed nodes are then halved.
+func (u *UF[N, L]) findID(id int32) (int32, L) {
+	t := u.tab.Load()
+	cur, acc := id, u.g.Identity()
+	if !u.compress {
+		for {
+			if !t.covers(cur) {
+				t = u.tab.Load()
+			}
+			e := t.slot(cur).Load()
+			if e == nil {
+				return cur, acc
+			}
+			acc = u.g.Compose(acc, e.label)
+			cur = e.parent
+		}
+	}
+	var pathArr [16]int32
+	path := pathArr[:0]
 	for {
-		s := &u.stripes[u.stripeIndex(cur)]
-		s.mu.RLock()
-		e, ok := s.edges[cur]
-		s.mu.RUnlock()
-		if !ok {
-			return cur, acc
+		if !t.covers(cur) {
+			t = u.tab.Load()
 		}
-		if path != nil {
-			*path = append(*path, cur)
+		e := t.slot(cur).Load()
+		if e == nil {
+			break
 		}
+		path = append(path, cur)
 		acc = u.g.Compose(acc, e.label)
 		cur = e.parent
 	}
+	// Halving needs a grandparent, so a path of length < 2 has nothing
+	// to compress.
+	if len(path) >= 2 {
+		for _, x := range path[:len(path)-1] {
+			t = u.halve(t, x)
+		}
+	}
+	return cur, acc
 }
 
-// halveNode points x at its current grandparent (path halving),
-// best-effort: it gives up rather than block when either stripe is
-// contended, so compression is deferred under contention and readers
-// never wait for it. The write happens under x's stripe write-lock with
-// the grandparent re-read under the parent's stripe, so it always
-// points x at a current ancestor — which can never create a cycle.
-func (u *UF[N, L]) halveNode(x N) {
-	si := u.stripeIndex(x)
-	s := &u.stripes[si]
-	if !s.mu.TryLock() {
-		u.halvesDeferred.Add(1)
-		return
+// halve points x at its current grandparent by publishing a replacement
+// record. Both loaded records are true facts, so the composed
+// replacement is one too, and the grandparent's id is strictly larger
+// than the parent's — halving preserves the upward-edge invariant and
+// can never create a cycle, even racing other halvings or unions.
+func (u *UF[N, L]) halve(t *table[N, L], x int32) *table[N, L] {
+	e := t.slot(x).Load()
+	if e == nil {
+		return t
 	}
-	defer s.mu.Unlock()
-	e, ok := s.edges[x]
-	if !ok {
-		return
+	if !t.covers(e.parent) {
+		t = u.tab.Load()
 	}
-	pi := u.stripeIndex(e.parent)
-	var pe edge[N, L]
-	var pok bool
-	if pi == si {
-		pe, pok = s.edges[e.parent]
-	} else {
-		ps := &u.stripes[pi]
-		if !ps.mu.TryRLock() {
-			u.halvesDeferred.Add(1)
-			return
-		}
-		pe, pok = ps.edges[e.parent]
-		ps.mu.RUnlock()
+	pe := t.slot(e.parent).Load()
+	if pe == nil {
+		return t // parent is a root: nothing to halve
 	}
-	if !pok {
-		return // parent is a root: nothing to halve
-	}
-	s.edges[x] = edge[N, L]{parent: pe.parent, label: u.g.Compose(e.label, pe.label)}
+	t.slot(x).Store(&edgeRec[L]{parent: pe.parent, label: u.g.Compose(e.label, pe.label)})
 	u.halves.Add(1)
+	return t
 }
 
 // Find returns a representative r of n's relational class and the label
 // ℓ with n --ℓ--> r. The answer is a true fact: n --ℓ--> r holds
 // forever, though r may already have been linked under a further root
 // by a concurrent union (see CONCURRENCY.md for the exact guarantee).
-// Unknown nodes are their own representative with the identity label.
-// Path halving runs best-effort after the traversal.
+// Unknown nodes are their own representative with the identity label
+// and are not interned — a read never allocates id space. Path halving
+// runs during the traversal.
 func (u *UF[N, L]) Find(n N) (N, L) {
 	u.finds.Add(1)
-	var pathArr [16]N
-	var path []N
-	if u.compress {
-		path = pathArr[:0]
-		r, l := u.walk(n, &path)
-		// Halving needs a grandparent, so a path of length < 2 has
-		// nothing to compress.
-		if len(path) >= 2 {
-			for _, x := range path[:len(path)-1] {
-				u.halveNode(x)
-			}
-		}
-		return r, l
+	id, ok := u.lookup(n)
+	if !ok {
+		return n, u.g.Identity()
 	}
-	return u.walk(n, nil)
+	r, l := u.findID(id)
+	if r == id {
+		return n, l
+	}
+	return u.nameOf(r), l
 }
 
 // GetRelation returns the label ℓ with n --ℓ--> m if the nodes are
 // related. A positive answer is a persistent fact and needs no
-// validation. A negative answer is validated by re-checking, under both
-// stripes' read locks held together, that the two observed
-// representatives are still distinct roots — which exhibits one instant
-// at which the classes were disjoint, making the answer linearizable;
-// on stale observations the query retries.
+// validation. A negative answer is validated lock-free by re-loading
+// the first walk's root slot after the second walk: slots are monotone
+// (nil until linked, non-nil forever after), so seeing both slots nil
+// exhibits one instant at which the two classes were disjoint, making
+// the answer linearizable; on stale observations the query retries.
 func (u *UF[N, L]) GetRelation(n, m N) (L, bool) {
+	u.finds.Add(2)
+	var zero L
+	idn, okn := u.lookup(n)
+	idm, okm := u.lookup(m)
+	if !okn || !okm {
+		// An unknown node is a singleton class: related only to itself.
+		if n == m {
+			return u.g.Identity(), true
+		}
+		return zero, false
+	}
+	if idn == idm {
+		return u.g.Identity(), true
+	}
 	for {
-		rn, ln := u.Find(n)
-		rm, lm := u.Find(m)
+		rn, ln := u.findID(idn)
+		rm, lm := u.findID(idm)
 		if rn == rm {
 			return u.g.Compose(ln, u.g.Inverse(lm)), true
 		}
-		i, j := u.stripeIndex(rn), u.stripeIndex(rm)
-		lo, hi := i, j
-		if lo > hi {
-			lo, hi = hi, lo
-		}
-		u.stripes[lo].mu.RLock()
-		if hi != lo {
-			u.stripes[hi].mu.RLock()
-		}
-		_, nHasParent := u.stripes[i].edges[rn]
-		_, mHasParent := u.stripes[j].edges[rm]
-		if hi != lo {
-			u.stripes[hi].mu.RUnlock()
-		}
-		u.stripes[lo].mu.RUnlock()
-		if !nHasParent && !mHasParent {
-			var zero L
+		if u.tab.Load().slot(rn).Load() == nil {
+			// rn's slot was still nil after rm's was seen nil; by slot
+			// monotonicity both were roots at the instant the second
+			// walk ended, so the classes were disjoint then.
 			return zero, false
 		}
 		u.retries.Add(1)
@@ -325,10 +325,10 @@ func (u *UF[N, L]) Related(n, m N) bool {
 // AddRelation adds the constraint n --ℓ--> m. If the nodes are already
 // related and the existing relation disagrees with ℓ, the conflict
 // handler runs (without locks held) and AddRelation reports false;
-// otherwise it reports true. The union, when one happens, is atomic:
-// it is performed under the write locks of both representatives'
-// stripes, taken in ascending stripe order, after re-validating that
-// both are still roots (retrying otherwise).
+// otherwise it reports true. The union, when one happens, is atomic: a
+// single compare-and-swap links the smaller root id under the larger,
+// succeeding only if the smaller root's slot is still nil — which both
+// re-validates rootness and publishes the edge in one step.
 func (u *UF[N, L]) AddRelation(n, m N, l L) bool {
 	return u.AddRelationReason(n, m, l, "")
 }
@@ -338,13 +338,14 @@ func (u *UF[N, L]) AddRelation(n, m N, l L) bool {
 // it as evidence. Without a recorder the reason is ignored.
 func (u *UF[N, L]) AddRelationReason(n, m N, l L, reason string) bool {
 	u.adds.Add(1)
+	in, im := u.intern(n), u.intern(m)
 	for {
-		rn, ln := u.Find(n)
-		rm, lm := u.Find(m)
+		rn, ln := u.findID(in)
+		rm, lm := u.findID(im)
 		if rn == rm {
-			// Same class: the derived relation is a persistent fact,
-			// so the decision is valid even if rn has since lost
-			// rootness — no validation or retry needed.
+			// Same class: the derived relation is a persistent fact, so
+			// the decision is valid even if rn has since lost rootness —
+			// no validation or retry needed.
 			existing := u.g.Compose(ln, u.g.Inverse(lm))
 			if !u.g.Equal(l, existing) {
 				u.conflicts.Add(1)
@@ -353,65 +354,57 @@ func (u *UF[N, L]) AddRelationReason(n, m N, l L, reason string) bool {
 				}
 				return false
 			}
-			s := &u.stripes[u.stripeIndex(rn)]
-			s.mu.Lock()
 			u.redundant.Add(1)
-			u.recordLocked(n, m, l, reason)
-			s.mu.Unlock()
+			u.record(n, m, l, reason)
 			return true
 		}
-		i, j := u.stripeIndex(rn), u.stripeIndex(rm)
-		lo, hi := i, j
-		if lo > hi {
-			lo, hi = hi, lo
-		}
-		u.stripes[lo].mu.Lock()
-		if hi != lo {
-			u.stripes[hi].mu.Lock()
-		}
-		_, nHasParent := u.stripes[i].edges[rn]
-		_, mHasParent := u.stripes[j].edges[rm]
-		if nHasParent || mHasParent {
-			// A concurrent union got here first: at least one observed
-			// root is stale. Release and re-find.
-			if hi != lo {
-				u.stripes[hi].mu.Unlock()
-			}
-			u.stripes[lo].mu.Unlock()
-			u.retries.Add(1)
-			continue
-		}
-		// Both rn and rm are roots right now, so they are the current
-		// representatives of n and m (a node's root can only change by
-		// the root gaining a parent — which it has not). Link them;
-		// this write is the linearization point of the union.
-		u.unions.Add(1)
-		if rand.Uint64()&1 == 0 {
+		// Link the smaller root id under the larger, so parent edges
+		// always point upward in id order and the forest stays acyclic
+		// under any interleaving. The label is chosen so the new edge
+		// realizes n --l--> m given the two walk facts.
+		lo, hi := rn, rm
+		var label L
+		if rn < rm {
 			// rn --inv(ln);l;lm--> rm
-			u.stripes[i].edges[rn] = edge[N, L]{
-				parent: rm,
-				label:  group.ComposeAll[L](u.g, u.g.Inverse(ln), l, lm),
-			}
+			label = group.ComposeAll[L](u.g, u.g.Inverse(ln), l, lm)
 		} else {
 			// rm --inv(lm);inv(l);ln--> rn
-			u.stripes[j].edges[rm] = edge[N, L]{
-				parent: rn,
-				label:  group.ComposeAll[L](u.g, u.g.Inverse(lm), u.g.Inverse(l), ln),
-			}
+			lo, hi = rm, rn
+			label = group.ComposeAll[L](u.g, u.g.Inverse(lm), u.g.Inverse(l), ln)
 		}
-		u.recordLocked(n, m, l, reason)
-		if hi != lo {
-			u.stripes[hi].mu.Unlock()
+		rec := &edgeRec[L]{parent: hi, label: label}
+		if u.casLink(lo, rec, n, m, l, reason) {
+			u.unions.Add(1)
+			return true
 		}
-		u.stripes[lo].mu.Unlock()
-		return true
+		// A concurrent union got here first: the observed smaller root
+		// is stale. Re-find and retry.
+		u.retries.Add(1)
 	}
 }
 
-// recordLocked forwards an accepted assertion to the recorder hook.
-// Callers hold the accepting stripe lock(s); recMu additionally
-// serializes recorders across stripes.
-func (u *UF[N, L]) recordLocked(n, m N, l L, reason string) {
+// casLink publishes the union edge by compare-and-swapping lo's slot
+// from nil; success is the linearization point of the union. When a
+// recorder is installed, the CAS happens inside the recorder critical
+// section so the journal receives accepted assertions in linearization
+// order and never leads the structure.
+func (u *UF[N, L]) casLink(lo int32, rec *edgeRec[L], n, m N, l L, reason string) bool {
+	if u.recorder == nil {
+		return u.tab.Load().slot(lo).CompareAndSwap(nil, rec)
+	}
+	u.recMu.Lock()
+	defer u.recMu.Unlock()
+	if !u.tab.Load().slot(lo).CompareAndSwap(nil, rec) {
+		return false
+	}
+	u.recorder(n, m, l, reason)
+	return true
+}
+
+// record forwards an accepted (redundant) assertion to the recorder
+// hook under recMu; the fact is already implied by the structure, so
+// ordering relative to the implying unions is guaranteed by recMu.
+func (u *UF[N, L]) record(n, m N, l L, reason string) {
 	if u.recorder == nil {
 		return
 	}
@@ -423,30 +416,34 @@ func (u *UF[N, L]) recordLocked(n, m N, l L, reason string) {
 // Recording reports whether a recorder hook is installed.
 func (u *UF[N, L]) Recording() bool { return u.recorder != nil }
 
-// ForEachEdge calls f on every parent edge n --Label--> Parent, taking
-// each stripe's read lock in turn. The snapshot is per-stripe
-// consistent; for a globally consistent view call it at quiescence
-// (no concurrent writers). Iteration order is unspecified.
+// ForEachEdge calls f on every parent edge n --Label--> Parent, walking
+// the flat store in id order (deterministic for a given interleaving
+// history). Each visited edge is a true fact; for a globally consistent
+// view call it at quiescence (no concurrent writers).
 func (u *UF[N, L]) ForEachEdge(f func(n N, e core.Edge[N, L])) {
-	for si := range u.stripes {
-		s := &u.stripes[si]
-		s.mu.RLock()
-		for n, e := range s.edges {
-			f(n, core.Edge[N, L]{Parent: e.parent, Label: e.label})
+	t := u.tab.Load()
+	for _, c := range t.chunks {
+		for i := range c.slots {
+			e := c.slots[i].Load()
+			if e == nil {
+				continue
+			}
+			f(c.names[i], core.Edge[N, L]{Parent: u.nameOf(e.parent), Label: e.label})
 		}
-		s.mu.RUnlock()
 	}
 }
 
 // NumEdges returns the number of parent edges (equivalently, the number
-// of non-root nodes), summed per stripe under read locks.
+// of non-root interned nodes), counted over the flat store.
 func (u *UF[N, L]) NumEdges() int {
 	total := 0
-	for si := range u.stripes {
-		s := &u.stripes[si]
-		s.mu.RLock()
-		total += len(s.edges)
-		s.mu.RUnlock()
+	t := u.tab.Load()
+	for _, c := range t.chunks {
+		for i := range c.slots {
+			if c.slots[i].Load() != nil {
+				total++
+			}
+		}
 	}
 	return total
 }

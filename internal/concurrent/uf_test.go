@@ -74,8 +74,9 @@ func TestConcurrentConflictHandler(t *testing.T) {
 	}
 }
 
-// TestConcurrentStripesOption: stripe counts round up to powers of two
-// and the structure works with a single stripe (full serialization).
+// TestConcurrentStripesOption: shard counts round up to powers of two
+// and the structure works with a single interner shard (the name
+// WithStripes survives from the striped-lock era).
 func TestConcurrentStripesOption(t *testing.T) {
 	u := New[int, group.DeltaLabel](group.Delta{}, WithStripes[int, group.DeltaLabel](5))
 	if got := u.NumStripes(); got != 8 {
@@ -86,7 +87,7 @@ func TestConcurrentStripesOption(t *testing.T) {
 		one.AddRelation(i-1, i, 1)
 	}
 	if l, ok := one.GetRelation(0, 49); !ok || l != 49 {
-		t.Fatalf("single-stripe chain relation = %d, %v; want 49", l, ok)
+		t.Fatalf("single-shard chain relation = %d, %v; want 49", l, ok)
 	}
 }
 
@@ -110,9 +111,10 @@ func TestConcurrentSnapshotInvariants(t *testing.T) {
 	}
 }
 
-// TestConcurrentJournalCertificates: assertions recorded under the
-// stripe lock must yield certificates the independent checker accepts,
-// including after path halving has rewritten parent edges.
+// TestConcurrentJournalCertificates: assertions recorded in the
+// recorder's critical section (link CAS + journal append) must yield
+// certificates the independent checker accepts, including after path
+// halving has rewritten parent edges.
 func TestConcurrentJournalCertificates(t *testing.T) {
 	j := cert.NewJournal[int, group.DeltaLabel](group.Delta{})
 	u := New[int, group.DeltaLabel](group.Delta{}, WithJournal[int, group.DeltaLabel](j))

@@ -18,9 +18,11 @@ type Parity struct{}
 // ParityLabel is true when the related values have different parity.
 type ParityLabel bool
 
-// Parity labels.
 const (
-	SameParity      ParityLabel = false
+	// SameParity is Parity's identity label: the related values share
+	// their parity.
+	SameParity ParityLabel = false
+	// DifferentParity relates values of opposite parity.
 	DifferentParity ParityLabel = true
 )
 

@@ -93,8 +93,8 @@ func checkFile(fset *token.FileSet, f *ast.File) []Violation {
 				if d.Recv != nil {
 					kind = "method"
 				}
-				report(d.Name.Pos(), "exported %s %s needs a doc comment starting with %q",
-					kind, d.Name.Name, d.Name.Name)
+				report(d.Name.Pos(), "exported %s %s %s",
+					kind, d.Name.Name, docDiagnosis(d.Doc, d.Name.Name))
 			}
 		case *ast.GenDecl:
 			for _, spec := range d.Specs {
@@ -106,8 +106,12 @@ func checkFile(fset *token.FileSet, f *ast.File) []Violation {
 					// A doc on the spec wins; a single-spec decl doc is
 					// equivalent.
 					if !docStartsWith(s.Doc, s.Name.Name) && !docStartsWith(d.Doc, s.Name.Name) {
-						report(s.Name.Pos(), "exported type %s needs a doc comment starting with %q",
-							s.Name.Name, s.Name.Name)
+						doc := s.Doc
+						if doc == nil {
+							doc = d.Doc
+						}
+						report(s.Name.Pos(), "exported type %s %s",
+							s.Name.Name, docDiagnosis(doc, s.Name.Name))
 					}
 				case *ast.ValueSpec:
 					for _, n := range s.Names {
@@ -115,8 +119,12 @@ func checkFile(fset *token.FileSet, f *ast.File) []Violation {
 							continue
 						}
 						if !docStartsWith(s.Doc, n.Name) && !docStartsWith(d.Doc, n.Name) {
-							report(n.Pos(), "exported %s %s needs a doc comment starting with %q",
-								declKind(d.Tok), n.Name, n.Name)
+							doc := s.Doc
+							if doc == nil {
+								doc = d.Doc
+							}
+							report(n.Pos(), "exported %s %s %s",
+								declKind(d.Tok), n.Name, docDiagnosis(doc, n.Name))
 						}
 					}
 				}
@@ -163,6 +171,51 @@ func docStartsWith(doc *ast.CommentGroup, name string) bool {
 	// The name must be a whole word: followed by space, punctuation or
 	// end of comment — not a longer identifier.
 	return rest == "" || !isIdentByte(rest[0])
+}
+
+// docDiagnosis explains why a doc comment failed the name-first rule,
+// distinguishing the post-rename signature — a comment that leads with
+// a *different* exported identifier — from a merely missing or
+// free-form comment. Stale names are the dangerous case: `go doc`
+// shows prose about a symbol that no longer exists.
+func docDiagnosis(doc *ast.CommentGroup, name string) string {
+	first := firstWord(doc)
+	if first != "" && first != name && isExportedIdent(first) {
+		return fmt.Sprintf("has a stale-named doc comment: it starts with %q, not %q (symbol renamed without its doc?)", first, name)
+	}
+	return fmt.Sprintf("needs a doc comment starting with %q", name)
+}
+
+// firstWord returns the doc comment's leading identifier-shaped word,
+// or "" when there is no comment or it starts with something else.
+func firstWord(doc *ast.CommentGroup) string {
+	if doc == nil {
+		return ""
+	}
+	text := strings.TrimSpace(doc.Text())
+	i := 0
+	for i < len(text) && isIdentByte(text[i]) {
+		i++
+	}
+	return text[:i]
+}
+
+// isExportedIdent reports whether s looks like an exported Go
+// identifier (leading upper-case letter) — the shape a symbol's own
+// name would have. Common sentence-starting English words, which are
+// capitalized for a different reason, are excluded; misclassifying one
+// would not change the verdict (the comment violates either way), only
+// the message's hint.
+func isExportedIdent(s string) bool {
+	if s == "" || s[0] < 'A' || s[0] > 'Z' {
+		return false
+	}
+	switch s {
+	case "A", "An", "The", "If", "It", "This", "That", "These", "Each",
+		"Returns", "Reports", "Sets", "Gets", "Deprecated":
+		return false
+	}
+	return true
 }
 
 func isIdentByte(b byte) bool {

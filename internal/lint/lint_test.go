@@ -41,6 +41,12 @@ func Exported() {}
 // ExportedName is a prefix of ExportedNameLonger but not a whole word.
 func ExportedNameLonger() {}
 
+// OldName was renamed to NewName without touching the doc comment.
+func NewName() {}
+
+// Returns the answer (capitalized English, not a stale identifier).
+func FreeForm() {}
+
 // A grouped decl doc not naming the symbols covers neither.
 var (
 	Grouped  = 1
@@ -77,6 +83,8 @@ func (g generic[T]) Skip() {}
 		`var Grouped `,
 		`var Ungrouped`,
 		`method Put`,
+		`function NewName has a stale-named doc comment: it starts with "OldName"`,
+		`function FreeForm needs a doc comment`,
 	}
 	for _, want := range wantSubstrings {
 		found := false

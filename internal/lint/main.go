@@ -20,6 +20,8 @@ var checkedPackages = []string{
 	"internal/replica",
 	"internal/fault",
 	"internal/scrub",
+	"internal/group",
+	"internal/bench",
 }
 
 // main lints the checked packages and exits 1 when any exported symbol

@@ -34,14 +34,32 @@
 // the primary ships the missing suffix from its in-memory record
 // mirror.
 //
+// # Pipelining
+//
+// Shipping is pipelined: the primary keeps up to Config.PipelineDepth
+// batches in flight per peer, advancing its send position
+// optimistically instead of waiting for each batch's reply. The
+// acknowledgement is a cumulative durable *watermark* — the follower's
+// last fsynced sequence number after its own group commit — so one
+// reply can resolve every batch at or below it, replies may arrive in
+// any order (the primary keeps the maximum), and duplicated deliveries
+// are absorbed. Batches that overtake each other on the wire are
+// reordered on the follower by a short anchor wait (Applier.WaitGap)
+// before the log-matching check runs; nothing about fencing,
+// anchoring, or per-record re-proving is relaxed. Any error collapses
+// the pipeline back to a probe of the follower's durable position.
+//
 // Acknowledgements double as lease renewals: see Lease. With
 // synchronous replication the primary acknowledges a client write only
-// after a follower holds it durably, so killing the primary loses no
-// acknowledged write.
+// after a follower holds it durably; the sync gate (Shipper.WaitAcked)
+// resolves every waiting write at or below the acked watermark at
+// once, so killing the primary loses no acknowledged write.
 package replica
 
 import (
 	"fmt"
+	"sync"
+	"time"
 
 	"luf/internal/cert"
 	"luf/internal/concurrent"
@@ -109,9 +127,12 @@ type Ack struct {
 
 // Applier is the follower half of replication: it verifies and applies
 // shipped batches against a node's union-find, certificate journal and
-// durable store. It is safe for concurrent use (the store serializes
-// appends; the union-find is concurrent by construction), though a
-// follower normally sees one batch at a time.
+// durable store. It is safe for concurrent use: a pipelining primary
+// keeps several batches in flight, so batches can arrive concurrently
+// and out of order — Apply serializes non-heartbeat batches on an
+// internal mutex and briefly waits for a batch's predecessor (see
+// WaitGap) before refusing a gap, so wire-level reordering costs a
+// short wait instead of a pipeline collapse.
 type Applier[N comparable, L any] struct {
 	// G is the label group.
 	G group.Group[L]
@@ -121,6 +142,18 @@ type Applier[N comparable, L any] struct {
 	Journal *cert.SyncJournal[N, L]
 	// Store is the node's durable store.
 	Store *wal.Store[N, L]
+	// WaitGap bounds how long Apply waits for a reordered batch's
+	// predecessor to land before refusing the batch (which makes the
+	// primary re-probe and resend); <= 0 means 250ms. A dropped
+	// predecessor therefore costs one WaitGap, while mere reordering
+	// costs only the microseconds until the earlier batch applies.
+	WaitGap time.Duration
+
+	// applyMu serializes batch application: certify-append-commit for
+	// one batch must not interleave with another's. Heartbeats bypass
+	// it, so lease renewal and fence checks stay responsive under a
+	// full pipeline.
+	applyMu sync.Mutex
 }
 
 // Apply verifies and applies one shipped batch, returning the
@@ -150,6 +183,9 @@ func (a *Applier[N, L]) Apply(b Batch) (Ack, error) {
 		return Ack{}, fault.IOf("batch declares %d records, body holds %d", b.Count, len(recs))
 	}
 	if b.Count > 0 {
+		a.waitForAnchor(b.PrevSeq)
+		a.applyMu.Lock()
+		defer a.applyMu.Unlock()
 		if err := a.checkAnchor(b, recs); err != nil {
 			return Ack{}, err
 		}
@@ -161,6 +197,26 @@ func (a *Applier[N, L]) Apply(b Batch) (Ack, error) {
 		}
 	}
 	return Ack{Durable: a.Store.DurableSeq(), Fence: a.Store.Fence()}, nil
+}
+
+// waitForAnchor polls (without holding applyMu, so the predecessor can
+// make progress) until this node's journal reaches the batch's anchor
+// or WaitGap expires. Pipelined batches that overtake each other on
+// the wire land here; the batch ahead usually applies within
+// microseconds. Expiry is not an error by itself — the anchor check
+// then produces the precise refusal.
+func (a *Applier[N, L]) waitForAnchor(prevSeq uint64) {
+	if a.Store.LastSeq() >= prevSeq {
+		return
+	}
+	gap := a.WaitGap
+	if gap <= 0 {
+		gap = 250 * time.Millisecond
+	}
+	deadline := time.Now().Add(gap)
+	for a.Store.LastSeq() < prevSeq && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
 }
 
 // checkAnchor runs the log-matching check: the batch must start right

@@ -43,6 +43,14 @@ type Config[N comparable, L any] struct {
 	Lease *Lease
 	// BatchMax bounds records per shipped batch (default 256).
 	BatchMax int
+	// PipelineDepth is the number of batches kept in flight per peer
+	// (default 4). Depth 1 reproduces the stop-and-wait protocol: each
+	// batch waits for its predecessor's acknowledgement. Deeper
+	// pipelines overlap the network round-trip and the follower's
+	// group-commit fsync across consecutive batches; followers
+	// acknowledge cumulative durable watermarks, so one acknowledgement
+	// can resolve several in-flight batches at once.
+	PipelineDepth int
 	// Interval is the idle poll/heartbeat period and the base of the
 	// retry backoff after errors (default 50ms).
 	Interval time.Duration
@@ -88,6 +96,10 @@ type PeerStatus struct {
 	// split from this node's; it clears once the peer resyncs and
 	// acknowledges the shipped tail again.
 	Divergent bool `json:"divergent,omitempty"`
+	// InFlight is the number of batches currently pipelined to this
+	// peer (posted but not yet resolved by a watermark
+	// acknowledgement).
+	InFlight int `json:"in_flight,omitempty"`
 }
 
 // Shipper is the primary half of replication: one goroutine per peer
@@ -107,6 +119,7 @@ type Shipper[N comparable, L any] struct {
 	errs      map[string]string
 	stalled   map[string]bool
 	divergent map[string]bool
+	inflight  map[string]int
 	lastOK    map[string]time.Time
 	rng       *rand.Rand
 	fenced    bool
@@ -130,6 +143,9 @@ func (e *fencedError) Unwrap() error { return fault.ErrFenced }
 func NewShipper[N comparable, L any](cfg Config[N, L]) *Shipper[N, L] {
 	if cfg.BatchMax <= 0 {
 		cfg.BatchMax = 256
+	}
+	if cfg.PipelineDepth <= 0 {
+		cfg.PipelineDepth = 4
 	}
 	if cfg.Interval <= 0 {
 		cfg.Interval = 50 * time.Millisecond
@@ -157,6 +173,7 @@ func NewShipper[N comparable, L any](cfg Config[N, L]) *Shipper[N, L] {
 		errs:      map[string]string{},
 		stalled:   map[string]bool{},
 		divergent: map[string]bool{},
+		inflight:  map[string]int{},
 		lastOK:    map[string]time.Time{},
 		rng:       rand.New(rand.NewSource(seed)),
 		kicks:     map[string]chan struct{}{},
@@ -247,6 +264,10 @@ func (sh *Shipper[N, L]) WaitAcked(ctx context.Context, seq uint64) error {
 	}
 }
 
+// PipelineDepth returns the configured per-peer pipeline depth (after
+// defaulting).
+func (sh *Shipper[N, L]) PipelineDepth() int { return sh.cfg.PipelineDepth }
+
 // Status returns each peer's acknowledged sequence number, last error
 // and watchdog flags.
 func (sh *Shipper[N, L]) Status() map[string]PeerStatus {
@@ -259,22 +280,29 @@ func (sh *Shipper[N, L]) Status() map[string]PeerStatus {
 			Err:       sh.errs[p.Name],
 			Stalled:   sh.stalled[p.Name],
 			Divergent: sh.divergent[p.Name],
+			InFlight:  sh.inflight[p.Name],
 		}
 	}
 	return out
 }
 
-// observeAck records a successful acknowledgement from peer p. A
-// heartbeat ack from a peer marked divergent does not clear its state:
-// reachability is not progress, and the divergence note must stay
-// visible until the peer's resync actually catches it up to this
-// node's tail.
+// observeAck records a successful acknowledgement from peer p. The
+// acknowledged position is a cumulative durable watermark and is
+// applied max-monotone: pipelined replies can arrive out of order, and
+// duplicated deliveries can re-report an older position, but a
+// watermark the follower once fsynced never regresses here — a late or
+// repeated ack is simply absorbed. A heartbeat ack from a peer marked
+// divergent does not clear its state: reachability is not progress,
+// and the divergence note must stay visible until the peer's resync
+// actually catches it up to this node's tail.
 func (sh *Shipper[N, L]) observeAck(p Peer, a Ack) {
 	if sh.cfg.Lease != nil {
 		sh.cfg.Lease.Renew()
 	}
 	sh.mu.Lock()
-	sh.acked[p.Name] = a.Durable
+	if a.Durable > sh.acked[p.Name] {
+		sh.acked[p.Name] = a.Durable
+	}
 	if !sh.divergent[p.Name] || a.Durable >= sh.cfg.Store.LastSeq() {
 		delete(sh.errs, p.Name)
 		delete(sh.stalled, p.Name)
@@ -282,6 +310,14 @@ func (sh *Shipper[N, L]) observeAck(p Peer, a Ack) {
 		sh.lastOK[p.Name] = time.Now()
 	}
 	sh.cond.Broadcast()
+	sh.mu.Unlock()
+}
+
+// setInFlight publishes the peer's current pipeline occupancy for
+// Status.
+func (sh *Shipper[N, L]) setInFlight(p Peer, n int) {
+	sh.mu.Lock()
+	sh.inflight[p.Name] = n
 	sh.mu.Unlock()
 }
 
@@ -334,78 +370,126 @@ func (sh *Shipper[N, L]) backoff(failures int) time.Duration {
 }
 
 // run is the per-peer shipping loop: probe the peer's durable
-// position, then stream batches from there, heartbeating when idle and
-// backing off exponentially while the peer errors.
+// position, then stream pipelined batches from there, heartbeating
+// when idle and backing off exponentially while the peer errors. Any
+// streaming error collapses the pipeline back to a probe — the peer's
+// reported durable position, not this node's bookkeeping, decides
+// where resending restarts (the peer may have restarted and lost an
+// unsynced tail, or a self-healing follower may have resynced to a new
+// history).
 func (sh *Shipper[N, L]) run(p Peer) {
 	defer sh.wg.Done()
-	known := false
 	failures := 0
-	var acked uint64
-	// fail records one failed exchange; it reports false when the loop
-	// must exit (fenced or stopping).
-	fail := func(err error) bool {
-		if sh.observeErr(p, err) {
-			return false
-		}
-		known = false
-		failures++
-		return sh.sleep(sh.backoff(failures))
-	}
 	for {
 		select {
 		case <-sh.stop:
 			return
 		default:
 		}
-		if !known {
-			ack, err := sh.post(p, nil)
-			if err != nil {
-				if !fail(err) {
-					return
-				}
-				continue
-			}
-			acked = ack.Durable
-			known = true
-			failures = 0
-			sh.observeAck(p, ack)
-		}
-		recs := sh.cfg.Store.RecordsSince(acked, sh.cfg.BatchMax)
-		if len(recs) == 0 {
-			select {
-			case <-sh.stop:
-				return
-			case <-sh.kicks[p.Name]:
-			case <-time.After(sh.cfg.Interval):
-				// Idle heartbeat: renews the lease and detects fencing
-				// even when no writes flow.
-				ack, err := sh.post(p, nil)
-				if err != nil {
-					if !fail(err) {
-						return
-					}
-					continue
-				}
-				acked = ack.Durable
-				failures = 0
-				sh.observeAck(p, ack)
-			}
-			continue
-		}
-		ack, err := sh.post(p, recs)
+		ack, err := sh.post(p, nil)
 		if err != nil {
-			// Transient or divergent: re-probe the peer's durable
-			// position before resending (it may have moved, the peer may
-			// have restarted and lost an unsynced tail, or a self-healing
-			// follower may have resynced to a new history).
-			if !fail(err) {
+			if sh.observeErr(p, err) {
+				return
+			}
+			failures++
+			if !sh.sleep(sh.backoff(failures)) {
 				return
 			}
 			continue
 		}
-		acked = ack.Durable
 		failures = 0
 		sh.observeAck(p, ack)
+		err = sh.stream(p, ack.Durable)
+		if err == nil {
+			return // stopping
+		}
+		if sh.observeErr(p, err) {
+			return
+		}
+		failures++
+		if !sh.sleep(sh.backoff(failures)) {
+			return
+		}
+	}
+}
+
+// shipResult is one pipelined batch's outcome, reported by its sender
+// goroutine.
+type shipResult struct {
+	ack Ack
+	err error
+}
+
+// stream runs the pipelined shipping window against one peer: up to
+// PipelineDepth batches are posted concurrently, each from its own
+// goroutine, while the loop keeps reading ahead in the journal — the
+// send position advances optimistically as batches are posted, and the
+// follower's cumulative watermark acknowledgements resolve them as
+// they land (in any order). It returns nil when the shipper stops and
+// the first error otherwise, after draining the remaining in-flight
+// posts so a retrying caller starts from a quiet wire.
+func (sh *Shipper[N, L]) stream(p Peer, durable uint64) error {
+	results := make(chan shipResult, sh.cfg.PipelineDepth)
+	inflight := 0
+	nextSend := durable
+	var firstErr error
+	// drain collects every outstanding result; posts are bounded by the
+	// HTTP timeout, so this terminates.
+	drain := func() {
+		for inflight > 0 {
+			r := <-results
+			inflight--
+			if r.err != nil && firstErr == nil {
+				firstErr = r.err
+			} else if r.err == nil {
+				sh.observeAck(p, r.ack)
+			}
+		}
+		sh.setInFlight(p, 0)
+	}
+	defer drain()
+	for {
+		// Fill the window from the journal.
+		for inflight < sh.cfg.PipelineDepth {
+			recs := sh.cfg.Store.RecordsSince(nextSend, sh.cfg.BatchMax)
+			if len(recs) == 0 {
+				break
+			}
+			nextSend = recs[len(recs)-1].Seq
+			inflight++
+			sh.setInFlight(p, inflight)
+			go func() {
+				ack, err := sh.post(p, recs)
+				results <- shipResult{ack: ack, err: err}
+			}()
+		}
+		var idle <-chan time.Time
+		if inflight == 0 {
+			idle = time.After(sh.cfg.Interval)
+		}
+		select {
+		case <-sh.stop:
+			return nil
+		case r := <-results:
+			inflight--
+			sh.setInFlight(p, inflight)
+			if r.err != nil {
+				firstErr = r.err
+				drain()
+				return firstErr
+			}
+			sh.observeAck(p, r.ack)
+		case <-sh.kicks[p.Name]:
+			// New records appended: loop around and extend the window.
+		case <-idle:
+			// Idle heartbeat: renews the lease and detects fencing even
+			// when no writes flow.
+			ack, err := sh.post(p, nil)
+			if err != nil {
+				return err
+			}
+			sh.observeAck(p, ack)
+		}
 	}
 }
 

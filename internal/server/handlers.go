@@ -582,8 +582,13 @@ type StatsResponse struct {
 	// LeaseValid reports whether a replicating primary currently holds
 	// its write lease.
 	LeaseValid bool `json:"lease_valid,omitempty"`
-	// Peers is each follower's replication status, on the primary.
+	// Peers is each follower's replication status, on the primary. Each
+	// entry carries the follower's acked durable watermark and its
+	// current pipelined batch depth (in_flight).
 	Peers map[string]replica.PeerStatus `json:"peers,omitempty"`
+	// PipelineDepth is the configured per-peer replication pipeline
+	// depth, on a shipping primary.
+	PipelineDepth int `json:"pipeline_depth,omitempty"`
 	// Heal is the self-healing state machine's status, on nodes with a
 	// healer.
 	Heal *replica.HealStatus `json:"heal,omitempty"`
@@ -642,6 +647,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.repMu.Unlock()
 	if sh != nil {
 		resp.Peers = sh.Status()
+		resp.PipelineDepth = sh.PipelineDepth()
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

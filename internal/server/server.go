@@ -129,6 +129,10 @@ type Config struct {
 	// ShipInterval is the shipper's idle heartbeat/retry period; <= 0
 	// uses the replica default (50ms).
 	ShipInterval time.Duration
+	// PipelineDepth is the number of replication batches the shipper
+	// keeps in flight per peer; <= 0 uses the replica default (4).
+	// Depth 1 reproduces stop-and-wait shipping.
+	PipelineDepth int
 	// Net, when non-nil, routes replication through a simulated network
 	// (chaos tests).
 	Net *fault.Network
@@ -521,15 +525,16 @@ func (s *Server) Kill() {
 // Callers hold repMu or are still single-threaded (New).
 func (s *Server) startShipping() {
 	sh := replica.NewShipper(replica.Config[string, int64]{
-		Store:     s.st().store,
-		Self:      s.cfg.NodeName,
-		Advertise: s.cfg.Advertise,
-		Peers:     s.cfg.Peers,
-		Lease:     s.lease,
-		Interval:  s.cfg.ShipInterval,
-		Seed:      s.cfg.Seed,
-		Net:       s.cfg.Net,
-		OnFenced:  s.demote,
+		Store:         s.st().store,
+		Self:          s.cfg.NodeName,
+		Advertise:     s.cfg.Advertise,
+		Peers:         s.cfg.Peers,
+		Lease:         s.lease,
+		Interval:      s.cfg.ShipInterval,
+		PipelineDepth: s.cfg.PipelineDepth,
+		Seed:          s.cfg.Seed,
+		Net:           s.cfg.Net,
+		OnFenced:      s.demote,
 	})
 	s.shipper = sh
 	sh.Start()

@@ -385,20 +385,21 @@ func CheckPUF[L any](u PUF[L]) error {
 }
 
 // Concurrent is the thread-safe labeled union-find: the same relational
-// semantics as UF behind per-class striped RW locking, safe for any mix
-// of goroutines calling AddRelation, GetRelation, Find and the batch
-// APIs. The soundness of its lock-light read path rests on relations
-// being persistent facts — once asserted, they hold forever — so a
-// parent edge read under one stripe lock can never be invalidated. See
-// CONCURRENCY.md for the locking protocol and its guarantees.
+// semantics as UF over a flat array of atomically published parent
+// edges — lock-free reads, unions linearized at one compare-and-swap —
+// safe for any mix of goroutines calling AddRelation, GetRelation,
+// Find and the batch APIs. The soundness of its lock-free read path
+// rests on relations being persistent facts — once asserted, they hold
+// forever — so a parent edge, once read, can never be invalidated. See
+// CONCURRENCY.md for the read/write protocol and its guarantees.
 type Concurrent[N comparable, L any] = concurrent.UF[N, L]
 
 // ConcurrentOption configures a Concurrent union-find.
 type ConcurrentOption[N comparable, L any] = concurrent.Option[N, L]
 
 // ConcurrentStats is a snapshot of a Concurrent structure's operation
-// counters (finds, unions, conflicts, lock retries, deferred
-// compressions).
+// counters (finds, unions, conflicts, CAS retries, path-halving
+// records published).
 type ConcurrentStats = concurrent.Stats
 
 // NewConcurrent returns an empty thread-safe labeled union-find over
@@ -411,16 +412,21 @@ func NewConcurrent[N comparable, L any](g Group[L], opts ...ConcurrentOption[N, 
 	return concurrent.New[N, L](g, opts...)
 }
 
-// WithStripes sets the number of lock stripes (rounded up to a power of
-// two, default 64). More stripes reduce contention; fewer save memory.
+// WithStripes sets the number of interner shards (rounded up to a
+// power of two, default 64). The flat core has no lock stripes — the
+// name survives from the striped-lock era's API — but shards play the
+// same tuning role: more admit more concurrent first-sight interning,
+// fewer save memory. The relational store itself is lock-free
+// regardless.
 func WithStripes[N comparable, L any](k int) ConcurrentOption[N, L] {
 	return concurrent.WithStripes[N, L](k)
 }
 
 // WithConcurrentJournal puts a Concurrent union-find in recording mode:
-// accepted assertions are journaled under the stripe lock, so
-// certificates drawn from the journal are consistent with every answer
-// the structure has given. Use ExplainConcurrent to certify answers.
+// each accepted assertion's link CAS and journal append happen in one
+// critical section, so certificates drawn from the journal are
+// consistent with every answer the structure has given. Use
+// ExplainConcurrent to certify answers.
 func WithConcurrentJournal[N comparable, L any](j *CertJournal[N, L]) ConcurrentOption[N, L] {
 	return concurrent.WithJournal[N, L](j)
 }
