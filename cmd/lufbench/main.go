@@ -10,6 +10,7 @@
 //	lufbench -exp replication  primary/follower shipping, catch-up and failover latency
 //	lufbench -exp heal      scrub overhead, corruption detection, automated resync latency
 //	lufbench -exp readfleet read scaling vs replica count, follower staleness, goodput under 2x overload
+//	lufbench -exp shard     sharded serving: per-shard write scaling, cross-shard 2PC latency, coordinator recovery
 //	lufbench -exp all       everything
 package main
 
@@ -23,7 +24,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, sec72, sec72d2, scaling, inter, concurrent, recovery, replication, heal, readfleet, all")
+	exp := flag.String("exp", "all", "experiment: table1, sec72, sec72d2, scaling, inter, concurrent, recovery, replication, heal, readfleet, shard, all")
 	programs := flag.Int("programs", 584, "number of analyzer corpus programs (sec72)")
 	quick := flag.Bool("quick", false, "smaller corpora for a fast smoke run")
 	budget := flag.Int("budget", 0, "per-run analyzer step budget for sec72 (0 = unlimited)")
@@ -35,6 +36,7 @@ func main() {
 	replicationJSON := flag.String("replication-json", "BENCH_replication.json", "output path for the replication experiment's JSON result")
 	healJSON := flag.String("heal-json", "BENCH_heal.json", "output path for the heal experiment's JSON result")
 	readfleetJSON := flag.String("readfleet-json", "BENCH_readfleet.json", "output path for the readfleet experiment's JSON result")
+	shardJSON := flag.String("shard-json", "BENCH_shard.json", "output path for the shard experiment's JSON result")
 	flag.Parse()
 
 	run := func(name string) bool { return *exp == name || *exp == "all" }
@@ -197,6 +199,28 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Printf("wrote %s\n", *readfleetJSON)
+		}
+	}
+	if run("shard") {
+		any = true
+		cfg := bench.DefaultShard()
+		if *quick {
+			cfg.Phase = 150 * time.Millisecond
+			cfg.Unions = 12
+			cfg.RecoveryUnions = 4
+		}
+		res, err := bench.RunShard(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(res.Format())
+		if *shardJSON != "" {
+			if err := res.WriteJSON(*shardJSON); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *shardJSON)
 		}
 	}
 	if !any {

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"luf/internal/client"
+	"luf/internal/shard"
+)
+
+// roleCoordinator selects the shard-coordinator mode of lufd: instead
+// of serving a union-find store, the process drives cross-shard 2PC
+// unions and routed queries over the replica groups of -shard-map.
+const roleCoordinator = "coordinator"
+
+// coordinatorConfig carries the flag subset the coordinator mode uses.
+type coordinatorConfig struct {
+	addr            string
+	dir             string
+	shardMap        string
+	advertise       string
+	prepareTTL      time.Duration
+	redriveInterval time.Duration
+	drainTimeout    time.Duration
+}
+
+// runCoordinator is the coordinator-mode daemon body: load and validate
+// the shard map, open the fenced intent log (recovery replays pending
+// intents to presumed abort and re-drives committed ones), then serve
+// the coordinator HTTP API until ctx is canceled.
+func runCoordinator(ctx context.Context, cfg coordinatorConfig, stdout, stderr io.Writer) int {
+	if cfg.shardMap == "" {
+		fmt.Fprintf(stderr, "lufd: -role coordinator requires -shard-map\n")
+		return 2
+	}
+	if cfg.dir == "" {
+		fmt.Fprintf(stderr, "lufd: -role coordinator requires -dir for the durable intent log\n")
+		return 2
+	}
+	m, err := shard.LoadMap(cfg.shardMap)
+	if err != nil {
+		fmt.Fprintf(stderr, "lufd: %v\n", err)
+		return 2
+	}
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "lufd: listen %s: %v\n", cfg.addr, err)
+		return 1
+	}
+	if cfg.advertise == "" {
+		cfg.advertise = "http://" + ln.Addr().String()
+	}
+
+	c, err := shard.New(shard.Config{
+		Dir:             cfg.dir,
+		Map:             m,
+		Advertise:       cfg.advertise,
+		Dial:            client.DialGroup,
+		PrepareTTL:      cfg.prepareTTL,
+		RedriveInterval: cfg.redriveInterval,
+	})
+	if err != nil {
+		ln.Close()
+		fmt.Fprintf(stderr, "lufd: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "lufd: coordinator over %d shard group(s) %v, epoch %d, advertising %s\n",
+		len(m.Groups), m.Names(), c.Epoch(), cfg.advertise)
+	fmt.Fprintf(stdout, "lufd: listening on %s\n", ln.Addr())
+
+	hs := &http.Server{Handler: shard.NewHandler(c)}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintf(stderr, "lufd: serve: %v\n", err)
+		_ = c.Close()
+		return 1
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintf(stdout, "lufd: draining\n")
+	drainCtx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
+	defer cancel()
+	code := 0
+	if err := hs.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(stderr, "lufd: shutdown: %v\n", err)
+		code = 1
+	}
+	if err := c.Close(); err != nil {
+		fmt.Fprintf(stderr, "lufd: close coordinator: %v\n", err)
+		code = 1
+	}
+	fmt.Fprintf(stdout, "lufd: stopped\n")
+	return code
+}

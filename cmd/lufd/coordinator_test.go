@@ -1,0 +1,99 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"luf/internal/cert"
+	"luf/internal/client"
+	"luf/internal/group"
+	"luf/internal/shard"
+)
+
+// runExpectUsageError runs the daemon body with bad flags and asserts
+// the startup validation refuses with exit code 2 and a clear message.
+func runExpectUsageError(t *testing.T, wantMsg string, args ...string) {
+	t.Helper()
+	out := &syncBuffer{}
+	code := run(context.Background(), args, out, out)
+	if code != 2 {
+		t.Fatalf("run(%v) = %d, want usage error 2:\n%s", args, code, out.String())
+	}
+	if !strings.Contains(out.String(), wantMsg) {
+		t.Fatalf("run(%v) error output %q lacks %q", args, out.String(), wantMsg)
+	}
+}
+
+// TestLufdFlagValidation: nonsensical flag values are refused at
+// startup with a clear error instead of silently misbehaving.
+func TestLufdFlagValidation(t *testing.T) {
+	runExpectUsageError(t, "-pipeline-depth must be >= 1", "-pipeline-depth", "0")
+	runExpectUsageError(t, "-pipeline-depth must be >= 1", "-pipeline-depth", "-3")
+	runExpectUsageError(t, "-follower-wait must be >= 0", "-follower-wait", "-1s")
+	runExpectUsageError(t, "-min-deadline must be >= 0", "-min-deadline", "-5ms")
+	runExpectUsageError(t, "-shard-map requires -role coordinator", "-shard-map", "/tmp/nonexistent.json")
+	runExpectUsageError(t, "requires -shard-map", "-role", "coordinator", "-dir", t.TempDir())
+	runExpectUsageError(t, "requires -dir", "-role", "coordinator", "-shard-map", "/tmp/nonexistent.json")
+}
+
+// TestLufdCoordinatorMode boots two store daemons as single-node shard
+// groups plus a coordinator daemon over them, runs a cross-shard union
+// through the shard-map-aware client, and verifies the routed answer
+// and its checker-accepted stitched certificate. The coordinator then
+// drains cleanly.
+func TestLufdCoordinatorMode(t *testing.T) {
+	g1 := startDaemon(t, "-dir", t.TempDir())
+	g2 := startDaemon(t, "-dir", t.TempDir())
+
+	mapPath := filepath.Join(t.TempDir(), "shards.json")
+	mapJSON := fmt.Sprintf(`{"groups": [
+		{"name": "alpha", "nodes": ["http://%s"]},
+		{"name": "beta", "nodes": ["http://%s"]}
+	]}`, g1.addr, g2.addr)
+	if err := os.WriteFile(mapPath, []byte(mapJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	coord := startDaemon(t, "-role", "coordinator", "-dir", t.TempDir(), "-shard-map", mapPath)
+	if !strings.Contains(coord.out.String(), "coordinator over 2 shard group(s)") {
+		t.Fatalf("coordinator banner missing:\n%s", coord.out.String())
+	}
+
+	m, err := shard.LoadMap(mapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := client.NewShardCluster(m, "http://"+coord.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	a := m.SampleOwned(0, 1, "lufd")[0]
+	b := m.SampleOwned(1, 1, "lufdx")[0]
+	res, err := sc.Assert(ctx, a, b, 5, "daemon cross-shard")
+	if err != nil || !res.OK || res.SameShard {
+		t.Fatalf("cross-shard union through daemons = (%+v, %v)", res, err)
+	}
+	label, related, err := sc.Relation(ctx, a, b)
+	if err != nil || !related || label != 5 {
+		t.Fatalf("relation through daemons = (%d, %v, %v)", label, related, err)
+	}
+	cc, err := sc.Explain(ctx, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cert.Check(cc, group.Delta{}); err != nil {
+		t.Fatalf("stitched certificate rejected: %v", err)
+	}
+
+	if code := coord.stop(); code != 0 {
+		t.Fatalf("coordinator drain exit code %d:\n%s", code, coord.out.String())
+	}
+	if !strings.Contains(coord.out.String(), "stopped") {
+		t.Fatalf("coordinator shutdown output:\n%s", coord.out.String())
+	}
+}

@@ -65,10 +65,39 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	advertise := fs.String("advertise", "", "client-facing base URL shared with followers (default: the bound listen address)")
 	leaseTTL := fs.Duration("lease-ttl", time.Second, "how long the primary may write without a follower acknowledgement")
 	syncRepl := fs.Bool("sync-replication", false, "acknowledge writes only after a follower holds them durably")
-	pipelineDepth := fs.Int("pipeline-depth", 0, "replication batches kept in flight per follower (0 = default 4; 1 = stop-and-wait)")
+	pipelineDepth := fs.Int("pipeline-depth", 4, "replication batches kept in flight per follower (1 = stop-and-wait)")
 	scrubInterval := fs.Duration("scrub-interval", time.Minute, "background integrity scrub period (0 disables the background loop; requires -dir)")
 	resyncMax := fs.Int("resync-max-attempts", 8, "self-healing resync attempts per episode before a follower degrades to refusing reads (0 disables self-healing)")
+	shardMap := fs.String("shard-map", "", `shard map JSON file; with -role coordinator this node drives cross-shard 2PC unions over the map's replica groups`)
+	prepareTTL := fs.Duration("prepare-ttl", time.Second, "coordinator: participant reservation TTL per 2PC prepare")
+	redriveInterval := fs.Duration("redrive-interval", 100*time.Millisecond, "coordinator: committed-intent redrive period")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	// Flag validation up front: a zero or negative pipeline depth, or a
+	// negative wait/deadline floor, silently misconfigures the write or
+	// read path — refuse to start instead.
+	if *pipelineDepth < 1 {
+		fmt.Fprintf(stderr, "lufd: -pipeline-depth must be >= 1 (1 is stop-and-wait, default 4); got %d\n", *pipelineDepth)
+		return 2
+	}
+	if *followerWait < 0 {
+		fmt.Fprintf(stderr, "lufd: -follower-wait must be >= 0; got %v\n", *followerWait)
+		return 2
+	}
+	if *minDeadline < 0 {
+		fmt.Fprintf(stderr, "lufd: -min-deadline must be >= 0; got %v\n", *minDeadline)
+		return 2
+	}
+	if *role == roleCoordinator {
+		return runCoordinator(ctx, coordinatorConfig{
+			addr: *addr, dir: *dir, shardMap: *shardMap, advertise: *advertise,
+			prepareTTL: *prepareTTL, redriveInterval: *redriveInterval,
+			drainTimeout: *drainTimeout,
+		}, stdout, stderr)
+	}
+	if *shardMap != "" {
+		fmt.Fprintf(stderr, "lufd: -shard-map requires -role coordinator\n")
 		return 2
 	}
 	peerList, err := parsePeers(*peers)

@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestShardShape(t *testing.T) {
+	res, err := RunShard(ShardConfig{
+		MaxShards: 2, Writers: 4, Phase: 80 * time.Millisecond,
+		Unions: 6, RecoveryUnions: 3, RedriveInterval: 10 * time.Millisecond,
+		Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scale) != 2 {
+		t.Fatalf("got %d scaling rungs, want 2", len(res.Scale))
+	}
+	for i, s := range res.Scale {
+		if s.Shards != i+1 || s.Writes == 0 || s.WritesPerSec <= 0 {
+			t.Fatalf("rung %d: %+v", i, s)
+		}
+	}
+	if res.CrossMeanNS <= 0 || res.CrossP95NS < res.CrossP50NS || res.SameShardMeanNS <= 0 {
+		t.Fatalf("union latency stats: %+v", res)
+	}
+	if res.RecoveryInDoubt != 1 || res.RecoveryNS <= 0 || !res.RecoveryRelationOK {
+		t.Fatalf("recovery stats: in-doubt %d, ns %d, ok %v",
+			res.RecoveryInDoubt, res.RecoveryNS, res.RecoveryRelationOK)
+	}
+	out := res.Format()
+	for _, want := range []string{"write throughput vs shard count", "cross-shard 2PC", "bridged relation ok: true"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Format missing %q:\n%s", want, out)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_shard.json")
+	if err := res.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	var back ShardResult
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Scale) != len(res.Scale) || back.RecoveryInDoubt != 1 {
+		t.Fatalf("JSON round-trip mismatch: %+v", back)
+	}
+}

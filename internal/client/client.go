@@ -125,6 +125,14 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("HTTP %d: %s: %s", e.Status, e.Body.Error.Kind, e.Body.Error.Message)
 }
 
+// HTTPStatus returns the response's status code (shard.StatusError).
+func (e *APIError) HTTPStatus() int { return e.Status }
+
+// Detail returns the structured error detail (shard.StatusError), so a
+// coordinator can pass a participant's refusal — conflict certificate
+// included — through to its own caller verbatim.
+func (e *APIError) Detail() server.ErrorDetail { return e.Body.Error }
+
 // retryable reports whether the outcome of one attempt warrants
 // another: transport errors and 5xx/429 shed-or-timeout statuses do;
 // permanent verdicts (409 conflict, 400 invalid, 404) do not, and
@@ -330,6 +338,21 @@ func (c *Client) Explain(ctx context.Context, n, m string) (cert.Certificate[str
 func (c *Client) BatchAssert(ctx context.Context, asserts []server.AssertRequest) (server.BatchAssertResponse, error) {
 	var out server.BatchAssertResponse
 	err := c.do(ctx, http.MethodPost, "/v1/batch/assert", server.BatchAssertRequest{Asserts: asserts}, &out)
+	return out, err
+}
+
+// Prepare runs the 2PC vote round against the node (coordinator use:
+// a yes vote reserves the prepare window on the participant).
+func (c *Client) Prepare(ctx context.Context, req server.PrepareRequest) (server.PrepareResponse, error) {
+	var out server.PrepareResponse
+	err := c.do(ctx, http.MethodPost, server.PreparePath, req, &out)
+	return out, err
+}
+
+// Abort releases a 2PC prepare-window reservation (idempotent).
+func (c *Client) Abort(ctx context.Context, req server.AbortRequest) (server.AbortResponse, error) {
+	var out server.AbortResponse
+	err := c.do(ctx, http.MethodPost, server.AbortPath, req, &out)
 	return out, err
 }
 

@@ -336,6 +336,31 @@ func (cl *Cluster) Assert(ctx context.Context, n, m string, label int64, reason 
 	return out, err
 }
 
+// Prepare runs the 2PC vote round against the group's primary,
+// following failover redirects; conflicts (no votes) return
+// immediately like any permanent verdict.
+func (cl *Cluster) Prepare(ctx context.Context, req server.PrepareRequest) (server.PrepareResponse, error) {
+	var out server.PrepareResponse
+	err := cl.write(func(c *Client) error {
+		var e error
+		out, e = c.Prepare(ctx, req)
+		return e
+	})
+	return out, err
+}
+
+// Abort releases a 2PC prepare-window reservation on the group's
+// primary (idempotent, best-effort semantics at the caller).
+func (cl *Cluster) Abort(ctx context.Context, req server.AbortRequest) (server.AbortResponse, error) {
+	var out server.AbortResponse
+	err := cl.write(func(c *Client) error {
+		var e error
+		out, e = c.Abort(ctx, req)
+		return e
+	})
+	return out, err
+}
+
 // Relation queries the fleet with health-aware rotation and optional
 // hedging; the shared session keeps the answer at least as fresh as
 // every write this cluster client has seen acknowledged.

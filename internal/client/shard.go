@@ -1,0 +1,180 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sync"
+
+	"luf/internal/cert"
+	"luf/internal/fault"
+	"luf/internal/group"
+	"luf/internal/server"
+	"luf/internal/shard"
+)
+
+// GroupConn is a concurrency-safe shard.Conn over one replica group's
+// failover-aware Cluster: the Cluster keeps its single-goroutine
+// contract, the coordinator gets a connection it can drive from many
+// request handlers at once.
+type GroupConn struct {
+	mu sync.Mutex
+	cl *Cluster
+}
+
+// DialGroup opens a GroupConn to one shard-map replica group — the
+// Dial function a shard.Coordinator is configured with.
+func DialGroup(g shard.Group) shard.Conn {
+	return &GroupConn{cl: NewCluster(g.Nodes...)}
+}
+
+// Cluster returns the underlying cluster client (single-goroutine;
+// callers must not race it against coordinator traffic).
+func (gc *GroupConn) Cluster() *Cluster {
+	return gc.cl
+}
+
+// Assert asserts m - n = label against the group's primary.
+func (gc *GroupConn) Assert(ctx context.Context, n, m string, label int64, reason string) (server.AssertResponse, error) {
+	gc.mu.Lock()
+	defer gc.mu.Unlock()
+	return gc.cl.Assert(ctx, n, m, label, reason)
+}
+
+// Relation queries the relation between n and m inside the group.
+func (gc *GroupConn) Relation(ctx context.Context, n, m string) (int64, bool, error) {
+	gc.mu.Lock()
+	defer gc.mu.Unlock()
+	return gc.cl.Relation(ctx, n, m)
+}
+
+// Explain fetches a locally re-verified certificate from the group.
+func (gc *GroupConn) Explain(ctx context.Context, n, m string) (cert.Certificate[string, int64], error) {
+	gc.mu.Lock()
+	defer gc.mu.Unlock()
+	return gc.cl.Explain(ctx, n, m)
+}
+
+// Prepare runs the 2PC vote round against the group's primary.
+func (gc *GroupConn) Prepare(ctx context.Context, req server.PrepareRequest) (server.PrepareResponse, error) {
+	gc.mu.Lock()
+	defer gc.mu.Unlock()
+	return gc.cl.Prepare(ctx, req)
+}
+
+// Abort releases the group's prepare-window reservation.
+func (gc *GroupConn) Abort(ctx context.Context, req server.AbortRequest) (server.AbortResponse, error) {
+	gc.mu.Lock()
+	defer gc.mu.Unlock()
+	return gc.cl.Abort(ctx, req)
+}
+
+// Stats fetches the group primary's stats.
+func (gc *GroupConn) Stats(ctx context.Context) (server.StatsResponse, error) {
+	gc.mu.Lock()
+	defer gc.mu.Unlock()
+	return gc.cl.Stats(ctx)
+}
+
+// ShardCluster routes operations across a sharded deployment: ops whose
+// nodes share one owner group go straight to that group's
+// failover-aware cluster client, everything spanning two groups goes
+// through the coordinator. Certificates fetched through the coordinator
+// are re-verified locally with the independent checker, exactly like
+// single-group answers — the extra hop earns no extra trust.
+type ShardCluster struct {
+	m      shard.Map
+	groups []*GroupConn
+	coord  *Client
+}
+
+// NewShardCluster returns a shard-map-aware client: one failover
+// cluster per replica group plus a client to the coordinator at
+// coordinatorURL.
+func NewShardCluster(m shard.Map, coordinatorURL string) (*ShardCluster, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	sc := &ShardCluster{m: m, coord: New(coordinatorURL)}
+	sc.coord.StaleOK = true // the coordinator has no session semantics
+	for _, g := range m.Groups {
+		sc.groups = append(sc.groups, &GroupConn{cl: NewCluster(g.Nodes...)})
+	}
+	return sc, nil
+}
+
+// Map returns the shard map this client routes by.
+func (sc *ShardCluster) Map() shard.Map { return sc.m }
+
+// Group returns the GroupConn for group index gi (tests and benches).
+func (sc *ShardCluster) Group(gi int) *GroupConn { return sc.groups[gi] }
+
+// Assert asserts m - n = label: direct to the owner group when both
+// nodes share one, through the coordinator's two-phase union when they
+// do not.
+func (sc *ShardCluster) Assert(ctx context.Context, n, m string, label int64, reason string) (shard.UnionResult, error) {
+	ga, gb := sc.m.Owner(n), sc.m.Owner(m)
+	if ga == gb {
+		if _, err := sc.groups[ga].Assert(ctx, n, m, label, reason); err != nil {
+			return shard.UnionResult{}, err
+		}
+		return shard.UnionResult{OK: true, SameShard: true, Groups: []string{sc.m.Groups[ga].Name}}, nil
+	}
+	var out shard.UnionResult
+	err := sc.coord.do(ctx, http.MethodPost, shard.UnionPath,
+		shard.UnionRequest{N: n, M: m, Label: label, Reason: reason}, &out)
+	return out, err
+}
+
+// Relation answers n ~ m. Same-owner pairs try their group directly (no
+// coordinator hop); a "not related" from the group alone is not final —
+// two nodes of one shard can be related through a path that leaves the
+// shard and comes back — so it falls through to the coordinator's
+// bridge router, which every cross-owner pair uses from the start.
+func (sc *ShardCluster) Relation(ctx context.Context, n, m string) (int64, bool, error) {
+	ga, gb := sc.m.Owner(n), sc.m.Owner(m)
+	if ga == gb {
+		if label, related, err := sc.groups[ga].Relation(ctx, n, m); err != nil || related {
+			return label, related, err
+		}
+	}
+	var out server.RelationResponse
+	err := sc.coord.do(ctx, http.MethodGet, "/v1/relation?"+url.Values{"n": {n}, "m": {m}}.Encode(), nil, &out)
+	return out.Label, out.Related, err
+}
+
+// Explain fetches the certificate for n ~ m — the coordinator's
+// stitched cross-shard chain when the nodes live on different shards —
+// and re-verifies it locally with the unmodified independent checker
+// before returning it.
+func (sc *ShardCluster) Explain(ctx context.Context, n, m string) (cert.Certificate[string, int64], error) {
+	ga, gb := sc.m.Owner(n), sc.m.Owner(m)
+	if ga == gb {
+		// Serve the in-group certificate when the group itself relates the
+		// pair; otherwise the path (if any) crosses shards and only the
+		// coordinator can stitch it.
+		if _, related, err := sc.groups[ga].Relation(ctx, n, m); err == nil && related {
+			return sc.groups[ga].Explain(ctx, n, m)
+		}
+	}
+	var out server.ExplainResponse
+	if err := sc.coord.do(ctx, http.MethodGet, "/v1/explain?"+url.Values{"n": {n}, "m": {m}}.Encode(), nil, &out); err != nil {
+		return cert.Certificate[string, int64]{}, err
+	}
+	cc, err := server.FromWire(out.Cert)
+	if err != nil {
+		return cc, fmt.Errorf("malformed certificate: %v", err)
+	}
+	if err := cert.Check(cc, group.Delta{}); err != nil {
+		return cc, fault.Invariantf("stitched certificate failed local verification: %v", err)
+	}
+	return cc, nil
+}
+
+// Stats fetches the coordinator's per-shard stats.
+func (sc *ShardCluster) Stats(ctx context.Context) (shard.Stats, error) {
+	var out shard.Stats
+	err := sc.coord.do(ctx, http.MethodGet, "/v1/stats", nil, &out)
+	return out, err
+}

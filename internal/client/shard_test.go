@@ -1,0 +1,147 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"luf/internal/cert"
+	"luf/internal/client"
+	"luf/internal/group"
+	"luf/internal/server"
+	"luf/internal/shard"
+)
+
+// shardRig is a full sharded deployment on real listeners: two
+// single-primary groups, a coordinator with its HTTP front, and a
+// shard-map-aware client over all of it.
+func shardRig(t *testing.T) (shard.Map, *shard.Coordinator, *client.ShardCluster) {
+	t.Helper()
+	var m shard.Map
+	for _, name := range []string{"alpha", "beta"} {
+		s, _, err := server.New(server.Config{Dir: t.TempDir()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(s.Handler())
+		t.Cleanup(ts.Close)
+		m.Groups = append(m.Groups, shard.Group{Name: name, Nodes: []string{ts.URL}})
+	}
+	c, err := shard.New(shard.Config{
+		Dir: t.TempDir(), Map: m, Dial: client.DialGroup,
+		PrepareTTL: 400 * time.Millisecond, RedriveInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	h := shard.NewHandler(c)
+	url := h.Start()
+	t.Cleanup(h.Stop)
+	sc, err := client.NewShardCluster(m, url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, c, sc
+}
+
+// TestShardClusterRoutes: single-shard ops go straight to the owner
+// group, cross-shard ops through the coordinator, and the stitched
+// certificate the client re-verifies locally passes the checker.
+func TestShardClusterRoutes(t *testing.T) {
+	m, _, sc := shardRig(t)
+	ctx := context.Background()
+
+	same := m.SampleOwned(0, 2, "sc")
+	res, err := sc.Assert(ctx, same[0], same[1], 4, "single-shard")
+	if err != nil || !res.OK || !res.SameShard {
+		t.Fatalf("single-shard assert = (%+v, %v)", res, err)
+	}
+
+	a := m.SampleOwned(0, 1, "scx")[0]
+	b := m.SampleOwned(1, 1, "scy")[0]
+	res, err = sc.Assert(ctx, a, b, 7, "cross-shard")
+	if err != nil || !res.OK || res.SameShard || res.Intent == 0 {
+		t.Fatalf("cross-shard assert = (%+v, %v)", res, err)
+	}
+
+	label, related, err := sc.Relation(ctx, a, b)
+	if err != nil || !related || label != 7 {
+		t.Fatalf("cross-shard relation = (%d, %v, %v)", label, related, err)
+	}
+	cc, err := sc.Explain(ctx, a, b)
+	if err != nil {
+		t.Fatalf("cross-shard explain: %v", err)
+	}
+	if err := cert.Check(cc, group.Delta{}); err != nil {
+		t.Fatalf("client-side re-verification failed: %v", err)
+	}
+
+	st, err := sc.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Unions != 1 || st.Bridges != 1 || len(st.PerShard) != 2 {
+		t.Fatalf("coordinator stats via client: %+v", st)
+	}
+}
+
+// TestShardClusterSameOwnerFallsBackToRouter: a same-owner pair whose
+// only connecting path crosses shards is answered by the coordinator
+// fallback, not a wrong "not related" from the owner group alone.
+func TestShardClusterSameOwnerFallsBackToRouter(t *testing.T) {
+	m, _, sc := shardRig(t)
+	ctx := context.Background()
+
+	// x and z share group 0 but connect only through y on group 1: two
+	// bridges, no direct in-group edge.
+	ids := m.SampleOwned(0, 2, "fb")
+	x, z := ids[0], ids[1]
+	y := m.SampleOwned(1, 1, "fby")[0]
+	if _, err := sc.Assert(ctx, x, y, 3, "leg1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.Assert(ctx, y, z, 4, "leg2"); err != nil {
+		t.Fatal(err)
+	}
+
+	label, related, err := sc.Relation(ctx, x, z)
+	if err != nil || !related || label != 7 {
+		t.Fatalf("same-owner cross-path relation = (%d, %v, %v), want (7, true)", label, related, err)
+	}
+	cc, err := sc.Explain(ctx, x, z)
+	if err != nil {
+		t.Fatalf("same-owner cross-path explain: %v", err)
+	}
+	if err := cert.Check(cc, group.Delta{}); err != nil {
+		t.Fatalf("stitched certificate rejected: %v", err)
+	}
+	if cc.Label != 7 {
+		t.Fatalf("stitched label %d, want 7", cc.Label)
+	}
+}
+
+// TestShardClusterConflictPassThrough: a conflicting cross-shard union
+// surfaces as a 409 APIError with the participant's conflict
+// certificate intact after two HTTP hops.
+func TestShardClusterConflictPassThrough(t *testing.T) {
+	m, _, sc := shardRig(t)
+	ctx := context.Background()
+
+	a := m.SampleOwned(0, 1, "cp")[0]
+	b := m.SampleOwned(1, 1, "cpy")[0]
+	if _, err := sc.Assert(ctx, a, b, 5, "truth"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := sc.Assert(ctx, a, b, 6, "lie")
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.HTTPStatus() != http.StatusConflict {
+		t.Fatalf("conflicting cross-shard assert: %v, want 409", err)
+	}
+	if apiErr.Detail().ConflictCert == nil {
+		t.Fatal("conflict certificate lost in pass-through")
+	}
+}

@@ -34,6 +34,11 @@ type Injector struct {
 	// write: only a prefix of the frame reaches the file before the
 	// mimicked crash, leaving a torn tail for recovery to repair.
 	TornWriteAt int
+	// FullDiskAt makes the Nth ObserveFrameWrite call fail with an
+	// ENOSPC-style error before any byte reaches the file — the classic
+	// disk-full append, which must leave the journal sticky-failed (read
+	// only) and perfectly recoverable, not torn.
+	FullDiskAt int
 	// FailSyncAt makes the Nth ObserveSync call fail as if fsync
 	// returned an error (disk full, device gone).
 	FailSyncAt int
@@ -127,6 +132,10 @@ func (inj *Injector) ObserveFrameWrite(n int) (int, error) {
 	if inj.TornWriteAt > 0 && inj.writes == inj.TornWriteAt {
 		return n / 2, fmt.Errorf("%w: %w: frame write %d torn by injection after %d/%d bytes",
 			ErrInjected, ErrIO, inj.writes, n/2, n)
+	}
+	if inj.FullDiskAt > 0 && inj.writes == inj.FullDiskAt {
+		return 0, fmt.Errorf("%w: %w: frame write %d rejected by injection: no space left on device",
+			ErrInjected, ErrIO, inj.writes)
 	}
 	return n, nil
 }

@@ -92,6 +92,27 @@ func (n *Network) HealBoth(a, b string) {
 	n.Heal(b, a)
 }
 
+// PartitionGroups severs every directed link between the two node sets
+// in both directions — the shape of a shard-group partition, where one
+// replica group (and its coordinator links) drops off the network while
+// links inside each side keep working.
+func (n *Network) PartitionGroups(a, b []string) {
+	for _, x := range a {
+		for _, y := range b {
+			n.PartitionBoth(x, y)
+		}
+	}
+}
+
+// HealGroups restores every directed link between the two node sets.
+func (n *Network) HealGroups(a, b []string) {
+	for _, x := range a {
+		for _, y := range b {
+			n.HealBoth(x, y)
+		}
+	}
+}
+
 // DropAt drops the k-th message (1-based, counted per link) sent on
 // from -> to.
 func (n *Network) DropAt(from, to string, k int) {

@@ -18,6 +18,7 @@ var checkedPackages = []string{
 	"internal/server",
 	"internal/client",
 	"internal/replica",
+	"internal/shard",
 	"internal/fault",
 	"internal/scrub",
 	"internal/group",

@@ -218,6 +218,11 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET "+replica.SnapshotPath, s.handleSnapshot)
 	s.mux.HandleFunc("POST /v1/resync", s.handleResync)
 	s.mux.HandleFunc("POST /v1/promote", s.handlePromote)
+	// 2PC participant endpoints bypass admission like replication: a
+	// coordinator's vote round must not be shed under client load, or
+	// cross-shard unions starve exactly when the system is busy.
+	s.mux.HandleFunc("POST "+PreparePath, s.handlePrepare)
+	s.mux.HandleFunc("POST "+AbortPath, s.handleAbort2PC)
 }
 
 // AssertRequest is the /v1/assert request body: assert m - n = label.
@@ -253,6 +258,10 @@ func (s *Server) handleAssert(w http.ResponseWriter, r *http.Request) {
 		writeError(w, fault.Invalidf("both nodes are required"))
 		return
 	}
+	if err := s.blockedBy2PC(req.Reason); err != nil {
+		writeError(w, err)
+		return
+	}
 	st := s.st()
 	if !st.uf.AddRelationReason(req.N, req.M, req.Label, req.Reason) {
 		err := fault.Conflictf("assert %s -(%d)-> %s contradicts the existing relation", req.N, req.Label, req.M)
@@ -278,6 +287,11 @@ func (s *Server) handleAssert(w http.ResponseWriter, r *http.Request) {
 		// write as surviving a primary failure.
 		writeError(w, err)
 		return
+	}
+	if id, _, tagged := ParseIntentTag(req.Reason); tagged {
+		// The decided bridge edge is applied and durable: the prepare
+		// window it was protecting is over.
+		s.clear2PC(id)
 	}
 	resp := AssertResponse{OK: true, Durable: st.store != nil}
 	if st.store != nil {
@@ -392,6 +406,12 @@ func (s *Server) handleBatchAssert(w http.ResponseWriter, r *http.Request) {
 	if err := decodeBody(r, &req); err != nil {
 		writeError(w, err)
 		return
+	}
+	for _, a := range req.Asserts {
+		if err := s.blockedBy2PC(a.Reason); err != nil {
+			writeError(w, err)
+			return
+		}
 	}
 	ops := make([]concurrent.Assert[string, int64], len(req.Asserts))
 	for i, a := range req.Asserts {
@@ -599,6 +619,9 @@ type StatsResponse struct {
 	// node in the degraded state, if any (primaries have no resync
 	// source, so corruption there needs an operator).
 	IntegrityError string `json:"integrity_error,omitempty"`
+	// TwoPhase is the 2PC participant counter block, on nodes that have
+	// taken part in cross-shard unions.
+	TwoPhase *TwoPhaseStats `json:"two_phase,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -638,6 +661,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if err := s.integrityErr(); err != nil {
 		resp.IntegrityError = err.Error()
 	}
+	resp.TwoPhase = s.twoPhaseStats()
 	resp.Primary, _ = s.primaryHint.Load().(string)
 	if s.lease != nil {
 		resp.LeaseValid = s.lease.Valid()

@@ -278,6 +278,17 @@ type Server struct {
 	healer    *replica.Healer[string, int64]
 	scrubber  *scrub.Scrubber[string, int64]
 	integrity atomic.Value // errBox
+
+	// Two-phase participant state (see twophase.go): the prepare-window
+	// reservations, the highest coordinator epoch seen (fencing), and
+	// the counters surfaced in /v1/stats. All under tpcMu.
+	tpcMu       sync.Mutex
+	tpcReserved map[uint64]*tpcReservation
+	tpcEpoch    uint64
+	tpcPrepared int64
+	tpcAborted  int64
+	tpcExpired  int64
+	tpcFenced   int64
 }
 
 // st returns the current serving-state generation.
@@ -289,10 +300,11 @@ func (s *Server) st() *nodeState { return s.state.Load() }
 func New(cfg Config) (*Server, *wal.Recovered[string, int64], error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:        cfg,
-		breaker:    NewBreaker(cfg.BreakerFailures, cfg.BreakerCooldown),
-		sem:        make(chan struct{}, cfg.MaxInflight),
-		classLimit: classLimits(cfg.MaxInflight),
+		cfg:         cfg,
+		breaker:     NewBreaker(cfg.BreakerFailures, cfg.BreakerCooldown),
+		sem:         make(chan struct{}, cfg.MaxInflight),
+		classLimit:  classLimits(cfg.MaxInflight),
+		tpcReserved: map[uint64]*tpcReservation{},
 	}
 	var rec *wal.Recovered[string, int64]
 	var startCause error
@@ -336,6 +348,9 @@ func New(cfg Config) (*Server, *wal.Recovered[string, int64], error) {
 	}
 	s.state.Store(st)
 	s.follower.Store(cfg.Role == RoleFollower)
+	if st.store != nil {
+		s.restoreTwoPhaseEpoch(st.store.Entries())
+	}
 	if len(cfg.Peers) > 0 {
 		// The lease starts expired: a freshly started (or revived)
 		// primary must earn a follower acknowledgement before it may
@@ -399,6 +414,7 @@ func (s *Server) adopt(store *wal.Store[string, int64], uf *concurrent.UF[string
 		store:   store,
 		applier: &replica.Applier[string, int64]{G: s.g, UF: uf, Journal: journal, Store: store},
 	})
+	s.restoreTwoPhaseEpoch(store.Entries())
 }
 
 // healSource resolves the node to pull certified resync state from:
@@ -586,6 +602,10 @@ func (s *Server) Promote(token uint64) error {
 		return err
 	}
 	s.follower.Store(false)
+	// A promoted follower applied its tagged bridge edges through
+	// replication, never through its own write gate: pick the 2PC epoch
+	// fence up from the journal before accepting coordinator traffic.
+	s.restoreTwoPhaseEpoch(st.store.Entries())
 	if s.cfg.Advertise != "" {
 		s.primaryHint.Store(s.cfg.Advertise)
 	}

@@ -1,0 +1,403 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"luf/internal/cert"
+	"luf/internal/fault"
+)
+
+// Two-phase participant support: a shard-group primary votes on
+// cross-shard union intents (POST /v1/2pc/prepare), holds a short
+// reservation that keeps conflicting client writes out of the prepare
+// window, and applies the coordinator's bridge edge through the normal
+// assert path — recognizable by its intent-tagged reason, which also
+// carries the coordinator epoch for fencing.
+//
+// The participant never blocks on the coordinator: a reservation whose
+// TTL lapses re-probes the coordinator's /v1/2pc/status with backoff
+// (crash recovery from the participant's side) and presumes abort when
+// the coordinator stays unreachable or has forgotten the intent.
+
+// Intent-tag plumbing shared by the coordinator, the participant gate
+// and the bridge-edge reasons certificates carry.
+const (
+	// IntentTagPrefix opens every bridge-edge reason: the intent seq and
+	// coordinator epoch ride inside the reason, so the journal itself
+	// records which 2PC round produced the edge.
+	IntentTagPrefix = "xshard#"
+	// PreparePath is the participant's 2PC vote endpoint.
+	PreparePath = "/v1/2pc/prepare"
+	// AbortPath is the participant's 2PC abort endpoint (also the
+	// operator escape hatch for a reservation stuck behind a dead
+	// coordinator).
+	AbortPath = "/v1/2pc/abort"
+	// StatusPath is the coordinator's intent-status endpoint participants
+	// re-probe after a reservation TTL lapses.
+	StatusPath = "/v1/2pc/status"
+)
+
+// FormatIntentTag renders the bridge-edge reason tag for intent id
+// under the given coordinator epoch.
+func FormatIntentTag(id, epoch uint64) string {
+	return fmt.Sprintf("%s%d@e%d", IntentTagPrefix, id, epoch)
+}
+
+// ParseIntentTag extracts the intent id and coordinator epoch from a
+// reason string starting with an intent tag; ok is false for untagged
+// reasons.
+func ParseIntentTag(reason string) (id, epoch uint64, ok bool) {
+	if !strings.HasPrefix(reason, IntentTagPrefix) {
+		return 0, 0, false
+	}
+	rest := reason[len(IntentTagPrefix):]
+	if sp := strings.IndexByte(rest, ' '); sp >= 0 {
+		rest = rest[:sp]
+	}
+	var n int
+	if n, _ = fmt.Sscanf(rest, "%d@e%d", &id, &epoch); n != 2 {
+		return 0, 0, false
+	}
+	return id, epoch, true
+}
+
+// PrepareRequest is the /v1/2pc/prepare body: the coordinator asks this
+// shard group to vote on asserting the bridge edge n --label--> m for
+// the given intent.
+type PrepareRequest struct {
+	// Intent is the coordinator's durable intent sequence number.
+	Intent uint64 `json:"intent"`
+	// Epoch is the coordinator's fencing epoch; participants reject
+	// prepares from epochs below the highest they have seen.
+	Epoch uint64 `json:"epoch"`
+	// Coordinator is the coordinator's base URL, which the participant
+	// re-probes when the reservation TTL lapses.
+	Coordinator string `json:"coordinator"`
+	// N and M are the bridge edge's endpoints; Label its relation.
+	N     string `json:"n"`
+	M     string `json:"m"`
+	Label int64  `json:"label"`
+	// TTLMillis bounds the reservation before the participant starts
+	// re-probing the coordinator; <= 0 means 1000.
+	TTLMillis int64 `json:"ttl_ms,omitempty"`
+}
+
+// PrepareResponse is the /v1/2pc/prepare success body: a yes vote.
+type PrepareResponse struct {
+	OK bool `json:"ok"`
+	// Fence is this node's accepted replication fencing token, for the
+	// coordinator's records.
+	Fence uint64 `json:"fence,omitempty"`
+}
+
+// AbortRequest is the /v1/2pc/abort body: release the reservation for
+// an intent the coordinator decided to abort (or that an operator is
+// clearing by hand).
+type AbortRequest struct {
+	Intent uint64 `json:"intent"`
+	Epoch  uint64 `json:"epoch,omitempty"`
+}
+
+// AbortResponse is the /v1/2pc/abort success body.
+type AbortResponse struct {
+	OK bool `json:"ok"`
+	// Released reports whether a reservation was actually held.
+	Released bool `json:"released"`
+}
+
+// IntentStatusResponse is the coordinator's /v1/2pc/status body: the
+// folded state of one intent. Unknown intents report "aborted" — the
+// coordinator's log is never trimmed, so an id it has no record of was
+// never durably begun and is presumed aborted.
+type IntentStatusResponse struct {
+	Intent uint64 `json:"intent"`
+	State  string `json:"state"`
+	Epoch  uint64 `json:"epoch"`
+}
+
+// TwoPhaseStats is the participant-side 2PC counter block in /v1/stats.
+type TwoPhaseStats struct {
+	// Reserved is the number of reservations currently held.
+	Reserved int `json:"reserved"`
+	// Prepared counts yes votes this process returned.
+	Prepared int64 `json:"prepared"`
+	// Aborted counts reservations released by an abort message.
+	Aborted int64 `json:"aborted"`
+	// Expired counts reservations dropped after probing presumed abort.
+	Expired int64 `json:"expired"`
+	// Fenced counts stale-epoch prepares and bridge asserts rejected.
+	Fenced int64 `json:"fenced"`
+	// MaxEpoch is the highest coordinator epoch this node has seen.
+	MaxEpoch uint64 `json:"max_epoch,omitempty"`
+}
+
+// restoreTwoPhaseEpoch re-establishes the zombie-coordinator fence from
+// durable history: every bridge edge's reason carries the intent tag
+// with the coordinator epoch that produced it, so a restarted,
+// promoted, or freshly resynced participant starts from the highest
+// epoch its journal has accepted instead of forgetting the fence and
+// letting a stale coordinator back in. The replication fence guards
+// primaries against each other; this is its 2PC counterpart, recovered
+// from the same journal the replication fence protects.
+func (s *Server) restoreTwoPhaseEpoch(entries []cert.Entry[string, int64]) {
+	var max uint64
+	for _, e := range entries {
+		if _, epoch, ok := ParseIntentTag(e.Reason); ok && epoch > max {
+			max = epoch
+		}
+	}
+	if max == 0 {
+		return
+	}
+	s.tpcMu.Lock()
+	if max > s.tpcEpoch {
+		s.tpcEpoch = max
+	}
+	s.tpcMu.Unlock()
+}
+
+// tpcReservation is one held prepare-window reservation.
+type tpcReservation struct {
+	req     PrepareRequest
+	expires time.Time
+}
+
+// tpcProbeClient is the participant's outbound client for coordinator
+// status probes.
+var tpcProbeClient = &http.Client{Timeout: 2 * time.Second}
+
+// tpcMaxProbes bounds status probes for an undecided or unreachable
+// coordinator before the participant presumes abort; committed intents
+// get three times as many (the redrive is coming, dropping early only
+// widens the conflict window).
+const tpcMaxProbes = 8
+
+// blockedBy2PC is the write-path gate. Coordinator traffic (reasons
+// carrying an intent tag) passes whenever its epoch is current and is
+// fenced with 403 when stale; ordinary client writes are refused with a
+// retryable 503 while any prepare-window reservation is held, so no
+// conflicting relation can slip between a yes vote and the decided
+// bridge edge.
+func (s *Server) blockedBy2PC(reason string) error {
+	id, epoch, tagged := ParseIntentTag(reason)
+	s.tpcMu.Lock()
+	defer s.tpcMu.Unlock()
+	if tagged {
+		if epoch < s.tpcEpoch {
+			s.tpcFenced++
+			return fault.Fencedf("bridge assert for intent %d carries stale coordinator epoch %d (current %d)", id, epoch, s.tpcEpoch)
+		}
+		s.tpcEpoch = epoch
+		return nil
+	}
+	if len(s.tpcReserved) > 0 {
+		for intent := range s.tpcReserved {
+			return fault.Unavailablef("cross-shard union intent %d is in its prepare window; retry shortly", intent)
+		}
+	}
+	return nil
+}
+
+// clear2PC releases the reservation for intent id (bridge edge applied
+// or abort received); it reports whether one was held.
+func (s *Server) clear2PC(id uint64) bool {
+	s.tpcMu.Lock()
+	defer s.tpcMu.Unlock()
+	if _, ok := s.tpcReserved[id]; !ok {
+		return false
+	}
+	delete(s.tpcReserved, id)
+	return true
+}
+
+// twoPhaseStats snapshots the participant 2PC counters.
+func (s *Server) twoPhaseStats() *TwoPhaseStats {
+	s.tpcMu.Lock()
+	defer s.tpcMu.Unlock()
+	if s.tpcEpoch == 0 && len(s.tpcReserved) == 0 && s.tpcPrepared == 0 {
+		return nil
+	}
+	return &TwoPhaseStats{
+		Reserved: len(s.tpcReserved),
+		Prepared: s.tpcPrepared,
+		Aborted:  s.tpcAborted,
+		Expired:  s.tpcExpired,
+		Fenced:   s.tpcFenced,
+		MaxEpoch: s.tpcEpoch,
+	}
+}
+
+// handlePrepare votes on a cross-shard union intent. Only a writable
+// primary votes (followers 421 toward the primary); a stale coordinator
+// epoch is fenced with 403; a conflicting existing relation votes no
+// with 409 plus the machine-checkable conflict certificate. A yes vote
+// registers the prepare-window reservation and starts the TTL probe.
+func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, fault.Unavailablef("node is draining"))
+		return
+	}
+	if err := s.writable(); err != nil {
+		s.refuseWithHint(w, err)
+		return
+	}
+	var req PrepareRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if req.Intent == 0 || req.N == "" || req.M == "" {
+		writeError(w, fault.Invalidf("prepare requires intent, n and m"))
+		return
+	}
+	s.tpcMu.Lock()
+	if req.Epoch < s.tpcEpoch {
+		s.tpcFenced++
+		cur := s.tpcEpoch
+		s.tpcMu.Unlock()
+		writeError(w, fault.Fencedf("prepare for intent %d carries stale coordinator epoch %d (current %d)", req.Intent, req.Epoch, cur))
+		return
+	}
+	s.tpcEpoch = req.Epoch
+	s.tpcMu.Unlock()
+
+	// Dry-run conflict check: the vote is a promise that the bridge
+	// edge can be applied, so an existing contradicting relation is a
+	// no vote carrying the UNSAT core.
+	st := s.st()
+	if l, ok := st.uf.GetRelation(req.N, req.M); ok && l != req.Label {
+		err := fault.Conflictf("bridge %s -(%d)-> %s contradicts the existing relation (label %d)", req.N, req.Label, req.M, l)
+		detail := ErrorDetail{Kind: fault.StopLabel(err), Message: err.Error()}
+		if cc, cerr := st.journal.ExplainConflict(req.N, req.M, req.Label, FormatIntentTag(req.Intent, req.Epoch)); cerr == nil {
+			wc := ToWire(cc)
+			detail.ConflictCert = &wc
+		}
+		writeJSON(w, http.StatusConflict, ErrorBody{Error: detail})
+		return
+	}
+	ttl := time.Duration(req.TTLMillis) * time.Millisecond
+	if ttl <= 0 {
+		ttl = time.Second
+	}
+	s.tpcMu.Lock()
+	s.tpcReserved[req.Intent] = &tpcReservation{req: req, expires: time.Now().Add(ttl)}
+	s.tpcPrepared++
+	s.tpcMu.Unlock()
+	go s.probe2PC(req.Intent, ttl)
+
+	resp := PrepareResponse{OK: true}
+	if st.store != nil {
+		resp.Fence = st.store.Fence()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleAbort2PC releases a reservation. The coordinator calls it on
+// decided aborts; an operator calls it by hand to free a write path
+// stuck behind a coordinator that will never come back (see
+// OPERATIONS.md).
+func (s *Server) handleAbort2PC(w http.ResponseWriter, r *http.Request) {
+	var req AbortRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if req.Intent == 0 {
+		writeError(w, fault.Invalidf("abort requires an intent id"))
+		return
+	}
+	released := s.clear2PC(req.Intent)
+	if released {
+		s.tpcMu.Lock()
+		s.tpcAborted++
+		s.tpcMu.Unlock()
+	}
+	writeJSON(w, http.StatusOK, AbortResponse{OK: true, Released: released})
+}
+
+// probe2PC is the participant's crash-recovery loop for one
+// reservation: sleep out the TTL, then re-probe the coordinator's
+// status endpoint with backoff. Pending keeps waiting (bounded),
+// committed waits longer for the redriven bridge edge, aborted or
+// unknown (presumed abort) — or an unreachable coordinator past the
+// probe budget — releases the reservation.
+func (s *Server) probe2PC(intent uint64, ttl time.Duration) {
+	held := func() (*tpcReservation, bool) {
+		s.tpcMu.Lock()
+		defer s.tpcMu.Unlock()
+		res, ok := s.tpcReserved[intent]
+		return res, ok
+	}
+	expire := func() {
+		if s.clear2PC(intent) {
+			s.tpcMu.Lock()
+			s.tpcExpired++
+			s.tpcMu.Unlock()
+		}
+	}
+	wait := ttl
+	for probes := 0; ; probes++ {
+		time.Sleep(wait)
+		res, ok := held()
+		if !ok || s.draining.Load() {
+			return
+		}
+		st, err := fetchIntentStatus(res.req.Coordinator, intent)
+		switch {
+		case err != nil:
+			if probes >= tpcMaxProbes {
+				expire()
+				return
+			}
+		case st.State == "committed":
+			// The decision is durable on the coordinator; the bridge edge
+			// is being redriven. Hold the window longer, but not forever.
+			if probes >= 3*tpcMaxProbes {
+				expire()
+				return
+			}
+		case st.State == "pending":
+			if probes >= tpcMaxProbes {
+				expire()
+				return
+			}
+		default:
+			// aborted, done, or unknown: nothing left to protect.
+			expire()
+			return
+		}
+		wait = ttl / 2
+		if wait <= 0 {
+			wait = 50 * time.Millisecond
+		}
+	}
+}
+
+// fetchIntentStatus asks a coordinator for one intent's folded state.
+func fetchIntentStatus(coordinator string, intent uint64) (IntentStatusResponse, error) {
+	var out IntentStatusResponse
+	if coordinator == "" {
+		return out, fault.Unavailablef("no coordinator address to probe")
+	}
+	u := fmt.Sprintf("%s%s?intent=%d", strings.TrimSuffix(coordinator, "/"), StatusPath, intent)
+	if _, err := url.Parse(u); err != nil {
+		return out, fault.Invalidf("coordinator url: %v", err)
+	}
+	resp, err := tpcProbeClient.Get(u)
+	if err != nil {
+		return out, fault.Unavailablef("probe coordinator: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return out, fault.Unavailablef("probe coordinator: status %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return out, fault.IOf("probe coordinator: %v", err)
+	}
+	return out, nil
+}

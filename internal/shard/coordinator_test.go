@@ -1,0 +1,402 @@
+package shard_test
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"luf/internal/cert"
+	"luf/internal/client"
+	"luf/internal/fault"
+	"luf/internal/group"
+	"luf/internal/server"
+	"luf/internal/shard"
+)
+
+// groupFleet is one running replica group for shard tests: a single
+// durable primary on a real listener (the coordinator treats a group as
+// an opaque cluster, so one node per group keeps the tests sharp).
+type groupFleet struct {
+	srv *server.Server
+	ts  *httptest.Server
+	url string
+}
+
+// startGroups boots n single-primary groups and returns the shard map
+// naming them alpha, beta, gamma, ...
+func startGroups(t *testing.T, n int) (shard.Map, []*groupFleet) {
+	t.Helper()
+	names := []string{"alpha", "beta", "gamma", "delta"}
+	var m shard.Map
+	var fleets []*groupFleet
+	for i := 0; i < n; i++ {
+		s, _, err := server.New(server.Config{Dir: t.TempDir()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(s.Handler())
+		t.Cleanup(ts.Close)
+		fleets = append(fleets, &groupFleet{srv: s, ts: ts, url: ts.URL})
+		m.Groups = append(m.Groups, shard.Group{Name: names[i], Nodes: []string{ts.URL}})
+	}
+	return m, fleets
+}
+
+// newCoord opens a coordinator over the map with fast test timings.
+func newCoord(t *testing.T, m shard.Map, dir string, hook func(stage string, intent uint64)) *shard.Coordinator {
+	t.Helper()
+	c, err := shard.New(shard.Config{
+		Dir: dir, Map: m, Dial: client.DialGroup,
+		PrepareTTL:      400 * time.Millisecond,
+		RedriveInterval: 20 * time.Millisecond,
+		StepHook:        hook,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	return c
+}
+
+// crossPair returns one node id owned by group a and one owned by b.
+func crossPair(t *testing.T, m shard.Map, a, b int, prefix string) (string, string) {
+	t.Helper()
+	na := m.SampleOwned(a, 1, prefix)
+	nb := m.SampleOwned(b, 1, prefix+"x")
+	if len(na) == 0 || len(nb) == 0 {
+		t.Fatal("SampleOwned found no ids")
+	}
+	return na[0], nb[0]
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestSameShardUnionFastPath: both nodes on one owner group route
+// directly — no intent, no 2PC round.
+func TestSameShardUnionFastPath(t *testing.T) {
+	m, _ := startGroups(t, 2)
+	c := newCoord(t, m, t.TempDir(), nil)
+	ctx := context.Background()
+
+	ids := m.SampleOwned(0, 2, "same")
+	res, err := c.Union(ctx, ids[0], ids[1], 5, "fast path")
+	if err != nil || !res.OK || !res.SameShard || res.Intent != 0 {
+		t.Fatalf("same-shard union = (%+v, %v)", res, err)
+	}
+	label, ok, err := c.Relation(ctx, ids[0], ids[1])
+	if err != nil || !ok || label != 5 {
+		t.Fatalf("same-shard relation = (%d, %v, %v)", label, ok, err)
+	}
+	st := c.StatsNow(ctx, 0)
+	if st.Unions != 0 || st.Bridges != 0 {
+		t.Fatalf("fast path must not run 2PC: %+v", st)
+	}
+}
+
+// TestCrossShardUnionQueryAndCert: a two-phase union lands the bridge
+// on both groups; relation and explain answer across the shards and the
+// stitched certificate passes the unmodified independent checker.
+func TestCrossShardUnionQueryAndCert(t *testing.T) {
+	m, fleets := startGroups(t, 2)
+	c := newCoord(t, m, t.TempDir(), nil)
+	ctx := context.Background()
+
+	a, b := crossPair(t, m, 0, 1, "cx")
+	res, err := c.Union(ctx, a, b, 5, "cross")
+	if err != nil || !res.OK || res.SameShard || res.Intent == 0 {
+		t.Fatalf("cross-shard union = (%+v, %v)", res, err)
+	}
+
+	label, ok, err := c.Relation(ctx, a, b)
+	if err != nil || !ok || label != 5 {
+		t.Fatalf("cross-shard relation = (%d, %v, %v)", label, ok, err)
+	}
+	cc, err := c.Explain(ctx, a, b)
+	if err != nil {
+		t.Fatalf("cross-shard explain: %v", err)
+	}
+	if err := cert.Check(cc, group.Delta{}); err != nil {
+		t.Fatalf("stitched certificate rejected by checker: %v", err)
+	}
+	if cc.X != a || cc.Y != b || cc.Label != 5 || len(cc.Steps) == 0 {
+		t.Fatalf("stitched certificate shape: %+v", cc)
+	}
+
+	// The bridge edge is durable on both groups (applied through the
+	// ordinary assert path on each).
+	for gi, f := range fleets {
+		if l, ok := f.srv.UF().GetRelation(a, b); !ok || l != 5 {
+			t.Fatalf("group %d missing bridge edge: (%d, %v)", gi, l, ok)
+		}
+	}
+	st := c.StatsNow(ctx, time.Second)
+	if st.Unions != 1 || st.Bridges != 1 || st.InDoubt != 0 || st.Poisoned != 0 {
+		t.Fatalf("coordinator stats: %+v", st)
+	}
+	if len(st.PerShard) != 2 || st.PerShard[0].Load.Unions != 1 || st.PerShard[1].Load.Unions != 1 {
+		t.Fatalf("per-shard load: %+v", st.PerShard)
+	}
+}
+
+// TestMultiHopCrossShardRoute: with bridges alpha–beta and beta–gamma,
+// a query between alpha- and gamma-owned nodes routes through beta and
+// the three-segment certificate checks end to end.
+func TestMultiHopCrossShardRoute(t *testing.T) {
+	m, _ := startGroups(t, 3)
+	c := newCoord(t, m, t.TempDir(), nil)
+	ctx := context.Background()
+
+	a, b := crossPair(t, m, 0, 1, "hop")
+	_, cNode := crossPair(t, m, 0, 2, "hop2")
+	if _, err := c.Union(ctx, a, b, 5, "leg1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Union(ctx, b, cNode, 7, "leg2"); err != nil {
+		t.Fatal(err)
+	}
+
+	label, ok, err := c.Relation(ctx, a, cNode)
+	if err != nil || !ok || label != 12 {
+		t.Fatalf("multi-hop relation = (%d, %v, %v), want (12, true)", label, ok, err)
+	}
+	cc, err := c.Explain(ctx, a, cNode)
+	if err != nil {
+		t.Fatalf("multi-hop explain: %v", err)
+	}
+	if err := cert.Check(cc, group.Delta{}); err != nil {
+		t.Fatalf("multi-hop certificate rejected: %v", err)
+	}
+	if cc.Label != 12 {
+		t.Fatalf("multi-hop certificate label %d, want 12", cc.Label)
+	}
+}
+
+// TestCrossShardConflictAbortsWithCert: a union contradicting an
+// existing cross-shard relation is refused 409 with the conflict
+// certificate from the voting participant, the intent aborts durably,
+// and both groups' write paths reopen immediately.
+func TestCrossShardConflictAbortsWithCert(t *testing.T) {
+	m, fleets := startGroups(t, 2)
+	c := newCoord(t, m, t.TempDir(), nil)
+	ctx := context.Background()
+
+	a, b := crossPair(t, m, 0, 1, "cf")
+	if _, err := c.Union(ctx, a, b, 5, "truth"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := c.Union(ctx, a, b, 9, "lie")
+	var se shard.StatusError
+	if !errors.As(err, &se) || se.HTTPStatus() != http.StatusConflict {
+		t.Fatalf("conflicting union: %v, want 409 pass-through", err)
+	}
+	if se.Detail().ConflictCert == nil {
+		t.Fatal("conflict refusal must carry the certificate")
+	}
+
+	st := c.StatsNow(ctx, 0)
+	if st.Aborted != 1 {
+		t.Fatalf("aborted count %d, want 1", st.Aborted)
+	}
+	// Reservations are released: ordinary writes succeed on both groups.
+	for gi, f := range fleets {
+		cl := client.New(f.url)
+		if _, err := cl.Assert(ctx, "free", "flow", 1, "after abort"); err != nil {
+			t.Fatalf("group %d write after abort: %v", gi, err)
+		}
+	}
+}
+
+// TestKillBeforeCommitPresumesAbort: the coordinator dies with the
+// intent durable but the commit record unwritten. Restart must roll the
+// union back — no group holds a half-applied edge, the write path is
+// released, and the intent reports aborted.
+func TestKillBeforeCommitPresumesAbort(t *testing.T) {
+	m, fleets := startGroups(t, 2)
+	dir := t.TempDir()
+	var c *shard.Coordinator
+	var killed atomic.Bool
+	c = newCoord(t, m, dir, func(stage string, intent uint64) {
+		if stage == "prepared" && killed.CompareAndSwap(false, true) {
+			c.Kill()
+		}
+	})
+	ctx := context.Background()
+
+	a, b := crossPair(t, m, 0, 1, "kb")
+	if _, err := c.Union(ctx, a, b, 5, "doomed"); err == nil {
+		t.Fatal("union through a killed coordinator must not ack")
+	}
+	_ = c.Close()
+
+	// Crash-restart on the same durable directory.
+	c2 := newCoord(t, m, dir, nil)
+	if st := c2.IntentStatus(1); st.State != "aborted" {
+		t.Fatalf("recovered intent state %q, want aborted (presumed)", st.State)
+	}
+	label, ok, err := c2.Relation(ctx, a, b)
+	if err != nil || ok {
+		t.Fatalf("rolled-back union still visible: (%d, %v, %v)", label, ok, err)
+	}
+	for gi, f := range fleets {
+		if _, ok := f.srv.UF().GetRelation(a, b); ok {
+			t.Fatalf("group %d holds a half-applied bridge edge", gi)
+		}
+		cl := client.New(f.url)
+		if _, err := cl.Assert(ctx, "free", "flow", 1, "after recovery"); err != nil {
+			t.Fatalf("group %d write after recovery: %v", gi, err)
+		}
+	}
+}
+
+// TestKillAfterCommitRedrivesToDone: the coordinator dies with the
+// commit record durable but the bridge edges unsent. The restarted
+// coordinator must finish the union — zero acked-decision loss — and
+// queries that would race the redrive refuse retryably instead of
+// answering from the half-applied state.
+func TestKillAfterCommitRedrivesToDone(t *testing.T) {
+	m, fleets := startGroups(t, 2)
+	dir := t.TempDir()
+	var c *shard.Coordinator
+	var killed atomic.Bool
+	c = newCoord(t, m, dir, func(stage string, intent uint64) {
+		if stage == "committed" && killed.CompareAndSwap(false, true) {
+			c.Kill()
+		}
+	})
+	ctx := context.Background()
+
+	a, b := crossPair(t, m, 0, 1, "kc")
+	_, err := c.Union(ctx, a, b, 5, "committed union")
+	if err == nil {
+		t.Fatal("killed coordinator must not ack the apply")
+	}
+	if !errors.Is(err, fault.ErrUnavailable) {
+		t.Fatalf("in-doubt refusal must be retryable: %v", err)
+	}
+	_ = c.Close()
+
+	c2 := newCoord(t, m, dir, nil)
+	// While the intent is in doubt, queries touching the groups refuse.
+	if inDoubt := c2.InDoubt(); len(inDoubt) == 1 {
+		if _, _, err := c2.Relation(ctx, a, b); err == nil {
+			t.Log("redrive won the race before the first query; acceptable")
+		} else if !errors.Is(err, fault.ErrUnavailable) {
+			t.Fatalf("query during redrive must refuse retryably: %v", err)
+		}
+	}
+	waitFor(t, "redrive to finish", func() bool { return len(c2.InDoubt()) == 0 })
+
+	if st := c2.IntentStatus(1); st.State != "done" {
+		t.Fatalf("redriven intent state %q, want done", st.State)
+	}
+	label, ok, err := c2.Relation(ctx, a, b)
+	if err != nil || !ok || label != 5 {
+		t.Fatalf("committed union lost: (%d, %v, %v), want (5, true)", label, ok, err)
+	}
+	cc, err := c2.Explain(ctx, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cert.Check(cc, group.Delta{}); err != nil {
+		t.Fatalf("post-redrive certificate rejected: %v", err)
+	}
+	for gi, f := range fleets {
+		if l, ok := f.srv.UF().GetRelation(a, b); !ok || l != 5 {
+			t.Fatalf("group %d missing redriven bridge: (%d, %v)", gi, l, ok)
+		}
+	}
+}
+
+// TestRestartBumpsEpochAndFencesZombie: each coordinator restart runs
+// under a strictly higher epoch; a zombie's tagged bridge assert from
+// the old epoch is rejected 403 by the participant once the successor
+// has spoken to it.
+func TestRestartBumpsEpochAndFencesZombie(t *testing.T) {
+	m, fleets := startGroups(t, 2)
+	dir := t.TempDir()
+	c := newCoord(t, m, dir, nil)
+	ctx := context.Background()
+
+	oldEpoch := c.Epoch()
+	a, b := crossPair(t, m, 0, 1, "fz")
+	if _, err := c.Union(ctx, a, b, 5, "first"); err != nil {
+		t.Fatal(err)
+	}
+	_ = c.Close()
+
+	c2 := newCoord(t, m, dir, nil)
+	if c2.Epoch() <= oldEpoch {
+		t.Fatalf("restart epoch %d must exceed %d", c2.Epoch(), oldEpoch)
+	}
+	// The successor talks to both groups, teaching them the new epoch.
+	a2, b2 := crossPair(t, m, 0, 1, "fz2")
+	if _, err := c2.Union(ctx, a2, b2, 3, "second"); err != nil {
+		t.Fatal(err)
+	}
+	// A zombie replaying the old epoch's tag is fenced.
+	cl := client.New(fleets[0].url)
+	_, err := cl.Assert(ctx, "z1", "z2", 1, server.FormatIntentTag(99, oldEpoch))
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.HTTPStatus() != http.StatusForbidden {
+		t.Fatalf("zombie bridge assert: %v, want 403", err)
+	}
+}
+
+// TestDownGroupDegradesOnlyItsRange: with one of three groups dead,
+// single-shard traffic on the surviving groups flows, and cross-shard
+// unions touching the dead group refuse with a bounded, structured,
+// retryable error instead of hanging.
+func TestDownGroupDegradesOnlyItsRange(t *testing.T) {
+	m, fleets := startGroups(t, 3)
+	c := newCoord(t, m, t.TempDir(), nil)
+	ctx := context.Background()
+
+	fleets[2].srv.Kill()
+	fleets[2].ts.Close()
+
+	// Surviving groups serve their own ranges.
+	ids := m.SampleOwned(0, 2, "up")
+	if _, err := c.Union(ctx, ids[0], ids[1], 1, "survivor write"); err != nil {
+		t.Fatalf("surviving group write: %v", err)
+	}
+	a, b := crossPair(t, m, 0, 1, "up2")
+	if _, err := c.Union(ctx, a, b, 2, "survivor union"); err != nil {
+		t.Fatalf("surviving cross-shard union: %v", err)
+	}
+
+	// A union touching the dead group refuses, fast and structured.
+	x, y := crossPair(t, m, 0, 2, "down")
+	start := time.Now()
+	_, err := c.Union(ctx, x, y, 3, "doomed")
+	if err == nil {
+		t.Fatal("union into a dead group must refuse")
+	}
+	if !errors.Is(err, fault.ErrUnavailable) {
+		t.Fatalf("dead-group refusal must be unavailable-class: %v", err)
+	}
+	if d := time.Since(start); d > 10*time.Second {
+		t.Fatalf("refusal took %v; must be bounded", d)
+	}
+	if st := c.StatsNow(ctx, 0); st.Aborted == 0 {
+		t.Fatalf("doomed union must abort durably: %+v", st)
+	}
+	// The aborted union left the surviving participant's write path open.
+	cl := client.New(fleets[0].url)
+	if _, err := cl.Assert(ctx, "still", "open", 1, "after refusal"); err != nil {
+		t.Fatalf("survivor write after refusal: %v", err)
+	}
+}

@@ -1,0 +1,78 @@
+package shard_test
+
+import (
+	"fmt"
+	"testing"
+
+	"luf/internal/shard"
+)
+
+// TestMapParseAndValidate: the JSON form round-trips and every
+// structural invariant is enforced with an invalid-input error.
+func TestMapParseAndValidate(t *testing.T) {
+	m, err := shard.ParseMap([]byte(`{"groups": [
+		{"name": "alpha", "nodes": ["http://a:1"]},
+		{"name": "beta", "nodes": ["http://b:1", "http://b:2"]}
+	]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Groups) != 2 || m.Index("beta") != 1 || len(m.Names()) != 2 {
+		t.Fatalf("parsed map: %+v", m)
+	}
+
+	bad := []string{
+		`{`,
+		`{"groups": []}`,
+		`{"groups": [{"name": "", "nodes": ["http://a:1"]}]}`,
+		`{"groups": [{"name": "a", "nodes": []}]}`,
+		`{"groups": [{"name": "a", "nodes": ["http://a:1"]}, {"name": "a", "nodes": ["http://b:1"]}]}`,
+		`{"groups": [{"name": "a", "nodes": [""]}]}`,
+	}
+	for _, src := range bad {
+		if _, err := shard.ParseMap([]byte(src)); err == nil {
+			t.Errorf("ParseMap(%s) accepted invalid map", src)
+		}
+	}
+}
+
+// TestOwnerDeterministicAndTotal: every node id maps to exactly one
+// group, stably, and SampleOwned returns ids the map really owns.
+func TestOwnerDeterministicAndTotal(t *testing.T) {
+	m := shard.Map{Groups: []shard.Group{
+		{Name: "alpha", Nodes: []string{"http://a:1"}},
+		{Name: "beta", Nodes: []string{"http://b:1"}},
+		{Name: "gamma", Nodes: []string{"http://c:1"}},
+	}}
+	counts := make([]int, 3)
+	for i := 0; i < 300; i++ {
+		id := fmt.Sprintf("id-%d", i)
+		gi := m.Owner(id)
+		if gi != m.Owner(id) {
+			t.Fatal("Owner must be deterministic")
+		}
+		counts[gi]++
+		if m.OwnerGroup(id).Name != m.Groups[gi].Name {
+			t.Fatal("OwnerGroup disagrees with Owner")
+		}
+	}
+	for gi, n := range counts {
+		if n == 0 {
+			t.Fatalf("hash sent no ids to group %d", gi)
+		}
+	}
+	for gi := 0; gi < 3; gi++ {
+		ids := m.SampleOwned(gi, 5, "k")
+		if len(ids) != 5 {
+			t.Fatalf("SampleOwned(%d) returned %d ids", gi, len(ids))
+		}
+		for _, id := range ids {
+			if m.Owner(id) != gi {
+				t.Fatalf("SampleOwned(%d) returned %q owned by %d", gi, id, m.Owner(id))
+			}
+		}
+	}
+	if m.Index("nope") != -1 {
+		t.Fatal("Index of unknown group must be -1")
+	}
+}

@@ -69,7 +69,69 @@ const (
 	recHeader byte = 1
 	recAssert byte = 2
 	recFence  byte = 3
+	recIntent byte = 4
 )
+
+// IntentState is the lifecycle state of a two-phase cross-shard union
+// intent. States only move forward: Pending → Committed → Done, or
+// Pending → Aborted. A pending intent found during recovery is presumed
+// aborted (the decision record is what makes a commit a commit).
+type IntentState byte
+
+// Intent lifecycle states, in the order they may be recorded.
+const (
+	// IntentPending is an intent whose outcome is not yet decided; a
+	// crash here rolls it back (presumed abort).
+	IntentPending IntentState = 1
+	// IntentCommitted is a decided commit: both participants voted yes
+	// and the decision is durable; the bridge edges must eventually be
+	// applied (re-driven after a crash).
+	IntentCommitted IntentState = 2
+	// IntentAborted is a decided abort; participants' reservations are
+	// released and no bridge edge may ever be applied for this intent.
+	IntentAborted IntentState = 3
+	// IntentDone is a committed intent whose bridge edges are known
+	// applied on both shards; recovery has nothing left to re-drive.
+	IntentDone IntentState = 4
+)
+
+// String names the state for logs and stats.
+func (s IntentState) String() string {
+	switch s {
+	case IntentPending:
+		return "pending"
+	case IntentCommitted:
+		return "committed"
+	case IntentAborted:
+		return "aborted"
+	case IntentDone:
+		return "done"
+	default:
+		return fmt.Sprintf("state(%d)", byte(s))
+	}
+}
+
+// IntentRecord is one decoded two-phase intent record. A Pending record
+// carries the full union (groups, nodes, label, reason); decision
+// records (Committed/Aborted/Done) carry only the state transition and
+// reference the pending record by ID.
+type IntentRecord[N comparable, L any] struct {
+	// ID is the coordinator-assigned intent sequence number, strictly
+	// increasing per coordinator log.
+	ID uint64
+	// Epoch is the coordinator fencing epoch that wrote the record.
+	Epoch uint64
+	// State is the recorded lifecycle state.
+	State IntentState
+	// GroupA and GroupB name the two owner shard groups.
+	GroupA, GroupB string
+	// N and M are the union's endpoints (N owned by GroupA, M by GroupB).
+	N, M N
+	// Label is the asserted relation label for the bridge edge N --L--> M.
+	Label L
+	// Reason is the client-supplied certificate reason.
+	Reason string
+}
 
 // frameOverhead is the per-frame framing cost: length plus checksum.
 const frameOverhead = 8
@@ -179,6 +241,82 @@ func encodeAssert[N comparable, L any](c Codec[N, L], seq uint64, e cert.Entry[N
 	p = appendString(p, c.EncodeLabel(e.Label))
 	p = appendString(p, []byte(e.Reason))
 	return p
+}
+
+// encodeIntent builds an intent record payload. Only pending records
+// carry the union body; decision records are state+id+epoch.
+func encodeIntent[N comparable, L any](c Codec[N, L], r IntentRecord[N, L]) []byte {
+	p := []byte{recIntent, byte(r.State)}
+	p = binary.AppendUvarint(p, r.ID)
+	p = binary.AppendUvarint(p, r.Epoch)
+	if r.State == IntentPending {
+		p = appendString(p, []byte(r.GroupA))
+		p = appendString(p, []byte(r.GroupB))
+		p = appendString(p, c.EncodeNode(r.N))
+		p = appendString(p, c.EncodeNode(r.M))
+		p = appendString(p, c.EncodeLabel(r.Label))
+		p = appendString(p, []byte(r.Reason))
+	}
+	return p
+}
+
+// decodeIntent parses an intent payload (sans the type byte).
+func decodeIntent[N comparable, L any](c Codec[N, L], cur *cursor) (IntentRecord[N, L], error) {
+	var r IntentRecord[N, L]
+	st, err := cur.byte()
+	if err != nil {
+		return r, err
+	}
+	r.State = IntentState(st)
+	switch r.State {
+	case IntentPending, IntentCommitted, IntentAborted, IntentDone:
+	default:
+		return r, fmt.Errorf("unknown intent state %d", st)
+	}
+	if r.ID, err = cur.uvarint(); err != nil {
+		return r, err
+	}
+	if r.Epoch, err = cur.uvarint(); err != nil {
+		return r, err
+	}
+	if r.State == IntentPending {
+		ga, err := cur.bytes()
+		if err != nil {
+			return r, err
+		}
+		gb, err := cur.bytes()
+		if err != nil {
+			return r, err
+		}
+		nb, err := cur.bytes()
+		if err != nil {
+			return r, err
+		}
+		mb, err := cur.bytes()
+		if err != nil {
+			return r, err
+		}
+		lb, err := cur.bytes()
+		if err != nil {
+			return r, err
+		}
+		rb, err := cur.bytes()
+		if err != nil {
+			return r, err
+		}
+		r.GroupA, r.GroupB = string(ga), string(gb)
+		if r.N, err = c.DecodeNode(nb); err != nil {
+			return r, fmt.Errorf("node: %v", err)
+		}
+		if r.M, err = c.DecodeNode(mb); err != nil {
+			return r, fmt.Errorf("node: %v", err)
+		}
+		if r.Label, err = c.DecodeLabel(lb); err != nil {
+			return r, fmt.Errorf("label: %v", err)
+		}
+		r.Reason = string(rb)
+	}
+	return r, cur.done()
 }
 
 // cursor is a panic-free reader over a payload.
@@ -311,6 +449,10 @@ type DecodeResult[N comparable, L any] struct {
 	HasHeader bool
 	// Records are the decoded assertion records, in file order.
 	Records []Record[N, L]
+	// Intents are the decoded two-phase intent records, in file order
+	// (empty for assert journals; the IntentLog folds them into final
+	// per-intent states).
+	Intents []IntentRecord[N, L]
 	// Fence is the highest fencing token seen in the file (header field
 	// or fence records); zero when the file predates fencing.
 	Fence uint64
@@ -412,6 +554,15 @@ func DecodeAll[N comparable, L any](image []byte, c Codec[N, L]) (DecodeResult[N
 			res.Records = append(res.Records, Record[N, L]{
 				Seq: seq, Entry: e, Off: off + frameOverhead, Len: plen,
 			})
+		case recIntent:
+			if !res.HasHeader {
+				return fail("intent record before header")
+			}
+			r, err := decodeIntent(c, cur)
+			if err != nil {
+				return fail("intent: %v", err)
+			}
+			res.Intents = append(res.Intents, r)
 		default:
 			return fail("unknown record type %d", typ)
 		}
