@@ -11,6 +11,7 @@
 //	lufbench -exp heal      scrub overhead, corruption detection, automated resync latency
 //	lufbench -exp readfleet read scaling vs replica count, follower staleness, goodput under 2x overload
 //	lufbench -exp shard     sharded serving: per-shard write scaling, cross-shard 2PC latency, coordinator recovery
+//	lufbench -exp rebalance online rebalancing: migration throughput, freeze-window write stall, cross-shard -> local win
 //	lufbench -exp all       everything
 package main
 
@@ -24,7 +25,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, sec72, sec72d2, scaling, inter, concurrent, recovery, replication, heal, readfleet, shard, all")
+	exp := flag.String("exp", "all", "experiment: table1, sec72, sec72d2, scaling, inter, concurrent, recovery, replication, heal, readfleet, shard, rebalance, all")
 	programs := flag.Int("programs", 584, "number of analyzer corpus programs (sec72)")
 	quick := flag.Bool("quick", false, "smaller corpora for a fast smoke run")
 	budget := flag.Int("budget", 0, "per-run analyzer step budget for sec72 (0 = unlimited)")
@@ -37,6 +38,7 @@ func main() {
 	healJSON := flag.String("heal-json", "BENCH_heal.json", "output path for the heal experiment's JSON result")
 	readfleetJSON := flag.String("readfleet-json", "BENCH_readfleet.json", "output path for the readfleet experiment's JSON result")
 	shardJSON := flag.String("shard-json", "BENCH_shard.json", "output path for the shard experiment's JSON result")
+	rebalanceJSON := flag.String("rebalance-json", "BENCH_rebalance.json", "output path for the rebalance experiment's JSON result")
 	flag.Parse()
 
 	run := func(name string) bool { return *exp == name || *exp == "all" }
@@ -221,6 +223,28 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Printf("wrote %s\n", *shardJSON)
+		}
+	}
+	if run("rebalance") {
+		any = true
+		cfg := bench.DefaultRebalance()
+		if *quick {
+			cfg.ClassSize = 16
+			cfg.Migrations = 2
+			cfg.Unions = 10
+		}
+		res, err := bench.RunRebalance(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(res.Format())
+		if *rebalanceJSON != "" {
+			if err := res.WriteJSON(*rebalanceJSON); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *rebalanceJSON)
 		}
 	}
 	if !any {

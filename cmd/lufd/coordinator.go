@@ -19,13 +19,15 @@ const roleCoordinator = "coordinator"
 
 // coordinatorConfig carries the flag subset the coordinator mode uses.
 type coordinatorConfig struct {
-	addr            string
-	dir             string
-	shardMap        string
-	advertise       string
-	prepareTTL      time.Duration
-	redriveInterval time.Duration
-	drainTimeout    time.Duration
+	addr              string
+	dir               string
+	shardMap          string
+	advertise         string
+	prepareTTL        time.Duration
+	redriveInterval   time.Duration
+	rebalanceInterval time.Duration
+	scrubInterval     time.Duration
+	drainTimeout      time.Duration
 }
 
 // runCoordinator is the coordinator-mode daemon body: load and validate
@@ -57,12 +59,14 @@ func runCoordinator(ctx context.Context, cfg coordinatorConfig, stdout, stderr i
 	}
 
 	c, err := shard.New(shard.Config{
-		Dir:             cfg.dir,
-		Map:             m,
-		Advertise:       cfg.advertise,
-		Dial:            client.DialGroup,
-		PrepareTTL:      cfg.prepareTTL,
-		RedriveInterval: cfg.redriveInterval,
+		Dir:               cfg.dir,
+		Map:               m,
+		Advertise:         cfg.advertise,
+		Dial:              client.DialGroup,
+		PrepareTTL:        cfg.prepareTTL,
+		RedriveInterval:   cfg.redriveInterval,
+		RebalanceInterval: cfg.rebalanceInterval,
+		ScrubInterval:     cfg.scrubInterval,
 	})
 	if err != nil {
 		ln.Close()

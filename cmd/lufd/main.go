@@ -70,7 +70,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	resyncMax := fs.Int("resync-max-attempts", 8, "self-healing resync attempts per episode before a follower degrades to refusing reads (0 disables self-healing)")
 	shardMap := fs.String("shard-map", "", `shard map JSON file; with -role coordinator this node drives cross-shard 2PC unions over the map's replica groups`)
 	prepareTTL := fs.Duration("prepare-ttl", time.Second, "coordinator: participant reservation TTL per 2PC prepare")
-	redriveInterval := fs.Duration("redrive-interval", 100*time.Millisecond, "coordinator: committed-intent redrive period")
+	redriveInterval := fs.Duration("redrive-interval", 100*time.Millisecond, "coordinator: base redrive period for committed intents and flipped migrations (backs off with jitter up to 20x on failed rounds)")
+	rebalanceInterval := fs.Duration("rebalance-interval", 0, "coordinator: automatic shard-rebalancer period (0 disables; migrations still run via POST /v1/rebalance)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -93,6 +94,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return runCoordinator(ctx, coordinatorConfig{
 			addr: *addr, dir: *dir, shardMap: *shardMap, advertise: *advertise,
 			prepareTTL: *prepareTTL, redriveInterval: *redriveInterval,
+			rebalanceInterval: *rebalanceInterval, scrubInterval: *scrubInterval,
 			drainTimeout: *drainTimeout,
 		}, stdout, stderr)
 	}

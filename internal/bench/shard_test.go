@@ -55,3 +55,46 @@ func TestShardShape(t *testing.T) {
 		t.Fatalf("JSON round-trip mismatch: %+v", back)
 	}
 }
+
+func TestRebalanceShape(t *testing.T) {
+	res, err := RunRebalance(RebalanceConfig{
+		ClassSize: 8, Migrations: 2, Unions: 5, MigrateChunk: 4,
+		RedriveInterval: 10 * time.Millisecond, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Migrations != 2 || res.EntriesMoved == 0 || res.EntriesPerSec <= 0 {
+		t.Fatalf("throughput stats: %+v", res)
+	}
+	if res.StallSamples == 0 || res.StallP99NS < res.StallP50NS {
+		t.Fatalf("stall stats: %+v", res)
+	}
+	if res.LostWrites != 0 {
+		t.Fatalf("freeze window lost %d writes", res.LostWrites)
+	}
+	if res.CrossMeanNS <= 0 || res.LocalMeanNS <= 0 || res.LatencyWin <= 0 {
+		t.Fatalf("latency stats: %+v", res)
+	}
+	out := res.Format()
+	for _, want := range []string{"certified class migration", "freeze-window write stall", "0 lost", "latency win"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Format missing %q:\n%s", want, out)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_rebalance.json")
+	if err := res.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	var back RebalanceResult
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Migrations != res.Migrations || back.LostWrites != 0 {
+		t.Fatalf("JSON round-trip mismatch: %+v", back)
+	}
+}

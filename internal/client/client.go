@@ -356,6 +356,38 @@ func (c *Client) Abort(ctx context.Context, req server.AbortRequest) (server.Abo
 	return out, err
 }
 
+// MigrateFreeze reserves a migration freeze window on the node
+// (coordinator use): writes to the class stall, reads keep serving.
+func (c *Client) MigrateFreeze(ctx context.Context, req server.MigrateFreezeRequest) (server.MigrateFreezeResponse, error) {
+	var out server.MigrateFreezeResponse
+	err := c.do(ctx, http.MethodPost, server.FreezePath, req, &out)
+	return out, err
+}
+
+// MigrateRelease thaws a migration freeze window (idempotent; also the
+// operator escape hatch for a class stuck behind a dead coordinator).
+func (c *Client) MigrateRelease(ctx context.Context, req server.MigrateReleaseRequest) (server.MigrateReleaseResponse, error) {
+	var out server.MigrateReleaseResponse
+	err := c.do(ctx, http.MethodPost, server.ReleasePath, req, &out)
+	return out, err
+}
+
+// MigrateComplete installs the post-flip stale-write fence on a
+// migration's source owner and releases its freeze (idempotent).
+func (c *Client) MigrateComplete(ctx context.Context, req server.MigrateCompleteRequest) (server.MigrateCompleteResponse, error) {
+	var out server.MigrateCompleteResponse
+	err := c.do(ctx, http.MethodPost, server.CompletePath, req, &out)
+	return out, err
+}
+
+// MigrateSlice fetches one window of a class's certified journal slice.
+func (c *Client) MigrateSlice(ctx context.Context, class string, after, limit int) (server.MigrateSliceResponse, error) {
+	var out server.MigrateSliceResponse
+	q := url.Values{"class": {class}, "after": {strconv.Itoa(after)}, "limit": {strconv.Itoa(limit)}}
+	err := c.do(ctx, http.MethodGet, server.SlicePath+"?"+q.Encode(), nil, &out)
+	return out, err
+}
+
 // Solve submits a problem in the minisolve text format.
 func (c *Client) Solve(ctx context.Context, name, src string) (server.SolveResponse, error) {
 	var out server.SolveResponse

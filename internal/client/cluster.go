@@ -361,6 +361,56 @@ func (cl *Cluster) Abort(ctx context.Context, req server.AbortRequest) (server.A
 	return out, err
 }
 
+// MigrateFreeze reserves a migration freeze window on the group's
+// primary, following failover redirects.
+func (cl *Cluster) MigrateFreeze(ctx context.Context, req server.MigrateFreezeRequest) (server.MigrateFreezeResponse, error) {
+	var out server.MigrateFreezeResponse
+	err := cl.write(func(c *Client) error {
+		var e error
+		out, e = c.MigrateFreeze(ctx, req)
+		return e
+	})
+	return out, err
+}
+
+// MigrateRelease thaws a migration freeze window on the group's
+// primary (idempotent, best-effort semantics at the caller).
+func (cl *Cluster) MigrateRelease(ctx context.Context, req server.MigrateReleaseRequest) (server.MigrateReleaseResponse, error) {
+	var out server.MigrateReleaseResponse
+	err := cl.write(func(c *Client) error {
+		var e error
+		out, e = c.MigrateRelease(ctx, req)
+		return e
+	})
+	return out, err
+}
+
+// MigrateComplete installs the post-flip fence on the group's primary
+// (idempotent; the coordinator redrives it until acknowledged).
+func (cl *Cluster) MigrateComplete(ctx context.Context, req server.MigrateCompleteRequest) (server.MigrateCompleteResponse, error) {
+	var out server.MigrateCompleteResponse
+	err := cl.write(func(c *Client) error {
+		var e error
+		out, e = c.MigrateComplete(ctx, req)
+		return e
+	})
+	return out, err
+}
+
+// MigrateSlice fetches one window of a class's certified journal slice
+// from the group's primary — the primary, not the read fleet, because
+// the slice must reflect every entry the freeze window stalled behind,
+// and a lagging follower could serve a short journal.
+func (cl *Cluster) MigrateSlice(ctx context.Context, class string, after, limit int) (server.MigrateSliceResponse, error) {
+	var out server.MigrateSliceResponse
+	err := cl.write(func(c *Client) error {
+		var e error
+		out, e = c.MigrateSlice(ctx, class, after, limit)
+		return e
+	})
+	return out, err
+}
+
 // Relation queries the fleet with health-aware rotation and optional
 // hedging; the shared session keeps the answer at least as fresh as
 // every write this cluster client has seen acknowledged.

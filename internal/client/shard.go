@@ -2,6 +2,7 @@ package client
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/url"
@@ -77,6 +78,34 @@ func (gc *GroupConn) Stats(ctx context.Context) (server.StatsResponse, error) {
 	return gc.cl.Stats(ctx)
 }
 
+// MigrateFreeze reserves a migration freeze window on the group.
+func (gc *GroupConn) MigrateFreeze(ctx context.Context, req server.MigrateFreezeRequest) (server.MigrateFreezeResponse, error) {
+	gc.mu.Lock()
+	defer gc.mu.Unlock()
+	return gc.cl.MigrateFreeze(ctx, req)
+}
+
+// MigrateRelease thaws a migration freeze window on the group.
+func (gc *GroupConn) MigrateRelease(ctx context.Context, req server.MigrateReleaseRequest) (server.MigrateReleaseResponse, error) {
+	gc.mu.Lock()
+	defer gc.mu.Unlock()
+	return gc.cl.MigrateRelease(ctx, req)
+}
+
+// MigrateComplete installs the post-flip fence on the group's primary.
+func (gc *GroupConn) MigrateComplete(ctx context.Context, req server.MigrateCompleteRequest) (server.MigrateCompleteResponse, error) {
+	gc.mu.Lock()
+	defer gc.mu.Unlock()
+	return gc.cl.MigrateComplete(ctx, req)
+}
+
+// MigrateSlice fetches one window of a class's certified journal slice.
+func (gc *GroupConn) MigrateSlice(ctx context.Context, class string, after, limit int) (server.MigrateSliceResponse, error) {
+	gc.mu.Lock()
+	defer gc.mu.Unlock()
+	return gc.cl.MigrateSlice(ctx, class, after, limit)
+}
+
 // ShardCluster routes operations across a sharded deployment: ops whose
 // nodes share one owner group go straight to that group's
 // failover-aware cluster client, everything spanning two groups goes
@@ -85,18 +114,21 @@ func (gc *GroupConn) Stats(ctx context.Context) (server.StatsResponse, error) {
 // single-group answers — the extra hop earns no extra trust.
 type ShardCluster struct {
 	m      shard.Map
+	vm     *shard.VersionedMap
 	groups []*GroupConn
 	coord  *Client
 }
 
 // NewShardCluster returns a shard-map-aware client: one failover
 // cluster per replica group plus a client to the coordinator at
-// coordinatorURL.
+// coordinatorURL. Routing consults a versioned map view (hash
+// ownership plus migration overrides) that refreshes itself from the
+// coordinator whenever a write is fenced with a stale-map 403.
 func NewShardCluster(m shard.Map, coordinatorURL string) (*ShardCluster, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
-	sc := &ShardCluster{m: m, coord: New(coordinatorURL)}
+	sc := &ShardCluster{m: m, vm: shard.NewVersionedMap(m), coord: New(coordinatorURL)}
 	sc.coord.StaleOK = true // the coordinator has no session semantics
 	for _, g := range m.Groups {
 		sc.groups = append(sc.groups, &GroupConn{cl: NewCluster(g.Nodes...)})
@@ -104,17 +136,58 @@ func NewShardCluster(m shard.Map, coordinatorURL string) (*ShardCluster, error) 
 	return sc, nil
 }
 
-// Map returns the shard map this client routes by.
+// Map returns the static shard map this client routes by.
 func (sc *ShardCluster) Map() shard.Map { return sc.m }
+
+// MapEpoch returns the epoch of the client's current map view.
+func (sc *ShardCluster) MapEpoch() uint64 { return sc.vm.Epoch() }
 
 // Group returns the GroupConn for group index gi (tests and benches).
 func (sc *ShardCluster) Group(gi int) *GroupConn { return sc.groups[gi] }
 
+// RefreshMap fetches the coordinator's versioned shard map and installs
+// it (no-op when the fetched epoch is not newer than the held one).
+func (sc *ShardCluster) RefreshMap(ctx context.Context) error {
+	var view shard.MapView
+	if err := sc.coord.do(ctx, http.MethodGet, shard.MapPath, nil, &view); err != nil {
+		return err
+	}
+	sc.vm.Install(view)
+	return nil
+}
+
+// staleMap reports whether err is a migration fence telling this client
+// its map view is stale: a 403 carrying a new-owner hint (the node's
+// class migrated away), or a map-epoch hint above the held view.
+func (sc *ShardCluster) staleMap(err error) bool {
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		return false
+	}
+	d := ae.Detail()
+	if ae.Status == http.StatusForbidden && d.NewOwner != "" {
+		return true
+	}
+	return d.MapEpoch > sc.vm.Epoch()
+}
+
 // Assert asserts m - n = label: direct to the owner group when both
 // nodes share one, through the coordinator's two-phase union when they
-// do not.
+// do not. A stale-map fence (403 with a new-owner hint from a group
+// the class migrated off) refreshes the versioned map from the
+// coordinator and re-routes once.
 func (sc *ShardCluster) Assert(ctx context.Context, n, m string, label int64, reason string) (shard.UnionResult, error) {
-	ga, gb := sc.m.Owner(n), sc.m.Owner(m)
+	out, err := sc.assertOnce(ctx, n, m, label, reason)
+	if err != nil && sc.staleMap(err) {
+		if rerr := sc.RefreshMap(ctx); rerr == nil {
+			return sc.assertOnce(ctx, n, m, label, reason)
+		}
+	}
+	return out, err
+}
+
+func (sc *ShardCluster) assertOnce(ctx context.Context, n, m string, label int64, reason string) (shard.UnionResult, error) {
+	ga, gb := sc.vm.Owner(n), sc.vm.Owner(m)
 	if ga == gb {
 		if _, err := sc.groups[ga].Assert(ctx, n, m, label, reason); err != nil {
 			return shard.UnionResult{}, err
@@ -133,7 +206,7 @@ func (sc *ShardCluster) Assert(ctx context.Context, n, m string, label int64, re
 // shard and comes back — so it falls through to the coordinator's
 // bridge router, which every cross-owner pair uses from the start.
 func (sc *ShardCluster) Relation(ctx context.Context, n, m string) (int64, bool, error) {
-	ga, gb := sc.m.Owner(n), sc.m.Owner(m)
+	ga, gb := sc.vm.Owner(n), sc.vm.Owner(m)
 	if ga == gb {
 		if label, related, err := sc.groups[ga].Relation(ctx, n, m); err != nil || related {
 			return label, related, err
@@ -149,7 +222,7 @@ func (sc *ShardCluster) Relation(ctx context.Context, n, m string) (int64, bool,
 // and re-verifies it locally with the unmodified independent checker
 // before returning it.
 func (sc *ShardCluster) Explain(ctx context.Context, n, m string) (cert.Certificate[string, int64], error) {
-	ga, gb := sc.m.Owner(n), sc.m.Owner(m)
+	ga, gb := sc.vm.Owner(n), sc.vm.Owner(m)
 	if ga == gb {
 		// Serve the in-group certificate when the group itself relates the
 		// pair; otherwise the path (if any) crosses shards and only the

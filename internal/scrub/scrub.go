@@ -40,8 +40,16 @@ type Config[N comparable, L any] struct {
 	Codec wal.Codec[N, L]
 	// State returns the node's current store, union-find and journal.
 	// It is called at every tick (never cached) so a node that swaps
-	// its state after a resync is scrubbed against the new state.
+	// its state after a resync is scrubbed against the new state. May
+	// be nil for a node with no store (a coordinator scrubbing only its
+	// auxiliary logs).
 	State func() (*wal.Store[N, L], *concurrent.UF[N, L], *cert.SyncJournal[N, L])
+	// AuxLogs lists fenced auxiliary logs — 2PC intent logs and
+	// migration logs — whose frames the disk pass re-reads and whose
+	// folded state it re-derives every tick (wal.VerifyAuxLog). Without
+	// this sweep a corrupt intent tail is found only at redrive time,
+	// exactly when the log is needed most.
+	AuxLogs []string
 	// Gate, when non-nil, is consulted before each tick; a false
 	// return skips it. Nodes gate scrubbing off while quarantined or
 	// resyncing — the store under repair is gone from disk, and
@@ -73,6 +81,9 @@ type Stats struct {
 	FramesChecked int64 `json:"frames_checked"`
 	// CertsChecked totals certificates re-proved across all ticks.
 	CertsChecked int64 `json:"certs_checked"`
+	// AuxChecked totals intent/migration records re-verified across all
+	// ticks of the auxiliary-log sweep.
+	AuxChecked int64 `json:"aux_checked,omitempty"`
 	// Corruptions is the number of ticks that found damage.
 	Corruptions int64 `json:"corruptions,omitempty"`
 	// LastError is the most recent integrity failure, empty if none.
@@ -155,12 +166,14 @@ func (sc *Scrubber[N, L]) loop() {
 	}
 }
 
-// Tick runs one integrity pass: the disk pass re-reads and re-checks
-// every journal and snapshot frame, then the certificate pass
-// re-proves the next Sample-sized window of assertions against the
-// live structure. A failure is returned as an ErrIntegrity (and passed
-// to OnCorruption); nil means the pass found nothing wrong or was
-// gated off.
+// Tick runs one integrity pass: the auxiliary-log sweep re-verifies
+// the fenced intent/migration logs, the disk pass re-reads and
+// re-checks every journal and snapshot frame, then the certificate
+// pass re-proves the next Sample-sized window of assertions against
+// the live structure. A failure is returned as an ErrIntegrity (and
+// passed to OnCorruption); nil means the pass found nothing wrong or
+// was gated off. The auxiliary sweep runs even without a store — a
+// coordinator's scrubber has only aux logs to watch.
 func (sc *Scrubber[N, L]) Tick() error {
 	if sc.cfg.Gate != nil && !sc.cfg.Gate() {
 		sc.mu.Lock()
@@ -168,20 +181,37 @@ func (sc *Scrubber[N, L]) Tick() error {
 		sc.mu.Unlock()
 		return nil
 	}
-	store, uf, journal := sc.cfg.State()
-	if store == nil {
+	var store *wal.Store[N, L]
+	var uf *concurrent.UF[N, L]
+	var journal *cert.SyncJournal[N, L]
+	if sc.cfg.State != nil {
+		store, uf, journal = sc.cfg.State()
+	}
+	if store == nil && len(sc.cfg.AuxLogs) == 0 {
 		sc.mu.Lock()
 		sc.stats.Skipped++
 		sc.mu.Unlock()
 		return nil
 	}
-	frames, err := wal.VerifyDir(sc.cfg.Dir, sc.cfg.Codec)
-	certs := 0
-	if err == nil {
-		certs, err = sc.scrubCerts(store, uf, journal)
+	aux, frames, certs := 0, 0, 0
+	var err error
+	for _, p := range sc.cfg.AuxLogs {
+		n, verr := wal.VerifyAuxLog(p, sc.cfg.Codec)
+		aux += n
+		if verr != nil {
+			err = verr
+			break
+		}
+	}
+	if err == nil && store != nil {
+		frames, err = wal.VerifyDir(sc.cfg.Dir, sc.cfg.Codec)
+		if err == nil {
+			certs, err = sc.scrubCerts(store, uf, journal)
+		}
 	}
 	sc.mu.Lock()
 	sc.stats.Ticks++
+	sc.stats.AuxChecked += int64(aux)
 	sc.stats.FramesChecked += int64(frames)
 	sc.stats.CertsChecked += int64(certs)
 	if err != nil {

@@ -1,6 +1,7 @@
 package scrub
 
 import (
+	"encoding/binary"
 	"errors"
 	"math/rand"
 	"os"
@@ -187,5 +188,70 @@ func TestScrubWindowRotatesOverAllAssertions(t *testing.T) {
 	}
 	if st := sc.Stats(); st.CertsChecked != 12 {
 		t.Fatalf("certs checked = %d, want 12", st.CertsChecked)
+	}
+}
+
+// TestAuxLogSweepDetectsCorruption: the auxiliary-log sweep re-reads
+// the coordinator's fenced intent/migration logs every tick, so
+// mid-file bit rot is a detected ErrIntegrity instead of a surprise at
+// redrive time. The damaged byte sits mid-file with valid records
+// after it — torn-tail repair must not paper over it.
+func TestAuxLogSweepDetectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "intents.luf")
+	il, err := wal.OpenIntentLog[string, int64](path, wal.DeltaCodec{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := il.Begin("alpha", "beta", "ax"+strconv.Itoa(i), "bx"+strconv.Itoa(i), 1, "aux-seed"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := il.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A store-less scrubber watching only the aux log, the coordinator
+	// configuration.
+	sc := New(Config[string, int64]{
+		Codec:   wal.DeltaCodec{},
+		AuxLogs: []string{path},
+	})
+	if err := sc.Tick(); err != nil {
+		t.Fatalf("tick on a clean aux log: %v", err)
+	}
+	if st := sc.Stats(); st.AuxChecked == 0 {
+		t.Fatalf("aux sweep checked nothing: %+v", st)
+	}
+
+	// Flip one payload byte of the second frame: the length prefix
+	// stays intact and later records stay valid, so this is mid-file
+	// damage — exactly what torn-tail repair must NOT paper over.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame0 := int(binary.LittleEndian.Uint32(data[0:4]))
+	data[8+frame0+8] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = sc.Tick()
+	if !errors.Is(err, ErrIntegrity) {
+		t.Fatalf("tick on damaged aux log = %v, want ErrIntegrity", err)
+	}
+	if st := sc.Stats(); st.Corruptions != 1 || st.LastError == "" {
+		t.Fatalf("stats after aux corruption: %+v", st)
+	}
+
+	// A missing aux log is not corruption — a fresh coordinator has no
+	// intents yet.
+	sc2 := New(Config[string, int64]{
+		Codec:   wal.DeltaCodec{},
+		AuxLogs: []string{filepath.Join(dir, "never-written.luf")},
+	})
+	if err := sc2.Tick(); err != nil {
+		t.Fatalf("tick on a missing aux log: %v", err)
 	}
 }

@@ -44,6 +44,14 @@ type ErrorDetail struct {
 	// Divergence, present when Kind is "divergence", pinpoints where
 	// the refusing node's history split from the sender's.
 	Divergence *DivergenceDetail `json:"divergence,omitempty"`
+	// NewOwner, present on 403 migrated-node refusals, names the shard
+	// group that owns the class now — the re-route hint map-epoch-aware
+	// clients follow after refreshing the shard map.
+	NewOwner string `json:"new_owner,omitempty"`
+	// MapEpoch, present alongside NewOwner, is the shard-map epoch of
+	// the flip that moved the class; a client holding an older epoch
+	// knows its map is stale.
+	MapEpoch uint64 `json:"map_epoch,omitempty"`
 }
 
 // DivergenceDetail is the wire form of a wal.DivergenceError: the
@@ -165,6 +173,11 @@ func writeError(w http.ResponseWriter, err error) {
 		detail.Kind = wal.DivergenceKind
 		detail.Divergence = &DivergenceDetail{Seq: de.Seq, LocalCRC: de.LocalCRC, RemoteCRC: de.RemoteCRC}
 	}
+	var me *MigratedError
+	if errors.As(err, &me) {
+		detail.NewOwner = me.Group
+		detail.MapEpoch = me.MapEpoch
+	}
 	writeJSON(w, status, ErrorBody{Error: detail})
 }
 
@@ -223,6 +236,13 @@ func (s *Server) routes() {
 	// cross-shard unions starve exactly when the system is busy.
 	s.mux.HandleFunc("POST "+PreparePath, s.handlePrepare)
 	s.mux.HandleFunc("POST "+AbortPath, s.handleAbort2PC)
+	// Migration participant endpoints bypass admission for the same
+	// reason: shedding a freeze, slice window, or completion under
+	// client load would wedge a rebalance exactly when it matters.
+	s.mux.HandleFunc("POST "+FreezePath, s.handleMigrateFreeze)
+	s.mux.HandleFunc("POST "+ReleasePath, s.handleMigrateRelease)
+	s.mux.HandleFunc("POST "+CompletePath, s.handleMigrateComplete)
+	s.mux.HandleFunc("GET "+SlicePath, s.handleMigrateSlice)
 }
 
 // AssertRequest is the /v1/assert request body: assert m - n = label.
@@ -259,6 +279,10 @@ func (s *Server) handleAssert(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.blockedBy2PC(req.Reason); err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := s.blockedByMigration(req.N, req.M, req.Reason); err != nil {
 		writeError(w, err)
 		return
 	}
@@ -409,6 +433,10 @@ func (s *Server) handleBatchAssert(w http.ResponseWriter, r *http.Request) {
 	}
 	for _, a := range req.Asserts {
 		if err := s.blockedBy2PC(a.Reason); err != nil {
+			writeError(w, err)
+			return
+		}
+		if err := s.blockedByMigration(a.N, a.M, a.Reason); err != nil {
 			writeError(w, err)
 			return
 		}
@@ -622,6 +650,9 @@ type StatsResponse struct {
 	// TwoPhase is the 2PC participant counter block, on nodes that have
 	// taken part in cross-shard unions.
 	TwoPhase *TwoPhaseStats `json:"two_phase,omitempty"`
+	// Migration is the migration participant counter block, on nodes
+	// that have held a freeze window or fence moved nodes.
+	Migration *MigrationStats `json:"migration,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -662,6 +693,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.IntegrityError = err.Error()
 	}
 	resp.TwoPhase = s.twoPhaseStats()
+	resp.Migration = s.migrationStats()
 	resp.Primary, _ = s.primaryHint.Load().(string)
 	if s.lease != nil {
 		resp.LeaseValid = s.lease.Valid()

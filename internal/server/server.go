@@ -289,6 +289,18 @@ type Server struct {
 	tpcAborted  int64
 	tpcExpired  int64
 	tpcFenced   int64
+
+	// Migration participant state (see migrate.go): held freeze windows,
+	// the moved-node stale-write fences, the highest migration
+	// coordinator epoch seen, and the counters surfaced in /v1/stats.
+	// All under migMu.
+	migMu      sync.Mutex
+	migFrozen  map[uint64]*migFreeze
+	migMoved   map[string]migMoved
+	migEpoch   uint64
+	migStalled int64
+	migFencedN int64
+	migExpired int64
 }
 
 // st returns the current serving-state generation.
@@ -305,6 +317,8 @@ func New(cfg Config) (*Server, *wal.Recovered[string, int64], error) {
 		sem:         make(chan struct{}, cfg.MaxInflight),
 		classLimit:  classLimits(cfg.MaxInflight),
 		tpcReserved: map[uint64]*tpcReservation{},
+		migFrozen:   map[uint64]*migFreeze{},
+		migMoved:    map[string]migMoved{},
 	}
 	var rec *wal.Recovered[string, int64]
 	var startCause error
@@ -349,7 +363,9 @@ func New(cfg Config) (*Server, *wal.Recovered[string, int64], error) {
 	s.state.Store(st)
 	s.follower.Store(cfg.Role == RoleFollower)
 	if st.store != nil {
-		s.restoreTwoPhaseEpoch(st.store.Entries())
+		entries := st.store.Entries()
+		s.restoreTwoPhaseEpoch(entries)
+		s.restoreMigrationFences(entries)
 	}
 	if len(cfg.Peers) > 0 {
 		// The lease starts expired: a freshly started (or revived)
@@ -414,7 +430,9 @@ func (s *Server) adopt(store *wal.Store[string, int64], uf *concurrent.UF[string
 		store:   store,
 		applier: &replica.Applier[string, int64]{G: s.g, UF: uf, Journal: journal, Store: store},
 	})
-	s.restoreTwoPhaseEpoch(store.Entries())
+	adopted := store.Entries()
+	s.restoreTwoPhaseEpoch(adopted)
+	s.restoreMigrationFences(adopted)
 }
 
 // healSource resolves the node to pull certified resync state from:
@@ -604,8 +622,11 @@ func (s *Server) Promote(token uint64) error {
 	s.follower.Store(false)
 	// A promoted follower applied its tagged bridge edges through
 	// replication, never through its own write gate: pick the 2PC epoch
-	// fence up from the journal before accepting coordinator traffic.
-	s.restoreTwoPhaseEpoch(st.store.Entries())
+	// fence and the migration moved-node fences up from the journal
+	// before accepting coordinator or client traffic.
+	promoted := st.store.Entries()
+	s.restoreTwoPhaseEpoch(promoted)
+	s.restoreMigrationFences(promoted)
 	if s.cfg.Advertise != "" {
 		s.primaryHint.Store(s.cfg.Advertise)
 	}

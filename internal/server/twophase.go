@@ -280,6 +280,12 @@ func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusConflict, ErrorBody{Error: detail})
 		return
 	}
+	// A class inside a migration freeze window votes no with a
+	// retryable 503: the bridge edge would race the ownership flip.
+	if err := s.frozenByMigration(req.N, req.M); err != nil {
+		writeError(w, err)
+		return
+	}
 	ttl := time.Duration(req.TTLMillis) * time.Millisecond
 	if ttl <= 0 {
 		ttl = time.Second

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net/http"
 	"os"
 	"sync"
@@ -12,6 +13,7 @@ import (
 	"luf/internal/cert"
 	"luf/internal/fault"
 	"luf/internal/group"
+	"luf/internal/scrub"
 	"luf/internal/server"
 	"luf/internal/wal"
 )
@@ -33,6 +35,17 @@ type Conn interface {
 	Abort(ctx context.Context, req server.AbortRequest) (server.AbortResponse, error)
 	// Stats fetches the group primary's stats.
 	Stats(ctx context.Context) (server.StatsResponse, error)
+	// MigrateFreeze reserves a migration freeze window on the group's
+	// primary: writes to the class stall, reads keep serving.
+	MigrateFreeze(ctx context.Context, req server.MigrateFreezeRequest) (server.MigrateFreezeResponse, error)
+	// MigrateRelease thaws a freeze window (abort path).
+	MigrateRelease(ctx context.Context, req server.MigrateReleaseRequest) (server.MigrateReleaseResponse, error)
+	// MigrateComplete installs the post-flip stale-write fence on the
+	// migration's source owner and releases the freeze.
+	MigrateComplete(ctx context.Context, req server.MigrateCompleteRequest) (server.MigrateCompleteResponse, error)
+	// MigrateSlice fetches one window of a class's certified journal
+	// slice from the group's primary.
+	MigrateSlice(ctx context.Context, class string, after, limit int) (server.MigrateSliceResponse, error)
 }
 
 // StatusError is the structured-error surface the coordinator needs
@@ -62,9 +75,29 @@ type Config struct {
 	// PrepareTTL bounds each participant reservation (and therefore the
 	// prepare round trip); <= 0 means 1s.
 	PrepareTTL time.Duration
-	// RedriveInterval is the committed-intent redrive loop's period;
-	// <= 0 means 100ms.
+	// RedriveInterval is the redrive loop's base period (committed
+	// intents and flipped migrations); <= 0 means 100ms.
 	RedriveInterval time.Duration
+	// RedriveMax caps the redrive loop's jittered exponential backoff
+	// after failed rounds; <= 0 means 2s.
+	RedriveMax time.Duration
+	// RebalanceInterval enables the automatic rebalancer at the given
+	// period; <= 0 disables it (migrations still run on demand).
+	RebalanceInterval time.Duration
+	// RebalanceMaxConcurrent caps concurrently running migrations;
+	// <= 0 means 1.
+	RebalanceMaxConcurrent int
+	// RebalanceMinBridges is the cross-shard bridge-edge count between a
+	// group pair below which the rebalancer leaves it alone (hysteresis);
+	// <= 0 means 2.
+	RebalanceMinBridges int
+	// MigrateChunk is the journal-slice window size the copy stream
+	// pulls per request; <= 0 means 256.
+	MigrateChunk int
+	// ScrubInterval enables the coordinator's background integrity
+	// scrubber over its fenced intent and migration logs; <= 0 disables
+	// the loop (a corrupt log tail is then found only at redrive time).
+	ScrubInterval time.Duration
 	// StepHook, when non-nil, is called at each 2PC stage boundary
 	// ("intent", "prepared", "committed", "applied") with the intent id
 	// — the crash-point lever chaos tests and the recovery bench pull
@@ -100,18 +133,30 @@ type groupLoad struct {
 type Coordinator struct {
 	cfg   Config
 	m     Map
+	vm    *VersionedMap
 	conns []Conn
 	g     group.Delta
 	log   *wal.IntentLog[string, int64]
+	mig   *wal.MigrationLog[string, int64]
 
-	mu       sync.Mutex
-	bridges  []bridge
-	inDoubt  map[uint64]wal.IntentRecord[string, int64] // committed, bridge edges not yet applied on both sides
-	poisoned map[uint64]string                          // commit-time apply conflicts: impossible by protocol, never silent
-	load     []groupLoad
-	unions   int64 // cross-shard unions decided commit
-	aborted  int64 // cross-shard unions decided abort
-	reads    int64 // cross-shard queries routed
+	mu           sync.Mutex
+	bridges      []bridge
+	inDoubt      map[uint64]wal.IntentRecord[string, int64] // committed, bridge edges not yet applied on both sides
+	inDoubtSince map[uint64]time.Time                       // when each in-doubt intent entered the queue
+	poisoned     map[uint64]string                          // commit-time apply conflicts: impossible by protocol, never silent
+	migActive    map[uint64]bool                            // migrations with a live driver
+	migAbortReq  map[uint64]bool                            // operator abort requests, honored at chunk boundaries
+	migRedrive   map[uint64]wal.MigrationRecord[string]     // flipped, completion pending on the source
+	migSince     map[uint64]time.Time                       // when each redriven migration entered the queue
+	migPoisoned  map[uint64]string                          // durable migrations referencing groups no longer in the map
+	migStart     map[uint64]time.Time                       // migration start times (age in stats)
+	recentMoves  map[string]time.Time                       // rebalancer hysteresis: class rep → last move attempt
+	load         []groupLoad
+	unions       int64 // cross-shard unions decided commit
+	aborted      int64 // cross-shard unions decided abort
+	reads        int64 // cross-shard queries routed
+
+	scrubber *scrub.Scrubber[string, int64]
 
 	killed  chan struct{}
 	once    sync.Once
@@ -138,6 +183,21 @@ func New(cfg Config) (*Coordinator, error) {
 	if cfg.RedriveInterval <= 0 {
 		cfg.RedriveInterval = 100 * time.Millisecond
 	}
+	if cfg.RedriveMax <= 0 {
+		cfg.RedriveMax = 2 * time.Second
+	}
+	if cfg.RedriveMax < cfg.RedriveInterval {
+		cfg.RedriveMax = cfg.RedriveInterval
+	}
+	if cfg.RebalanceMaxConcurrent <= 0 {
+		cfg.RebalanceMaxConcurrent = 1
+	}
+	if cfg.RebalanceMinBridges <= 0 {
+		cfg.RebalanceMinBridges = 2
+	}
+	if cfg.MigrateChunk <= 0 {
+		cfg.MigrateChunk = 256
+	}
 	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return nil, fault.IOf("create coordinator directory: %v", err)
 	}
@@ -145,30 +205,65 @@ func New(cfg Config) (*Coordinator, error) {
 	if err != nil {
 		return nil, err
 	}
+	ml, err := wal.OpenMigrationLog(cfg.Dir+"/migrations.luf", wal.DeltaCodec{}, cfg.Inject)
+	if err != nil {
+		il.Close()
+		return nil, err
+	}
 	c := &Coordinator{
-		cfg:      cfg,
-		m:        cfg.Map,
-		log:      il,
-		inDoubt:  map[uint64]wal.IntentRecord[string, int64]{},
-		poisoned: map[uint64]string{},
-		load:     make([]groupLoad, len(cfg.Map.Groups)),
-		killed:   make(chan struct{}),
+		cfg:          cfg,
+		m:            cfg.Map,
+		vm:           NewVersionedMap(cfg.Map),
+		log:          il,
+		mig:          ml,
+		inDoubt:      map[uint64]wal.IntentRecord[string, int64]{},
+		inDoubtSince: map[uint64]time.Time{},
+		poisoned:     map[uint64]string{},
+		migActive:    map[uint64]bool{},
+		migAbortReq:  map[uint64]bool{},
+		migRedrive:   map[uint64]wal.MigrationRecord[string]{},
+		migSince:     map[uint64]time.Time{},
+		migPoisoned:  map[uint64]string{},
+		migStart:     map[uint64]time.Time{},
+		recentMoves:  map[string]time.Time{},
+		load:         make([]groupLoad, len(cfg.Map.Groups)),
+		killed:       make(chan struct{}),
 	}
 	for _, g := range cfg.Map.Groups {
 		c.conns = append(c.conns, cfg.Dial(g))
 	}
 	if err := c.recover(); err != nil {
 		il.Close()
+		ml.Close()
 		return nil, err
 	}
+	// The coordinator's scrubber sweeps only its fenced auxiliary logs:
+	// a corrupt intent or migration tail must surface as a detected
+	// integrity event, not at redrive time when the log is needed most.
+	c.scrubber = scrub.New(scrub.Config[string, int64]{
+		G:        group.Delta{},
+		Codec:    wal.DeltaCodec{},
+		AuxLogs:  []string{cfg.Dir + "/intents.luf", cfg.Dir + "/migrations.luf"},
+		Interval: cfg.ScrubInterval,
+	})
+	c.scrubber.Start()
 	c.redrive.Add(1)
 	go c.redriveLoop()
+	if cfg.RebalanceInterval > 0 {
+		c.redrive.Add(1)
+		go c.rebalanceLoop()
+	}
 	return c, nil
 }
 
-// recover replays the folded intent log: presumed abort for pending,
-// redrive queue for committed, bridge registry for done.
+// recover replays the folded intent log — presumed abort for pending,
+// redrive queue for committed, bridge registry for done — and the
+// folded migration log: pre-flip migrations are presumed aborted (the
+// source's freeze TTL-lapses on its own), flipped ones re-apply their
+// ownership overrides and queue the completion redrive, done ones
+// re-apply their overrides only.
 func (c *Coordinator) recover() error {
+	now := time.Now()
 	for _, r := range c.log.Intents() {
 		switch r.State {
 		case wal.IntentPending:
@@ -180,11 +275,56 @@ func (c *Coordinator) recover() error {
 			c.abortParticipants(r)
 		case wal.IntentCommitted:
 			c.inDoubt[r.ID] = r
+			c.inDoubtSince[r.ID] = now
 		case wal.IntentDone:
 			c.registerBridge(r)
 		}
 	}
+	for _, r := range c.mig.Migrations() {
+		switch r.State {
+		case wal.MigrationPlanned, wal.MigrationFrozen, wal.MigrationCopying, wal.MigrationVerifying:
+			// Pre-flip crash: the Flipped record is what moves ownership,
+			// and it is not there. Presume abort and thaw the source.
+			if err := c.mig.Abort(r.ID); err != nil {
+				return err
+			}
+			c.releaseSource(r)
+		case wal.MigrationFlipped:
+			if !c.applyOverride(r) {
+				continue
+			}
+			c.migRedrive[r.ID] = r
+			c.migSince[r.ID] = now
+			c.migStart[r.ID] = now
+		case wal.MigrationDone:
+			c.applyOverride(r)
+		}
+	}
 	return nil
+}
+
+// applyOverride routes a flipped migration's nodes to its destination
+// group in the versioned map; a destination no longer in the shard map
+// poisons the migration (loud in stats) instead of guessing.
+func (c *Coordinator) applyOverride(r wal.MigrationRecord[string]) bool {
+	ti := c.m.Index(r.To)
+	if ti < 0 {
+		c.migPoisoned[r.ID] = fmt.Sprintf("migration destination group %q is not in the shard map", r.To)
+		return false
+	}
+	c.vm.Override(r.Nodes, ti, r.MapEpoch)
+	return true
+}
+
+// releaseSource thaws a migration's freeze window on its source owner,
+// best effort: the source also self-thaws by probing, so a miss here
+// only costs it a probe round.
+func (c *Coordinator) releaseSource(r wal.MigrationRecord[string]) {
+	if fi := c.m.Index(r.From); fi >= 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_, _ = c.conns[fi].MigrateRelease(ctx, server.MigrateReleaseRequest{Migration: r.ID, Epoch: r.Epoch})
+	}
 }
 
 // registerBridge adds a done intent's edge to the routing registry.
@@ -219,13 +359,25 @@ func (c *Coordinator) abortParticipants(r wal.IntentRecord[string, int64]) {
 func (c *Coordinator) Kill() {
 	c.once.Do(func() { close(c.killed) })
 	c.redrive.Wait()
+	c.scrubber.Stop()
 }
 
-// Close stops the coordinator and closes the intent log.
+// Close stops the coordinator and closes both durable logs.
 func (c *Coordinator) Close() error {
 	c.Kill()
-	return c.log.Close()
+	merr := c.mig.Close()
+	if err := c.log.Close(); err != nil {
+		return err
+	}
+	return merr
 }
+
+// owner resolves the owning group index for a node through the
+// versioned map: migration overrides first, the FNV hash otherwise.
+func (c *Coordinator) owner(n string) int { return c.vm.Owner(n) }
+
+// MapView snapshots the versioned shard map (the /v1/shard/map body).
+func (c *Coordinator) MapView() MapView { return c.vm.View() }
 
 // dead reports whether Kill has been called.
 func (c *Coordinator) dead() bool {
@@ -307,7 +459,7 @@ func (c *Coordinator) Union(ctx context.Context, n, m string, label int64, reaso
 	if n == "" || m == "" {
 		return UnionResult{}, fault.Invalidf("both nodes are required")
 	}
-	ga, gb := c.m.Owner(n), c.m.Owner(m)
+	ga, gb := c.owner(n), c.owner(m)
 	if ga == gb {
 		c.mu.Lock()
 		c.load[ga].Asserts++
@@ -402,6 +554,7 @@ func (c *Coordinator) Union(ctx context.Context, n, m string, label int64, reaso
 	c.unions++
 	rec, _ := c.log.Get(id)
 	c.inDoubt[id] = rec
+	c.inDoubtSince[id] = time.Now()
 	c.mu.Unlock()
 	if err := c.step("committed", id); err != nil {
 		return UnionResult{Intent: id, Groups: groups}, fault.Unavailablef(
@@ -446,39 +599,75 @@ func (c *Coordinator) applyBridge(ctx context.Context, r wal.IntentRecord[string
 	}
 	c.mu.Lock()
 	delete(c.inDoubt, r.ID)
+	delete(c.inDoubtSince, r.ID)
 	c.registerBridge(r)
 	c.mu.Unlock()
 	return nil
 }
 
-// redriveLoop re-applies committed-but-unapplied intents until they are
-// done: after a coordinator restart or a mid-union partition this is
-// what heals the half-applied window.
+// redriveLoop re-applies committed-but-unapplied intents and redrives
+// flipped-but-uncompleted migrations until they are done: after a
+// coordinator restart or a mid-union partition this is what heals the
+// half-applied window. Failed rounds back off exponentially with full
+// jitter, bounded by RedriveMax, so a fleet of coordinators hammering
+// a down group does not synchronize its retries; a clean round resets
+// the period to RedriveInterval.
 func (c *Coordinator) redriveLoop() {
 	defer c.redrive.Done()
-	t := time.NewTicker(c.cfg.RedriveInterval)
-	defer t.Stop()
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	base, max := c.cfg.RedriveInterval, c.cfg.RedriveMax
+	wait, ceil := base, base
 	for {
 		select {
 		case <-c.killed:
 			return
-		case <-t.C:
+		case <-time.After(wait):
 		}
 		c.mu.Lock()
-		pending := make([]wal.IntentRecord[string, int64], 0, len(c.inDoubt))
+		intents := make([]wal.IntentRecord[string, int64], 0, len(c.inDoubt))
 		for id, r := range c.inDoubt {
 			if _, bad := c.poisoned[id]; !bad {
-				pending = append(pending, r)
+				intents = append(intents, r)
 			}
 		}
+		migs := make([]wal.MigrationRecord[string], 0, len(c.migRedrive))
+		for _, r := range c.migRedrive {
+			migs = append(migs, r)
+		}
 		c.mu.Unlock()
-		for _, r := range pending {
+		failed := false
+		for _, r := range intents {
 			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
-			_ = c.applyBridge(ctx, r)
+			if err := c.applyBridge(ctx, r); err != nil {
+				failed = true
+			}
 			cancel()
 			if c.dead() {
 				return
 			}
+		}
+		for _, r := range migs {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			if err := c.completeMigration(ctx, r); err != nil {
+				failed = true
+			}
+			cancel()
+			if c.dead() {
+				return
+			}
+		}
+		if !failed {
+			wait, ceil = base, base
+			continue
+		}
+		if ceil *= 2; ceil > max {
+			ceil = max
+		}
+		// Full jitter inside [base, ceil]: decorrelated retries without
+		// ever polling faster than the base period.
+		wait = base
+		if span := ceil - base; span > 0 {
+			wait += time.Duration(rng.Int63n(int64(span) + 1))
 		}
 	}
 }
@@ -529,7 +718,7 @@ type pathSeg struct {
 // label. A group that is down surfaces its structured error; a group
 // mid-redrive refuses retryably.
 func (c *Coordinator) route(ctx context.Context, n, m string) ([]pathSeg, int64, bool, error) {
-	ga, gb := c.m.Owner(n), c.m.Owner(m)
+	ga, gb := c.owner(n), c.owner(m)
 	type relKey struct {
 		g    int
 		a, b string
@@ -737,16 +926,50 @@ type Stats struct {
 	Bridges int `json:"bridges"`
 	// InDoubt is the number of committed intents still being re-driven.
 	InDoubt int `json:"in_doubt"`
-	// Poisoned is the number of intents stuck on an apply conflict —
-	// always 0 unless an invariant broke; never silent.
+	// Poisoned is the number of intents stuck on an apply conflict plus
+	// migrations referencing groups no longer in the shard map — always
+	// 0 unless an invariant broke; never silent.
 	Poisoned int `json:"poisoned"`
+	// MapEpoch is the versioned shard map's epoch (bumped per flip).
+	MapEpoch uint64 `json:"map_epoch"`
+	// Overrides is the ownership-override table's size.
+	Overrides int `json:"overrides"`
+	// Migrated counts migrations durably completed (log-wide).
+	Migrated int `json:"migrated"`
+	// MigrationsAborted counts migrations durably aborted (log-wide).
+	MigrationsAborted int `json:"migrations_aborted"`
+	// OldestInDoubtAgeMS is the age of the oldest entry still in a
+	// redrive queue — committed intents awaiting their bridge applies
+	// and flipped migrations awaiting completion. 0 when both queues
+	// are empty; a growing value is the page-an-operator signal.
+	OldestInDoubtAgeMS int64 `json:"oldest_in_doubt_age_ms"`
+	// Migrations lists the non-terminal migrations with their ages.
+	Migrations []MigrationInfo `json:"migrations,omitempty"`
+	// Scrub is the coordinator's aux-log integrity scrubber counters.
+	Scrub scrub.Stats `json:"scrub"`
 	// PerShard is the per-group load table.
 	PerShard []GroupStats `json:"per_shard"`
+}
+
+// MigrationInfo is one non-terminal migration's row in coordinator
+// stats and the rebalance status body.
+type MigrationInfo struct {
+	ID       uint64 `json:"id"`
+	Class    string `json:"class"`
+	From     string `json:"from"`
+	To       string `json:"to"`
+	State    string `json:"state"`
+	Copied   uint64 `json:"copied,omitempty"`
+	MapEpoch uint64 `json:"map_epoch,omitempty"`
+	// AgeMS is the time since this process began or recovered the
+	// migration.
+	AgeMS int64 `json:"age_ms"`
 }
 
 // StatsNow snapshots coordinator stats, probing each group's primary
 // with the given per-probe timeout (0 skips the probes).
 func (c *Coordinator) StatsNow(ctx context.Context, probeTimeout time.Duration) Stats {
+	now := time.Now()
 	c.mu.Lock()
 	st := Stats{
 		Epoch:      c.log.Epoch(),
@@ -755,11 +978,49 @@ func (c *Coordinator) StatsNow(ctx context.Context, probeTimeout time.Duration) 
 		CrossReads: c.reads,
 		Bridges:    len(c.bridges),
 		InDoubt:    len(c.inDoubt),
-		Poisoned:   len(c.poisoned),
+		Poisoned:   len(c.poisoned) + len(c.migPoisoned),
+		MapEpoch:   c.vm.Epoch(),
+		Overrides:  c.vm.Len(),
+		Scrub:      c.scrubber.Stats(),
+	}
+	var oldest time.Time
+	for _, t := range c.inDoubtSince {
+		if oldest.IsZero() || t.Before(oldest) {
+			oldest = t
+		}
+	}
+	for _, t := range c.migSince {
+		if oldest.IsZero() || t.Before(oldest) {
+			oldest = t
+		}
+	}
+	if !oldest.IsZero() {
+		st.OldestInDoubtAgeMS = now.Sub(oldest).Milliseconds()
+	}
+	starts := make(map[uint64]time.Time, len(c.migStart))
+	for id, t := range c.migStart {
+		starts[id] = t
 	}
 	loads := make([]groupLoad, len(c.load))
 	copy(loads, c.load)
 	c.mu.Unlock()
+	for _, r := range c.mig.Migrations() {
+		switch r.State {
+		case wal.MigrationDone:
+			st.Migrated++
+		case wal.MigrationAborted:
+			st.MigrationsAborted++
+		default:
+			info := MigrationInfo{
+				ID: r.ID, Class: r.Class, From: r.From, To: r.To,
+				State: r.State.String(), Copied: r.Copied, MapEpoch: r.MapEpoch,
+			}
+			if t, ok := starts[r.ID]; ok {
+				info.AgeMS = now.Sub(t).Milliseconds()
+			}
+			st.Migrations = append(st.Migrations, info)
+		}
+	}
 	for i, g := range c.m.Groups {
 		row := GroupStats{Name: g.Name, Load: loads[i]}
 		if probeTimeout > 0 {

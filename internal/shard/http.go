@@ -47,6 +47,11 @@ func NewHandler(c *Coordinator) *Handler {
 	h.mux.HandleFunc("GET "+server.StatusPath, h.handleIntentStatus)
 	h.mux.HandleFunc("GET /v1/stats", h.handleStats)
 	h.mux.HandleFunc("GET /healthz", h.handleHealthz)
+	h.mux.HandleFunc("GET "+MapPath, h.handleMapView)
+	h.mux.HandleFunc("GET "+RebalancePath, h.handleRebalanceStatus)
+	h.mux.HandleFunc("POST "+RebalancePath, h.handleMigrate)
+	h.mux.HandleFunc("POST "+RebalanceAbortPath, h.handleRebalanceAbort)
+	h.mux.HandleFunc("GET "+server.MigrateStatusPath, h.handleMigrationStatus)
 	return h
 }
 
@@ -192,6 +197,63 @@ func (h *Handler) handleIntentStatus(w http.ResponseWriter, r *http.Request) {
 
 func (h *Handler) handleStats(w http.ResponseWriter, r *http.Request) {
 	h.writeJSON(w, h.c.StatsNow(r.Context(), 500*time.Millisecond))
+}
+
+func (h *Handler) handleMapView(w http.ResponseWriter, _ *http.Request) {
+	h.writeJSON(w, h.c.MapView())
+}
+
+func (h *Handler) handleRebalanceStatus(w http.ResponseWriter, _ *http.Request) {
+	h.writeJSON(w, h.c.RebalanceStatusNow())
+}
+
+func (h *Handler) handleMigrate(w http.ResponseWriter, r *http.Request) {
+	var req MigrateRequest
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		h.writeErr(w, fault.IOf("read body: %v", err))
+		return
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		h.writeErr(w, fault.Invalidf("bad request body: %v", err))
+		return
+	}
+	res, err := h.c.Migrate(r.Context(), req.Class, req.To, req.Reason)
+	if err != nil {
+		h.writeErr(w, err)
+		return
+	}
+	h.writeJSON(w, res)
+}
+
+func (h *Handler) handleRebalanceAbort(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Migration uint64 `json:"migration"`
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		h.writeErr(w, fault.IOf("read body: %v", err))
+		return
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		h.writeErr(w, fault.Invalidf("bad request body: %v", err))
+		return
+	}
+	res, err := h.c.RequestAbort(req.Migration)
+	if err != nil {
+		h.writeErr(w, err)
+		return
+	}
+	h.writeJSON(w, res)
+}
+
+func (h *Handler) handleMigrationStatus(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseUint(r.URL.Query().Get("migration"), 10, 64)
+	if err != nil {
+		h.writeErr(w, fault.Invalidf("query parameter migration must be a decimal migration id"))
+		return
+	}
+	h.writeJSON(w, h.c.MigrationStatus(id))
 }
 
 func (h *Handler) handleHealthz(w http.ResponseWriter, _ *http.Request) {

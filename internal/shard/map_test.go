@@ -76,3 +76,133 @@ func TestOwnerDeterministicAndTotal(t *testing.T) {
 		t.Fatal("Index of unknown group must be -1")
 	}
 }
+
+// TestSingleShardMap: a one-group map is legal and total — every id
+// routes to the only group, and SampleOwned trivially succeeds.
+func TestSingleShardMap(t *testing.T) {
+	m, err := shard.ParseMap([]byte(`{"groups": [{"name": "solo", "nodes": ["http://s:1"]}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if gi := m.Owner(fmt.Sprintf("one-%d", i)); gi != 0 {
+			t.Fatalf("single-shard owner = %d", gi)
+		}
+	}
+	ids := m.SampleOwned(0, 3, "s")
+	if len(ids) != 3 {
+		t.Fatalf("SampleOwned on a single shard returned %d ids", len(ids))
+	}
+}
+
+// TestOwnerStableAcrossReparse: ownership is a pure function of the
+// group list — re-parsing the same JSON (fresh structs, fresh strings)
+// routes every id identically. A drifting hash would re-home classes
+// on every config reload, silently bypassing the migration protocol.
+func TestOwnerStableAcrossReparse(t *testing.T) {
+	src := []byte(`{"groups": [
+		{"name": "alpha", "nodes": ["http://a:1"]},
+		{"name": "beta", "nodes": ["http://b:1"]},
+		{"name": "gamma", "nodes": ["http://c:1"]}
+	]}`)
+	m1, err := shard.ParseMap(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := shard.ParseMap(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		id := fmt.Sprintf("stable-%d", i)
+		if m1.Owner(id) != m2.Owner(id) {
+			t.Fatalf("owner of %q drifted across re-parse: %d vs %d", id, m1.Owner(id), m2.Owner(id))
+		}
+	}
+}
+
+// TestSampleOwnedDistribution: the FNV placement spreads ids across
+// groups instead of clumping — each of 4 groups holds at least 5% of
+// 2000 sequential ids. A degenerate hash would make every rebalance
+// move the whole keyspace.
+func TestSampleOwnedDistribution(t *testing.T) {
+	m := shard.Map{Groups: []shard.Group{
+		{Name: "g0", Nodes: []string{"http://0:1"}},
+		{Name: "g1", Nodes: []string{"http://1:1"}},
+		{Name: "g2", Nodes: []string{"http://2:1"}},
+		{Name: "g3", Nodes: []string{"http://3:1"}},
+	}}
+	const total = 2000
+	counts := make([]int, len(m.Groups))
+	for i := 0; i < total; i++ {
+		counts[m.Owner(fmt.Sprintf("key-%d", i))]++
+	}
+	for gi, n := range counts {
+		if n < total/20 {
+			t.Fatalf("group %d owns only %d/%d ids — hash is clumping", gi, n, total)
+		}
+	}
+}
+
+// TestVersionedMap pins the override-table semantics migrations depend
+// on: overrides shadow the hash owner, moving a node home drops its
+// entry, epochs only move forward, and a client-side Install refuses
+// stale or unresolvable views.
+func TestVersionedMap(t *testing.T) {
+	m := shard.Map{Groups: []shard.Group{
+		{Name: "alpha", Nodes: []string{"http://a:1"}},
+		{Name: "beta", Nodes: []string{"http://b:1"}},
+	}}
+	vm := shard.NewVersionedMap(m)
+	if vm.Epoch() != 0 || vm.Len() != 0 {
+		t.Fatalf("pristine map: epoch %d, %d overrides", vm.Epoch(), vm.Len())
+	}
+
+	// Pick a node the hash homes on alpha, then move it to beta.
+	var n string
+	for i := 0; ; i++ {
+		n = fmt.Sprintf("vm-%d", i)
+		if m.Owner(n) == 0 {
+			break
+		}
+	}
+	vm.Override([]string{n}, 1, 1)
+	if vm.Owner(n) != 1 || !vm.Overridden(n) || vm.Epoch() != 1 || vm.Len() != 1 {
+		t.Fatalf("after move: owner %d, overridden %v, epoch %d", vm.Owner(n), vm.Overridden(n), vm.Epoch())
+	}
+	if got := vm.OverriddenNodes(); len(got) != 1 || got[0] != n {
+		t.Fatalf("OverriddenNodes = %v", got)
+	}
+	if view := vm.View(); view.Overrides[n] != "beta" || view.Epoch != 1 {
+		t.Fatalf("view = %+v", view)
+	}
+
+	// Moving the node home again drops the entry instead of recording a
+	// no-op route; the epoch still moves forward.
+	vm.Override([]string{n}, 0, 2)
+	if vm.Overridden(n) || vm.Len() != 0 || vm.Epoch() != 2 {
+		t.Fatalf("after move home: overridden %v, len %d, epoch %d", vm.Overridden(n), vm.Len(), vm.Epoch())
+	}
+
+	// Epochs are forward-only: a late-arriving lower epoch applies its
+	// routes but cannot rewind the clock.
+	vm.Override([]string{n}, 1, 1)
+	if vm.Epoch() != 2 || vm.Owner(n) != 1 {
+		t.Fatalf("late override: epoch %d, owner %d", vm.Epoch(), vm.Owner(n))
+	}
+
+	// Client-side Install: stale views and unknown group names refuse;
+	// a current view replaces the table wholesale.
+	if vm.Install(shard.MapView{Epoch: 1}) {
+		t.Fatal("Install accepted a stale view")
+	}
+	if vm.Install(shard.MapView{Epoch: 9, Overrides: map[string]string{n: "nope"}}) {
+		t.Fatal("Install accepted an unknown group name")
+	}
+	if !vm.Install(shard.MapView{Epoch: 9, Overrides: map[string]string{n: "beta"}}) {
+		t.Fatal("Install refused a current view")
+	}
+	if vm.Epoch() != 9 || vm.Owner(n) != 1 {
+		t.Fatalf("after install: epoch %d, owner %d", vm.Epoch(), vm.Owner(n))
+	}
+}

@@ -1,0 +1,154 @@
+package shard
+
+import (
+	"sort"
+	"sync"
+)
+
+// MapPath is the coordinator's versioned shard-map endpoint: clients
+// fetch it to refresh ownership after a 403/421 stale-map refusal.
+const MapPath = "/v1/shard/map"
+
+// MapView is the wire form of a versioned shard map: the static group
+// list, the current map epoch, and the per-node ownership overrides
+// decided by completed migrations. Every 403 migrated-node refusal
+// carries the epoch that moved the class, so a client holding an older
+// view knows this snapshot supersedes it.
+type MapView struct {
+	// Epoch is the map epoch: bumped by every ownership flip.
+	Epoch uint64 `json:"epoch"`
+	// Groups is the static group list (hash ownership order).
+	Groups []Group `json:"groups"`
+	// Overrides maps node id → owning group name for every node whose
+	// class migrated away from its hash owner.
+	Overrides map[string]string `json:"overrides,omitempty"`
+}
+
+// VersionedMap layers migration ownership overrides on a static Map:
+// Owner resolves the override table first and falls back to the FNV
+// hash. The zero epoch is the pristine hash-only map; every flip bumps
+// the epoch, so two resolvers can order their views. Safe for
+// concurrent use.
+type VersionedMap struct {
+	mu        sync.RWMutex
+	base      Map
+	epoch     uint64
+	overrides map[string]int
+}
+
+// NewVersionedMap wraps a validated static map with an empty override
+// table at epoch 0.
+func NewVersionedMap(m Map) *VersionedMap {
+	return &VersionedMap{base: m, overrides: map[string]int{}}
+}
+
+// Base returns the static map underneath the overrides.
+func (v *VersionedMap) Base() Map {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.base
+}
+
+// Epoch returns the current map epoch.
+func (v *VersionedMap) Epoch() uint64 {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.epoch
+}
+
+// Owner returns the index of the group owning node: the override table
+// first, the FNV hash owner otherwise.
+func (v *VersionedMap) Owner(node string) int {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	if gi, ok := v.overrides[node]; ok {
+		return gi
+	}
+	return v.base.Owner(node)
+}
+
+// Overridden reports whether node's ownership is overridden.
+func (v *VersionedMap) Overridden(node string) bool {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	_, ok := v.overrides[node]
+	return ok
+}
+
+// Override routes every node to group index gi under map epoch epoch.
+// Epochs only move forward: an override carrying an epoch at or below
+// the current one still applies its routes (flips commute — each node
+// appears in one flip per epoch) but cannot lower the map epoch.
+func (v *VersionedMap) Override(nodes []string, gi int, epoch uint64) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for _, n := range nodes {
+		if gi == v.base.Owner(n) {
+			// Moving home again: the hash already says gi, so dropping
+			// the entry keeps the table minimal.
+			delete(v.overrides, n)
+			continue
+		}
+		v.overrides[n] = gi
+	}
+	if epoch > v.epoch {
+		v.epoch = epoch
+	}
+}
+
+// Len returns the override table's size.
+func (v *VersionedMap) Len() int {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return len(v.overrides)
+}
+
+// View snapshots the wire form.
+func (v *VersionedMap) View() MapView {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := MapView{Epoch: v.epoch, Groups: v.base.Groups}
+	if len(v.overrides) > 0 {
+		out.Overrides = make(map[string]string, len(v.overrides))
+		for n, gi := range v.overrides {
+			out.Overrides[n] = v.base.Groups[gi].Name
+		}
+	}
+	return out
+}
+
+// Install replaces this map's override table and epoch with a fetched
+// view's (client-side refresh). Groups must match the static map; the
+// install is skipped (reporting false) when the view's epoch is below
+// the current one or a named group is unknown.
+func (v *VersionedMap) Install(view MapView) bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if view.Epoch < v.epoch {
+		return false
+	}
+	next := make(map[string]int, len(view.Overrides))
+	for n, name := range view.Overrides {
+		gi := v.base.Index(name)
+		if gi < 0 {
+			return false
+		}
+		next[n] = gi
+	}
+	v.overrides = next
+	v.epoch = view.Epoch
+	return true
+}
+
+// OverriddenNodes returns the overridden node ids, sorted (stats and
+// tests).
+func (v *VersionedMap) OverriddenNodes() []string {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make([]string, 0, len(v.overrides))
+	for n := range v.overrides {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

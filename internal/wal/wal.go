@@ -66,10 +66,11 @@ const (
 
 // Record type bytes (first payload byte).
 const (
-	recHeader byte = 1
-	recAssert byte = 2
-	recFence  byte = 3
-	recIntent byte = 4
+	recHeader    byte = 1
+	recAssert    byte = 2
+	recFence     byte = 3
+	recIntent    byte = 4
+	recMigration byte = 5
 )
 
 // IntentState is the lifecycle state of a two-phase cross-shard union
@@ -131,6 +132,101 @@ type IntentRecord[N comparable, L any] struct {
 	Label L
 	// Reason is the client-supplied certificate reason.
 	Reason string
+}
+
+// MigrationState is the lifecycle state of a class-ownership migration.
+// States only move forward along
+//
+//	planned → frozen → copying → verifying → flipped → done
+//
+// with aborted reachable from every pre-flip state. The Flipped record
+// is the decision: a crash before it presumes abort (ownership never
+// moved), a crash after it redrives the flip to completion (ownership
+// moved, only cleanup remains).
+type MigrationState byte
+
+// Migration lifecycle states, in the order they may be recorded.
+const (
+	// MigrationPlanned is a durably logged migration whose freeze window
+	// has not been reserved yet; a crash here presumes abort.
+	MigrationPlanned MigrationState = 1
+	// MigrationFrozen means the source owner accepted the freeze: writes
+	// to the migrating class stall (503+Retry-After) while reads keep
+	// serving.
+	MigrationFrozen MigrationState = 2
+	// MigrationCopying means the certified journal slice is streaming to
+	// the destination group; the record carries a re-proved-entry
+	// watermark so a resumed copy knows how far it got.
+	MigrationCopying MigrationState = 3
+	// MigrationVerifying means the copy completed and the destination's
+	// adopted state is being spot-checked (relation probes re-proved by
+	// the independent checker) before the flip.
+	MigrationVerifying MigrationState = 4
+	// MigrationFlipped is the fsynced ownership decision: the override
+	// table now routes the class's nodes to the destination group. A
+	// crash after this record redrives completion, never abort.
+	MigrationFlipped MigrationState = 5
+	// MigrationDone means the source owner installed its 403 fence and
+	// released the freeze; recovery has nothing left to redrive.
+	MigrationDone MigrationState = 6
+	// MigrationAborted is a decided abort: the freeze is released and
+	// ownership never changed. Only pre-flip states can abort.
+	MigrationAborted MigrationState = 7
+)
+
+// String names the state for logs, stats and operator output.
+func (s MigrationState) String() string {
+	switch s {
+	case MigrationPlanned:
+		return "planned"
+	case MigrationFrozen:
+		return "frozen"
+	case MigrationCopying:
+		return "copying"
+	case MigrationVerifying:
+		return "verifying"
+	case MigrationFlipped:
+		return "flipped"
+	case MigrationDone:
+		return "done"
+	case MigrationAborted:
+		return "aborted"
+	default:
+		return fmt.Sprintf("state(%d)", byte(s))
+	}
+}
+
+// MigrationRecord is one decoded class-ownership migration record. A
+// Planned record carries the full plan (class representative, source
+// and destination groups, reason); a Copying record carries the copy
+// watermark; the Flipped decision record carries the new map epoch and
+// the class's member nodes so recovery can rebuild the override table
+// without consulting any shard; other states are bare transitions
+// referencing the plan by ID.
+type MigrationRecord[N comparable] struct {
+	// ID is the coordinator-assigned migration sequence number, strictly
+	// increasing per migration log.
+	ID uint64
+	// Epoch is the coordinator fencing epoch that wrote the record.
+	Epoch uint64
+	// State is the recorded lifecycle state.
+	State MigrationState
+	// Class is the migrating class's representative node (any member;
+	// the source owner resolves the full class).
+	Class N
+	// From and To name the source and destination shard groups.
+	From, To string
+	// Reason records why the move was planned (operator request or a
+	// rebalancer policy decision), for the audit trail.
+	Reason string
+	// Copied is the re-proved-entry watermark of a Copying record: the
+	// number of journal-slice entries the destination has adopted.
+	Copied uint64
+	// MapEpoch is the shard-map epoch the Flipped decision establishes.
+	MapEpoch uint64
+	// Nodes is the Flipped record's member list: every node whose
+	// ownership the override table now routes to the To group.
+	Nodes []N
 }
 
 // frameOverhead is the per-frame framing cost: length plus checksum.
@@ -319,6 +415,105 @@ func decodeIntent[N comparable, L any](c Codec[N, L], cur *cursor) (IntentRecord
 	return r, cur.done()
 }
 
+// encodeMigration builds a migration record payload. Planned records
+// carry the plan body, Copying records the watermark, Flipped records
+// the new map epoch plus the member-node list; other states are bare
+// state+id+epoch transitions.
+func encodeMigration[N comparable, L any](c Codec[N, L], r MigrationRecord[N]) []byte {
+	p := []byte{recMigration, byte(r.State)}
+	p = binary.AppendUvarint(p, r.ID)
+	p = binary.AppendUvarint(p, r.Epoch)
+	switch r.State {
+	case MigrationPlanned:
+		p = appendString(p, c.EncodeNode(r.Class))
+		p = appendString(p, []byte(r.From))
+		p = appendString(p, []byte(r.To))
+		p = appendString(p, []byte(r.Reason))
+	case MigrationCopying:
+		p = binary.AppendUvarint(p, r.Copied)
+	case MigrationFlipped:
+		p = binary.AppendUvarint(p, r.MapEpoch)
+		p = binary.AppendUvarint(p, uint64(len(r.Nodes)))
+		for _, n := range r.Nodes {
+			p = appendString(p, c.EncodeNode(n))
+		}
+	}
+	return p
+}
+
+// decodeMigration parses a migration payload (sans the type byte).
+func decodeMigration[N comparable, L any](c Codec[N, L], cur *cursor) (MigrationRecord[N], error) {
+	var r MigrationRecord[N]
+	st, err := cur.byte()
+	if err != nil {
+		return r, err
+	}
+	r.State = MigrationState(st)
+	switch r.State {
+	case MigrationPlanned, MigrationFrozen, MigrationCopying, MigrationVerifying,
+		MigrationFlipped, MigrationDone, MigrationAborted:
+	default:
+		return r, fmt.Errorf("unknown migration state %d", st)
+	}
+	if r.ID, err = cur.uvarint(); err != nil {
+		return r, err
+	}
+	if r.Epoch, err = cur.uvarint(); err != nil {
+		return r, err
+	}
+	switch r.State {
+	case MigrationPlanned:
+		cb, err := cur.bytes()
+		if err != nil {
+			return r, err
+		}
+		fb, err := cur.bytes()
+		if err != nil {
+			return r, err
+		}
+		tb, err := cur.bytes()
+		if err != nil {
+			return r, err
+		}
+		rb, err := cur.bytes()
+		if err != nil {
+			return r, err
+		}
+		if r.Class, err = c.DecodeNode(cb); err != nil {
+			return r, fmt.Errorf("class: %v", err)
+		}
+		r.From, r.To, r.Reason = string(fb), string(tb), string(rb)
+	case MigrationCopying:
+		if r.Copied, err = cur.uvarint(); err != nil {
+			return r, err
+		}
+	case MigrationFlipped:
+		if r.MapEpoch, err = cur.uvarint(); err != nil {
+			return r, err
+		}
+		count, err := cur.uvarint()
+		if err != nil {
+			return r, err
+		}
+		if count > uint64(len(cur.b)-cur.off) {
+			return r, fmt.Errorf("node count %d overruns payload", count)
+		}
+		r.Nodes = make([]N, 0, count)
+		for i := uint64(0); i < count; i++ {
+			nb, err := cur.bytes()
+			if err != nil {
+				return r, err
+			}
+			n, err := c.DecodeNode(nb)
+			if err != nil {
+				return r, fmt.Errorf("node: %v", err)
+			}
+			r.Nodes = append(r.Nodes, n)
+		}
+	}
+	return r, cur.done()
+}
+
 // cursor is a panic-free reader over a payload.
 type cursor struct {
 	b   []byte
@@ -453,6 +648,10 @@ type DecodeResult[N comparable, L any] struct {
 	// (empty for assert journals; the IntentLog folds them into final
 	// per-intent states).
 	Intents []IntentRecord[N, L]
+	// Migrations are the decoded class-ownership migration records, in
+	// file order (the MigrationLog folds them into final per-migration
+	// states).
+	Migrations []MigrationRecord[N]
 	// Fence is the highest fencing token seen in the file (header field
 	// or fence records); zero when the file predates fencing.
 	Fence uint64
@@ -563,6 +762,15 @@ func DecodeAll[N comparable, L any](image []byte, c Codec[N, L]) (DecodeResult[N
 				return fail("intent: %v", err)
 			}
 			res.Intents = append(res.Intents, r)
+		case recMigration:
+			if !res.HasHeader {
+				return fail("migration record before header")
+			}
+			r, err := decodeMigration(c, cur)
+			if err != nil {
+				return fail("migration: %v", err)
+			}
+			res.Migrations = append(res.Migrations, r)
 		default:
 			return fail("unknown record type %d", typ)
 		}
