@@ -48,6 +48,10 @@ type ErrorDetail struct {
 	// group that owns the class now — the re-route hint map-epoch-aware
 	// clients follow after refreshing the shard map.
 	NewOwner string `json:"new_owner,omitempty"`
+	// MovedNode, present alongside NewOwner, is the refused endpoint —
+	// the node whose class migrated away, so a coordinator applying a
+	// committed bridge edge can re-route just that endpoint's ownership.
+	MovedNode string `json:"moved_node,omitempty"`
 	// MapEpoch, present alongside NewOwner, is the shard-map epoch of
 	// the flip that moved the class; a client holding an older epoch
 	// knows its map is stale.
@@ -177,6 +181,7 @@ func writeError(w http.ResponseWriter, err error) {
 	if errors.As(err, &me) {
 		detail.NewOwner = me.Group
 		detail.MapEpoch = me.MapEpoch
+		detail.MovedNode = me.Node
 	}
 	writeJSON(w, status, ErrorBody{Error: detail})
 }
@@ -282,7 +287,12 @@ func (s *Server) handleAssert(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	if err := s.blockedByMigration(req.N, req.M, req.Reason); err != nil {
+	lifted, err := s.blockedByMigration(req.N, req.M, req.Reason)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := s.journalFenceLifts(r.Context(), req.Reason, lifted); err != nil {
 		writeError(w, err)
 		return
 	}
@@ -436,7 +446,12 @@ func (s *Server) handleBatchAssert(w http.ResponseWriter, r *http.Request) {
 			writeError(w, err)
 			return
 		}
-		if err := s.blockedByMigration(a.N, a.M, a.Reason); err != nil {
+		lifted, err := s.blockedByMigration(a.N, a.M, a.Reason)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		if err := s.journalFenceLifts(r.Context(), a.Reason, lifted); err != nil {
 			writeError(w, err)
 			return
 		}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
@@ -22,10 +23,14 @@ import (
 // re-proved exactly like any other write — trust is re-derived, never
 // copied).
 //
-// The source never blocks on the coordinator: a freeze window whose
-// TTL lapses re-probes the coordinator's /v1/rebalance/status with
-// backoff and presumes abort (thaws) when the coordinator stays
-// unreachable or has forgotten the migration. The post-flip fence is
+// Pre-decision, the source never blocks on the coordinator: a freeze
+// window whose TTL lapses re-probes the coordinator's
+// /v1/rebalance/status with backoff and presumes abort (thaws) when
+// the coordinator stays unreachable or has forgotten the migration.
+// Once a probe observes the flip the decision is durable, and the
+// source must not unilaterally thaw: it installs a provisional
+// moved-fence from the probe's flip material (or holds the window and
+// keeps probing until the redriven complete lands). The post-flip fence is
 // durable: completing a migration journals a marker entry between two
 // synthetic namespaced nodes whose reason carries the moved node list,
 // so a restarted source re-fences stale writers from its own journal
@@ -45,6 +50,15 @@ const (
 	// MovedMarkerNode is the synthetic node-name prefix the fence marker
 	// entries relate; it namespaces them away from client classes.
 	MovedMarkerNode = "xmigrate:moved:"
+	// LiftMarkerPrefix opens the reason of the durable fence-lift marker
+	// a destination journals when a copy-stream assert lifts a moved
+	// fence (the class is migrating back here). The copy entry itself is
+	// usually a redundant re-assert the wal dedups away, so the lift
+	// needs its own journal trace or a restart would re-fence the class.
+	LiftMarkerPrefix = "xmigrate-lifted "
+	// LiftMarkerNode is the synthetic node-name prefix lift marker
+	// entries relate.
+	LiftMarkerNode = "xmigrate:lift:"
 	// FreezePath is the source owner's freeze-window endpoint.
 	FreezePath = "/v1/migrate/freeze"
 	// ReleasePath is the source owner's thaw endpoint (also the operator
@@ -121,10 +135,23 @@ type migFreeze struct {
 	expires time.Time
 }
 
+// liftMarker is the JSON body of a durable fence-lift marker's reason
+// (after LiftMarkerPrefix).
+type liftMarker struct {
+	Migration uint64 `json:"migration"`
+	Epoch     uint64 `json:"epoch"`
+	Node      string `json:"node"`
+}
+
 // migMoved records where a migrated node's class went.
 type migMoved struct {
 	group    string
 	mapEpoch uint64
+	// durable reports the fence is backed by a journaled marker entry.
+	// A provisional fence installed from a flipped status probe is not:
+	// the redriven complete must still journal its marker, or a restart
+	// would forget the fence.
+	durable bool
 }
 
 // MigrateFreezeRequest is the /v1/migrate/freeze body: the coordinator
@@ -210,6 +237,14 @@ type MigrationStatusResponse struct {
 	Migration uint64 `json:"migration"`
 	State     string `json:"state"`
 	Epoch     uint64 `json:"epoch"`
+	// To, MapEpoch and Nodes carry the flip decision for "flipped"
+	// migrations: the new owner group, the map epoch that moved the
+	// class, and the moved member list. A probing source uses them to
+	// install a provisional moved-fence and thaw instead of holding its
+	// freeze window for as long as the completion takes to redrive.
+	To       string   `json:"to,omitempty"`
+	MapEpoch uint64   `json:"map_epoch,omitempty"`
+	Nodes    []string `json:"nodes,omitempty"`
 }
 
 // MigrationStats is the participant-side migration counter block in
@@ -260,8 +295,40 @@ func SliceChecksum(entries []AssertRequest) uint32 {
 // from durable history: every completed migration journaled a marker
 // entry whose reason carries the moved node list, so a restarted
 // source refuses stale writers without remembering anything in memory.
+// The replay runs in journal order and applies the same two rules as
+// the live gate — a moved marker installs fences for its node list,
+// and a current-epoch migrate-tagged copy entry lifts the fence on its
+// endpoints (ownership arriving here). Without the lift rule a class
+// that migrated away and later back would re-install the outbound
+// fence on restart and 403 writes to a class this node owns again.
 func (s *Server) restoreMigrationFences(entries []cert.Entry[string, int64]) {
+	s.migMu.Lock()
+	defer s.migMu.Unlock()
 	for _, e := range entries {
+		if _, epoch, ok := ParseMigrateTag(e.Reason); ok {
+			if epoch >= s.migEpoch {
+				if epoch > s.migEpoch {
+					s.migEpoch = epoch
+				}
+				delete(s.migMoved, e.N)
+				delete(s.migMoved, e.M)
+			}
+			continue
+		}
+		if strings.HasPrefix(e.Reason, LiftMarkerPrefix) {
+			// A copy-stream assert lifted this fence live; the entry that
+			// caused it was deduped (the class migrated back over relations
+			// this journal already held), so the lift replays from its own
+			// marker.
+			var lm liftMarker
+			if err := json.Unmarshal([]byte(e.Reason[len(LiftMarkerPrefix):]), &lm); err == nil {
+				if lm.Epoch > s.migEpoch {
+					s.migEpoch = lm.Epoch
+				}
+				delete(s.migMoved, lm.Node)
+			}
+			continue
+		}
 		if !strings.HasPrefix(e.Reason, MovedMarkerPrefix) {
 			continue
 		}
@@ -269,16 +336,14 @@ func (s *Server) restoreMigrationFences(entries []cert.Entry[string, int64]) {
 		if err := json.Unmarshal([]byte(e.Reason[len(MovedMarkerPrefix):]), &m); err != nil {
 			continue
 		}
-		s.migMu.Lock()
 		if m.Epoch > s.migEpoch {
 			s.migEpoch = m.Epoch
 		}
 		for _, n := range m.Nodes {
 			if cur, ok := s.migMoved[n]; !ok || m.MapEpoch > cur.mapEpoch {
-				s.migMoved[n] = migMoved{group: m.To, mapEpoch: m.MapEpoch}
+				s.migMoved[n] = migMoved{group: m.To, mapEpoch: m.MapEpoch, durable: true}
 			}
 		}
-		s.migMu.Unlock()
 	}
 }
 
@@ -290,41 +355,85 @@ func (s *Server) restoreMigrationFences(entries []cert.Entry[string, int64]) {
 // when stale. Ordinary client writes are refused with 403 + new-owner
 // hint when an endpoint's class migrated away, and with a retryable
 // 503 while an endpoint's class is inside a freeze window; writes to
-// unrelated classes pass untouched.
-func (s *Server) blockedByMigration(n, m, reason string) error {
+// unrelated classes pass untouched. The returned list names the nodes
+// whose fences this call lifted: the caller must make those lifts
+// durable with journalFenceLifts, because the copy entry that caused
+// them is usually a redundant re-assert the wal dedups away.
+func (s *Server) blockedByMigration(n, m, reason string) ([]string, error) {
 	id, epoch, tagged := ParseMigrateTag(reason)
 	s.migMu.Lock()
 	defer s.migMu.Unlock()
 	if tagged {
 		if epoch < s.migEpoch {
 			s.migFencedN++
-			return fault.Fencedf("copy-stream assert for migration %d carries stale coordinator epoch %d (current %d)", id, epoch, s.migEpoch)
+			return nil, fault.Fencedf("copy-stream assert for migration %d carries stale coordinator epoch %d (current %d)", id, epoch, s.migEpoch)
 		}
 		s.migEpoch = epoch
-		delete(s.migMoved, n)
-		delete(s.migMoved, m)
-		return nil
+		var lifted []string
+		for _, x := range [2]string{n, m} {
+			if _, ok := s.migMoved[x]; ok {
+				lifted = append(lifted, x)
+				delete(s.migMoved, x)
+			}
+		}
+		return lifted, nil
 	}
 	for _, x := range [2]string{n, m} {
 		if mv, ok := s.migMoved[x]; ok {
 			s.migFencedN++
-			return &MigratedError{Node: x, Group: mv.group, MapEpoch: mv.mapEpoch}
+			return nil, &MigratedError{Node: x, Group: mv.group, MapEpoch: mv.mapEpoch}
 		}
 	}
 	if len(s.migFrozen) == 0 {
-		return nil
+		return nil, nil
 	}
 	uf := s.st().uf
 	for id, fr := range s.migFrozen {
 		for _, x := range [2]string{n, m} {
 			if x == fr.req.Class {
 				s.migStalled++
-				return fault.Unavailablef("class of %q is migrating (migration %d); retry shortly", x, id)
+				return nil, fault.Unavailablef("class of %q is migrating (migration %d); retry shortly", x, id)
 			}
 			if _, ok := uf.GetRelation(fr.req.Class, x); ok {
 				s.migStalled++
-				return fault.Unavailablef("class of %q is migrating (migration %d); retry shortly", x, id)
+				return nil, fault.Unavailablef("class of %q is migrating (migration %d); retry shortly", x, id)
 			}
+		}
+	}
+	return nil, nil
+}
+
+// journalFenceLifts makes a live fence lift durable: one marker entry
+// per lifted node, its synthetic node name keyed by migration, epoch
+// and node so the wal's idempotent dedup cannot swallow a later
+// migration's lift of the same node. Restore replays these in journal
+// order against the moved markers, so a class that migrated away and
+// back survives a restart writable.
+func (s *Server) journalFenceLifts(ctx context.Context, reason string, nodes []string) error {
+	st := s.st()
+	if st.store == nil || len(nodes) == 0 {
+		return nil
+	}
+	id, epoch, ok := ParseMigrateTag(reason)
+	if !ok {
+		return fault.Invariantf("fence lift from an untagged reason %q", reason)
+	}
+	for _, n := range nodes {
+		body, err := json.Marshal(liftMarker{Migration: id, Epoch: epoch, Node: n})
+		if err != nil {
+			return fault.Invalidf("encode fence-lift marker: %v", err)
+		}
+		rsn := LiftMarkerPrefix + string(body)
+		mn := fmt.Sprintf("%s%d@e%d:%s", LiftMarkerNode, id, epoch, n)
+		if !st.uf.AddRelationReason(mn, mn+":b", 0, rsn) {
+			continue
+		}
+		seq, err := s.persist(cert.Entry[string, int64]{N: mn, M: mn + ":b", Label: 0, Reason: rsn})
+		if err != nil {
+			return err
+		}
+		if err := s.syncWait(ctx, seq); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -351,6 +460,24 @@ func (s *Server) frozenByMigration(n, m string) error {
 		}
 	}
 	return nil
+}
+
+// installMovedFence records where a class's nodes migrated to, keeping
+// the freshest map epoch per node. Shared by the durable complete path
+// and the provisional probe path (a source that learned the flip from
+// a status probe while the completion is still being redriven). A
+// durable install upgrades a same-epoch provisional fence; a
+// provisional install never downgrades a durable one.
+func (s *Server) installMovedFence(to string, mapEpoch uint64, nodes []string, durable bool) {
+	s.migMu.Lock()
+	defer s.migMu.Unlock()
+	for _, n := range nodes {
+		cur, ok := s.migMoved[n]
+		if ok && (cur.mapEpoch > mapEpoch || (cur.mapEpoch == mapEpoch && cur.durable)) {
+			continue
+		}
+		s.migMoved[n] = migMoved{group: to, mapEpoch: mapEpoch, durable: durable}
+	}
 }
 
 // clearFreeze releases the freeze window for migration id; it reports
@@ -419,8 +546,46 @@ func (s *Server) handleMigrateFreeze(w http.ResponseWriter, r *http.Request) {
 	}
 	s.migFrozen[req.Migration] = &migFreeze{req: req, expires: time.Now().Add(ttl)}
 	s.migMu.Unlock()
+	// Install-then-check against live 2PC prepare reservations: a
+	// prepare overlapping the class either sees this freeze in its own
+	// post-install re-check or is seen here — the two windows can never
+	// coexist, so a committed bridge edge cannot chase a class that
+	// flips away between its prepare vote and its apply.
+	if err := s.reservedOverClass(req.Class); err != nil {
+		s.clearFreeze(req.Migration)
+		writeError(w, err)
+		return
+	}
 	go s.probeMigration(req.Migration, ttl)
 	writeJSON(w, http.StatusOK, MigrateFreezeResponse{OK: true})
+}
+
+// reservedOverClass reports (as a retryable 503) whether any held 2PC
+// prepare reservation touches the given class: its bridge edge would
+// race a class-ownership flip, so a freeze must wait the reservation
+// out rather than let the copy miss a committed-but-unapplied edge.
+func (s *Server) reservedOverClass(class string) error {
+	s.tpcMu.Lock()
+	reserved := make([]PrepareRequest, 0, len(s.tpcReserved))
+	for _, res := range s.tpcReserved {
+		reserved = append(reserved, res.req)
+	}
+	s.tpcMu.Unlock()
+	if len(reserved) == 0 {
+		return nil
+	}
+	uf := s.st().uf
+	for _, req := range reserved {
+		for _, x := range [2]string{req.N, req.M} {
+			if x == class {
+				return fault.Unavailablef("cross-shard union intent %d is in its prepare window over the class of %q; retry shortly", req.Intent, class)
+			}
+			if _, ok := uf.GetRelation(class, x); ok {
+				return fault.Unavailablef("cross-shard union intent %d is in its prepare window over the class of %q; retry shortly", req.Intent, class)
+			}
+		}
+	}
+	return nil
 }
 
 // handleMigrateRelease thaws a freeze window. The coordinator calls it
@@ -470,7 +635,9 @@ func (s *Server) handleMigrateComplete(w http.ResponseWriter, r *http.Request) {
 	s.migEpoch = req.Epoch
 	already := true
 	for _, n := range req.Nodes {
-		if mv, ok := s.migMoved[n]; !ok || mv.mapEpoch < req.MapEpoch {
+		// A provisional fence from a flipped status probe does not count:
+		// the marker must still reach the journal to survive a restart.
+		if mv, ok := s.migMoved[n]; !ok || mv.mapEpoch < req.MapEpoch || !mv.durable {
 			already = false
 		}
 	}
@@ -505,13 +672,7 @@ func (s *Server) handleMigrateComplete(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
-	s.migMu.Lock()
-	for _, n := range req.Nodes {
-		if cur, ok := s.migMoved[n]; !ok || req.MapEpoch > cur.mapEpoch {
-			s.migMoved[n] = migMoved{group: req.To, mapEpoch: req.MapEpoch}
-		}
-	}
-	s.migMu.Unlock()
+	s.installMovedFence(req.To, req.MapEpoch, req.Nodes, durable)
 	s.clearFreeze(req.Migration)
 	writeJSON(w, http.StatusOK, MigrateCompleteResponse{OK: true, Durable: durable})
 }
@@ -582,10 +743,13 @@ func (s *Server) handleMigrateSlice(w http.ResponseWriter, r *http.Request) {
 
 // probeMigration is the source's crash-recovery loop for one freeze
 // window: sleep out the TTL, then re-probe the coordinator's migration
-// status with backoff. Pre-decision states keep waiting (bounded);
-// flipped waits longer for the redriven complete; aborted, done or
-// unknown (presumed abort) — or an unreachable coordinator past the
-// probe budget — thaws the window.
+// status with backoff. Pre-decision states keep waiting (bounded, then
+// presumed abort); flipped is past the decision point, so the source
+// installs a provisional moved-fence from the probe's flip material
+// and thaws — or, lacking it, holds the window and keeps probing
+// forever (a participant must never unilaterally release after the
+// decision; the operator release endpoint stays the escape hatch).
+// Aborted, done or unknown thaws the window.
 func (s *Server) probeMigration(id uint64, ttl time.Duration) {
 	held := func() (*migFreeze, bool) {
 		s.migMu.Lock()
@@ -601,6 +765,7 @@ func (s *Server) probeMigration(id uint64, ttl time.Duration) {
 		}
 	}
 	wait := ttl
+	sawFlipped := false
 	for probes := 0; ; probes++ {
 		time.Sleep(wait)
 		fr, ok := held()
@@ -610,15 +775,23 @@ func (s *Server) probeMigration(id uint64, ttl time.Duration) {
 		st, err := fetchMigrationStatus(fr.req.Coordinator, id)
 		switch {
 		case err != nil:
-			if probes >= tpcMaxProbes {
+			// An unreachable coordinator presumes abort only before the
+			// decision point: once a probe has seen the flip, ownership
+			// has durably moved, and thawing without a fence would accept
+			// writes the new owner never sees.
+			if !sawFlipped && probes >= tpcMaxProbes {
 				expire()
 				return
 			}
 		case st.State == "flipped":
-			// The decision is durable on the coordinator; the complete is
-			// being redriven. Hold the window longer, but not forever.
-			if probes >= 3*tpcMaxProbes {
-				expire()
+			sawFlipped = true
+			if st.To != "" && len(st.Nodes) > 0 {
+				// The probe carries the flip decision: fence the moved
+				// nodes provisionally (stale writes 403 with the new-owner
+				// hint instead of stalling) and thaw. The redriven
+				// complete journals the durable marker when it lands.
+				s.installMovedFence(st.To, st.MapEpoch, st.Nodes, false)
+				s.clearFreeze(id)
 				return
 			}
 		case st.State == "planned" || st.State == "frozen" ||

@@ -292,6 +292,18 @@ func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
 	}
 	s.tpcMu.Lock()
 	s.tpcReserved[req.Intent] = &tpcReservation{req: req, expires: time.Now().Add(ttl)}
+	s.tpcMu.Unlock()
+	// Install-then-check: re-run the freeze gate now that the
+	// reservation is visible. A migration freeze racing this prepare
+	// either saw the reservation in its own post-install check or is
+	// seen here — the prepare window and the freeze window can never
+	// coexist over one class.
+	if err := s.frozenByMigration(req.N, req.M); err != nil {
+		s.clear2PC(req.Intent)
+		writeError(w, err)
+		return
+	}
+	s.tpcMu.Lock()
 	s.tpcPrepared++
 	s.tpcMu.Unlock()
 	go s.probe2PC(req.Intent, ttl)

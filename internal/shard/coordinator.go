@@ -145,6 +145,8 @@ type Coordinator struct {
 	inDoubtSince map[uint64]time.Time                       // when each in-doubt intent entered the queue
 	poisoned     map[uint64]string                          // commit-time apply conflicts: impossible by protocol, never silent
 	migActive    map[uint64]bool                            // migrations with a live driver
+	migPending   int                                        // admitted migrations awaiting their durable id
+	migClasses   map[string]uint64                          // class rep → admitted/running migration id (0 while pending)
 	migAbortReq  map[uint64]bool                            // operator abort requests, honored at chunk boundaries
 	migRedrive   map[uint64]wal.MigrationRecord[string]     // flipped, completion pending on the source
 	migSince     map[uint64]time.Time                       // when each redriven migration entered the queue
@@ -220,6 +222,7 @@ func New(cfg Config) (*Coordinator, error) {
 		inDoubtSince: map[uint64]time.Time{},
 		poisoned:     map[uint64]string{},
 		migActive:    map[uint64]bool{},
+		migClasses:   map[string]uint64{},
 		migAbortReq:  map[uint64]bool{},
 		migRedrive:   map[uint64]wal.MigrationRecord[string]{},
 		migSince:     map[uint64]time.Time{},
@@ -571,27 +574,26 @@ func (c *Coordinator) Union(ctx context.Context, n, m string, label int64, reaso
 	return UnionResult{OK: true, Intent: id, Groups: groups}, nil
 }
 
-// applyBridge asserts the committed intent's bridge edge on both owner
+// applyBridge asserts the committed intent's bridge edge on the owner
 // groups (idempotent), marks the intent done and registers the bridge.
-// A conflict refusal poisons the intent: by protocol it cannot happen
-// (the prepare window reserves both sides), so it is surfaced as a
-// loud invariant in stats rather than retried forever.
+// Each endpoint's target is resolved through the live versioned map at
+// apply time, not the owners recorded at intent time: a migration that
+// flips a class between the commit and this apply would otherwise
+// fence the original owner forever (403 moved-node refusal), and a
+// committed union must never be lost to that race. A conflict refusal
+// poisons the intent: by protocol it cannot happen (the prepare window
+// reserves both sides), so it is surfaced as a loud invariant in stats
+// rather than retried forever.
 func (c *Coordinator) applyBridge(ctx context.Context, r wal.IntentRecord[string, int64]) error {
 	tag := bridgeReason(r.ID, r.Epoch, r.Reason)
-	for _, name := range []string{r.GroupA, r.GroupB} {
-		gi := c.m.Index(name)
-		if gi < 0 {
-			return fault.Invariantf("intent %d references group %q not in the shard map", r.ID, name)
-		}
-		if _, err := c.conns[gi].Assert(ctx, r.N, r.M, r.Label, tag); err != nil {
-			var se StatusError
-			if errors.As(err, &se) && se.HTTPStatus() == http.StatusConflict {
-				c.mu.Lock()
-				c.poisoned[r.ID] = fmt.Sprintf("bridge apply on %q refused as conflict: %v", name, err)
-				c.mu.Unlock()
-				return fault.Invariantf("intent %d bridge apply conflicts on %q despite its prepare vote: %v", r.ID, name, err)
-			}
-			return c.classify(gi, err)
+	ga, err := c.assertBridgeEdge(ctx, c.owner(r.N), r, tag)
+	if err != nil {
+		return err
+	}
+	gb := ga
+	if bi := c.owner(r.M); bi != ga {
+		if gb, err = c.assertBridgeEdge(ctx, bi, r, tag); err != nil {
+			return err
 		}
 	}
 	if err := c.log.MarkDone(r.ID); err != nil {
@@ -600,9 +602,46 @@ func (c *Coordinator) applyBridge(ctx context.Context, r wal.IntentRecord[string
 	c.mu.Lock()
 	delete(c.inDoubt, r.ID)
 	delete(c.inDoubtSince, r.ID)
-	c.registerBridge(r)
+	if ga != gb {
+		c.bridges = append(c.bridges, bridge{intent: r.ID, a: ga, b: gb, n: r.N, m: r.M, label: r.Label})
+	}
 	c.mu.Unlock()
 	return nil
+}
+
+// assertBridgeEdge asserts one committed bridge edge on group gi,
+// following migrated-class refusals: a 403 moved-node fence names the
+// class's new owner, so the apply re-resolves (recording the override
+// so routing follows too) and lands there instead of retrying against
+// the fence forever. Returns the group index that adopted the edge.
+func (c *Coordinator) assertBridgeEdge(ctx context.Context, gi int, r wal.IntentRecord[string, int64], tag string) (int, error) {
+	for hops := 0; ; hops++ {
+		_, err := c.conns[gi].Assert(ctx, r.N, r.M, r.Label, tag)
+		if err == nil {
+			return gi, nil
+		}
+		name := c.m.Groups[gi].Name
+		var se StatusError
+		if errors.As(err, &se) {
+			switch se.HTTPStatus() {
+			case http.StatusConflict:
+				c.mu.Lock()
+				c.poisoned[r.ID] = fmt.Sprintf("bridge apply on %q refused as conflict: %v", name, err)
+				c.mu.Unlock()
+				return gi, fault.Invariantf("intent %d bridge apply conflicts on %q despite its prepare vote: %v", r.ID, name, err)
+			case http.StatusForbidden:
+				d := se.Detail()
+				if next := c.m.Index(d.NewOwner); d.NewOwner != "" && next >= 0 && next != gi && hops < len(c.m.Groups) {
+					if d.MovedNode != "" {
+						c.vm.Override([]string{d.MovedNode}, next, d.MapEpoch)
+					}
+					gi = next
+					continue
+				}
+			}
+		}
+		return gi, c.classify(gi, err)
+	}
 }
 
 // redriveLoop re-applies committed-but-unapplied intents and redrives

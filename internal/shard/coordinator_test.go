@@ -19,11 +19,27 @@ import (
 
 // groupFleet is one running replica group for shard tests: a single
 // durable primary on a real listener (the coordinator treats a group as
-// an opaque cluster, so one node per group keeps the tests sharp).
+// an opaque cluster, so one node per group keeps the tests sharp). The
+// listener fronts an atomic handler so restart keeps the URL stable.
 type groupFleet struct {
 	srv *server.Server
 	ts  *httptest.Server
 	url string
+	dir string
+	cur atomic.Value // http.Handler of the current server
+}
+
+// restart kills the group's server and reopens it on the same journal
+// behind the same URL, modeling a primary crash-and-recover.
+func (f *groupFleet) restart(t *testing.T) {
+	t.Helper()
+	f.srv.Kill()
+	s, _, err := server.New(server.Config{Dir: f.dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.srv = s
+	f.cur.Store(s.Handler())
 }
 
 // startGroups boots n single-primary groups and returns the shard map
@@ -34,14 +50,20 @@ func startGroups(t *testing.T, n int) (shard.Map, []*groupFleet) {
 	var m shard.Map
 	var fleets []*groupFleet
 	for i := 0; i < n; i++ {
-		s, _, err := server.New(server.Config{Dir: t.TempDir()})
+		dir := t.TempDir()
+		s, _, err := server.New(server.Config{Dir: dir})
 		if err != nil {
 			t.Fatal(err)
 		}
-		ts := httptest.NewServer(s.Handler())
-		t.Cleanup(ts.Close)
-		fleets = append(fleets, &groupFleet{srv: s, ts: ts, url: ts.URL})
-		m.Groups = append(m.Groups, shard.Group{Name: names[i], Nodes: []string{ts.URL}})
+		f := &groupFleet{srv: s, dir: dir}
+		f.cur.Store(s.Handler())
+		f.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			f.cur.Load().(http.Handler).ServeHTTP(w, r)
+		}))
+		t.Cleanup(f.ts.Close)
+		f.url = f.ts.URL
+		fleets = append(fleets, f)
+		m.Groups = append(m.Groups, shard.Group{Name: names[i], Nodes: []string{f.url}})
 	}
 	return m, fleets
 }

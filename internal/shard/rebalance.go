@@ -101,25 +101,41 @@ func (c *Coordinator) Migrate(ctx context.Context, class, to, reason string) (Mi
 	}
 	res.Class, res.From, res.To = class, c.m.Groups[fi].Name, c.m.Groups[ti].Name
 
-	// Admission: the concurrent-migration cap is checked and the slot
-	// taken under one lock so two racing starts cannot both pass.
+	// Admission: the concurrent-migration cap (running plus admitted
+	// slots still awaiting their durable id) and the one-migration-per-
+	// class rule are checked and the slot taken under one lock, so two
+	// racing starts can neither exceed the cap nor double-migrate one
+	// class to different destinations.
 	c.mu.Lock()
-	if len(c.migActive) >= c.cfg.RebalanceMaxConcurrent {
-		n := len(c.migActive)
+	if n := len(c.migActive) + c.migPending; n >= c.cfg.RebalanceMaxConcurrent {
 		c.mu.Unlock()
 		return res, fault.Unavailablef("%d migration(s) already running (cap %d); retry shortly", n, c.cfg.RebalanceMaxConcurrent)
 	}
-	c.migActive[0] = true // placeholder slot until the durable id exists
+	if id, busy := c.migClasses[class]; busy {
+		c.mu.Unlock()
+		return res, fault.Unavailablef("migration %d of class %q is already running; retry later", id, class)
+	}
+	for id, r := range c.migRedrive {
+		if r.Class == class {
+			c.mu.Unlock()
+			return res, fault.Unavailablef("migration %d of class %q is still completing; retry later", id, class)
+		}
+	}
+	c.migPending++
+	c.migClasses[class] = 0
 	c.mu.Unlock()
 
 	// Durable plan: the migration exists before any message is sent, so
 	// presumed abort covers every crash from here on.
 	id, err := c.mig.Begin(class, res.From, res.To, reason)
 	c.mu.Lock()
-	delete(c.migActive, 0)
+	c.migPending--
 	if err == nil {
 		c.migActive[id] = true
+		c.migClasses[class] = id
 		c.migStart[id] = time.Now()
+	} else {
+		delete(c.migClasses, class)
 	}
 	c.mu.Unlock()
 	if err != nil {
@@ -130,6 +146,9 @@ func (c *Coordinator) Migrate(ctx context.Context, class, to, reason string) (Mi
 		c.mu.Lock()
 		delete(c.migActive, id)
 		delete(c.migAbortReq, id)
+		// A flipped migration entering the redrive queue keeps covering
+		// its class through the migRedrive scan above.
+		delete(c.migClasses, class)
 		c.mu.Unlock()
 	}()
 	if err := c.step("mig-planned", id); err != nil {
@@ -321,8 +340,13 @@ func (c *Coordinator) completeMigration(ctx context.Context, r wal.MigrationReco
 		c.mu.Unlock()
 		return fault.Invariantf("migration %d references source group %q not in the shard map", r.ID, r.From)
 	}
+	// The flip decision is identified by the migration id and MapEpoch;
+	// the request's fencing epoch must be this coordinator's *current*
+	// one, not the epoch recorded at Begin — a completion redriven after
+	// a restart (epoch bump) would otherwise fence itself forever at a
+	// source whose migEpoch newer migration traffic has raised.
 	_, err := c.conns[fi].MigrateComplete(ctx, server.MigrateCompleteRequest{
-		Migration: r.ID, Epoch: r.Epoch, MapEpoch: r.MapEpoch, To: r.To, Nodes: r.Nodes,
+		Migration: r.ID, Epoch: c.mig.Epoch(), MapEpoch: r.MapEpoch, To: r.To, Nodes: r.Nodes,
 	})
 	if err != nil {
 		return c.classify(fi, err)
@@ -417,13 +441,20 @@ func (c *Coordinator) RequestAbort(id uint64) (AbortResult, error) {
 
 // MigrationStatus reports the folded state of one migration for
 // participant probes; unknown ids are presumed aborted (the log is
-// never trimmed, so unknown means never durably begun).
+// never trimmed, so unknown means never durably begun). Flipped
+// migrations carry the decision's destination, map epoch and moved
+// node list, so a probing source can fence provisionally and thaw
+// instead of holding its freeze for as long as the redrive takes.
 func (c *Coordinator) MigrationStatus(id uint64) server.MigrationStatusResponse {
 	r, ok := c.mig.Get(id)
 	if !ok {
 		return server.MigrationStatusResponse{Migration: id, State: wal.MigrationAborted.String(), Epoch: c.mig.Epoch()}
 	}
-	return server.MigrationStatusResponse{Migration: id, State: r.State.String(), Epoch: c.mig.Epoch()}
+	out := server.MigrationStatusResponse{Migration: id, State: r.State.String(), Epoch: c.mig.Epoch()}
+	if r.State == wal.MigrationFlipped {
+		out.To, out.MapEpoch, out.Nodes = r.To, r.MapEpoch, r.Nodes
+	}
+	return out
 }
 
 // RebalanceStatus is the GET /v1/rebalance body.
@@ -513,7 +544,7 @@ func (c *Coordinator) rebalanceOnce() {
 		return
 	}
 	c.mu.Lock()
-	if len(c.migActive) >= c.cfg.RebalanceMaxConcurrent {
+	if len(c.migActive)+c.migPending >= c.cfg.RebalanceMaxConcurrent {
 		c.mu.Unlock()
 		return
 	}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -423,6 +424,14 @@ func TestRequestAbortRefusedAfterFlip(t *testing.T) {
 		}
 		return false
 	})
+
+	// A second migration of the same class must refuse while the first
+	// one's completion is still redriving — admitting it would
+	// double-move the class.
+	if _, merr := c.Migrate(ctx, ids[0], "alpha", "double-migrate attempt"); merr == nil ||
+		!strings.Contains(merr.Error(), "still completing") {
+		t.Fatalf("same-class migrate while completion pending = %v, want a still-completing refusal", merr)
+	}
 }
 
 // TestChaosMigrationCrashPartitionAndStaleClient is the end-to-end
@@ -693,5 +702,167 @@ func TestZombieCoordinatorMigrationFenced(t *testing.T) {
 	// Current-epoch traffic is unaffected by the zombie's attempts.
 	if _, err := cl.Assert(ctx, "zb-c1", "zb-c2", 1, server.FormatMigrateTag(100, 5)); err != nil {
 		t.Fatalf("current-epoch copy-stream assert: %v", err)
+	}
+}
+
+// TestRedrivenCompletionSurvivesEpochBump: the coordinator dies right
+// after the flip, restarts (bumping its fencing epoch), and a second
+// migration from the same source raises the source's high-water epoch
+// before the first migration's completion redrives. The redriven
+// complete must carry the coordinator's current epoch — resending the
+// epoch recorded at Begin would fence the completion forever and wedge
+// the class behind a fence only an operator could clear.
+func TestRedrivenCompletionSurvivesEpochBump(t *testing.T) {
+	rig := newMigRig(t, 3, nil)
+	var arm atomic.Bool
+	var c *shard.Coordinator
+	c = rig.start(func(stage string, id uint64) {
+		if stage == "mig-flipped" && arm.CompareAndSwap(true, false) {
+			c.Kill()
+		}
+	}, nil)
+	ctx := context.Background()
+	ids, val := buildClass(t, c, rig.m, 0, 3, "eb")
+	ids2, _ := buildClass(t, c, rig.m, 0, 3, "eb2")
+
+	arm.Store(true)
+	res, err := c.Migrate(ctx, ids[0], "beta", "flip then die")
+	if err == nil {
+		t.Fatal("migrate through the dying coordinator must not report done")
+	}
+	_ = c.Close()
+
+	// Restart with a slow redrive so the epoch-raising migration runs
+	// first, then let the dangling completion land.
+	c = rig.start(nil, func(cfg *shard.Config) { cfg.RedriveInterval = 300 * time.Millisecond })
+	if res2, err := c.Migrate(ctx, ids2[0], "gamma", "epoch raiser"); err != nil || !res2.OK {
+		t.Fatalf("second migration = (%+v, %v)", res2, err)
+	}
+	waitFor(t, "redriven completion under the bumped epoch", func() bool {
+		return c.MigrationStatus(res.Migration).State == "done"
+	})
+
+	// Both classes are fenced at their old home and serve from their new
+	// owners.
+	cl := probeClient(rig.fleets[0].url)
+	var ae *client.APIError
+	_, werr := cl.Assert(ctx, ids[0], "eb-stale", 1, "stale write")
+	if !errors.As(werr, &ae) || ae.Status != http.StatusForbidden || ae.Detail().NewOwner != "beta" {
+		t.Fatalf("stale write after redriven completion = %v, want 403 with new-owner beta", werr)
+	}
+	for _, x := range ids[1:] {
+		if label, ok, err := c.Relation(ctx, ids[0], x); err != nil || !ok || label != val[x]-val[ids[0]] {
+			t.Fatalf("relation(%s, %s) = (%d, %v, %v)", ids[0], x, label, ok, err)
+		}
+	}
+}
+
+// TestMigrateBackThenSourceRestartLiftsFence: a class migrates away and
+// back, then its home group restarts. Fence replay must honor journal
+// order — the return trip's migrate-tagged copy entries lift the fence
+// the away trip's marker installed. Replaying markers alone would
+// resurrect the stale fence and the class would come back refusing its
+// own writes forever.
+func TestMigrateBackThenSourceRestartLiftsFence(t *testing.T) {
+	rig := newMigRig(t, 2, nil)
+	c := rig.start(nil, nil)
+	ctx := context.Background()
+
+	ids, val := buildClass(t, c, rig.m, 0, 3, "pp")
+	if res, err := c.Migrate(ctx, ids[0], "beta", "away"); err != nil || !res.OK {
+		t.Fatalf("migrate away = (%+v, %v)", res, err)
+	}
+	if res, err := c.Migrate(ctx, ids[0], "alpha", "and back"); err != nil || !res.OK {
+		t.Fatalf("migrate back = (%+v, %v)", res, err)
+	}
+
+	// Home again: alpha serves class writes live.
+	cl := probeClient(rig.fleets[0].url)
+	if _, err := cl.Assert(ctx, ids[0], "pp-live", 3, "write after the return trip"); err != nil {
+		t.Fatalf("class write on alpha after the return trip: %v", err)
+	}
+
+	rig.fleets[0].restart(t)
+	if _, err := cl.Assert(ctx, ids[0], "pp-after", 4, "write after restart"); err != nil {
+		t.Fatalf("class write on restarted alpha after ping-pong = %v, want accepted", err)
+	}
+	for _, x := range ids[1:] {
+		if label, ok, err := c.Relation(ctx, ids[0], x); err != nil || !ok || label != val[x]-val[ids[0]] {
+			t.Fatalf("relation(%s, %s) after restart = (%d, %v, %v)", ids[0], x, label, ok, err)
+		}
+	}
+}
+
+// TestMigrateRefusesSameClassWhileRunning: while one migration of a
+// class is mid-flight, a racing start for the same class must refuse —
+// and once the first finishes, the class is free to move again.
+func TestMigrateRefusesSameClassWhileRunning(t *testing.T) {
+	rig := newMigRig(t, 3, nil)
+	var rep atomic.Value // the class representative, set before arming
+	var racing atomic.Value
+	var arm atomic.Bool
+	var c *shard.Coordinator
+	c = rig.start(func(stage string, id uint64) {
+		if stage == "mig-copied" && arm.CompareAndSwap(true, false) {
+			_, err := c.Migrate(context.Background(), rep.Load().(string), "gamma", "racing same class")
+			racing.Store(err)
+		}
+	}, nil)
+	ctx := context.Background()
+
+	ids, _ := buildClass(t, c, rig.m, 0, 3, "rc")
+	rep.Store(ids[0])
+	arm.Store(true)
+	if res, err := c.Migrate(ctx, ids[0], "beta", "first mover"); err != nil || !res.OK {
+		t.Fatalf("migrate = (%+v, %v)", res, err)
+	}
+	rerr, _ := racing.Load().(error)
+	if rerr == nil || !strings.Contains(rerr.Error(), "already running") {
+		t.Fatalf("racing same-class migrate = %v, want an already-running refusal", rerr)
+	}
+
+	// The registry releases with the migration: the class moves again.
+	if res, err := c.Migrate(ctx, ids[0], "gamma", "second hop"); err != nil || !res.OK {
+		t.Fatalf("migrate after release = (%+v, %v)", res, err)
+	}
+}
+
+// TestCommittedBridgeApplySurvivesConcurrentFlip: a cross-shard union
+// commits, and before its bridge edge applies the class flips to a new
+// owner (the source installs its moved fence). The apply's 403 carries
+// the new-owner hint; the coordinator must follow it — the union was
+// acked at commit, so retrying against the fence forever (or dropping
+// the edge) loses an acked answer.
+func TestCommittedBridgeApplySurvivesConcurrentFlip(t *testing.T) {
+	rig := newMigRig(t, 2, nil)
+	var flip func()
+	var arm atomic.Bool
+	c := rig.start(func(stage string, id uint64) {
+		if stage == "committed" && arm.CompareAndSwap(true, false) {
+			flip()
+		}
+	}, nil)
+	ctx := context.Background()
+
+	ids, _ := buildClass(t, c, rig.m, 0, 2, "cf")
+	y := rig.m.SampleOwned(1, 1, "cfy")[0]
+
+	cl := probeClient(rig.fleets[0].url)
+	flip = func() {
+		// The class flips to beta behind the union's back: commit record
+		// durable, bridge edge not yet applied, source fence installed.
+		if _, err := cl.MigrateComplete(ctx, server.MigrateCompleteRequest{
+			Migration: 41, Epoch: 1, MapEpoch: 1, To: "beta", Nodes: ids,
+		}); err != nil {
+			t.Error(err)
+		}
+	}
+	arm.Store(true)
+	res, err := c.Union(ctx, ids[0], y, 9, "bridge chasing the flip")
+	if err != nil || !res.OK {
+		t.Fatalf("union across the concurrent flip = (%+v, %v), want applied", res, err)
+	}
+	if label, ok, err := c.Relation(ctx, ids[0], y); err != nil || !ok || label != 9 {
+		t.Fatalf("relation after the followed apply = (%d, %v, %v), want 9", label, ok, err)
 	}
 }
